@@ -1,0 +1,58 @@
+// §IV-E extensions: CMPI-based CPU/memory-bound classification and the
+// DVFS energy/performance tradeoff table the paper sketches (scale down
+// the frequency for memory-bound tasks; measure energy saved vs slowdown).
+#include <cstdio>
+#include <vector>
+
+#include "bench_common.hpp"
+#include "core/cmpi.hpp"
+#include "util/rng.hpp"
+#include "util/table.hpp"
+
+using namespace wats;
+
+int main() {
+  std::printf("WATS reproduction — §IV-E CMPI classification & DVFS\n");
+
+  const auto penalties = core::CachePenalties::opteron_like();
+  const std::vector<double> freqs{2.5, 1.8, 1.3, 0.8};
+
+  // Synthetic task population: CMPI drawn across the CPU/memory-bound
+  // spectrum; instructions fixed.
+  util::Xoshiro256 rng(7);
+  util::TextTable cls_table({"CMPI", "class (thr=0.02)",
+                             "freq-scalable fraction"});
+  for (double c : {0.0005, 0.002, 0.01, 0.02, 0.05, 0.1, 0.3}) {
+    core::CacheStats stats;
+    stats.instructions = 1000000;
+    stats.misses = {static_cast<std::uint64_t>(
+        c * static_cast<double>(stats.instructions))};
+    const auto verdict = core::classify(stats, penalties, 0.02);
+    cls_table.add_row(
+        {util::TextTable::num(c, 4),
+         verdict == core::Boundedness::kCpuBound ? "CPU-bound"
+                                                 : "memory-bound",
+         util::TextTable::num(core::frequency_scalable_fraction(c, 0.2), 3)});
+  }
+  bench::print_table("CMPI classification sweep", cls_table);
+
+  // DVFS tradeoff: for tasks of varying memory-boundedness, pick the
+  // energy-optimal frequency subject to a 20% slowdown cap.
+  core::EnergyModel model;
+  util::TextTable dvfs({"scalable fraction", "best freq (GHz)",
+                        "slowdown", "energy saved"});
+  for (double s : {1.0, 0.8, 0.6, 0.4, 0.2, 0.05}) {
+    const double f = model.best_frequency(1.0, 2.5, freqs, s, 1.2);
+    const double slow = model.time_at(1.0, 2.5, f, s);
+    const double e_base = model.energy_at(1.0, 2.5, 2.5, s);
+    const double e_best = model.energy_at(1.0, 2.5, f, s);
+    dvfs.add_row({util::TextTable::num(s, 2), util::TextTable::num(f, 1),
+                  util::TextTable::num((slow - 1.0) * 100.0, 1) + "%",
+                  util::TextTable::num((1.0 - e_best / e_base) * 100.0, 1) +
+                      "%"});
+  }
+  bench::print_table(
+      "DVFS energy savings under a 20% slowdown cap (power ~ C f^3 + P_s)",
+      dvfs);
+  return 0;
+}

@@ -1,0 +1,35 @@
+// Shared plumbing for the figure-reproduction benches: run a set of
+// schedulers over benchmarks/machines and print the paper-style rows, both
+// as an aligned table and as CSV.
+#pragma once
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "sim/experiment.hpp"
+#include "util/table.hpp"
+
+namespace wats::bench {
+
+inline const std::vector<sim::SchedulerKind>& fig6_schedulers() {
+  static const std::vector<sim::SchedulerKind> kinds{
+      sim::SchedulerKind::kCilk, sim::SchedulerKind::kPft,
+      sim::SchedulerKind::kRts, sim::SchedulerKind::kWats};
+  return kinds;
+}
+
+inline sim::ExperimentConfig default_config(std::size_t repeats = 15,
+                                            std::uint64_t base_seed = 42) {
+  sim::ExperimentConfig cfg;
+  cfg.repeats = repeats;
+  cfg.base_seed = base_seed;
+  return cfg;
+}
+
+inline void print_table(const std::string& title, const util::TextTable& t) {
+  std::printf("\n== %s ==\n%s\nCSV:\n%s", title.c_str(),
+              t.render_ascii().c_str(), t.render_csv().c_str());
+}
+
+}  // namespace wats::bench

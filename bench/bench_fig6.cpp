@@ -1,0 +1,35 @@
+// Fig. 6: normalized execution time of all nine Table III benchmarks under
+// Cilk, PFT, RTS and WATS on AMC 1, AMC 2 and AMC 5 (normalized to Cilk,
+// as in the paper's bars).
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace wats;
+
+int main() {
+  std::printf("WATS reproduction — Fig. 6 (a) AMC1, (b) AMC2, (c) AMC5\n");
+  const auto cfg = bench::default_config(15);
+
+  for (const char* machine : {"AMC1", "AMC2", "AMC5"}) {
+    const auto topo = core::amc_by_name(machine);
+    util::TextTable t(
+        {"benchmark", "Cilk", "PFT", "RTS", "WATS", "WATS gain vs Cilk"});
+    for (const auto& spec : workloads::paper_benchmarks()) {
+      const auto results =
+          sim::run_schedulers(spec, topo, bench::fig6_schedulers(), cfg);
+      const double cilk = results[0].mean_makespan;
+      std::vector<std::string> row{spec.name};
+      for (const auto& r : results) {
+        row.push_back(util::TextTable::num(r.mean_makespan / cilk, 3));
+      }
+      const double gain = 1.0 - results[3].mean_makespan / cilk;
+      row.push_back(util::TextTable::num(gain * 100.0, 1) + "%");
+      t.add_row(std::move(row));
+    }
+    bench::print_table(std::string("Fig. 6 — ") + machine +
+                           " (execution time normalized to Cilk)",
+                       t);
+  }
+  return 0;
+}

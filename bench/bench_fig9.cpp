@@ -1,0 +1,37 @@
+// Fig. 9: effectiveness of preference-based stealing — GA under Cilk, PFT,
+// WATS-NP (no cross-cluster stealing) and WATS on all seven machines.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace wats;
+
+int main() {
+  std::printf("WATS reproduction — Fig. 9 (WATS vs WATS-NP)\n");
+  const auto cfg = bench::default_config(15);
+  const auto& ga = workloads::benchmark_by_name("GA");
+  const std::vector<sim::SchedulerKind> kinds{
+      sim::SchedulerKind::kCilk, sim::SchedulerKind::kPft,
+      sim::SchedulerKind::kWatsNp, sim::SchedulerKind::kWats};
+
+  util::TextTable t({"machine", "Cilk", "PFT", "WATS-NP", "WATS",
+                     "NP gain vs PFT", "WATS gain vs NP"});
+  for (const auto& topo : core::amc_table2()) {
+    const auto results = sim::run_schedulers(ga, topo, kinds, cfg);
+    std::vector<std::string> row{topo.name()};
+    for (const auto& r : results) {
+      row.push_back(util::TextTable::num(r.mean_makespan, 0));
+    }
+    row.push_back(util::TextTable::num(
+                      (1.0 - results[2].mean_makespan /
+                                 results[1].mean_makespan) * 100.0, 1) + "%");
+    row.push_back(util::TextTable::num(
+                      (1.0 - results[3].mean_makespan /
+                                 results[2].mean_makespan) * 100.0, 1) + "%");
+    t.add_row(std::move(row));
+  }
+  bench::print_table("Fig. 9 — GA in Cilk, PFT, WATS-NP and WATS", t);
+  std::printf("\nShape checks vs the paper: WATS <= WATS-NP on every "
+              "machine; WATS-NP <= PFT on every machine (see table).\n");
+  return 0;
+}

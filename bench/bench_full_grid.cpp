@@ -1,0 +1,37 @@
+// The full 9x7 grid the paper alludes to ("the benchmarks in other AMC
+// architectures perform similarly"): WATS's gain over Cilk for every
+// Table III benchmark on every Table II machine.
+#include <cstdio>
+
+#include "bench_common.hpp"
+
+using namespace wats;
+
+int main() {
+  std::printf("WATS reproduction — full benchmark x machine grid\n");
+  const auto cfg = bench::default_config(7);
+
+  std::vector<std::string> header{"benchmark"};
+  for (const auto& topo : core::amc_table2()) header.push_back(topo.name());
+  util::TextTable t(std::move(header));
+
+  for (const auto& spec : workloads::paper_benchmarks()) {
+    std::vector<std::string> row{spec.name};
+    for (const auto& topo : core::amc_table2()) {
+      const double cilk =
+          sim::run_experiment(spec, topo, sim::SchedulerKind::kCilk, cfg)
+              .mean_makespan;
+      const double wats =
+          sim::run_experiment(spec, topo, sim::SchedulerKind::kWats, cfg)
+              .mean_makespan;
+      row.push_back(util::TextTable::num((1.0 - wats / cilk) * 100.0, 1) +
+                    "%");
+    }
+    t.add_row(std::move(row));
+  }
+  bench::print_table(
+      "WATS gain over Cilk (% makespan reduction), all benchmarks x all "
+      "machines",
+      t);
+  return 0;
+}

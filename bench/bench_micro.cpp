@@ -1,0 +1,281 @@
+// Micro-benchmarks (google-benchmark) of the workload kernels and the
+// scheduler substrate: per-byte kernel throughput, deque operations,
+// registry updates, Algorithm 1, and simulator event throughput.
+#include <benchmark/benchmark.h>
+
+#include <algorithm>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/cluster.hpp"
+#include "core/task_class.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/wsdeque.hpp"
+#include "sim/experiment.hpp"
+#include "util/rng.hpp"
+#include "workloads/bwt.hpp"
+#include "workloads/bzip2_like.hpp"
+#include "workloads/datagen.hpp"
+#include "workloads/dedup.hpp"
+#include "workloads/arith.hpp"
+#include "workloads/bitstream.hpp"
+#include "workloads/dmc.hpp"
+#include "workloads/huffman.hpp"
+#include "workloads/mtf_rle.hpp"
+#include "workloads/ferret.hpp"
+#include "workloads/lzw.hpp"
+#include "workloads/md5.hpp"
+#include "workloads/sha1.hpp"
+#include "workloads/suffix_array.hpp"
+
+namespace {
+
+using namespace wats;
+
+// ---- Hash kernels.
+
+void BM_Md5(benchmark::State& state) {
+  const auto data = workloads::random_bytes(
+      static_cast<std::size_t>(state.range(0)), 1);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workloads::Md5::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Md5)->Arg(4096)->Arg(65536);
+
+void BM_Sha1(benchmark::State& state) {
+  const auto data = workloads::random_bytes(
+      static_cast<std::size_t>(state.range(0)), 2);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workloads::Sha1::hash(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Sha1)->Arg(4096)->Arg(65536);
+
+// ---- Compression kernels.
+
+void BM_Lzw(benchmark::State& state) {
+  const auto data = workloads::text_corpus(
+      static_cast<std::size_t>(state.range(0)), 3);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workloads::lzw_compress(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Lzw)->Arg(16384)->Arg(131072);
+
+void BM_Bwt(benchmark::State& state) {
+  const auto data = workloads::text_corpus(
+      static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workloads::bwt_forward(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Bwt)->Arg(16384)->Arg(65536);
+
+void BM_BwtSais(benchmark::State& state) {
+  const auto data = workloads::text_corpus(
+      static_cast<std::size_t>(state.range(0)), 4);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workloads::bwt_forward_sais(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_BwtSais)->Arg(16384)->Arg(65536);
+
+void BM_SuffixArray(benchmark::State& state) {
+  const auto data = workloads::text_corpus(
+      static_cast<std::size_t>(state.range(0)), 8);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workloads::suffix_array(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_SuffixArray)->Arg(65536);
+
+void BM_Bzip2(benchmark::State& state) {
+  const auto data = workloads::text_corpus(
+      static_cast<std::size_t>(state.range(0)), 5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workloads::bzip2_compress(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Bzip2)->Arg(16384);
+
+void BM_Dmc(benchmark::State& state) {
+  const auto data = workloads::text_corpus(
+      static_cast<std::size_t>(state.range(0)), 6);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workloads::dmc_compress(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_Dmc)->Arg(16384);
+
+void BM_MtfEncode(benchmark::State& state) {
+  const auto bwt = workloads::bwt_forward_sais(
+      workloads::text_corpus(65536, 21));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workloads::mtf_encode(bwt.transformed));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          65536);
+}
+BENCHMARK(BM_MtfEncode);
+
+void BM_HuffmanRoundTrip(benchmark::State& state) {
+  const auto bwt = workloads::bwt_forward_sais(
+      workloads::text_corpus(65536, 22));
+  const auto mtf = workloads::mtf_encode(bwt.transformed);
+  const auto symbols = workloads::zrle_encode(mtf);
+  for (auto _ : state) {
+    std::vector<std::uint64_t> freqs(workloads::kZAlphabet, 0);
+    for (auto sym : symbols) ++freqs[sym];
+    const auto lengths = workloads::huffman_code_lengths(freqs);
+    const auto codes = workloads::canonical_codes(lengths);
+    workloads::BitWriter w;
+    workloads::huffman_encode(symbols, lengths, codes, w);
+    benchmark::DoNotOptimize(w.take());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          static_cast<std::int64_t>(symbols.size()));
+}
+BENCHMARK(BM_HuffmanRoundTrip);
+
+void BM_RangeCoder(benchmark::State& state) {
+  for (auto _ : state) {
+    workloads::RangeEncoder enc;
+    for (int i = 0; i < 10000; ++i) {
+      enc.encode(static_cast<std::uint32_t>(i & 1),
+                 static_cast<std::uint16_t>(20000 + (i % 30000)));
+    }
+    benchmark::DoNotOptimize(enc.finish());
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          10000);
+}
+BENCHMARK(BM_RangeCoder);
+
+void BM_DedupArchive(benchmark::State& state) {
+  const auto data = workloads::repetitive_corpus(
+      static_cast<std::size_t>(state.range(0)), 0.6, 7);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(workloads::dedup_archive(data));
+  }
+  state.SetBytesProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_DedupArchive)->Arg(262144);
+
+void BM_FerretQuery(benchmark::State& state) {
+  workloads::FerretIndex index(48, 8, 11);
+  for (std::uint64_t s = 0; s < 200; ++s) {
+    const auto img = workloads::synthetic_image(32, 32, 5, s);
+    index.add(workloads::extract_features(img, 32, 32));
+  }
+  const auto img = workloads::synthetic_image(32, 32, 5, 999);
+  const auto query = workloads::extract_features(img, 32, 32);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(index.query(query, 10));
+  }
+}
+BENCHMARK(BM_FerretQuery);
+
+// ---- Scheduler substrate.
+
+void BM_DequePushPop(benchmark::State& state) {
+  runtime::WorkStealingDeque<int> dq;
+  int item = 0;
+  for (auto _ : state) {
+    dq.push_bottom(&item);
+    benchmark::DoNotOptimize(dq.pop_bottom());
+  }
+}
+BENCHMARK(BM_DequePushPop);
+
+void BM_RegistryRecordCompletion(benchmark::State& state) {
+  core::TaskClassRegistry reg;
+  const auto id = reg.intern("bench");
+  for (auto _ : state) {
+    reg.record_completion(id, 1.0);
+  }
+}
+BENCHMARK(BM_RegistryRecordCompletion);
+
+void BM_Algorithm1(benchmark::State& state) {
+  util::Xoshiro256 rng(13);
+  std::vector<double> w(static_cast<std::size_t>(state.range(0)));
+  for (auto& x : w) x = rng.uniform(1.0, 100.0);
+  std::sort(w.begin(), w.end(), std::greater<>());
+  const auto topo = core::amc_by_name("AMC1");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::allocate_sorted(w, topo));
+  }
+}
+BENCHMARK(BM_Algorithm1)->Arg(128)->Arg(4096);
+
+void BM_ClusterRebuild(benchmark::State& state) {
+  std::vector<core::TaskClassInfo> classes;
+  for (core::TaskClassId i = 0; i < 32; ++i) {
+    core::TaskClassInfo c;
+    c.id = i;
+    c.name = "c" + std::to_string(i);
+    c.completed = 100;
+    c.mean_workload = 1.0 + static_cast<double>(i);
+    classes.push_back(std::move(c));
+  }
+  const auto topo = core::amc_by_name("AMC1");
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(core::ClusterMap::build(classes, topo));
+  }
+}
+BENCHMARK(BM_ClusterRebuild);
+
+void BM_RuntimeSpawnExecute(benchmark::State& state) {
+  // End-to-end task overhead of the real runtime: spawn + schedule +
+  // execute an (almost) empty task, batched to amortize wait_all.
+  runtime::RuntimeConfig cfg;
+  cfg.topology = core::AmcTopology("bench", {{2.0, 2}});
+  cfg.emulate_speeds = false;
+  runtime::TaskRuntime rt(cfg);
+  const auto cls = rt.register_class("noop");
+  constexpr int kBatch = 256;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      rt.spawn(cls, [] {});
+    }
+    rt.wait_all();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kBatch);
+}
+BENCHMARK(BM_RuntimeSpawnExecute);
+
+void BM_SimulatorGaRun(benchmark::State& state) {
+  const auto& ga = workloads::benchmark_by_name("GA");
+  const auto topo = core::amc_by_name("AMC5");
+  for (auto _ : state) {
+    sim::ExperimentConfig cfg;
+    cfg.repeats = 1;
+    benchmark::DoNotOptimize(
+        sim::run_experiment(ga, topo, sim::SchedulerKind::kWats, cfg));
+  }
+  // 2048 tasks per run.
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          2048);
+}
+BENCHMARK(BM_SimulatorGaRun);
+
+}  // namespace

@@ -1,0 +1,63 @@
+// The paper's counterexample (§IV-E): recursive divide-and-conquer
+// programs like n-queens are unsuitable for WATS — nearly every task runs
+// the same function, so the history yields a single task class that
+// cannot be spread across c-groups. The paper's modified compiler detects
+// the pattern and falls back to plain random stealing; this runtime
+// detects it dynamically via the spawn-edge monitor.
+//
+// The example solves n-queens with recursively spawned tasks and shows
+// the divide-and-conquer fallback engaging.
+#include <atomic>
+#include <cstdio>
+#include <functional>
+
+#include "wats.hpp"
+#include "workloads/nqueens.hpp"
+
+using namespace wats;
+
+int main() {
+  constexpr unsigned kN = 10;  // 724 solutions
+
+  runtime::RuntimeConfig config;
+  config.topology = core::AmcTopology("amc", {{2.5, 1}, {0.8, 3}});
+  config.policy = runtime::Policy::kWats;
+  config.dnc_min_spawns = 32;
+  runtime::TaskRuntime rt(config);
+
+  const auto search = rt.register_class("nqueens_subtree");
+  std::atomic<std::uint64_t> solutions{0};
+
+  // Recursive task decomposition: every subtree task spawns one child
+  // task per valid next-row placement until a depth limit, then solves
+  // the rest sequentially. All tasks share one class — the pattern the
+  // detector is after.
+  std::function<void(workloads::QueensPrefix)> spawn_subtree =
+      [&](workloads::QueensPrefix prefix) {
+        if (prefix.rows.size() >= 3) {
+          solutions.fetch_add(workloads::nqueens_count_from(kN, prefix));
+          return;
+        }
+        for (unsigned col = 0; col < kN; ++col) {
+          workloads::QueensPrefix child = prefix;
+          child.rows.push_back(col);
+          // Invalid placements contribute zero solutions; spawning them
+          // anyway keeps the decomposition simple (they return instantly).
+          rt.spawn(search, [&spawn_subtree, child] { spawn_subtree(child); });
+        }
+      };
+
+  rt.spawn(search, [&spawn_subtree] { spawn_subtree({}); });
+  rt.wait_all();
+
+  const auto stats = rt.stats();
+  std::printf("n-queens(%u): %llu solutions (expected %llu)\n", kN,
+              static_cast<unsigned long long>(solutions.load()),
+              static_cast<unsigned long long>(workloads::nqueens_count(kN)));
+  std::printf("tasks spawned: %llu, divide-and-conquer fallback: %s\n",
+              static_cast<unsigned long long>(stats.tasks_executed),
+              stats.dnc_fallback_active ? "ACTIVE (plain stealing)" : "off");
+  std::printf("(the paper: \"recursive divide-and-conquer programs such as "
+              "nqueens are not suitable for WATS\" — detected at runtime)\n");
+  return solutions.load() == workloads::nqueens_count(kN) ? 0 : 1;
+}

@@ -1,0 +1,92 @@
+// Command-line front end for the virtual-time simulator: run any Table III
+// benchmark on any Table II machine under any scheduler.
+//
+//   ./simulate_machine [benchmark] [machine] [scheduler] [seed] [--gantt]
+//   ./simulate_machine SHA-1 AMC5 WATS 42
+//
+// Prints the makespan, utilization and scheduler statistics — handy for
+// exploring configurations beyond the paper's figures. With --gantt the
+// run is re-executed with the trace recorder attached and a text Gantt
+// chart of all cores is printed.
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+
+#include "sim/experiment.hpp"
+#include "workloads/scenarios.hpp"
+#include "sim/trace.hpp"
+#include "sim/workload_adapter.hpp"
+
+using namespace wats;
+
+namespace {
+
+sim::SchedulerKind parse_scheduler(const std::string& s) {
+  if (s == "Cilk") return sim::SchedulerKind::kCilk;
+  if (s == "PFT") return sim::SchedulerKind::kPft;
+  if (s == "RTS") return sim::SchedulerKind::kRts;
+  if (s == "WATS") return sim::SchedulerKind::kWats;
+  if (s == "WATS-NP") return sim::SchedulerKind::kWatsNp;
+  if (s == "WATS-TS") return sim::SchedulerKind::kWatsTs;
+  std::fprintf(stderr,
+               "unknown scheduler '%s' (Cilk|PFT|RTS|WATS|WATS-NP|WATS-TS)\n",
+               s.c_str());
+  std::exit(2);
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const std::string bench = argc > 1 ? argv[1] : "GA";
+  const std::string machine = argc > 2 ? argv[2] : "AMC5";
+  const std::string sched = argc > 3 ? argv[3] : "WATS";
+  const std::uint64_t seed =
+      argc > 4 ? std::strtoull(argv[4], nullptr, 10) : 42;
+
+  const auto& spec = workloads::spec_by_name(bench);
+  const auto topo = core::amc_by_name_or_spec(machine);
+  const auto kind = parse_scheduler(sched);
+
+  sim::ExperimentConfig cfg;
+  cfg.repeats = 1;
+  cfg.base_seed = seed;
+  const auto result = sim::run_experiment(spec, topo, kind, cfg);
+  const auto& run = result.runs[0];
+
+  std::printf("%s on %s under %s (seed %llu)\n", bench.c_str(),
+              topo.describe().c_str(), sched.c_str(),
+              static_cast<unsigned long long>(seed));
+  std::printf("  makespan:     %.1f virtual time units\n", run.makespan);
+  std::printf("  tasks:        %llu (total work %.0f units)\n",
+              static_cast<unsigned long long>(run.tasks_completed),
+              run.total_work);
+  std::printf("  utilization:  %.1f%%\n", run.utilization(topo) * 100.0);
+  std::printf("  steals:       %llu\n",
+              static_cast<unsigned long long>(run.steals));
+  std::printf("  snatches:     %llu\n",
+              static_cast<unsigned long long>(run.snatches));
+  std::printf("  per-core busy time:\n");
+  for (core::CoreIndex c = 0; c < run.busy_time.size(); ++c) {
+    std::printf("    core %-2zu (%.1f GHz): busy %8.1f (%.0f%%)\n", c,
+                topo.group(topo.group_of_core(c)).frequency_ghz,
+                run.busy_time[c], 100.0 * run.busy_time[c] / run.makespan);
+  }
+
+  const bool want_gantt = argc > 5 && std::string(argv[5]) == "--gantt";
+  if (want_gantt) {
+    // Re-run with the trace recorder attached (same seed => same run).
+    core::TaskClassRegistry registry;
+    auto scheduler = sim::make_scheduler(kind, registry);
+    auto workload = sim::make_workload(spec, registry, seed ^ 0x9E3779B9u);
+    sim::SimConfig sc;
+    sc.seed = seed;
+    sim::Engine engine(topo, sc, *scheduler, *workload);
+    sim::TraceRecorder trace;
+    engine.set_trace(&trace);
+    scheduler->bind(engine);
+    const auto stats = engine.run();
+    std::printf("\nGantt ('#' busy, '.' idle, '!' preempted):\n%s",
+                trace.render_gantt(topo, stats.makespan, 100).c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,11 @@
+set terminal pngcairo size 900,520
+set output 'Dedup.png'
+set title 'Execution time — Dedup'
+set style data histogram
+set style histogram clustered gap 1
+set style fill solid 0.85 border -1
+set boxwidth 0.9
+set ylabel 'virtual time units'
+set yrange [0:*]
+set key top right
+plot 'Dedup.dat' using 2:xtic(1) title 'Cilk', 'Dedup.dat' using 3:xtic(1) title 'PFT', 'Dedup.dat' using 4:xtic(1) title 'RTS', 'Dedup.dat' using 5:xtic(1) title 'WATS'

@@ -1,0 +1,97 @@
+#include "core/allocation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace wats::core {
+
+ContiguousPartition allocate_sorted(std::span<const double> sorted_workloads,
+                                    const AmcTopology& topo) {
+  WATS_CHECK_MSG(
+      std::is_sorted(sorted_workloads.begin(), sorted_workloads.end(),
+                     std::greater<>()),
+      "Algorithm 1 requires workloads sorted in descending order");
+
+  const std::size_t m = sorted_workloads.size();
+  const std::size_t k = topo.group_count();
+  const double tl = makespan_lower_bound(sorted_workloads, topo);
+
+  ContiguousPartition p;
+  p.boundaries.assign(k, m);
+
+  // Paper's Algorithm 1 (indices translated to 0-based): accumulate weight
+  // into group j; an item that pushes the group's finish time past TL ends
+  // the group. Algorithm 1's stated objective is to keep
+  // max_g |finish_g - TL| as small as possible, so at each boundary the
+  // overflowing item is placed on whichever side leaves group j's finish
+  // time closer to TL (the bare pseudo-code always pushes it to j+1, which
+  // strands the rounding error on the slowest group; see DESIGN.md).
+  double w = 0.0;
+  GroupIndex j = 0;
+  for (std::size_t i = 0; i < m && j + 1 < k; ++i) {
+    w += sorted_workloads[i];
+    const double budget = tl * topo.group_capacity(j);
+    if (w > budget) {
+      const double overshoot = w - budget;
+      const double undershoot = budget - (w - sorted_workloads[i]);
+      // Pushing the item down starts group j+1 at a finish time of at
+      // least w_i / cap_{j+1}; keeping it overshoots this group to
+      // w / cap_j. Keep whenever keeping is the smaller deviation or the
+      // push floor is already worse than the overshoot.
+      const double keep_finish = w / topo.group_capacity(j);
+      const double push_floor =
+          sorted_workloads[i] / topo.group_capacity(j + 1);
+      if (overshoot <= undershoot || push_floor > keep_finish) {
+        // Keep item i in group j; group j ends after it.
+        p.boundaries[j] = i + 1;
+        ++j;
+        w = 0.0;
+      } else {
+        p.boundaries[j] = i;  // group j ends before item i
+        ++j;
+        w = sorted_workloads[i];
+      }
+    }
+  }
+  // Groups j..k-1 all end at m (the last group absorbs the tail; if we ran
+  // out of items early the remaining boundaries stay at m => empty groups).
+  return p;
+}
+
+std::vector<GroupIndex> allocate(std::span<const double> workloads,
+                                 const AmcTopology& topo) {
+  const std::size_t m = workloads.size();
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return workloads[a] > workloads[b];
+  });
+  std::vector<double> sorted(m);
+  for (std::size_t i = 0; i < m; ++i) sorted[i] = workloads[order[i]];
+
+  const ContiguousPartition p = allocate_sorted(sorted, topo);
+
+  std::vector<GroupIndex> assignment(m, 0);
+  for (GroupIndex g = 0; g < topo.group_count(); ++g) {
+    for (std::size_t i = p.group_begin(g); i < p.group_end(g); ++i) {
+      assignment[order[i]] = g;
+    }
+  }
+  return assignment;
+}
+
+AllocationQuality evaluate_allocation(std::span<const double> sorted_workloads,
+                                      const AmcTopology& topo) {
+  AllocationQuality q;
+  const ContiguousPartition p = allocate_sorted(sorted_workloads, topo);
+  q.lower_bound = makespan_lower_bound(sorted_workloads, topo);
+  q.group_finish = group_finish_times(sorted_workloads, p, topo);
+  q.makespan = *std::max_element(q.group_finish.begin(), q.group_finish.end());
+  q.ratio = q.lower_bound == 0.0 ? 1.0 : q.makespan / q.lower_bound;
+  return q;
+}
+
+}  // namespace wats::core

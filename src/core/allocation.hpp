@@ -1,0 +1,42 @@
+// Algorithm 1 of the paper: the static near-optimal allocation of weighted
+// items (tasks, or task classes weighted by total class workload) across the
+// k c-groups of an AMC machine.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/lower_bound.hpp"
+#include "core/topology.hpp"
+
+namespace wats::core {
+
+/// Run Algorithm 1 on workloads that are ALREADY sorted in descending
+/// order (the paper's precondition). Returns the boundary indices
+/// p1..p(k-1) plus the implicit pk = m, as a ContiguousPartition.
+///
+/// Faithful to the paper's pseudo-code: walk the sorted items accumulating
+/// weight w; when w exceeds TL * Fj * Nj the current item is pushed into
+/// the next group. Any remaining items land in the last group, and if the
+/// items run out early the trailing groups are empty.
+ContiguousPartition allocate_sorted(std::span<const double> sorted_workloads,
+                                    const AmcTopology& topo);
+
+/// Convenience wrapper: sorts (descending) a copy of the workloads, runs
+/// Algorithm 1, and returns a per-item group assignment in the ORIGINAL
+/// item order.
+std::vector<GroupIndex> allocate(std::span<const double> workloads,
+                                 const AmcTopology& topo);
+
+/// Quality report for benchmarking Algorithm 1 against the bound.
+struct AllocationQuality {
+  double lower_bound = 0.0;   ///< TL of Lemma 1.
+  double makespan = 0.0;      ///< achieved by Algorithm 1's partition.
+  double ratio = 1.0;         ///< makespan / TL (>= 1; 1 == optimal).
+  std::vector<double> group_finish;  ///< per-group finish times.
+};
+
+AllocationQuality evaluate_allocation(std::span<const double> sorted_workloads,
+                                      const AmcTopology& topo);
+
+}  // namespace wats::core

@@ -1,0 +1,106 @@
+#include "core/alt_allocation.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/lower_bound.hpp"
+#include "util/check.hpp"
+
+namespace wats::core {
+
+namespace {
+
+std::vector<std::size_t> descending_order(std::span<const double> w) {
+  std::vector<std::size_t> order(w.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) { return w[a] > w[b]; });
+  return order;
+}
+
+void finalize(AltAllocation& out, const AmcTopology& topo) {
+  out.makespan = 0.0;
+  for (GroupIndex g = 0; g < topo.group_count(); ++g) {
+    out.makespan = std::max(out.makespan, out.group_finish[g]);
+  }
+}
+
+}  // namespace
+
+AltAllocation allocate_lpt(std::span<const double> workloads,
+                           const AmcTopology& topo) {
+  AltAllocation out;
+  out.group_of_item.assign(workloads.size(), 0);
+  out.group_finish.assign(topo.group_count(), 0.0);
+
+  for (std::size_t idx : descending_order(workloads)) {
+    WATS_CHECK(workloads[idx] >= 0.0);
+    GroupIndex best = 0;
+    double best_finish = 0.0;
+    for (GroupIndex g = 0; g < topo.group_count(); ++g) {
+      const double finish =
+          out.group_finish[g] + workloads[idx] / topo.group_capacity(g);
+      if (g == 0 || finish < best_finish) {
+        best = g;
+        best_finish = finish;
+      }
+    }
+    out.group_of_item[idx] = best;
+    out.group_finish[best] = best_finish;
+  }
+  finalize(out, topo);
+  return out;
+}
+
+AltAllocation allocate_dual_approx(std::span<const double> workloads,
+                                   const AmcTopology& topo, int iterations) {
+  // Feasibility oracle: FFD into budgets T * cap_g (fastest group first,
+  // i.e. largest budget first). Returns the assignment when it fits.
+  auto try_pack = [&](double t,
+                      std::vector<GroupIndex>* assignment) -> bool {
+    std::vector<double> used(topo.group_count(), 0.0);
+    for (std::size_t idx : descending_order(workloads)) {
+      bool placed = false;
+      for (GroupIndex g = 0; g < topo.group_count(); ++g) {
+        if (used[g] + workloads[idx] <= t * topo.group_capacity(g)) {
+          used[g] += workloads[idx];
+          if (assignment != nullptr) (*assignment)[idx] = g;
+          placed = true;
+          break;
+        }
+      }
+      if (!placed) return false;
+    }
+    return true;
+  };
+
+  // Search interval: [TL, makespan of LPT] — LPT is always feasible.
+  const AltAllocation lpt = allocate_lpt(workloads, topo);
+  double lo = makespan_lower_bound(workloads, topo);
+  double hi = std::max(lpt.makespan, lo);
+
+  AltAllocation out;
+  out.group_of_item.assign(workloads.size(), 0);
+  std::vector<GroupIndex> best = lpt.group_of_item;
+  for (int i = 0; i < iterations; ++i) {
+    const double mid = 0.5 * (lo + hi);
+    std::vector<GroupIndex> candidate(workloads.size(), 0);
+    if (try_pack(mid, &candidate)) {
+      best = std::move(candidate);
+      hi = mid;
+    } else {
+      lo = mid;
+    }
+  }
+
+  out.group_of_item = std::move(best);
+  out.group_finish.assign(topo.group_count(), 0.0);
+  for (std::size_t i = 0; i < workloads.size(); ++i) {
+    out.group_finish[out.group_of_item[i]] +=
+        workloads[i] / topo.group_capacity(out.group_of_item[i]);
+  }
+  finalize(out, topo);
+  return out;
+}
+
+}  // namespace wats::core

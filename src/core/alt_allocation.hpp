@@ -1,0 +1,49 @@
+// Alternative static allocators, for comparison with Algorithm 1.
+//
+// §II-C of the paper notes that when workloads are fully repeatable,
+// "some other task allocating algorithms [13], [14] can provide a near
+// optimal scheduling" — [14] being Hochbaum & Shmoys' dual approximation
+// for uniform machines. This module implements two such baselines at the
+// same granularity Algorithm 1 works at (items assigned to c-groups,
+// each group modeled as one machine of rate Fi*Ni):
+//
+//  * LPT list scheduling: longest item to the group with the earliest
+//    projected finish (classic 2 - 1/m style guarantee on uniform
+//    machines at this abstraction).
+//  * Dual approximation: binary search on the target makespan T, with a
+//    first-fit-decreasing feasibility check packing items into per-group
+//    budgets T * cap_g.
+//
+// Unlike Algorithm 1, neither is constrained to CONTIGUOUS prefixes of
+// the sorted item list, so both can beat it on adversarial inputs;
+// bench_allocation_quality quantifies by how much. WATS still uses
+// Algorithm 1 (the paper's choice, and the only one cheap enough to
+// re-run on every completion), with preference stealing absorbing the
+// difference at runtime.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/topology.hpp"
+
+namespace wats::core {
+
+/// Per-item group assignment (parallel to the input span).
+struct AltAllocation {
+  std::vector<GroupIndex> group_of_item;
+  std::vector<double> group_finish;  ///< projected finish time per group
+  double makespan = 0.0;
+};
+
+/// LPT list scheduling over groups-as-machines. Input need not be sorted.
+AltAllocation allocate_lpt(std::span<const double> workloads,
+                           const AmcTopology& topo);
+
+/// Hochbaum–Shmoys style dual approximation: binary search on T with an
+/// FFD packing oracle; `iterations` halvings of the search interval.
+AltAllocation allocate_dual_approx(std::span<const double> workloads,
+                                   const AmcTopology& topo,
+                                   int iterations = 40);
+
+}  // namespace wats::core

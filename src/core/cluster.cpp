@@ -1,0 +1,97 @@
+#include "core/cluster.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "core/allocation.hpp"
+#include "core/alt_allocation.hpp"
+#include "util/check.hpp"
+
+namespace wats::core {
+
+ClusterMap::ClusterMap(std::size_t class_count, std::size_t group_count)
+    : assignment_(class_count, 0), group_count_(group_count) {
+  WATS_CHECK(group_count > 0);
+}
+
+GroupIndex ClusterMap::cluster_of(TaskClassId id) const {
+  if (id == kNoTaskClass || id >= assignment_.size()) return 0;
+  return assignment_[id];
+}
+
+ClusterMap ClusterMap::build(const std::vector<TaskClassInfo>& classes,
+                             const AmcTopology& topo,
+                             ClusterAlgorithm algorithm) {
+  ClusterMap map(classes.size(), topo.group_count());
+
+  // Only classes with history participate in the partition; the rest stay
+  // in cluster 0 (the constructor's default).
+  std::vector<std::size_t> with_history;
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    if (classes[i].completed > 0) with_history.push_back(i);
+  }
+  if (with_history.empty() || topo.group_count() == 1) return map;
+
+  // §III-A: sort task classes in descending order of mean workload w ...
+  std::stable_sort(with_history.begin(), with_history.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return classes[a].mean_workload >
+                            classes[b].mean_workload;
+                   });
+
+  // ... then use the overall workload n*w as the weight for Algorithm 1.
+  std::vector<double> weights;
+  weights.reserve(with_history.size());
+  for (std::size_t idx : with_history) {
+    weights.push_back(classes[idx].total_workload());
+  }
+
+  if (algorithm == ClusterAlgorithm::kDualApprox) {
+    const auto alt = allocate_dual_approx(weights, topo);
+    for (std::size_t i = 0; i < with_history.size(); ++i) {
+      map.assignment_[with_history[i]] = alt.group_of_item[i];
+    }
+    return map;
+  }
+
+  // Algorithm 1 requires weights sorted descending; classes sorted by mean
+  // workload are not necessarily sorted by total workload, so we run the
+  // boundary walk directly on the w-sorted order (this is what the paper
+  // specifies: split the *w-sorted class list* by accumulated n*w).
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  const double tl = total / topo.total_capacity();
+
+  // Boundary rounding as in core/allocation.cpp: the class at a group
+  // boundary goes to whichever side keeps the group's finish time closer
+  // to TL (Algorithm 1's stated objective).
+  double acc = 0.0;
+  GroupIndex g = 0;
+  for (std::size_t i = 0; i < with_history.size(); ++i) {
+    acc += weights[i];
+    GroupIndex assign_to = g;
+    if (g + 1 < topo.group_count()) {
+      const double budget = tl * topo.group_capacity(g);
+      if (acc > budget) {
+        const double overshoot = acc - budget;
+        const double undershoot = budget - (acc - weights[i]);
+        // Same boundary rule as core/allocation.cpp: keep unless pushing
+        // yields a strictly better worst finish time.
+        const double keep_finish = acc / topo.group_capacity(g);
+        const double push_floor = weights[i] / topo.group_capacity(g + 1);
+        if (overshoot <= undershoot || push_floor > keep_finish) {
+          assign_to = g;  // keep the boundary class in this group
+          ++g;
+          acc = 0.0;
+        } else {
+          ++g;
+          assign_to = g;
+          acc = weights[i];
+        }
+      }
+    }
+    map.assignment_[with_history[i]] = assign_to;
+  }
+  return map;
+}
+
+}  // namespace wats::core

@@ -1,0 +1,61 @@
+// Task clusters: the mapping from task classes to c-groups (§III-A).
+//
+// The history-based allocation sorts task classes by descending mean
+// workload w, weights each class by its total workload n*w, and runs
+// Algorithm 1 to split the class list across the k c-groups. The resulting
+// class -> cluster map decides where every newly spawned task is enqueued.
+#pragma once
+
+#include <vector>
+
+#include "core/task_class.hpp"
+#include "core/topology.hpp"
+
+namespace wats::core {
+
+/// Which static allocator partitions the classes across c-groups.
+enum class ClusterAlgorithm {
+  /// The paper's Algorithm 1 (greedy contiguous split of the w-sorted
+  /// class list). Cheap enough to re-run on every completion.
+  kAlgorithm1,
+  /// Hochbaum–Shmoys-style dual approximation over the class weights
+  /// (non-contiguous; §II-C's cited alternative [14]). More precise on
+  /// coarse class sets, costlier to rebuild.
+  kDualApprox,
+};
+
+/// Immutable class->cluster mapping produced by one run of the clustering
+/// step. Cluster indices coincide with c-group indices (the paper's
+/// one-to-one mapping between task clusters and c-groups).
+class ClusterMap {
+ public:
+  /// A map for `class_count` classes over `group_count` clusters; every
+  /// class starts in cluster 0 (the fastest) which is also the paper's
+  /// rule for classes with no history.
+  ClusterMap(std::size_t class_count, std::size_t group_count);
+
+  /// Cluster of a class; classes interned after this map was built (id out
+  /// of range) and kNoTaskClass go to cluster 0, per §III-A ("if there is
+  /// no task class for f, gamma is allocated to the fastest c-group C1").
+  GroupIndex cluster_of(TaskClassId id) const;
+
+  std::size_t cluster_count() const { return group_count_; }
+  std::size_t class_count() const { return assignment_.size(); }
+
+  /// Raw assignment vector (testing / introspection).
+  const std::vector<GroupIndex>& assignment() const { return assignment_; }
+
+  /// Build the map from a registry snapshot, faithfully following §III-A:
+  /// sort classes by descending mean workload, weight by n*w, then split
+  /// with the chosen allocator. Classes with no completions yet are
+  /// pinned to cluster 0.
+  static ClusterMap build(
+      const std::vector<TaskClassInfo>& classes, const AmcTopology& topo,
+      ClusterAlgorithm algorithm = ClusterAlgorithm::kAlgorithm1);
+
+ private:
+  std::vector<GroupIndex> assignment_;
+  std::size_t group_count_;
+};
+
+}  // namespace wats::core

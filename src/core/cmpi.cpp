@@ -1,0 +1,77 @@
+#include "core/cmpi.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+
+namespace wats::core {
+
+CachePenalties CachePenalties::opteron_like() {
+  // L1 miss ~ 12 cycles (L2 hit), L2 miss ~ 40 cycles (L3 hit),
+  // L3 miss ~ 200 cycles (DRAM).
+  return CachePenalties{{12.0, 40.0, 200.0}};
+}
+
+double cmpi(const CacheStats& stats, const CachePenalties& penalties) {
+  WATS_CHECK(stats.instructions > 0);
+  WATS_CHECK(!penalties.penalty_cycles.empty());
+  WATS_CHECK_MSG(stats.misses.size() <= penalties.penalty_cycles.size(),
+                 "more cache levels than penalties");
+  const double p1 = penalties.penalty_cycles.front();
+  double m = 0.0;
+  for (std::size_t i = 0; i < stats.misses.size(); ++i) {
+    m += static_cast<double>(stats.misses[i]) *
+         (penalties.penalty_cycles[i] / p1);
+  }
+  return m / static_cast<double>(stats.instructions);
+}
+
+Boundedness classify(const CacheStats& stats, const CachePenalties& penalties,
+                     double threshold) {
+  return cmpi(stats, penalties) > threshold ? Boundedness::kMemoryBound
+                                            : Boundedness::kCpuBound;
+}
+
+double frequency_scalable_fraction(double cmpi_value, double cmpi_saturation) {
+  WATS_CHECK(cmpi_saturation > 0.0);
+  // At CMPI 0 the task is pure compute (fraction 1); the compute share
+  // decays towards 0 as CMPI approaches the saturation point where memory
+  // stalls dominate completely.
+  const double x = std::clamp(cmpi_value / cmpi_saturation, 0.0, 1.0);
+  return 1.0 - x;
+}
+
+double EnergyModel::time_at(double t_f1, double f1, double f,
+                            double scalable) const {
+  WATS_CHECK(f > 0.0 && f1 > 0.0);
+  WATS_CHECK(scalable >= 0.0 && scalable <= 1.0);
+  return t_f1 * (scalable * f1 / f + (1.0 - scalable));
+}
+
+double EnergyModel::energy_at(double t_f1, double f1, double f,
+                              double scalable) const {
+  const double t = time_at(t_f1, f1, f, scalable);
+  const double dynamic_power = capacitance * f * f * f;
+  return (dynamic_power + static_power) * t;
+}
+
+double EnergyModel::best_frequency(double t_f1, double f1,
+                                   std::span<const double> candidates,
+                                   double scalable,
+                                   double max_slowdown) const {
+  double best_f = f1;
+  double best_e = energy_at(t_f1, f1, f1, scalable);
+  for (double f : candidates) {
+    const double t = time_at(t_f1, f1, f, scalable);
+    if (t > max_slowdown * t_f1) continue;
+    const double e = energy_at(t_f1, f1, f, scalable);
+    if (e < best_e) {
+      best_e = e;
+      best_f = f;
+    }
+  }
+  return best_f;
+}
+
+}  // namespace wats::core

@@ -1,0 +1,70 @@
+// §IV-E extensions: CMPI-based CPU/memory-bound classification and the
+// DVFS energy/performance model built on it.
+//
+// The paper sketches: with k cache levels, miss counts n_i and miss
+// penalties p_i, the normalized miss count is M = sum(n_i * p_i / p_1) and
+// CMPI = M / N for N instructions. Tasks above a CMPI threshold are
+// memory-bound: they gain nothing from fast cores, so WATS can pin them to
+// slow cores (or scale the core's frequency down via DVFS to save power
+// with little slowdown).
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wats::core {
+
+/// Per-task cache statistics as collected from (simulated) performance
+/// counters.
+struct CacheStats {
+  std::vector<std::uint64_t> misses;  ///< n_i per cache level, L1 first.
+  std::uint64_t instructions = 0;     ///< N.
+};
+
+/// Miss penalties p_i per cache level (same length as CacheStats::misses).
+struct CachePenalties {
+  std::vector<double> penalty_cycles;
+
+  /// Default three-level hierarchy loosely modelled on the paper's Opteron
+  /// 8380 testbed (L1/L2/L3 miss penalties in cycles).
+  static CachePenalties opteron_like();
+};
+
+/// CMPI = M / N with M = sum(n_i * p_i / p_1).
+double cmpi(const CacheStats& stats, const CachePenalties& penalties);
+
+enum class Boundedness { kCpuBound, kMemoryBound };
+
+/// Classify a task by CMPI threshold.
+Boundedness classify(const CacheStats& stats, const CachePenalties& penalties,
+                     double threshold);
+
+/// Fraction of a task's execution time that scales with core frequency.
+/// A memory-bound task's stall time is frequency-invariant; this model
+/// splits time into compute (scales as 1/f) and stall (constant) parts,
+/// with the stall share derived from CMPI.
+double frequency_scalable_fraction(double cmpi_value, double cmpi_saturation);
+
+/// Simple DVFS energy model: dynamic power ~ C * f^3 (voltage tracks
+/// frequency), static power constant. Times in seconds, frequency in GHz.
+struct EnergyModel {
+  double capacitance = 1.0;     ///< scales dynamic power.
+  double static_power = 0.5;    ///< watts burned regardless of f.
+
+  /// Execution time of a task with base time `t_f1` (measured at f1) when
+  /// run at frequency f, given the frequency-scalable fraction `s`:
+  ///   t(f) = t_f1 * (s * f1 / f + (1 - s)).
+  double time_at(double t_f1, double f1, double f, double scalable) const;
+
+  /// Energy = (C * f^3 + P_static) * t(f).
+  double energy_at(double t_f1, double f1, double f, double scalable) const;
+
+  /// Frequency in `candidates` minimizing energy subject to a slowdown cap
+  /// time(f) <= max_slowdown * t_f1. Returns f1 if none qualifies.
+  double best_frequency(double t_f1, double f1,
+                        std::span<const double> candidates, double scalable,
+                        double max_slowdown) const;
+};
+
+}  // namespace wats::core

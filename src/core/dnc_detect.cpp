@@ -1,0 +1,31 @@
+#include "core/dnc_detect.hpp"
+
+namespace wats::core {
+
+void DncDetector::record_spawn(TaskClassId parent, TaskClassId child) {
+  if (parent == kNoTaskClass) return;
+  std::lock_guard lock(mu_);
+  ++spawns_;
+  if (parent == child) {
+    ++self_spawns_;
+    self_recursive_.insert(parent);
+  }
+}
+
+bool DncDetector::is_self_recursive(TaskClassId cls) const {
+  std::lock_guard lock(mu_);
+  return self_recursive_.contains(cls);
+}
+
+double DncDetector::self_recursive_fraction() const {
+  std::lock_guard lock(mu_);
+  if (spawns_ == 0) return 0.0;
+  return static_cast<double>(self_spawns_) / static_cast<double>(spawns_);
+}
+
+std::uint64_t DncDetector::observed_spawns() const {
+  std::lock_guard lock(mu_);
+  return spawns_;
+}
+
+}  // namespace wats::core

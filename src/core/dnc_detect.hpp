@@ -1,0 +1,43 @@
+// Divide-and-conquer detection (§IV-E limitation).
+//
+// WATS degrades when almost all tasks share one class (e.g. recursive
+// divide-and-conquer like nqueens): a few classes cannot be spread across
+// k c-groups. The paper detects this *at compile time* by checking whether
+// any function spawns tasks of its own class. Our runtime equivalent
+// observes spawn edges (parent class -> child class) and flags classes that
+// spawn themselves; schedulers consult this to fall back to plain random
+// stealing.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_set>
+
+#include "core/task_class.hpp"
+
+namespace wats::core {
+
+class DncDetector {
+ public:
+  /// Record that a task of class `parent` spawned a task of class `child`.
+  /// kNoTaskClass parents (the root) are ignored.
+  void record_spawn(TaskClassId parent, TaskClassId child);
+
+  /// True if this class has been seen spawning tasks of its own class.
+  bool is_self_recursive(TaskClassId cls) const;
+
+  /// Program-level verdict used by the scheduler fallback: the fraction of
+  /// observed spawns that were self-recursive. Above ~0.5 the program is
+  /// dominated by divide-and-conquer recursion.
+  double self_recursive_fraction() const;
+
+  std::uint64_t observed_spawns() const;
+
+ private:
+  mutable std::mutex mu_;
+  std::unordered_set<TaskClassId> self_recursive_;
+  std::uint64_t spawns_ = 0;
+  std::uint64_t self_spawns_ = 0;
+};
+
+}  // namespace wats::core

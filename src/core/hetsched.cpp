@@ -1,0 +1,69 @@
+#include "core/hetsched.hpp"
+
+#include <algorithm>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace wats::core {
+
+double effective_rate(const HetTaskClass& cls, const HetDevice& device) {
+  WATS_CHECK(cls.data_parallel_fraction >= 0.0 &&
+             cls.data_parallel_fraction <= 1.0);
+  WATS_CHECK(device.scalar_gops > 0.0 && device.simd_gops > 0.0);
+  // Amdahl split: dp of the work runs at SIMD rate, the rest at scalar
+  // rate; time per unit work = dp/simd + (1-dp)/scalar.
+  const double dp = cls.data_parallel_fraction;
+  const double compute_rate =
+      1.0 / (dp / device.simd_gops + (1.0 - dp) / device.scalar_gops);
+  if (cls.bytes_per_work <= 0.0) return compute_rate;
+  WATS_CHECK(device.mem_gbps > 0.0);
+  const double memory_rate = device.mem_gbps / cls.bytes_per_work;
+  return std::min(compute_rate, memory_rate);
+}
+
+HetAssignment schedule_heterogeneous(const std::vector<HetTaskClass>& classes,
+                                     const std::vector<HetDevice>& devices) {
+  WATS_CHECK(!devices.empty());
+  HetAssignment out;
+  out.device_of_class.assign(classes.size(), 0);
+  out.device_finish.assign(devices.size(), 0.0);
+  if (classes.empty()) return out;
+
+  std::vector<std::size_t> order(classes.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return classes[a].total_work > classes[b].total_work;
+                   });
+
+  for (std::size_t idx : order) {
+    const HetTaskClass& cls = classes[idx];
+    WATS_CHECK(cls.total_work >= 0.0);
+    std::size_t best = 0;
+    double best_finish = 0.0;
+    for (std::size_t d = 0; d < devices.size(); ++d) {
+      const double rate = effective_rate(cls, devices[d]);
+      const double finish = out.device_finish[d] + cls.total_work / rate;
+      if (d == 0 || finish < best_finish) {
+        best = d;
+        best_finish = finish;
+      }
+    }
+    out.device_of_class[idx] = best;
+    out.device_finish[best] = best_finish;
+  }
+  out.makespan =
+      *std::max_element(out.device_finish.begin(), out.device_finish.end());
+  return out;
+}
+
+std::vector<HetDevice> example_devices() {
+  return {
+      {"cpu-bigcore", 10.0, 40.0, 50.0},
+      {"gpu", 1.0, 400.0, 500.0},
+      {"dsp-stream", 2.0, 80.0, 200.0},
+  };
+}
+
+}  // namespace wats::core

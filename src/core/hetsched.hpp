@@ -1,0 +1,61 @@
+// Heterogeneous-accelerator scheduling — the paper's §VI future work:
+// "divide parallel tasks into task clusters according to their internal
+// features and the hardware features. The task clusters will be allocated
+// to the most suitable accelerators that can complete them in the
+// shortest time. For example, we can schedule memory-bound tasks to cores
+// with large and fast caches, but schedule data-parallel tasks to GPU or
+// streaming processors."
+//
+// Model: every device advertises scalar throughput, SIMD/stream
+// throughput and memory bandwidth; every task class carries the two
+// internal features the paper names (data-parallel fraction and memory
+// intensity). The effective rate of a class on a device is a
+// roofline-style minimum of its compute rate (Amdahl split between scalar
+// and SIMD work) and its achievable memory rate. Classes are then
+// list-scheduled greedily onto the devices, heaviest first, each to the
+// device minimizing its projected finish time.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wats::core {
+
+struct HetDevice {
+  std::string name;
+  double scalar_gops = 1.0;  ///< serial-code throughput
+  double simd_gops = 1.0;    ///< data-parallel throughput
+  double mem_gbps = 10.0;    ///< memory bandwidth
+};
+
+struct HetTaskClass {
+  std::string name;
+  double total_work = 1.0;           ///< normalized work units
+  double data_parallel_fraction = 0.0;  ///< in [0, 1]
+  /// Bytes of memory traffic per unit of work (memory intensity); high
+  /// values make the class bandwidth-bound on weak-memory devices.
+  double bytes_per_work = 0.0;
+};
+
+/// Effective execution rate (work units / time) of `cls` on `device`:
+/// min(compute roofline, bandwidth roofline).
+double effective_rate(const HetTaskClass& cls, const HetDevice& device);
+
+struct HetAssignment {
+  std::vector<std::size_t> device_of_class;  ///< index into devices
+  std::vector<double> device_finish;         ///< projected finish per device
+  double makespan = 0.0;
+};
+
+/// Greedy list scheduling on unrelated machines: classes in descending
+/// total-work order, each to the device with the earliest projected
+/// finish for it.
+HetAssignment schedule_heterogeneous(const std::vector<HetTaskClass>& classes,
+                                     const std::vector<HetDevice>& devices);
+
+/// Reference devices for examples/tests: a big out-of-order CPU, a GPU
+/// (huge SIMD + bandwidth, weak scalar), and a streaming DSP.
+std::vector<HetDevice> example_devices();
+
+}  // namespace wats::core

@@ -1,0 +1,79 @@
+#include "core/history_io.hpp"
+
+#include <charconv>
+#include <fstream>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace wats::core {
+
+std::string serialize_history(const TaskClassRegistry& registry) {
+  std::ostringstream out;
+  out.precision(17);
+  for (const auto& cls : registry.snapshot()) {
+    if (cls.completed == 0) continue;
+    WATS_CHECK_MSG(cls.name.find('\t') == std::string::npos &&
+                       cls.name.find('\n') == std::string::npos,
+                   "class names must not contain tabs or newlines");
+    out << cls.name << '\t' << cls.completed << '\t' << cls.mean_workload
+        << '\n';
+  }
+  return out.str();
+}
+
+std::size_t load_history(TaskClassRegistry& registry, std::string_view text) {
+  std::size_t loaded = 0;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string_view::npos) eol = text.size();
+    const std::string_view line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty()) continue;
+
+    const std::size_t t1 = line.find('\t');
+    WATS_CHECK_MSG(t1 != std::string_view::npos, "malformed history line");
+    const std::size_t t2 = line.find('\t', t1 + 1);
+    WATS_CHECK_MSG(t2 != std::string_view::npos, "malformed history line");
+
+    const std::string_view name = line.substr(0, t1);
+    const std::string_view n_str = line.substr(t1 + 1, t2 - t1 - 1);
+    const std::string_view w_str = line.substr(t2 + 1);
+
+    std::uint64_t n = 0;
+    const auto [p1, e1] =
+        std::from_chars(n_str.data(), n_str.data() + n_str.size(), n);
+    WATS_CHECK_MSG(e1 == std::errc() && p1 == n_str.data() + n_str.size(),
+                   "malformed completion count");
+    double w = 0.0;
+    const auto [p2, e2] =
+        std::from_chars(w_str.data(), w_str.data() + w_str.size(), w);
+    WATS_CHECK_MSG(e2 == std::errc() && p2 == w_str.data() + w_str.size(),
+                   "malformed workload value");
+
+    const TaskClassId id = registry.intern(name);
+    registry.restore(id, n, w);
+    ++loaded;
+  }
+  return loaded;
+}
+
+void save_history_file(const TaskClassRegistry& registry,
+                       const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  WATS_CHECK_MSG(out.good(), "cannot open history file for writing");
+  out << serialize_history(registry);
+  WATS_CHECK_MSG(out.good(), "history file write failed");
+}
+
+std::size_t load_history_file(TaskClassRegistry& registry,
+                              const std::string& path) {
+  std::ifstream in(path);
+  WATS_CHECK_MSG(in.good(), "cannot open history file for reading");
+  std::ostringstream buffer;
+  buffer << in.rdbuf();
+  return load_history(registry, buffer.str());
+}
+
+}  // namespace wats::core

@@ -1,0 +1,34 @@
+// Persistence for the task-class history (Algorithm 2 state).
+//
+// The paper's history lives and dies with one program execution; for
+// programs that run repeatedly on the same inputs, persisting the
+// per-class workload statistics lets the NEXT run start with a warm
+// allocation instead of routing every unknown class to the fastest
+// c-group. Text format, one class per line:
+//
+//   <name>\t<completed>\t<mean_workload>\n
+#pragma once
+
+#include <string>
+#include <string_view>
+
+#include "core/task_class.hpp"
+
+namespace wats::core {
+
+/// Serialize the registry's statistics (classes with history only).
+std::string serialize_history(const TaskClassRegistry& registry);
+
+/// Merge serialized history into a registry: classes are interned and
+/// their statistics restored (existing statistics for the same class are
+/// replaced). Returns the number of classes loaded. Aborts on malformed
+/// input (persistence files are trusted local state).
+std::size_t load_history(TaskClassRegistry& registry, std::string_view text);
+
+/// File convenience wrappers.
+void save_history_file(const TaskClassRegistry& registry,
+                       const std::string& path);
+std::size_t load_history_file(TaskClassRegistry& registry,
+                              const std::string& path);
+
+}  // namespace wats::core

@@ -1,0 +1,58 @@
+#include "core/lower_bound.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace wats::core {
+
+double makespan_lower_bound(std::span<const double> workloads,
+                            const AmcTopology& topo) {
+  const double total = std::accumulate(workloads.begin(), workloads.end(), 0.0);
+  return makespan_lower_bound(total, topo);
+}
+
+double makespan_lower_bound(double total_workload, const AmcTopology& topo) {
+  WATS_CHECK(total_workload >= 0.0);
+  return total_workload / topo.total_capacity();
+}
+
+std::vector<double> group_finish_times(std::span<const double> workloads,
+                                       const ContiguousPartition& p,
+                                       const AmcTopology& topo) {
+  WATS_CHECK(p.boundaries.size() == topo.group_count());
+  WATS_CHECK_MSG(p.boundaries.back() == workloads.size(),
+                 "partition must cover all tasks");
+  std::vector<double> finish(topo.group_count(), 0.0);
+  for (GroupIndex g = 0; g < topo.group_count(); ++g) {
+    WATS_CHECK(p.group_begin(g) <= p.group_end(g));
+    double sum = 0.0;
+    for (std::size_t j = p.group_begin(g); j < p.group_end(g); ++j) {
+      sum += workloads[j];
+    }
+    finish[g] = sum / topo.group_capacity(g);
+  }
+  return finish;
+}
+
+double partition_makespan(std::span<const double> workloads,
+                          const ContiguousPartition& p,
+                          const AmcTopology& topo) {
+  const auto finish = group_finish_times(workloads, p, topo);
+  return *std::max_element(finish.begin(), finish.end());
+}
+
+bool achieves_lower_bound(std::span<const double> workloads,
+                          const ContiguousPartition& p,
+                          const AmcTopology& topo, double rel_tol) {
+  const double tl = makespan_lower_bound(workloads, topo);
+  if (tl == 0.0) return true;  // no work: trivially optimal
+  for (double f : group_finish_times(workloads, p, topo)) {
+    if (std::abs(f - tl) > rel_tol * tl) return false;
+  }
+  return true;
+}
+
+}  // namespace wats::core

@@ -1,0 +1,57 @@
+// Lemma 1 / Theorem 1 of the paper: the makespan lower bound for m
+// independent tasks on k c-groups, and the exact-balance optimality check.
+#pragma once
+
+#include <span>
+#include <vector>
+
+#include "core/topology.hpp"
+
+namespace wats::core {
+
+/// Lemma 1: TL = (sum of workloads) / (sum of Fi * Ni).
+///
+/// Workloads are in F1-normalized units (Eq. 2), i.e. the time the task
+/// would take on a core of speed 1.0 * F1; frequencies in GHz. The returned
+/// bound carries the same time unit as workload / frequency.
+double makespan_lower_bound(std::span<const double> workloads,
+                            const AmcTopology& topo);
+
+/// Overload for pre-summed total workload.
+double makespan_lower_bound(double total_workload, const AmcTopology& topo);
+
+/// A contiguous partition of m (sorted) tasks into k groups, expressed as
+/// the paper's boundary indices: group i (0-based) receives tasks
+/// [boundary[i-1], boundary[i]) with boundary[-1] defined as 0 and
+/// boundary[k-1] == m.
+struct ContiguousPartition {
+  std::vector<std::size_t> boundaries;  // size k, last element == m
+
+  std::size_t group_begin(GroupIndex g) const {
+    return g == 0 ? 0 : boundaries[g - 1];
+  }
+  std::size_t group_end(GroupIndex g) const { return boundaries[g]; }
+};
+
+/// Per-group completion time of a contiguous partition: sum of group
+/// workloads divided by group capacity Fi*Ni. (Theorem 1 phrases optimality
+/// as all of these being equal to TL.)
+std::vector<double> group_finish_times(std::span<const double> workloads,
+                                       const ContiguousPartition& p,
+                                       const AmcTopology& topo);
+
+/// Makespan of a contiguous partition = max over groups of finish time.
+/// This models the paper's assumption that random stealing schedules
+/// near-optimally *within* a symmetric c-group.
+double partition_makespan(std::span<const double> workloads,
+                          const ContiguousPartition& p,
+                          const AmcTopology& topo);
+
+/// Theorem 1 check: does the partition achieve the lower bound exactly
+/// (within a relative tolerance)? Returns true iff every group finish time
+/// equals TL.
+bool achieves_lower_bound(std::span<const double> workloads,
+                          const ContiguousPartition& p,
+                          const AmcTopology& topo, double rel_tol = 1e-9);
+
+}  // namespace wats::core

@@ -1,0 +1,30 @@
+#include "core/preference.hpp"
+
+#include "util/check.hpp"
+
+namespace wats::core {
+
+std::vector<GroupIndex> preference_list(GroupIndex own,
+                                        std::size_t group_count) {
+  WATS_CHECK(group_count > 0);
+  WATS_CHECK(own < group_count);
+  std::vector<GroupIndex> order;
+  order.reserve(group_count);
+  // Own cluster, then all slower clusters in order (rob the weaker first)...
+  for (GroupIndex g = own; g < group_count; ++g) order.push_back(g);
+  // ...then faster clusters, nearest speed first: Ci-1, Ci-2, ..., C1.
+  for (GroupIndex g = own; g > 0; --g) order.push_back(g - 1);
+  return order;
+}
+
+std::vector<std::vector<GroupIndex>> all_preference_lists(
+    std::size_t group_count) {
+  std::vector<std::vector<GroupIndex>> lists;
+  lists.reserve(group_count);
+  for (GroupIndex g = 0; g < group_count; ++g) {
+    lists.push_back(preference_list(g, group_count));
+  }
+  return lists;
+}
+
+}  // namespace wats::core

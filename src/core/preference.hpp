@@ -1,0 +1,25 @@
+// Preference lists for preference-based task stealing (§III-B, Fig. 4,
+// Table I).
+//
+// A core in c-group Ci scans task clusters in the order
+//   {Ci, Ci+1, ..., Ck, Ci-1, Ci-2, ..., C1}
+// — its own cluster first, then slower clusters ("rob the weaker first"),
+// then faster clusters in decreasing speed distance.
+#pragma once
+
+#include <vector>
+
+#include "core/topology.hpp"
+
+namespace wats::core {
+
+/// Build the preference list for a core in group `own` of a machine with
+/// `group_count` c-groups (0-based group indices; group 0 is fastest).
+std::vector<GroupIndex> preference_list(GroupIndex own,
+                                        std::size_t group_count);
+
+/// All k preference lists, indexed by the core's own group.
+std::vector<std::vector<GroupIndex>> all_preference_lists(
+    std::size_t group_count);
+
+}  // namespace wats::core

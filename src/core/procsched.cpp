@@ -1,0 +1,93 @@
+#include "core/procsched.hpp"
+
+#include <algorithm>
+
+#include "core/allocation.hpp"
+#include "util/check.hpp"
+
+namespace wats::core {
+
+ProcessScheduler::ProcessScheduler(AmcTopology topo) : topo_(std::move(topo)) {}
+
+ProcessId ProcessScheduler::submit(double estimated_work) {
+  WATS_CHECK(estimated_work > 0.0);
+  const ProcessId id = next_id_++;
+  processes_.emplace(id, ProcessInfo{id, estimated_work, 0});
+  rebalance();
+  return id;
+}
+
+GroupIndex ProcessScheduler::group_of(ProcessId id) const {
+  const auto it = processes_.find(id);
+  WATS_CHECK_MSG(it != processes_.end(), "unknown or completed process");
+  return it->second.group;
+}
+
+void ProcessScheduler::update_estimate(ProcessId id, double remaining_work) {
+  WATS_CHECK(remaining_work >= 0.0);
+  const auto it = processes_.find(id);
+  WATS_CHECK_MSG(it != processes_.end(), "unknown or completed process");
+  it->second.remaining_work = remaining_work;
+  rebalance();
+}
+
+void ProcessScheduler::complete(ProcessId id) {
+  const auto erased = processes_.erase(id);
+  WATS_CHECK_MSG(erased == 1, "unknown or completed process");
+  rebalance();
+}
+
+void ProcessScheduler::rebalance() {
+  if (processes_.empty()) return;
+  // Algorithm 1 over the live processes, sorted by descending remaining
+  // work — exactly the task-class partition with one "class" per process.
+  std::vector<ProcessInfo*> live;
+  live.reserve(processes_.size());
+  for (auto& [id, p] : processes_) live.push_back(&p);
+  std::sort(live.begin(), live.end(), [](const ProcessInfo* a,
+                                         const ProcessInfo* b) {
+    if (a->remaining_work != b->remaining_work) {
+      return a->remaining_work > b->remaining_work;
+    }
+    return a->id < b->id;  // deterministic tie-break
+  });
+  std::vector<double> weights;
+  weights.reserve(live.size());
+  for (const auto* p : live) weights.push_back(p->remaining_work);
+
+  const ContiguousPartition split = allocate_sorted(weights, topo_);
+  for (GroupIndex g = 0; g < topo_.group_count(); ++g) {
+    for (std::size_t i = split.group_begin(g); i < split.group_end(g); ++i) {
+      live[i]->group = g;
+    }
+  }
+}
+
+std::vector<ProcessInfo> ProcessScheduler::snapshot() const {
+  std::vector<ProcessInfo> out;
+  out.reserve(processes_.size());
+  for (const auto& [id, p] : processes_) out.push_back(p);
+  std::sort(out.begin(), out.end(),
+            [](const ProcessInfo& a, const ProcessInfo& b) {
+              return a.id < b.id;
+            });
+  return out;
+}
+
+double ProcessScheduler::group_finish_estimate(GroupIndex g) const {
+  double work = 0.0;
+  for (const auto& [id, p] : processes_) {
+    if (p.group == g) work += p.remaining_work;
+  }
+  return work / topo_.group_capacity(g);
+}
+
+double ProcessScheduler::makespan_estimate() const {
+  double worst = 0.0;
+  for (GroupIndex g = 0; g < topo_.group_count(); ++g) {
+    worst = std::max(worst, group_finish_estimate(g));
+  }
+  return worst;
+}
+
+}  // namespace wats::core

@@ -1,0 +1,68 @@
+// Process-level scheduling on AMC (§IV-E): "WATS can be easily adapted to
+// process-level scheduling in AMC if the processes are independent and
+// their workloads can be estimated."
+//
+// This module is that adaptation: independent processes with estimated
+// remaining work are partitioned across the c-groups with the same
+// Algorithm 1 used for task classes, and re-balanced as processes arrive,
+// finish, or revise their estimates. A process here is one schedulable
+// entity (the OS would pin its threads to the assigned c-group's cores).
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <unordered_map>
+#include <vector>
+
+#include "core/topology.hpp"
+
+namespace wats::core {
+
+using ProcessId = std::uint64_t;
+
+struct ProcessInfo {
+  ProcessId id = 0;
+  double remaining_work = 0.0;  ///< F1-normalized estimate
+  GroupIndex group = 0;
+};
+
+class ProcessScheduler {
+ public:
+  explicit ProcessScheduler(AmcTopology topo);
+
+  /// Admit a process with an estimated workload; assigns a c-group
+  /// immediately (and rebalances).
+  ProcessId submit(double estimated_work);
+
+  /// The c-group a live process is currently assigned to.
+  GroupIndex group_of(ProcessId id) const;
+
+  /// Revise a process's remaining-work estimate (rebalances).
+  void update_estimate(ProcessId id, double remaining_work);
+
+  /// Process finished; frees its share (rebalances).
+  void complete(ProcessId id);
+
+  /// Re-run Algorithm 1 over the live set. Called internally on every
+  /// mutation; public for tests.
+  void rebalance();
+
+  std::size_t live_processes() const { return processes_.size(); }
+  std::vector<ProcessInfo> snapshot() const;
+
+  /// Estimated load (work / capacity) of a c-group under the current
+  /// assignment — the makespan estimate if nothing else changes.
+  double group_finish_estimate(GroupIndex g) const;
+
+  /// Max over groups of group_finish_estimate.
+  double makespan_estimate() const;
+
+  const AmcTopology& topology() const { return topo_; }
+
+ private:
+  AmcTopology topo_;
+  std::unordered_map<ProcessId, ProcessInfo> processes_;
+  ProcessId next_id_ = 1;
+};
+
+}  // namespace wats::core

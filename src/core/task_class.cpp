@@ -1,0 +1,113 @@
+#include "core/task_class.hpp"
+
+#include "util/check.hpp"
+
+namespace wats::core {
+
+double normalized_workload(double cycles, double core_freq,
+                           double fastest_freq) {
+  WATS_CHECK(cycles >= 0.0);
+  WATS_CHECK(core_freq > 0.0 && fastest_freq > 0.0);
+  return cycles * (core_freq / fastest_freq);
+}
+
+TaskClassRegistry::TaskClassRegistry(WorkloadEstimator estimator,
+                                     double ewma_alpha)
+    : estimator_(estimator), ewma_alpha_(ewma_alpha) {
+  WATS_CHECK(ewma_alpha > 0.0 && ewma_alpha <= 1.0);
+}
+
+TaskClassId TaskClassRegistry::intern(std::string_view name) {
+  std::lock_guard lock(mu_);
+  auto it = by_name_.find(std::string(name));
+  if (it != by_name_.end()) return it->second;
+  const auto id = static_cast<TaskClassId>(classes_.size());
+  WATS_CHECK_MSG(id != kNoTaskClass, "task class id space exhausted");
+  TaskClassInfo info;
+  info.id = id;
+  info.name = std::string(name);
+  classes_.push_back(std::move(info));
+  by_name_.emplace(std::string(name), id);
+  return id;
+}
+
+std::optional<TaskClassId> TaskClassRegistry::find(
+    std::string_view name) const {
+  std::lock_guard lock(mu_);
+  auto it = by_name_.find(std::string(name));
+  if (it == by_name_.end()) return std::nullopt;
+  return it->second;
+}
+
+void TaskClassRegistry::record_completion(TaskClassId id, double workload,
+                                          double scalable) {
+  WATS_CHECK(workload >= 0.0);
+  WATS_CHECK(scalable >= 0.0 && scalable <= 1.0);
+  std::lock_guard lock(mu_);
+  WATS_CHECK(id < classes_.size());
+  auto& c = classes_[id];
+  if (estimator_ == WorkloadEstimator::kRunningMean || c.completed == 0) {
+    // Algorithm 2: w <- (n*w + w_gamma) / (n+1), n <- n+1.
+    const auto n = static_cast<double>(c.completed);
+    c.mean_workload = (n * c.mean_workload + workload) / (n + 1.0);
+    c.mean_scalable = (n * c.mean_scalable + scalable) / (n + 1.0);
+  } else {
+    c.mean_workload =
+        (1.0 - ewma_alpha_) * c.mean_workload + ewma_alpha_ * workload;
+    c.mean_scalable =
+        (1.0 - ewma_alpha_) * c.mean_scalable + ewma_alpha_ * scalable;
+  }
+  ++c.completed;
+  ++total_completions_;
+}
+
+std::size_t TaskClassRegistry::size() const {
+  std::lock_guard lock(mu_);
+  return classes_.size();
+}
+
+std::uint64_t TaskClassRegistry::total_completions() const {
+  std::lock_guard lock(mu_);
+  return total_completions_;
+}
+
+bool TaskClassRegistry::has_history(TaskClassId id) const {
+  if (id == kNoTaskClass) return false;
+  std::lock_guard lock(mu_);
+  return id < classes_.size() && classes_[id].completed > 0;
+}
+
+std::vector<TaskClassInfo> TaskClassRegistry::snapshot() const {
+  std::lock_guard lock(mu_);
+  return classes_;
+}
+
+TaskClassInfo TaskClassRegistry::info(TaskClassId id) const {
+  std::lock_guard lock(mu_);
+  WATS_CHECK(id < classes_.size());
+  return classes_[id];
+}
+
+void TaskClassRegistry::restore(TaskClassId id, std::uint64_t completed,
+                                double mean_workload) {
+  WATS_CHECK(mean_workload >= 0.0);
+  std::lock_guard lock(mu_);
+  WATS_CHECK(id < classes_.size());
+  auto& c = classes_[id];
+  // Keep total_completions_ consistent (it drives recluster triggers).
+  total_completions_ -= c.completed;
+  c.completed = completed;
+  c.mean_workload = mean_workload;
+  total_completions_ += completed;
+}
+
+void TaskClassRegistry::reset_history() {
+  std::lock_guard lock(mu_);
+  for (auto& c : classes_) {
+    c.completed = 0;
+    c.mean_workload = 0.0;
+  }
+  total_completions_ = 0;
+}
+
+}  // namespace wats::core

@@ -1,0 +1,114 @@
+// Task classes and the history statistics of §III-A.
+//
+// The paper's modified cilk2c tags every task frame with its function name;
+// completed tasks are folded into a task class TC(f, n, w) holding the task
+// count n and running-average normalized workload w (Algorithm 2, Eq. 2).
+// Here "function name" is an explicit TaskClassId that callers obtain once
+// via intern(); the registry is shared by the simulator and the real-thread
+// runtime, so updates are mutex-protected (they happen at task completion,
+// which is far off the spawn/steal fast path).
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "core/topology.hpp"
+
+namespace wats::core {
+
+using TaskClassId = std::uint32_t;
+
+/// Sentinel: task has no class (treated as never-seen; scheduled to the
+/// fastest c-group per §III-A).
+inline constexpr TaskClassId kNoTaskClass = 0xFFFFFFFFu;
+
+/// Snapshot of one task class: TC(f, n, w) from the paper, extended with
+/// the class's observed frequency-scalable fraction (§IV-E: derived from
+/// CMPI performance-counter readings in a real system).
+struct TaskClassInfo {
+  TaskClassId id = kNoTaskClass;
+  std::string name;           ///< f  — the function name.
+  std::uint64_t completed = 0;  ///< n  — tasks of this class completed.
+  double mean_workload = 0.0;   ///< w  — mean F1-normalized workload.
+  double mean_scalable = 1.0;   ///< observed frequency-scalable fraction.
+
+  /// The weight Algorithm 1 uses when partitioning classes: n * w.
+  double total_workload() const {
+    return static_cast<double>(completed) * mean_workload;
+  }
+};
+
+/// Eq. 2: workload of a task that took `cycles` on a core of frequency
+/// `core_freq`, normalized against the fastest frequency `fastest_freq`.
+double normalized_workload(double cycles, double core_freq,
+                           double fastest_freq);
+
+/// How the per-class workload estimate folds in new completions.
+enum class WorkloadEstimator {
+  /// Algorithm 2's running mean (the paper's choice): every completion
+  /// weighs equally, so long histories adapt slowly to phase changes.
+  kRunningMean,
+  /// Exponentially weighted moving average: w <- (1-a)*w + a*sample.
+  /// Adapts within ~1/a completions of a phase change (§III-A's "timely
+  /// update" goal taken further); an extension, off by default.
+  kEwma,
+};
+
+/// Thread-safe registry of task classes.
+class TaskClassRegistry {
+ public:
+  TaskClassRegistry() = default;
+  explicit TaskClassRegistry(WorkloadEstimator estimator,
+                             double ewma_alpha = 0.2);
+
+  /// Intern a class name; returns a stable dense id. Idempotent.
+  TaskClassId intern(std::string_view name);
+
+  /// Look up an interned name without creating it.
+  std::optional<TaskClassId> find(std::string_view name) const;
+
+  /// Algorithm 2: fold one completed task into its class. `workload` must
+  /// already be normalized (Eq. 2 / normalized_workload()). `scalable` is
+  /// the task's observed frequency-scalable fraction (1.0 = CPU-bound;
+  /// a real system derives it from CMPI counters, §IV-E).
+  void record_completion(TaskClassId id, double workload,
+                         double scalable = 1.0);
+
+  /// Number of classes interned so far.
+  std::size_t size() const;
+
+  /// Total completions recorded across all classes.
+  std::uint64_t total_completions() const;
+
+  /// Has this class completed at least one task (i.e. does history know its
+  /// workload)?
+  bool has_history(TaskClassId id) const;
+
+  /// Copy out the per-class statistics.
+  std::vector<TaskClassInfo> snapshot() const;
+
+  TaskClassInfo info(TaskClassId id) const;
+
+  /// Overwrite a class's statistics (history persistence / warm starts).
+  /// Counts as completions for change-detection purposes.
+  void restore(TaskClassId id, std::uint64_t completed, double mean_workload);
+
+  /// Drop all history but keep interned names/ids (used by phase-change
+  /// tests and by callers that want a cold-start).
+  void reset_history();
+
+ private:
+  mutable std::mutex mu_;
+  WorkloadEstimator estimator_ = WorkloadEstimator::kRunningMean;
+  double ewma_alpha_ = 0.2;
+  std::unordered_map<std::string, TaskClassId> by_name_;
+  std::vector<TaskClassInfo> classes_;
+  std::uint64_t total_completions_ = 0;
+};
+
+}  // namespace wats::core

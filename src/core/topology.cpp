@@ -1,0 +1,137 @@
+#include "core/topology.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace wats::core {
+
+AmcTopology::AmcTopology(std::string name, std::vector<CGroupSpec> groups)
+    : name_(std::move(name)), groups_(std::move(groups)) {
+  // Drop empty groups (Table II rows use 0 to mean "no cores at this
+  // frequency") and merge duplicates at the same frequency.
+  std::erase_if(groups_, [](const CGroupSpec& g) { return g.core_count == 0; });
+  WATS_CHECK_MSG(!groups_.empty(), "topology must have at least one core");
+  std::sort(groups_.begin(), groups_.end(),
+            [](const CGroupSpec& a, const CGroupSpec& b) {
+              return a.frequency_ghz > b.frequency_ghz;
+            });
+  std::vector<CGroupSpec> merged;
+  for (const auto& g : groups_) {
+    WATS_CHECK_MSG(g.frequency_ghz > 0.0, "frequencies must be positive");
+    if (!merged.empty() &&
+        merged.back().frequency_ghz == g.frequency_ghz) {
+      merged.back().core_count += g.core_count;
+    } else {
+      merged.push_back(g);
+    }
+  }
+  groups_ = std::move(merged);
+
+  group_start_.resize(groups_.size());
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    group_start_[g] = total_cores_;
+    total_cores_ += groups_[g].core_count;
+    total_capacity_ +=
+        groups_[g].frequency_ghz * static_cast<double>(groups_[g].core_count);
+  }
+}
+
+double AmcTopology::relative_speed(GroupIndex g) const {
+  return group(g).frequency_ghz / fastest_frequency();
+}
+
+GroupIndex AmcTopology::group_of_core(CoreIndex core) const {
+  WATS_CHECK(core < total_cores_);
+  // group_start_ is sorted ascending; find the last start <= core.
+  auto it = std::upper_bound(group_start_.begin(), group_start_.end(), core);
+  return static_cast<GroupIndex>(std::distance(group_start_.begin(), it)) - 1;
+}
+
+CoreIndex AmcTopology::first_core_of_group(GroupIndex g) const {
+  return group_start_.at(g);
+}
+
+double AmcTopology::group_capacity(GroupIndex g) const {
+  const auto& grp = group(g);
+  return grp.frequency_ghz * static_cast<double>(grp.core_count);
+}
+
+std::string AmcTopology::describe() const {
+  std::ostringstream out;
+  out << name_ << ": ";
+  for (std::size_t g = 0; g < groups_.size(); ++g) {
+    if (g != 0) out << ", ";
+    out << groups_[g].core_count << "x" << groups_[g].frequency_ghz << "GHz";
+  }
+  return out.str();
+}
+
+std::vector<AmcTopology> amc_table2() {
+  // Rows of Table II: core counts at {2.5, 1.8, 1.3, 0.8} GHz.
+  struct Row {
+    const char* name;
+    std::size_t n25, n18, n13, n08;
+  };
+  static constexpr Row kRows[] = {
+      {"AMC1", 2, 2, 2, 10}, {"AMC2", 4, 4, 4, 4}, {"AMC3", 2, 0, 0, 14},
+      {"AMC4", 4, 0, 0, 12}, {"AMC5", 8, 0, 0, 8}, {"AMC6", 12, 0, 0, 4},
+      {"AMC7", 16, 0, 0, 0},
+  };
+  std::vector<AmcTopology> out;
+  out.reserve(std::size(kRows));
+  for (const auto& r : kRows) {
+    out.emplace_back(r.name,
+                     std::vector<CGroupSpec>{{2.5, r.n25},
+                                             {1.8, r.n18},
+                                             {1.3, r.n13},
+                                             {0.8, r.n08}});
+  }
+  return out;
+}
+
+AmcTopology amc_by_name(const std::string& name) {
+  for (auto& t : amc_table2()) {
+    if (t.name() == name) return t;
+  }
+  WATS_CHECK_MSG(false, "unknown AMC architecture name");
+  __builtin_unreachable();
+}
+
+AmcTopology amc_fig5_example() {
+  return AmcTopology("Fig5", {{2.5, 1}, {1.8, 2}, {1.3, 1}});
+}
+
+AmcTopology amc_from_string(const std::string& spec) {
+  std::vector<CGroupSpec> groups;
+  std::size_t pos = 0;
+  while (pos < spec.size()) {
+    std::size_t plus = spec.find('+', pos);
+    if (plus == std::string::npos) plus = spec.size();
+    const std::string group = spec.substr(pos, plus - pos);
+    pos = plus + 1;
+    const std::size_t x = group.find('x');
+    WATS_CHECK_MSG(x != std::string::npos && x > 0 && x + 1 < group.size(),
+                   "malformed topology group (want NxF, e.g. 8x2.5)");
+    char* end = nullptr;
+    const unsigned long count = std::strtoul(group.c_str(), &end, 10);
+    WATS_CHECK_MSG(end == group.c_str() + x, "malformed core count");
+    const double freq = std::strtod(group.c_str() + x + 1, &end);
+    WATS_CHECK_MSG(end == group.c_str() + group.size(),
+                   "malformed frequency");
+    groups.push_back({freq, static_cast<std::size_t>(count)});
+  }
+  WATS_CHECK_MSG(!groups.empty(), "empty topology spec");
+  return AmcTopology(spec, groups);
+}
+
+AmcTopology amc_by_name_or_spec(const std::string& name_or_spec) {
+  if (name_or_spec.find('x') != std::string::npos) {
+    return amc_from_string(name_or_spec);
+  }
+  return amc_by_name(name_or_spec);
+}
+
+}  // namespace wats::core

@@ -1,0 +1,95 @@
+// Asymmetric multi-core (AMC) topology description.
+//
+// The paper models an AMC machine as k "c-groups" C1..Ck: Ni cores running
+// at frequency Fi, sorted so that F1 > F2 > ... > Fk. Everything in WATS
+// (the lower bound, Algorithm 1, preference lists) is phrased in terms of
+// this grouping, so the topology type is the root of the core library.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wats::core {
+
+/// Index of a c-group (0-based; group 0 is the fastest).
+using GroupIndex = std::size_t;
+
+/// Index of a core within the whole machine (0-based; cores are numbered
+/// group by group, fastest group first).
+using CoreIndex = std::size_t;
+
+struct CGroupSpec {
+  double frequency_ghz = 0.0;  ///< Fi — the operating frequency.
+  std::size_t core_count = 0;  ///< Ni — number of cores at Fi.
+};
+
+/// Immutable machine description. Construction validates and normalizes:
+/// groups are sorted by descending frequency and zero-core groups dropped,
+/// matching the paper's convention Fi > Fj for i < j.
+class AmcTopology {
+ public:
+  AmcTopology(std::string name, std::vector<CGroupSpec> groups);
+
+  const std::string& name() const { return name_; }
+  std::size_t group_count() const { return groups_.size(); }
+  const CGroupSpec& group(GroupIndex g) const { return groups_.at(g); }
+  const std::vector<CGroupSpec>& groups() const { return groups_; }
+
+  std::size_t total_cores() const { return total_cores_; }
+
+  /// Sum of Fi * Ni over all groups — the machine's aggregate capacity in
+  /// (normalized) work units per unit time. Denominator of Lemma 1.
+  double total_capacity() const { return total_capacity_; }
+
+  /// The fastest frequency F1, used to normalize workloads (Eq. 2).
+  double fastest_frequency() const { return groups_.front().frequency_ghz; }
+
+  /// Relative speed of group g: Fg / F1 (1.0 for the fastest group).
+  double relative_speed(GroupIndex g) const;
+
+  /// Group that owns a machine-wide core index.
+  GroupIndex group_of_core(CoreIndex core) const;
+
+  /// First machine-wide core index of a group.
+  CoreIndex first_core_of_group(GroupIndex g) const;
+
+  /// True when all cores run at one frequency (the AMC 7 case): WATS is
+  /// specified to degenerate to plain parent-first stealing here.
+  bool symmetric() const { return groups_.size() == 1; }
+
+  /// Capacity Fg * Ng of a single group.
+  double group_capacity(GroupIndex g) const;
+
+  std::string describe() const;
+
+ private:
+  std::string name_;
+  std::vector<CGroupSpec> groups_;
+  std::vector<CoreIndex> group_start_;  // prefix sums of core counts
+  std::size_t total_cores_ = 0;
+  double total_capacity_ = 0.0;
+};
+
+/// The seven emulated AMC architectures of Table II (16 cores, frequencies
+/// drawn from {2.5, 1.8, 1.3, 0.8} GHz).
+std::vector<AmcTopology> amc_table2();
+
+/// Look up a Table II machine by name ("AMC1".."AMC7"); aborts on unknown
+/// names (harness configuration error).
+AmcTopology amc_by_name(const std::string& name);
+
+/// The quad-core example of Fig. 5 / Table I: one core at F1, two at F2,
+/// one at F3.
+AmcTopology amc_fig5_example();
+
+/// Parse a custom machine from "NxF+NxF+..." (e.g. "8x2.5+8x0.8"): N
+/// cores at F GHz per group. Aborts on malformed input (CLI use).
+AmcTopology amc_from_string(const std::string& spec);
+
+/// amc_by_name extended with custom specs: Table II names resolve as
+/// before; anything containing 'x' parses via amc_from_string.
+AmcTopology amc_by_name_or_spec(const std::string& name_or_spec);
+
+}  // namespace wats::core

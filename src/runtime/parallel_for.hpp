@@ -1,0 +1,100 @@
+// parallel_for: the classic blocked-range convenience on top of
+// TaskRuntime, with an explicit task class so WATS can learn the loop
+// body's workload like any other function.
+//
+//   runtime::parallel_for(rt, "hash_blocks", 0, blocks.size(),
+//                         [&](std::size_t i) { hash(blocks[i]); });
+//
+// The range is split into chunks of `grain` iterations; each chunk is one
+// task. Blocks the calling (non-worker) thread until the loop completes.
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <utility>
+
+#include "runtime/runtime.hpp"
+#include "util/check.hpp"
+
+namespace wats::runtime {
+
+struct ParallelForOptions {
+  /// Iterations per task; 0 = pick automatically (~4 tasks per worker).
+  std::size_t grain = 0;
+};
+
+template <typename Body>
+void parallel_for(TaskRuntime& rt, std::string_view class_name,
+                  std::size_t begin, std::size_t end, Body body,
+                  ParallelForOptions options = {}) {
+  WATS_CHECK(begin <= end);
+  WATS_CHECK_MSG(!rt.on_worker_thread(),
+                 "parallel_for blocks; call it from a non-worker thread");
+  if (begin == end) return;
+
+  const std::size_t n = end - begin;
+  std::size_t grain = options.grain;
+  if (grain == 0) {
+    const std::size_t target_tasks = 4 * rt.topology().total_cores();
+    grain = std::max<std::size_t>(1, n / target_tasks);
+  }
+
+  const auto cls = rt.register_class(std::string(class_name));
+  TaskGroup group(rt);
+  for (std::size_t chunk_begin = begin; chunk_begin < end;
+       chunk_begin += grain) {
+    const std::size_t chunk_end = std::min(end, chunk_begin + grain);
+    group.spawn(cls, [body, chunk_begin, chunk_end] {
+      for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+        body(i);
+      }
+    });
+  }
+  group.wait();
+}
+
+/// Map-reduce convenience: applies `map` to every index and combines the
+/// per-chunk results with `reduce` (which must be associative and
+/// commutative; chunks complete in arbitrary order). `identity` seeds
+/// each chunk's accumulator.
+template <typename T, typename Map, typename Reduce>
+T parallel_reduce(TaskRuntime& rt, std::string_view class_name,
+                  std::size_t begin, std::size_t end, T identity, Map map,
+                  Reduce reduce, ParallelForOptions options = {}) {
+  WATS_CHECK(begin <= end);
+  WATS_CHECK_MSG(!rt.on_worker_thread(),
+                 "parallel_reduce blocks; call it from a non-worker thread");
+  if (begin == end) return identity;
+
+  const std::size_t n = end - begin;
+  std::size_t grain = options.grain;
+  if (grain == 0) {
+    const std::size_t target_tasks = 4 * rt.topology().total_cores();
+    grain = std::max<std::size_t>(1, n / target_tasks);
+  }
+
+  const auto cls = rt.register_class(std::string(class_name));
+  std::mutex mu;
+  T total = identity;
+  TaskGroup group(rt);
+  for (std::size_t chunk_begin = begin; chunk_begin < end;
+       chunk_begin += grain) {
+    const std::size_t chunk_end = std::min(end, chunk_begin + grain);
+    group.spawn(cls, [&, chunk_begin, chunk_end] {
+      T partial = identity;
+      for (std::size_t i = chunk_begin; i < chunk_end; ++i) {
+        partial = reduce(std::move(partial), map(i));
+      }
+      std::lock_guard lock(mu);
+      total = reduce(std::move(total), std::move(partial));
+    });
+  }
+  group.wait();
+  return total;
+}
+
+}  // namespace wats::runtime

@@ -1,0 +1,128 @@
+// High-level pipeline API on top of TaskRuntime: the paper's
+// pipeline-based benchmark pattern (Dedup, Ferret) as a reusable
+// construct.
+//
+// A Pipeline is an ordered list of stages; each item flows through all
+// stages, every stage execution is one classified task (so WATS learns
+// per-stage workloads and clusters heavy stages onto fast cores), and a
+// bounded window limits the number of in-flight items (backpressure).
+//
+//   runtime::Pipeline<Chunk> pipe(rt, {
+//       {"chunk",    [](Chunk c) { ... return c; }},
+//       {"compress", [](Chunk c) { ... return c; }},
+//   });
+//   pipe.set_window(32);
+//   for (auto& c : chunks) pipe.push(std::move(c));
+//   pipe.drain();
+#pragma once
+
+#include <condition_variable>
+#include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "runtime/runtime.hpp"
+#include "util/check.hpp"
+
+namespace wats::runtime {
+
+template <typename Item>
+class Pipeline {
+ public:
+  struct Stage {
+    std::string name;
+    std::function<Item(Item)> fn;
+  };
+
+  Pipeline(TaskRuntime& rt, std::vector<Stage> stages)
+      : rt_(rt), stages_(std::move(stages)) {
+    WATS_CHECK_MSG(!stages_.empty(), "pipeline needs at least one stage");
+    class_ids_.reserve(stages_.size());
+    for (const auto& stage : stages_) {
+      class_ids_.push_back(rt_.register_class(stage.name));
+    }
+  }
+
+  ~Pipeline() { drain(); }
+
+  Pipeline(const Pipeline&) = delete;
+  Pipeline& operator=(const Pipeline&) = delete;
+
+  /// Maximum in-flight items; push() blocks when the window is full.
+  /// 0 (default) = unbounded.
+  void set_window(std::size_t window) { window_ = window; }
+
+  /// Admit an item (blocks on backpressure). Must be called from a
+  /// non-worker thread — a worker blocking on admission could deadlock
+  /// the pool that must retire items to make room.
+  void push(Item item) {
+    WATS_CHECK_MSG(!rt_.on_worker_thread(),
+                   "Pipeline::push must not run on a worker thread");
+    {
+      std::unique_lock lock(mu_);
+      admit_cv_.wait(lock, [this] {
+        return window_ == 0 || in_flight_ < window_;
+      });
+      ++in_flight_;
+      ++pushed_;
+    }
+    run_stage(std::move(item), 0);
+  }
+
+  /// Wait until every pushed item retired from the last stage.
+  void drain() {
+    std::unique_lock lock(mu_);
+    drain_cv_.wait(lock, [this] { return in_flight_ == 0; });
+  }
+
+  std::uint64_t items_completed() const {
+    std::lock_guard lock(mu_);
+    return completed_;
+  }
+
+ private:
+  void run_stage(Item item, std::size_t stage) {
+    // Boxed in a shared_ptr: std::function requires copyable callables,
+    // but pipeline items may be move-only.
+    auto boxed = std::make_shared<Item>(std::move(item));
+    rt_.spawn(class_ids_[stage], [this, stage, boxed] {
+      // Retire the item even when a stage throws (the runtime captures
+      // the exception for wait_all; drain()/push() must not hang).
+      bool advanced = false;
+      struct Retirer {
+        Pipeline* pipe;
+        const bool* advanced;
+        ~Retirer() {
+          if (*advanced) return;
+          std::lock_guard lock(pipe->mu_);
+          --pipe->in_flight_;
+          ++pipe->completed_;
+          pipe->admit_cv_.notify_all();
+          if (pipe->in_flight_ == 0) pipe->drain_cv_.notify_all();
+        }
+      } retirer{this, &advanced};
+      Item out = stages_[stage].fn(std::move(*boxed));
+      if (stage + 1 < stages_.size()) {
+        advanced = true;  // the successor stage owns retirement now
+        run_stage(std::move(out), stage + 1);
+      }
+    });
+  }
+
+  TaskRuntime& rt_;
+  std::vector<Stage> stages_;
+  std::vector<core::TaskClassId> class_ids_;
+  std::size_t window_ = 0;
+
+  mutable std::mutex mu_;
+  std::condition_variable admit_cv_;
+  std::condition_variable drain_cv_;
+  std::uint64_t in_flight_ = 0;
+  std::uint64_t pushed_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+}  // namespace wats::runtime

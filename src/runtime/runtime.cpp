@@ -1,0 +1,417 @@
+#include "runtime/runtime.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <deque>
+#include <utility>
+
+#ifdef __linux__
+#include <pthread.h>
+#include <sched.h>
+#endif
+
+#include "util/check.hpp"
+
+namespace wats::runtime {
+
+namespace {
+
+/// Identity of the current worker within its runtime (so nested spawns are
+/// parent-first: they land in the spawning worker's own pools) and the
+/// class of the task it is executing (for divide-and-conquer detection).
+struct WorkerContext {
+  const TaskRuntime* runtime = nullptr;
+  std::size_t index = 0;
+  core::TaskClassId running_class = core::kNoTaskClass;
+};
+thread_local WorkerContext t_ctx;
+
+using Clock = std::chrono::steady_clock;
+
+}  // namespace
+
+TaskRuntime::TaskRuntime(RuntimeConfig config) : config_(std::move(config)) {
+  const std::size_t n = config_.topology.total_cores();
+  const std::size_t k = config_.topology.group_count();
+  prefs_ = core::all_preference_lists(k);
+  cluster_map_ = std::make_shared<core::ClusterMap>(0, k);
+
+  external_.resize(k);
+
+  util::SplitMix64 seeder(config_.seed);
+  workers_.reserve(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    auto w = std::make_unique<Worker>();
+    w->group = config_.topology.group_of_core(i);
+    w->speed_scale.store(config_.topology.relative_speed(w->group));
+    w->rng = util::Xoshiro256(seeder.next());
+    w->pools.reserve(k);
+    for (std::size_t c = 0; c < k; ++c) {
+      w->pools.push_back(std::make_unique<WorkStealingDeque<TaskNode>>());
+    }
+    workers_.push_back(std::move(w));
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    workers_[i]->thread = std::thread([this, i] { worker_loop(i); });
+  }
+  helper_ = std::thread([this] { helper_loop(); });
+}
+
+TaskRuntime::~TaskRuntime() {
+  wait_all();
+  stopping_.store(true, std::memory_order_release);
+  idle_cv_.notify_all();
+  for (auto& w : workers_) {
+    if (w->thread.joinable()) w->thread.join();
+  }
+  if (helper_.joinable()) helper_.join();
+}
+
+core::TaskClassId TaskRuntime::register_class(std::string_view name) {
+  return registry_.intern(name);
+}
+
+bool TaskRuntime::dnc_active() const {
+  if (!config_.dnc_fallback) return false;
+  if (dnc_.observed_spawns() < config_.dnc_min_spawns) return false;
+  return dnc_.self_recursive_fraction() > config_.dnc_threshold;
+}
+
+void TaskRuntime::enqueue(TaskNode* node) {
+  core::GroupIndex cluster = 0;
+  const bool plain_policy =
+      config_.policy == Policy::kPft || config_.policy == Policy::kRtsSwap;
+  if (!plain_policy && !dnc_active()) {
+    cluster = cluster_of(node->cls);
+  }
+  if (t_ctx.runtime == this) {
+    // Parent-first: the spawner continues; the child waits in the
+    // spawner's own pool for this cluster.
+    workers_[t_ctx.index]->pools[cluster]->push_bottom(node);
+  } else {
+    std::lock_guard lock(external_mu_);
+    external_[cluster].push_back(node);
+  }
+  idle_cv_.notify_all();
+}
+
+void TaskRuntime::spawn(core::TaskClassId cls, std::function<void()> fn) {
+  WATS_CHECK(!stopping_.load(std::memory_order_acquire));
+  auto* node = new TaskNode{std::move(fn), cls};
+  outstanding_.fetch_add(1, std::memory_order_acq_rel);
+  if (t_ctx.runtime == this) {
+    dnc_.record_spawn(t_ctx.running_class, cls);
+  }
+  enqueue(node);
+}
+
+void TaskRuntime::spawn(std::function<void()> fn) {
+  spawn(core::kNoTaskClass, std::move(fn));
+}
+
+bool TaskRuntime::wait_all_for(std::chrono::milliseconds timeout) {
+  {
+    std::unique_lock lock(idle_mu_);
+    const bool drained = done_cv_.wait_for(lock, timeout, [this] {
+      return outstanding_.load(std::memory_order_acquire) == 0;
+    });
+    if (!drained) return false;
+  }
+  std::exception_ptr pending;
+  {
+    std::lock_guard lock(exception_mu_);
+    pending = std::exchange(first_exception_, nullptr);
+  }
+  if (pending) std::rethrow_exception(pending);
+  return true;
+}
+
+void TaskRuntime::wait_all() {
+  {
+    std::unique_lock lock(idle_mu_);
+    done_cv_.wait(lock, [this] {
+      return outstanding_.load(std::memory_order_acquire) == 0;
+    });
+  }
+  std::exception_ptr pending;
+  {
+    std::lock_guard lock(exception_mu_);
+    pending = std::exchange(first_exception_, nullptr);
+  }
+  if (pending) std::rethrow_exception(pending);
+}
+
+TaskRuntime::TaskNode* TaskRuntime::try_steal_cluster(
+    std::size_t thief, core::GroupIndex cluster) {
+  Worker& me = *workers_[thief];
+  // A few random probes, then one full sweep — bounded work per call, and
+  // the worker loop retries anyway.
+  const std::size_t n = workers_.size();
+  for (int probe = 0; probe < 4; ++probe) {
+    const std::size_t victim = static_cast<std::size_t>(me.rng.bounded(n));
+    if (victim == thief) continue;
+    if (TaskNode* t = workers_[victim]->pools[cluster]->steal_top()) {
+      ++me.steals;
+      return t;
+    }
+  }
+  for (std::size_t v = 0; v < n; ++v) {
+    if (v == thief) continue;
+    if (TaskNode* t = workers_[v]->pools[cluster]->steal_top()) {
+      ++me.steals;
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+TaskRuntime::TaskNode* TaskRuntime::try_acquire(std::size_t index) {
+  Worker& me = *workers_[index];
+  const std::size_t k = config_.topology.group_count();
+  const bool plain = config_.policy == Policy::kPft ||
+                     config_.policy == Policy::kRtsSwap || dnc_active();
+  const bool cross_cluster = config_.policy != Policy::kWatsNp;
+
+  // Cluster scan order: Algorithm 3's preference list for WATS; for plain
+  // stealing all tasks live in cluster 0 but stale pools from before a
+  // divide-and-conquer fallback still need draining, so scan everything.
+  for (std::size_t step = 0; step < k; ++step) {
+    const core::GroupIndex cluster =
+        plain ? static_cast<core::GroupIndex>(step) : prefs_[me.group][step];
+    if (!plain && !cross_cluster && cluster != me.group) continue;
+
+    // 1. Own pool for this cluster.
+    if (TaskNode* t = me.pools[cluster]->pop_bottom()) {
+      if (cluster != me.group) ++me.cross_cluster;
+      return t;
+    }
+    // 2. External spawns for this cluster.
+    {
+      std::lock_guard lock(external_mu_);
+      if (!external_[cluster].empty()) {
+        TaskNode* t = external_[cluster].front();
+        external_[cluster].pop_front();
+        if (cluster != me.group) ++me.cross_cluster;
+        return t;
+      }
+    }
+    // 3. Steal from other workers' pools for this cluster.
+    if (TaskNode* t = try_steal_cluster(index, cluster)) {
+      if (cluster != me.group) ++me.cross_cluster;
+      return t;
+    }
+  }
+  return nullptr;
+}
+
+void TaskRuntime::execute(std::size_t index, TaskNode* node) {
+  Worker& me = *workers_[index];
+  const auto prev_class = t_ctx.running_class;
+  t_ctx.running_class = node->cls;
+  me.executing.store(true, std::memory_order_release);
+
+  const auto start = Clock::now();
+  try {
+    node->fn();
+  } catch (...) {
+    std::lock_guard lock(exception_mu_);
+    if (!first_exception_) first_exception_ = std::current_exception();
+  }
+  const auto end = Clock::now();
+  t_ctx.running_class = prev_class;
+
+  const std::chrono::duration<double, std::micro> exec_us = end - start;
+
+  const double scale = me.speed_scale.load(std::memory_order_relaxed);
+  if (config_.emulate_speeds && scale < 1.0) {
+    // Duty-cycle throttle: stretch wall time to work / speed.
+    const double extra = exec_us.count() * (1.0 / scale - 1.0);
+    std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(extra));
+  }
+
+  // Algorithm 2 / Eq. 2: measured time on this core, normalized by
+  // Fi / F1, is the F1-equivalent workload. With the duty-cycle throttle
+  // the total wall time is exec/speed, so wall * speed == exec.
+  if (node->cls != core::kNoTaskClass) {
+    registry_.record_completion(node->cls, exec_us.count());
+  }
+
+  me.executing.store(false, std::memory_order_release);
+  ++me.executed;
+  if (node->cls != core::kNoTaskClass) {
+    if (me.class_counts.size() <= node->cls) {
+      me.class_counts.resize(node->cls + 1, 0);
+    }
+    ++me.class_counts[node->cls];
+  }
+  delete node;
+  if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    std::lock_guard lock(idle_mu_);
+    done_cv_.notify_all();
+  }
+}
+
+bool TaskRuntime::try_speed_swap(std::size_t thief) {
+  Worker& me = *workers_[thief];
+  std::lock_guard lock(swap_mu_);
+  const double my_scale = me.speed_scale.load(std::memory_order_relaxed);
+  // Find the busy worker with the lowest speed below ours.
+  Worker* victim = nullptr;
+  double victim_scale = my_scale;
+  for (auto& w : workers_) {
+    if (w.get() == &me) continue;
+    if (!w->executing.load(std::memory_order_acquire)) continue;
+    const double s = w->speed_scale.load(std::memory_order_relaxed);
+    if (s < victim_scale) {
+      victim_scale = s;
+      victim = w.get();
+    }
+  }
+  if (victim == nullptr) return false;
+  // Swap the emulated speeds: the victim's running task continues at our
+  // (faster) rate; we inherit the slow slot — the paper's thread swap.
+  victim->speed_scale.store(my_scale, std::memory_order_relaxed);
+  me.speed_scale.store(victim_scale, std::memory_order_relaxed);
+  speed_swaps_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void TaskRuntime::worker_loop(std::size_t index) {
+  t_ctx.runtime = this;
+  t_ctx.index = index;
+#ifdef __linux__
+  if (config_.pin_threads) {
+    cpu_set_t set;
+    CPU_ZERO(&set);
+    CPU_SET(index % static_cast<std::size_t>(
+                        std::max(1L, sysconf(_SC_NPROCESSORS_ONLN))),
+            &set);
+    // Best effort: pinning failure (cgroup limits, permissions) is not an
+    // error — the scheduler still works, just without affinity.
+    (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
+  }
+#endif
+  while (true) {
+    if (TaskNode* node = try_acquire(index)) {
+      execute(index, node);
+      continue;
+    }
+    failed_rounds_.fetch_add(1, std::memory_order_relaxed);
+    if (config_.policy == Policy::kRtsSwap && config_.emulate_speeds &&
+        outstanding_.load(std::memory_order_acquire) > 0) {
+      try_speed_swap(index);
+    }
+    if (stopping_.load(std::memory_order_acquire)) break;
+    std::unique_lock lock(idle_mu_);
+    idle_cv_.wait_for(lock, std::chrono::microseconds(200));
+  }
+  t_ctx.runtime = nullptr;
+}
+
+void TaskRuntime::helper_loop() {
+  std::uint64_t last_completions = 0;
+  while (!stopping_.load(std::memory_order_acquire)) {
+    std::this_thread::sleep_for(config_.helper_period);
+    const std::uint64_t completions = registry_.total_completions();
+    if (completions == last_completions) continue;
+    last_completions = completions;
+    auto fresh = std::make_shared<core::ClusterMap>(
+        core::ClusterMap::build(registry_.snapshot(), config_.topology));
+    {
+      std::lock_guard lock(map_mu_);
+      cluster_map_ = std::move(fresh);
+    }
+    reclusters_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+RuntimeStats TaskRuntime::stats() const {
+  RuntimeStats s;
+  s.per_group_class_tasks.assign(config_.topology.group_count(), {});
+  for (const auto& w : workers_) {
+    s.tasks_executed += w->executed;
+    s.steals += w->steals;
+    s.cross_cluster_acquires += w->cross_cluster;
+    s.per_worker_tasks.push_back(w->executed);
+    auto& group_counts = s.per_group_class_tasks[w->group];
+    if (group_counts.size() < w->class_counts.size()) {
+      group_counts.resize(w->class_counts.size(), 0);
+    }
+    for (std::size_t c = 0; c < w->class_counts.size(); ++c) {
+      group_counts[c] += w->class_counts[c];
+    }
+  }
+  s.reclusters = reclusters_.load(std::memory_order_relaxed);
+  s.speed_swaps = speed_swaps_.load(std::memory_order_relaxed);
+  s.failed_acquire_rounds = failed_rounds_.load(std::memory_order_relaxed);
+  s.dnc_fallback_active = dnc_active();
+  return s;
+}
+
+double RuntimeStats::fraction_on_group(core::TaskClassId cls,
+                                       core::GroupIndex group) const {
+  std::uint64_t total = 0;
+  std::uint64_t on_group = 0;
+  for (std::size_t g = 0; g < per_group_class_tasks.size(); ++g) {
+    const auto& counts = per_group_class_tasks[g];
+    if (cls < counts.size()) {
+      total += counts[cls];
+      if (g == group) on_group = counts[cls];
+    }
+  }
+  return total == 0 ? 0.0
+                    : static_cast<double>(on_group) /
+                          static_cast<double>(total);
+}
+
+std::vector<core::TaskClassInfo> TaskRuntime::class_history() const {
+  return registry_.snapshot();
+}
+
+void TaskRuntime::preload_history(
+    const std::vector<core::TaskClassInfo>& classes) {
+  for (const auto& cls : classes) {
+    const auto id = registry_.intern(cls.name);
+    registry_.restore(id, cls.completed, cls.mean_workload);
+  }
+}
+
+bool TaskRuntime::on_worker_thread() const { return t_ctx.runtime == this; }
+
+void TaskGroup::spawn(core::TaskClassId cls, std::function<void()> fn) {
+  pending_.fetch_add(1, std::memory_order_acq_rel);
+  rt_.spawn(cls, [this, fn = std::move(fn)] {
+    // The decrement must happen even when fn throws (the runtime captures
+    // the exception for wait_all; the group must still drain).
+    struct Finisher {
+      TaskGroup* group;
+      ~Finisher() {
+        if (group->pending_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+          std::lock_guard lock(group->mu_);
+          group->cv_.notify_all();
+        }
+      }
+    } finisher{this};
+    fn();
+  });
+}
+
+void TaskGroup::wait() {
+  WATS_CHECK_MSG(!rt_.on_worker_thread(),
+                 "TaskGroup::wait must not run on a worker thread");
+  std::unique_lock lock(mu_);
+  cv_.wait(lock, [this] {
+    return pending_.load(std::memory_order_acquire) == 0;
+  });
+}
+
+core::GroupIndex TaskRuntime::cluster_of(core::TaskClassId cls) const {
+  std::shared_ptr<const core::ClusterMap> map;
+  {
+    std::lock_guard lock(map_mu_);
+    map = cluster_map_;
+  }
+  return map->cluster_of(cls);
+}
+
+}  // namespace wats::runtime

@@ -1,0 +1,237 @@
+// The real-thread WATS task runtime — the paper's modified-MIT-Cilk
+// scheduler rebuilt as a standalone C++ library.
+//
+// One worker thread per emulated core; each worker owns k Chase–Lev pools
+// (one per task cluster, Fig. 5). Spawns are parent-first (§III-C: WATS
+// spawns parent-first so per-task workload measurement is not polluted by
+// children). Idle workers follow Algorithm 3's preference order. A helper
+// thread periodically folds completed-task statistics into task clusters
+// (Algorithms 1+2), exactly like the paper's 1 ms helper.
+//
+// Core-speed asymmetry is emulated by duty-cycle throttling: a worker with
+// relative speed s sleeps (1/s - 1) x the measured execution time after
+// each task, so wall-clock behaves like a core running at s x F1. On real
+// asymmetric silicon the throttle is disabled and workers are pinned
+// instead (see RuntimeConfig::emulate_speeds).
+#pragma once
+
+#include <atomic>
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <exception>
+#include <functional>
+#include <memory>
+#include <mutex>
+#include <string_view>
+#include <thread>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/dnc_detect.hpp"
+#include "core/preference.hpp"
+#include "core/task_class.hpp"
+#include "core/topology.hpp"
+#include "runtime/wsdeque.hpp"
+#include "util/rng.hpp"
+
+namespace wats::runtime {
+
+enum class Policy {
+  kPft,      ///< parent-first + plain random stealing (baseline)
+  kWats,     ///< history-based allocation + preference stealing
+  kWatsNp,   ///< WATS without cross-cluster stealing (ablation)
+  /// RTS emulated the way the paper implemented it — by swapping threads
+  /// between a fast and a slow core. Under duty-cycle emulation that is a
+  /// speed-scale swap: an idle fast worker that finds no work exchanges
+  /// its emulated speed with a busy slower worker, so the running task
+  /// continues at the fast rate while the thief inherits the slow slot.
+  kRtsSwap,
+};
+
+struct RuntimeConfig {
+  core::AmcTopology topology = core::amc_fig5_example();
+  Policy policy = Policy::kWats;
+  /// Duty-cycle throttling to emulate the topology's core speeds on
+  /// symmetric hardware. Disable on genuinely asymmetric machines.
+  bool emulate_speeds = true;
+  /// Pin worker i to OS CPU i (Linux). On real asymmetric silicon, order
+  /// the topology so that group 0's cores are the OS's fast CPUs. No-op
+  /// when the host has fewer CPUs than workers or pinning fails.
+  bool pin_threads = false;
+  /// Helper-thread recluster period (the paper uses 1 ms).
+  std::chrono::microseconds helper_period{1000};
+  /// Automatic fallback to plain stealing for divide-and-conquer programs
+  /// (§IV-E): enabled when the observed self-recursive spawn fraction
+  /// exceeds dnc_threshold after dnc_min_spawns spawns.
+  bool dnc_fallback = true;
+  double dnc_threshold = 0.5;
+  std::uint64_t dnc_min_spawns = 64;
+  std::uint64_t seed = 0x5EEDu;
+};
+
+struct RuntimeStats {
+  std::uint64_t tasks_executed = 0;
+  std::uint64_t steals = 0;
+  std::uint64_t cross_cluster_acquires = 0;
+  std::uint64_t reclusters = 0;
+  std::uint64_t speed_swaps = 0;  ///< kRtsSwap only
+  std::uint64_t failed_acquire_rounds = 0;  ///< idle loops finding nothing
+  bool dnc_fallback_active = false;
+  std::vector<std::uint64_t> per_worker_tasks;
+  /// per_group_class_tasks[g][cls] = tasks of class `cls` executed by
+  /// workers of c-group g — the direct measure of placement quality
+  /// (a warmed-up WATS runs heavy classes mostly on the fast group).
+  std::vector<std::vector<std::uint64_t>> per_group_class_tasks;
+
+  /// Fraction of class `cls` executions that ran on c-group `group`
+  /// (0 when the class never ran).
+  double fraction_on_group(core::TaskClassId cls,
+                           core::GroupIndex group) const;
+};
+
+class TaskRuntime {
+ public:
+  explicit TaskRuntime(RuntimeConfig config);
+  ~TaskRuntime();
+
+  TaskRuntime(const TaskRuntime&) = delete;
+  TaskRuntime& operator=(const TaskRuntime&) = delete;
+
+  /// Intern a task class ("function name"). Cheap; idempotent.
+  core::TaskClassId register_class(std::string_view name);
+
+  /// Spawn a classified task. Callable from the external thread or from
+  /// inside a running task (parent-first: the spawner keeps running).
+  void spawn(core::TaskClassId cls, std::function<void()> fn);
+
+  /// Spawn an unclassified task (goes to the fastest c-group, §III-A).
+  void spawn(std::function<void()> fn);
+
+  /// Block until every spawned task (including nested spawns) completed.
+  /// If any task threw, the FIRST captured exception is rethrown here
+  /// (subsequent ones are dropped); the runtime itself stays usable.
+  void wait_all();
+
+  /// wait_all with a deadline: returns false if tasks were still pending
+  /// when the timeout expired (no exception is consumed in that case).
+  bool wait_all_for(std::chrono::milliseconds timeout);
+
+  /// Snapshot of the scheduler statistics.
+  RuntimeStats stats() const;
+
+  /// The task-class history collected so far (Algorithm 2 state).
+  std::vector<core::TaskClassInfo> class_history() const;
+
+  /// Warm start: merge persisted statistics (see core/history_io.hpp) so
+  /// the first recluster already places known classes well. Classes are
+  /// interned as needed; the helper thread picks the change up on its
+  /// next tick.
+  void preload_history(const std::vector<core::TaskClassInfo>& classes);
+
+  /// Current class -> cluster map (rebuilt by the helper thread).
+  core::GroupIndex cluster_of(core::TaskClassId cls) const;
+
+  const core::AmcTopology& topology() const { return config_.topology; }
+  const RuntimeConfig& config() const { return config_; }
+
+  /// True when called from one of this runtime's worker threads.
+  bool on_worker_thread() const;
+
+ private:
+  struct TaskNode {
+    std::function<void()> fn;
+    core::TaskClassId cls = core::kNoTaskClass;
+  };
+
+  struct Worker {
+    std::vector<std::unique_ptr<WorkStealingDeque<TaskNode>>> pools;
+    core::GroupIndex group = 0;
+    std::atomic<double> speed_scale{1.0};  // Fi / F1; swapped by kRtsSwap
+    std::atomic<bool> executing{false};
+    std::thread thread;
+    util::Xoshiro256 rng{0};
+    std::uint64_t executed = 0;
+    std::uint64_t steals = 0;
+    std::uint64_t cross_cluster = 0;
+    std::vector<std::uint64_t> class_counts;  // indexed by class id
+  };
+
+  void worker_loop(std::size_t index);
+  void helper_loop();
+  bool try_speed_swap(std::size_t thief);
+  TaskNode* try_acquire(std::size_t index);
+  TaskNode* try_steal_cluster(std::size_t thief, core::GroupIndex cluster);
+  void execute(std::size_t index, TaskNode* node);
+  void enqueue(TaskNode* node);
+  bool dnc_active() const;
+
+  RuntimeConfig config_;
+  std::vector<std::vector<core::GroupIndex>> prefs_;
+  std::vector<std::unique_ptr<Worker>> workers_;
+
+  core::TaskClassRegistry registry_;
+  core::DncDetector dnc_;
+  std::shared_ptr<const core::ClusterMap> cluster_map_;  // swapped by helper
+  mutable std::mutex map_mu_;
+
+  // Spawns from non-worker threads cannot touch the single-owner deques;
+  // they land in this side queue (one lane per cluster), polled by workers
+  // after their own pools.
+  std::vector<std::deque<TaskNode*>> external_;
+  std::mutex external_mu_;
+
+  std::atomic<std::uint64_t> outstanding_{0};
+  std::atomic<bool> stopping_{false};
+  std::atomic<std::uint64_t> reclusters_{0};
+  std::atomic<std::uint64_t> speed_swaps_{0};
+  std::atomic<std::uint64_t> failed_rounds_{0};
+  std::mutex swap_mu_;  // serializes speed-scale swaps
+
+  // First exception thrown by any task, rethrown from wait_all().
+  std::mutex exception_mu_;
+  std::exception_ptr first_exception_;
+
+  // Idle/wake coordination (used by spawns from the external thread and by
+  // wait_all).
+  std::mutex idle_mu_;
+  std::condition_variable idle_cv_;
+  std::condition_variable done_cv_;
+
+  std::thread helper_;
+};
+
+/// A structured join scope: tasks spawned through a TaskGroup can be
+/// waited on independently of everything else in the runtime (the
+/// counterpart of a Cilk `sync` for one spawn set). The destructor waits.
+///
+/// wait() must be called from a non-worker thread: blocking a worker
+/// inside a task would idle a core (and can deadlock a small pool).
+class TaskGroup {
+ public:
+  explicit TaskGroup(TaskRuntime& rt) : rt_(rt) {}
+  ~TaskGroup() { wait(); }
+
+  TaskGroup(const TaskGroup&) = delete;
+  TaskGroup& operator=(const TaskGroup&) = delete;
+
+  void spawn(core::TaskClassId cls, std::function<void()> fn);
+  void spawn(std::function<void()> fn) {
+    spawn(core::kNoTaskClass, std::move(fn));
+  }
+
+  /// Block until every task spawned through this group completed.
+  void wait();
+
+  std::uint64_t pending() const {
+    return pending_.load(std::memory_order_acquire);
+  }
+
+ private:
+  TaskRuntime& rt_;
+  std::atomic<std::uint64_t> pending_{0};
+  std::mutex mu_;
+  std::condition_variable cv_;
+};
+
+}  // namespace wats::runtime

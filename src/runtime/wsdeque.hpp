@@ -1,0 +1,136 @@
+// Chase–Lev work-stealing deque (dynamic circular array variant, after
+// Chase & Lev 2005 / Lê et al. 2013 C11 formulation).
+//
+// Single owner pushes/pops at the bottom without contention; any number of
+// thieves steal from the top with a CAS. Used as the per-(worker, cluster)
+// task pool of the real-thread runtime.
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace wats::runtime {
+
+template <typename T>
+class WorkStealingDeque {
+ public:
+  explicit WorkStealingDeque(std::size_t initial_capacity = 64)
+      : buffer_(new Buffer(round_up(initial_capacity))) {}
+
+  WorkStealingDeque(const WorkStealingDeque&) = delete;
+  WorkStealingDeque& operator=(const WorkStealingDeque&) = delete;
+
+  ~WorkStealingDeque() {
+    delete buffer_.load(std::memory_order_relaxed);
+    // retired_ buffers are deleted by unique_ptr.
+  }
+
+  /// Owner only.
+  void push_bottom(T* item) {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_acquire);
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    if (b - t >= static_cast<std::int64_t>(buf->capacity)) {
+      buf = grow(buf, t, b);
+    }
+    buf->put(b, item);
+    std::atomic_thread_fence(std::memory_order_release);
+    bottom_.store(b + 1, std::memory_order_relaxed);
+  }
+
+  /// Owner only. Returns nullptr when empty.
+  T* pop_bottom() {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed) - 1;
+    Buffer* buf = buffer_.load(std::memory_order_relaxed);
+    bottom_.store(b, std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    std::int64_t t = top_.load(std::memory_order_relaxed);
+    if (t > b) {
+      // Deque was empty; restore.
+      bottom_.store(b + 1, std::memory_order_relaxed);
+      return nullptr;
+    }
+    T* item = buf->get(b);
+    if (t == b) {
+      // Last element: race with thieves via CAS on top.
+      if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                        std::memory_order_relaxed)) {
+        item = nullptr;  // a thief won
+      }
+      bottom_.store(b + 1, std::memory_order_relaxed);
+    }
+    return item;
+  }
+
+  /// Thieves (and, harmlessly, the owner). Returns nullptr when empty or
+  /// when the steal lost a race.
+  T* steal_top() {
+    std::int64_t t = top_.load(std::memory_order_acquire);
+    std::atomic_thread_fence(std::memory_order_seq_cst);
+    const std::int64_t b = bottom_.load(std::memory_order_acquire);
+    if (t >= b) return nullptr;
+    Buffer* buf = buffer_.load(std::memory_order_consume);
+    T* item = buf->get(t);
+    if (!top_.compare_exchange_strong(t, t + 1, std::memory_order_seq_cst,
+                                      std::memory_order_relaxed)) {
+      return nullptr;  // lost the race
+    }
+    return item;
+  }
+
+  /// Approximate size (racy; used for victim selection heuristics only).
+  std::size_t size_approx() const {
+    const std::int64_t b = bottom_.load(std::memory_order_relaxed);
+    const std::int64_t t = top_.load(std::memory_order_relaxed);
+    return b > t ? static_cast<std::size_t>(b - t) : 0;
+  }
+
+  bool empty_approx() const { return size_approx() == 0; }
+
+ private:
+  struct Buffer {
+    explicit Buffer(std::size_t cap) : capacity(cap), slots(cap) {}
+    std::size_t capacity;
+    std::vector<std::atomic<T*>> slots;
+
+    T* get(std::int64_t i) const {
+      return slots[static_cast<std::size_t>(i) & (capacity - 1)].load(
+          std::memory_order_relaxed);
+    }
+    void put(std::int64_t i, T* item) {
+      slots[static_cast<std::size_t>(i) & (capacity - 1)].store(
+          item, std::memory_order_relaxed);
+    }
+  };
+
+  static std::size_t round_up(std::size_t n) {
+    std::size_t c = 8;
+    while (c < n) c <<= 1;
+    return c;
+  }
+
+  Buffer* grow(Buffer* old, std::int64_t t, std::int64_t b) {
+    auto fresh = std::make_unique<Buffer>(old->capacity * 2);
+    for (std::int64_t i = t; i < b; ++i) {
+      fresh->put(i, old->get(i));
+    }
+    Buffer* raw = fresh.get();
+    buffer_.store(raw, std::memory_order_release);
+    // Old buffer may still be read by in-flight thieves; retire it until
+    // the deque is destroyed (bounded growth makes this acceptable).
+    retired_.emplace_back(old);
+    fresh.release();
+    return raw;
+  }
+
+  std::atomic<std::int64_t> top_{0};
+  std::atomic<std::int64_t> bottom_{0};
+  std::atomic<Buffer*> buffer_;
+  std::vector<std::unique_ptr<Buffer>> retired_;
+};
+
+}  // namespace wats::runtime

@@ -1,0 +1,266 @@
+#include "sim/engine.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace wats::sim {
+
+double RunStats::utilization(const core::AmcTopology& topo) const {
+  if (makespan <= 0.0) return 0.0;
+  double weighted_busy = 0.0;
+  for (core::CoreIndex c = 0; c < busy_time.size(); ++c) {
+    weighted_busy +=
+        busy_time[c] * topo.group(topo.group_of_core(c)).frequency_ghz;
+  }
+  return weighted_busy / (topo.total_capacity() * makespan);
+}
+
+double RunStats::energy(const core::AmcTopology& topo,
+                        const core::EnergyModel& model) const {
+  double e = 0.0;
+  for (core::CoreIndex c = 0; c < busy_time.size(); ++c) {
+    const double f = topo.group(topo.group_of_core(c)).frequency_ghz;
+    e += model.capacitance * f * f * f * busy_time[c];
+    e += model.static_power * makespan;
+  }
+  return e;
+}
+
+Engine::Engine(const core::AmcTopology& topo, const SimConfig& config,
+               Scheduler& scheduler, Workload& workload)
+    : topo_(topo),
+      config_(config),
+      scheduler_(scheduler),
+      workload_(workload),
+      rng_(config.seed) {
+  cores_.resize(topo_.total_cores());
+  stats_.busy_time.assign(topo_.total_cores(), 0.0);
+  stats_.overhead_time.assign(topo_.total_cores(), 0.0);
+}
+
+double Engine::core_speed(core::CoreIndex core) const {
+  return topo_.group(topo_.group_of_core(core)).frequency_ghz;
+}
+
+double Engine::effective_speed(const SimTask& task,
+                               core::CoreIndex core) const {
+  const double f = core_speed(core);
+  const double f1 = topo_.fastest_frequency();
+  const double s = task.scalable;
+  // time = s*w/f + (1-s)*w/f1  =>  eff = w/time.
+  return 1.0 / (s / f + (1.0 - s) / f1);
+}
+
+void Engine::push_event(Event e) {
+  e.seq = next_seq_++;
+  events_.push(std::move(e));
+}
+
+void Engine::spawn(SimTask task, core::CoreIndex spawner) {
+  ++stats_.spawned;
+  task.spawned_at = now_;
+  scheduler_.on_spawn(*this, std::move(task), spawner);
+  // Idle cores get a chance to pick the new work up at the current time.
+  // (Dispatch happens in the main loop right after the triggering event,
+  // via dispatch_idle_cores(); spawning from hooks is safe because every
+  // event handler ends with a dispatch pass.)
+}
+
+void Engine::spawn_at(SimTask task, core::CoreIndex spawner, double when) {
+  WATS_CHECK(when >= now_);
+  Event e;
+  e.time = when;
+  e.kind = EventKind::kSpawn;
+  e.task = std::move(task);
+  e.spawner = spawner;
+  push_event(std::move(e));
+}
+
+bool Engine::core_busy(core::CoreIndex core) const {
+  return cores_.at(core).busy;
+}
+
+double Engine::running_remaining(core::CoreIndex core) const {
+  const CoreState& s = cores_.at(core);
+  WATS_CHECK(s.busy);
+  // Before task_started (acquisition latency window) nothing has executed.
+  const double executed =
+      std::max(0.0, (now_ - s.task_started)) * s.eff_speed;
+  return std::max(0.0, s.task.remaining - executed);
+}
+
+const SimTask& Engine::running_task(core::CoreIndex core) const {
+  const CoreState& s = cores_.at(core);
+  WATS_CHECK(s.busy);
+  return s.task;
+}
+
+bool Engine::dispatch(core::CoreIndex core) {
+  CoreState& s = cores_[core];
+  WATS_CHECK(!s.busy);
+  std::optional<Acquired> acquired = scheduler_.acquire(*this, core);
+  if (!acquired.has_value()) {
+    ++stats_.failed_acquires;
+    const std::optional<core::CoreIndex> victim =
+        scheduler_.maybe_snatch(*this, core);
+    if (victim.has_value()) {
+      return snatch(core, *victim);
+    }
+    return false;
+  }
+  if (acquired->latency > 0.0) {
+    stats_.overhead_time[core] += acquired->latency;
+  }
+  s.busy = true;
+  s.task = std::move(acquired->task);
+  s.dispatched_at = now_;
+  s.task_started = now_ + acquired->latency;
+  if (s.task.remaining == s.task.work) {  // first execution, not a resume
+    const double wait = s.task_started - s.task.spawned_at;
+    stats_.wait_time.add(wait);
+    if (s.task.cls != core::kNoTaskClass) {
+      if (stats_.wait_time_by_class.size() <= s.task.cls) {
+        stats_.wait_time_by_class.resize(s.task.cls + 1);
+      }
+      stats_.wait_time_by_class[s.task.cls].add(wait);
+    }
+  }
+  s.eff_speed = effective_speed(s.task, core);
+  ++s.version;
+  const double finish = s.task_started + s.task.remaining / s.eff_speed;
+  Event e;
+  e.time = finish;
+  e.kind = EventKind::kFinish;
+  e.core = core;
+  e.version = s.version;
+  push_event(std::move(e));
+  return true;
+}
+
+bool Engine::snatch(core::CoreIndex thief, core::CoreIndex victim) {
+  CoreState& v = cores_[victim];
+  if (!v.busy) return false;
+  WATS_CHECK(thief != victim);
+
+  // Preempt: charge the victim for the work it actually did.
+  const double executed =
+      std::max(0.0, now_ - v.task_started) * v.eff_speed;
+  SimTask task = v.task;
+  // Cold-cache migration: part of the already-executed work is redone.
+  const double redone =
+      std::min(executed, task.remaining) * config_.snatch_redo_fraction;
+  task.remaining = std::max(0.0, task.remaining - executed) + redone;
+  stats_.busy_time[victim] += std::max(0.0, now_ - v.task_started);
+  if (trace_ != nullptr && now_ > v.task_started) {
+    trace_->record({v.task_started, now_, victim, v.task.id, v.task.cls,
+                    /*preempted=*/true});
+  }
+  v.busy = false;
+  ++v.version;  // invalidates the victim's scheduled finish event
+
+  ++stats_.snatches;
+
+  // Thief starts the task after the snatch latency.
+  CoreState& t = cores_[thief];
+  WATS_CHECK(!t.busy);
+  stats_.overhead_time[thief] += config_.snatch_cost;
+  t.busy = true;
+  t.task = std::move(task);
+  t.dispatched_at = now_;
+  t.task_started = now_ + config_.snatch_cost;
+  t.eff_speed = effective_speed(t.task, thief);
+  ++t.version;
+  const double finish = t.task_started + t.task.remaining / t.eff_speed;
+  Event e;
+  e.time = finish;
+  e.kind = EventKind::kFinish;
+  e.core = thief;
+  e.version = t.version;
+  push_event(std::move(e));
+  return true;
+}
+
+void Engine::dispatch_idle_cores() {
+  // Keep offering work to idle cores until a full pass makes no progress.
+  // Fast cores first: deterministic and mirrors the paper's bias of giving
+  // the fastest cores first crack at new work (main task on the fastest).
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (core::CoreIndex c = 0; c < cores_.size(); ++c) {
+      if (!cores_[c].busy && dispatch(c)) progress = true;
+    }
+  }
+}
+
+void Engine::handle_finish(const Event& e) {
+  CoreState& s = cores_[e.core];
+  if (!s.busy || s.version != e.version) return;  // stale (preempted)
+
+  stats_.busy_time[e.core] += std::max(0.0, now_ - s.task_started);
+  if (trace_ != nullptr && now_ > s.task_started) {
+    trace_->record({s.task_started, now_, e.core, s.task.id, s.task.cls,
+                    /*preempted=*/false});
+  }
+  const SimTask finished = s.task;
+  s.busy = false;
+  ++s.version;
+
+  ++stats_.tasks_completed;
+  stats_.total_work += finished.work;
+
+  scheduler_.on_complete(*this, finished, e.core);
+  workload_.on_complete(*this, finished, e.core);
+}
+
+RunStats Engine::run() {
+  WATS_CHECK_MSG(!ran_, "Engine::run is single-shot");
+  ran_ = true;
+
+  workload_.start(*this);
+  if (config_.recluster_period > 0.0) {
+    Event e;
+    e.time = config_.recluster_period;
+    e.kind = EventKind::kRecluster;
+    push_event(std::move(e));
+  }
+  dispatch_idle_cores();
+
+  while (!events_.empty()) {
+    const Event e = events_.top();
+    events_.pop();
+    WATS_CHECK(e.time >= now_);
+    now_ = e.time;
+    switch (e.kind) {
+      case EventKind::kSpawn:
+        spawn(e.task, e.spawner);
+        break;
+      case EventKind::kFinish:
+        handle_finish(e);
+        break;
+      case EventKind::kRecluster: {
+        scheduler_.on_recluster_tick(*this);
+        // Keep ticking while there is still activity.
+        bool any_busy = false;
+        for (const auto& c : cores_) any_busy |= c.busy;
+        if (any_busy || !events_.empty()) {
+          Event next;
+          next.time = now_ + config_.recluster_period;
+          next.kind = EventKind::kRecluster;
+          push_event(std::move(next));
+        }
+        break;
+      }
+    }
+    dispatch_idle_cores();
+  }
+
+  WATS_CHECK_MSG(workload_.done(), "simulation drained with workload unfinished");
+  WATS_CHECK_MSG(!scheduler_.has_pending(),
+                 "simulation drained with tasks still queued");
+  stats_.makespan = now_;
+  return stats_;
+}
+
+}  // namespace wats::sim

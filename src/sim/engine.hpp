@@ -1,0 +1,207 @@
+// The deterministic virtual-time AMC simulator.
+//
+// Cores with per-group speeds execute tasks whose durations are
+// remaining_work / speed; steals, snatches and spawns cost configurable
+// virtual overheads. All randomness draws from one seeded RNG, so a run is
+// a pure function of (topology, workload, scheduler, config) — which is
+// what lets the benches regenerate the paper's figures bit-reproducibly.
+//
+// See DESIGN.md §5 for why virtual time replaces the paper's DVFS testbed.
+#pragma once
+
+#include <cstdint>
+#include <queue>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/cmpi.hpp"
+#include "core/topology.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/trace.hpp"
+#include "sim/task.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+
+namespace wats::sim {
+
+class Workload;
+class TraceRecorder;
+
+struct SimConfig {
+  std::uint64_t seed = 1;
+  /// Virtual-time cost of a successful steal (lock + deque transfer).
+  double steal_cost = 0.05;
+  /// Virtual-time cost of a snatch = the paper's Delta_s: the full thread
+  /// swap (two context switches, cold caches on both cores) — two to three
+  /// orders of magnitude above a steal.
+  double snatch_cost = 25.0;
+  /// Fraction of the victim's completed work the snatched task must redo
+  /// on the thief (cold caches / lost architectural state after the thread
+  /// swap). This is what makes snatching a nearly-finished task a net loss
+  /// — the effect behind Fig. 10 and the heavy-workload RTS collapse in
+  /// Fig. 8.
+  double snatch_redo_fraction = 0.75;
+  /// Serial per-task spawn cost at the spawning core (staggers task
+  /// availability within a batch).
+  double spawn_cost = 0.0;
+  /// Helper-thread recluster period in virtual time; 0 disables periodic
+  /// ticks (the WATS schedulers also recluster on completion by default).
+  double recluster_period = 0.0;
+  /// §IV-E: "WATS schedules the main task of a parallel program on the
+  /// fastest core ... we make all other schedulers launch the main task
+  /// on the fastest core" — when false, each batch's spawner is a random
+  /// core instead (the ablation the paper alludes to: "if the chosen core
+  /// is slow, their performance will be even worse").
+  bool main_on_fastest = true;
+  /// Static allocator used by the WATS family's recluster step.
+  core::ClusterAlgorithm cluster_algorithm =
+      core::ClusterAlgorithm::kAlgorithm1;
+  /// Steal-victim selection for the deque-based schedulers (PFT, WATS
+  /// family): uniformly random victim (the paper's policy) or the victim
+  /// with the most queued work ("steal from the richest" variant).
+  enum class StealVictim { kRandom, kRichest } steal_victim =
+      StealVictim::kRandom;
+};
+
+struct RunStats {
+  double makespan = 0.0;
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t steals = 0;    ///< successful cross-core steals
+  std::uint64_t snatches = 0;  ///< successful snatches (RTS / WATS-TS)
+  std::uint64_t failed_acquires = 0;  ///< idle offers that found nothing
+  double total_work = 0.0;     ///< F1-normalized work units completed
+  std::vector<double> busy_time;      ///< per-core time spent executing
+  std::vector<double> overhead_time;  ///< per-core steal/snatch latency
+  std::uint64_t spawned = 0;
+  /// Per-task scheduling delay (spawn -> first execution start); snatched
+  /// tasks contribute only their first wait.
+  util::RunningStat wait_time;
+  /// Same, broken out per task class (indexed by TaskClassId; classes the
+  /// run never executed have empty stats).
+  std::vector<util::RunningStat> wait_time_by_class;
+
+  /// Machine utilization: busy time weighted by capacity vs elapsed time.
+  double utilization(const core::AmcTopology& topo) const;
+
+  /// Total energy of the run under the given model: dynamic power during
+  /// busy time at each core's frequency plus static power for the whole
+  /// makespan on every core.
+  double energy(const core::AmcTopology& topo,
+                const core::EnergyModel& model) const;
+};
+
+class Engine {
+ public:
+  Engine(const core::AmcTopology& topo, const SimConfig& config,
+         Scheduler& scheduler, Workload& workload);
+
+  /// Run to completion and return the statistics. Single-shot.
+  RunStats run();
+
+  // ---- Services for Scheduler / Workload implementations ----
+
+  const core::AmcTopology& topology() const { return topo_; }
+  const SimConfig& config() const { return config_; }
+  util::Xoshiro256& rng() { return rng_; }
+  double now() const { return now_; }
+
+  /// Speed (GHz) of a core.
+  double core_speed(core::CoreIndex core) const;
+
+  /// Effective execution speed of a task on a core, accounting for the
+  /// task's frequency-scalable fraction (§IV-E): memory-stall time does
+  /// not speed up with frequency.
+  double effective_speed(const SimTask& task, core::CoreIndex core) const;
+
+  /// Attach a trace recorder (owned by the caller; may be null).
+  void set_trace(TraceRecorder* trace) { trace_ = trace; }
+
+  /// Spawn a task now (placed via the scheduler, idle cores re-dispatch).
+  void spawn(SimTask task, core::CoreIndex spawner);
+
+  /// Spawn at a future virtual time (used for spawn_cost staggering).
+  void spawn_at(SimTask task, core::CoreIndex spawner, double when);
+
+  /// Fresh task id.
+  TaskId next_task_id() { return next_task_id_++; }
+
+  /// Is the core currently executing a task?
+  bool core_busy(core::CoreIndex core) const;
+
+  /// Remaining F1-normalized work of the task running on `core` as of
+  /// now() (only valid when core_busy(core)).
+  double running_remaining(core::CoreIndex core) const;
+
+  /// Class of the task running on `core` (only valid when busy).
+  const SimTask& running_task(core::CoreIndex core) const;
+
+  /// Count of successful steals / snatches (exposed for policies that want
+  /// to rate-limit; also folded into RunStats).
+  void count_steal() { ++stats_.steals; }
+
+ private:
+  enum class EventKind { kSpawn, kFinish, kRecluster };
+
+  struct Event {
+    double time = 0.0;
+    std::uint64_t seq = 0;  // tie-break: FIFO among same-time events
+    EventKind kind = EventKind::kSpawn;
+    core::CoreIndex core = 0;       // kFinish
+    std::uint64_t version = 0;      // kFinish: guards stale completions
+    SimTask task;                   // kSpawn
+    core::CoreIndex spawner = 0;    // kSpawn
+
+    bool operator>(const Event& other) const {
+      if (time != other.time) return time > other.time;
+      return seq > other.seq;
+    }
+  };
+
+  struct CoreState {
+    bool busy = false;
+    SimTask task;
+    double task_started = 0.0;   // when execution (post-latency) begins
+    double dispatched_at = 0.0;  // when the acquisition started
+    double eff_speed = 1.0;      // effective speed of the running task
+    std::uint64_t version = 0;   // bumped on every dispatch/preempt
+  };
+
+  void push_event(Event e);
+  void handle_finish(const Event& e);
+  void dispatch_idle_cores();
+  bool dispatch(core::CoreIndex core);
+  /// Preempt the task on `victim` (updates its remaining work) and hand it
+  /// to `thief` with snatch latency. Returns false if victim went idle
+  /// meanwhile.
+  bool snatch(core::CoreIndex thief, core::CoreIndex victim);
+
+  const core::AmcTopology& topo_;
+  SimConfig config_;
+  Scheduler& scheduler_;
+  Workload& workload_;
+  util::Xoshiro256 rng_;
+
+  std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
+  std::uint64_t next_seq_ = 0;
+  std::vector<CoreState> cores_;
+  double now_ = 0.0;
+  TaskId next_task_id_ = 1;
+  RunStats stats_;
+  TraceRecorder* trace_ = nullptr;
+  bool ran_ = false;
+};
+
+/// Workload driver interface: spawns the initial tasks and reacts to
+/// completions (next pipeline stage, next batch, ...).
+class Workload {
+ public:
+  virtual ~Workload() = default;
+  virtual void start(Engine& engine) = 0;
+  /// `core` is the core that completed the task (pipeline stages spawn
+  /// their successor from the completing core).
+  virtual void on_complete(Engine& engine, const SimTask& task,
+                           core::CoreIndex core) = 0;
+  virtual bool done() const = 0;
+};
+
+}  // namespace wats::sim

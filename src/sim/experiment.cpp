@@ -1,0 +1,68 @@
+#include "sim/experiment.hpp"
+
+#include <algorithm>
+
+#include "core/history_io.hpp"
+#include "sim/workload_adapter.hpp"
+#include "util/check.hpp"
+
+namespace wats::sim {
+
+ExperimentResult run_experiment(const workloads::BenchmarkSpec& spec,
+                                const core::AmcTopology& topo,
+                                SchedulerKind kind,
+                                const ExperimentConfig& config) {
+  WATS_CHECK(config.repeats > 0);
+  ExperimentResult result;
+  result.min_makespan = 0.0;
+  result.max_makespan = 0.0;
+
+  for (std::size_t i = 0; i < config.repeats; ++i) {
+    SimConfig sim = config.sim;
+    sim.seed = config.base_seed + i;
+
+    // Fresh history per run: the paper's statistics live for one program
+    // execution.
+    core::TaskClassRegistry registry(config.estimator, config.ewma_alpha);
+    if (!config.warm_history.empty()) {
+      core::load_history(registry, config.warm_history);
+    }
+    auto scheduler = make_scheduler(kind, registry);
+    auto workload = make_workload(spec, registry, sim.seed ^ 0x9E3779B9u);
+
+    Engine engine(topo, sim, *scheduler, *workload);
+    scheduler->bind(engine);
+    RunStats stats = engine.run();
+
+    result.mean_makespan += stats.makespan;
+    result.mean_steals += static_cast<double>(stats.steals);
+    result.mean_snatches += static_cast<double>(stats.snatches);
+    result.mean_utilization += stats.utilization(topo);
+    if (i == 0) {
+      result.min_makespan = result.max_makespan = stats.makespan;
+    } else {
+      result.min_makespan = std::min(result.min_makespan, stats.makespan);
+      result.max_makespan = std::max(result.max_makespan, stats.makespan);
+    }
+    result.runs.push_back(std::move(stats));
+  }
+  const auto n = static_cast<double>(config.repeats);
+  result.mean_makespan /= n;
+  result.mean_steals /= n;
+  result.mean_snatches /= n;
+  result.mean_utilization /= n;
+  return result;
+}
+
+std::vector<ExperimentResult> run_schedulers(
+    const workloads::BenchmarkSpec& spec, const core::AmcTopology& topo,
+    const std::vector<SchedulerKind>& kinds, const ExperimentConfig& config) {
+  std::vector<ExperimentResult> results;
+  results.reserve(kinds.size());
+  for (SchedulerKind kind : kinds) {
+    results.push_back(run_experiment(spec, topo, kind, config));
+  }
+  return results;
+}
+
+}  // namespace wats::sim

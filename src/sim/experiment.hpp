@@ -1,0 +1,52 @@
+// One-call experiment harness: run (benchmark, machine, scheduler) in the
+// simulator and report makespan + scheduler statistics, optionally
+// averaged over several seeds. All bench binaries build on this.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/topology.hpp"
+#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
+#include "workloads/workload_model.hpp"
+
+namespace wats::sim {
+
+struct ExperimentConfig {
+  SimConfig sim;           ///< seed is overridden per repeat
+  std::size_t repeats = 3; ///< averaged runs with seeds base_seed + i
+  std::uint64_t base_seed = 42;
+  /// Workload estimator for the WATS family's history (§III-A extension).
+  core::WorkloadEstimator estimator = core::WorkloadEstimator::kRunningMean;
+  double ewma_alpha = 0.2;
+  /// Warm start: serialized history (core/history_io.hpp format) loaded
+  /// into the registry before each run, so the first batch is already
+  /// allocated from prior knowledge instead of all-unknown -> fastest.
+  std::string warm_history;
+};
+
+struct ExperimentResult {
+  double mean_makespan = 0.0;
+  double min_makespan = 0.0;
+  double max_makespan = 0.0;
+  double mean_steals = 0.0;
+  double mean_snatches = 0.0;
+  double mean_utilization = 0.0;
+  std::vector<RunStats> runs;
+};
+
+/// Run one scheduler on one benchmark on one machine.
+ExperimentResult run_experiment(const workloads::BenchmarkSpec& spec,
+                                const core::AmcTopology& topo,
+                                SchedulerKind kind,
+                                const ExperimentConfig& config = {});
+
+/// Makespans for several schedulers on the same benchmark/machine, in the
+/// order given (convenience for the figure benches).
+std::vector<ExperimentResult> run_schedulers(
+    const workloads::BenchmarkSpec& spec, const core::AmcTopology& topo,
+    const std::vector<SchedulerKind>& kinds,
+    const ExperimentConfig& config = {});
+
+}  // namespace wats::sim

@@ -1,0 +1,99 @@
+#include "sim/multiprogram.hpp"
+
+#include "sim/scheduler.hpp"
+#include "util/check.hpp"
+
+namespace wats::sim {
+
+CompositeWorkload::CompositeWorkload(
+    std::vector<workloads::BenchmarkSpec> specs,
+    core::TaskClassRegistry& registry, std::uint64_t seed)
+    : registry_(registry) {
+  WATS_CHECK(!specs.empty());
+  std::uint64_t member_seed = seed;
+  for (std::size_t i = 0; i < specs.size(); ++i) {
+    Member m;
+    // Prefix class names with the member index and application name so
+    // co-running applications keep separate histories even when they
+    // share kernel (or application) names.
+    m.spec = std::make_unique<workloads::BenchmarkSpec>(std::move(specs[i]));
+    for (auto& cls : m.spec->classes) {
+      cls.name = "app" + std::to_string(i) + "/" + m.spec->name + "/" +
+                 cls.name;
+    }
+    m.driver = make_workload(*m.spec, registry, member_seed++);
+    members_.push_back(std::move(m));
+  }
+}
+
+void CompositeWorkload::start(Engine& engine) {
+  // Start members one at a time, recording the contiguous class-id range
+  // each one interns — that range routes completions back to the member.
+  for (auto& m : members_) {
+    const auto before = static_cast<core::TaskClassId>(registry_.size());
+    m.driver->start(engine);
+    const auto after = static_cast<core::TaskClassId>(registry_.size());
+    WATS_CHECK_MSG(after > before,
+                   "member workload interned no task classes");
+    m.first_class = before;
+    m.last_class = after - 1;
+    m.outstanding_tasks = m.spec->total_tasks();
+  }
+}
+
+std::size_t CompositeWorkload::member_of(core::TaskClassId cls) const {
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    if (cls >= members_[i].first_class && cls <= members_[i].last_class) {
+      return i;
+    }
+  }
+  WATS_CHECK_MSG(false, "task class belongs to no application");
+  __builtin_unreachable();
+}
+
+void CompositeWorkload::on_complete(Engine& engine, const SimTask& task,
+                                    core::CoreIndex core) {
+  Member& m = members_[member_of(task.cls)];
+  m.driver->on_complete(engine, task, core);
+  WATS_CHECK(m.outstanding_tasks > 0);
+  if (--m.outstanding_tasks == 0) {
+    WATS_CHECK(m.driver->done());
+    m.finish_time = engine.now();
+  }
+}
+
+bool CompositeWorkload::done() const {
+  for (const auto& m : members_) {
+    if (!m.driver->done()) return false;
+  }
+  return true;
+}
+
+double CompositeWorkload::finish_time(std::size_t i) const {
+  return members_.at(i).finish_time;
+}
+
+const std::string& CompositeWorkload::application_name(std::size_t i) const {
+  return members_.at(i).spec->name;
+}
+
+MultiprogramResult run_multiprogram(
+    const std::vector<workloads::BenchmarkSpec>& specs,
+    const core::AmcTopology& topo, SchedulerKind kind,
+    const SimConfig& config) {
+  core::TaskClassRegistry registry;
+  auto scheduler = make_scheduler(kind, registry);
+  CompositeWorkload composite(specs, registry, config.seed ^ 0xC0FFEEu);
+  Engine engine(topo, config, *scheduler, composite);
+  scheduler->bind(engine);
+
+  MultiprogramResult result;
+  result.stats = engine.run();
+  result.makespan = result.stats.makespan;
+  for (std::size_t i = 0; i < composite.application_count(); ++i) {
+    result.per_app_finish.push_back(composite.finish_time(i));
+  }
+  return result;
+}
+
+}  // namespace wats::sim

@@ -1,0 +1,71 @@
+// Multiprogrammed simulation: several applications co-scheduled on one
+// AMC machine through a single scheduler instance.
+//
+// The paper evaluates one application at a time; co-running applications
+// is the natural next question for a shared machine (its related work on
+// OS-level scheduling is about exactly this). CompositeWorkload
+// multiplexes multiple BenchmarkSpec drivers over one engine and reports
+// each application's own completion time alongside the global makespan,
+// so interference between applications under different schedulers can be
+// measured (bench_multiprogram).
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/workload_adapter.hpp"
+#include "workloads/workload_model.hpp"
+
+namespace wats::sim {
+
+class CompositeWorkload : public Workload {
+ public:
+  /// All member workloads share one registry (class names are prefixed
+  /// with the application name to keep histories separate).
+  CompositeWorkload(std::vector<workloads::BenchmarkSpec> specs,
+                    core::TaskClassRegistry& registry, std::uint64_t seed);
+
+  void start(Engine& engine) override;
+  void on_complete(Engine& engine, const SimTask& task,
+                   core::CoreIndex core) override;
+  bool done() const override;
+
+  /// Virtual time at which application `i` finished (0 until done()).
+  double finish_time(std::size_t i) const;
+  std::size_t application_count() const { return members_.size(); }
+  const std::string& application_name(std::size_t i) const;
+
+ private:
+  struct Member {
+    // unique_ptr: the drivers hold references to their specs, so the
+    // spec's address must survive vector reallocation.
+    std::unique_ptr<workloads::BenchmarkSpec> spec;
+    std::unique_ptr<Workload> driver;
+    std::uint64_t outstanding_tasks = 0;
+    double finish_time = 0.0;
+    core::TaskClassId first_class = 0;
+    core::TaskClassId last_class = 0;  // inclusive class-id range
+  };
+
+  std::size_t member_of(core::TaskClassId cls) const;
+
+  core::TaskClassRegistry& registry_;
+  std::vector<Member> members_;
+};
+
+/// Result row for one co-run experiment.
+struct MultiprogramResult {
+  double makespan = 0.0;
+  std::vector<double> per_app_finish;  ///< finish time of each application
+  RunStats stats;
+};
+
+/// Run several applications concurrently under one scheduler.
+MultiprogramResult run_multiprogram(
+    const std::vector<workloads::BenchmarkSpec>& specs,
+    const core::AmcTopology& topo, SchedulerKind kind,
+    const SimConfig& config);
+
+}  // namespace wats::sim

@@ -1,0 +1,98 @@
+// Per-core task pools for the simulator.
+//
+// WATS gives every core k pools, one per task cluster (Fig. 5); the owner
+// pops its own pools LIFO (deque bottom, like Cilk) and thieves steal FIFO
+// (deque top). The single-pool schedulers use the same structure with k=1.
+#pragma once
+
+#include <deque>
+#include <optional>
+#include <vector>
+
+#include "core/topology.hpp"
+#include "sim/task.hpp"
+#include "util/check.hpp"
+
+namespace wats::sim {
+
+class PoolSet {
+ public:
+  explicit PoolSet(std::size_t clusters) : pools_(clusters) {
+    WATS_CHECK(clusters > 0);
+  }
+
+  void push(core::GroupIndex cluster, SimTask task) {
+    pools_.at(cluster).push_back(std::move(task));
+  }
+
+  /// Owner side: newest task first (work-first order).
+  std::optional<SimTask> pop_lifo(core::GroupIndex cluster) {
+    auto& p = pools_.at(cluster);
+    if (p.empty()) return std::nullopt;
+    SimTask t = std::move(p.back());
+    p.pop_back();
+    return t;
+  }
+
+  /// Thief side: oldest task first.
+  std::optional<SimTask> steal_fifo(core::GroupIndex cluster) {
+    auto& p = pools_.at(cluster);
+    if (p.empty()) return std::nullopt;
+    SimTask t = std::move(p.front());
+    p.pop_front();
+    return t;
+  }
+
+  /// Thief side, workload-aware: the lightest queued task. Used when a
+  /// core robs a cluster FASTER than its own — taking a heavy task onto a
+  /// slower core at the tail of a batch is exactly the §II failure mode,
+  /// so the rob takes the task it can finish soonest.
+  std::optional<SimTask> steal_lightest(core::GroupIndex cluster) {
+    auto& p = pools_.at(cluster);
+    if (p.empty()) return std::nullopt;
+    auto it = p.begin();
+    for (auto cand = p.begin(); cand != p.end(); ++cand) {
+      if (cand->remaining < it->remaining) it = cand;
+    }
+    SimTask t = std::move(*it);
+    p.erase(it);
+    return t;
+  }
+
+  /// Remaining work of the lightest task queued for `cluster`, or nothing.
+  std::optional<double> lightest_work(core::GroupIndex cluster) const {
+    const auto& p = pools_.at(cluster);
+    if (p.empty()) return std::nullopt;
+    double w = p.front().remaining;
+    for (const auto& t : p) w = std::min(w, t.remaining);
+    return w;
+  }
+
+  /// Total queued work for `cluster`.
+  double queued_work(core::GroupIndex cluster) const {
+    double w = 0.0;
+    for (const auto& t : pools_.at(cluster)) w += t.remaining;
+    return w;
+  }
+
+  bool empty(core::GroupIndex cluster) const {
+    return pools_.at(cluster).empty();
+  }
+
+  std::size_t size(core::GroupIndex cluster) const {
+    return pools_.at(cluster).size();
+  }
+
+  std::size_t total_size() const {
+    std::size_t n = 0;
+    for (const auto& p : pools_) n += p.size();
+    return n;
+  }
+
+  std::size_t cluster_count() const { return pools_.size(); }
+
+ private:
+  std::vector<std::deque<SimTask>> pools_;
+};
+
+}  // namespace wats::sim

@@ -1,0 +1,96 @@
+// Scheduler policy interface for the simulator.
+//
+// All six evaluated schedulers (Cilk, PFT, RTS, WATS, WATS-NP, WATS-TS)
+// implement this interface; they differ only in where spawned tasks are
+// placed, how an idle core acquires work, and whether/who they snatch —
+// mirroring how the paper implemented every policy inside MIT Cilk.
+#pragma once
+
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/task_class.hpp"
+#include "core/topology.hpp"
+#include "sim/task.hpp"
+
+namespace wats::sim {
+
+class Engine;
+
+enum class SchedulerKind {
+  kCilk,
+  kPft,
+  kRts,
+  kWats,
+  kWatsNp,
+  kWatsTs,
+  /// WATS-M (§IV-E extension): like WATS, but classes observed to be
+  /// memory-bound are pinned to the slowest c-group — fast cores cannot
+  /// speed them up, so they should not occupy fast-core capacity.
+  kWatsM,
+  /// Omniscient LPT oracle (not in the paper): a single global pool from
+  /// which every idle core takes the LONGEST remaining task, with exact
+  /// workload knowledge and no steal cost. An upper baseline showing how
+  /// much headroom remains above WATS's history-based approximation.
+  kLptOracle,
+};
+
+std::string to_string(SchedulerKind kind);
+
+/// Result of a successful work acquisition: the task plus the virtual-time
+/// latency the acquisition itself cost (0 for a local pool hit,
+/// steal_cost for a steal, snatch_cost for a snatch).
+struct Acquired {
+  SimTask task;
+  double latency = 0.0;
+};
+
+class Scheduler {
+ public:
+  virtual ~Scheduler() = default;
+
+  /// Called once before the run starts.
+  virtual void bind(Engine& engine) = 0;
+
+  /// Place a newly spawned task (spawned by `spawner`, or by the out-of-
+  /// band driver when spawner is the main core).
+  virtual void on_spawn(Engine& engine, SimTask task,
+                        core::CoreIndex spawner) = 0;
+
+  /// An idle core asks for work. Returns nothing when every reachable pool
+  /// is empty (the engine will then consult maybe_snatch()).
+  virtual std::optional<Acquired> acquire(Engine& engine,
+                                          core::CoreIndex core) = 0;
+
+  /// Snatch hook: called when acquire() failed. Returns the victim core to
+  /// preempt, or nothing. Only RTS and WATS-TS use this.
+  virtual std::optional<core::CoreIndex> maybe_snatch(Engine& engine,
+                                                      core::CoreIndex thief) {
+    (void)engine;
+    (void)thief;
+    return std::nullopt;
+  }
+
+  /// Completion hook (history update for the WATS family).
+  virtual void on_complete(Engine& engine, const SimTask& task,
+                           core::CoreIndex core) {
+    (void)engine;
+    (void)task;
+    (void)core;
+  }
+
+  /// Periodic helper-thread tick (recluster for the WATS family).
+  virtual void on_recluster_tick(Engine& engine) { (void)engine; }
+
+  /// Any tasks queued in pools (used by the engine's deadlock check).
+  virtual bool has_pending() const = 0;
+};
+
+/// Factory for the six evaluated schedulers. The registry is shared with
+/// the workload driver (both sides must agree on task-class ids); only the
+/// WATS family reads or writes it.
+std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
+                                          core::TaskClassRegistry& registry);
+
+}  // namespace wats::sim

@@ -1,0 +1,28 @@
+// Task representation inside the virtual-time AMC simulator.
+#pragma once
+
+#include <cstdint>
+
+#include "core/task_class.hpp"
+
+namespace wats::sim {
+
+using TaskId = std::uint64_t;
+
+struct SimTask {
+  TaskId id = 0;
+  core::TaskClassId cls = core::kNoTaskClass;
+  double work = 0.0;       ///< total F1-normalized work units
+  double remaining = 0.0;  ///< work still to do (differs after preemption)
+  /// Frequency-scalable fraction (§IV-E): 1.0 = pure compute (time scales
+  /// as 1/F), 0.0 = pure memory stalls (time is frequency-invariant).
+  double scalable = 1.0;
+  /// Set by the engine when the task is spawned (for wait-time metrics).
+  double spawned_at = 0.0;
+
+  // Pipeline bookkeeping (unused by batch workloads).
+  std::uint32_t item = 0;
+  std::uint32_t stage = 0;
+};
+
+}  // namespace wats::sim

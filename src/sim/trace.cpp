@@ -1,0 +1,70 @@
+#include "sim/trace.hpp"
+
+#include <algorithm>
+#include <sstream>
+
+#include "util/check.hpp"
+
+namespace wats::sim {
+
+std::vector<TraceSegment> TraceRecorder::core_segments(
+    core::CoreIndex core) const {
+  std::vector<TraceSegment> out;
+  for (const auto& s : segments_) {
+    if (s.core == core) out.push_back(s);
+  }
+  return out;
+}
+
+std::vector<double> TraceRecorder::busy_time(std::size_t core_count) const {
+  std::vector<double> busy(core_count, 0.0);
+  for (const auto& s : segments_) {
+    WATS_CHECK(s.core < core_count);
+    busy[s.core] += s.end - s.start;
+  }
+  return busy;
+}
+
+std::string TraceRecorder::render_gantt(const core::AmcTopology& topo,
+                                        double makespan,
+                                        std::size_t width) const {
+  WATS_CHECK(width > 0);
+  std::ostringstream out;
+  if (makespan <= 0.0) return "";
+  for (core::CoreIndex c = 0; c < topo.total_cores(); ++c) {
+    std::string row(width, '.');
+    for (const auto& s : segments_) {
+      if (s.core != c) continue;
+      auto slot = [&](double t) {
+        return std::min(
+            width - 1, static_cast<std::size_t>(t / makespan *
+                                                static_cast<double>(width)));
+      };
+      for (std::size_t i = slot(s.start); i <= slot(s.end - 1e-12) && i < width;
+           ++i) {
+        row[i] = '#';
+      }
+      if (s.preempted) row[slot(s.end - 1e-12)] = '!';
+    }
+    out << "core " << c << " (" << topo.group(topo.group_of_core(c)).frequency_ghz
+        << " GHz) |" << row << "|\n";
+  }
+  return out.str();
+}
+
+bool TraceRecorder::no_overlaps() const {
+  // Group by core, sort by start, check adjacency.
+  std::vector<TraceSegment> sorted = segments_;
+  std::sort(sorted.begin(), sorted.end(), [](const TraceSegment& a,
+                                             const TraceSegment& b) {
+    if (a.core != b.core) return a.core < b.core;
+    return a.start < b.start;
+  });
+  for (std::size_t i = 1; i < sorted.size(); ++i) {
+    if (sorted[i].core != sorted[i - 1].core) continue;
+    if (sorted[i].start < sorted[i - 1].end - 1e-9) return false;
+  }
+  return true;
+}
+
+}  // namespace wats::sim

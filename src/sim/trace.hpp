@@ -1,0 +1,49 @@
+// Execution trace recording for the simulator: per-core execution
+// segments (including partial segments ended by a snatch), plus a text
+// Gantt renderer used by the examples and the trace tests.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/task_class.hpp"
+#include "core/topology.hpp"
+#include "sim/task.hpp"
+
+namespace wats::sim {
+
+struct TraceSegment {
+  double start = 0.0;
+  double end = 0.0;
+  core::CoreIndex core = 0;
+  TaskId task = 0;
+  core::TaskClassId cls = core::kNoTaskClass;
+  bool preempted = false;  ///< segment ended by a snatch, not completion
+};
+
+class TraceRecorder {
+ public:
+  void record(TraceSegment segment) { segments_.push_back(segment); }
+
+  const std::vector<TraceSegment>& segments() const { return segments_; }
+
+  /// Segments of one core, in time order (as recorded).
+  std::vector<TraceSegment> core_segments(core::CoreIndex core) const;
+
+  /// Total executed time per core.
+  std::vector<double> busy_time(std::size_t core_count) const;
+
+  /// A character-per-time-slot Gantt chart: one row per core, '#' for
+  /// busy, '.' for idle, '!' marking a segment that ended in preemption.
+  std::string render_gantt(const core::AmcTopology& topo, double makespan,
+                           std::size_t width = 80) const;
+
+  /// Sanity invariant used by tests: no two segments on one core overlap.
+  bool no_overlaps() const;
+
+ private:
+  std::vector<TraceSegment> segments_;
+};
+
+}  // namespace wats::sim

@@ -1,0 +1,186 @@
+#include "sim/workload_adapter.hpp"
+
+#include <algorithm>
+
+#include "util/check.hpp"
+
+namespace wats::sim {
+
+namespace {
+constexpr core::CoreIndex kMainCore = 0;
+}
+
+BatchWorkload::BatchWorkload(const workloads::BenchmarkSpec& spec,
+                             core::TaskClassRegistry& registry,
+                             std::uint64_t seed)
+    : spec_(spec), registry_(registry), rng_(seed) {
+  WATS_CHECK(spec_.kind == workloads::BenchKind::kBatch);
+  WATS_CHECK(spec_.batches > 0);
+  WATS_CHECK(spec_.tasks_per_batch() > 0);
+}
+
+void BatchWorkload::start(Engine& engine) {
+  class_ids_.clear();
+  for (const auto& cls : spec_.classes) {
+    class_ids_.push_back(registry_.intern(cls.name));
+  }
+  spawn_batch(engine);
+}
+
+void BatchWorkload::spawn_batch(Engine& engine) {
+  WATS_CHECK(batches_launched_ < spec_.batches);
+  ++batches_launched_;
+
+  // The spawner ("main task") core: the fastest core by default (§IV-E),
+  // or a random core under the ablation.
+  const core::CoreIndex spawner =
+      engine.config().main_on_fastest
+          ? kMainCore
+          : static_cast<core::CoreIndex>(
+                engine.rng().bounded(engine.topology().total_cores()));
+
+  // Build the batch's task list (class index per task), then shuffle: real
+  // programs interleave spawns of different functions in arbitrary order.
+  std::vector<std::size_t> mix;
+  mix.reserve(spec_.tasks_per_batch());
+  for (std::size_t c = 0; c < spec_.classes.size(); ++c) {
+    for (std::size_t i = 0; i < spec_.classes[c].tasks_per_batch; ++i) {
+      mix.push_back(c);
+    }
+  }
+  rng_.shuffle(mix);
+
+  // Phase change: scale workloads once the shift batch is reached
+  // (per-class override first, spec-wide default otherwise).
+  const bool shifted = spec_.phase_shift_batch > 0 &&
+                       batches_launched_ > spec_.phase_shift_batch;
+
+  const double spawn_cost = engine.config().spawn_cost;
+  double offset = 0.0;
+  for (std::size_t c : mix) {
+    SimTask task;
+    task.id = engine.next_task_id();
+    task.cls = class_ids_[c];
+    double scale = 1.0;
+    if (shifted) {
+      scale = spec_.classes[c].phase_scale > 0.0
+                  ? spec_.classes[c].phase_scale
+                  : spec_.phase_scale;
+    }
+    task.work = workloads::sample_work(spec_.classes[c], rng_) * scale;
+    task.remaining = task.work;
+    task.scalable = spec_.classes[c].scalable;
+    if (spawn_cost > 0.0) {
+      offset += spawn_cost;
+      engine.spawn_at(std::move(task), spawner, engine.now() + offset);
+    } else {
+      engine.spawn(std::move(task), spawner);
+    }
+    ++outstanding_;
+  }
+}
+
+void BatchWorkload::on_complete(Engine& engine, const SimTask& task,
+                                core::CoreIndex core) {
+  (void)task;
+  (void)core;
+  WATS_CHECK(outstanding_ > 0);
+  if (--outstanding_ == 0 && batches_launched_ < spec_.batches) {
+    spawn_batch(engine);
+  }
+}
+
+bool BatchWorkload::done() const {
+  return outstanding_ == 0 && batches_launched_ == spec_.batches;
+}
+
+PipelineWorkload::PipelineWorkload(const workloads::BenchmarkSpec& spec,
+                                   core::TaskClassRegistry& registry,
+                                   std::uint64_t seed)
+    : spec_(spec), registry_(registry), rng_(seed) {
+  WATS_CHECK(spec_.kind == workloads::BenchKind::kPipeline);
+  WATS_CHECK(spec_.pipeline_items > 0);
+  WATS_CHECK(!spec_.classes.empty());
+}
+
+SimTask PipelineWorkload::make_stage_task(Engine& engine, std::uint32_t item,
+                                          std::uint32_t stage) {
+  // Resolve the stage to a concrete class: either 1:1 (stage i = class i)
+  // or by sampling the stage's class options (branching pipelines like
+  // dedup's unique/duplicate compress paths).
+  std::size_t cls_index = stage;
+  if (!spec_.pipeline_stages.empty()) {
+    const auto& st = spec_.pipeline_stages[stage];
+    WATS_CHECK(!st.class_options.empty());
+    cls_index = st.class_options.front();
+    if (st.class_options.size() > 1) {
+      const double u = rng_.uniform();
+      double acc = 0.0;
+      for (std::size_t i = 0; i < st.class_options.size(); ++i) {
+        acc += st.probabilities[i];
+        if (u < acc) {
+          cls_index = st.class_options[i];
+          break;
+        }
+      }
+    }
+  }
+  SimTask task;
+  task.id = engine.next_task_id();
+  task.cls = stage_ids_[cls_index];
+  task.work = workloads::sample_work(spec_.classes[cls_index], rng_);
+  task.remaining = task.work;
+  task.scalable = spec_.classes[cls_index].scalable;
+  task.item = item;
+  task.stage = stage;
+  return task;
+}
+
+void PipelineWorkload::admit(Engine& engine, core::CoreIndex spawner) {
+  if (next_item_ >= spec_.pipeline_items) return;
+  const std::uint32_t item = next_item_++;
+  engine.spawn(make_stage_task(engine, item, 0), spawner);
+}
+
+void PipelineWorkload::start(Engine& engine) {
+  stage_ids_.clear();
+  for (const auto& stage : spec_.classes) {
+    stage_ids_.push_back(registry_.intern(stage.name));
+  }
+  const std::size_t window =
+      spec_.pipeline_window == 0 ? spec_.pipeline_items : spec_.pipeline_window;
+  for (std::size_t i = 0; i < window && next_item_ < spec_.pipeline_items;
+       ++i) {
+    admit(engine, kMainCore);
+  }
+}
+
+void PipelineWorkload::on_complete(Engine& engine, const SimTask& task,
+                                   core::CoreIndex core) {
+  const std::uint32_t next_stage = task.stage + 1;
+  if (next_stage < spec_.stage_count()) {
+    // The completing core spawns the successor (its continuation), exactly
+    // like a pipeline stage handing the item to the next stage's queue.
+    engine.spawn(make_stage_task(engine, task.item, next_stage), core);
+    return;
+  }
+  ++completed_items_;
+  // Retiring an item frees a window slot; the new item enters from the
+  // pipeline's input thread on the main core.
+  admit(engine, kMainCore);
+}
+
+bool PipelineWorkload::done() const {
+  return completed_items_ == spec_.pipeline_items;
+}
+
+std::unique_ptr<Workload> make_workload(const workloads::BenchmarkSpec& spec,
+                                        core::TaskClassRegistry& registry,
+                                        std::uint64_t seed) {
+  if (spec.kind == workloads::BenchKind::kBatch) {
+    return std::make_unique<BatchWorkload>(spec, registry, seed);
+  }
+  return std::make_unique<PipelineWorkload>(spec, registry, seed);
+}
+
+}  // namespace wats::sim

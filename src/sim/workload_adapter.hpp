@@ -1,0 +1,77 @@
+// Adapters that drive a BenchmarkSpec (workloads/workload_model.hpp)
+// through the simulator: batch benchmarks spawn rounds of independent
+// tasks with a barrier between rounds; pipeline benchmarks flow items
+// through ordered stages with a bounded in-flight window.
+#pragma once
+
+#include <memory>
+#include <vector>
+
+#include "core/task_class.hpp"
+#include "sim/engine.hpp"
+#include "util/rng.hpp"
+#include "workloads/workload_model.hpp"
+
+namespace wats::sim {
+
+/// Batch driver: every batch launches spec.tasks_per_batch() tasks (in a
+/// shuffled class order, like a real program's arbitrary spawn order) from
+/// the main core (core 0, the fastest — §IV-E: all schedulers launch the
+/// main task on the fastest core); the next batch starts when the current
+/// one has fully completed.
+class BatchWorkload : public Workload {
+ public:
+  BatchWorkload(const workloads::BenchmarkSpec& spec,
+                core::TaskClassRegistry& registry, std::uint64_t seed);
+
+  void start(Engine& engine) override;
+  void on_complete(Engine& engine, const SimTask& task,
+                   core::CoreIndex core) override;
+  bool done() const override;
+
+ private:
+  void spawn_batch(Engine& engine);
+
+  // Owned copy: callers may pass temporaries (the spec is small).
+  const workloads::BenchmarkSpec spec_;
+  core::TaskClassRegistry& registry_;
+  util::Xoshiro256 rng_;
+  std::vector<core::TaskClassId> class_ids_;
+  std::size_t batches_launched_ = 0;
+  std::size_t outstanding_ = 0;
+};
+
+/// Pipeline driver: item i runs stages 0..S-1 in order; a completed stage
+/// spawns the next stage from the completing core; at most
+/// spec.pipeline_window items are in flight; new items are admitted from
+/// the main core as items retire.
+class PipelineWorkload : public Workload {
+ public:
+  PipelineWorkload(const workloads::BenchmarkSpec& spec,
+                   core::TaskClassRegistry& registry, std::uint64_t seed);
+
+  void start(Engine& engine) override;
+  void on_complete(Engine& engine, const SimTask& task,
+                   core::CoreIndex core) override;
+  bool done() const override;
+
+ private:
+  void admit(Engine& engine, core::CoreIndex spawner);
+  SimTask make_stage_task(Engine& engine, std::uint32_t item,
+                          std::uint32_t stage);
+
+  // Owned copy: callers may pass temporaries (the spec is small).
+  const workloads::BenchmarkSpec spec_;
+  core::TaskClassRegistry& registry_;
+  util::Xoshiro256 rng_;
+  std::vector<core::TaskClassId> stage_ids_;
+  std::uint32_t next_item_ = 0;
+  std::size_t completed_items_ = 0;
+};
+
+/// Factory dispatching on spec.kind.
+std::unique_ptr<Workload> make_workload(const workloads::BenchmarkSpec& spec,
+                                        core::TaskClassRegistry& registry,
+                                        std::uint64_t seed);
+
+}  // namespace wats::sim

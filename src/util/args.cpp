@@ -1,0 +1,104 @@
+#include "util/args.hpp"
+
+#include <algorithm>
+#include <cstdlib>
+
+#include "util/check.hpp"
+
+namespace wats::util {
+
+Args::Args(int argc, const char* const* argv) {
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(arg);
+      continue;
+    }
+    const std::string body = arg.substr(2);
+    const auto eq = body.find('=');
+    if (eq != std::string::npos) {
+      flags_.push_back({body.substr(0, eq), body.substr(eq + 1)});
+      continue;
+    }
+    // "--key value" form: consume the next token if it is not a flag.
+    if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_.push_back({body, std::string(argv[i + 1])});
+      ++i;
+    } else {
+      flags_.push_back({body, std::nullopt});
+    }
+  }
+}
+
+std::optional<std::string> Args::value(const std::string& name) const {
+  for (const auto& f : flags_) {
+    if (f.name == name) return f.value;
+  }
+  return std::nullopt;
+}
+
+std::string Args::value_or(const std::string& name,
+                           const std::string& fallback) const {
+  const auto v = value(name);
+  return v.has_value() && v->size() > 0 ? *v : fallback;
+}
+
+std::int64_t Args::int_or(const std::string& name,
+                          std::int64_t fallback) const {
+  const auto v = value(name);
+  if (!v.has_value() || v->empty()) return fallback;
+  char* end = nullptr;
+  const std::int64_t parsed = std::strtoll(v->c_str(), &end, 10);
+  WATS_CHECK_MSG(end != nullptr && *end == '\0', "non-numeric flag value");
+  return parsed;
+}
+
+double Args::double_or(const std::string& name, double fallback) const {
+  const auto v = value(name);
+  if (!v.has_value() || v->empty()) return fallback;
+  char* end = nullptr;
+  const double parsed = std::strtod(v->c_str(), &end);
+  WATS_CHECK_MSG(end != nullptr && *end == '\0', "non-numeric flag value");
+  return parsed;
+}
+
+bool Args::flag(const std::string& name) const {
+  for (const auto& f : flags_) {
+    if (f.name != name) continue;
+    if (!f.value.has_value()) return true;
+    return *f.value == "true" || *f.value == "1";
+  }
+  return false;
+}
+
+std::vector<std::string> Args::list_or(
+    const std::string& name, const std::vector<std::string>& fallback) const {
+  const auto v = value(name);
+  if (!v.has_value() || v->empty()) return fallback;
+  return split_csv(*v);
+}
+
+std::vector<std::string> Args::unknown(
+    const std::vector<std::string>& known) const {
+  std::vector<std::string> out;
+  for (const auto& f : flags_) {
+    if (std::find(known.begin(), known.end(), f.name) == known.end()) {
+      out.push_back(f.name);
+    }
+  }
+  return out;
+}
+
+std::vector<std::string> split_csv(const std::string& text) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= text.size()) {
+    std::size_t comma = text.find(',', pos);
+    if (comma == std::string::npos) comma = text.size();
+    if (comma > pos) out.push_back(text.substr(pos, comma - pos));
+    pos = comma + 1;
+  }
+  return out;
+}
+
+}  // namespace wats::util

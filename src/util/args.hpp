@@ -1,0 +1,53 @@
+// Minimal command-line flag parsing for the tools and examples:
+// --key=value and --key value forms, plus boolean switches.
+#pragma once
+
+#include <optional>
+#include <string>
+#include <vector>
+
+namespace wats::util {
+
+class Args {
+ public:
+  Args(int argc, const char* const* argv);
+
+  /// Value of --name; empty when absent.
+  std::optional<std::string> value(const std::string& name) const;
+
+  /// Value with a default.
+  std::string value_or(const std::string& name,
+                       const std::string& fallback) const;
+
+  /// Numeric values with defaults; aborts on non-numeric input.
+  std::int64_t int_or(const std::string& name, std::int64_t fallback) const;
+  double double_or(const std::string& name, double fallback) const;
+
+  /// Boolean switch: present (with no value or "true"/"1") => true.
+  bool flag(const std::string& name) const;
+
+  /// Comma-separated list value.
+  std::vector<std::string> list_or(
+      const std::string& name, const std::vector<std::string>& fallback) const;
+
+  /// Positional (non-flag) arguments, in order.
+  const std::vector<std::string>& positional() const { return positional_; }
+
+  /// Flags that were provided but never queried — typo detection for
+  /// tools that opt in.
+  std::vector<std::string> unknown(
+      const std::vector<std::string>& known) const;
+
+ private:
+  struct Flag {
+    std::string name;
+    std::optional<std::string> value;
+  };
+  std::vector<Flag> flags_;
+  std::vector<std::string> positional_;
+};
+
+/// Split "a,b,c" into {"a","b","c"} (empty string -> empty vector).
+std::vector<std::string> split_csv(const std::string& text);
+
+}  // namespace wats::util

@@ -1,0 +1,100 @@
+#include "util/bytes.hpp"
+
+#include "util/check.hpp"
+
+namespace wats::util {
+
+namespace {
+
+int hex_digit(char c) {
+  if (c >= '0' && c <= '9') return c - '0';
+  if (c >= 'a' && c <= 'f') return c - 'a' + 10;
+  if (c >= 'A' && c <= 'F') return c - 'A' + 10;
+  WATS_CHECK_MSG(false, "invalid hex digit");
+  return -1;
+}
+
+}  // namespace
+
+std::string to_hex(std::span<const std::uint8_t> data) {
+  static constexpr char kDigits[] = "0123456789abcdef";
+  std::string out;
+  out.reserve(data.size() * 2);
+  for (std::uint8_t b : data) {
+    out.push_back(kDigits[b >> 4]);
+    out.push_back(kDigits[b & 0xF]);
+  }
+  return out;
+}
+
+Bytes from_hex(std::string_view hex) {
+  WATS_CHECK(hex.size() % 2 == 0);
+  Bytes out;
+  out.reserve(hex.size() / 2);
+  for (std::size_t i = 0; i < hex.size(); i += 2) {
+    out.push_back(static_cast<std::uint8_t>((hex_digit(hex[i]) << 4) |
+                                            hex_digit(hex[i + 1])));
+  }
+  return out;
+}
+
+Bytes bytes_of(std::string_view s) {
+  return Bytes(s.begin(), s.end());
+}
+
+std::string string_of(std::span<const std::uint8_t> data) {
+  return std::string(data.begin(), data.end());
+}
+
+void put_u32le(Bytes& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64le(Bytes& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32le(std::span<const std::uint8_t> in, std::size_t offset) {
+  WATS_DCHECK(offset + 4 <= in.size());
+  std::uint32_t v = 0;
+  for (int i = 3; i >= 0; --i) {
+    v = (v << 8) | in[offset + static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+void put_u32be(Bytes& out, std::uint32_t v) {
+  for (int i = 3; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+void put_u64be(Bytes& out, std::uint64_t v) {
+  for (int i = 7; i >= 0; --i) {
+    out.push_back(static_cast<std::uint8_t>(v >> (8 * i)));
+  }
+}
+
+std::uint32_t get_u32be(std::span<const std::uint8_t> in, std::size_t offset) {
+  WATS_DCHECK(offset + 4 <= in.size());
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) {
+    v = (v << 8) | in[offset + static_cast<std::size_t>(i)];
+  }
+  return v;
+}
+
+std::uint64_t fnv1a(std::span<const std::uint8_t> data) {
+  std::uint64_t h = 0xCBF29CE484222325ULL;
+  for (std::uint8_t b : data) {
+    h ^= b;
+    h *= 0x100000001B3ULL;
+  }
+  return h;
+}
+
+}  // namespace wats::util

@@ -1,0 +1,40 @@
+// Byte-buffer helpers shared by the compression / hashing workload kernels.
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <string_view>
+#include <vector>
+
+namespace wats::util {
+
+using Bytes = std::vector<std::uint8_t>;
+
+/// Lowercase hex encoding ("ab03ff...").
+std::string to_hex(std::span<const std::uint8_t> data);
+
+/// Inverse of to_hex; aborts on malformed input (test-vector use only).
+Bytes from_hex(std::string_view hex);
+
+/// Copy a string's bytes.
+Bytes bytes_of(std::string_view s);
+
+/// View a byte buffer as a string (for round-trip tests).
+std::string string_of(std::span<const std::uint8_t> data);
+
+/// Little-endian scalar packing, used by MD5.
+void put_u32le(Bytes& out, std::uint32_t v);
+void put_u64le(Bytes& out, std::uint64_t v);
+std::uint32_t get_u32le(std::span<const std::uint8_t> in, std::size_t offset);
+
+/// Big-endian scalar packing, used by SHA-1.
+void put_u32be(Bytes& out, std::uint32_t v);
+void put_u64be(Bytes& out, std::uint64_t v);
+std::uint32_t get_u32be(std::span<const std::uint8_t> in, std::size_t offset);
+
+/// FNV-1a 64-bit, for cheap content fingerprints in tests.
+std::uint64_t fnv1a(std::span<const std::uint8_t> data);
+
+}  // namespace wats::util

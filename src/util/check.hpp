@@ -1,0 +1,42 @@
+// Lightweight runtime-check macros used across the WATS libraries.
+//
+// WATS_CHECK is always on (it guards invariants whose violation would make
+// results meaningless, e.g. a negative workload); WATS_DCHECK compiles away
+// in NDEBUG builds and is used on hot paths.
+#pragma once
+
+#include <cstdio>
+#include <cstdlib>
+
+namespace wats::util {
+
+[[noreturn]] inline void check_failed(const char* expr, const char* file,
+                                      int line, const char* msg) {
+  std::fprintf(stderr, "WATS_CHECK failed: %s\n  at %s:%d\n  %s\n", expr, file,
+               line, msg == nullptr ? "" : msg);
+  std::abort();
+}
+
+}  // namespace wats::util
+
+#define WATS_CHECK(expr)                                              \
+  do {                                                                \
+    if (!(expr)) {                                                    \
+      ::wats::util::check_failed(#expr, __FILE__, __LINE__, nullptr); \
+    }                                                                 \
+  } while (false)
+
+#define WATS_CHECK_MSG(expr, msg)                                 \
+  do {                                                            \
+    if (!(expr)) {                                                \
+      ::wats::util::check_failed(#expr, __FILE__, __LINE__, msg); \
+    }                                                             \
+  } while (false)
+
+#ifdef NDEBUG
+#define WATS_DCHECK(expr) \
+  do {                    \
+  } while (false)
+#else
+#define WATS_DCHECK(expr) WATS_CHECK(expr)
+#endif

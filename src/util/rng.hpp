@@ -1,0 +1,179 @@
+// Deterministic, seedable random number generation.
+//
+// Every stochastic decision in the simulator and the workload generators
+// draws from these engines so that experiment results are bit-reproducible
+// across runs for a fixed seed. We deliberately avoid std::mt19937 +
+// std::uniform_int_distribution because their outputs are not specified to
+// be identical across standard library implementations.
+#pragma once
+
+#include <array>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace wats::util {
+
+/// SplitMix64: used for seeding and as a cheap standalone generator.
+class SplitMix64 {
+ public:
+  explicit constexpr SplitMix64(std::uint64_t seed) : state_(seed) {}
+
+  constexpr std::uint64_t next() {
+    std::uint64_t z = (state_ += 0x9E3779B97F4A7C15ULL);
+    z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+    z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+    return z ^ (z >> 31);
+  }
+
+ private:
+  std::uint64_t state_;
+};
+
+/// xoshiro256**: the workhorse engine (Blackman & Vigna). Fast, high quality,
+/// and trivially reproducible.
+class Xoshiro256 {
+ public:
+  using result_type = std::uint64_t;
+
+  explicit Xoshiro256(std::uint64_t seed) {
+    SplitMix64 sm(seed);
+    for (auto& s : state_) s = sm.next();
+    // A zero state would be a fixed point; SplitMix64 cannot produce four
+    // zero outputs from any seed, so no further check is needed.
+  }
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() {
+    return std::numeric_limits<result_type>::max();
+  }
+
+  result_type operator()() { return next(); }
+
+  std::uint64_t next() {
+    const std::uint64_t result = rotl(state_[1] * 5, 7) * 9;
+    const std::uint64_t t = state_[1] << 17;
+    state_[2] ^= state_[0];
+    state_[3] ^= state_[1];
+    state_[1] ^= state_[2];
+    state_[0] ^= state_[3];
+    state_[2] ^= t;
+    state_[3] = rotl(state_[3], 45);
+    return result;
+  }
+
+  /// Uniform integer in [0, bound). Uses Lemire's multiply-shift reduction
+  /// with rejection to avoid modulo bias.
+  std::uint64_t bounded(std::uint64_t bound) {
+    WATS_CHECK(bound > 0);
+    std::uint64_t x = next();
+    __uint128_t m = static_cast<__uint128_t>(x) * bound;
+    auto l = static_cast<std::uint64_t>(m);
+    if (l < bound) {
+      const std::uint64_t t = (0 - bound) % bound;
+      while (l < t) {
+        x = next();
+        m = static_cast<__uint128_t>(x) * bound;
+        l = static_cast<std::uint64_t>(m);
+      }
+    }
+    return static_cast<std::uint64_t>(m >> 64);
+  }
+
+  /// Uniform integer in [lo, hi] inclusive.
+  std::int64_t range(std::int64_t lo, std::int64_t hi) {
+    WATS_CHECK(lo <= hi);
+    const auto span =
+        static_cast<std::uint64_t>(hi - lo) + 1;  // hi-lo < 2^63 in our uses
+    return lo + static_cast<std::int64_t>(bounded(span));
+  }
+
+  /// Uniform double in [0, 1).
+  double uniform() {
+    return static_cast<double>(next() >> 11) * 0x1.0p-53;
+  }
+
+  /// Uniform double in [lo, hi).
+  double uniform(double lo, double hi) { return lo + (hi - lo) * uniform(); }
+
+  /// True with probability p.
+  bool chance(double p) { return uniform() < p; }
+
+  /// Standard normal via Box-Muller (one sample per call; the paired
+  /// sample is discarded for simplicity).
+  double gaussian() {
+    const double u1 = std::max(uniform(), 1e-12);
+    const double u2 = uniform();
+    return std::sqrt(-2.0 * std::log(u1)) *
+           std::cos(2.0 * 3.14159265358979323846 * u2);
+  }
+
+  /// Fisher–Yates shuffle.
+  template <typename Container>
+  void shuffle(Container& c) {
+    const auto n = c.size();
+    if (n < 2) return;
+    for (std::size_t i = n - 1; i > 0; --i) {
+      const std::size_t j = bounded(i + 1);
+      using std::swap;
+      swap(c[i], c[j]);
+    }
+  }
+
+  /// Pick a uniformly random element index of a non-empty container.
+  template <typename Container>
+  std::size_t pick_index(const Container& c) {
+    WATS_CHECK(!c.empty());
+    return static_cast<std::size_t>(bounded(c.size()));
+  }
+
+ private:
+  static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
+    return (x << k) | (x >> (64 - k));
+  }
+
+  std::array<std::uint64_t, 4> state_{};
+};
+
+/// Zipf(s, n) sampler over {0, .., n-1} via inverse-CDF on a precomputed
+/// table. Used by the synthetic-corpus generators (natural text has zipfian
+/// symbol/word frequencies, which matters for the compression workloads).
+class ZipfSampler {
+ public:
+  ZipfSampler(std::size_t n, double s) : cdf_(n) {
+    WATS_CHECK(n > 0);
+    double sum = 0.0;
+    for (std::size_t i = 0; i < n; ++i) {
+      sum += 1.0 / pow_s(static_cast<double>(i + 1), s);
+      cdf_[i] = sum;
+    }
+    for (auto& v : cdf_) v /= sum;
+  }
+
+  std::size_t sample(Xoshiro256& rng) const {
+    const double u = rng.uniform();
+    // Binary search for first cdf >= u.
+    std::size_t lo = 0, hi = cdf_.size() - 1;
+    while (lo < hi) {
+      const std::size_t mid = (lo + hi) / 2;
+      if (cdf_[mid] < u) {
+        lo = mid + 1;
+      } else {
+        hi = mid;
+      }
+    }
+    return lo;
+  }
+
+  std::size_t size() const { return cdf_.size(); }
+
+ private:
+  static double pow_s(double base, double s) { return std::pow(base, s); }
+
+  std::vector<double> cdf_;
+};
+
+}  // namespace wats::util

@@ -1,0 +1,74 @@
+// Streaming statistics and histograms used by the experiment harnesses and
+// by the task-class registry (which tracks per-class mean workload).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wats::util {
+
+/// Numerically stable running mean/variance (Welford). All moments are
+/// computed in one pass so the simulator can keep one per task class without
+/// storing samples.
+class RunningStat {
+ public:
+  void add(double x);
+
+  std::size_t count() const { return n_; }
+  double mean() const { return n_ == 0 ? 0.0 : mean_; }
+  /// Sample variance (n-1 denominator); 0 for fewer than two samples.
+  double variance() const;
+  double stddev() const;
+  double min() const { return n_ == 0 ? 0.0 : min_; }
+  double max() const { return n_ == 0 ? 0.0 : max_; }
+  double sum() const { return sum_; }
+
+  /// Merge another accumulator into this one (parallel reduction).
+  void merge(const RunningStat& other);
+
+ private:
+  std::size_t n_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+  double sum_ = 0.0;
+};
+
+/// Fixed-bucket linear histogram over [lo, hi); out-of-range samples are
+/// clamped into the first/last bucket so totals always match.
+class Histogram {
+ public:
+  Histogram(double lo, double hi, std::size_t buckets);
+
+  void add(double x);
+  std::size_t bucket_count() const { return counts_.size(); }
+  std::uint64_t bucket(std::size_t i) const { return counts_.at(i); }
+  double bucket_lo(std::size_t i) const;
+  double bucket_hi(std::size_t i) const;
+  std::uint64_t total() const { return total_; }
+
+  /// Approximate quantile (q in [0,1]) by linear interpolation within the
+  /// containing bucket.
+  double quantile(double q) const;
+
+  /// Multi-line ASCII rendering, for experiment logs.
+  std::string render(std::size_t width = 50) const;
+
+ private:
+  double lo_;
+  double hi_;
+  std::vector<std::uint64_t> counts_;
+  std::uint64_t total_ = 0;
+};
+
+/// Exact percentile of a sample vector (copies and sorts; use for small
+/// result sets like per-run makespans).
+double percentile(std::vector<double> samples, double q);
+
+/// Geometric mean; ignores non-positive entries (callers assert none exist).
+double geomean(const std::vector<double>& xs);
+
+}  // namespace wats::util

@@ -1,0 +1,38 @@
+// Minimal table renderer for the benchmark harnesses: every bench binary
+// prints the rows/series of the paper table or figure it regenerates, both
+// as an aligned ASCII table (for humans) and as CSV (for plotting).
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wats::util {
+
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  /// Append a row; must have the same arity as the header.
+  void add_row(std::vector<std::string> row);
+
+  /// Convenience: format doubles with fixed precision.
+  static std::string num(double v, int precision = 3);
+
+  std::string render_ascii() const;
+  std::string render_csv() const;
+
+  std::size_t rows() const { return rows_.size(); }
+  std::size_t columns() const { return header_.size(); }
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+/// Parse one CSV line (RFC-4180-ish: quoted cells, doubled quotes).
+std::vector<std::string> parse_csv_line(const std::string& line);
+
+/// Parse a whole CSV document into rows of cells (skips empty lines).
+std::vector<std::vector<std::string>> parse_csv(const std::string& text);
+
+}  // namespace wats::util

@@ -1,0 +1,29 @@
+// Umbrella header for the WATS library.
+//
+// Most users need only this include plus either runtime/runtime.hpp's
+// TaskRuntime (real threads) or sim/experiment.hpp's harness (virtual
+// time); both are pulled in here for convenience.
+#pragma once
+
+// The paper's contribution (substrate-independent).
+#include "core/allocation.hpp"     // Algorithm 1
+#include "core/cluster.hpp"        // task clusters (§III-A)
+#include "core/cmpi.hpp"           // §IV-E CMPI / DVFS extension
+#include "core/dnc_detect.hpp"     // §IV-E divide-and-conquer fallback
+#include "core/hetsched.hpp"       // §VI future work: heterogeneous accelerators
+#include "core/history_io.hpp"     // history persistence (warm starts)
+#include "core/lower_bound.hpp"    // Lemma 1 / Theorem 1
+#include "core/preference.hpp"     // preference lists (§III-B)
+#include "core/procsched.hpp"      // §IV-E process-level adaptation
+#include "core/task_class.hpp"     // Algorithm 2 history
+#include "core/topology.hpp"       // AMC machine descriptions (Table II)
+
+// The real-thread task runtime.
+#include "runtime/runtime.hpp"
+
+// The virtual-time evaluation substrate.
+#include "sim/experiment.hpp"
+#include "sim/trace.hpp"
+
+// Benchmark workload models (Table III).
+#include "workloads/workload_model.hpp"

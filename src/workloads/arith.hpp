@@ -1,0 +1,103 @@
+// Binary range coder (LZMA-style carry handling) used by the DMC
+// benchmark kernel. Probabilities are 16-bit fixed point: p0 in [1, 65535]
+// is the probability (x / 65536) that the next bit is 0.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/bytes.hpp"
+#include "util/check.hpp"
+
+namespace wats::workloads {
+
+class RangeEncoder {
+ public:
+  void encode(std::uint32_t bit, std::uint16_t p0) {
+    WATS_DCHECK(p0 >= 1);
+    const std::uint32_t bound = (range_ >> 16) * p0;
+    if (bit == 0) {
+      range_ = bound;
+    } else {
+      low_ += bound;
+      range_ -= bound;
+    }
+    while (range_ < kTopValue) {
+      shift_low();
+      range_ <<= 8;
+    }
+  }
+
+  /// Flush the coder and return the byte stream. The first output byte is
+  /// a structural zero that the decoder consumes during priming.
+  util::Bytes finish() {
+    for (int i = 0; i < 5; ++i) shift_low();
+    return std::move(out_);
+  }
+
+ private:
+  static constexpr std::uint32_t kTopValue = 1u << 24;
+
+  void shift_low() {
+    if (static_cast<std::uint32_t>(low_) < 0xFF000000u || (low_ >> 32) != 0) {
+      const auto carry = static_cast<std::uint8_t>(low_ >> 32);
+      do {
+        out_.push_back(static_cast<std::uint8_t>(cache_ + carry));
+        cache_ = 0xFF;
+      } while (--cache_size_ != 0);
+      cache_ = static_cast<std::uint8_t>(low_ >> 24);
+    }
+    ++cache_size_;
+    low_ = (low_ & 0x00FFFFFFull) << 8;
+  }
+
+  std::uint64_t low_ = 0;
+  std::uint32_t range_ = 0xFFFFFFFFu;
+  std::uint8_t cache_ = 0;
+  std::uint64_t cache_size_ = 1;
+  util::Bytes out_;
+};
+
+class RangeDecoder {
+ public:
+  explicit RangeDecoder(std::span<const std::uint8_t> data) : data_(data) {
+    for (int i = 0; i < 5; ++i) {
+      code_ = (code_ << 8) | next_byte();
+    }
+  }
+
+  std::uint32_t decode(std::uint16_t p0) {
+    WATS_DCHECK(p0 >= 1);
+    const std::uint32_t bound = (range_ >> 16) * p0;
+    std::uint32_t bit;
+    if (code_ < bound) {
+      bit = 0;
+      range_ = bound;
+    } else {
+      bit = 1;
+      code_ -= bound;
+      range_ -= bound;
+    }
+    while (range_ < kTopValue) {
+      range_ <<= 8;
+      code_ = (code_ << 8) | next_byte();
+    }
+    return bit;
+  }
+
+ private:
+  static constexpr std::uint32_t kTopValue = 1u << 24;
+
+  std::uint8_t next_byte() {
+    // Reading past the end yields zeros; the caller bounds the number of
+    // decoded symbols, so trailing zero-fill is harmless.
+    return pos_ < data_.size() ? data_[pos_++] : std::uint8_t{0};
+  }
+
+  std::span<const std::uint8_t> data_;
+  std::size_t pos_ = 0;
+  std::uint32_t code_ = 0;
+  std::uint32_t range_ = 0xFFFFFFFFu;
+};
+
+}  // namespace wats::workloads

@@ -1,0 +1,81 @@
+// Bit-level reader/writer shared by the LZW and Huffman coders.
+// Bits are emitted MSB-first within each byte.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/bytes.hpp"
+#include "util/check.hpp"
+
+namespace wats::workloads {
+
+class BitWriter {
+ public:
+  /// Append the low `bits` bits of `value`, most significant bit first.
+  void put(std::uint32_t value, unsigned bits) {
+    WATS_DCHECK(bits <= 32);
+    for (unsigned i = bits; i > 0; --i) {
+      const std::uint32_t bit = (value >> (i - 1)) & 1u;
+      acc_ = static_cast<std::uint8_t>((acc_ << 1) | bit);
+      if (++filled_ == 8) {
+        out_.push_back(acc_);
+        acc_ = 0;
+        filled_ = 0;
+      }
+    }
+  }
+
+  /// Flush any partial byte (zero-padded) and return the buffer.
+  util::Bytes take() {
+    if (filled_ > 0) {
+      out_.push_back(static_cast<std::uint8_t>(acc_ << (8 - filled_)));
+      acc_ = 0;
+      filled_ = 0;
+    }
+    return std::move(out_);
+  }
+
+  std::size_t bit_count() const { return out_.size() * 8 + filled_; }
+
+ private:
+  util::Bytes out_;
+  std::uint8_t acc_ = 0;
+  unsigned filled_ = 0;
+};
+
+class BitReader {
+ public:
+  explicit BitReader(std::span<const std::uint8_t> data) : data_(data) {}
+
+  /// Read `bits` bits MSB-first. Reading past the end returns zero bits
+  /// (callers track logical length separately).
+  std::uint32_t get(unsigned bits) {
+    WATS_DCHECK(bits <= 32);
+    std::uint32_t v = 0;
+    for (unsigned i = 0; i < bits; ++i) {
+      v = (v << 1) | get_bit();
+    }
+    return v;
+  }
+
+  std::uint32_t get_bit() {
+    if (byte_ >= data_.size()) return 0;
+    const std::uint32_t bit = (data_[byte_] >> (7 - bit_)) & 1u;
+    if (++bit_ == 8) {
+      bit_ = 0;
+      ++byte_;
+    }
+    return bit;
+  }
+
+  bool exhausted() const { return byte_ >= data_.size(); }
+  std::size_t bits_consumed() const { return byte_ * 8 + bit_; }
+
+ private:
+  std::span<const std::uint8_t> data_;
+  std::size_t byte_ = 0;
+  unsigned bit_ = 0;
+};
+
+}  // namespace wats::workloads

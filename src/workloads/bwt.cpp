@@ -1,0 +1,120 @@
+#include "workloads/bwt.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+#include <utility>
+#include <vector>
+
+#include "util/check.hpp"
+#include "workloads/suffix_array.hpp"
+
+namespace wats::workloads {
+
+BwtResult bwt_forward(std::span<const std::uint8_t> input) {
+  const std::size_t n = input.size();
+  BwtResult result;
+  if (n == 0) return result;
+
+  // Prefix doubling over cyclic rotations: rank[i] orders rotations by
+  // their first k characters; each round doubles k by pairing with the
+  // rank k positions ahead (modulo n).
+  std::vector<std::uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::vector<std::uint32_t> rank(n), new_rank(n);
+  for (std::size_t i = 0; i < n; ++i) rank[i] = input[i];
+
+  for (std::size_t k = 1;; k *= 2) {
+    auto pair_of = [&](std::uint32_t i) {
+      return std::pair<std::uint32_t, std::uint32_t>(
+          rank[i], rank[(i + k) % n]);
+    };
+    std::sort(order.begin(), order.end(),
+              [&](std::uint32_t a, std::uint32_t b) {
+                return pair_of(a) < pair_of(b);
+              });
+    new_rank[order[0]] = 0;
+    bool all_distinct = true;
+    for (std::size_t i = 1; i < n; ++i) {
+      const bool equal = pair_of(order[i]) == pair_of(order[i - 1]);
+      new_rank[order[i]] = new_rank[order[i - 1]] + (equal ? 0u : 1u);
+      all_distinct &= !equal;
+    }
+    rank.swap(new_rank);
+    if (all_distinct || k >= n) break;
+  }
+
+  // Ties can remain for periodic inputs (e.g. "abab"): identical rotations
+  // compare equal at every k, which is fine — any of their relative orders
+  // yields the same L column; pick the first occurrence as primary.
+  result.transformed.resize(n);
+  result.primary = 0;
+  for (std::size_t row = 0; row < n; ++row) {
+    const std::uint32_t start = order[row];
+    result.transformed[row] = input[(start + n - 1) % n];
+    if (start == 0) result.primary = static_cast<std::uint32_t>(row);
+  }
+  return result;
+}
+
+BwtResult bwt_forward_sais(std::span<const std::uint8_t> input) {
+  const std::size_t n = input.size();
+  BwtResult result;
+  if (n == 0) return result;
+
+  // Suffixes of input+input that start in the first copy, in suffix-array
+  // order, give the sorted rotation order: comparing such suffixes looks
+  // at >= n characters before the (distinct-position) tails can matter.
+  util::Bytes doubled;
+  doubled.reserve(2 * n);
+  doubled.insert(doubled.end(), input.begin(), input.end());
+  doubled.insert(doubled.end(), input.begin(), input.end());
+  const auto sa = suffix_array(doubled);
+
+  result.transformed.reserve(n);
+  std::size_t row = 0;
+  for (std::uint32_t p : sa) {
+    if (p >= n) continue;
+    result.transformed.push_back(input[(p + n - 1) % n]);
+    if (p == 0) result.primary = static_cast<std::uint32_t>(row);
+    ++row;
+  }
+  WATS_CHECK(result.transformed.size() == n);
+  return result;
+}
+
+util::Bytes bwt_inverse(std::span<const std::uint8_t> transformed,
+                        std::uint32_t primary) {
+  const std::size_t n = transformed.size();
+  util::Bytes out(n);
+  if (n == 0) return out;
+  WATS_CHECK(primary < n);
+
+  // LF mapping: LF(i) = C[L[i]] + rank_{L[i]}(i), where C[c] counts symbols
+  // smaller than c in L. Walking LF from the primary row yields the input
+  // backwards.
+  std::array<std::uint32_t, 256> counts{};
+  for (std::uint8_t b : transformed) ++counts[b];
+  std::array<std::uint32_t, 256> c_before{};
+  std::uint32_t acc = 0;
+  for (std::size_t c = 0; c < 256; ++c) {
+    c_before[c] = acc;
+    acc += counts[c];
+  }
+  std::vector<std::uint32_t> lf(n);
+  std::array<std::uint32_t, 256> seen{};
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint8_t b = transformed[i];
+    lf[i] = c_before[b] + seen[b];
+    ++seen[b];
+  }
+
+  std::uint32_t row = primary;
+  for (std::size_t i = n; i > 0; --i) {
+    out[i - 1] = transformed[row];
+    row = lf[row];
+  }
+  return out;
+}
+
+}  // namespace wats::workloads

@@ -1,0 +1,38 @@
+// Burrows–Wheeler Transform for the BWT batch benchmark of Table III and
+// as the first stage of the Bzip-2-style block compressor.
+//
+// Forward transform sorts the cyclic rotations with prefix doubling
+// (O(n log n) rank rounds with O(n log n) sorting each — plenty for the
+// block sizes the benchmarks use); the inverse uses the standard
+// LF-mapping walk.
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "util/bytes.hpp"
+
+namespace wats::workloads {
+
+struct BwtResult {
+  util::Bytes transformed;    ///< last column L of the sorted rotation matrix
+  std::uint32_t primary = 0;  ///< row index of the original string
+};
+
+/// Forward BWT of a block (cyclic-rotation convention, no sentinel).
+/// O(n log^2 n) prefix doubling.
+BwtResult bwt_forward(std::span<const std::uint8_t> input);
+
+/// Same transform computed in linear time: the cyclic rotation order is
+/// recovered from the SA-IS suffix array of input+input (suffixes starting
+/// in the first copy order rotations; identical rotations of periodic
+/// inputs tie, which cannot change the L column). Produces a valid BWT
+/// that bwt_inverse restores; for periodic inputs the primary index may
+/// differ from bwt_forward's, both being correct.
+BwtResult bwt_forward_sais(std::span<const std::uint8_t> input);
+
+/// Inverse BWT.
+util::Bytes bwt_inverse(std::span<const std::uint8_t> transformed,
+                        std::uint32_t primary);
+
+}  // namespace wats::workloads

@@ -1,0 +1,104 @@
+#include "workloads/bzip2_like.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+#include "workloads/bitstream.hpp"
+#include "workloads/bwt.hpp"
+#include "workloads/huffman.hpp"
+#include "workloads/mtf_rle.hpp"
+
+namespace wats::workloads {
+
+util::Bytes bzip2_compress(std::span<const std::uint8_t> input) {
+  // SA-IS block sorting (linear time), as real bzip2-class sorters do.
+  const BwtResult bwt = bwt_forward_sais(input);
+  const util::Bytes mtf = mtf_encode(bwt.transformed);
+  const std::vector<ZSymbol> symbols = zrle_encode(mtf);
+
+  std::vector<std::uint64_t> freqs(kZAlphabet, 0);
+  for (ZSymbol s : symbols) ++freqs[s];
+  const std::vector<std::uint8_t> lengths = huffman_code_lengths(freqs);
+  const std::vector<std::uint32_t> codes = canonical_codes(lengths);
+
+  BitWriter writer;
+  huffman_encode(symbols, lengths, codes, writer);
+  const std::size_t payload_bits = writer.bit_count();
+  const util::Bytes payload = writer.take();
+
+  util::Bytes out;
+  out.reserve(12 + kZAlphabet + payload.size());
+  util::put_u32le(out, static_cast<std::uint32_t>(input.size()));
+  util::put_u32le(out, bwt.primary);
+  util::put_u32le(out, static_cast<std::uint32_t>(payload_bits));
+  out.insert(out.end(), lengths.begin(), lengths.end());
+  out.insert(out.end(), payload.begin(), payload.end());
+  return out;
+}
+
+util::Bytes bzip2_decompress(std::span<const std::uint8_t> compressed) {
+  WATS_CHECK_MSG(compressed.size() >= 12 + kZAlphabet,
+                 "truncated bzip2 block");
+  const std::uint32_t original_size = util::get_u32le(compressed, 0);
+  const std::uint32_t primary = util::get_u32le(compressed, 4);
+  const std::uint32_t payload_bits = util::get_u32le(compressed, 8);
+
+  const std::span<const std::uint8_t> lengths =
+      compressed.subspan(12, kZAlphabet);
+  const std::span<const std::uint8_t> payload =
+      compressed.subspan(12 + kZAlphabet);
+
+  if (original_size == 0) return {};
+
+  HuffmanDecoder decoder(lengths);
+  BitReader reader(payload);
+  std::vector<ZSymbol> symbols;
+  while (reader.bits_consumed() < payload_bits) {
+    const std::uint16_t s = decoder.decode(reader);
+    symbols.push_back(s);
+    if (s == kEob) break;
+  }
+  WATS_CHECK_MSG(!symbols.empty() && symbols.back() == kEob,
+                 "bzip2 payload missing EOB");
+
+  const util::Bytes mtf = zrle_decode(symbols);
+  const util::Bytes bwt = mtf_decode(mtf);
+  WATS_CHECK_MSG(bwt.size() == original_size, "bzip2 size mismatch");
+  return bwt_inverse(bwt, primary);
+}
+
+util::Bytes bzip2_compress_stream(std::span<const std::uint8_t> input,
+                                  std::size_t block_size) {
+  WATS_CHECK(block_size > 0);
+  const std::size_t blocks =
+      input.empty() ? 0 : (input.size() + block_size - 1) / block_size;
+  util::Bytes out;
+  util::put_u32le(out, static_cast<std::uint32_t>(blocks));
+  for (std::size_t b = 0; b < blocks; ++b) {
+    const std::size_t offset = b * block_size;
+    const std::size_t len = std::min(block_size, input.size() - offset);
+    const util::Bytes packed = bzip2_compress(input.subspan(offset, len));
+    util::put_u32le(out, static_cast<std::uint32_t>(packed.size()));
+    out.insert(out.end(), packed.begin(), packed.end());
+  }
+  return out;
+}
+
+util::Bytes bzip2_decompress_stream(std::span<const std::uint8_t> stream) {
+  WATS_CHECK(stream.size() >= 4);
+  const std::uint32_t blocks = util::get_u32le(stream, 0);
+  std::size_t pos = 4;
+  util::Bytes out;
+  for (std::uint32_t b = 0; b < blocks; ++b) {
+    WATS_CHECK(pos + 4 <= stream.size());
+    const std::uint32_t size = util::get_u32le(stream, pos);
+    pos += 4;
+    WATS_CHECK(pos + size <= stream.size());
+    const util::Bytes block = bzip2_decompress(stream.subspan(pos, size));
+    out.insert(out.end(), block.begin(), block.end());
+    pos += size;
+  }
+  return out;
+}
+
+}  // namespace wats::workloads

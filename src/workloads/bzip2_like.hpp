@@ -1,0 +1,33 @@
+// The "Bzip-2" batch benchmark of Table III: a block compressor with the
+// same pipeline as bzip2 — BWT, move-to-front, zero-run-length coding, and
+// Huffman entropy coding — implemented from our own stages.
+//
+// Container format per block (all integers little-endian):
+//   u32 original_size
+//   u32 bwt_primary
+//   u32 payload_bits      (number of valid bits in the Huffman stream)
+//   258 x u8 code lengths (canonical Huffman book for the ZRLE alphabet)
+//   payload bytes
+#pragma once
+
+#include <span>
+
+#include "util/bytes.hpp"
+
+namespace wats::workloads {
+
+/// Compress one block (<= ~1 MiB is sensible; the SA-IS sorter is linear
+/// but memory grows with block size).
+util::Bytes bzip2_compress(std::span<const std::uint8_t> input);
+
+/// Decompress a block produced by bzip2_compress.
+util::Bytes bzip2_decompress(std::span<const std::uint8_t> compressed);
+
+/// Multi-block stream (real bzip2's structure; every block is independent
+/// — exactly the per-task unit of the Bzip-2 batch benchmark):
+///   u32 block_count, then per block: u32 compressed_size, block bytes.
+util::Bytes bzip2_compress_stream(std::span<const std::uint8_t> input,
+                                  std::size_t block_size);
+util::Bytes bzip2_decompress_stream(std::span<const std::uint8_t> stream);
+
+}  // namespace wats::workloads

@@ -1,0 +1,121 @@
+#include "workloads/datagen.hpp"
+
+#include <cmath>
+#include <string>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace wats::workloads {
+
+util::Bytes text_corpus(std::size_t size, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+
+  // Build a lexicon of 1024 words, lengths 2..10, letter frequencies
+  // loosely English-like via a zipf over a scrambled alphabet.
+  constexpr std::size_t kLexicon = 1024;
+  util::ZipfSampler letter_dist(26, 1.0);
+  std::vector<std::string> words(kLexicon);
+  for (auto& w : words) {
+    const std::size_t len = 2 + static_cast<std::size_t>(rng.bounded(9));
+    w.resize(len);
+    for (auto& c : w) {
+      c = static_cast<char>('a' + letter_dist.sample(rng));
+    }
+  }
+
+  util::ZipfSampler word_dist(kLexicon, 1.1);
+  util::Bytes out;
+  out.reserve(size + 16);
+  std::size_t since_newline = 0;
+  while (out.size() < size) {
+    const std::string& w = words[word_dist.sample(rng)];
+    out.insert(out.end(), w.begin(), w.end());
+    ++since_newline;
+    if (rng.chance(0.08)) out.push_back('.');
+    if (since_newline >= 12 && rng.chance(0.3)) {
+      out.push_back('\n');
+      since_newline = 0;
+    } else {
+      out.push_back(' ');
+    }
+  }
+  out.resize(size);
+  return out;
+}
+
+util::Bytes random_bytes(std::size_t size, std::uint64_t seed) {
+  util::Xoshiro256 rng(seed);
+  util::Bytes out(size);
+  for (auto& b : out) b = static_cast<std::uint8_t>(rng.bounded(256));
+  return out;
+}
+
+util::Bytes repetitive_corpus(std::size_t size, double redundancy,
+                              std::uint64_t seed) {
+  WATS_CHECK(redundancy >= 0.0 && redundancy <= 1.0);
+  util::Xoshiro256 rng(seed);
+
+  constexpr std::size_t kBlock = 4096;
+  constexpr std::size_t kPool = 32;
+  std::vector<util::Bytes> pool(kPool);
+  for (std::size_t i = 0; i < kPool; ++i) {
+    pool[i] = text_corpus(kBlock, rng.next());
+  }
+
+  util::Bytes out;
+  out.reserve(size + kBlock);
+  while (out.size() < size) {
+    if (rng.chance(redundancy)) {
+      util::Bytes block = pool[rng.pick_index(pool)];
+      // Occasional point mutation so duplicate detection has near-misses.
+      if (rng.chance(0.1)) {
+        block[rng.pick_index(block)] ^= 0x5A;
+      }
+      out.insert(out.end(), block.begin(), block.end());
+    } else {
+      const util::Bytes fresh = text_corpus(kBlock, rng.next());
+      out.insert(out.end(), fresh.begin(), fresh.end());
+    }
+  }
+  out.resize(size);
+  return out;
+}
+
+std::vector<float> synthetic_image(std::size_t width, std::size_t height,
+                                   std::size_t blobs, std::uint64_t seed) {
+  WATS_CHECK(width > 0 && height > 0);
+  util::Xoshiro256 rng(seed);
+  std::vector<float> img(width * height, 0.0f);
+
+  struct Blob {
+    double cx, cy, sigma, amplitude;
+  };
+  std::vector<Blob> bs(blobs);
+  for (auto& b : bs) {
+    b.cx = rng.uniform(0.0, static_cast<double>(width));
+    b.cy = rng.uniform(0.0, static_cast<double>(height));
+    b.sigma = rng.uniform(2.0, static_cast<double>(std::max(width, height)) / 4.0);
+    b.amplitude = rng.uniform(0.2, 1.0);
+  }
+
+  float peak = 1e-6f;
+  for (std::size_t y = 0; y < height; ++y) {
+    for (std::size_t x = 0; x < width; ++x) {
+      double v = 0.0;
+      for (const auto& b : bs) {
+        const double dx = static_cast<double>(x) - b.cx;
+        const double dy = static_cast<double>(y) - b.cy;
+        v += b.amplitude *
+             std::exp(-(dx * dx + dy * dy) / (2.0 * b.sigma * b.sigma));
+      }
+      img[y * width + x] = static_cast<float>(v);
+      peak = std::max(peak, img[y * width + x]);
+    }
+  }
+  for (auto& v : img) v /= peak;
+  return img;
+}
+
+}  // namespace wats::workloads

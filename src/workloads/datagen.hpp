@@ -1,0 +1,31 @@
+// Synthetic input corpora for the workload kernels. All generators are
+// seed-deterministic so tests and benchmarks are reproducible.
+#pragma once
+
+#include <cstdint>
+
+#include "util/bytes.hpp"
+
+namespace wats::workloads {
+
+/// Pseudo-natural text: zipf-distributed words over a synthetic lexicon,
+/// spaces and occasional punctuation/newlines. Compresses like prose,
+/// which matters for the BWT/Bzip-2/DMC/LZW kernels.
+util::Bytes text_corpus(std::size_t size, std::uint64_t seed);
+
+/// Uniform random bytes (incompressible; worst case for the coders).
+util::Bytes random_bytes(std::size_t size, std::uint64_t seed);
+
+/// Redundant data for the Dedup pipeline: a pool of base blocks repeated
+/// with occasional point mutations. `redundancy` in [0,1] is the fraction
+/// of blocks drawn from the pool rather than generated fresh.
+util::Bytes repetitive_corpus(std::size_t size, double redundancy,
+                              std::uint64_t seed);
+
+/// A smooth synthetic grayscale image (sum of random gaussian blobs),
+/// row-major `width x height`, values in [0, 1]. Input of the Ferret
+/// feature-extraction stage.
+std::vector<float> synthetic_image(std::size_t width, std::size_t height,
+                                   std::size_t blobs, std::uint64_t seed);
+
+}  // namespace wats::workloads

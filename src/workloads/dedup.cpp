@@ -1,0 +1,140 @@
+#include "workloads/dedup.hpp"
+
+#include "util/check.hpp"
+#include "workloads/lzw.hpp"
+
+namespace wats::workloads {
+
+std::vector<ChunkRef> chunk_content(std::span<const std::uint8_t> input,
+                                    const ChunkerConfig& config) {
+  WATS_CHECK(config.min_chunk > 0 && config.min_chunk < config.max_chunk);
+  WATS_CHECK(config.window > 0);
+
+  std::vector<ChunkRef> chunks;
+  if (input.empty()) return chunks;
+
+  // Polynomial rolling hash h = sum(b[i] * P^(w-1-i)) mod 2^64 over a
+  // sliding window; a boundary is declared when the masked hash hits the
+  // magic value (content-defined, offset-independent).
+  constexpr std::uint64_t kP = 0x3B9ACA07ULL;
+  // Precompute P^(window) for O(1) removal of the outgoing byte.
+  std::uint64_t p_pow = 1;
+  for (std::size_t i = 0; i < config.window; ++i) p_pow *= kP;
+
+  std::size_t chunk_start = 0;
+  std::uint64_t hash = 0;
+  for (std::size_t i = 0; i < input.size(); ++i) {
+    hash = hash * kP + input[i];
+    const std::size_t in_chunk = i + 1 - chunk_start;
+    if (in_chunk > config.window) {
+      hash -= p_pow * input[i - config.window];
+    }
+    const bool at_boundary =
+        in_chunk >= config.min_chunk &&
+        ((hash & config.boundary_mask) == config.boundary_magic);
+    if (at_boundary || in_chunk >= config.max_chunk) {
+      chunks.push_back({chunk_start, in_chunk});
+      chunk_start = i + 1;
+      hash = 0;
+    }
+  }
+  if (chunk_start < input.size()) {
+    chunks.push_back({chunk_start, input.size() - chunk_start});
+  }
+  return chunks;
+}
+
+Digest160 fingerprint_chunk(std::span<const std::uint8_t> chunk) {
+  return Sha1::hash(chunk);
+}
+
+std::size_t DedupIndex::DigestHash::operator()(const Digest160& d) const {
+  // The digest is already uniform; fold the first 8 bytes.
+  std::size_t h = 0;
+  for (std::size_t i = 0; i < sizeof(h); ++i) {
+    h = (h << 8) | d[i];
+  }
+  return h;
+}
+
+DedupIndex::Lookup DedupIndex::intern(const Digest160& digest) {
+  std::lock_guard lock(mu_);
+  auto [it, inserted] =
+      ids_.emplace(digest, static_cast<std::uint32_t>(ids_.size()));
+  return {it->second, inserted};
+}
+
+std::size_t DedupIndex::unique_chunks() const {
+  std::lock_guard lock(mu_);
+  return ids_.size();
+}
+
+util::Bytes dedup_archive(std::span<const std::uint8_t> input,
+                          DedupStats* stats, const ChunkerConfig& config) {
+  const std::vector<ChunkRef> chunks = chunk_content(input, config);
+  DedupIndex index;
+
+  util::Bytes out;
+  util::put_u32le(out, static_cast<std::uint32_t>(chunks.size()));
+  for (const ChunkRef& ref : chunks) {
+    const auto chunk = input.subspan(ref.offset, ref.length);
+    const Digest160 digest = fingerprint_chunk(chunk);
+    const DedupIndex::Lookup lookup = index.intern(digest);
+    if (lookup.is_new) {
+      const util::Bytes compressed = lzw_compress(chunk);
+      out.push_back(0x01);
+      util::put_u32le(out, lookup.id);
+      util::put_u32le(out, static_cast<std::uint32_t>(ref.length));
+      util::put_u32le(out, static_cast<std::uint32_t>(compressed.size()));
+      out.insert(out.end(), compressed.begin(), compressed.end());
+    } else {
+      out.push_back(0x00);
+      util::put_u32le(out, lookup.id);
+    }
+  }
+
+  if (stats != nullptr) {
+    stats->total_chunks = chunks.size();
+    stats->unique_chunks = index.unique_chunks();
+    stats->input_bytes = input.size();
+    stats->archive_bytes = out.size();
+  }
+  return out;
+}
+
+util::Bytes dedup_restore(std::span<const std::uint8_t> archive) {
+  WATS_CHECK(archive.size() >= 4);
+  const std::uint32_t chunk_count = util::get_u32le(archive, 0);
+  std::size_t pos = 4;
+
+  std::vector<util::Bytes> store;  // chunk id -> raw bytes
+  util::Bytes out;
+  for (std::uint32_t c = 0; c < chunk_count; ++c) {
+    WATS_CHECK(pos + 1 <= archive.size());
+    const std::uint8_t tag = archive[pos++];
+    if (tag == 0x01) {
+      WATS_CHECK(pos + 12 <= archive.size());
+      const std::uint32_t id = util::get_u32le(archive, pos);
+      const std::uint32_t raw_size = util::get_u32le(archive, pos + 4);
+      const std::uint32_t comp_size = util::get_u32le(archive, pos + 8);
+      pos += 12;
+      WATS_CHECK(pos + comp_size <= archive.size());
+      util::Bytes raw =
+          lzw_decompress(archive.subspan(pos, comp_size), raw_size);
+      pos += comp_size;
+      WATS_CHECK_MSG(id == store.size(), "dedup archive ids out of order");
+      out.insert(out.end(), raw.begin(), raw.end());
+      store.push_back(std::move(raw));
+    } else {
+      WATS_CHECK_MSG(tag == 0x00, "corrupt dedup archive tag");
+      WATS_CHECK(pos + 4 <= archive.size());
+      const std::uint32_t id = util::get_u32le(archive, pos);
+      pos += 4;
+      WATS_CHECK(id < store.size());
+      out.insert(out.end(), store[id].begin(), store[id].end());
+    }
+  }
+  return out;
+}
+
+}  // namespace wats::workloads

@@ -1,0 +1,89 @@
+// Dedup — the pipeline benchmark of Table III (the paper uses PARSEC's
+// dedup; see DESIGN.md for the substitution note).
+//
+// Stages, matching PARSEC's structure:
+//   1. chunk       — content-defined chunking with a polynomial rolling hash
+//   2. fingerprint — SHA-1 of each chunk
+//   3. dedup       — global fingerprint index; decide new vs duplicate
+//   4. compress    — LZW on chunks seen for the first time
+// plus a reassemble step that writes the archive. Each stage maps to a
+// distinct task class in the scheduler benchmarks.
+#pragma once
+
+#include <cstdint>
+#include <mutex>
+#include <optional>
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "workloads/sha1.hpp"
+
+namespace wats::workloads {
+
+struct ChunkerConfig {
+  std::size_t min_chunk = 512;
+  std::size_t max_chunk = 16384;
+  std::uint64_t boundary_mask = (1u << 11) - 1;  ///< mean chunk ~2 KiB + min
+  std::uint64_t boundary_magic = 0x78;
+  std::size_t window = 48;  ///< rolling-hash window length
+};
+
+struct ChunkRef {
+  std::size_t offset = 0;
+  std::size_t length = 0;
+};
+
+/// Stage 1: split `input` into content-defined chunks. Chunk boundaries
+/// depend only on local content, so identical regions at different offsets
+/// produce identical chunks (the property dedup relies on).
+std::vector<ChunkRef> chunk_content(std::span<const std::uint8_t> input,
+                                    const ChunkerConfig& config = {});
+
+/// Stage 2: fingerprint one chunk.
+Digest160 fingerprint_chunk(std::span<const std::uint8_t> chunk);
+
+/// Stage 3: the global deduplication index (thread-safe: the dedup stage
+/// runs concurrently with other pipeline items in the runtime benchmarks).
+class DedupIndex {
+ public:
+  /// Returns the existing chunk id for this digest, or assigns and returns
+  /// a fresh id with `is_new == true`.
+  struct Lookup {
+    std::uint32_t id = 0;
+    bool is_new = false;
+  };
+  Lookup intern(const Digest160& digest);
+
+  std::size_t unique_chunks() const;
+
+ private:
+  struct DigestHash {
+    std::size_t operator()(const Digest160& d) const;
+  };
+  mutable std::mutex mu_;
+  std::unordered_map<Digest160, std::uint32_t, DigestHash> ids_;
+};
+
+/// Archive produced by the pipeline; restorable via dedup_restore.
+/// Format: u32 chunk_count, then per chunk either
+///   0x01 u32 id u32 raw_size u32 comp_size <comp bytes>   (new chunk)
+///   0x00 u32 id                                           (duplicate)
+struct DedupStats {
+  std::size_t total_chunks = 0;
+  std::size_t unique_chunks = 0;
+  std::size_t input_bytes = 0;
+  std::size_t archive_bytes = 0;
+};
+
+/// Whole-pipeline convenience used by tests/examples (runs the stages
+/// sequentially; the scheduler benchmarks run them as tasks instead).
+util::Bytes dedup_archive(std::span<const std::uint8_t> input,
+                          DedupStats* stats = nullptr,
+                          const ChunkerConfig& config = {});
+
+/// Reconstruct the original input from an archive.
+util::Bytes dedup_restore(std::span<const std::uint8_t> archive);
+
+}  // namespace wats::workloads

@@ -1,0 +1,129 @@
+#include "workloads/dmc.hpp"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/check.hpp"
+#include "workloads/arith.hpp"
+
+namespace wats::workloads {
+
+DmcModel::DmcModel(const DmcConfig& config) : config_(config) {
+  WATS_CHECK(config_.max_nodes >= 512);
+  reset();
+}
+
+void DmcModel::reset() {
+  // Initial machine: the classic byte "braid" — a complete binary tree
+  // over the 8 bit positions of a byte; both transitions of the last level
+  // return to the root, so the model starts as an order-0-within-byte
+  // predictor. Tree node for (level l, path p) sits at index 2^l - 1 + p.
+  nodes_.clear();
+  nodes_.reserve(512);
+  for (std::uint32_t level = 0; level < 8; ++level) {
+    const std::uint32_t next_base = (1u << (level + 1)) - 1;
+    for (std::uint32_t path = 0; path < (1u << level); ++path) {
+      Node node{};
+      if (level == 7) {
+        node.next[0] = node.next[1] = 0;  // back to the root
+      } else {
+        node.next[0] = next_base + path * 2;
+        node.next[1] = next_base + path * 2 + 1;
+      }
+      node.count[0] = node.count[1] = 0.2;
+      nodes_.push_back(node);
+    }
+  }
+  current_ = 0;
+  ++resets_;
+}
+
+std::uint16_t DmcModel::predict_p0() const {
+  const Node& s = nodes_[current_];
+  // Laplace-style smoothing keeps freshly cloned (low-count) states from
+  // committing too hard; without it incompressible input expands several
+  // percent instead of a fraction of one.
+  constexpr double kDelta = 0.45;
+  const double p0 = (s.count[0] + kDelta) /
+                    (s.count[0] + s.count[1] + 2.0 * kDelta);
+  const auto scaled = static_cast<std::int32_t>(p0 * 65536.0);
+  return static_cast<std::uint16_t>(std::clamp(scaled, 1, 65535));
+}
+
+void DmcModel::update(std::uint32_t bit) {
+  WATS_DCHECK(bit <= 1);
+  Node& s = nodes_[current_];
+  const std::uint32_t target = s.next[bit];
+  Node& t = nodes_[target];
+  const double t_total = t.count[0] + t.count[1];
+
+  // Cloning rule: if this transition is hot and the target state has
+  // substantial traffic from elsewhere, split the target so this context
+  // gets a private successor.
+  if (s.count[bit] >= config_.clone_visits &&
+      t_total - s.count[bit] >= config_.clone_remainder) {
+    if (nodes_.size() >= config_.max_nodes) {
+      reset();
+      // After a reset `current_` is the root; redo the update against the
+      // fresh model so encoder and decoder stay in lockstep.
+      Node& root = nodes_[current_];
+      root.count[bit] += 1.0;
+      current_ = root.next[bit];
+      return;
+    }
+    Node clone{};
+    const double ratio = s.count[bit] / t_total;
+    clone.next[0] = t.next[0];
+    clone.next[1] = t.next[1];
+    clone.count[0] = t.count[0] * ratio;
+    clone.count[1] = t.count[1] * ratio;
+    t.count[0] -= clone.count[0];
+    t.count[1] -= clone.count[1];
+    const auto clone_index = static_cast<std::uint32_t>(nodes_.size());
+    nodes_.push_back(clone);
+    // Note: `s` and `t` references may be dangling after push_back;
+    // re-index through the vector.
+    nodes_[current_].next[bit] = clone_index;
+    nodes_[current_].count[bit] += 1.0;
+    current_ = clone_index;
+    return;
+  }
+
+  s.count[bit] += 1.0;
+  current_ = target;
+}
+
+util::Bytes dmc_compress(std::span<const std::uint8_t> input,
+                         const DmcConfig& config) {
+  DmcModel model(config);
+  RangeEncoder encoder;
+  for (std::uint8_t byte : input) {
+    for (int b = 7; b >= 0; --b) {
+      const std::uint32_t bit = (byte >> b) & 1u;
+      encoder.encode(bit, model.predict_p0());
+      model.update(bit);
+    }
+  }
+  return encoder.finish();
+}
+
+util::Bytes dmc_decompress(std::span<const std::uint8_t> compressed,
+                           std::size_t original_size,
+                           const DmcConfig& config) {
+  DmcModel model(config);
+  RangeDecoder decoder(compressed);
+  util::Bytes out;
+  out.reserve(original_size);
+  for (std::size_t i = 0; i < original_size; ++i) {
+    std::uint8_t byte = 0;
+    for (int b = 7; b >= 0; --b) {
+      const std::uint32_t bit = decoder.decode(model.predict_p0());
+      model.update(bit);
+      byte = static_cast<std::uint8_t>((byte << 1) | bit);
+    }
+    out.push_back(byte);
+  }
+  return out;
+}
+
+}  // namespace wats::workloads

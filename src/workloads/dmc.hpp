@@ -1,0 +1,63 @@
+// Dynamic Markov Coding (Cormack & Horspool 1987) — the DMC batch
+// benchmark of Table III.
+//
+// A bit-level finite-state predictor: states carry 0/1 transition counts;
+// heavily used transitions are "cloned" to refine the model. Predictions
+// feed the binary range coder in arith.hpp.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace wats::workloads {
+
+struct DmcConfig {
+  /// Cloning thresholds (MIN_CNT1/MIN_CNT2 in the original paper).
+  double clone_visits = 2.0;
+  double clone_remainder = 2.0;
+  /// Node budget; the model resets to the initial braid when exhausted.
+  std::size_t max_nodes = 1u << 20;
+};
+
+/// The adaptive model, shared verbatim by encoder and decoder (both sides
+/// must make identical predictions and updates).
+class DmcModel {
+ public:
+  explicit DmcModel(const DmcConfig& config);
+
+  /// Probability (16-bit fixed point, in [1, 65535]) that the next bit is 0.
+  std::uint16_t predict_p0() const;
+
+  /// Advance the model with the actual bit.
+  void update(std::uint32_t bit);
+
+  std::size_t node_count() const { return nodes_.size(); }
+  std::uint64_t resets() const { return resets_; }
+
+ private:
+  struct Node {
+    std::uint32_t next[2];
+    double count[2];
+  };
+
+  void reset();
+
+  DmcConfig config_;
+  std::vector<Node> nodes_;
+  std::uint32_t current_ = 0;
+  std::uint64_t resets_ = 0;
+};
+
+/// Compress a buffer (bit-serial, MSB first within each byte).
+util::Bytes dmc_compress(std::span<const std::uint8_t> input,
+                         const DmcConfig& config = {});
+
+/// Decompress exactly `original_size` bytes.
+util::Bytes dmc_decompress(std::span<const std::uint8_t> compressed,
+                           std::size_t original_size,
+                           const DmcConfig& config = {});
+
+}  // namespace wats::workloads

@@ -1,0 +1,134 @@
+#include "workloads/drivers.hpp"
+
+#include <atomic>
+#include <chrono>
+#include <functional>
+#include <vector>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace wats::workloads {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+}
+
+DriverResult run_batch_on_runtime(runtime::TaskRuntime& rt,
+                                  const BenchmarkSpec& spec, double scale,
+                                  std::uint64_t seed,
+                                  std::size_t batches_override) {
+  WATS_CHECK(spec.kind == BenchKind::kBatch);
+  const std::size_t batches =
+      batches_override > 0 ? batches_override : spec.batches;
+
+  // Intern one class per spec class (the "function names").
+  std::vector<core::TaskClassId> ids;
+  ids.reserve(spec.classes.size());
+  for (const auto& cls : spec.classes) {
+    ids.push_back(rt.register_class(cls.name));
+  }
+
+  std::atomic<std::uint64_t> checksum{0};
+  std::atomic<std::size_t> tasks{0};
+  util::Xoshiro256 rng(seed);
+
+  const auto start = Clock::now();
+  for (std::size_t b = 0; b < batches; ++b) {
+    // Shuffled class order within the batch, like the sim driver.
+    std::vector<std::size_t> mix;
+    for (std::size_t c = 0; c < spec.classes.size(); ++c) {
+      for (std::size_t i = 0; i < spec.classes[c].tasks_per_batch; ++i) {
+        mix.push_back(c);
+      }
+    }
+    rng.shuffle(mix);
+    for (std::size_t c : mix) {
+      auto task = make_real_task(spec.name, spec.classes[c].name, scale,
+                                 rng.next());
+      rt.spawn(ids[c], [task = std::move(task), &checksum, &tasks] {
+        checksum.fetch_xor(task(), std::memory_order_relaxed);
+        tasks.fetch_add(1, std::memory_order_relaxed);
+      });
+    }
+    rt.wait_all();  // the batch barrier
+  }
+  const std::chrono::duration<double> elapsed = Clock::now() - start;
+  return {checksum.load(), tasks.load(), elapsed.count()};
+}
+
+DriverResult run_pipeline_on_runtime(runtime::TaskRuntime& rt,
+                                     const BenchmarkSpec& spec, double scale,
+                                     std::uint64_t seed,
+                                     std::size_t items_override) {
+  WATS_CHECK(spec.kind == BenchKind::kPipeline);
+  const std::size_t items =
+      items_override > 0 ? items_override : spec.pipeline_items;
+  const std::size_t stages = spec.stage_count();
+
+  std::vector<core::TaskClassId> ids;
+  ids.reserve(spec.classes.size());
+  for (const auto& cls : spec.classes) {
+    ids.push_back(rt.register_class(cls.name));
+  }
+
+  std::atomic<std::uint64_t> checksum{0};
+  std::atomic<std::size_t> tasks{0};
+  util::SplitMix64 seeder(seed);
+
+  // Per-item seeds fixed up front so the result is schedule-independent.
+  std::vector<std::uint64_t> item_seeds(items);
+  for (auto& s : item_seeds) s = seeder.next();
+
+  const auto start = Clock::now();
+  // Stage chain: each stage task spawns the item's next stage.
+  std::function<void(std::size_t, std::size_t)> run_stage =
+      [&](std::size_t item, std::size_t stage) {
+        // Resolve the stage's class (first option; branching pipelines pick
+        // by the item's seed).
+        std::size_t cls_index = stage;
+        if (!spec.pipeline_stages.empty()) {
+          const auto& st = spec.pipeline_stages[stage];
+          cls_index = st.class_options.front();
+          if (st.class_options.size() > 1) {
+            util::SplitMix64 pick(item_seeds[item] + stage);
+            const double u =
+                static_cast<double>(pick.next() >> 11) * 0x1.0p-53;
+            double acc = 0.0;
+            for (std::size_t i = 0; i < st.class_options.size(); ++i) {
+              acc += st.probabilities[i];
+              if (u < acc) {
+                cls_index = st.class_options[i];
+                break;
+              }
+            }
+          }
+        }
+        auto task = make_real_task(spec.name, spec.classes[cls_index].name,
+                                   scale, item_seeds[item] ^ stage);
+        rt.spawn(ids[cls_index], [task = std::move(task), &checksum, &tasks,
+                                  &run_stage, item, stage, stages] {
+          checksum.fetch_xor(task(), std::memory_order_relaxed);
+          tasks.fetch_add(1, std::memory_order_relaxed);
+          if (stage + 1 < stages) run_stage(item, stage + 1);
+        });
+      };
+
+  for (std::size_t item = 0; item < items; ++item) {
+    run_stage(item, 0);
+  }
+  rt.wait_all();
+  const std::chrono::duration<double> elapsed = Clock::now() - start;
+  return {checksum.load(), tasks.load(), elapsed.count()};
+}
+
+DriverResult run_on_runtime(runtime::TaskRuntime& rt,
+                            const BenchmarkSpec& spec, double scale,
+                            std::uint64_t seed) {
+  if (spec.kind == BenchKind::kBatch) {
+    return run_batch_on_runtime(rt, spec, scale, seed);
+  }
+  return run_pipeline_on_runtime(rt, spec, scale, seed);
+}
+
+}  // namespace wats::workloads

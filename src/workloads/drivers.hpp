@@ -1,0 +1,40 @@
+// Drivers that execute a BenchmarkSpec with the REAL kernels on the
+// real-thread runtime — the counterpart of sim/workload_adapter.hpp for
+// wall-clock execution. Each task class maps to an actual kernel
+// invocation (hash/compress/evolve/...) via make_real_task; `scale`
+// shrinks the nominal input sizes so examples and tests stay fast.
+#pragma once
+
+#include <cstdint>
+
+#include "runtime/runtime.hpp"
+#include "workloads/workload_model.hpp"
+
+namespace wats::workloads {
+
+struct DriverResult {
+  std::uint64_t checksum = 0;   ///< XOR of per-task checksums (determinism)
+  std::size_t tasks_run = 0;
+  double wall_seconds = 0.0;
+};
+
+/// Run a batch benchmark: `batches` rounds (capped by the spec) of
+/// tasks_per_batch real-kernel tasks with a barrier between rounds.
+DriverResult run_batch_on_runtime(runtime::TaskRuntime& rt,
+                                  const BenchmarkSpec& spec, double scale,
+                                  std::uint64_t seed,
+                                  std::size_t batches_override = 0);
+
+/// Run a pipeline benchmark: items flow through the stages, each stage a
+/// real-kernel task spawned by its predecessor.
+DriverResult run_pipeline_on_runtime(runtime::TaskRuntime& rt,
+                                     const BenchmarkSpec& spec, double scale,
+                                     std::uint64_t seed,
+                                     std::size_t items_override = 0);
+
+/// Dispatch on spec.kind.
+DriverResult run_on_runtime(runtime::TaskRuntime& rt,
+                            const BenchmarkSpec& spec, double scale,
+                            std::uint64_t seed);
+
+}  // namespace wats::workloads

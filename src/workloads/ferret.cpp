@@ -1,0 +1,158 @@
+#include "workloads/ferret.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace wats::workloads {
+
+FeatureVector extract_features(std::span<const float> image,
+                               std::size_t width, std::size_t height,
+                               const FeatureConfig& config) {
+  WATS_CHECK(image.size() == width * height);
+  WATS_CHECK(config.intensity_bins > 0 && config.gradient_bins > 0);
+
+  FeatureVector features(config.intensity_bins + config.gradient_bins, 0.0f);
+
+  // Intensity histogram.
+  for (float v : image) {
+    const double clamped = std::clamp(static_cast<double>(v), 0.0, 1.0);
+    auto bin = static_cast<std::size_t>(
+        clamped * static_cast<double>(config.intensity_bins));
+    bin = std::min(bin, config.intensity_bins - 1);
+    features[bin] += 1.0f;
+  }
+
+  // Gradient-orientation histogram (central differences, magnitude
+  // weighted), over interior pixels.
+  if (width >= 3 && height >= 3) {
+    for (std::size_t y = 1; y + 1 < height; ++y) {
+      for (std::size_t x = 1; x + 1 < width; ++x) {
+        const double gx = image[y * width + x + 1] - image[y * width + x - 1];
+        const double gy =
+            image[(y + 1) * width + x] - image[(y - 1) * width + x];
+        const double mag = std::sqrt(gx * gx + gy * gy);
+        if (mag < 1e-9) continue;
+        double angle = std::atan2(gy, gx);  // [-pi, pi]
+        angle = (angle + std::numbers::pi) / (2.0 * std::numbers::pi);
+        auto bin = static_cast<std::size_t>(
+            angle * static_cast<double>(config.gradient_bins));
+        bin = std::min(bin, config.gradient_bins - 1);
+        features[config.intensity_bins + bin] += static_cast<float>(mag);
+      }
+    }
+  }
+
+  // L2 normalization (per block: intensity and gradient separately, so one
+  // modality cannot drown the other).
+  auto normalize = [](std::span<float> block) {
+    double norm = 0.0;
+    for (float v : block) norm += static_cast<double>(v) * v;
+    norm = std::sqrt(norm);
+    if (norm < 1e-12) return;
+    for (float& v : block) v = static_cast<float>(v / norm);
+  };
+  normalize(std::span<float>(features).subspan(0, config.intensity_bins));
+  normalize(std::span<float>(features).subspan(config.intensity_bins));
+  return features;
+}
+
+double feature_distance(const FeatureVector& a, const FeatureVector& b) {
+  WATS_CHECK(a.size() == b.size());
+  double sum = 0.0;
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    const double d = static_cast<double>(a[i]) - b[i];
+    sum += d * d;
+  }
+  return sum;
+}
+
+FerretIndex::FerretIndex(std::size_t feature_dims, std::size_t signature_bits,
+                         std::uint64_t seed)
+    : dims_(feature_dims) {
+  WATS_CHECK(signature_bits >= 1 && signature_bits <= 20);
+  util::Xoshiro256 rng(seed);
+  hyperplanes_.resize(signature_bits);
+  for (auto& h : hyperplanes_) {
+    h.resize(dims_);
+    for (auto& v : h) {
+      // Gaussian components keep hyperplane directions uniform on the
+      // sphere.
+      v = static_cast<float>(rng.gaussian());
+    }
+  }
+  buckets_.resize(std::size_t{1} << signature_bits);
+  bucket_mask_ = (std::uint64_t{1} << signature_bits) - 1;
+}
+
+std::uint64_t FerretIndex::signature_of(const FeatureVector& f) const {
+  WATS_CHECK(f.size() == dims_);
+  std::uint64_t sig = 0;
+  for (std::size_t b = 0; b < hyperplanes_.size(); ++b) {
+    double dot = 0.0;
+    const auto& h = hyperplanes_[b];
+    for (std::size_t i = 0; i < dims_; ++i) {
+      dot += static_cast<double>(h[i]) * f[i];
+    }
+    if (dot >= 0.0) sig |= (std::uint64_t{1} << b);
+  }
+  return sig & bucket_mask_;
+}
+
+std::uint32_t FerretIndex::add(FeatureVector features) {
+  const auto id = static_cast<std::uint32_t>(features_.size());
+  const std::uint64_t sig = signature_of(features);
+  buckets_[sig].push_back(id);
+  features_.push_back(std::move(features));
+  return id;
+}
+
+std::vector<std::uint32_t> FerretIndex::probe(
+    const FeatureVector& query, std::size_t min_candidates) const {
+  const std::uint64_t sig = signature_of(query);
+  std::vector<std::uint32_t> candidates = buckets_[sig];
+  // Multi-probe: 1-bit-flip neighbouring buckets.
+  for (std::size_t b = 0; b < hyperplanes_.size(); ++b) {
+    const auto& neighbour = buckets_[sig ^ (std::uint64_t{1} << b)];
+    candidates.insert(candidates.end(), neighbour.begin(), neighbour.end());
+  }
+  if (candidates.size() < min_candidates) {
+    candidates.resize(features_.size());
+    for (std::uint32_t i = 0; i < features_.size(); ++i) candidates[i] = i;
+  }
+  return candidates;
+}
+
+std::vector<RankedMatch> FerretIndex::rank(
+    const FeatureVector& query, std::span<const std::uint32_t> candidates,
+    std::size_t k) const {
+  std::vector<RankedMatch> matches;
+  matches.reserve(candidates.size());
+  for (std::uint32_t id : candidates) {
+    matches.push_back({id, feature_distance(query, features_.at(id))});
+  }
+  std::sort(matches.begin(), matches.end(),
+            [](const RankedMatch& a, const RankedMatch& b) {
+              if (a.distance != b.distance) return a.distance < b.distance;
+              return a.image_id < b.image_id;
+            });
+  // Drop duplicate ids that multi-probe may have produced.
+  matches.erase(std::unique(matches.begin(), matches.end(),
+                            [](const RankedMatch& a, const RankedMatch& b) {
+                              return a.image_id == b.image_id;
+                            }),
+                matches.end());
+  if (matches.size() > k) matches.resize(k);
+  return matches;
+}
+
+std::vector<RankedMatch> FerretIndex::query(const FeatureVector& query_features,
+                                            std::size_t k) const {
+  const auto candidates = probe(query_features, k * 4);
+  return rank(query_features, candidates, k);
+}
+
+}  // namespace wats::workloads

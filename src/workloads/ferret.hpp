@@ -1,0 +1,85 @@
+// Ferret — the content-based similarity-search pipeline of Table III (the
+// paper uses PARSEC's ferret; see DESIGN.md for the substitution note).
+//
+// Stages, matching PARSEC's structure:
+//   1. segment/extract — feature vector from a (synthetic) grayscale image:
+//                        intensity histogram + gradient-orientation
+//                        histogram, L2-normalized
+//   2. index probe     — coarse candidate selection via an LSH table of
+//                        random hyperplane signatures
+//   3. rank            — exact L2 distances over the candidates, top-k
+//
+// The paper's key observation about Ferret — all tasks have similar
+// workloads, so WATS is neutral on it — holds here too: every query image
+// has the same size and the database scan cost is uniform.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+namespace wats::workloads {
+
+using FeatureVector = std::vector<float>;
+
+struct FeatureConfig {
+  std::size_t intensity_bins = 32;
+  std::size_t gradient_bins = 16;
+};
+
+/// Stage 1: extract a normalized feature vector from a row-major image.
+FeatureVector extract_features(std::span<const float> image,
+                               std::size_t width, std::size_t height,
+                               const FeatureConfig& config = {});
+
+/// Squared L2 distance between two feature vectors of equal length.
+double feature_distance(const FeatureVector& a, const FeatureVector& b);
+
+struct RankedMatch {
+  std::uint32_t image_id = 0;
+  double distance = 0.0;
+};
+
+/// The searchable image database: stores feature vectors and an LSH table
+/// over random-hyperplane signatures for candidate probing.
+class FerretIndex {
+ public:
+  /// `signature_bits` random hyperplanes define the LSH bucket hash.
+  FerretIndex(std::size_t feature_dims, std::size_t signature_bits,
+              std::uint64_t seed);
+
+  /// Add an image's features; returns its id.
+  std::uint32_t add(FeatureVector features);
+
+  /// Stage 2: candidate ids from the query's LSH bucket and neighbouring
+  /// buckets (1-bit flips). Falls back to the whole database when the
+  /// probe yields fewer than `min_candidates`.
+  std::vector<std::uint32_t> probe(const FeatureVector& query,
+                                   std::size_t min_candidates) const;
+
+  /// Stage 3: exact distances over `candidates`, best `k` first.
+  std::vector<RankedMatch> rank(const FeatureVector& query,
+                                std::span<const std::uint32_t> candidates,
+                                std::size_t k) const;
+
+  /// Convenience: probe + rank.
+  std::vector<RankedMatch> query(const FeatureVector& query_features,
+                                 std::size_t k) const;
+
+  std::size_t size() const { return features_.size(); }
+  const FeatureVector& features(std::uint32_t id) const {
+    return features_.at(id);
+  }
+
+ private:
+  std::uint64_t signature_of(const FeatureVector& f) const;
+
+  std::size_t dims_;
+  std::vector<std::vector<float>> hyperplanes_;
+  std::vector<FeatureVector> features_;
+  // bucket signature -> image ids (flat multimap; probe is read-mostly)
+  std::vector<std::vector<std::uint32_t>> buckets_;
+  std::uint64_t bucket_mask_ = 0;
+};
+
+}  // namespace wats::workloads

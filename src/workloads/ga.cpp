@@ -1,0 +1,138 @@
+#include "workloads/ga.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numbers>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace wats::workloads {
+
+double rastrigin(const std::vector<double>& x) {
+  constexpr double kA = 10.0;
+  double sum = kA * static_cast<double>(x.size());
+  for (double xi : x) {
+    sum += xi * xi - kA * std::cos(2.0 * std::numbers::pi * xi);
+  }
+  return sum;
+}
+
+Island::Island(const GaConfig& config, std::uint64_t seed)
+    : config_(config), rng_(seed) {
+  WATS_CHECK(config_.population >= 2);
+  WATS_CHECK(config_.genome_length >= 1);
+  WATS_CHECK(config_.tournament >= 1);
+  population_.resize(config_.population);
+  for (auto& ind : population_) {
+    ind.genome.resize(config_.genome_length);
+    for (auto& g : ind.genome) {
+      g = rng_.uniform(config_.domain_min, config_.domain_max);
+    }
+    evaluate(ind);
+  }
+}
+
+void Island::evaluate(Individual& ind) const { ind.fitness = rastrigin(ind.genome); }
+
+const Individual& Island::tournament_pick(util::Xoshiro256& rng) const {
+  const Individual* best = &population_[rng.pick_index(population_)];
+  for (std::size_t i = 1; i < config_.tournament; ++i) {
+    const Individual& challenger = population_[rng.pick_index(population_)];
+    if (challenger.fitness < best->fitness) best = &challenger;
+  }
+  return *best;
+}
+
+double Island::evolve() {
+  std::vector<Individual> next;
+  next.reserve(population_.size());
+  for (std::size_t gen = 0; gen < config_.generations; ++gen) {
+    next.clear();
+    // Elitism: keep the current best unchanged.
+    next.push_back(best());
+    while (next.size() < population_.size()) {
+      Individual child = tournament_pick(rng_);
+      if (rng_.chance(config_.crossover_rate)) {
+        const Individual& other = tournament_pick(rng_);
+        // Blend (BLX-0) crossover: uniform pick within the parent interval.
+        for (std::size_t g = 0; g < child.genome.size(); ++g) {
+          const double lo = std::min(child.genome[g], other.genome[g]);
+          const double hi = std::max(child.genome[g], other.genome[g]);
+          child.genome[g] = lo == hi ? lo : rng_.uniform(lo, hi);
+        }
+      }
+      for (auto& g : child.genome) {
+        if (rng_.chance(config_.mutation_rate)) {
+          // Gaussian step, clamped to the domain.
+          g = std::clamp(g + rng_.gaussian() * config_.mutation_sigma,
+                         config_.domain_min, config_.domain_max);
+        }
+      }
+      evaluate(child);
+      next.push_back(std::move(child));
+    }
+    population_.swap(next);
+  }
+  return best().fitness;
+}
+
+const Individual& Island::best() const {
+  return *std::min_element(population_.begin(), population_.end(),
+                           [](const Individual& a, const Individual& b) {
+                             return a.fitness < b.fitness;
+                           });
+}
+
+void Island::immigrate(const std::vector<Individual>& immigrants) {
+  if (immigrants.empty()) return;
+  // Replace the worst |immigrants| individuals.
+  std::vector<std::size_t> order(population_.size());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::sort(order.begin(), order.end(), [&](std::size_t a, std::size_t b) {
+    return population_[a].fitness > population_[b].fitness;
+  });
+  for (std::size_t i = 0; i < immigrants.size() && i < order.size(); ++i) {
+    population_[order[i]] = immigrants[i];
+  }
+}
+
+std::vector<Individual> Island::emigrants(std::size_t n) const {
+  std::vector<Individual> sorted = population_;
+  std::sort(sorted.begin(), sorted.end(),
+            [](const Individual& a, const Individual& b) {
+              return a.fitness < b.fitness;
+            });
+  if (sorted.size() > n) sorted.resize(n);
+  return sorted;
+}
+
+double run_island_ga(std::vector<GaConfig> island_configs, std::size_t batches,
+                     std::size_t migrants, std::uint64_t seed) {
+  WATS_CHECK(!island_configs.empty());
+  util::SplitMix64 seeder(seed);
+  std::vector<Island> islands;
+  islands.reserve(island_configs.size());
+  for (const auto& cfg : island_configs) {
+    islands.emplace_back(cfg, seeder.next());
+  }
+
+  double global_best = islands.front().best().fitness;
+  for (std::size_t b = 0; b < batches; ++b) {
+    for (auto& island : islands) {
+      global_best = std::min(global_best, island.evolve());
+    }
+    // Ring migration: island i sends its elite to island (i+1) % n.
+    std::vector<std::vector<Individual>> outbound;
+    outbound.reserve(islands.size());
+    for (const auto& island : islands) {
+      outbound.push_back(island.emigrants(migrants));
+    }
+    for (std::size_t i = 0; i < islands.size(); ++i) {
+      islands[(i + 1) % islands.size()].immigrate(outbound[i]);
+    }
+  }
+  return global_best;
+}
+
+}  // namespace wats::workloads

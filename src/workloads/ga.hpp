@@ -1,0 +1,75 @@
+// Island-model Genetic Algorithm — the GA batch benchmark of Table III and
+// the workload used by Figs. 7, 8 and 9.
+//
+// Each task evolves one island (a private population) for a fixed number
+// of generations; between batches the driver migrates elite individuals
+// along a ring. Work per island scales with population x generations x
+// genome length, which is how the paper's "8t/4t/2t/t" workload mix is
+// realized (islands of different sizes are distinct task classes).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace wats::workloads {
+
+/// Minimization objective: the Rastrigin function, a standard multimodal
+/// GA testbed with global minimum 0 at the origin.
+double rastrigin(const std::vector<double>& x);
+
+struct GaConfig {
+  std::size_t genome_length = 16;
+  std::size_t population = 64;
+  std::size_t generations = 40;
+  std::size_t tournament = 3;
+  double crossover_rate = 0.9;
+  double mutation_rate = 0.05;
+  double mutation_sigma = 0.3;
+  double domain_min = -5.12;
+  double domain_max = 5.12;
+};
+
+struct Individual {
+  std::vector<double> genome;
+  double fitness = 0.0;  ///< objective value; lower is better.
+};
+
+/// One island: owns a population and can evolve independently (= one task).
+class Island {
+ public:
+  Island(const GaConfig& config, std::uint64_t seed);
+
+  /// Run `config.generations` generations of tournament selection, blend
+  /// crossover and gaussian mutation. Returns the best objective value.
+  double evolve();
+
+  const Individual& best() const;
+
+  /// Replace the island's worst individuals with copies of `immigrants`.
+  void immigrate(const std::vector<Individual>& immigrants);
+
+  /// Top `n` individuals (copies), best first.
+  std::vector<Individual> emigrants(std::size_t n) const;
+
+  const GaConfig& config() const { return config_; }
+
+ private:
+  void evaluate(Individual& ind) const;
+  const Individual& tournament_pick(util::Xoshiro256& rng) const;
+
+  GaConfig config_;
+  std::vector<Individual> population_;
+  mutable util::Xoshiro256 rng_;
+};
+
+/// Whole-application driver used by tests and examples: `islands` islands
+/// evolved for `batches` rounds with ring migration in between; returns the
+/// global best objective value. (The scheduler benchmarks instead submit
+/// each Island::evolve as one runtime task.)
+double run_island_ga(std::vector<GaConfig> island_configs,
+                     std::size_t batches, std::size_t migrants,
+                     std::uint64_t seed);
+
+}  // namespace wats::workloads

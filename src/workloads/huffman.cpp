@@ -1,0 +1,144 @@
+#include "workloads/huffman.hpp"
+
+#include <algorithm>
+#include <queue>
+
+#include "util/check.hpp"
+
+namespace wats::workloads {
+
+std::vector<std::uint8_t> huffman_code_lengths(
+    std::span<const std::uint64_t> freqs) {
+  const std::size_t n = freqs.size();
+  std::vector<std::uint8_t> lengths(n, 0);
+
+  // Collect used symbols.
+  std::vector<std::size_t> used;
+  for (std::size_t i = 0; i < n; ++i) {
+    if (freqs[i] > 0) used.push_back(i);
+  }
+  if (used.empty()) return lengths;
+  if (used.size() == 1) {
+    lengths[used[0]] = 1;  // a 1-bit code keeps the bitstream non-degenerate
+    return lengths;
+  }
+
+  // Standard Huffman tree build over (freq, node) with parent links; code
+  // length of a leaf = depth.
+  struct Node {
+    std::uint64_t freq;
+    std::int32_t parent = -1;
+  };
+  std::vector<Node> nodes;
+  nodes.reserve(2 * used.size());
+  using HeapItem = std::pair<std::uint64_t, std::uint32_t>;  // (freq, node)
+  std::priority_queue<HeapItem, std::vector<HeapItem>, std::greater<>> heap;
+  for (std::size_t i = 0; i < used.size(); ++i) {
+    nodes.push_back({freqs[used[i]], -1});
+    heap.emplace(freqs[used[i]], static_cast<std::uint32_t>(i));
+  }
+  while (heap.size() > 1) {
+    const auto [fa, a] = heap.top();
+    heap.pop();
+    const auto [fb, b] = heap.top();
+    heap.pop();
+    const auto parent = static_cast<std::uint32_t>(nodes.size());
+    nodes.push_back({fa + fb, -1});
+    nodes[a].parent = static_cast<std::int32_t>(parent);
+    nodes[b].parent = static_cast<std::int32_t>(parent);
+    heap.emplace(fa + fb, parent);
+  }
+
+  for (std::size_t i = 0; i < used.size(); ++i) {
+    std::uint8_t depth = 0;
+    for (std::int32_t p = nodes[i].parent; p != -1; p = nodes[static_cast<std::size_t>(p)].parent) {
+      ++depth;
+    }
+    WATS_CHECK_MSG(depth > 0 && depth < 64, "huffman code length overflow");
+    lengths[used[i]] = depth;
+  }
+  return lengths;
+}
+
+std::vector<std::uint32_t> canonical_codes(
+    std::span<const std::uint8_t> lengths) {
+  std::uint8_t max_len = 0;
+  for (auto l : lengths) max_len = std::max(max_len, l);
+  WATS_CHECK_MSG(max_len <= 32, "canonical codes limited to 32 bits");
+
+  std::vector<std::uint32_t> codes(lengths.size(), 0);
+  if (max_len == 0) return codes;
+
+  // Count codes per length, derive the first code of each length.
+  std::vector<std::uint32_t> count(static_cast<std::size_t>(max_len) + 1, 0);
+  for (auto l : lengths) {
+    if (l > 0) ++count[l];
+  }
+  std::vector<std::uint32_t> next(static_cast<std::size_t>(max_len) + 1, 0);
+  std::uint32_t code = 0;
+  for (std::size_t l = 1; l <= max_len; ++l) {
+    code = (code + count[l - 1]) << 1;
+    next[l] = code;
+  }
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    if (lengths[i] > 0) codes[i] = next[lengths[i]]++;
+  }
+  return codes;
+}
+
+void huffman_encode(std::span<const std::uint16_t> symbols,
+                    std::span<const std::uint8_t> lengths,
+                    std::span<const std::uint32_t> codes, BitWriter& out) {
+  for (std::uint16_t s : symbols) {
+    WATS_DCHECK(s < lengths.size());
+    WATS_DCHECK(lengths[s] > 0);
+    out.put(codes[s], lengths[s]);
+  }
+}
+
+HuffmanDecoder::HuffmanDecoder(std::span<const std::uint8_t> lengths) {
+  for (auto l : lengths) max_len_ = std::max(max_len_, l);
+  WATS_CHECK_MSG(max_len_ > 0, "empty huffman code book");
+
+  // Symbols sorted by (length, value): exactly the canonical order.
+  std::vector<std::uint32_t> count(static_cast<std::size_t>(max_len_) + 1, 0);
+  for (auto l : lengths) {
+    if (l > 0) ++count[l];
+  }
+  first_index_.assign(static_cast<std::size_t>(max_len_) + 2, 0);
+  for (std::size_t l = 1; l <= max_len_; ++l) {
+    first_index_[l + 1] = first_index_[l] + count[l];
+  }
+  sorted_symbols_.resize(first_index_[static_cast<std::size_t>(max_len_) + 1]);
+  std::vector<std::uint32_t> cursor(first_index_.begin(),
+                                    first_index_.end());
+  for (std::size_t i = 0; i < lengths.size(); ++i) {
+    if (lengths[i] > 0) {
+      sorted_symbols_[cursor[lengths[i]]++] =
+          static_cast<std::uint16_t>(i);
+    }
+  }
+
+  first_code_.assign(static_cast<std::size_t>(max_len_) + 1, 0);
+  std::uint32_t code = 0;
+  for (std::size_t l = 1; l <= max_len_; ++l) {
+    code = (code + count[l - 1]) << 1;
+    first_code_[l] = code;
+  }
+}
+
+std::uint16_t HuffmanDecoder::decode(BitReader& in) const {
+  std::uint32_t code = 0;
+  for (std::uint8_t l = 1; l <= max_len_; ++l) {
+    code = (code << 1) | in.get_bit();
+    const std::uint32_t base = first_code_[l];
+    const std::uint32_t n_at_len = first_index_[l + 1] - first_index_[l];
+    if (code >= base && code < base + n_at_len) {
+      return sorted_symbols_[first_index_[l] + (code - base)];
+    }
+  }
+  WATS_CHECK_MSG(false, "corrupt huffman stream");
+  __builtin_unreachable();
+}
+
+}  // namespace wats::workloads

@@ -1,0 +1,51 @@
+// Canonical Huffman coding over a generic symbol alphabet — the entropy
+// stage of the Bzip-2 block compressor.
+//
+// The encoder derives optimal code lengths from symbol frequencies, turns
+// them into canonical codes (so only the lengths need to be transmitted),
+// and bit-packs the stream. The decoder rebuilds the canonical code book
+// from the lengths.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "workloads/bitstream.hpp"
+
+namespace wats::workloads {
+
+/// Optimal prefix-code lengths for the given frequencies (0 for unused
+/// symbols). Handles the degenerate 0- and 1-symbol alphabets (length 1).
+std::vector<std::uint8_t> huffman_code_lengths(
+    std::span<const std::uint64_t> freqs);
+
+/// Canonical codes from lengths: codes assigned in (length, symbol) order.
+/// code[i] is valid iff lengths[i] > 0.
+std::vector<std::uint32_t> canonical_codes(
+    std::span<const std::uint8_t> lengths);
+
+/// Encode `symbols` (values < lengths.size()) with the canonical code book.
+void huffman_encode(std::span<const std::uint16_t> symbols,
+                    std::span<const std::uint8_t> lengths,
+                    std::span<const std::uint32_t> codes, BitWriter& out);
+
+/// Canonical decoder table.
+class HuffmanDecoder {
+ public:
+  explicit HuffmanDecoder(std::span<const std::uint8_t> lengths);
+
+  /// Decode one symbol; aborts on invalid streams.
+  std::uint16_t decode(BitReader& in) const;
+
+ private:
+  // first_code_[l] / first_index_[l]: canonical decoding by length; symbols
+  // sorted by (length, value) are stored in sorted_symbols_.
+  std::vector<std::uint32_t> first_code_;
+  std::vector<std::uint32_t> first_index_;
+  std::vector<std::uint16_t> sorted_symbols_;
+  std::uint8_t max_len_ = 0;
+};
+
+}  // namespace wats::workloads

@@ -1,0 +1,158 @@
+#include "workloads/lzw.hpp"
+
+#include <algorithm>
+#include <unordered_map>
+#include <vector>
+
+#include "util/check.hpp"
+#include "workloads/bitstream.hpp"
+
+namespace wats::workloads {
+
+namespace {
+
+constexpr std::uint32_t kClearCode = 256;  // resets the dictionary
+constexpr std::uint32_t kFirstCode = 257;  // first dynamically assigned code
+
+/// Key for the encoder dictionary: (prefix code, next byte) packed into 64
+/// bits — avoids string keys on the hot path.
+constexpr std::uint64_t pack(std::uint32_t prefix, std::uint8_t byte) {
+  return (static_cast<std::uint64_t>(prefix) << 8) | byte;
+}
+
+unsigned bits_for(std::uint32_t next_code) {
+  unsigned bits = 9;
+  while ((1u << bits) < next_code + 1 && bits < 32) ++bits;
+  return bits;
+}
+
+}  // namespace
+
+util::Bytes lzw_compress(std::span<const std::uint8_t> input,
+                         const LzwConfig& config) {
+  WATS_CHECK(config.max_code_bits >= 9 && config.max_code_bits <= 24);
+  const std::uint32_t max_codes = 1u << config.max_code_bits;
+
+  BitWriter out;
+  if (input.empty()) return out.take();
+
+  std::unordered_map<std::uint64_t, std::uint32_t> dict;
+  dict.reserve(max_codes);
+  std::uint32_t next_code = kFirstCode;
+  unsigned width = 9;
+
+  std::uint32_t current = input[0];
+  for (std::size_t i = 1; i < input.size(); ++i) {
+    const std::uint8_t byte = input[i];
+    const auto it = dict.find(pack(current, byte));
+    if (it != dict.end()) {
+      current = it->second;
+      continue;
+    }
+    out.put(current, width);
+    if (next_code < max_codes) {
+      dict.emplace(pack(current, byte), next_code++);
+      width = bits_for(next_code);
+    } else {
+      // Dictionary full: emit a clear code and start over. Adaptive reset
+      // keeps the dictionary relevant on heterogeneous inputs.
+      out.put(kClearCode, width);
+      dict.clear();
+      next_code = kFirstCode;
+      width = 9;
+    }
+    current = byte;
+  }
+  out.put(current, width);
+  return out.take();
+}
+
+util::Bytes lzw_decompress(std::span<const std::uint8_t> input,
+                           std::size_t original_size,
+                           const LzwConfig& config) {
+  WATS_CHECK(config.max_code_bits >= 9 && config.max_code_bits <= 24);
+  const std::uint32_t max_codes = 1u << config.max_code_bits;
+
+  util::Bytes out;
+  out.reserve(original_size);
+  if (original_size == 0) return out;
+
+  // Decoder dictionary: code -> (prefix code, first byte, last byte).
+  // Strings are materialized by walking prefix links backwards. Index 256
+  // is a placeholder for the clear code so that dynamic codes start at 257
+  // and dict.size() always equals next_code.
+  struct Entry {
+    std::uint32_t prefix;
+    std::uint8_t first;
+    std::uint8_t last;
+  };
+  std::vector<Entry> dict(kFirstCode);
+  for (std::uint32_t c = 0; c < 256; ++c) {
+    dict[c] = {c, static_cast<std::uint8_t>(c), static_cast<std::uint8_t>(c)};
+  }
+  auto reset_dict = [&] { dict.resize(kFirstCode); };
+
+  auto emit = [&](std::uint32_t code) -> std::uint8_t {
+    // Materialize the string for `code` by walking prefixes; returns the
+    // first byte of the string.
+    const std::size_t start = out.size();
+    std::uint32_t c = code;
+    while (true) {
+      WATS_CHECK_MSG(c < dict.size() && c != kClearCode,
+                     "corrupt LZW stream");
+      out.push_back(dict[c].last);
+      if (c < 256) break;
+      c = dict[c].prefix;
+    }
+    std::reverse(out.begin() + static_cast<std::ptrdiff_t>(start), out.end());
+    return out[start];
+  };
+
+  BitReader in(input);
+  std::uint32_t next_code = kFirstCode;
+
+  std::uint32_t prev = in.get(9);
+  WATS_CHECK_MSG(prev < 256, "corrupt LZW stream: first code not a literal");
+  std::uint8_t prev_first = emit(prev);
+
+  while (out.size() < original_size) {
+    // The encoder's width at this point accounts for the insertion it makes
+    // right after emitting (see lzw_compress): one more than our next_code,
+    // capped at the dictionary limit.
+    const unsigned width =
+        bits_for(next_code < max_codes ? next_code + 1 : max_codes);
+    const std::uint32_t code = in.get(width);
+    if (code == kClearCode) {
+      reset_dict();
+      next_code = kFirstCode;
+      prev = in.get(9);
+      WATS_CHECK_MSG(prev < 256, "corrupt LZW stream after clear");
+      prev_first = emit(prev);
+      continue;
+    }
+    if (code < next_code) {
+      const std::uint8_t first = emit(code);
+      if (next_code < max_codes) {
+        dict.push_back({prev, dict[prev].first, first});
+        ++next_code;
+      }
+      prev = code;
+      prev_first = first;
+    } else if (code == next_code && next_code < max_codes) {
+      // The KwKwK special case: the string is prev's string plus its own
+      // first byte and is being defined by this very code.
+      emit(prev);
+      out.push_back(prev_first);
+      dict.push_back({prev, dict[prev].first, prev_first});
+      ++next_code;
+      prev = code;
+      prev_first = dict[code].first;
+    } else {
+      WATS_CHECK_MSG(false, "corrupt LZW stream: code out of range");
+    }
+  }
+  WATS_CHECK(out.size() == original_size);
+  return out;
+}
+
+}  // namespace wats::workloads

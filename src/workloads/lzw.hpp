@@ -1,0 +1,29 @@
+// Lempel–Ziv–Welch compression for the LZW batch benchmark of Table III
+// and the compression stage of the Dedup pipeline.
+//
+// Variable-width codes (9..16 bits) with dictionary reset when full,
+// mirroring the classic `compress(1)` behaviour (without its header).
+#pragma once
+
+#include <span>
+
+#include "util/bytes.hpp"
+
+namespace wats::workloads {
+
+struct LzwConfig {
+  unsigned max_code_bits = 16;  ///< dictionary capacity is 2^max_code_bits.
+};
+
+/// Compress `input`; output is self-delimiting given the original length
+/// (the decoder takes the expected output size).
+util::Bytes lzw_compress(std::span<const std::uint8_t> input,
+                         const LzwConfig& config = {});
+
+/// Decompress exactly `original_size` bytes from `input`. Aborts on corrupt
+/// streams (round-trip / fuzz tests exercise the guard paths).
+util::Bytes lzw_decompress(std::span<const std::uint8_t> input,
+                           std::size_t original_size,
+                           const LzwConfig& config = {});
+
+}  // namespace wats::workloads

@@ -1,0 +1,41 @@
+// MD5 (RFC 1321), implemented from scratch for the MD5 batch benchmark of
+// Table III. Supports one-shot and incremental hashing.
+//
+// MD5 is used here purely as a CPU-bound workload kernel (and as the
+// fingerprint function of the Dedup pipeline); it is not fit for any
+// security purpose.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace wats::workloads {
+
+using Digest128 = std::array<std::uint8_t, 16>;
+
+class Md5 {
+ public:
+  Md5();
+
+  void update(std::span<const std::uint8_t> data);
+  Digest128 finish();
+
+  /// One-shot convenience.
+  static Digest128 hash(std::span<const std::uint8_t> data);
+  static std::string hash_hex(std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 4> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace wats::workloads

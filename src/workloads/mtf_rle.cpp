@@ -1,0 +1,123 @@
+#include "workloads/mtf_rle.hpp"
+
+#include <algorithm>
+#include <array>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace wats::workloads {
+
+namespace {
+
+struct MtfTable {
+  std::array<std::uint8_t, 256> order;
+
+  MtfTable() {
+    std::iota(order.begin(), order.end(), 0);
+  }
+
+  /// Position of `byte`, then move it to the front.
+  std::uint8_t encode(std::uint8_t byte) {
+    std::uint8_t pos = 0;
+    while (order[pos] != byte) ++pos;
+    std::copy_backward(order.begin(), order.begin() + pos,
+                       order.begin() + pos + 1);
+    order[0] = byte;
+    return pos;
+  }
+
+  /// Byte at position `pos`, then move it to the front.
+  std::uint8_t decode(std::uint8_t pos) {
+    const std::uint8_t byte = order[pos];
+    std::copy_backward(order.begin(), order.begin() + pos,
+                       order.begin() + pos + 1);
+    order[0] = byte;
+    return byte;
+  }
+};
+
+}  // namespace
+
+util::Bytes mtf_encode(std::span<const std::uint8_t> input) {
+  MtfTable table;
+  util::Bytes out;
+  out.reserve(input.size());
+  for (std::uint8_t b : input) out.push_back(table.encode(b));
+  return out;
+}
+
+util::Bytes mtf_decode(std::span<const std::uint8_t> input) {
+  MtfTable table;
+  util::Bytes out;
+  out.reserve(input.size());
+  for (std::uint8_t b : input) out.push_back(table.decode(b));
+  return out;
+}
+
+std::vector<ZSymbol> zrle_encode(std::span<const std::uint8_t> mtf) {
+  std::vector<ZSymbol> out;
+  out.reserve(mtf.size() / 2 + 2);
+
+  auto flush_run = [&](std::uint64_t run) {
+    // Bijective base-2: run length n >= 1 is written as digits d in {1, 2}
+    // (RUNA for 1, RUNB for 2), least significant digit first, where
+    // n = sum(d_i * 2^i).
+    while (run > 0) {
+      if (run & 1) {
+        out.push_back(kRunA);
+        run = (run - 1) / 2;
+      } else {
+        out.push_back(kRunB);
+        run = (run - 2) / 2;
+      }
+    }
+  };
+
+  std::uint64_t zero_run = 0;
+  for (std::uint8_t v : mtf) {
+    if (v == 0) {
+      ++zero_run;
+      continue;
+    }
+    flush_run(zero_run);
+    zero_run = 0;
+    out.push_back(static_cast<ZSymbol>(v + 1));
+  }
+  flush_run(zero_run);
+  out.push_back(kEob);
+  return out;
+}
+
+util::Bytes zrle_decode(std::span<const ZSymbol> symbols) {
+  util::Bytes out;
+  std::uint64_t run = 0;        // accumulated zero-run value
+  std::uint64_t digit_weight = 1;  // 2^i for the next RUNA/RUNB digit
+
+  auto flush_run = [&] {
+    out.insert(out.end(), static_cast<std::size_t>(run), std::uint8_t{0});
+    run = 0;
+    digit_weight = 1;
+  };
+
+  for (ZSymbol s : symbols) {
+    if (s == kRunA) {
+      run += digit_weight;
+      digit_weight *= 2;
+    } else if (s == kRunB) {
+      run += 2 * digit_weight;
+      digit_weight *= 2;
+    } else if (s == kEob) {
+      flush_run();
+      return out;
+    } else {
+      WATS_CHECK_MSG(s >= 2 && s <= 256, "invalid ZRLE symbol");
+      flush_run();
+      out.push_back(static_cast<std::uint8_t>(s - 1));
+    }
+  }
+  WATS_CHECK_MSG(false, "ZRLE stream missing EOB");
+  __builtin_unreachable();
+}
+
+}  // namespace wats::workloads

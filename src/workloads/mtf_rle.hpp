@@ -1,0 +1,37 @@
+// Move-to-front coding and bzip2-style zero-run-length coding, the middle
+// stages of the Bzip-2 block compressor.
+//
+// After BWT, equal symbols cluster; MTF turns clusters into small values
+// (mostly zeros); ZRLE encodes zero runs in bijective base 2 using the two
+// symbols RUNA/RUNB exactly as bzip2 does, and appends an EOB marker.
+// The ZRLE output alphabet is:
+//   0 = RUNA, 1 = RUNB, 2..256 = MTF values 1..255, 257 = EOB.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace wats::workloads {
+
+/// Symbols produced by zrle_encode (see alphabet above).
+using ZSymbol = std::uint16_t;
+
+inline constexpr ZSymbol kRunA = 0;
+inline constexpr ZSymbol kRunB = 1;
+inline constexpr ZSymbol kEob = 257;
+inline constexpr std::size_t kZAlphabet = 258;
+
+/// Move-to-front transform (alphabet 0..255).
+util::Bytes mtf_encode(std::span<const std::uint8_t> input);
+util::Bytes mtf_decode(std::span<const std::uint8_t> input);
+
+/// Zero-run-length encode an MTF stream; always ends with kEob.
+std::vector<ZSymbol> zrle_encode(std::span<const std::uint8_t> mtf);
+
+/// Inverse; consumes up to (and including) the first kEob.
+util::Bytes zrle_decode(std::span<const ZSymbol> symbols);
+
+}  // namespace wats::workloads

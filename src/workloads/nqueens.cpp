@@ -1,0 +1,92 @@
+#include "workloads/nqueens.hpp"
+
+#include "util/check.hpp"
+
+namespace wats::workloads {
+
+namespace {
+
+/// Bitboard backtracking: cols/diag1/diag2 mark attacked columns on the
+/// current row; free bits are candidate placements.
+std::uint64_t solve(unsigned n, unsigned row, std::uint32_t cols,
+                    std::uint32_t diag1, std::uint32_t diag2) {
+  if (row == n) return 1;
+  std::uint64_t count = 0;
+  const std::uint32_t mask = (n == 32 ? 0xFFFFFFFFu : ((1u << n) - 1));
+  std::uint32_t free = mask & ~(cols | diag1 | diag2);
+  while (free != 0) {
+    const std::uint32_t bit = free & (0u - free);  // lowest set bit
+    free ^= bit;
+    count += solve(n, row + 1, cols | bit, (diag1 | bit) << 1,
+                   (diag2 | bit) >> 1);
+  }
+  return count;
+}
+
+struct PrefixState {
+  std::uint32_t cols = 0, diag1 = 0, diag2 = 0;
+  bool valid = true;
+};
+
+PrefixState apply_prefix(unsigned n, const QueensPrefix& prefix) {
+  PrefixState st;
+  const std::uint32_t mask = (n == 32 ? 0xFFFFFFFFu : ((1u << n) - 1));
+  for (unsigned col : prefix.rows) {
+    WATS_CHECK(col < n);
+    const std::uint32_t bit = 1u << col;
+    if ((mask & ~(st.cols | st.diag1 | st.diag2) & bit) == 0) {
+      st.valid = false;
+      return st;
+    }
+    st.cols |= bit;
+    st.diag1 = (st.diag1 | bit) << 1;
+    st.diag2 = (st.diag2 | bit) >> 1;
+  }
+  return st;
+}
+
+void collect_prefixes(unsigned n, unsigned depth, unsigned row,
+                      std::uint32_t cols, std::uint32_t diag1,
+                      std::uint32_t diag2, QueensPrefix& current,
+                      std::vector<QueensPrefix>& out) {
+  if (row == depth) {
+    out.push_back(current);
+    return;
+  }
+  const std::uint32_t mask = (n == 32 ? 0xFFFFFFFFu : ((1u << n) - 1));
+  std::uint32_t free = mask & ~(cols | diag1 | diag2);
+  while (free != 0) {
+    const std::uint32_t bit = free & (0u - free);
+    free ^= bit;
+    unsigned col = 0;
+    while (((bit >> col) & 1u) == 0) ++col;
+    current.rows.push_back(col);
+    collect_prefixes(n, depth, row + 1, cols | bit, (diag1 | bit) << 1,
+                     (diag2 | bit) >> 1, current, out);
+    current.rows.pop_back();
+  }
+}
+
+}  // namespace
+
+std::uint64_t nqueens_count(unsigned n) {
+  WATS_CHECK(n >= 1 && n <= 32);
+  return solve(n, 0, 0, 0, 0);
+}
+
+std::vector<QueensPrefix> nqueens_prefixes(unsigned n, unsigned depth) {
+  WATS_CHECK(depth <= n);
+  std::vector<QueensPrefix> out;
+  QueensPrefix current;
+  collect_prefixes(n, depth, 0, 0, 0, 0, current, out);
+  return out;
+}
+
+std::uint64_t nqueens_count_from(unsigned n, const QueensPrefix& prefix) {
+  const PrefixState st = apply_prefix(n, prefix);
+  if (!st.valid) return 0;
+  return solve(n, static_cast<unsigned>(prefix.rows.size()), st.cols,
+               st.diag1, st.diag2);
+}
+
+}  // namespace wats::workloads

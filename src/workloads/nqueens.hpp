@@ -1,0 +1,31 @@
+// N-queens — the paper's named example of a program WATS is NOT suited
+// for (§IV-E): a recursive divide-and-conquer search where nearly every
+// task runs the same function, so history-based allocation finds only one
+// task class and the compiler/runtime must fall back to plain stealing.
+//
+// The solver is real (bitboard backtracking); the task-parallel driver in
+// examples/divide_and_conquer.cpp spawns one task per first-`depth` row
+// placements, exercising the runtime's divide-and-conquer detector.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+namespace wats::workloads {
+
+/// Number of solutions for an n-queens board (sequential bitboard search).
+std::uint64_t nqueens_count(unsigned n);
+
+/// A partial placement: queen columns for the first rows.size() rows.
+struct QueensPrefix {
+  std::vector<unsigned> rows;
+};
+
+/// All valid placements of the first `depth` rows — the natural task
+/// decomposition (each prefix becomes one subtree task).
+std::vector<QueensPrefix> nqueens_prefixes(unsigned n, unsigned depth);
+
+/// Solutions in the subtree under a prefix.
+std::uint64_t nqueens_count_from(unsigned n, const QueensPrefix& prefix);
+
+}  // namespace wats::workloads

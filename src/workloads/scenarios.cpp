@@ -1,0 +1,84 @@
+#include "workloads/scenarios.hpp"
+
+#include "util/check.hpp"
+
+namespace wats::workloads {
+
+BenchmarkSpec bursty_server() {
+  BenchmarkSpec s;
+  s.name = "BurstyServer";
+  s.kind = BenchKind::kBatch;
+  // 97% cheap requests, 3% expensive ones, 100:1 cost ratio — the classic
+  // heavy-tailed service-time distribution.
+  s.classes = {
+      {"rpc_expensive", 800.0, 0.30, 4, 1.0},
+      {"rpc_medium", 80.0, 0.20, 20, 1.0},
+      {"rpc_cheap", 8.0, 0.15, 104, 1.0},
+  };
+  s.batches = 16;
+  return s;
+}
+
+BenchmarkSpec diurnal_phases() {
+  BenchmarkSpec s;
+  s.name = "DiurnalPhases";
+  s.kind = BenchKind::kBatch;
+  s.classes = {
+      // phase_scale: at night analytics jobs balloon 8x while interactive
+      // traffic halves — the CLASS RATIO inverts, so stale means actively
+      // mislead the allocator. Exercises §III-A's timely-update claim.
+      {"analytics_job", 60.0, 0.10, 16, 1.0, 8.0},
+      {"interactive_req", 40.0, 0.10, 112, 1.0, 0.5},
+  };
+  s.batches = 24;
+  s.phase_shift_batch = 8;
+  s.phase_scale = 1.0;
+  return s;
+}
+
+BenchmarkSpec microservice_fanout() {
+  BenchmarkSpec s;
+  s.name = "MicroserviceFanout";
+  s.kind = BenchKind::kPipeline;
+  s.classes = {
+      {"route", 4.0, 0.10, 0, 1.0},
+      {"fetch_shard", 24.0, 0.25, 0, 1.0},
+      {"aggregate", 160.0, 0.20, 0, 1.0},
+      {"render", 12.0, 0.10, 0, 1.0},
+  };
+  s.pipeline_items = 512;
+  s.pipeline_window = 48;
+  return s;
+}
+
+BenchmarkSpec mixed_criticality() {
+  BenchmarkSpec s;
+  s.name = "MixedCriticality";
+  s.kind = BenchKind::kBatch;
+  s.classes = {
+      {"critical_control", 200.0, 0.05, 6, 1.0},
+      {"bulk_background", 25.0, 0.30, 122, 0.6},  // partially memory-bound
+  };
+  s.batches = 16;
+  return s;
+}
+
+const std::vector<BenchmarkSpec>& scenario_catalog() {
+  static const std::vector<BenchmarkSpec> catalog{
+      bursty_server(), diurnal_phases(), microservice_fanout(),
+      mixed_criticality()};
+  return catalog;
+}
+
+const BenchmarkSpec& spec_by_name(const std::string& name) {
+  for (const auto& s : paper_benchmarks()) {
+    if (s.name == name) return s;
+  }
+  for (const auto& s : scenario_catalog()) {
+    if (s.name == name) return s;
+  }
+  WATS_CHECK_MSG(false, "unknown benchmark or scenario name");
+  __builtin_unreachable();
+}
+
+}  // namespace wats::workloads

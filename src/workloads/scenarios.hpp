@@ -1,0 +1,33 @@
+// Scenario catalog: workload patterns beyond the paper's Table III,
+// modeling situations a production scheduler meets. Each is an ordinary
+// BenchmarkSpec, so every tool (sweep, simulate_machine, the experiment
+// harness) accepts them.
+//
+//  * bursty_server   — a request mix dominated by cheap calls with rare,
+//                      very expensive ones (heavy-tailed service times).
+//  * diurnal_phases  — a long-running service whose per-class workloads
+//                      shift mid-run (phase change; exercises history
+//                      adaptation / the EWMA estimator).
+//  * microservice_fanout — a pipeline with a wide cheap fan-out stage and
+//                      one expensive aggregation stage.
+//  * mixed_criticality — few latency-critical heavy tasks among bulk
+//                      background work (the case where wait times, not
+//                      makespan, are the interesting metric).
+#pragma once
+
+#include "workloads/workload_model.hpp"
+
+namespace wats::workloads {
+
+BenchmarkSpec bursty_server();
+BenchmarkSpec diurnal_phases();
+BenchmarkSpec microservice_fanout();
+BenchmarkSpec mixed_criticality();
+
+/// All catalog scenarios (for sweeps/tests).
+const std::vector<BenchmarkSpec>& scenario_catalog();
+
+/// Lookup across paper benchmarks AND scenarios; aborts on unknown names.
+const BenchmarkSpec& spec_by_name(const std::string& name);
+
+}  // namespace wats::workloads

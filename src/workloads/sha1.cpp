@@ -1,0 +1,123 @@
+#include "workloads/sha1.hpp"
+
+#include <cstring>
+
+#include "util/check.hpp"
+
+namespace wats::workloads {
+
+namespace {
+
+constexpr std::uint32_t rotl(std::uint32_t x, int s) {
+  return (x << s) | (x >> (32 - s));
+}
+
+}  // namespace
+
+Sha1::Sha1()
+    : state_{0x67452301, 0xEFCDAB89, 0x98BADCFE, 0x10325476, 0xC3D2E1F0} {}
+
+void Sha1::process_block(const std::uint8_t* block) {
+  std::array<std::uint32_t, 80> w;
+  for (std::size_t i = 0; i < 16; ++i) {
+    w[i] = (static_cast<std::uint32_t>(block[i * 4]) << 24) |
+           (static_cast<std::uint32_t>(block[i * 4 + 1]) << 16) |
+           (static_cast<std::uint32_t>(block[i * 4 + 2]) << 8) |
+           static_cast<std::uint32_t>(block[i * 4 + 3]);
+  }
+  for (std::size_t i = 16; i < 80; ++i) {
+    w[i] = rotl(w[i - 3] ^ w[i - 8] ^ w[i - 14] ^ w[i - 16], 1);
+  }
+
+  std::uint32_t a = state_[0], b = state_[1], c = state_[2], d = state_[3],
+                e = state_[4];
+  for (std::size_t i = 0; i < 80; ++i) {
+    std::uint32_t f, k;
+    if (i < 20) {
+      f = (b & c) | (~b & d);
+      k = 0x5A827999;
+    } else if (i < 40) {
+      f = b ^ c ^ d;
+      k = 0x6ED9EBA1;
+    } else if (i < 60) {
+      f = (b & c) | (b & d) | (c & d);
+      k = 0x8F1BBCDC;
+    } else {
+      f = b ^ c ^ d;
+      k = 0xCA62C1D6;
+    }
+    const std::uint32_t tmp = rotl(a, 5) + f + e + k + w[i];
+    e = d;
+    d = c;
+    c = rotl(b, 30);
+    b = a;
+    a = tmp;
+  }
+  state_[0] += a;
+  state_[1] += b;
+  state_[2] += c;
+  state_[3] += d;
+  state_[4] += e;
+}
+
+void Sha1::update(std::span<const std::uint8_t> data) {
+  WATS_CHECK_MSG(!finished_, "update after finish");
+  total_bytes_ += data.size();
+  std::size_t offset = 0;
+  if (buffered_ > 0) {
+    const std::size_t take = std::min(data.size(), 64 - buffered_);
+    std::memcpy(buffer_.data() + buffered_, data.data(), take);
+    buffered_ += take;
+    offset = take;
+    if (buffered_ == 64) {
+      process_block(buffer_.data());
+      buffered_ = 0;
+    }
+  }
+  while (offset + 64 <= data.size()) {
+    process_block(data.data() + offset);
+    offset += 64;
+  }
+  if (offset < data.size()) {
+    std::memcpy(buffer_.data(), data.data() + offset, data.size() - offset);
+    buffered_ = data.size() - offset;
+  }
+}
+
+Digest160 Sha1::finish() {
+  WATS_CHECK_MSG(!finished_, "finish called twice");
+  finished_ = true;
+  const std::uint64_t bit_len = total_bytes_ * 8;
+  std::array<std::uint8_t, 72> pad{};
+  pad[0] = 0x80;
+  const std::size_t pad_len =
+      (buffered_ < 56) ? (56 - buffered_) : (120 - buffered_);
+  util::Bytes tail(pad.begin(), pad.begin() + static_cast<std::ptrdiff_t>(pad_len));
+  util::put_u64be(tail, bit_len);
+  finished_ = false;
+  update(tail);
+  finished_ = true;
+  WATS_CHECK(buffered_ == 0);
+
+  Digest160 out;
+  for (std::size_t i = 0; i < 5; ++i) {
+    out[i * 4] = static_cast<std::uint8_t>(state_[i] >> 24);
+    out[i * 4 + 1] = static_cast<std::uint8_t>(state_[i] >> 16);
+    out[i * 4 + 2] = static_cast<std::uint8_t>(state_[i] >> 8);
+    out[i * 4 + 3] = static_cast<std::uint8_t>(state_[i]);
+  }
+  return out;
+}
+
+Digest160 Sha1::hash(std::span<const std::uint8_t> data) {
+  Sha1 sha;
+  sha.update(data);
+  return sha.finish();
+}
+
+std::string Sha1::hash_hex(std::span<const std::uint8_t> data) {
+  const Digest160 d = hash(data);
+  return util::to_hex(d);
+}
+
+}  // namespace wats::workloads

@@ -1,0 +1,37 @@
+// SHA-1 (FIPS 180-1), implemented from scratch for the SHA-1 batch
+// benchmark of Table III and as the chunk fingerprint of the Dedup
+// pipeline. Workload kernel only — not for security use.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <span>
+#include <string>
+
+#include "util/bytes.hpp"
+
+namespace wats::workloads {
+
+using Digest160 = std::array<std::uint8_t, 20>;
+
+class Sha1 {
+ public:
+  Sha1();
+
+  void update(std::span<const std::uint8_t> data);
+  Digest160 finish();
+
+  static Digest160 hash(std::span<const std::uint8_t> data);
+  static std::string hash_hex(std::span<const std::uint8_t> data);
+
+ private:
+  void process_block(const std::uint8_t* block);
+
+  std::array<std::uint32_t, 5> state_;
+  std::array<std::uint8_t, 64> buffer_;
+  std::size_t buffered_ = 0;
+  std::uint64_t total_bytes_ = 0;
+  bool finished_ = false;
+};
+
+}  // namespace wats::workloads

@@ -1,0 +1,172 @@
+#include "workloads/suffix_array.hpp"
+
+#include <algorithm>
+#include <string_view>
+
+#include "util/check.hpp"
+
+namespace wats::workloads {
+
+namespace {
+
+/// Core SA-IS recursion. `s` must end with a unique smallest sentinel
+/// (value 0, appearing exactly once, at the end). `K` is the maximum
+/// symbol value. Returns the full suffix array including the sentinel
+/// suffix (which always sorts first).
+std::vector<std::int32_t> sais(const std::vector<std::int32_t>& s,
+                               std::int32_t K) {
+  const auto n = static_cast<std::int32_t>(s.size());
+  WATS_DCHECK(n >= 1 && s[static_cast<std::size_t>(n - 1)] == 0);
+  std::vector<std::int32_t> sa(static_cast<std::size_t>(n), -1);
+  if (n == 1) {
+    sa[0] = 0;
+    return sa;
+  }
+
+  // Suffix types: S if s[i..] < s[i+1..] in the induced order.
+  std::vector<bool> is_s(static_cast<std::size_t>(n));
+  is_s[static_cast<std::size_t>(n - 1)] = true;
+  for (std::int32_t i = n - 2; i >= 0; --i) {
+    const auto ui = static_cast<std::size_t>(i);
+    is_s[ui] = s[ui] < s[ui + 1] || (s[ui] == s[ui + 1] && is_s[ui + 1]);
+  }
+  auto is_lms = [&](std::int32_t i) {
+    return i > 0 && is_s[static_cast<std::size_t>(i)] &&
+           !is_s[static_cast<std::size_t>(i - 1)];
+  };
+
+  std::vector<std::int32_t> bkt(static_cast<std::size_t>(K) + 1);
+  auto fill_buckets = [&](bool heads) {
+    std::fill(bkt.begin(), bkt.end(), 0);
+    for (std::int32_t c : s) ++bkt[static_cast<std::size_t>(c)];
+    std::int32_t sum = 0;
+    for (std::size_t c = 0; c <= static_cast<std::size_t>(K); ++c) {
+      sum += bkt[c];
+      bkt[c] = heads ? sum - bkt[c] : sum;
+    }
+  };
+
+  auto induce = [&](const std::vector<std::int32_t>& lms_in_order) {
+    std::fill(sa.begin(), sa.end(), -1);
+    // Seed: LMS suffixes at their bucket tails, last first.
+    fill_buckets(/*heads=*/false);
+    for (auto it = lms_in_order.rbegin(); it != lms_in_order.rend(); ++it) {
+      sa[static_cast<std::size_t>(--bkt[static_cast<std::size_t>(
+          s[static_cast<std::size_t>(*it)])])] = *it;
+    }
+    // Induce L-type from the left.
+    fill_buckets(/*heads=*/true);
+    for (std::int32_t i = 0; i < n; ++i) {
+      const std::int32_t j = sa[static_cast<std::size_t>(i)] - 1;
+      if (j >= 0 && !is_s[static_cast<std::size_t>(j)]) {
+        sa[static_cast<std::size_t>(
+            bkt[static_cast<std::size_t>(s[static_cast<std::size_t>(j)])]++)] =
+            j;
+      }
+    }
+    // Induce S-type from the right.
+    fill_buckets(/*heads=*/false);
+    for (std::int32_t i = n - 1; i >= 0; --i) {
+      const std::int32_t j = sa[static_cast<std::size_t>(i)] - 1;
+      if (j >= 0 && is_s[static_cast<std::size_t>(j)]) {
+        sa[static_cast<std::size_t>(--bkt[static_cast<std::size_t>(
+            s[static_cast<std::size_t>(j)])])] = j;
+      }
+    }
+  };
+
+  // First pass: approximate order of the LMS suffixes.
+  std::vector<std::int32_t> lms;
+  for (std::int32_t i = 1; i < n; ++i) {
+    if (is_lms(i)) lms.push_back(i);
+  }
+  induce(lms);
+
+  // Extract the LMS suffixes in their induced order and name the LMS
+  // substrings.
+  std::vector<std::int32_t> sorted_lms;
+  sorted_lms.reserve(lms.size());
+  for (std::int32_t i = 0; i < n; ++i) {
+    const std::int32_t p = sa[static_cast<std::size_t>(i)];
+    if (p > 0 && is_lms(p)) sorted_lms.push_back(p);
+  }
+
+  auto lms_equal = [&](std::int32_t a, std::int32_t b) {
+    if (a == n - 1 || b == n - 1) return false;  // sentinel LMS is unique
+    std::int32_t i = 0;
+    while (true) {
+      const bool al = is_lms(a + i), bl = is_lms(b + i);
+      if (i > 0 && al && bl) return true;
+      if (al != bl) return false;
+      if (s[static_cast<std::size_t>(a + i)] !=
+          s[static_cast<std::size_t>(b + i)]) {
+        return false;
+      }
+      ++i;
+    }
+  };
+
+  std::vector<std::int32_t> name(static_cast<std::size_t>(n), -1);
+  std::int32_t names = 0;
+  std::int32_t prev = -1;
+  for (std::int32_t p : sorted_lms) {
+    if (prev == -1 || !lms_equal(prev, p)) ++names;
+    name[static_cast<std::size_t>(p)] = names - 1;
+    prev = p;
+  }
+
+  // Order the LMS suffixes exactly.
+  std::vector<std::int32_t> lms_order(lms.size());
+  if (names == static_cast<std::int32_t>(lms.size())) {
+    // All names distinct: the induced order is already exact.
+    lms_order = sorted_lms;
+  } else {
+    // Recurse on the reduced string (names in LMS position order).
+    std::vector<std::int32_t> reduced;
+    reduced.reserve(lms.size());
+    for (std::int32_t p : lms) {
+      reduced.push_back(name[static_cast<std::size_t>(p)]);
+    }
+    // The sentinel's LMS gets the smallest name (0) and sits at the end of
+    // `reduced`, so the recursion precondition holds.
+    const auto sub_sa = sais(reduced, names - 1);
+    for (std::size_t i = 0; i < lms.size(); ++i) {
+      lms_order[i] = lms[static_cast<std::size_t>(sub_sa[i])];
+    }
+  }
+
+  induce(lms_order);
+  return sa;
+}
+
+}  // namespace
+
+std::vector<std::uint32_t> suffix_array(std::span<const std::uint8_t> input) {
+  std::vector<std::int32_t> s;
+  s.reserve(input.size() + 1);
+  for (std::uint8_t b : input) s.push_back(static_cast<std::int32_t>(b) + 1);
+  s.push_back(0);  // unique smallest sentinel
+  const auto sa = sais(s, 256);
+  std::vector<std::uint32_t> out;
+  out.reserve(input.size());
+  for (std::int32_t p : sa) {
+    if (p != static_cast<std::int32_t>(input.size())) {
+      out.push_back(static_cast<std::uint32_t>(p));
+    }
+  }
+  return out;
+}
+
+std::vector<std::uint32_t> suffix_array_naive(
+    std::span<const std::uint8_t> input) {
+  std::vector<std::uint32_t> sa(input.size());
+  for (std::uint32_t i = 0; i < input.size(); ++i) sa[i] = i;
+  const std::string_view view(reinterpret_cast<const char*>(input.data()),
+                              input.size());
+  std::sort(sa.begin(), sa.end(), [&](std::uint32_t a, std::uint32_t b) {
+    return view.substr(a) < view.substr(b);
+  });
+  return sa;
+}
+
+}  // namespace wats::workloads

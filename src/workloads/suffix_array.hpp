@@ -1,0 +1,26 @@
+// Suffix-array construction: SA-IS (Nong, Zhang & Chan 2009) in O(n),
+// plus a naive comparator-based builder used as the test oracle.
+//
+// bzip2-class block sorters are suffix sorters at heart; the BWT kernel
+// (workloads/bwt.hpp) can run on either the O(n log^2 n) prefix-doubling
+// rotation sort or, via the s+s trick, on this linear-time SA-IS — the
+// micro benchmarks compare the two.
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "util/bytes.hpp"
+
+namespace wats::workloads {
+
+/// Suffix array of `input` (positions of suffixes in lexicographic order,
+/// excluding the implicit sentinel suffix). Linear time, SA-IS.
+std::vector<std::uint32_t> suffix_array(std::span<const std::uint8_t> input);
+
+/// O(n^2 log n) oracle for tests.
+std::vector<std::uint32_t> suffix_array_naive(
+    std::span<const std::uint8_t> input);
+
+}  // namespace wats::workloads

@@ -1,0 +1,113 @@
+// Task-class models of the nine Table III benchmarks.
+//
+// The scheduler experiments need each benchmark expressed as the thing the
+// paper's scheduler sees: a stream of tasks, each belonging to a task class
+// (function name) with a class-specific workload distribution. The batch
+// benchmarks launch `tasks_per_batch` tasks per batch and wait for the
+// batch to finish; the pipeline benchmarks (Dedup, Ferret) push items
+// through ordered stages, each stage being a task class.
+//
+// Per-class mean workloads are derived from the real kernels' asymptotic
+// cost on the input mixes the drivers use (e.g. BWT blocks of 16..128 KiB
+// at n log n). Absolute units are arbitrary ("work units at F1"); only
+// ratios matter to the scheduling experiments. The within-class coefficient
+// of variation is small, matching the paper's assumption that same-function
+// tasks have similar workloads.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "util/rng.hpp"
+
+namespace wats::workloads {
+
+enum class BenchKind {
+  kBatch,     ///< rounds of independent tasks with a barrier between rounds
+  kPipeline,  ///< items flowing through ordered stages
+};
+
+struct TaskClassSpec {
+  std::string name;
+  double mean_work = 1.0;  ///< mean F1-normalized work units
+  double cv = 0.1;         ///< coefficient of variation within the class
+  /// Batch benchmarks: number of tasks of this class per batch.
+  /// Pipeline benchmarks: unused (one task per item per stage).
+  std::size_t tasks_per_batch = 0;
+  /// Frequency-scalable fraction (§IV-E); 1.0 = CPU-bound (default, as in
+  /// all Table III benchmarks), towards 0.0 = memory-bound.
+  double scalable = 1.0;
+  /// Per-class workload multiplier after the spec's phase shift fires;
+  /// 0 = use the spec-wide phase_scale. Lets a phase change alter the
+  /// RATIO between classes (what actually stresses the history).
+  double phase_scale = 0.0;
+};
+
+/// A pipeline stage that can dispatch to one of several task classes
+/// (e.g. dedup's compress stage: unique chunks take the expensive path,
+/// duplicate chunks the cheap one).
+struct PipelineStageSpec {
+  std::vector<std::size_t> class_options;  ///< indices into classes
+  std::vector<double> probabilities;       ///< same length; sums to 1
+};
+
+struct BenchmarkSpec {
+  std::string name;
+  BenchKind kind = BenchKind::kBatch;
+  /// Batch: the classes launched each batch. Pipeline: the classes the
+  /// stages draw from.
+  std::vector<TaskClassSpec> classes;
+  std::size_t batches = 0;         ///< batch benchmarks: rounds
+  std::size_t pipeline_items = 0;  ///< pipeline benchmarks: items
+  std::size_t pipeline_window = 0; ///< in-flight item cap (queue capacity)
+  /// Pipeline stage structure; when empty, stage i simply uses classes[i].
+  std::vector<PipelineStageSpec> pipeline_stages;
+
+  /// Phase change (batch benchmarks only): from batch `phase_shift_batch`
+  /// (0 = disabled) onwards, every class's workload is multiplied by
+  /// `phase_scale`. Exercises §III-A's claim that the history "adapts
+  /// quickly to the changes of a new execution phase".
+  std::size_t phase_shift_batch = 0;
+  double phase_scale = 1.0;
+
+  /// Number of stages of a pipeline benchmark.
+  std::size_t stage_count() const;
+
+  std::size_t tasks_per_batch() const;
+  /// Total tasks over the whole run.
+  std::size_t total_tasks() const;
+};
+
+/// All nine benchmarks of Table III, in the paper's order:
+/// BWT, Bzip-2, DMC, GA, LZW, MD5, SHA-1 (batch), Dedup, Ferret (pipeline).
+const std::vector<BenchmarkSpec>& paper_benchmarks();
+
+/// Lookup by name; aborts on unknown names.
+const BenchmarkSpec& benchmark_by_name(const std::string& name);
+
+/// A synthetic mixed CPU/memory-bound application for the §IV-E
+/// extension experiments: half the classes are frequency-scalable, half
+/// are dominated by memory stalls.
+BenchmarkSpec membound_mix();
+
+/// The Fig. 8 experiment: GA with 128 tasks per batch split across four
+/// workload classes (8t, 4t, 2t, t) with counts (alpha, alpha, alpha,
+/// 128 - 3*alpha). alpha in [0, 42].
+BenchmarkSpec ga_mix(std::size_t alpha);
+
+/// Sample a concrete task workload for a class: lognormal around
+/// mean_work with the class's cv (deterministic given the rng state).
+double sample_work(const TaskClassSpec& cls, util::Xoshiro256& rng);
+
+/// A real-kernel task for the runtime examples: runs the actual
+/// implementation (hash/compress/evolve/...) behind a benchmark class,
+/// scaled by `scale` (1.0 = the class's nominal input size). Returns a
+/// checksum so the work cannot be optimized away.
+std::function<std::uint64_t()> make_real_task(const std::string& bench,
+                                              const std::string& task_class,
+                                              double scale,
+                                              std::uint64_t seed);
+
+}  // namespace wats::workloads

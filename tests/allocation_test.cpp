@@ -1,0 +1,155 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <numeric>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/lower_bound.hpp"
+#include "util/rng.hpp"
+
+namespace wats::core {
+namespace {
+
+AmcTopology two_groups() { return AmcTopology("2g", {{2.0, 1}, {1.0, 2}}); }
+
+TEST(Lemma1, LowerBoundFormula) {
+  // Sum of workloads 12, capacity 2*1 + 1*2 = 4 -> TL = 3.
+  const std::vector<double> w{6, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(w, two_groups()), 3.0);
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(12.0, two_groups()), 3.0);
+}
+
+TEST(Lemma1, MotivatingExampleSectionII) {
+  // The paper's Fig. 1: tasks 1.5t, 4t, t, 1.5t (at the fast core's speed),
+  // one fast core (speed 2) + three slow (speed 1). Workloads in
+  // F1-normalized units: w = time_on_fast * F1.
+  const AmcTopology amc("fig1", {{2.0, 1}, {1.0, 3}});
+  const std::vector<double> w{3.0, 8.0, 2.0, 3.0};  // t=1: times x speed 2
+  // Total 16, capacity 5 -> TL = 3.2t; the optimal allocation of Fig. 1(a)
+  // achieves 4t (discrete tasks cannot hit TL here).
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(w, amc), 3.2);
+}
+
+TEST(Theorem1, ExactBalanceAchievesBound) {
+  // Workloads engineered so that the split {6} | {3, 3} balances exactly:
+  // 6/2 = 3 and 6/2 = 3 = TL.
+  const std::vector<double> w{6, 3, 3};
+  ContiguousPartition p;
+  p.boundaries = {1, 3};
+  EXPECT_TRUE(achieves_lower_bound(w, p, two_groups()));
+  EXPECT_DOUBLE_EQ(partition_makespan(w, p, two_groups()), 3.0);
+}
+
+TEST(Theorem1, ImbalancedPartitionMissesBound) {
+  const std::vector<double> w{6, 3, 3};
+  ContiguousPartition p;
+  p.boundaries = {2, 3};  // {6,3} | {3}
+  EXPECT_FALSE(achieves_lower_bound(w, p, two_groups()));
+  EXPECT_DOUBLE_EQ(partition_makespan(w, p, two_groups()), 4.5);
+}
+
+TEST(Algorithm1, SplitsKnownCase) {
+  // TL = 3; greedy walk: group0 takes 6 (=budget 6); 3 overflows -> the
+  // rounding keeps finish closest to TL.
+  const std::vector<double> w{6, 3, 2, 1};
+  const ContiguousPartition p = allocate_sorted(w, two_groups());
+  ASSERT_EQ(p.boundaries.size(), 2u);
+  EXPECT_EQ(p.boundaries.back(), 4u);
+  const double makespan = partition_makespan(w, p, two_groups());
+  EXPECT_DOUBLE_EQ(makespan, 3.0);  // {6} | {3,2,1}: 6/2=3, 6/2=3
+}
+
+TEST(Algorithm1, EmptyInput) {
+  const std::vector<double> w;
+  const ContiguousPartition p = allocate_sorted(w, two_groups());
+  EXPECT_EQ(p.boundaries.back(), 0u);
+  EXPECT_DOUBLE_EQ(partition_makespan(w, p, two_groups()), 0.0);
+}
+
+TEST(Algorithm1, FewerTasksThanGroups) {
+  const AmcTopology topo("4g", {{4.0, 1}, {3.0, 1}, {2.0, 1}, {1.0, 1}});
+  const std::vector<double> w{10.0};
+  const ContiguousPartition p = allocate_sorted(w, topo);
+  // The single task must be covered.
+  EXPECT_EQ(p.boundaries.back(), 1u);
+  const auto finish = group_finish_times(w, p, topo);
+  double total = 0;
+  for (double f : finish) total += f;
+  EXPECT_GT(total, 0.0);
+}
+
+TEST(Algorithm1, RejectsUnsortedInput) {
+  const std::vector<double> w{1, 6};
+  EXPECT_DEATH(allocate_sorted(w, two_groups()), "descending");
+}
+
+TEST(Allocate, ReturnsAssignmentInOriginalOrder) {
+  const std::vector<double> w{1, 6, 3, 2};
+  const auto assignment = allocate(w, two_groups());
+  ASSERT_EQ(assignment.size(), 4u);
+  // The heaviest item (6, index 1) must go to the fastest group.
+  EXPECT_EQ(assignment[1], 0u);
+  // Everything is assigned to a valid group.
+  for (auto g : assignment) EXPECT_LT(g, 2u);
+}
+
+TEST(Allocate, SingleGroupEverythingTogether) {
+  const AmcTopology topo("1g", {{2.0, 4}});
+  const auto assignment = allocate(std::vector<double>{3, 1, 2}, topo);
+  for (auto g : assignment) EXPECT_EQ(g, 0u);
+}
+
+// ---- Property sweeps: Algorithm 1 is near-optimal for many-task inputs.
+
+struct QualityCase {
+  std::size_t tasks;
+  std::uint64_t seed;
+};
+
+class AllocationQualityTest
+    : public ::testing::TestWithParam<QualityCase> {};
+
+TEST_P(AllocationQualityTest, NearOptimalOnTable2Machines) {
+  const auto [m, seed] = GetParam();
+  util::Xoshiro256 rng(seed);
+  std::vector<double> w(m);
+  for (auto& x : w) x = std::exp(rng.uniform(0.0, 4.0));  // heavy-tailed
+  std::sort(w.begin(), w.end(), std::greater<>());
+
+  for (const auto& topo : amc_table2()) {
+    const AllocationQuality q = evaluate_allocation(w, topo);
+    EXPECT_GE(q.ratio, 1.0 - 1e-9) << topo.name();
+    // With many tasks the greedy split should be within a factor driven by
+    // the largest item; for these sizes 1.5 is a conservative envelope.
+    EXPECT_LE(q.ratio, 1.5) << topo.name() << " m=" << m;
+    // Partition covers every task exactly once (finish times consistent).
+    const double reconstructed =
+        std::accumulate(q.group_finish.begin(), q.group_finish.end(), 0.0,
+                        [&](double acc, double f) { return acc + f; });
+    EXPECT_GT(reconstructed, 0.0);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, AllocationQualityTest,
+    ::testing::Values(QualityCase{64, 1}, QualityCase{128, 2},
+                      QualityCase{128, 3}, QualityCase{256, 4},
+                      QualityCase{512, 5}, QualityCase{1024, 6}));
+
+TEST(Algorithm1, MakespanNeverBelowLowerBound) {
+  util::Xoshiro256 rng(99);
+  for (int iter = 0; iter < 50; ++iter) {
+    const std::size_t m = 3 + rng.bounded(200);
+    std::vector<double> w(m);
+    for (auto& x : w) x = rng.uniform(0.1, 10.0);
+    std::sort(w.begin(), w.end(), std::greater<>());
+    for (const auto& topo : amc_table2()) {
+      const AllocationQuality q = evaluate_allocation(w, topo);
+      EXPECT_GE(q.makespan, q.lower_bound - 1e-9);
+    }
+  }
+}
+
+}  // namespace
+}  // namespace wats::core

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/allocation.hpp"
+#include "core/alt_allocation.hpp"
+#include "core/lower_bound.hpp"
+#include "util/rng.hpp"
+
+namespace wats::core {
+namespace {
+
+AmcTopology two_groups() { return AmcTopology("2g", {{2.0, 1}, {1.0, 2}}); }
+
+TEST(Lpt, AssignsLongestToEarliestFinish) {
+  // Items 6, 3, 3 on capacities {2, 2}: 6 -> group 0 (finish 3), 3 -> the
+  // empty group 1 (finish 1.5), 3 -> group 1 again (3.0 vs 4.5).
+  const AmcTopology topo("2", {{2.0, 1}, {1.0, 2}});
+  const std::vector<double> w{6, 3, 3};
+  const auto a = allocate_lpt(w, topo);
+  EXPECT_EQ(a.group_of_item[0], 0u);
+  EXPECT_DOUBLE_EQ(a.makespan, 3.0);
+  EXPECT_TRUE(achieves_lower_bound(w, {{1, 3}}, topo));  // same as optimal
+}
+
+TEST(Lpt, EmptyInput) {
+  const auto a = allocate_lpt({}, two_groups());
+  EXPECT_DOUBLE_EQ(a.makespan, 0.0);
+}
+
+TEST(DualApprox, NeverWorseThanLpt) {
+  util::Xoshiro256 rng(3);
+  for (int iter = 0; iter < 40; ++iter) {
+    std::vector<double> w(5 + rng.bounded(100));
+    for (auto& x : w) x = std::exp(rng.uniform(0.0, 4.0));
+    for (const auto& topo : amc_table2()) {
+      const auto lpt = allocate_lpt(w, topo);
+      const auto dual = allocate_dual_approx(w, topo);
+      EXPECT_LE(dual.makespan, lpt.makespan + 1e-9) << topo.name();
+      EXPECT_GE(dual.makespan,
+                makespan_lower_bound(w, topo) - 1e-9)
+          << topo.name();
+    }
+  }
+}
+
+TEST(DualApprox, FinishTimesMatchAssignment) {
+  util::Xoshiro256 rng(5);
+  std::vector<double> w(64);
+  for (auto& x : w) x = rng.uniform(1.0, 50.0);
+  const auto topo = amc_by_name("AMC1");
+  const auto a = allocate_dual_approx(w, topo);
+  std::vector<double> finish(topo.group_count(), 0.0);
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    ASSERT_LT(a.group_of_item[i], topo.group_count());
+    finish[a.group_of_item[i]] += w[i] / topo.group_capacity(a.group_of_item[i]);
+  }
+  for (GroupIndex g = 0; g < topo.group_count(); ++g) {
+    EXPECT_NEAR(finish[g], a.group_finish[g], 1e-9);
+  }
+}
+
+TEST(AltVsAlgorithm1, NonContiguousAllocatorsCanOnlyHelp) {
+  // Algorithm 1 is restricted to contiguous prefixes of the sorted list;
+  // LPT and dual approximation are not, so on random instances their
+  // makespans are <= Algorithm 1's (up to tie noise).
+  util::Xoshiro256 rng(7);
+  int alg1_wins = 0;
+  for (int iter = 0; iter < 60; ++iter) {
+    std::vector<double> w(8 + rng.bounded(200));
+    for (auto& x : w) x = std::exp(rng.uniform(0.0, 4.5));
+    std::sort(w.begin(), w.end(), std::greater<>());
+    for (const auto& topo : amc_table2()) {
+      const auto q = evaluate_allocation(w, topo);
+      const auto dual = allocate_dual_approx(w, topo);
+      if (q.makespan < dual.makespan - 1e-9) ++alg1_wins;
+    }
+  }
+  // Ties are fine; systematic Algorithm 1 wins would mean the dual
+  // approximation is broken.
+  EXPECT_LT(alg1_wins, 10);
+}
+
+TEST(AltVsAlgorithm1, GapShrinksWithManyItems) {
+  util::Xoshiro256 rng(11);
+  const auto topo = amc_by_name("AMC2");
+  auto mean_gap = [&](std::size_t m) {
+    double gap = 0;
+    for (int i = 0; i < 20; ++i) {
+      std::vector<double> w(m);
+      for (auto& x : w) x = std::exp(rng.uniform(0.0, 4.0));
+      std::sort(w.begin(), w.end(), std::greater<>());
+      const auto q = evaluate_allocation(w, topo);
+      const auto dual = allocate_dual_approx(w, topo);
+      gap += q.makespan / dual.makespan - 1.0;
+    }
+    return gap / 20;
+  };
+  EXPECT_LT(mean_gap(512), mean_gap(24) + 0.02);
+}
+
+TEST(Allocate, WithinSmallFactorOfLptOnRandomInstances) {
+  // allocate() (Algorithm 1 + rounding) vs the non-contiguous LPT: the
+  // contiguity restriction costs at most ~35% on these instance sizes.
+  util::Xoshiro256 rng(17);
+  for (int iter = 0; iter < 30; ++iter) {
+    std::vector<double> w(16 + rng.bounded(200));
+    for (auto& x : w) x = std::exp(rng.uniform(0.0, 4.0));
+    const auto topo = amc_table2()[rng.bounded(7)];
+    const auto assignment = allocate(w, topo);
+    std::vector<double> finish(topo.group_count(), 0.0);
+    for (std::size_t i = 0; i < w.size(); ++i) {
+      finish[assignment[i]] += w[i] / topo.group_capacity(assignment[i]);
+    }
+    const double alg1 = *std::max_element(finish.begin(), finish.end());
+    const double lpt = allocate_lpt(w, topo).makespan;
+    EXPECT_LE(alg1, lpt * 1.35) << topo.name() << " m=" << w.size();
+  }
+}
+
+}  // namespace
+}  // namespace wats::core

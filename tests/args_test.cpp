@@ -1,0 +1,76 @@
+#include <gtest/gtest.h>
+
+#include "util/args.hpp"
+
+namespace wats::util {
+namespace {
+
+Args make_args(std::vector<const char*> argv) {
+  argv.insert(argv.begin(), "prog");
+  return Args(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(Args, EqualsForm) {
+  const auto args = make_args({"--name=value", "--n=42"});
+  EXPECT_EQ(args.value_or("name", ""), "value");
+  EXPECT_EQ(args.int_or("n", 0), 42);
+}
+
+TEST(Args, SpaceForm) {
+  const auto args = make_args({"--name", "value", "--x", "1.5"});
+  EXPECT_EQ(args.value_or("name", ""), "value");
+  EXPECT_DOUBLE_EQ(args.double_or("x", 0.0), 1.5);
+}
+
+TEST(Args, BooleanSwitches) {
+  const auto args = make_args({"--verbose", "--gantt=true", "--off=0"});
+  EXPECT_TRUE(args.flag("verbose"));
+  EXPECT_TRUE(args.flag("gantt"));
+  EXPECT_FALSE(args.flag("off"));
+  EXPECT_FALSE(args.flag("absent"));
+}
+
+TEST(Args, DefaultsWhenAbsent) {
+  const auto args = make_args({});
+  EXPECT_EQ(args.value_or("missing", "fallback"), "fallback");
+  EXPECT_EQ(args.int_or("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(args.double_or("missing", 2.5), 2.5);
+  EXPECT_FALSE(args.value("missing").has_value());
+}
+
+TEST(Args, PositionalArguments) {
+  const auto args = make_args({"first", "--flag", "v", "second"});
+  ASSERT_EQ(args.positional().size(), 2u);
+  EXPECT_EQ(args.positional()[0], "first");
+  EXPECT_EQ(args.positional()[1], "second");
+}
+
+TEST(Args, ListValues) {
+  const auto args = make_args({"--machines=AMC1,AMC5,AMC7"});
+  EXPECT_EQ(args.list_or("machines", {}),
+            (std::vector<std::string>{"AMC1", "AMC5", "AMC7"}));
+  EXPECT_EQ(args.list_or("absent", {"a"}), (std::vector<std::string>{"a"}));
+}
+
+TEST(Args, UnknownFlagDetection) {
+  const auto args = make_args({"--known=1", "--typo=2"});
+  EXPECT_EQ(args.unknown({"known"}), (std::vector<std::string>{"typo"}));
+  EXPECT_TRUE(args.unknown({"known", "typo"}).empty());
+}
+
+TEST(Args, NonNumericAborts) {
+  const auto args = make_args({"--n=abc"});
+  EXPECT_DEATH((void)args.int_or("n", 0), "non-numeric");
+  EXPECT_DEATH((void)args.double_or("n", 0), "non-numeric");
+}
+
+TEST(SplitCsv, EdgeCases) {
+  EXPECT_TRUE(split_csv("").empty());
+  EXPECT_EQ(split_csv("a"), (std::vector<std::string>{"a"}));
+  EXPECT_EQ(split_csv("a,b"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(split_csv("a,,b"), (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(split_csv(",a,"), (std::vector<std::string>{"a"}));
+}
+
+}  // namespace
+}  // namespace wats::util

@@ -1,0 +1,100 @@
+#include <gtest/gtest.h>
+
+#include "core/cluster.hpp"
+
+namespace wats::core {
+namespace {
+
+TaskClassInfo make_class(TaskClassId id, std::string name, std::uint64_t n,
+                         double w) {
+  TaskClassInfo c;
+  c.id = id;
+  c.name = std::move(name);
+  c.completed = n;
+  c.mean_workload = w;
+  return c;
+}
+
+TEST(ClusterMap, DefaultsEverythingToFastestCluster) {
+  ClusterMap map(3, 4);
+  EXPECT_EQ(map.cluster_of(0), 0u);
+  EXPECT_EQ(map.cluster_of(2), 0u);
+  EXPECT_EQ(map.cluster_of(kNoTaskClass), 0u);
+  EXPECT_EQ(map.cluster_of(999), 0u);  // unseen id -> fastest (paper §III-A)
+}
+
+TEST(ClusterMap, BuildWithNoHistoryKeepsEverythingFast) {
+  const std::vector<TaskClassInfo> classes{
+      make_class(0, "a", 0, 0.0), make_class(1, "b", 0, 0.0)};
+  const AmcTopology topo("2g", {{2.0, 1}, {1.0, 2}});
+  const ClusterMap map = ClusterMap::build(classes, topo);
+  EXPECT_EQ(map.cluster_of(0), 0u);
+  EXPECT_EQ(map.cluster_of(1), 0u);
+}
+
+TEST(ClusterMap, HeavyClassesGoToFastGroups) {
+  // Heavy class: mean 100 x 10 tasks = 1000; light: mean 1 x 10 = 10.
+  const std::vector<TaskClassInfo> classes{
+      make_class(0, "light", 10, 1.0), make_class(1, "heavy", 10, 100.0)};
+  const AmcTopology topo("2g", {{2.0, 2}, {1.0, 2}});
+  const ClusterMap map = ClusterMap::build(classes, topo);
+  EXPECT_EQ(map.cluster_of(1), 0u);  // heavy -> fastest
+  EXPECT_EQ(map.cluster_of(0), 1u);  // light -> slower
+}
+
+TEST(ClusterMap, SingleGroupMachineIsTrivial) {
+  const std::vector<TaskClassInfo> classes{
+      make_class(0, "a", 5, 3.0), make_class(1, "b", 5, 30.0)};
+  const AmcTopology topo("sym", {{2.5, 16}});
+  const ClusterMap map = ClusterMap::build(classes, topo);
+  EXPECT_EQ(map.cluster_count(), 1u);
+  EXPECT_EQ(map.cluster_of(0), 0u);
+  EXPECT_EQ(map.cluster_of(1), 0u);
+}
+
+TEST(ClusterMap, SortsByMeanWorkloadNotTotal) {
+  // Class "many_small" has the larger TOTAL workload but the smaller mean;
+  // §III-A sorts by mean, so "few_big" leads the walk and lands in the
+  // fastest cluster.
+  const std::vector<TaskClassInfo> classes{
+      make_class(0, "many_small", 1000, 1.0),  // total 1000
+      make_class(1, "few_big", 2, 100.0),      // total 200
+  };
+  const AmcTopology topo("2g", {{2.0, 1}, {1.0, 8}});
+  const ClusterMap map = ClusterMap::build(classes, topo);
+  EXPECT_EQ(map.cluster_of(1), 0u);
+}
+
+TEST(ClusterMap, ClassesWithoutHistoryStayFastDuringBuild) {
+  const std::vector<TaskClassInfo> classes{
+      make_class(0, "seen", 10, 50.0), make_class(1, "unseen", 0, 0.0),
+      make_class(2, "seen_light", 10, 1.0)};
+  const AmcTopology topo("2g", {{2.0, 1}, {1.0, 4}});
+  const ClusterMap map = ClusterMap::build(classes, topo);
+  EXPECT_EQ(map.cluster_of(1), 0u);
+}
+
+TEST(ClusterMap, BalancesGroupFinishTimes) {
+  // Eight equal classes over 2 groups with capacity ratio 3:1 -> the
+  // cluster weights should split roughly 3:1.
+  std::vector<TaskClassInfo> classes;
+  for (TaskClassId i = 0; i < 8; ++i) {
+    classes.push_back(make_class(i, "c" + std::to_string(i), 10,
+                                 10.0 + static_cast<double>(i)));
+  }
+  const AmcTopology topo("2g", {{3.0, 1}, {1.0, 1}});
+  const ClusterMap map = ClusterMap::build(classes, topo);
+
+  double w_fast = 0, w_slow = 0;
+  for (const auto& c : classes) {
+    (map.cluster_of(c.id) == 0 ? w_fast : w_slow) += c.total_workload();
+  }
+  const double finish_fast = w_fast / 3.0;
+  const double finish_slow = w_slow / 1.0;
+  const double tl = (w_fast + w_slow) / 4.0;
+  EXPECT_NEAR(finish_fast, tl, tl * 0.5);
+  EXPECT_NEAR(finish_slow, tl, tl * 0.5);
+}
+
+}  // namespace
+}  // namespace wats::core

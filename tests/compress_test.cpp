@@ -1,0 +1,393 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "workloads/arith.hpp"
+#include "workloads/bitstream.hpp"
+#include "workloads/bwt.hpp"
+#include "workloads/bzip2_like.hpp"
+#include "workloads/datagen.hpp"
+#include "workloads/dmc.hpp"
+#include "workloads/huffman.hpp"
+#include "workloads/lzw.hpp"
+#include "workloads/mtf_rle.hpp"
+
+namespace wats::workloads {
+namespace {
+
+using util::Bytes;
+using util::bytes_of;
+
+// ---- Bit streams.
+
+TEST(BitStream, RoundTripMixedWidths) {
+  BitWriter w;
+  w.put(0b101, 3);
+  w.put(0xDEADBEEF, 32);
+  w.put(0, 1);
+  w.put(0x7F, 7);
+  const Bytes buf = w.take();
+  BitReader r(buf);
+  EXPECT_EQ(r.get(3), 0b101u);
+  EXPECT_EQ(r.get(32), 0xDEADBEEFu);
+  EXPECT_EQ(r.get(1), 0u);
+  EXPECT_EQ(r.get(7), 0x7Fu);
+}
+
+TEST(BitStream, BitCountTracksPartialBytes) {
+  BitWriter w;
+  w.put(1, 1);
+  EXPECT_EQ(w.bit_count(), 1u);
+  w.put(0, 9);
+  EXPECT_EQ(w.bit_count(), 10u);
+}
+
+// ---- LZW.
+
+class LzwRoundTripTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(LzwRoundTripTest, TextCorpus) {
+  const Bytes input = text_corpus(GetParam(), 42);
+  const Bytes packed = lzw_compress(input);
+  EXPECT_EQ(lzw_decompress(packed, input.size()), input);
+}
+
+TEST_P(LzwRoundTripTest, RandomBytes) {
+  const Bytes input = random_bytes(GetParam(), 43);
+  const Bytes packed = lzw_compress(input);
+  EXPECT_EQ(lzw_decompress(packed, input.size()), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, LzwRoundTripTest,
+                         ::testing::Values(0, 1, 2, 17, 256, 4096, 65536,
+                                           300000));
+
+TEST(Lzw, RepetitiveInputCompressesWell) {
+  Bytes input;
+  for (int i = 0; i < 2000; ++i) {
+    const char* s = "abcabcabd";
+    input.insert(input.end(), s, s + 9);
+  }
+  const Bytes packed = lzw_compress(input);
+  EXPECT_LT(packed.size(), input.size() / 4);
+  EXPECT_EQ(lzw_decompress(packed, input.size()), input);
+}
+
+TEST(Lzw, KwKwKPattern) {
+  // "aaaa..." exercises the code-not-yet-in-dictionary special case.
+  const Bytes input(1000, 'a');
+  const Bytes packed = lzw_compress(input);
+  EXPECT_EQ(lzw_decompress(packed, input.size()), input);
+}
+
+class LzwWidthSweepTest : public ::testing::TestWithParam<unsigned> {};
+
+TEST_P(LzwWidthSweepTest, RoundTripsAtEveryDictionaryWidth) {
+  LzwConfig cfg;
+  cfg.max_code_bits = GetParam();
+  const Bytes input = text_corpus(60000, GetParam());
+  const Bytes packed = lzw_compress(input, cfg);
+  EXPECT_EQ(lzw_decompress(packed, input.size(), cfg), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Widths, LzwWidthSweepTest,
+                         ::testing::Values(9, 10, 11, 12, 14, 16, 18, 24));
+
+TEST(Lzw, SmallDictionaryForcesResets) {
+  LzwConfig cfg;
+  cfg.max_code_bits = 9;  // dictionary of only 512 codes -> frequent resets
+  const Bytes input = text_corpus(50000, 7);
+  const Bytes packed = lzw_compress(input, cfg);
+  EXPECT_EQ(lzw_decompress(packed, input.size(), cfg), input);
+}
+
+// ---- BWT.
+
+TEST(Bwt, KnownBananaExample) {
+  // Cyclic BWT of "banana": rotations sorted -> last column "nnbaaa",
+  // original rotation at row 3.
+  const BwtResult r = bwt_forward(bytes_of("banana"));
+  EXPECT_EQ(util::string_of(r.transformed), "nnbaaa");
+  EXPECT_EQ(util::string_of(bwt_inverse(r.transformed, r.primary)), "banana");
+}
+
+class BwtRoundTripTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(BwtRoundTripTest, TextRoundTrip) {
+  const Bytes input = text_corpus(GetParam(), 11);
+  const BwtResult r = bwt_forward(input);
+  EXPECT_EQ(bwt_inverse(r.transformed, r.primary), input);
+}
+
+TEST_P(BwtRoundTripTest, RandomRoundTrip) {
+  const Bytes input = random_bytes(GetParam(), 12);
+  const BwtResult r = bwt_forward(input);
+  EXPECT_EQ(bwt_inverse(r.transformed, r.primary), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, BwtRoundTripTest,
+                         ::testing::Values(1, 2, 3, 100, 1000, 20000));
+
+TEST(Bwt, PeriodicInputs) {
+  for (const char* s : {"aaaa", "abab", "abcabcabc", "aa"}) {
+    const BwtResult r = bwt_forward(bytes_of(s));
+    EXPECT_EQ(util::string_of(bwt_inverse(r.transformed, r.primary)), s) << s;
+  }
+}
+
+TEST(Bwt, EmptyInput) {
+  const BwtResult r = bwt_forward({});
+  EXPECT_TRUE(r.transformed.empty());
+  EXPECT_TRUE(bwt_inverse(r.transformed, r.primary).empty());
+}
+
+TEST(Bwt, GroupsSimilarSymbols) {
+  // On text, BWT should produce longer same-symbol runs than the input.
+  const Bytes input = text_corpus(20000, 5);
+  const BwtResult r = bwt_forward(input);
+  auto count_runs = [](const Bytes& b) {
+    std::size_t runs = b.empty() ? 0 : 1;
+    for (std::size_t i = 1; i < b.size(); ++i) runs += b[i] != b[i - 1];
+    return runs;
+  };
+  EXPECT_LT(count_runs(r.transformed), count_runs(input));
+}
+
+// ---- MTF + ZRLE.
+
+TEST(Mtf, RoundTrip) {
+  const Bytes input = text_corpus(5000, 21);
+  EXPECT_EQ(mtf_decode(mtf_encode(input)), input);
+}
+
+TEST(Mtf, FrontSymbolEncodesAsZero) {
+  const Bytes input{'x', 'x', 'x'};
+  const Bytes out = mtf_encode(input);
+  EXPECT_EQ(out[1], 0);
+  EXPECT_EQ(out[2], 0);
+}
+
+TEST(Zrle, RoundTripWithLongZeroRuns) {
+  Bytes mtf;
+  for (std::size_t run : {1u, 2u, 3u, 4u, 7u, 100u, 255u, 1000u}) {
+    mtf.insert(mtf.end(), run, 0);
+    mtf.push_back(42);
+  }
+  const auto symbols = zrle_encode(mtf);
+  EXPECT_EQ(symbols.back(), kEob);
+  EXPECT_EQ(zrle_decode(symbols), mtf);
+}
+
+TEST(Zrle, EmptyAndAllZeros) {
+  EXPECT_EQ(zrle_decode(zrle_encode({})), Bytes{});
+  const Bytes zeros(513, 0);
+  EXPECT_EQ(zrle_decode(zrle_encode(zeros)), zeros);
+}
+
+TEST(Zrle, CompressesZeroHeavyStreams) {
+  const Bytes zeros(10000, 0);
+  // Bijective base-2 encodes a run of n zeros in about log2(n) symbols.
+  EXPECT_LT(zrle_encode(zeros).size(), 20u);
+}
+
+// ---- Huffman.
+
+TEST(Huffman, DegenerateAlphabets) {
+  std::vector<std::uint64_t> freqs(258, 0);
+  EXPECT_EQ(huffman_code_lengths(freqs), std::vector<std::uint8_t>(258, 0));
+  freqs[7] = 100;
+  const auto lengths = huffman_code_lengths(freqs);
+  EXPECT_EQ(lengths[7], 1);
+}
+
+TEST(Huffman, OptimalLengthsForKnownDistribution) {
+  // freqs {8,4,2,1,1}: classic Huffman lengths {1,2,3,4,4}.
+  const std::vector<std::uint64_t> freqs{8, 4, 2, 1, 1};
+  const auto lengths = huffman_code_lengths(freqs);
+  EXPECT_EQ(lengths[0], 1);
+  EXPECT_EQ(lengths[1], 2);
+  EXPECT_EQ(lengths[2], 3);
+  EXPECT_EQ(lengths[3], 4);
+  EXPECT_EQ(lengths[4], 4);
+}
+
+TEST(Huffman, KraftEqualityHolds) {
+  util::Xoshiro256 rng(31);
+  std::vector<std::uint64_t> freqs(64);
+  for (auto& f : freqs) f = rng.bounded(1000) + 1;
+  const auto lengths = huffman_code_lengths(freqs);
+  double kraft = 0.0;
+  for (auto l : lengths) {
+    if (l > 0) kraft += std::pow(2.0, -static_cast<double>(l));
+  }
+  EXPECT_NEAR(kraft, 1.0, 1e-12);  // Huffman codes are complete
+}
+
+TEST(Huffman, EncodeDecodeRoundTrip) {
+  util::Xoshiro256 rng(37);
+  std::vector<std::uint64_t> freqs(100, 0);
+  std::vector<std::uint16_t> symbols;
+  for (int i = 0; i < 20000; ++i) {
+    const auto s = static_cast<std::uint16_t>(rng.bounded(100));
+    symbols.push_back(s);
+    ++freqs[s];
+  }
+  const auto lengths = huffman_code_lengths(freqs);
+  const auto codes = canonical_codes(lengths);
+  BitWriter w;
+  huffman_encode(symbols, lengths, codes, w);
+  const Bytes buf = w.take();
+
+  HuffmanDecoder dec(lengths);
+  BitReader r(buf);
+  for (std::uint16_t expected : symbols) {
+    ASSERT_EQ(dec.decode(r), expected);
+  }
+}
+
+TEST(Huffman, CanonicalCodesArePrefixFree) {
+  const std::vector<std::uint64_t> freqs{5, 9, 12, 13, 16, 45};
+  const auto lengths = huffman_code_lengths(freqs);
+  const auto codes = canonical_codes(lengths);
+  for (std::size_t i = 0; i < codes.size(); ++i) {
+    for (std::size_t j = 0; j < codes.size(); ++j) {
+      if (i == j) continue;
+      if (lengths[i] > lengths[j]) continue;
+      // code[i] (shorter or equal) must not be a prefix of code[j].
+      const auto shifted = codes[j] >> (lengths[j] - lengths[i]);
+      EXPECT_FALSE(shifted == codes[i] && lengths[i] < lengths[j])
+          << i << " prefixes " << j;
+      if (lengths[i] == lengths[j]) EXPECT_NE(codes[i], codes[j]);
+    }
+  }
+}
+
+// ---- Bzip2-like block compressor.
+
+class Bzip2RoundTripTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(Bzip2RoundTripTest, Text) {
+  const Bytes input = text_corpus(GetParam(), 51);
+  EXPECT_EQ(bzip2_decompress(bzip2_compress(input)), input);
+}
+
+TEST_P(Bzip2RoundTripTest, Random) {
+  const Bytes input = random_bytes(GetParam(), 52);
+  EXPECT_EQ(bzip2_decompress(bzip2_compress(input)), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, Bzip2RoundTripTest,
+                         ::testing::Values(0, 1, 3, 100, 5000, 60000));
+
+TEST(Bzip2, CompressesTextSubstantially) {
+  const Bytes input = text_corpus(100000, 53);
+  const Bytes packed = bzip2_compress(input);
+  EXPECT_LT(packed.size(), input.size() / 2);
+}
+
+TEST(Bzip2Stream, MultiBlockRoundTrip) {
+  const Bytes input = text_corpus(200000, 54);
+  for (std::size_t block : {1000u, 4096u, 65536u, 500000u}) {
+    const Bytes stream = bzip2_compress_stream(input, block);
+    EXPECT_EQ(bzip2_decompress_stream(stream), input) << block;
+  }
+}
+
+TEST(Bzip2Stream, EmptyInput) {
+  const Bytes stream = bzip2_compress_stream({}, 4096);
+  EXPECT_TRUE(bzip2_decompress_stream(stream).empty());
+}
+
+TEST(Bzip2Stream, BlockCountMatchesCeilDiv) {
+  const Bytes input = text_corpus(10000, 55);
+  const Bytes stream = bzip2_compress_stream(input, 3000);
+  EXPECT_EQ(util::get_u32le(stream, 0), 4u);  // ceil(10000/3000)
+}
+
+TEST(Bzip2Stream, SmallerBlocksCompressWorse) {
+  const Bytes input = text_corpus(150000, 56);
+  const std::size_t tiny = bzip2_compress_stream(input, 2048).size();
+  const std::size_t big = bzip2_compress_stream(input, 65536).size();
+  EXPECT_LT(big, tiny);  // block sorting gains from longer contexts
+}
+
+// ---- Range coder + DMC.
+
+TEST(RangeCoder, RoundTripRandomBitsRandomProbs) {
+  util::Xoshiro256 rng(61);
+  std::vector<std::pair<std::uint32_t, std::uint16_t>> stream;
+  RangeEncoder enc;
+  for (int i = 0; i < 50000; ++i) {
+    const auto p0 = static_cast<std::uint16_t>(1 + rng.bounded(65535));
+    const std::uint32_t bit = rng.chance(0.5) ? 1 : 0;
+    stream.emplace_back(bit, p0);
+    enc.encode(bit, p0);
+  }
+  const Bytes buf = enc.finish();
+  RangeDecoder dec(buf);
+  for (const auto& [bit, p0] : stream) {
+    ASSERT_EQ(dec.decode(p0), bit);
+  }
+}
+
+TEST(RangeCoder, SkewedProbabilitiesCompress) {
+  RangeEncoder enc;
+  // 10000 zero-bits at p0 = 0.999 should take ~
+  // 10000 * -log2(0.999) / 8 bytes ~ 2 bytes + overhead.
+  for (int i = 0; i < 10000; ++i) enc.encode(0, 65470);
+  const Bytes buf = enc.finish();
+  EXPECT_LT(buf.size(), 40u);
+}
+
+class DmcRoundTripTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(DmcRoundTripTest, Text) {
+  const Bytes input = text_corpus(GetParam(), 71);
+  const Bytes packed = dmc_compress(input);
+  EXPECT_EQ(dmc_decompress(packed, input.size()), input);
+}
+
+TEST_P(DmcRoundTripTest, Random) {
+  const Bytes input = random_bytes(GetParam(), 72);
+  const Bytes packed = dmc_compress(input);
+  EXPECT_EQ(dmc_decompress(packed, input.size()), input);
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, DmcRoundTripTest,
+                         ::testing::Values(0, 1, 64, 1000, 30000));
+
+TEST(Dmc, TextCompressesBelowRandom) {
+  const Bytes text = text_corpus(40000, 81);
+  const Bytes noise = random_bytes(40000, 82);
+  const std::size_t text_packed = dmc_compress(text).size();
+  const std::size_t noise_packed = dmc_compress(noise).size();
+  EXPECT_LT(text_packed, noise_packed);
+  EXPECT_LT(text_packed, text.size() / 2);
+  // Incompressible input expands a little (a known DMC weakness: cloning
+  // keeps per-state counts small, so states drift off p=0.5); the model
+  // smoothing bounds it to a few percent.
+  EXPECT_LT(noise_packed, noise.size() * 108 / 100);
+}
+
+TEST(Dmc, ModelResetsOnNodeBudget) {
+  DmcConfig cfg;
+  cfg.max_nodes = 512;  // minimal budget -> reset-heavy
+  const Bytes input = text_corpus(20000, 91);
+  const Bytes packed = dmc_compress(input, cfg);
+  EXPECT_EQ(dmc_decompress(packed, input.size(), cfg), input);
+}
+
+TEST(Dmc, CloningGrowsModel) {
+  DmcModel model(DmcConfig{});
+  const std::size_t initial = model.node_count();
+  util::Xoshiro256 rng(101);
+  for (int i = 0; i < 20000; ++i) {
+    model.update(rng.chance(0.7) ? 1 : 0);
+  }
+  EXPECT_GT(model.node_count(), initial);
+}
+
+}  // namespace
+}  // namespace wats::workloads

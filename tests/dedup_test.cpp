@@ -1,0 +1,133 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "workloads/datagen.hpp"
+#include "workloads/dedup.hpp"
+
+namespace wats::workloads {
+namespace {
+
+using util::Bytes;
+
+TEST(Chunker, RespectsMinMaxBounds) {
+  const Bytes input = random_bytes(200000, 1);
+  ChunkerConfig cfg;
+  const auto chunks = chunk_content(input, cfg);
+  ASSERT_FALSE(chunks.empty());
+  std::size_t covered = 0;
+  for (std::size_t i = 0; i < chunks.size(); ++i) {
+    EXPECT_EQ(chunks[i].offset, covered);
+    covered += chunks[i].length;
+    if (i + 1 < chunks.size()) {  // the tail chunk may be short
+      EXPECT_GE(chunks[i].length, cfg.min_chunk);
+    }
+    EXPECT_LE(chunks[i].length, cfg.max_chunk);
+  }
+  EXPECT_EQ(covered, input.size());
+}
+
+TEST(Chunker, BoundariesAreContentDefined) {
+  // Insert a prefix: chunk boundaries after the disturbance should
+  // re-synchronize to the same content positions.
+  const Bytes base = random_bytes(100000, 2);
+  Bytes shifted;
+  const Bytes prefix = random_bytes(1337, 3);
+  shifted.insert(shifted.end(), prefix.begin(), prefix.end());
+  shifted.insert(shifted.end(), base.begin(), base.end());
+
+  auto ends_of = [](const std::vector<ChunkRef>& chunks, std::size_t skip) {
+    std::vector<std::size_t> ends;
+    for (const auto& c : chunks) {
+      if (c.offset + c.length > skip) ends.push_back(c.offset + c.length - skip);
+    }
+    ends.pop_back();  // final boundary is size-forced
+    return ends;
+  };
+  const auto base_ends = ends_of(chunk_content(base), 0);
+  const auto shifted_ends = ends_of(chunk_content(shifted), prefix.size());
+
+  // Count how many base boundaries reappear in the shifted stream.
+  std::size_t common = 0;
+  for (std::size_t e : base_ends) {
+    for (std::size_t f : shifted_ends) {
+      if (e == f) {
+        ++common;
+        break;
+      }
+    }
+  }
+  EXPECT_GT(common, base_ends.size() * 6 / 10);
+}
+
+TEST(Chunker, EmptyInput) {
+  EXPECT_TRUE(chunk_content({}).empty());
+}
+
+TEST(DedupIndex, InternAssignsStableIds) {
+  DedupIndex index;
+  const Digest160 a = fingerprint_chunk(util::bytes_of("hello"));
+  const Digest160 b = fingerprint_chunk(util::bytes_of("world"));
+  const auto first = index.intern(a);
+  EXPECT_TRUE(first.is_new);
+  const auto again = index.intern(a);
+  EXPECT_FALSE(again.is_new);
+  EXPECT_EQ(again.id, first.id);
+  EXPECT_TRUE(index.intern(b).is_new);
+  EXPECT_EQ(index.unique_chunks(), 2u);
+}
+
+TEST(DedupIndex, ConcurrentInternsConsistent) {
+  DedupIndex index;
+  std::vector<Digest160> digests;
+  for (int i = 0; i < 64; ++i) {
+    Bytes data{static_cast<std::uint8_t>(i)};
+    digests.push_back(fingerprint_chunk(data));
+  }
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([&index, &digests] {
+      for (const auto& d : digests) index.intern(d);
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(index.unique_chunks(), 64u);
+}
+
+class DedupRoundTripTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(DedupRoundTripTest, ArchiveRestoresExactly) {
+  const Bytes input = repetitive_corpus(300000, GetParam(), 7);
+  DedupStats stats;
+  const Bytes archive = dedup_archive(input, &stats);
+  EXPECT_EQ(dedup_restore(archive), input);
+  EXPECT_EQ(stats.input_bytes, input.size());
+  EXPECT_EQ(stats.archive_bytes, archive.size());
+  EXPECT_GE(stats.total_chunks, stats.unique_chunks);
+}
+
+INSTANTIATE_TEST_SUITE_P(Redundancy, DedupRoundTripTest,
+                         ::testing::Values(0.0, 0.3, 0.6, 0.9));
+
+TEST(Dedup, RedundantDataDeduplicates) {
+  DedupStats low, high;
+  dedup_archive(repetitive_corpus(400000, 0.1, 9), &low);
+  dedup_archive(repetitive_corpus(400000, 0.9, 9), &high);
+  const double low_ratio =
+      static_cast<double>(low.unique_chunks) / static_cast<double>(low.total_chunks);
+  const double high_ratio = static_cast<double>(high.unique_chunks) /
+                            static_cast<double>(high.total_chunks);
+  EXPECT_LT(high_ratio, low_ratio);
+  // Highly redundant data must produce a much smaller archive.
+  EXPECT_LT(high.archive_bytes, low.archive_bytes);
+}
+
+TEST(Dedup, EmptyInput) {
+  DedupStats stats;
+  const Bytes archive = dedup_archive({}, &stats);
+  EXPECT_EQ(stats.total_chunks, 0u);
+  EXPECT_TRUE(dedup_restore(archive).empty());
+}
+
+}  // namespace
+}  // namespace wats::workloads

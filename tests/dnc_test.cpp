@@ -1,0 +1,45 @@
+#include <gtest/gtest.h>
+
+#include "core/dnc_detect.hpp"
+
+namespace wats::core {
+namespace {
+
+TEST(DncDetector, FlagsSelfRecursiveClasses) {
+  DncDetector d;
+  d.record_spawn(1, 1);
+  EXPECT_TRUE(d.is_self_recursive(1));
+  EXPECT_FALSE(d.is_self_recursive(2));
+}
+
+TEST(DncDetector, RootSpawnsIgnored) {
+  DncDetector d;
+  d.record_spawn(kNoTaskClass, 5);
+  EXPECT_EQ(d.observed_spawns(), 0u);
+  EXPECT_DOUBLE_EQ(d.self_recursive_fraction(), 0.0);
+}
+
+TEST(DncDetector, FractionTracksMix) {
+  DncDetector d;
+  // 3 self-recursive spawns out of 4.
+  d.record_spawn(1, 1);
+  d.record_spawn(1, 1);
+  d.record_spawn(1, 1);
+  d.record_spawn(1, 2);
+  EXPECT_DOUBLE_EQ(d.self_recursive_fraction(), 0.75);
+  EXPECT_EQ(d.observed_spawns(), 4u);
+}
+
+TEST(DncDetector, PipelineStyleSpawnsNeverFlagged) {
+  DncDetector d;
+  // chunk -> sha -> compress chains: no self edges.
+  for (int i = 0; i < 100; ++i) {
+    d.record_spawn(1, 2);
+    d.record_spawn(2, 3);
+  }
+  EXPECT_DOUBLE_EQ(d.self_recursive_fraction(), 0.0);
+  EXPECT_FALSE(d.is_self_recursive(1));
+}
+
+}  // namespace
+}  // namespace wats::core

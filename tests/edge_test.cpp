@@ -1,0 +1,174 @@
+// Edge-case and failure-injection tests across modules: extreme coder
+// probabilities, corrupt compressed streams, simulator work-conservation
+// properties, and configuration validation.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/experiment.hpp"
+#include "sim/workload_adapter.hpp"
+#include "util/rng.hpp"
+#include "workloads/arith.hpp"
+#include "workloads/bzip2_like.hpp"
+#include "workloads/datagen.hpp"
+#include "workloads/dedup.hpp"
+#include "workloads/huffman.hpp"
+#include "workloads/lzw.hpp"
+#include "workloads/mtf_rle.hpp"
+
+namespace wats {
+namespace {
+
+// ---- Range coder at the probability extremes.
+
+TEST(RangeCoderEdge, ExtremeProbabilitiesRoundTrip) {
+  workloads::RangeEncoder enc;
+  std::vector<std::pair<std::uint32_t, std::uint16_t>> stream;
+  util::Xoshiro256 rng(5);
+  for (int i = 0; i < 20000; ++i) {
+    const std::uint16_t p0 = (i % 3 == 0) ? 1 : (i % 3 == 1) ? 65535 : 32768;
+    // Stress the unlikely branch too: sometimes send the improbable bit.
+    const std::uint32_t bit = rng.chance(0.1) ? (p0 > 32768 ? 1u : 0u)
+                                              : (p0 > 32768 ? 0u : 1u);
+    stream.emplace_back(bit, p0);
+    enc.encode(bit, p0);
+  }
+  const util::Bytes buf = enc.finish();
+  workloads::RangeDecoder dec(buf);
+  for (const auto& [bit, p0] : stream) {
+    ASSERT_EQ(dec.decode(p0), bit);
+  }
+}
+
+TEST(RangeCoderEdge, EmptyStreamDecodesNothing) {
+  workloads::RangeEncoder enc;
+  const util::Bytes buf = enc.finish();
+  EXPECT_LE(buf.size(), 5u);
+}
+
+// ---- Corrupt-stream handling: decoders must abort, not corrupt memory.
+
+TEST(CorruptStreams, LzwGarbageAborts) {
+  const util::Bytes garbage = workloads::random_bytes(64, 1);
+  EXPECT_DEATH(
+      { auto out = workloads::lzw_decompress(garbage, 100000); (void)out; },
+      "corrupt|WATS_CHECK");
+}
+
+TEST(CorruptStreams, Bzip2TruncatedAborts) {
+  const util::Bytes input = workloads::text_corpus(5000, 2);
+  util::Bytes packed = workloads::bzip2_compress(input);
+  packed.resize(8);  // way below the header size
+  EXPECT_DEATH(
+      { auto out = workloads::bzip2_decompress(packed); (void)out; },
+      "truncated");
+}
+
+TEST(CorruptStreams, DedupArchiveBadTagAborts) {
+  const util::Bytes input = workloads::text_corpus(20000, 3);
+  util::Bytes archive = workloads::dedup_archive(input);
+  archive[4] = 0x7F;  // first chunk tag
+  EXPECT_DEATH({ auto out = workloads::dedup_restore(archive); (void)out; },
+               "corrupt|WATS_CHECK");
+}
+
+TEST(CorruptStreams, ZrleWithoutEobAborts) {
+  const std::vector<workloads::ZSymbol> symbols{2, 3, 4};  // no kEob
+  EXPECT_DEATH({ auto out = workloads::zrle_decode(symbols); (void)out; },
+               "EOB");
+}
+
+TEST(CorruptStreams, HuffmanEmptyBookAborts) {
+  const std::vector<std::uint8_t> lengths(10, 0);
+  EXPECT_DEATH(workloads::HuffmanDecoder dec(lengths), "empty");
+}
+
+// ---- Simulator conservation properties.
+
+TEST(SimProperties, WorkIsConserved) {
+  // Sum over cores of busy_time * effective speed == total work executed,
+  // for every scheduler (CPU-bound tasks: eff speed == core speed).
+  const auto topo = core::amc_by_name("AMC1");
+  const auto& spec = workloads::benchmark_by_name("GA");
+  for (auto kind : {sim::SchedulerKind::kCilk, sim::SchedulerKind::kRts,
+                    sim::SchedulerKind::kWats, sim::SchedulerKind::kWatsTs}) {
+    sim::ExperimentConfig cfg;
+    cfg.repeats = 1;
+    const auto r = sim::run_experiment(spec, topo, kind, cfg);
+    const auto& run = r.runs[0];
+    double executed = 0.0;
+    for (core::CoreIndex c = 0; c < run.busy_time.size(); ++c) {
+      executed +=
+          run.busy_time[c] * topo.group(topo.group_of_core(c)).frequency_ghz;
+    }
+    // Snatching re-executes part of the preempted work, so executed >=
+    // total_work, with equality for non-snatching schedulers.
+    if (kind == sim::SchedulerKind::kCilk ||
+        kind == sim::SchedulerKind::kWats) {
+      EXPECT_NEAR(executed, run.total_work, run.total_work * 1e-9)
+          << sim::to_string(kind);
+    } else {
+      EXPECT_GE(executed, run.total_work * (1 - 1e-9)) << sim::to_string(kind);
+    }
+  }
+}
+
+TEST(SimProperties, MakespanAtLeastCriticalTask) {
+  // No schedule can beat the largest single task on the fastest core.
+  workloads::BenchmarkSpec spec;
+  spec.name = "crit";
+  spec.kind = workloads::BenchKind::kBatch;
+  spec.classes = {{"monster", 1000.0, 0.0, 1}, {"small", 1.0, 0.0, 127}};
+  spec.batches = 1;
+  const auto topo = core::amc_by_name("AMC2");
+  for (auto kind : {sim::SchedulerKind::kCilk, sim::SchedulerKind::kWats}) {
+    sim::ExperimentConfig cfg;
+    cfg.repeats = 3;
+    const auto r = sim::run_experiment(spec, topo, kind, cfg);
+    EXPECT_GE(r.min_makespan, 1000.0 / 2.5 * (1 - 0.01))
+        << sim::to_string(kind);
+  }
+}
+
+TEST(SimProperties, SnatchRedoIncreasesExecutedWork) {
+  const auto topo = core::amc_by_name("AMC5");
+  const auto spec = workloads::ga_mix(32);
+  sim::ExperimentConfig with_redo;
+  with_redo.repeats = 1;
+  with_redo.sim.snatch_redo_fraction = 1.0;
+  sim::ExperimentConfig without;
+  without.repeats = 1;
+  without.sim.snatch_redo_fraction = 0.0;
+  auto executed = [&](const sim::ExperimentConfig& cfg) {
+    const auto r =
+        sim::run_experiment(spec, topo, sim::SchedulerKind::kRts, cfg);
+    double sum = 0.0;
+    for (core::CoreIndex c = 0; c < r.runs[0].busy_time.size(); ++c) {
+      sum += r.runs[0].busy_time[c] *
+             topo.group(topo.group_of_core(c)).frequency_ghz;
+    }
+    return sum - r.runs[0].total_work;
+  };
+  EXPECT_GT(executed(with_redo), executed(without));
+}
+
+// ---- Configuration validation.
+
+TEST(ConfigValidation, EmptyTopologyAborts) {
+  EXPECT_DEATH(core::AmcTopology("bad", {}), "at least one core");
+  EXPECT_DEATH(core::AmcTopology("bad", {{2.5, 0}}), "at least one core");
+}
+
+TEST(ConfigValidation, NonPositiveFrequencyAborts) {
+  EXPECT_DEATH(core::AmcTopology("bad", {{0.0, 4}}), "positive");
+  EXPECT_DEATH(core::AmcTopology("bad", {{-1.0, 4}}), "positive");
+}
+
+TEST(ConfigValidation, EwmaAlphaRangeChecked) {
+  EXPECT_DEATH(
+      core::TaskClassRegistry(core::WorkloadEstimator::kEwma, 0.0), "");
+  EXPECT_DEATH(
+      core::TaskClassRegistry(core::WorkloadEstimator::kEwma, 1.5), "");
+}
+
+}  // namespace
+}  // namespace wats

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workloads/datagen.hpp"
+#include "workloads/ferret.hpp"
+
+namespace wats::workloads {
+namespace {
+
+FeatureVector features_of(std::uint64_t seed, std::size_t side = 32) {
+  const auto img = synthetic_image(side, side, 5, seed);
+  return extract_features(img, side, side);
+}
+
+TEST(Features, DimensionsMatchConfig) {
+  FeatureConfig cfg;
+  cfg.intensity_bins = 16;
+  cfg.gradient_bins = 8;
+  const auto img = synthetic_image(16, 16, 3, 1);
+  const auto f = extract_features(img, 16, 16, cfg);
+  EXPECT_EQ(f.size(), 24u);
+}
+
+TEST(Features, BlocksAreL2Normalized) {
+  const auto f = features_of(2);
+  double intensity = 0, gradient = 0;
+  for (std::size_t i = 0; i < 32; ++i) intensity += static_cast<double>(f[i]) * f[i];
+  for (std::size_t i = 32; i < f.size(); ++i) gradient += static_cast<double>(f[i]) * f[i];
+  EXPECT_NEAR(intensity, 1.0, 1e-5);
+  EXPECT_NEAR(gradient, 1.0, 1e-5);
+}
+
+TEST(Features, DeterministicForSeed) {
+  EXPECT_EQ(features_of(3), features_of(3));
+  EXPECT_NE(features_of(3), features_of(4));
+}
+
+TEST(FeatureDistance, MetricBasics) {
+  const auto a = features_of(5);
+  const auto b = features_of(6);
+  EXPECT_DOUBLE_EQ(feature_distance(a, a), 0.0);
+  EXPECT_GT(feature_distance(a, b), 0.0);
+  EXPECT_DOUBLE_EQ(feature_distance(a, b), feature_distance(b, a));
+}
+
+TEST(FerretIndex, SelfQueryReturnsSelfFirst) {
+  FerretIndex index(48, 8, 99);
+  std::vector<std::uint32_t> ids;
+  for (std::uint64_t s = 0; s < 40; ++s) {
+    ids.push_back(index.add(features_of(s)));
+  }
+  for (std::uint64_t s = 0; s < 40; s += 7) {
+    const auto matches = index.query(features_of(s), 5);
+    ASSERT_FALSE(matches.empty());
+    EXPECT_EQ(matches[0].image_id, ids[s]);
+    EXPECT_NEAR(matches[0].distance, 0.0, 1e-9);
+  }
+}
+
+TEST(FerretIndex, RankOrdersByDistance) {
+  FerretIndex index(48, 6, 7);
+  for (std::uint64_t s = 0; s < 30; ++s) index.add(features_of(s));
+  const auto matches = index.query(features_of(100), 10);
+  ASSERT_GE(matches.size(), 2u);
+  for (std::size_t i = 1; i < matches.size(); ++i) {
+    EXPECT_LE(matches[i - 1].distance, matches[i].distance);
+  }
+}
+
+TEST(FerretIndex, ProbeFallsBackToFullScan) {
+  FerretIndex index(48, 10, 3);  // 1024 buckets, few images -> empty buckets
+  for (std::uint64_t s = 0; s < 5; ++s) index.add(features_of(s));
+  const auto candidates = index.probe(features_of(50), 5);
+  EXPECT_GE(candidates.size(), 5u);
+}
+
+TEST(FerretIndex, RankDropsDuplicateCandidates) {
+  FerretIndex index(48, 4, 11);
+  const auto id = index.add(features_of(1));
+  const std::vector<std::uint32_t> candidates{id, id, id};
+  const auto matches = index.rank(features_of(1), candidates, 10);
+  EXPECT_EQ(matches.size(), 1u);
+}
+
+TEST(SyntheticImage, NormalizedToUnitPeak) {
+  const auto img = synthetic_image(64, 64, 6, 13);
+  float peak = 0;
+  for (float v : img) {
+    EXPECT_GE(v, 0.0f);
+    peak = std::max(peak, v);
+  }
+  EXPECT_NEAR(peak, 1.0f, 1e-5f);
+}
+
+}  // namespace
+}  // namespace wats::workloads

@@ -1,0 +1,71 @@
+// The full evaluation grid: every Table III benchmark on every Table II
+// machine under WATS completes, conserves work, and never beats the
+// lower bound — 63 combinations, one seeded run each.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+
+namespace wats::sim {
+namespace {
+
+struct GridCase {
+  std::string bench;
+  std::string machine;
+};
+
+class FullGridTest : public ::testing::TestWithParam<GridCase> {};
+
+TEST_P(FullGridTest, WatsCompletesEverywhere) {
+  const auto& [bench, machine] = GetParam();
+  const auto& spec = workloads::benchmark_by_name(bench);
+  const auto topo = core::amc_by_name(machine);
+  ExperimentConfig cfg;
+  cfg.repeats = 1;
+  const auto r = run_experiment(spec, topo, SchedulerKind::kWats, cfg);
+  const auto& run = r.runs[0];
+  EXPECT_EQ(run.tasks_completed, spec.total_tasks());
+  EXPECT_GE(run.makespan * topo.total_capacity(), run.total_work * 0.999);
+  EXPECT_GT(run.utilization(topo), 0.05);
+  EXPECT_LE(run.utilization(topo), 1.0 + 1e-9);
+}
+
+std::vector<GridCase> all_cases() {
+  std::vector<GridCase> cases;
+  for (const auto& spec : workloads::paper_benchmarks()) {
+    for (const auto& topo : core::amc_table2()) {
+      cases.push_back({spec.name, topo.name()});
+    }
+  }
+  return cases;
+}
+
+std::string case_name(const ::testing::TestParamInfo<GridCase>& info) {
+  std::string name = info.param.bench + "_" + info.param.machine;
+  for (auto& c : name) {
+    if (!std::isalnum(static_cast<unsigned char>(c))) c = '_';
+  }
+  return name;
+}
+
+INSTANTIATE_TEST_SUITE_P(Table3xTable2, FullGridTest,
+                         ::testing::ValuesIn(all_cases()), case_name);
+
+TEST(WaitByClass, PerClassStatsPartitionTheGlobalStat) {
+  const auto& spec = workloads::benchmark_by_name("GA");
+  const auto topo = core::amc_by_name("AMC2");
+  ExperimentConfig cfg;
+  cfg.repeats = 1;
+  const auto r = run_experiment(spec, topo, SchedulerKind::kWats, cfg);
+  const auto& run = r.runs[0];
+  std::size_t per_class_total = 0;
+  double per_class_sum = 0.0;
+  for (const auto& stat : run.wait_time_by_class) {
+    per_class_total += stat.count();
+    per_class_sum += stat.sum();
+  }
+  EXPECT_EQ(per_class_total, run.wait_time.count());
+  EXPECT_NEAR(per_class_sum, run.wait_time.sum(), 1e-6);
+}
+
+}  // namespace
+}  // namespace wats::sim

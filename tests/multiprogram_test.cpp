@@ -1,0 +1,106 @@
+#include <gtest/gtest.h>
+
+#include "sim/multiprogram.hpp"
+
+namespace wats::sim {
+namespace {
+
+workloads::BenchmarkSpec small_batch(const std::string& name, double work,
+                                     std::size_t batches = 4) {
+  workloads::BenchmarkSpec spec;
+  spec.name = name;
+  spec.kind = workloads::BenchKind::kBatch;
+  spec.classes = {
+      {"heavy", work * 4, 0.05, 2, 1.0},
+      {"light", work, 0.05, 6, 1.0},
+  };
+  spec.batches = batches;
+  return spec;
+}
+
+TEST(Multiprogram, BothApplicationsComplete) {
+  const auto topo = core::amc_by_name("AMC5");
+  SimConfig cfg;
+  const auto r = run_multiprogram(
+      {small_batch("appA", 10.0), small_batch("appB", 20.0)}, topo,
+      SchedulerKind::kWats, cfg);
+  ASSERT_EQ(r.per_app_finish.size(), 2u);
+  EXPECT_GT(r.per_app_finish[0], 0.0);
+  EXPECT_GT(r.per_app_finish[1], 0.0);
+  EXPECT_DOUBLE_EQ(
+      r.makespan, std::max(r.per_app_finish[0], r.per_app_finish[1]));
+  const std::size_t expected = small_batch("a", 1).total_tasks() * 2;
+  EXPECT_EQ(r.stats.tasks_completed, expected);
+}
+
+TEST(Multiprogram, SharedClassNamesStaySeparate) {
+  // Both applications use classes named heavy/light; the name prefixing
+  // must keep their histories apart — verified indirectly: the engine
+  // completes and per-app accounting balances.
+  const auto topo = core::amc_by_name("AMC2");
+  SimConfig cfg;
+  const auto r = run_multiprogram(
+      {small_batch("same", 5.0), small_batch("same", 500.0)}, topo,
+      SchedulerKind::kWats, cfg);
+  // The second app is 100x heavier; it must finish last.
+  EXPECT_LT(r.per_app_finish[0], r.per_app_finish[1]);
+}
+
+TEST(Multiprogram, CoRunSlowerThanSoloButBounded) {
+  const auto topo = core::amc_by_name("AMC5");
+  SimConfig cfg;
+  const auto solo = run_multiprogram({small_batch("app", 50.0)}, topo,
+                                     SchedulerKind::kWats, cfg);
+  const auto duo = run_multiprogram(
+      {small_batch("app", 50.0), small_batch("rival", 50.0)}, topo,
+      SchedulerKind::kWats, cfg);
+  // Sharing the machine slows the app down, but by at most ~2x + noise.
+  EXPECT_GT(duo.makespan, solo.makespan);
+  EXPECT_LT(duo.makespan, solo.makespan * 2.6);
+}
+
+TEST(Multiprogram, WorksUnderEveryScheduler) {
+  const auto topo = core::amc_by_name("AMC1");
+  SimConfig cfg;
+  for (auto kind : {SchedulerKind::kCilk, SchedulerKind::kPft,
+                    SchedulerKind::kRts, SchedulerKind::kWats,
+                    SchedulerKind::kWatsNp, SchedulerKind::kWatsTs}) {
+    const auto r = run_multiprogram(
+        {small_batch("x", 8.0, 2), small_batch("y", 16.0, 2)}, topo, kind,
+        cfg);
+    EXPECT_GT(r.makespan, 0.0) << to_string(kind);
+    EXPECT_EQ(r.per_app_finish.size(), 2u) << to_string(kind);
+  }
+}
+
+TEST(Multiprogram, PipelinePlusBatchMix) {
+  const auto topo = core::amc_by_name("AMC2");
+  workloads::BenchmarkSpec pipe;
+  pipe.name = "pipe";
+  pipe.kind = workloads::BenchKind::kPipeline;
+  pipe.classes = {{"s0", 4.0, 0.0, 0, 1.0}, {"s1", 8.0, 0.0, 0, 1.0}};
+  pipe.pipeline_items = 40;
+  pipe.pipeline_window = 8;
+  SimConfig cfg;
+  const auto r = run_multiprogram({pipe, small_batch("b", 10.0, 2)}, topo,
+                                  SchedulerKind::kWats, cfg);
+  EXPECT_EQ(r.stats.tasks_completed,
+            40 * 2 + small_batch("b", 1, 2).total_tasks());
+}
+
+TEST(Multiprogram, DeterministicForFixedSeed) {
+  const auto topo = core::amc_by_name("AMC5");
+  SimConfig cfg;
+  cfg.seed = 99;
+  const auto a = run_multiprogram(
+      {small_batch("p", 10.0), small_batch("q", 30.0)}, topo,
+      SchedulerKind::kWats, cfg);
+  const auto b = run_multiprogram(
+      {small_batch("p", 10.0), small_batch("q", 30.0)}, topo,
+      SchedulerKind::kWats, cfg);
+  EXPECT_DOUBLE_EQ(a.makespan, b.makespan);
+  EXPECT_EQ(a.per_app_finish, b.per_app_finish);
+}
+
+}  // namespace
+}  // namespace wats::sim

@@ -1,0 +1,75 @@
+#include <gtest/gtest.h>
+
+#include "workloads/nqueens.hpp"
+
+namespace wats::workloads {
+namespace {
+
+struct KnownCount {
+  unsigned n;
+  std::uint64_t solutions;
+};
+
+class NQueensCountTest : public ::testing::TestWithParam<KnownCount> {};
+
+TEST_P(NQueensCountTest, MatchesOeisA000170) {
+  const auto [n, solutions] = GetParam();
+  EXPECT_EQ(nqueens_count(n), solutions);
+}
+
+INSTANTIATE_TEST_SUITE_P(Known, NQueensCountTest,
+                         ::testing::Values(KnownCount{1, 1}, KnownCount{2, 0},
+                                           KnownCount{3, 0}, KnownCount{4, 2},
+                                           KnownCount{5, 10}, KnownCount{6, 4},
+                                           KnownCount{7, 40}, KnownCount{8, 92},
+                                           KnownCount{9, 352},
+                                           KnownCount{10, 724},
+                                           KnownCount{11, 2680}));
+
+TEST(NQueens, PrefixDecompositionCoversAllSolutions) {
+  // Splitting the search at any depth and summing subtree counts must
+  // recover the total.
+  for (unsigned n : {6u, 8u, 9u}) {
+    for (unsigned depth : {1u, 2u, 3u}) {
+      std::uint64_t total = 0;
+      for (const auto& prefix : nqueens_prefixes(n, depth)) {
+        total += nqueens_count_from(n, prefix);
+      }
+      EXPECT_EQ(total, nqueens_count(n)) << "n=" << n << " depth=" << depth;
+    }
+  }
+}
+
+TEST(NQueens, PrefixesAreValidPlacements) {
+  const auto prefixes = nqueens_prefixes(8, 2);
+  // Row 0 has 8 choices; row 1 excludes same column and adjacent
+  // diagonals: 8*8 - 8 (same col) - 14 (diagonals) = 42.
+  EXPECT_EQ(prefixes.size(), 42u);
+  for (const auto& p : prefixes) {
+    EXPECT_EQ(p.rows.size(), 2u);
+    EXPECT_NE(p.rows[0], p.rows[1]);
+    const unsigned diff = p.rows[0] > p.rows[1] ? p.rows[0] - p.rows[1]
+                                                : p.rows[1] - p.rows[0];
+    EXPECT_NE(diff, 1u);  // no adjacent-diagonal attacks
+  }
+}
+
+TEST(NQueens, InvalidPrefixYieldsZero) {
+  EXPECT_EQ(nqueens_count_from(8, {{0, 0}}), 0u);  // same column
+  EXPECT_EQ(nqueens_count_from(8, {{0, 1}}), 0u);  // diagonal attack
+}
+
+TEST(NQueens, EmptyPrefixEqualsFullSearch) {
+  EXPECT_EQ(nqueens_count_from(8, {}), nqueens_count(8));
+}
+
+TEST(NQueens, FullDepthPrefixesAreSolutions) {
+  const auto solutions = nqueens_prefixes(6, 6);
+  EXPECT_EQ(solutions.size(), nqueens_count(6));
+  for (const auto& s : solutions) {
+    EXPECT_EQ(nqueens_count_from(6, s), 1u);
+  }
+}
+
+}  // namespace
+}  // namespace wats::workloads

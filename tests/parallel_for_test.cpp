@@ -1,0 +1,112 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+#include <vector>
+
+#include "runtime/parallel_for.hpp"
+
+namespace wats::runtime {
+namespace {
+
+RuntimeConfig cfg() {
+  RuntimeConfig c;
+  c.topology = core::AmcTopology("pf", {{2.0, 2}, {1.0, 2}});
+  c.emulate_speeds = false;
+  return c;
+}
+
+TEST(ParallelFor, VisitsEveryIndexOnce) {
+  TaskRuntime rt(cfg());
+  std::vector<std::atomic<int>> hits(1000);
+  parallel_for(rt, "visit", 0, hits.size(),
+               [&](std::size_t i) { hits[i]++; });
+  for (std::size_t i = 0; i < hits.size(); ++i) {
+    EXPECT_EQ(hits[i].load(), 1) << i;
+  }
+}
+
+TEST(ParallelFor, EmptyAndSingleElementRanges) {
+  TaskRuntime rt(cfg());
+  std::atomic<int> count{0};
+  parallel_for(rt, "empty", 5, 5, [&](std::size_t) { count++; });
+  EXPECT_EQ(count.load(), 0);
+  parallel_for(rt, "single", 7, 8, [&](std::size_t i) {
+    EXPECT_EQ(i, 7u);
+    count++;
+  });
+  EXPECT_EQ(count.load(), 1);
+}
+
+TEST(ParallelFor, ExplicitGrainRespected) {
+  TaskRuntime rt(cfg());
+  std::atomic<int> count{0};
+  ParallelForOptions options;
+  options.grain = 10;
+  parallel_for(rt, "grained", 0, 95, [&](std::size_t) { count++; },
+               options);
+  EXPECT_EQ(count.load(), 95);
+  // 95 iterations at grain 10 -> 10 tasks of the "grained" class.
+  rt.wait_all();
+  const auto history = rt.class_history();
+  const auto id = rt.register_class("grained");
+  EXPECT_EQ(history[id].completed, 10u);
+}
+
+TEST(ParallelReduce, SumsCorrectly) {
+  TaskRuntime rt(cfg());
+  const std::uint64_t n = 10000;
+  const std::uint64_t total = parallel_reduce<std::uint64_t>(
+      rt, "sum", 0, n, 0, [](std::size_t i) { return std::uint64_t(i); },
+      [](std::uint64_t a, std::uint64_t b) { return a + b; });
+  EXPECT_EQ(total, n * (n - 1) / 2);
+}
+
+TEST(ParallelReduce, NonTrivialCombine) {
+  TaskRuntime rt(cfg());
+  // Max over a permuted sequence.
+  std::vector<std::size_t> values(500);
+  std::iota(values.begin(), values.end(), 0u);
+  values[137] = 99999;
+  const std::size_t best = parallel_reduce<std::size_t>(
+      rt, "max", 0, values.size(), 0,
+      [&](std::size_t i) { return values[i]; },
+      [](std::size_t a, std::size_t b) { return std::max(a, b); });
+  EXPECT_EQ(best, 99999u);
+}
+
+TEST(RuntimeExceptions, TaskExceptionRethrownAtWaitAll) {
+  TaskRuntime rt(cfg());
+  rt.spawn([] { throw std::runtime_error("task boom"); });
+  EXPECT_THROW(rt.wait_all(), std::runtime_error);
+  // The runtime is still usable afterwards.
+  std::atomic<int> ok{0};
+  rt.spawn([&ok] { ok++; });
+  rt.wait_all();
+  EXPECT_EQ(ok.load(), 1);
+}
+
+TEST(RuntimeExceptions, FirstExceptionWins) {
+  TaskRuntime rt(cfg());
+  for (int i = 0; i < 10; ++i) {
+    rt.spawn([] { throw std::logic_error("boom"); });
+  }
+  EXPECT_THROW(rt.wait_all(), std::logic_error);
+  rt.wait_all();  // second wait has nothing pending and nothing to throw
+}
+
+TEST(RuntimeExceptions, ParallelForPropagates) {
+  TaskRuntime rt(cfg());
+  EXPECT_THROW(
+      {
+        parallel_for(rt, "thrower", 0, 100, [](std::size_t i) {
+          if (i == 50) throw std::runtime_error("loop boom");
+        });
+        rt.wait_all();
+      },
+      std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wats::runtime

@@ -1,0 +1,139 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <numeric>
+#include <stdexcept>
+
+#include "runtime/pipeline.hpp"
+
+namespace wats::runtime {
+namespace {
+
+RuntimeConfig cfg() {
+  RuntimeConfig c;
+  c.topology = core::AmcTopology("p", {{2.0, 2}, {1.0, 2}});
+  c.emulate_speeds = false;
+  return c;
+}
+
+TEST(PipelineApi, ItemsPassThroughAllStagesInOrder) {
+  TaskRuntime rt(cfg());
+  std::atomic<int> retired{0};
+  Pipeline<int> pipe(rt, {
+      {"add_ten", [](int x) { return x + 10; }},
+      {"triple", [](int x) { return x * 3; }},
+      {"check", [&retired](int x) {
+         retired += x;
+         return x;
+       }},
+  });
+  for (int i = 0; i < 50; ++i) pipe.push(i);
+  pipe.drain();
+  // sum over i of 3*(i+10) = 3 * (sum(i) + 500) = 3 * (1225 + 500).
+  EXPECT_EQ(retired.load(), 3 * (1225 + 500));
+  EXPECT_EQ(pipe.items_completed(), 50u);
+}
+
+TEST(PipelineApi, WindowBoundsInFlightItems) {
+  TaskRuntime rt(cfg());
+  std::atomic<int> in_stage{0};
+  std::atomic<int> peak{0};
+  Pipeline<int> pipe(rt, {
+      {"slowish", [&](int x) {
+         const int now = ++in_stage;
+         int seen = peak.load();
+         while (now > seen && !peak.compare_exchange_weak(seen, now)) {
+         }
+         volatile int spin = 0;
+         for (int j = 0; j < 20000; ++j) spin = spin + 1;
+         --in_stage;
+         return x;
+       }},
+  });
+  pipe.set_window(3);
+  for (int i = 0; i < 60; ++i) pipe.push(i);
+  pipe.drain();
+  EXPECT_LE(peak.load(), 3);
+  EXPECT_EQ(pipe.items_completed(), 60u);
+}
+
+TEST(PipelineApi, StagesBecomeTaskClasses) {
+  TaskRuntime rt(cfg());
+  {
+    Pipeline<int> pipe(rt, {
+        {"stage_alpha", [](int x) { return x; }},
+        {"stage_beta", [](int x) { return x; }},
+    });
+    for (int i = 0; i < 30; ++i) pipe.push(i);
+    pipe.drain();
+  }
+  // drain() returns when the last item retires, which happens inside the
+  // task body — quiesce the runtime so the completion is also recorded.
+  rt.wait_all();
+  const auto history = rt.class_history();
+  ASSERT_EQ(history.size(), 2u);
+  EXPECT_EQ(history[0].name, "stage_alpha");
+  EXPECT_EQ(history[0].completed, 30u);
+  EXPECT_EQ(history[1].completed, 30u);
+}
+
+TEST(PipelineApi, DestructorDrains) {
+  TaskRuntime rt(cfg());
+  std::atomic<int> done{0};
+  {
+    Pipeline<int> pipe(rt, {{"only", [&done](int x) {
+                               done++;
+                               return x;
+                             }}});
+    for (int i = 0; i < 25; ++i) pipe.push(i);
+    // no explicit drain
+  }
+  EXPECT_EQ(done.load(), 25);
+}
+
+TEST(PipelineApi, MoveOnlyItems) {
+  TaskRuntime rt(cfg());
+  std::atomic<std::size_t> total{0};
+  Pipeline<std::unique_ptr<std::vector<int>>> pipe(
+      rt, {
+              {"fill",
+               [](std::unique_ptr<std::vector<int>> v) {
+                 v->assign(10, 7);
+                 return v;
+               }},
+              {"sum",
+               [&total](std::unique_ptr<std::vector<int>> v) {
+                 total += static_cast<std::size_t>(
+                     std::accumulate(v->begin(), v->end(), 0));
+                 return v;
+               }},
+          });
+  for (int i = 0; i < 20; ++i) {
+    pipe.push(std::make_unique<std::vector<int>>());
+  }
+  pipe.drain();
+  EXPECT_EQ(total.load(), 20u * 70u);
+}
+
+TEST(PipelineApi, ThrowingStageDoesNotHangDrain) {
+  TaskRuntime rt(cfg());
+  std::atomic<int> survived{0};
+  Pipeline<int> pipe(rt, {
+      {"may_throw", [](int x) {
+         if (x == 13) throw std::runtime_error("stage boom");
+         return x;
+       }},
+      {"count", [&survived](int x) {
+         survived++;
+         return x;
+       }},
+  });
+  for (int i = 0; i < 30; ++i) pipe.push(i);
+  pipe.drain();  // must return despite item 13 dying mid-pipeline
+  EXPECT_EQ(pipe.items_completed(), 30u);
+  EXPECT_EQ(survived.load(), 29);
+  EXPECT_THROW(rt.wait_all(), std::runtime_error);
+}
+
+}  // namespace
+}  // namespace wats::runtime

@@ -1,0 +1,69 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+#include "core/preference.hpp"
+
+namespace wats::core {
+namespace {
+
+TEST(PreferenceList, TableOneExactly) {
+  // Table I (translated to 0-based indices): for 3 c-groups,
+  //   C1 core:  {C1, C2, C3}  -> {0, 1, 2}
+  //   C2 cores: {C2, C3, C1}  -> {1, 2, 0}
+  //   C3 core:  {C3, C2, C1}  -> {2, 1, 0}
+  EXPECT_EQ(preference_list(0, 3), (std::vector<GroupIndex>{0, 1, 2}));
+  EXPECT_EQ(preference_list(1, 3), (std::vector<GroupIndex>{1, 2, 0}));
+  EXPECT_EQ(preference_list(2, 3), (std::vector<GroupIndex>{2, 1, 0}));
+}
+
+TEST(PreferenceList, Fig4GeneralForm) {
+  // {Ci, Ci+1, ..., Ck, Ci-1, Ci-2, ..., C1}
+  EXPECT_EQ(preference_list(2, 5), (std::vector<GroupIndex>{2, 3, 4, 1, 0}));
+  EXPECT_EQ(preference_list(0, 5), (std::vector<GroupIndex>{0, 1, 2, 3, 4}));
+  EXPECT_EQ(preference_list(4, 5), (std::vector<GroupIndex>{4, 3, 2, 1, 0}));
+}
+
+TEST(PreferenceList, SingleGroup) {
+  EXPECT_EQ(preference_list(0, 1), (std::vector<GroupIndex>{0}));
+}
+
+class PreferencePropertyTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(PreferencePropertyTest, EveryListIsAPermutationStartingWithOwn) {
+  const std::size_t k = GetParam();
+  const auto lists = all_preference_lists(k);
+  ASSERT_EQ(lists.size(), k);
+  for (GroupIndex own = 0; own < k; ++own) {
+    const auto& list = lists[own];
+    ASSERT_EQ(list.size(), k);
+    EXPECT_EQ(list.front(), own);
+    auto sorted = list;
+    std::sort(sorted.begin(), sorted.end());
+    for (GroupIndex g = 0; g < k; ++g) EXPECT_EQ(sorted[g], g);
+    // Rob-the-weaker: all slower groups appear before any faster group.
+    bool seen_faster = false;
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      if (list[i] < own) {
+        seen_faster = true;
+      } else {
+        EXPECT_FALSE(seen_faster)
+            << "slower cluster after a faster one in list for group " << own;
+      }
+    }
+    // Faster groups appear nearest-first: Ci-1 before Ci-2, etc.
+    GroupIndex prev_faster = own;
+    for (std::size_t i = 1; i < list.size(); ++i) {
+      if (list[i] < own) {
+        EXPECT_EQ(list[i], prev_faster - 1);
+        prev_faster = list[i];
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Ks, PreferencePropertyTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 8, 16));
+
+}  // namespace
+}  // namespace wats::core

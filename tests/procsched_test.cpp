@@ -1,0 +1,86 @@
+#include <gtest/gtest.h>
+
+#include "core/procsched.hpp"
+
+namespace wats::core {
+namespace {
+
+AmcTopology machine() { return AmcTopology("m", {{2.0, 2}, {1.0, 2}}); }
+
+TEST(ProcessScheduler, SingleProcessGoesToAGroup) {
+  ProcessScheduler sched(machine());
+  const ProcessId p = sched.submit(10.0);
+  EXPECT_LT(sched.group_of(p), 2u);
+  EXPECT_EQ(sched.live_processes(), 1u);
+}
+
+TEST(ProcessScheduler, HeavyProcessesLandOnFastGroup) {
+  ProcessScheduler sched(machine());
+  const ProcessId heavy = sched.submit(100.0);
+  const ProcessId light1 = sched.submit(10.0);
+  const ProcessId light2 = sched.submit(10.0);
+  EXPECT_EQ(sched.group_of(heavy), 0u);
+  EXPECT_GT(sched.group_of(light1) + sched.group_of(light2), 0u);
+}
+
+TEST(ProcessScheduler, BalancesLoadAcrossGroups) {
+  ProcessScheduler sched(machine());
+  for (int i = 0; i < 30; ++i) {
+    sched.submit(5.0 + i);
+  }
+  // Capacity ratio is 2:1; finish estimates should be close.
+  const double f0 = sched.group_finish_estimate(0);
+  const double f1 = sched.group_finish_estimate(1);
+  EXPECT_NEAR(f0, f1, std::max(f0, f1) * 0.3);
+  EXPECT_GE(sched.makespan_estimate(), std::max(f0, f1) - 1e-9);
+}
+
+TEST(ProcessScheduler, CompletionRebalances) {
+  ProcessScheduler sched(machine());
+  const ProcessId heavy = sched.submit(100.0);
+  const ProcessId medium = sched.submit(40.0);
+  EXPECT_EQ(sched.group_of(heavy), 0u);
+  sched.complete(heavy);
+  // With the heavy job gone the medium one is now the heaviest and should
+  // hold the fast group.
+  EXPECT_EQ(sched.group_of(medium), 0u);
+  EXPECT_EQ(sched.live_processes(), 1u);
+}
+
+TEST(ProcessScheduler, EstimateUpdateCanMigrate) {
+  ProcessScheduler sched(machine());
+  const ProcessId a = sched.submit(100.0);
+  const ProcessId b = sched.submit(90.0);
+  EXPECT_EQ(sched.group_of(a), 0u);
+  // a is nearly done now; b should take over the fast group.
+  sched.update_estimate(a, 1.0);
+  EXPECT_EQ(sched.group_of(b), 0u);
+}
+
+TEST(ProcessScheduler, UnknownProcessAborts) {
+  ProcessScheduler sched(machine());
+  EXPECT_DEATH(sched.group_of(12345), "unknown");
+  const ProcessId p = sched.submit(1.0);
+  sched.complete(p);
+  EXPECT_DEATH(sched.complete(p), "unknown");
+}
+
+TEST(ProcessScheduler, SnapshotIsOrderedAndComplete) {
+  ProcessScheduler sched(machine());
+  const ProcessId a = sched.submit(3.0);
+  const ProcessId b = sched.submit(7.0);
+  const auto snap = sched.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].id, a);
+  EXPECT_EQ(snap[1].id, b);
+  EXPECT_DOUBLE_EQ(snap[1].remaining_work, 7.0);
+}
+
+TEST(ProcessScheduler, MakespanEstimateTracksTotalWork) {
+  ProcessScheduler sched(machine());
+  sched.submit(60.0);  // capacity total = 6 -> TL = 10
+  EXPECT_GE(sched.makespan_estimate(), 10.0 - 1e-9);
+}
+
+}  // namespace
+}  // namespace wats::core

@@ -1,0 +1,101 @@
+// Randomized property sweep: for random topologies and random workload
+// specs, EVERY scheduler must complete every task, conserve work, respect
+// the lower bound, and stay deterministic. This is the broad net under
+// the targeted tests elsewhere.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "util/rng.hpp"
+
+namespace wats::sim {
+namespace {
+
+core::AmcTopology random_topology(util::Xoshiro256& rng) {
+  const std::size_t groups = 1 + rng.bounded(4);
+  std::vector<core::CGroupSpec> specs;
+  double freq = 2.0 + rng.uniform(0.0, 1.5);
+  for (std::size_t g = 0; g < groups; ++g) {
+    specs.push_back({freq, 1 + static_cast<std::size_t>(rng.bounded(6))});
+    freq *= rng.uniform(0.3, 0.8);  // strictly decreasing frequencies
+  }
+  return core::AmcTopology("random", specs);
+}
+
+workloads::BenchmarkSpec random_spec(util::Xoshiro256& rng) {
+  workloads::BenchmarkSpec spec;
+  spec.name = "prop";
+  if (rng.chance(0.7)) {
+    spec.kind = workloads::BenchKind::kBatch;
+    const std::size_t classes = 1 + rng.bounded(6);
+    for (std::size_t c = 0; c < classes; ++c) {
+      spec.classes.push_back(
+          {"cls" + std::to_string(c), std::exp(rng.uniform(0.0, 5.0)),
+           rng.uniform(0.0, 0.3),
+           1 + static_cast<std::size_t>(rng.bounded(20)), 1.0});
+    }
+    spec.batches = 1 + rng.bounded(4);
+  } else {
+    spec.kind = workloads::BenchKind::kPipeline;
+    const std::size_t stages = 1 + rng.bounded(4);
+    for (std::size_t c = 0; c < stages; ++c) {
+      spec.classes.push_back({"stage" + std::to_string(c),
+                              std::exp(rng.uniform(0.0, 4.0)),
+                              rng.uniform(0.0, 0.2), 0, 1.0});
+    }
+    spec.pipeline_items = 10 + rng.bounded(60);
+    spec.pipeline_window = 1 + rng.bounded(16);
+  }
+  return spec;
+}
+
+class PropertySweepTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(PropertySweepTest, EverySchedulerSatisfiesInvariants) {
+  util::Xoshiro256 rng(GetParam());
+  const auto topo = random_topology(rng);
+  const auto spec = random_spec(rng);
+
+  for (auto kind :
+       {SchedulerKind::kCilk, SchedulerKind::kPft, SchedulerKind::kRts,
+        SchedulerKind::kWats, SchedulerKind::kWatsNp, SchedulerKind::kWatsTs,
+        SchedulerKind::kWatsM, SchedulerKind::kLptOracle}) {
+    ExperimentConfig cfg;
+    cfg.repeats = 1;
+    cfg.base_seed = GetParam() * 31 + 7;
+    const auto r = run_experiment(spec, topo, kind, cfg);
+    const auto& run = r.runs[0];
+
+    // 1. Completeness.
+    ASSERT_EQ(run.tasks_completed, spec.total_tasks())
+        << to_string(kind) << " on " << topo.describe();
+    // 2. Lower bound (total work over capacity; CPU-bound tasks).
+    EXPECT_GE(run.makespan * topo.total_capacity(),
+              run.total_work * (1.0 - 1e-9))
+        << to_string(kind);
+    // 3. Work conservation (snatchers may redo work; others exact).
+    double executed = 0.0;
+    for (core::CoreIndex c = 0; c < run.busy_time.size(); ++c) {
+      executed +=
+          run.busy_time[c] * topo.group(topo.group_of_core(c)).frequency_ghz;
+    }
+    EXPECT_GE(executed, run.total_work * (1.0 - 1e-9)) << to_string(kind);
+    if (kind != SchedulerKind::kRts && kind != SchedulerKind::kWatsTs) {
+      EXPECT_NEAR(executed, run.total_work,
+                  run.total_work * 1e-9 + 1e-9)
+          << to_string(kind);
+    }
+    // 4. Determinism.
+    const auto again = run_experiment(spec, topo, kind, cfg);
+    EXPECT_DOUBLE_EQ(again.mean_makespan, r.mean_makespan)
+        << to_string(kind);
+    // 5. Wait-time sanity.
+    EXPECT_EQ(run.wait_time.count(), run.tasks_completed);
+    EXPECT_LE(run.wait_time.max(), run.makespan + 1e-9);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, PropertySweepTest,
+                         ::testing::Range<std::uint64_t>(1, 13));
+
+}  // namespace
+}  // namespace wats::sim

@@ -1,0 +1,206 @@
+// The reproduction's claims as CI: every qualitative statement the paper
+// makes about its figures, asserted against the simulator (reduced repeat
+// counts keep the whole file under a few seconds). If a refactor breaks a
+// paper shape, this file is what fails.
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+
+namespace wats::sim {
+namespace {
+
+ExperimentConfig quick(std::size_t repeats = 5) {
+  ExperimentConfig cfg;
+  cfg.repeats = repeats;
+  return cfg;
+}
+
+double makespan(const std::string& bench, const std::string& machine,
+                SchedulerKind kind, std::size_t repeats = 5) {
+  return run_experiment(workloads::benchmark_by_name(bench),
+                        core::amc_by_name(machine), kind, quick(repeats))
+      .mean_makespan;
+}
+
+// ---- Fig. 6: "WATS can significantly improve the performance of the
+// CPU-bound applications" on AMC1/AMC2/AMC5.
+
+struct Fig6Case {
+  const char* bench;
+  const char* machine;
+};
+
+class Fig6ShapeTest : public ::testing::TestWithParam<Fig6Case> {};
+
+TEST_P(Fig6ShapeTest, WatsBeatsCilkAndPftOnCpuBoundBenchmarks) {
+  const auto [bench, machine] = GetParam();
+  const double cilk = makespan(bench, machine, SchedulerKind::kCilk);
+  const double pft = makespan(bench, machine, SchedulerKind::kPft);
+  const double wats = makespan(bench, machine, SchedulerKind::kWats);
+  EXPECT_LT(wats, cilk * 0.95) << bench << "/" << machine;
+  EXPECT_LT(wats, pft * 0.95) << bench << "/" << machine;
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    CpuBound, Fig6ShapeTest,
+    ::testing::Values(Fig6Case{"BWT", "AMC1"}, Fig6Case{"BWT", "AMC5"},
+                      Fig6Case{"Bzip-2", "AMC2"}, Fig6Case{"DMC", "AMC1"},
+                      Fig6Case{"GA", "AMC2"}, Fig6Case{"LZW", "AMC5"},
+                      Fig6Case{"MD5", "AMC1"}, Fig6Case{"MD5", "AMC5"},
+                      Fig6Case{"SHA-1", "AMC1"}, Fig6Case{"SHA-1", "AMC2"},
+                      Fig6Case{"SHA-1", "AMC5"}));
+
+TEST(Fig6Shape, WatsBeatsRtsEverywhereTested) {
+  // "WATS ... with performance gains ranging from 14.3% to 60.9% compared
+  // with RTS" — we assert the direction with slack for noise.
+  for (const char* machine : {"AMC1", "AMC2", "AMC5"}) {
+    for (const char* bench : {"GA", "MD5", "SHA-1"}) {
+      const double rts = makespan(bench, machine, SchedulerKind::kRts);
+      const double wats = makespan(bench, machine, SchedulerKind::kWats);
+      EXPECT_LT(wats, rts * 1.02) << bench << "/" << machine;
+    }
+  }
+}
+
+TEST(Fig6Shape, Sha1IsTheLargestGain) {
+  // "for SHA-1 ... WATS reduces the execution time up to 82.7%" — SHA-1
+  // must be the benchmark with the biggest relative win on AMC5.
+  double sha1_ratio = 1.0;
+  double best_other = 1.0;
+  for (const auto& spec : workloads::paper_benchmarks()) {
+    const double cilk =
+        run_experiment(spec, core::amc_by_name("AMC5"), SchedulerKind::kCilk,
+                       quick())
+            .mean_makespan;
+    const double wats =
+        run_experiment(spec, core::amc_by_name("AMC5"), SchedulerKind::kWats,
+                       quick())
+            .mean_makespan;
+    const double ratio = wats / cilk;
+    if (spec.name == "SHA-1") {
+      sha1_ratio = ratio;
+    } else {
+      best_other = std::min(best_other, ratio);
+    }
+  }
+  EXPECT_LT(sha1_ratio, best_other + 0.05);
+}
+
+TEST(Fig6Shape, FerretIsNeutral) {
+  // "the parallel tasks in Ferret have similar workloads and thus it is
+  // neutral to the history-based task allocation" — and the overhead is
+  // small ("only degraded by 4.7%" worst case).
+  for (const char* machine : {"AMC1", "AMC2", "AMC5"}) {
+    const double cilk = makespan("Ferret", machine, SchedulerKind::kCilk);
+    const double wats = makespan("Ferret", machine, SchedulerKind::kWats);
+    EXPECT_NEAR(wats / cilk, 1.0, 0.05) << machine;
+  }
+}
+
+// ---- Fig. 7 claims.
+
+TEST(Fig7Shape, WatsEqualsPftOnSymmetricMachine) {
+  const double pft = makespan("GA", "AMC7", SchedulerKind::kPft);
+  const double wats = makespan("GA", "AMC7", SchedulerKind::kWats);
+  EXPECT_NEAR(wats, pft, pft * 0.01);
+}
+
+TEST(Fig7Shape, WatsOverheadNegligibleOnSymmetricMachine) {
+  // "the overhead in WATS is negligible compared with traditional
+  // task-stealing in symmetric architecture."
+  const double cilk = makespan("GA", "AMC7", SchedulerKind::kCilk);
+  const double wats = makespan("GA", "AMC7", SchedulerKind::kWats);
+  EXPECT_LT(wats / cilk, 1.03);
+}
+
+TEST(Fig7Shape, WatsImprovesOnEveryAsymmetricMachine) {
+  for (const char* machine :
+       {"AMC1", "AMC2", "AMC3", "AMC4", "AMC5", "AMC6"}) {
+    const double cilk = makespan("GA", machine, SchedulerKind::kCilk);
+    const double wats = makespan("GA", machine, SchedulerKind::kWats);
+    EXPECT_LT(wats, cilk * 0.95) << machine;
+  }
+}
+
+// ---- Fig. 8 claims.
+
+TEST(Fig8Shape, GainShrinksAsHeavyTasksDominate) {
+  // "When alpha is small and the workloads are mostly light, WATS reduces
+  // the GA execution time by 88.6% ... when mostly heavy, 10.2%."
+  const auto topo = core::amc_by_name("AMC5");
+  auto gain = [&](std::size_t alpha) {
+    const auto spec = workloads::ga_mix(alpha);
+    const double cilk =
+        run_experiment(spec, topo, SchedulerKind::kCilk, quick()).mean_makespan;
+    const double wats =
+        run_experiment(spec, topo, SchedulerKind::kWats, quick()).mean_makespan;
+    return 1.0 - wats / cilk;
+  };
+  const double small_alpha = gain(4);
+  const double large_alpha = gain(40);
+  EXPECT_GT(small_alpha, large_alpha);
+  EXPECT_GT(small_alpha, 0.2);
+  EXPECT_GT(large_alpha, 0.05);
+}
+
+TEST(Fig8Shape, RtsOverheadVisibleWhenNothingToFix) {
+  // alpha = 0: uniform light workloads; snatching is pure overhead.
+  const auto topo = core::amc_by_name("AMC5");
+  const auto spec = workloads::ga_mix(0);
+  const double cilk =
+      run_experiment(spec, topo, SchedulerKind::kCilk, quick()).mean_makespan;
+  const double rts =
+      run_experiment(spec, topo, SchedulerKind::kRts, quick()).mean_makespan;
+  EXPECT_GE(rts, cilk * 0.995);
+}
+
+// ---- Fig. 9 claims.
+
+TEST(Fig9Shape, AllocationAloneBeatsRandomStealing) {
+  // "WATS-NP performs better than Cilk and PFT, which means the
+  // allocation algorithm is more effective than random task stealing."
+  for (const char* machine : {"AMC2", "AMC4", "AMC5", "AMC6"}) {
+    const double pft = makespan("GA", machine, SchedulerKind::kPft);
+    const double np = makespan("GA", machine, SchedulerKind::kWatsNp);
+    EXPECT_LT(np, pft) << machine;
+  }
+}
+
+TEST(Fig9Shape, PreferenceStealingNeverHurts) {
+  // "the performance of WATS is always better than WATS-NP."
+  for (const char* machine : {"AMC1", "AMC2", "AMC3", "AMC5", "AMC7"}) {
+    const double np = makespan("GA", machine, SchedulerKind::kWatsNp);
+    const double wats = makespan("GA", machine, SchedulerKind::kWats);
+    EXPECT_LE(wats, np * 1.02) << machine;
+  }
+}
+
+// ---- Fig. 10 claims.
+
+TEST(Fig10Shape, SnatchingDoesNotHelpWats) {
+  // "the performance of WATS-TS is slightly worse than WATS" — allow a
+  // small tolerance each way but require no meaningful improvement.
+  for (const char* bench : {"GA", "LZW", "Bzip-2"}) {
+    const double wats = makespan(bench, "AMC2", SchedulerKind::kWats);
+    const double ts = makespan(bench, "AMC2", SchedulerKind::kWatsTs);
+    EXPECT_GT(ts, wats * 0.97) << bench;
+  }
+}
+
+// ---- Oracle headroom (not a paper claim; a reproduction sanity bound).
+
+TEST(Oracle, LptBoundsWatsFromBelow) {
+  for (const char* bench : {"GA", "SHA-1"}) {
+    const double oracle =
+        makespan(bench, "AMC5", SchedulerKind::kLptOracle, 3);
+    const double wats = makespan(bench, "AMC5", SchedulerKind::kWats, 3);
+    const double cilk = makespan(bench, "AMC5", SchedulerKind::kCilk, 3);
+    EXPECT_LE(oracle, wats * 1.005) << bench;  // oracle at least as good
+    EXPECT_LT(oracle, cilk) << bench;
+    // WATS approaches the oracle within 2x (usually far closer).
+    EXPECT_LT(wats, oracle * 2.0) << bench;
+  }
+}
+
+}  // namespace
+}  // namespace wats::sim

@@ -1,0 +1,91 @@
+// Tests for the runtime's speed-swap RTS emulation (Policy::kRtsSwap):
+// an idle fast worker exchanges its emulated DVFS slot with a busy slower
+// worker — the paper's snatch-as-thread-swap.
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "runtime/runtime.hpp"
+
+namespace wats::runtime {
+namespace {
+
+RuntimeConfig swap_config() {
+  RuntimeConfig cfg;
+  cfg.topology = core::AmcTopology("s", {{2.5, 1}, {0.5, 3}});
+  cfg.policy = Policy::kRtsSwap;
+  cfg.emulate_speeds = true;
+  return cfg;
+}
+
+TEST(RtsSwap, RunsEveryTask) {
+  TaskRuntime rt(swap_config());
+  std::atomic<int> count{0};
+  const auto cls = rt.register_class("x");
+  for (int i = 0; i < 200; ++i) {
+    rt.spawn(cls, [&count] {
+      volatile int x = 0;
+      for (int j = 0; j < 5000; ++j) x = x + 1;
+      count++;
+    });
+  }
+  rt.wait_all();
+  EXPECT_EQ(count.load(), 200);
+}
+
+TEST(RtsSwap, SwapsHappenUnderImbalance) {
+  TaskRuntime rt(swap_config());
+  const auto cls = rt.register_class("lumpy");
+  // A few long tasks and many short ones: fast workers drain the short
+  // tasks and then swap with slow workers stuck on long ones.
+  std::atomic<int> done{0};
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      rt.spawn(cls, [&done] {
+        volatile double x = 1;
+        for (int j = 0; j < 400000; ++j) x = x * 1.0000001 + 0.1;
+        done++;
+      });
+    }
+    for (int i = 0; i < 12; ++i) {
+      rt.spawn(cls, [&done] {
+        volatile int x = 0;
+        for (int j = 0; j < 500; ++j) x = x + 1;
+        done++;
+      });
+    }
+    rt.wait_all();
+  }
+  EXPECT_EQ(done.load(), 6 * 16);
+  EXPECT_GT(rt.stats().speed_swaps, 0u);
+}
+
+TEST(RtsSwap, OtherPoliciesNeverSwap) {
+  auto cfg = swap_config();
+  cfg.policy = Policy::kWats;
+  TaskRuntime rt(cfg);
+  const auto cls = rt.register_class("x");
+  std::atomic<int> n{0};
+  for (int i = 0; i < 100; ++i) {
+    rt.spawn(cls, [&n] { n++; });
+  }
+  rt.wait_all();
+  EXPECT_EQ(rt.stats().speed_swaps, 0u);
+}
+
+TEST(RtsSwap, NoSwapWithoutEmulation) {
+  auto cfg = swap_config();
+  cfg.emulate_speeds = false;  // real silicon cannot swap frequencies here
+  TaskRuntime rt(cfg);
+  const auto cls = rt.register_class("x");
+  std::atomic<int> n{0};
+  for (int i = 0; i < 100; ++i) {
+    rt.spawn(cls, [&n] { n++; });
+  }
+  rt.wait_all();
+  EXPECT_EQ(rt.stats().speed_swaps, 0u);
+  EXPECT_EQ(n.load(), 100);
+}
+
+}  // namespace
+}  // namespace wats::runtime

@@ -1,0 +1,144 @@
+// Concurrency-heavy runtime tests: multi-threaded external producers,
+// wide worker pools, and repeated run/quiesce cycles.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+
+#include "runtime/runtime.hpp"
+
+namespace wats::runtime {
+namespace {
+
+TEST(RuntimeConcurrency, MultipleExternalProducers) {
+  RuntimeConfig cfg;
+  cfg.topology = core::AmcTopology("t", {{2.0, 2}, {1.0, 2}});
+  cfg.emulate_speeds = false;
+  TaskRuntime rt(cfg);
+  const auto cls = rt.register_class("produced");
+
+  std::atomic<int> executed{0};
+  constexpr int kProducers = 4;
+  constexpr int kPerProducer = 500;
+  std::vector<std::thread> producers;
+  for (int p = 0; p < kProducers; ++p) {
+    producers.emplace_back([&rt, &executed, cls] {
+      for (int i = 0; i < kPerProducer; ++i) {
+        rt.spawn(cls, [&executed] { executed++; });
+      }
+    });
+  }
+  for (auto& t : producers) t.join();
+  rt.wait_all();
+  EXPECT_EQ(executed.load(), kProducers * kPerProducer);
+}
+
+TEST(RuntimeConcurrency, SixteenWorkerMachine) {
+  RuntimeConfig cfg;
+  cfg.topology = core::amc_by_name("AMC1");  // 16 workers, 4 groups
+  cfg.emulate_speeds = false;
+  TaskRuntime rt(cfg);
+  std::atomic<int> count{0};
+  const auto a = rt.register_class("a");
+  const auto b = rt.register_class("b");
+  for (int i = 0; i < 2000; ++i) {
+    rt.spawn(i % 3 ? a : b, [&count] { count++; });
+  }
+  rt.wait_all();
+  EXPECT_EQ(count.load(), 2000);
+  EXPECT_EQ(rt.stats().per_worker_tasks.size(), 16u);
+}
+
+TEST(RuntimeConcurrency, RepeatedQuiesceCycles) {
+  RuntimeConfig cfg;
+  cfg.topology = core::AmcTopology("t", {{2.0, 1}, {1.0, 3}});
+  cfg.emulate_speeds = false;
+  TaskRuntime rt(cfg);
+  const auto cls = rt.register_class("cyclic");
+  std::atomic<int> total{0};
+  for (int cycle = 0; cycle < 50; ++cycle) {
+    for (int i = 0; i < 20; ++i) {
+      rt.spawn(cls, [&total] { total++; });
+    }
+    rt.wait_all();
+    ASSERT_EQ(total.load(), (cycle + 1) * 20);
+  }
+}
+
+TEST(RuntimeConcurrency, ProducersRacingWithWaitAll) {
+  // wait_all from the main thread while another external thread keeps
+  // spawning: every spawned task must still run exactly once overall.
+  RuntimeConfig cfg;
+  cfg.topology = core::AmcTopology("t", {{2.0, 2}});
+  cfg.emulate_speeds = false;
+  TaskRuntime rt(cfg);
+  const auto cls = rt.register_class("raced");
+  std::atomic<int> executed{0};
+  std::atomic<int> spawned{0};
+
+  std::thread producer([&] {
+    for (int i = 0; i < 300; ++i) {
+      rt.spawn(cls, [&executed] { executed++; });
+      spawned++;
+      if (i % 37 == 0) std::this_thread::yield();
+    }
+  });
+  for (int i = 0; i < 10; ++i) {
+    rt.wait_all();  // may return while the producer still spawns — fine
+  }
+  producer.join();
+  rt.wait_all();  // final quiesce after the producer stopped
+  EXPECT_EQ(executed.load(), spawned.load());
+  EXPECT_EQ(executed.load(), 300);
+}
+
+TEST(RuntimeConcurrency, DeepNestedSpawnChains) {
+  RuntimeConfig cfg;
+  cfg.topology = core::AmcTopology("t", {{2.0, 1}, {1.0, 1}});
+  cfg.emulate_speeds = false;
+  TaskRuntime rt(cfg);
+  const auto cls = rt.register_class("chain");
+  std::atomic<int> depth_reached{0};
+  std::function<void(int)> chain = [&](int depth) {
+    if (depth == 0) {
+      depth_reached++;
+      return;
+    }
+    rt.spawn(cls, [&chain, depth] { chain(depth - 1); });
+  };
+  for (int i = 0; i < 8; ++i) {
+    rt.spawn(cls, [&chain] { chain(100); });
+  }
+  rt.wait_all();
+  EXPECT_EQ(depth_reached.load(), 8);
+}
+
+TEST(RuntimeConcurrency, PinnedThreadsStillCorrect) {
+  // Pinning is best-effort; on any host (even 1 CPU) the runtime must
+  // behave identically apart from affinity.
+  RuntimeConfig cfg;
+  cfg.topology = core::AmcTopology("t", {{2.0, 2}, {1.0, 2}});
+  cfg.emulate_speeds = false;
+  cfg.pin_threads = true;
+  TaskRuntime rt(cfg);
+  std::atomic<int> count{0};
+  const auto cls = rt.register_class("pinned");
+  for (int i = 0; i < 400; ++i) {
+    rt.spawn(cls, [&count] { count++; });
+  }
+  rt.wait_all();
+  EXPECT_EQ(count.load(), 400);
+}
+
+TEST(RuntimeConcurrency, FailedAcquireRoundsAccumulateWhenIdle) {
+  RuntimeConfig cfg;
+  cfg.topology = core::AmcTopology("t", {{2.0, 1}, {1.0, 1}});
+  cfg.emulate_speeds = false;
+  TaskRuntime rt(cfg);
+  // Let workers idle briefly; their polling loops count failed rounds.
+  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  EXPECT_GT(rt.stats().failed_acquire_rounds, 0u);
+}
+
+}  // namespace
+}  // namespace wats::runtime

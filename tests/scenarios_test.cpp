@@ -1,0 +1,73 @@
+#include <gtest/gtest.h>
+
+#include "sim/experiment.hpp"
+#include "workloads/scenarios.hpp"
+
+namespace wats::workloads {
+namespace {
+
+TEST(Scenarios, CatalogIsValid) {
+  const auto& catalog = scenario_catalog();
+  ASSERT_EQ(catalog.size(), 4u);
+  for (const auto& s : catalog) {
+    EXPECT_FALSE(s.classes.empty()) << s.name;
+    for (const auto& c : s.classes) {
+      EXPECT_GT(c.mean_work, 0.0) << s.name << "/" << c.name;
+      EXPECT_GE(c.scalable, 0.0);
+      EXPECT_LE(c.scalable, 1.0);
+    }
+    if (s.kind == BenchKind::kBatch) {
+      EXPECT_GT(s.tasks_per_batch(), 0u) << s.name;
+    } else {
+      EXPECT_GT(s.pipeline_items, 0u) << s.name;
+    }
+  }
+}
+
+TEST(Scenarios, SpecByNameCoversBothCatalogs) {
+  EXPECT_EQ(spec_by_name("GA").name, "GA");
+  EXPECT_EQ(spec_by_name("BurstyServer").name, "BurstyServer");
+  EXPECT_DEATH(spec_by_name("nope"), "unknown");
+}
+
+TEST(Scenarios, AllRunUnderWats) {
+  const auto topo = core::amc_by_name("AMC5");
+  for (const auto& spec : scenario_catalog()) {
+    sim::ExperimentConfig cfg;
+    cfg.repeats = 1;
+    const auto r =
+        sim::run_experiment(spec, topo, sim::SchedulerKind::kWats, cfg);
+    EXPECT_EQ(r.runs[0].tasks_completed, spec.total_tasks()) << spec.name;
+  }
+}
+
+TEST(Scenarios, BurstyServerRewardsWats) {
+  // Heavy-tailed service mixes are exactly WATS's sweet spot.
+  const auto topo = core::amc_by_name("AMC5");
+  sim::ExperimentConfig cfg;
+  cfg.repeats = 5;
+  const auto spec = bursty_server();
+  const auto cilk =
+      sim::run_experiment(spec, topo, sim::SchedulerKind::kCilk, cfg);
+  const auto wats =
+      sim::run_experiment(spec, topo, sim::SchedulerKind::kWats, cfg);
+  EXPECT_LT(wats.mean_makespan, cilk.mean_makespan * 0.9);
+}
+
+TEST(Scenarios, DiurnalPhaseShiftIsReal) {
+  // The shifted run must be substantially longer than an unshifted copy.
+  auto shifted = diurnal_phases();
+  auto flat = shifted;
+  flat.phase_shift_batch = 0;
+  const auto topo = core::amc_by_name("AMC2");
+  sim::ExperimentConfig cfg;
+  cfg.repeats = 2;
+  const auto a =
+      sim::run_experiment(shifted, topo, sim::SchedulerKind::kWats, cfg);
+  const auto b =
+      sim::run_experiment(flat, topo, sim::SchedulerKind::kWats, cfg);
+  EXPECT_GT(a.mean_makespan, b.mean_makespan * 1.5);
+}
+
+}  // namespace
+}  // namespace wats::workloads

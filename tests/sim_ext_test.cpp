@@ -1,0 +1,216 @@
+// Tests for the simulator extensions: trace recording, frequency-scalable
+// (memory-bound) tasks + WATS-M, phase-shifting workloads, and the EWMA
+// history estimator.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/experiment.hpp"
+#include "sim/trace.hpp"
+#include "sim/workload_adapter.hpp"
+
+namespace wats::sim {
+namespace {
+
+workloads::BenchmarkSpec tiny_batch(std::size_t batches = 4) {
+  workloads::BenchmarkSpec spec;
+  spec.name = "tiny";
+  spec.kind = workloads::BenchKind::kBatch;
+  spec.classes = {
+      {"heavy", 16.0, 0.0, 2, 1.0},
+      {"light", 4.0, 0.0, 6, 1.0},
+  };
+  spec.batches = batches;
+  return spec;
+}
+
+// ---- Effective speed / memory-bound tasks.
+
+TEST(EffectiveSpeed, PureComputeMatchesCoreSpeed) {
+  const core::AmcTopology topo("2g", {{2.5, 1}, {0.8, 1}});
+  core::TaskClassRegistry reg;
+  auto sched = make_scheduler(SchedulerKind::kPft, reg);
+  auto spec = tiny_batch(1);
+  auto wl = make_workload(spec, reg, 1);
+  Engine engine(topo, SimConfig{}, *sched, *wl);
+  SimTask cpu;
+  cpu.scalable = 1.0;
+  EXPECT_DOUBLE_EQ(engine.effective_speed(cpu, 0), 2.5);
+  EXPECT_DOUBLE_EQ(engine.effective_speed(cpu, 1), 0.8);
+}
+
+TEST(EffectiveSpeed, PureMemoryIsFrequencyInvariant) {
+  const core::AmcTopology topo("2g", {{2.5, 1}, {0.8, 1}});
+  core::TaskClassRegistry reg;
+  auto sched = make_scheduler(SchedulerKind::kPft, reg);
+  auto spec = tiny_batch(1);
+  auto wl = make_workload(spec, reg, 1);
+  Engine engine(topo, SimConfig{}, *sched, *wl);
+  SimTask mem;
+  mem.scalable = 0.0;
+  // Fully stall-bound: runs at F1-equivalent speed everywhere.
+  EXPECT_DOUBLE_EQ(engine.effective_speed(mem, 0), 2.5);
+  EXPECT_DOUBLE_EQ(engine.effective_speed(mem, 1), 2.5);
+}
+
+TEST(EffectiveSpeed, PartialScalingInBetween) {
+  const core::AmcTopology topo("2g", {{2.0, 1}, {1.0, 1}});
+  core::TaskClassRegistry reg;
+  auto sched = make_scheduler(SchedulerKind::kPft, reg);
+  auto spec = tiny_batch(1);
+  auto wl = make_workload(spec, reg, 1);
+  Engine engine(topo, SimConfig{}, *sched, *wl);
+  SimTask half;
+  half.scalable = 0.5;
+  // time = 0.5/1 + 0.5/2 = 0.75 per work unit -> eff = 4/3.
+  EXPECT_NEAR(engine.effective_speed(half, 1), 4.0 / 3.0, 1e-12);
+}
+
+TEST(WatsM, MemoryBoundLoadsDoNotSufferOnSlowCores) {
+  // A mostly-memory-bound application finishes in about the same time no
+  // matter which cores run it; WATS-M must not be worse than WATS.
+  const auto spec = workloads::membound_mix();
+  const auto topo = core::amc_by_name("AMC5");
+  ExperimentConfig cfg;
+  cfg.repeats = 5;
+  const auto wats = run_experiment(spec, topo, SchedulerKind::kWats, cfg);
+  const auto watsm = run_experiment(spec, topo, SchedulerKind::kWatsM, cfg);
+  EXPECT_LT(watsm.mean_makespan, wats.mean_makespan * 1.10);
+}
+
+TEST(WatsM, RunsEveryTask) {
+  const auto spec = workloads::membound_mix();
+  const auto topo = core::amc_by_name("AMC2");
+  ExperimentConfig cfg;
+  cfg.repeats = 1;
+  const auto r = run_experiment(spec, topo, SchedulerKind::kWatsM, cfg);
+  EXPECT_EQ(r.runs[0].tasks_completed, spec.total_tasks());
+}
+
+TEST(Energy, MoreBusyTimeMoreEnergy) {
+  const auto topo = core::amc_by_name("AMC5");
+  core::EnergyModel model;
+  RunStats a;
+  a.makespan = 100.0;
+  a.busy_time.assign(16, 50.0);
+  RunStats b = a;
+  b.busy_time.assign(16, 80.0);
+  EXPECT_LT(a.energy(topo, model), b.energy(topo, model));
+}
+
+// ---- Trace recorder.
+
+TEST(Trace, SegmentsCoverBusyTimeAndNeverOverlap) {
+  const auto topo = core::amc_by_name("AMC2");
+  core::TaskClassRegistry reg;
+  auto sched = make_scheduler(SchedulerKind::kWats, reg);
+  auto spec = tiny_batch();
+  auto wl = make_workload(spec, reg, 3);
+  Engine engine(topo, SimConfig{}, *sched, *wl);
+  TraceRecorder trace;
+  engine.set_trace(&trace);
+  sched->bind(engine);
+  const RunStats stats = engine.run();
+
+  EXPECT_TRUE(trace.no_overlaps());
+  EXPECT_EQ(trace.segments().size(), stats.tasks_completed);
+  const auto busy = trace.busy_time(topo.total_cores());
+  for (core::CoreIndex c = 0; c < topo.total_cores(); ++c) {
+    EXPECT_NEAR(busy[c], stats.busy_time[c], 1e-9) << c;
+  }
+}
+
+TEST(Trace, PreemptedSegmentsMarkedUnderSnatching) {
+  const auto topo = core::amc_by_name("AMC3");
+  core::TaskClassRegistry reg;
+  auto sched = make_scheduler(SchedulerKind::kRts, reg);
+  auto spec = tiny_batch(8);
+  auto wl = make_workload(spec, reg, 3);
+  Engine engine(topo, SimConfig{}, *sched, *wl);
+  TraceRecorder trace;
+  engine.set_trace(&trace);
+  sched->bind(engine);
+  const RunStats stats = engine.run();
+  ASSERT_GT(stats.snatches, 0u);
+  std::size_t preempted = 0;
+  for (const auto& s : trace.segments()) preempted += s.preempted;
+  EXPECT_GT(preempted, 0u);
+  EXPECT_TRUE(trace.no_overlaps());
+}
+
+TEST(Trace, GanttRendersOneRowPerCore) {
+  const auto topo = core::amc_by_name("AMC2");
+  TraceRecorder trace;
+  trace.record({0.0, 5.0, 0, 1, 0, false});
+  trace.record({5.0, 10.0, 3, 2, 0, false});
+  const std::string gantt = trace.render_gantt(topo, 10.0, 40);
+  std::size_t rows = 0;
+  for (char c : gantt) rows += c == '\n';
+  EXPECT_EQ(rows, topo.total_cores());
+  EXPECT_NE(gantt.find('#'), std::string::npos);
+}
+
+// ---- Phase shifts and the EWMA estimator.
+
+workloads::BenchmarkSpec phase_spec() {
+  auto spec = tiny_batch(24);
+  spec.phase_shift_batch = 8;
+  spec.phase_scale = 6.0;  // workloads jump 6x at batch 8
+  return spec;
+}
+
+TEST(PhaseShift, WorkloadActuallyChanges) {
+  const auto spec = phase_spec();
+  const auto topo = core::amc_by_name("AMC5");
+  ExperimentConfig cfg;
+  cfg.repeats = 2;
+  const auto shifted = run_experiment(spec, topo, SchedulerKind::kPft, cfg);
+  const auto flat = run_experiment(tiny_batch(24), topo,
+                                   SchedulerKind::kPft, cfg);
+  EXPECT_GT(shifted.mean_makespan, flat.mean_makespan * 2.0);
+}
+
+TEST(Ewma, AdaptsFasterThanRunningMeanAfterPhaseChange) {
+  core::TaskClassRegistry mean_reg;
+  core::TaskClassRegistry ewma_reg(core::WorkloadEstimator::kEwma, 0.3);
+  const auto a = mean_reg.intern("f");
+  const auto b = ewma_reg.intern("f");
+  // Long phase at workload 10, then a jump to 100.
+  for (int i = 0; i < 100; ++i) {
+    mean_reg.record_completion(a, 10.0);
+    ewma_reg.record_completion(b, 10.0);
+  }
+  for (int i = 0; i < 10; ++i) {
+    mean_reg.record_completion(a, 100.0);
+    ewma_reg.record_completion(b, 100.0);
+  }
+  // EWMA is near the new level, the running mean barely moved.
+  EXPECT_GT(ewma_reg.info(b).mean_workload, 85.0);
+  EXPECT_LT(mean_reg.info(a).mean_workload, 25.0);
+}
+
+TEST(Ewma, MatchesRunningMeanOnStationaryInput) {
+  core::TaskClassRegistry ewma_reg(core::WorkloadEstimator::kEwma, 0.2);
+  const auto id = ewma_reg.intern("f");
+  for (int i = 0; i < 500; ++i) ewma_reg.record_completion(id, 42.0);
+  EXPECT_NEAR(ewma_reg.info(id).mean_workload, 42.0, 1e-9);
+}
+
+TEST(Ewma, SchedulesPhaseShiftedWorkloadsAtLeastAsWell) {
+  const auto spec = phase_spec();
+  const auto topo = core::amc_by_name("AMC5");
+  ExperimentConfig mean_cfg;
+  mean_cfg.repeats = 5;
+  ExperimentConfig ewma_cfg = mean_cfg;
+  ewma_cfg.estimator = core::WorkloadEstimator::kEwma;
+  ewma_cfg.ewma_alpha = 0.3;
+  const auto mean_r =
+      run_experiment(spec, topo, SchedulerKind::kWats, mean_cfg);
+  const auto ewma_r =
+      run_experiment(spec, topo, SchedulerKind::kWats, ewma_cfg);
+  // EWMA should track the 6x phase jump at least as well (small slack for
+  // sampling noise).
+  EXPECT_LT(ewma_r.mean_makespan, mean_r.mean_makespan * 1.05);
+}
+
+}  // namespace
+}  // namespace wats::sim

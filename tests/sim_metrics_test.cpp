@@ -1,0 +1,116 @@
+// Tests for the simulator's secondary metrics: wait times, periodic
+// recluster ticks, spawn accounting and energy consistency.
+#include <gtest/gtest.h>
+
+#include "sim/engine.hpp"
+#include "sim/experiment.hpp"
+#include "sim/workload_adapter.hpp"
+
+namespace wats::sim {
+namespace {
+
+workloads::BenchmarkSpec two_class_batch() {
+  workloads::BenchmarkSpec spec;
+  spec.name = "m";
+  spec.kind = workloads::BenchKind::kBatch;
+  spec.classes = {
+      {"big", 20.0, 0.0, 4, 1.0},
+      {"small", 5.0, 0.0, 12, 1.0},
+  };
+  spec.batches = 4;
+  return spec;
+}
+
+TEST(WaitTime, PopulatedAndPlausible) {
+  const auto topo = core::amc_by_name("AMC2");
+  ExperimentConfig cfg;
+  cfg.repeats = 1;
+  const auto r =
+      run_experiment(two_class_batch(), topo, SchedulerKind::kWats, cfg);
+  const auto& wait = r.runs[0].wait_time;
+  EXPECT_EQ(wait.count(), r.runs[0].tasks_completed);
+  EXPECT_GE(wait.min(), 0.0);
+  // Waits cannot exceed the makespan.
+  EXPECT_LE(wait.max(), r.runs[0].makespan);
+  EXPECT_GT(wait.mean(), 0.0);  // 16 tasks on 16 cores still queue a bit
+}
+
+TEST(WaitTime, SingleCoreSerializesWaits) {
+  // One core, one batch of equal tasks: task i waits about i * duration.
+  workloads::BenchmarkSpec spec;
+  spec.name = "serial";
+  spec.kind = workloads::BenchKind::kBatch;
+  spec.classes = {{"c", 10.0, 0.0, 4, 1.0}};
+  spec.batches = 1;
+  const core::AmcTopology topo("1", {{1.0, 1}});
+
+  core::TaskClassRegistry reg;
+  auto sched = make_scheduler(SchedulerKind::kPft, reg);
+  auto wl = make_workload(spec, reg, 1);
+  SimConfig cfg;
+  cfg.steal_cost = 0.0;
+  Engine engine(topo, cfg, *sched, *wl);
+  sched->bind(engine);
+  const RunStats stats = engine.run();
+  // Waits are 0, 10, 20, 30 -> mean 15.
+  EXPECT_DOUBLE_EQ(stats.wait_time.mean(), 15.0);
+  EXPECT_DOUBLE_EQ(stats.wait_time.max(), 30.0);
+}
+
+TEST(ReclusterTick, PeriodicModeRunsToCompletion) {
+  const auto topo = core::amc_by_name("AMC5");
+  ExperimentConfig cfg;
+  cfg.repeats = 1;
+  cfg.sim.recluster_period = 25.0;
+  const auto spec = two_class_batch();
+  const auto r = run_experiment(spec, topo, SchedulerKind::kWats, cfg);
+  EXPECT_EQ(r.runs[0].tasks_completed, spec.total_tasks());
+}
+
+TEST(SpawnAccounting, SpawnedEqualsCompleted) {
+  const auto topo = core::amc_by_name("AMC1");
+  for (const char* bench : {"GA", "Ferret"}) {
+    ExperimentConfig cfg;
+    cfg.repeats = 1;
+    const auto& spec = workloads::benchmark_by_name(bench);
+    const auto r = run_experiment(spec, topo, SchedulerKind::kWats, cfg);
+    EXPECT_EQ(r.runs[0].spawned, r.runs[0].tasks_completed) << bench;
+  }
+}
+
+TEST(Energy, ScalesWithStaticPower) {
+  const auto topo = core::amc_by_name("AMC5");
+  ExperimentConfig cfg;
+  cfg.repeats = 1;
+  const auto r =
+      run_experiment(two_class_batch(), topo, SchedulerKind::kWats, cfg);
+  core::EnergyModel cheap;
+  cheap.static_power = 0.0;
+  core::EnergyModel costly;
+  costly.static_power = 5.0;
+  const double delta = r.runs[0].energy(topo, costly) -
+                       r.runs[0].energy(topo, cheap);
+  // Static power integrates over makespan x cores.
+  EXPECT_NEAR(delta, 5.0 * r.runs[0].makespan * 16, 1e-6);
+}
+
+TEST(Utilization, PerfectOnSerialMachine) {
+  workloads::BenchmarkSpec spec;
+  spec.name = "u";
+  spec.kind = workloads::BenchKind::kBatch;
+  spec.classes = {{"c", 7.0, 0.0, 3, 1.0}};
+  spec.batches = 2;
+  const core::AmcTopology topo("1", {{2.0, 1}});
+  core::TaskClassRegistry reg;
+  auto sched = make_scheduler(SchedulerKind::kPft, reg);
+  auto wl = make_workload(spec, reg, 1);
+  SimConfig cfg;
+  cfg.steal_cost = 0.0;
+  Engine engine(topo, cfg, *sched, *wl);
+  sched->bind(engine);
+  const RunStats stats = engine.run();
+  EXPECT_NEAR(stats.utilization(topo), 1.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace wats::sim

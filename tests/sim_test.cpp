@@ -1,0 +1,407 @@
+#include <gtest/gtest.h>
+
+#include <map>
+#include <vector>
+
+#include "sim/engine.hpp"
+#include "sim/experiment.hpp"
+#include "sim/pools.hpp"
+#include "sim/scheduler.hpp"
+#include "sim/workload_adapter.hpp"
+
+namespace wats::sim {
+namespace {
+
+// ---- A minimal scripted workload for engine unit tests: spawns a fixed
+// set of tasks at start, optionally a second wave on first completion.
+
+class ScriptedWorkload : public Workload {
+ public:
+  explicit ScriptedWorkload(std::vector<SimTask> initial,
+                            std::vector<SimTask> follow_up = {})
+      : initial_(std::move(initial)), follow_up_(std::move(follow_up)) {}
+
+  void start(Engine& engine) override {
+    for (auto& t : initial_) {
+      ++outstanding_;
+      engine.spawn(t, 0);
+    }
+    initial_.clear();
+  }
+
+  void on_complete(Engine& engine, const SimTask&, core::CoreIndex) override {
+    --outstanding_;
+    if (!follow_up_.empty()) {
+      for (auto& t : follow_up_) {
+        ++outstanding_;
+        engine.spawn(t, 0);
+      }
+      follow_up_.clear();
+    }
+  }
+
+  bool done() const override { return outstanding_ == 0; }
+
+ private:
+  std::vector<SimTask> initial_;
+  std::vector<SimTask> follow_up_;
+  int outstanding_ = 0;
+};
+
+SimTask task(TaskId id, double work, core::TaskClassId cls = 0) {
+  SimTask t;
+  t.id = id;
+  t.cls = cls;
+  t.work = work;
+  t.remaining = work;
+  return t;
+}
+
+SimConfig zero_cost_config() {
+  SimConfig cfg;
+  cfg.steal_cost = 0.0;
+  cfg.snatch_cost = 0.0;
+  return cfg;
+}
+
+// ---- PoolSet.
+
+TEST(PoolSet, LifoOwnerFifoThief) {
+  PoolSet pools(2);
+  pools.push(0, task(1, 1));
+  pools.push(0, task(2, 2));
+  pools.push(0, task(3, 3));
+  EXPECT_EQ(pools.size(0), 3u);
+  EXPECT_EQ(pools.pop_lifo(0)->id, 3u);
+  EXPECT_EQ(pools.steal_fifo(0)->id, 1u);
+  EXPECT_EQ(pools.pop_lifo(0)->id, 2u);
+  EXPECT_FALSE(pools.pop_lifo(0).has_value());
+  EXPECT_TRUE(pools.empty(0));
+}
+
+TEST(PoolSet, StealLightestPicksMinimumWork) {
+  PoolSet pools(1);
+  pools.push(0, task(1, 5.0));
+  pools.push(0, task(2, 1.0));
+  pools.push(0, task(3, 3.0));
+  EXPECT_EQ(pools.steal_lightest(0)->id, 2u);
+  EXPECT_EQ(pools.lightest_work(0), std::optional<double>(3.0));
+  EXPECT_DOUBLE_EQ(pools.queued_work(0), 8.0);
+}
+
+// ---- Engine basics.
+
+TEST(Engine, SingleTaskSingleCoreMakespan) {
+  const core::AmcTopology topo("1", {{2.0, 1}});
+  core::TaskClassRegistry reg;
+  auto sched = make_scheduler(SchedulerKind::kPft, reg);
+  ScriptedWorkload wl({task(1, 10.0)});
+  Engine engine(topo, zero_cost_config(), *sched, wl);
+  sched->bind(engine);
+  const RunStats stats = engine.run();
+  EXPECT_DOUBLE_EQ(stats.makespan, 5.0);  // 10 work / 2 GHz
+  EXPECT_EQ(stats.tasks_completed, 1u);
+  EXPECT_DOUBLE_EQ(stats.total_work, 10.0);
+}
+
+TEST(Engine, ParallelTasksOverlap) {
+  const core::AmcTopology topo("2", {{1.0, 2}});
+  core::TaskClassRegistry reg;
+  auto sched = make_scheduler(SchedulerKind::kPft, reg);
+  ScriptedWorkload wl({task(1, 4.0), task(2, 4.0)});
+  Engine engine(topo, zero_cost_config(), *sched, wl);
+  sched->bind(engine);
+  EXPECT_DOUBLE_EQ(engine.run().makespan, 4.0);
+}
+
+TEST(Engine, FollowUpSpawnsExtendTheRun) {
+  const core::AmcTopology topo("1", {{1.0, 1}});
+  core::TaskClassRegistry reg;
+  auto sched = make_scheduler(SchedulerKind::kPft, reg);
+  ScriptedWorkload wl({task(1, 2.0)}, {task(2, 3.0)});
+  Engine engine(topo, zero_cost_config(), *sched, wl);
+  sched->bind(engine);
+  EXPECT_DOUBLE_EQ(engine.run().makespan, 5.0);
+}
+
+TEST(Engine, UtilizationIsBoundedByOne) {
+  const auto topo = core::amc_by_name("AMC2");
+  core::TaskClassRegistry reg;
+  auto sched = make_scheduler(SchedulerKind::kPft, reg);
+  std::vector<SimTask> tasks;
+  for (TaskId i = 0; i < 64; ++i) tasks.push_back(task(i, 5.0 + static_cast<double>(i)));
+  ScriptedWorkload wl(std::move(tasks));
+  Engine engine(topo, zero_cost_config(), *sched, wl);
+  sched->bind(engine);
+  const RunStats stats = engine.run();
+  EXPECT_GT(stats.utilization(topo), 0.1);
+  EXPECT_LE(stats.utilization(topo), 1.0 + 1e-9);
+}
+
+TEST(Engine, RunIsSingleShot) {
+  const core::AmcTopology topo("1", {{1.0, 1}});
+  core::TaskClassRegistry reg;
+  auto sched = make_scheduler(SchedulerKind::kPft, reg);
+  ScriptedWorkload wl({task(1, 1.0)});
+  Engine engine(topo, zero_cost_config(), *sched, wl);
+  sched->bind(engine);
+  engine.run();
+  EXPECT_DEATH(engine.run(), "single-shot");
+}
+
+// ---- The paper's Section II motivating example (Fig. 1).
+//
+// Four tasks of 1.5t, 4t, t, 1.5t (time on the fast core) on 1 fast (2x) +
+// 3 slow (1x) cores. Optimal allocation finishes at 4t; a bad random
+// allocation (heavy task on a slow core) finishes at 8t.
+
+TEST(Motivation, OptimalAllocationReaches4t) {
+  const core::AmcTopology amc("fig1", {{2.0, 1}, {1.0, 3}});
+  // Workloads normalized to the fast core: time x F1.
+  const double w1 = 3.0, w2 = 8.0, w3 = 2.0, w4 = 3.0;
+  // Fig. 1(a): T2 on the fast core; T1, T3, T4 on the slow cores.
+  const double makespan =
+      std::max({w2 / 2.0, w1 / 1.0, w3 / 1.0, w4 / 1.0});
+  EXPECT_DOUBLE_EQ(makespan, 4.0);
+}
+
+TEST(Motivation, BadAllocationReaches8t) {
+  const double w2 = 8.0;
+  EXPECT_DOUBLE_EQ(w2 / 1.0, 8.0);  // T2 on a slow core dominates
+}
+
+TEST(Motivation, WatsConvergesToNearOptimalAfterHistory) {
+  // Run many batches of the Fig. 1 task mix through the simulator: after
+  // the first (cold) batch WATS should place the 4t class on the fast
+  // core, approaching the optimal 4t per batch, while Cilk stays near the
+  // random average (well above).
+  workloads::BenchmarkSpec spec;
+  spec.name = "fig1";
+  spec.kind = workloads::BenchKind::kBatch;
+  spec.classes = {
+      {"t2", 8.0, 0.0, 1},   // 4t task
+      {"t1", 3.0, 0.0, 2},   // two 1.5t tasks
+      {"t3", 2.0, 0.0, 1},   // t task
+  };
+  spec.batches = 32;
+  const core::AmcTopology amc("fig1", {{2.0, 1}, {1.0, 3}});
+
+  ExperimentConfig cfg;
+  cfg.repeats = 5;
+  const auto wats = run_experiment(spec, amc, SchedulerKind::kWats, cfg);
+  const auto cilk = run_experiment(spec, amc, SchedulerKind::kCilk, cfg);
+  // Optimal: 4t per batch -> 128 total. Give WATS 15% slack for the cold
+  // first batch and steal costs.
+  EXPECT_LT(wats.mean_makespan, 32 * 4.0 * 1.15);
+  EXPECT_LT(wats.mean_makespan, cilk.mean_makespan);
+}
+
+// ---- Scheduler behaviour.
+
+TEST(Schedulers, DeterministicForFixedSeed) {
+  const auto topo = core::amc_by_name("AMC1");
+  const auto& spec = workloads::benchmark_by_name("GA");
+  for (auto kind : {SchedulerKind::kCilk, SchedulerKind::kPft,
+                    SchedulerKind::kRts, SchedulerKind::kWats,
+                    SchedulerKind::kWatsNp, SchedulerKind::kWatsTs}) {
+    ExperimentConfig cfg;
+    cfg.repeats = 1;
+    const auto a = run_experiment(spec, topo, kind, cfg);
+    const auto b = run_experiment(spec, topo, kind, cfg);
+    EXPECT_DOUBLE_EQ(a.mean_makespan, b.mean_makespan)
+        << to_string(kind);
+  }
+}
+
+TEST(Schedulers, AllCompleteEveryTask) {
+  const auto topo = core::amc_by_name("AMC2");
+  const auto& spec = workloads::benchmark_by_name("LZW");
+  for (auto kind : {SchedulerKind::kCilk, SchedulerKind::kPft,
+                    SchedulerKind::kRts, SchedulerKind::kWats,
+                    SchedulerKind::kWatsNp, SchedulerKind::kWatsTs}) {
+    ExperimentConfig cfg;
+    cfg.repeats = 1;
+    const auto r = run_experiment(spec, topo, kind, cfg);
+    EXPECT_EQ(r.runs[0].tasks_completed, spec.total_tasks())
+        << to_string(kind);
+  }
+}
+
+TEST(Schedulers, MakespanNeverBelowLowerBoundEstimate) {
+  // Mean task work x count / capacity is a statistical lower-bound
+  // estimate; no scheduler can beat it by more than sampling noise.
+  const auto topo = core::amc_by_name("AMC5");
+  const auto& spec = workloads::benchmark_by_name("MD5");
+  double expected_total = 0;
+  for (const auto& c : spec.classes) {
+    expected_total += c.mean_work * static_cast<double>(c.tasks_per_batch);
+  }
+  expected_total *= static_cast<double>(spec.batches);
+  const double tl = expected_total / topo.total_capacity();
+  for (auto kind : {SchedulerKind::kCilk, SchedulerKind::kWats}) {
+    ExperimentConfig cfg;
+    cfg.repeats = 2;
+    const auto r = run_experiment(spec, topo, kind, cfg);
+    EXPECT_GT(r.mean_makespan, tl * 0.95) << to_string(kind);
+  }
+}
+
+TEST(Schedulers, WatsMatchesPftOnSymmetricMachine) {
+  // AMC7 is symmetric: WATS degenerates to parent-first stealing (§IV-A);
+  // identical seeds must give identical schedules.
+  const auto topo = core::amc_by_name("AMC7");
+  const auto& spec = workloads::benchmark_by_name("GA");
+  ExperimentConfig cfg;
+  cfg.repeats = 2;
+  const auto wats = run_experiment(spec, topo, SchedulerKind::kWats, cfg);
+  const auto pft = run_experiment(spec, topo, SchedulerKind::kPft, cfg);
+  EXPECT_NEAR(wats.mean_makespan, pft.mean_makespan,
+              pft.mean_makespan * 0.01);
+}
+
+TEST(Schedulers, WatsBeatsRandomOnSkewedWorkloads) {
+  // The headline result, in miniature: on an asymmetric machine with a
+  // skewed mix, WATS must beat Cilk and PFT clearly.
+  const auto topo = core::amc_by_name("AMC5");
+  const auto& spec = workloads::benchmark_by_name("SHA-1");
+  ExperimentConfig cfg;
+  cfg.repeats = 3;
+  const auto wats = run_experiment(spec, topo, SchedulerKind::kWats, cfg);
+  const auto cilk = run_experiment(spec, topo, SchedulerKind::kCilk, cfg);
+  const auto pft = run_experiment(spec, topo, SchedulerKind::kPft, cfg);
+  EXPECT_LT(wats.mean_makespan, cilk.mean_makespan * 0.8);
+  EXPECT_LT(wats.mean_makespan, pft.mean_makespan * 0.8);
+}
+
+TEST(Schedulers, WatsNpBetweenPftAndWats) {
+  // Fig. 9's ordering: WATS <= WATS-NP <= PFT (allocation alone already
+  // beats random stealing; preference stealing adds the rest).
+  const auto topo = core::amc_by_name("AMC5");
+  const auto& spec = workloads::benchmark_by_name("GA");
+  ExperimentConfig cfg;
+  cfg.repeats = 3;
+  const auto wats = run_experiment(spec, topo, SchedulerKind::kWats, cfg);
+  const auto np = run_experiment(spec, topo, SchedulerKind::kWatsNp, cfg);
+  const auto pft = run_experiment(spec, topo, SchedulerKind::kPft, cfg);
+  EXPECT_LE(wats.mean_makespan, np.mean_makespan * 1.02);
+  EXPECT_LT(np.mean_makespan, pft.mean_makespan);
+}
+
+TEST(Schedulers, RtsActuallySnatches) {
+  const auto topo = core::amc_by_name("AMC3");
+  const auto& spec = workloads::benchmark_by_name("GA");
+  ExperimentConfig cfg;
+  cfg.repeats = 1;
+  const auto rts = run_experiment(spec, topo, SchedulerKind::kRts, cfg);
+  EXPECT_GT(rts.mean_snatches, 0.0);
+  const auto cilk = run_experiment(spec, topo, SchedulerKind::kCilk, cfg);
+  EXPECT_EQ(cilk.mean_snatches, 0.0);
+}
+
+TEST(Schedulers, WatsNeverSnatchesWatsTsMay) {
+  const auto topo = core::amc_by_name("AMC5");
+  const auto& spec = workloads::benchmark_by_name("GA");
+  ExperimentConfig cfg;
+  cfg.repeats = 1;
+  EXPECT_EQ(run_experiment(spec, topo, SchedulerKind::kWats, cfg).mean_snatches,
+            0.0);
+  EXPECT_EQ(
+      run_experiment(spec, topo, SchedulerKind::kWatsNp, cfg).mean_snatches,
+      0.0);
+}
+
+// ---- Pipeline workload semantics.
+
+TEST(Pipeline, StagesRunInOrderPerItem) {
+  // A pipeline on a single core: per-item stage order is globally visible
+  // in the completion sequence; total work must all be executed.
+  workloads::BenchmarkSpec spec;
+  spec.name = "p";
+  spec.kind = workloads::BenchKind::kPipeline;
+  spec.classes = {{"s0", 1.0, 0.0, 0}, {"s1", 2.0, 0.0, 0}};
+  spec.pipeline_items = 10;
+  spec.pipeline_window = 3;
+
+  const core::AmcTopology topo("1", {{1.0, 1}});
+  core::TaskClassRegistry reg;
+  auto sched = make_scheduler(SchedulerKind::kPft, reg);
+  auto wl = make_workload(spec, reg, 1);
+  Engine engine(topo, zero_cost_config(), *sched, *wl);
+  sched->bind(engine);
+  const RunStats stats = engine.run();
+  EXPECT_EQ(stats.tasks_completed, 20u);
+  EXPECT_DOUBLE_EQ(stats.total_work, 10 * 3.0);
+  EXPECT_DOUBLE_EQ(stats.makespan, 30.0);
+}
+
+TEST(Pipeline, WindowLimitsConcurrency) {
+  // With a window of 1 the pipeline serializes: makespan equals total
+  // work even on many cores.
+  workloads::BenchmarkSpec spec;
+  spec.name = "p";
+  spec.kind = workloads::BenchKind::kPipeline;
+  spec.classes = {{"s0", 1.0, 0.0, 0}, {"s1", 1.0, 0.0, 0}};
+  spec.pipeline_items = 8;
+  spec.pipeline_window = 1;
+
+  const core::AmcTopology topo("4", {{1.0, 4}});
+  core::TaskClassRegistry reg;
+  auto sched = make_scheduler(SchedulerKind::kPft, reg);
+  auto wl = make_workload(spec, reg, 1);
+  Engine engine(topo, zero_cost_config(), *sched, *wl);
+  sched->bind(engine);
+  EXPECT_DOUBLE_EQ(engine.run().makespan, 16.0);
+}
+
+TEST(Batch, BarrierBetweenBatches) {
+  // Two batches of one task each on one core: makespan = sum.
+  workloads::BenchmarkSpec spec;
+  spec.name = "b";
+  spec.kind = workloads::BenchKind::kBatch;
+  spec.classes = {{"c", 3.0, 0.0, 1}};
+  spec.batches = 2;
+
+  const core::AmcTopology topo("1", {{1.0, 1}});
+  core::TaskClassRegistry reg;
+  auto sched = make_scheduler(SchedulerKind::kPft, reg);
+  auto wl = make_workload(spec, reg, 1);
+  Engine engine(topo, zero_cost_config(), *sched, *wl);
+  sched->bind(engine);
+  const RunStats stats = engine.run();
+  EXPECT_EQ(stats.tasks_completed, 2u);
+  EXPECT_DOUBLE_EQ(stats.makespan, 6.0);
+}
+
+TEST(Batch, SpawnCostStaggersAvailability) {
+  workloads::BenchmarkSpec spec;
+  spec.name = "b";
+  spec.kind = workloads::BenchKind::kBatch;
+  spec.classes = {{"c", 1.0, 0.0, 4}};
+  spec.batches = 1;
+
+  const core::AmcTopology topo("4", {{1.0, 4}});
+  core::TaskClassRegistry reg;
+  auto sched = make_scheduler(SchedulerKind::kPft, reg);
+  auto wl = make_workload(spec, reg, 1);
+  SimConfig cfg = zero_cost_config();
+  cfg.spawn_cost = 0.5;
+  Engine engine(topo, cfg, *sched, *wl);
+  sched->bind(engine);
+  // Last task becomes available at 2.0 and takes 1.0.
+  EXPECT_DOUBLE_EQ(engine.run().makespan, 3.0);
+}
+
+TEST(Experiment, RepeatsAggregateProperly) {
+  const auto topo = core::amc_by_name("AMC2");
+  const auto& spec = workloads::benchmark_by_name("Ferret");
+  ExperimentConfig cfg;
+  cfg.repeats = 3;
+  const auto r = run_experiment(spec, topo, SchedulerKind::kWats, cfg);
+  EXPECT_EQ(r.runs.size(), 3u);
+  EXPECT_GE(r.max_makespan, r.mean_makespan);
+  EXPECT_LE(r.min_makespan, r.mean_makespan);
+  EXPECT_GT(r.mean_utilization, 0.0);
+}
+
+}  // namespace
+}  // namespace wats::sim

@@ -1,0 +1,84 @@
+#include <gtest/gtest.h>
+
+#include "util/bytes.hpp"
+#include "workloads/bwt.hpp"
+#include "workloads/datagen.hpp"
+#include "workloads/suffix_array.hpp"
+
+namespace wats::workloads {
+namespace {
+
+using util::Bytes;
+using util::bytes_of;
+
+TEST(SuffixArray, KnownSmallCases) {
+  // "banana": suffixes sorted: a(5), ana(3), anana(1), banana(0),
+  // na(4), nana(2).
+  EXPECT_EQ(suffix_array(bytes_of("banana")),
+            (std::vector<std::uint32_t>{5, 3, 1, 0, 4, 2}));
+  // "mississippi"
+  EXPECT_EQ(suffix_array(bytes_of("mississippi")),
+            (std::vector<std::uint32_t>{10, 7, 4, 1, 0, 9, 8, 6, 3, 5, 2}));
+  EXPECT_EQ(suffix_array(bytes_of("a")), (std::vector<std::uint32_t>{0}));
+  EXPECT_TRUE(suffix_array({}).empty());
+}
+
+TEST(SuffixArray, AllEqualSymbols) {
+  // "aaaa": shorter suffixes sort first.
+  EXPECT_EQ(suffix_array(bytes_of("aaaa")),
+            (std::vector<std::uint32_t>{3, 2, 1, 0}));
+}
+
+class SaisOracleTest : public ::testing::TestWithParam<std::uint64_t> {};
+
+TEST_P(SaisOracleTest, MatchesNaiveOnText) {
+  const Bytes input = text_corpus(500 + GetParam() * 137, GetParam());
+  EXPECT_EQ(suffix_array(input), suffix_array_naive(input));
+}
+
+TEST_P(SaisOracleTest, MatchesNaiveOnRandom) {
+  const Bytes input = random_bytes(300 + GetParam() * 71, GetParam() + 100);
+  EXPECT_EQ(suffix_array(input), suffix_array_naive(input));
+}
+
+TEST_P(SaisOracleTest, MatchesNaiveOnSmallAlphabet) {
+  // Binary-ish alphabets stress the LMS naming path (many equal LMS
+  // substrings, deep recursion).
+  Bytes input = random_bytes(400 + GetParam() * 53, GetParam() + 200);
+  for (auto& b : input) b = static_cast<std::uint8_t>('a' + (b % 2));
+  EXPECT_EQ(suffix_array(input), suffix_array_naive(input));
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, SaisOracleTest,
+                         ::testing::Values(1, 2, 3, 4, 5, 6, 7, 8));
+
+TEST(SuffixArray, HandlesAllByteValuesIncludingZero) {
+  Bytes input;
+  for (int i = 0; i < 600; ++i) {
+    input.push_back(static_cast<std::uint8_t>((i * 37) % 256));
+  }
+  EXPECT_EQ(suffix_array(input), suffix_array_naive(input));
+}
+
+TEST(BwtSais, SameTransformAsPrefixDoubling) {
+  for (std::uint64_t seed = 0; seed < 5; ++seed) {
+    const Bytes input = text_corpus(4000 + seed * 997, seed);
+    const BwtResult a = bwt_forward(input);
+    const BwtResult b = bwt_forward_sais(input);
+    EXPECT_EQ(a.transformed, b.transformed) << seed;
+    EXPECT_EQ(a.primary, b.primary) << seed;  // aperiodic text: unique row
+  }
+}
+
+TEST(BwtSais, RoundTripsIncludingPeriodicInputs) {
+  for (const char* s : {"banana", "aaaa", "abab", "abcabcabc", "x"}) {
+    const BwtResult r = bwt_forward_sais(bytes_of(s));
+    EXPECT_EQ(util::string_of(bwt_inverse(r.transformed, r.primary)), s) << s;
+  }
+  const Bytes big = random_bytes(30000, 9);
+  const BwtResult r = bwt_forward_sais(big);
+  EXPECT_EQ(bwt_inverse(r.transformed, r.primary), big);
+}
+
+}  // namespace
+}  // namespace wats::workloads

@@ -1,0 +1,126 @@
+#include <gtest/gtest.h>
+
+#include <thread>
+#include <vector>
+
+#include "core/task_class.hpp"
+
+namespace wats::core {
+namespace {
+
+TEST(Eq2, NormalizedWorkload) {
+  // A task taking 1000 cycles on a 0.8 GHz core, normalized against
+  // 2.5 GHz: w = 1000 * 0.8 / 2.5 = 320.
+  EXPECT_DOUBLE_EQ(normalized_workload(1000.0, 0.8, 2.5), 320.0);
+  EXPECT_DOUBLE_EQ(normalized_workload(1000.0, 2.5, 2.5), 1000.0);
+  EXPECT_DOUBLE_EQ(normalized_workload(0.0, 1.0, 2.0), 0.0);
+}
+
+TEST(TaskClassRegistry, InternIsIdempotent) {
+  TaskClassRegistry reg;
+  const TaskClassId a = reg.intern("md5_block");
+  const TaskClassId b = reg.intern("sha1_block");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(reg.intern("md5_block"), a);
+  EXPECT_EQ(reg.size(), 2u);
+  EXPECT_EQ(reg.find("md5_block"), std::optional<TaskClassId>(a));
+  EXPECT_EQ(reg.find("nope"), std::nullopt);
+}
+
+TEST(TaskClassRegistry, Algorithm2RunningMean) {
+  TaskClassRegistry reg;
+  const TaskClassId id = reg.intern("f");
+  // Algorithm 2: TC(f, n, w) => TC(f, n+1, (n*w + w_new)/(n+1)).
+  reg.record_completion(id, 10.0);
+  EXPECT_DOUBLE_EQ(reg.info(id).mean_workload, 10.0);
+  reg.record_completion(id, 20.0);
+  EXPECT_DOUBLE_EQ(reg.info(id).mean_workload, 15.0);
+  reg.record_completion(id, 0.0);
+  EXPECT_DOUBLE_EQ(reg.info(id).mean_workload, 10.0);
+  EXPECT_EQ(reg.info(id).completed, 3u);
+  EXPECT_DOUBLE_EQ(reg.info(id).total_workload(), 30.0);
+}
+
+TEST(TaskClassRegistry, HistoryTracking) {
+  TaskClassRegistry reg;
+  const TaskClassId id = reg.intern("f");
+  EXPECT_FALSE(reg.has_history(id));
+  EXPECT_FALSE(reg.has_history(kNoTaskClass));
+  reg.record_completion(id, 1.0);
+  EXPECT_TRUE(reg.has_history(id));
+  EXPECT_EQ(reg.total_completions(), 1u);
+}
+
+TEST(TaskClassRegistry, SnapshotAndReset) {
+  TaskClassRegistry reg;
+  const TaskClassId a = reg.intern("a");
+  const TaskClassId b = reg.intern("b");
+  reg.record_completion(a, 5.0);
+  reg.record_completion(b, 7.0);
+
+  const auto snap = reg.snapshot();
+  ASSERT_EQ(snap.size(), 2u);
+  EXPECT_EQ(snap[0].name, "a");
+  EXPECT_DOUBLE_EQ(snap[1].mean_workload, 7.0);
+
+  reg.reset_history();
+  EXPECT_EQ(reg.total_completions(), 0u);
+  EXPECT_FALSE(reg.has_history(a));
+  EXPECT_EQ(reg.size(), 2u);  // names survive a reset
+}
+
+TEST(TaskClassRegistry, ConcurrentUpdatesAreConsistent) {
+  TaskClassRegistry reg;
+  const TaskClassId id = reg.intern("hot");
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 2000;
+  std::vector<std::thread> threads;
+  threads.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, id] {
+      for (int i = 0; i < kPerThread; ++i) {
+        reg.record_completion(id, 2.0);
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.info(id).completed,
+            static_cast<std::uint64_t>(kThreads) * kPerThread);
+  EXPECT_NEAR(reg.info(id).mean_workload, 2.0, 1e-9);
+}
+
+TEST(TaskClassRegistry, ConcurrentInternsYieldStableIds) {
+  TaskClassRegistry reg;
+  constexpr int kThreads = 4;
+  std::vector<std::vector<TaskClassId>> ids(kThreads);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&reg, &ids, t] {
+      for (int i = 0; i < 100; ++i) {
+        ids[static_cast<std::size_t>(t)].push_back(
+            reg.intern("class_" + std::to_string(i)));
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  EXPECT_EQ(reg.size(), 100u);
+  for (int t = 1; t < kThreads; ++t) {
+    EXPECT_EQ(ids[static_cast<std::size_t>(t)], ids[0]);
+  }
+}
+
+TEST(TaskClassRegistry, TracksMeanScalableFraction) {
+  TaskClassRegistry reg;
+  const TaskClassId id = reg.intern("mixed");
+  EXPECT_DOUBLE_EQ(reg.info(id).mean_scalable, 1.0);  // optimistic default
+  reg.record_completion(id, 10.0, 0.2);
+  EXPECT_DOUBLE_EQ(reg.info(id).mean_scalable, 0.2);
+  reg.record_completion(id, 10.0, 0.4);
+  EXPECT_NEAR(reg.info(id).mean_scalable, 0.3, 1e-12);
+  // Default argument keeps classic callers CPU-bound.
+  reg.record_completion(id, 10.0);
+  EXPECT_NEAR(reg.info(id).mean_scalable, (0.2 + 0.4 + 1.0) / 3, 1e-12);
+}
+
+}  // namespace
+}  // namespace wats::core

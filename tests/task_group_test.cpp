@@ -1,0 +1,95 @@
+#include <gtest/gtest.h>
+
+#include <atomic>
+
+#include "runtime/runtime.hpp"
+
+namespace wats::runtime {
+namespace {
+
+RuntimeConfig config() {
+  RuntimeConfig cfg;
+  cfg.topology = core::AmcTopology("t", {{2.0, 1}, {1.0, 3}});
+  cfg.emulate_speeds = false;
+  return cfg;
+}
+
+TEST(TaskGroup, WaitsForItsOwnTasksOnly) {
+  TaskRuntime rt(config());
+  std::atomic<int> group_done{0};
+  std::atomic<bool> other_started{false};
+  std::atomic<bool> release_other{false};
+
+  // A long-running task outside the group must not block group.wait().
+  rt.spawn([&] {
+    other_started = true;
+    while (!release_other.load()) {
+      std::this_thread::yield();
+    }
+  });
+
+  {
+    TaskGroup group(rt);
+    for (int i = 0; i < 50; ++i) {
+      group.spawn([&group_done] { group_done++; });
+    }
+    group.wait();
+    EXPECT_EQ(group_done.load(), 50);
+  }
+  release_other = true;
+  rt.wait_all();
+}
+
+TEST(TaskGroup, DestructorWaits) {
+  TaskRuntime rt(config());
+  std::atomic<int> done{0};
+  {
+    TaskGroup group(rt);
+    for (int i = 0; i < 20; ++i) {
+      group.spawn([&done] { done++; });
+    }
+    // No explicit wait: the destructor must block until the tasks ran.
+  }
+  EXPECT_EQ(done.load(), 20);
+}
+
+TEST(TaskGroup, MultipleGroupsAreIndependent) {
+  TaskRuntime rt(config());
+  std::atomic<int> a{0}, b{0};
+  TaskGroup ga(rt), gb(rt);
+  const auto cls = rt.register_class("grouped");
+  for (int i = 0; i < 30; ++i) {
+    ga.spawn(cls, [&a] { a++; });
+    gb.spawn(cls, [&b] { b++; });
+  }
+  ga.wait();
+  EXPECT_EQ(a.load(), 30);
+  gb.wait();
+  EXPECT_EQ(b.load(), 30);
+  EXPECT_EQ(ga.pending(), 0u);
+}
+
+TEST(TaskGroup, NestedSpawnsIntoGroupFromTasks) {
+  TaskRuntime rt(config());
+  std::atomic<int> count{0};
+  TaskGroup group(rt);
+  for (int i = 0; i < 10; ++i) {
+    group.spawn([&group, &count] {
+      // Tasks may add more work to the group they belong to.
+      group.spawn([&count] { count++; });
+      count++;
+    });
+  }
+  group.wait();
+  EXPECT_EQ(count.load(), 20);
+}
+
+TEST(TaskGroup, EmptyGroupWaitReturnsImmediately) {
+  TaskRuntime rt(config());
+  TaskGroup group(rt);
+  group.wait();
+  EXPECT_EQ(group.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace wats::runtime

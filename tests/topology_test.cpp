@@ -1,0 +1,132 @@
+#include <gtest/gtest.h>
+
+#include "core/topology.hpp"
+
+namespace wats::core {
+namespace {
+
+TEST(AmcTopology, SortsGroupsByDescendingFrequency) {
+  AmcTopology t("x", {{0.8, 2}, {2.5, 1}, {1.3, 3}});
+  ASSERT_EQ(t.group_count(), 3u);
+  EXPECT_DOUBLE_EQ(t.group(0).frequency_ghz, 2.5);
+  EXPECT_DOUBLE_EQ(t.group(1).frequency_ghz, 1.3);
+  EXPECT_DOUBLE_EQ(t.group(2).frequency_ghz, 0.8);
+}
+
+TEST(AmcTopology, DropsEmptyAndMergesDuplicateGroups) {
+  AmcTopology t("x", {{2.5, 2}, {1.8, 0}, {2.5, 3}, {0.8, 1}});
+  ASSERT_EQ(t.group_count(), 2u);
+  EXPECT_EQ(t.group(0).core_count, 5u);
+  EXPECT_EQ(t.group(1).core_count, 1u);
+}
+
+TEST(AmcTopology, CapacityAndSpeeds) {
+  AmcTopology t("x", {{2.5, 2}, {0.8, 10}});
+  EXPECT_EQ(t.total_cores(), 12u);
+  EXPECT_DOUBLE_EQ(t.total_capacity(), 2.5 * 2 + 0.8 * 10);
+  EXPECT_DOUBLE_EQ(t.fastest_frequency(), 2.5);
+  EXPECT_DOUBLE_EQ(t.relative_speed(0), 1.0);
+  EXPECT_DOUBLE_EQ(t.relative_speed(1), 0.8 / 2.5);
+  EXPECT_DOUBLE_EQ(t.group_capacity(1), 8.0);
+}
+
+TEST(AmcTopology, CoreToGroupMapping) {
+  AmcTopology t("x", {{2.5, 2}, {1.8, 3}, {0.8, 1}});
+  EXPECT_EQ(t.group_of_core(0), 0u);
+  EXPECT_EQ(t.group_of_core(1), 0u);
+  EXPECT_EQ(t.group_of_core(2), 1u);
+  EXPECT_EQ(t.group_of_core(4), 1u);
+  EXPECT_EQ(t.group_of_core(5), 2u);
+  EXPECT_EQ(t.first_core_of_group(0), 0u);
+  EXPECT_EQ(t.first_core_of_group(1), 2u);
+  EXPECT_EQ(t.first_core_of_group(2), 5u);
+}
+
+TEST(AmcTopology, SymmetricDetection) {
+  EXPECT_TRUE(AmcTopology("s", {{2.5, 16}}).symmetric());
+  EXPECT_FALSE(AmcTopology("a", {{2.5, 8}, {0.8, 8}}).symmetric());
+}
+
+TEST(Table2, HasSevenMachinesOfSixteenCores) {
+  const auto machines = amc_table2();
+  ASSERT_EQ(machines.size(), 7u);
+  for (const auto& m : machines) {
+    EXPECT_EQ(m.total_cores(), 16u) << m.name();
+  }
+  // Spot-check rows against Table II.
+  const AmcTopology& amc1 = machines[0];
+  EXPECT_EQ(amc1.name(), "AMC1");
+  ASSERT_EQ(amc1.group_count(), 4u);
+  EXPECT_EQ(amc1.group(0).core_count, 2u);
+  EXPECT_EQ(amc1.group(3).core_count, 10u);
+
+  const AmcTopology& amc7 = machines[6];
+  EXPECT_TRUE(amc7.symmetric());
+  EXPECT_EQ(amc7.group(0).core_count, 16u);
+  EXPECT_DOUBLE_EQ(amc7.group(0).frequency_ghz, 2.5);
+}
+
+TEST(Table2, LookupByName) {
+  const AmcTopology amc5 = amc_by_name("AMC5");
+  ASSERT_EQ(amc5.group_count(), 2u);
+  EXPECT_EQ(amc5.group(0).core_count, 8u);
+  EXPECT_EQ(amc5.group(1).core_count, 8u);
+  EXPECT_DOUBLE_EQ(amc5.group(1).frequency_ghz, 0.8);
+}
+
+TEST(Table2, CapacitiesDecreaseWithAsymmetryDepth) {
+  // AMC7 (all fast) has the largest capacity; AMC3 (2 fast, 14 slowest)
+  // the smallest.
+  const auto machines = amc_table2();
+  const double cap3 = amc_by_name("AMC3").total_capacity();
+  const double cap7 = amc_by_name("AMC7").total_capacity();
+  for (const auto& m : machines) {
+    EXPECT_GE(m.total_capacity(), cap3 - 1e-9) << m.name();
+    EXPECT_LE(m.total_capacity(), cap7 + 1e-9) << m.name();
+  }
+}
+
+TEST(Fig5Example, ThreeGroupsQuadCore) {
+  const AmcTopology t = amc_fig5_example();
+  EXPECT_EQ(t.total_cores(), 4u);
+  EXPECT_EQ(t.group_count(), 3u);
+  EXPECT_EQ(t.group(1).core_count, 2u);
+}
+
+TEST(AmcTopology, DescribeMentionsAllGroups) {
+  const std::string d = amc_by_name("AMC2").describe();
+  EXPECT_NE(d.find("AMC2"), std::string::npos);
+  EXPECT_NE(d.find("2.5"), std::string::npos);
+  EXPECT_NE(d.find("0.8"), std::string::npos);
+}
+
+TEST(TopologyParse, RoundTripsCustomSpecs) {
+  const AmcTopology t = amc_from_string("8x2.5+8x0.8");
+  EXPECT_EQ(t.total_cores(), 16u);
+  ASSERT_EQ(t.group_count(), 2u);
+  EXPECT_DOUBLE_EQ(t.group(0).frequency_ghz, 2.5);
+  EXPECT_EQ(t.group(1).core_count, 8u);
+}
+
+TEST(TopologyParse, SingleGroupAndReordering) {
+  EXPECT_TRUE(amc_from_string("4x2.0").symmetric());
+  // Groups may be listed slow-first; construction re-sorts.
+  const AmcTopology t = amc_from_string("2x0.8+1x3.0");
+  EXPECT_DOUBLE_EQ(t.fastest_frequency(), 3.0);
+}
+
+TEST(TopologyParse, NameOrSpecDispatch) {
+  EXPECT_EQ(amc_by_name_or_spec("AMC5").name(), "AMC5");
+  EXPECT_EQ(amc_by_name_or_spec("2x2.0+2x1.0").total_cores(), 4u);
+}
+
+TEST(TopologyParse, MalformedSpecsAbort) {
+  EXPECT_DEATH(amc_from_string(""), "empty|malformed");
+  EXPECT_DEATH(amc_from_string("x2.5"), "malformed");
+  EXPECT_DEATH(amc_from_string("4x"), "malformed");
+  EXPECT_DEATH(amc_from_string("4xabc"), "malformed");
+  EXPECT_DEATH(amc_from_string("4x2.5+junk"), "malformed");
+}
+
+}  // namespace
+}  // namespace wats::core

@@ -1,0 +1,252 @@
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <set>
+#include <vector>
+
+#include "util/bytes.hpp"
+#include "util/rng.hpp"
+#include "util/stats.hpp"
+#include "util/table.hpp"
+
+namespace wats::util {
+namespace {
+
+TEST(SplitMix64, KnownSequence) {
+  // Reference values for seed 0 (from the public-domain reference code).
+  SplitMix64 sm(0);
+  EXPECT_EQ(sm.next(), 0xE220A8397B1DCDAFULL);
+  EXPECT_EQ(sm.next(), 0x6E789E6AA1B965F4ULL);
+  EXPECT_EQ(sm.next(), 0x06C45D188009454FULL);
+}
+
+TEST(Xoshiro256, DeterministicAcrossInstances) {
+  Xoshiro256 a(123), b(123);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_EQ(a.next(), b.next());
+  }
+}
+
+TEST(Xoshiro256, DifferentSeedsDiffer) {
+  Xoshiro256 a(1), b(2);
+  int same = 0;
+  for (int i = 0; i < 100; ++i) {
+    same += a.next() == b.next();
+  }
+  EXPECT_LT(same, 3);
+}
+
+TEST(Xoshiro256, BoundedStaysInRange) {
+  Xoshiro256 rng(7);
+  for (std::uint64_t bound : {1ull, 2ull, 3ull, 10ull, 1000ull}) {
+    for (int i = 0; i < 200; ++i) {
+      EXPECT_LT(rng.bounded(bound), bound);
+    }
+  }
+}
+
+TEST(Xoshiro256, BoundedCoversAllValues) {
+  Xoshiro256 rng(7);
+  std::set<std::uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.bounded(7));
+  EXPECT_EQ(seen.size(), 7u);
+}
+
+TEST(Xoshiro256, RangeInclusive) {
+  Xoshiro256 rng(9);
+  std::set<std::int64_t> seen;
+  for (int i = 0; i < 500; ++i) {
+    const auto v = rng.range(-2, 2);
+    EXPECT_GE(v, -2);
+    EXPECT_LE(v, 2);
+    seen.insert(v);
+  }
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(Xoshiro256, UniformInUnitInterval) {
+  Xoshiro256 rng(11);
+  double sum = 0;
+  for (int i = 0; i < 10000; ++i) {
+    const double u = rng.uniform();
+    ASSERT_GE(u, 0.0);
+    ASSERT_LT(u, 1.0);
+    sum += u;
+  }
+  EXPECT_NEAR(sum / 10000.0, 0.5, 0.02);
+}
+
+TEST(Xoshiro256, ShuffleIsPermutation) {
+  Xoshiro256 rng(13);
+  std::vector<int> v{1, 2, 3, 4, 5, 6, 7, 8, 9, 10};
+  auto sorted = v;
+  rng.shuffle(v);
+  auto reshuffled = v;
+  std::sort(reshuffled.begin(), reshuffled.end());
+  EXPECT_EQ(reshuffled, sorted);
+}
+
+TEST(ZipfSampler, FirstRankMostFrequent) {
+  Xoshiro256 rng(17);
+  ZipfSampler zipf(50, 1.0);
+  std::vector<int> counts(50, 0);
+  for (int i = 0; i < 20000; ++i) ++counts[zipf.sample(rng)];
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[0], counts[49]);
+  // Rough zipf shape: rank 0 about twice rank 1.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / counts[1], 2.0, 0.5);
+}
+
+TEST(RunningStat, MatchesDirectComputation) {
+  RunningStat rs;
+  const std::vector<double> xs{1.5, 2.0, -3.0, 10.0, 4.5, 0.0};
+  double sum = 0;
+  for (double x : xs) {
+    rs.add(x);
+    sum += x;
+  }
+  const double mean = sum / static_cast<double>(xs.size());
+  double var = 0;
+  for (double x : xs) var += (x - mean) * (x - mean);
+  var /= static_cast<double>(xs.size() - 1);
+
+  EXPECT_EQ(rs.count(), xs.size());
+  EXPECT_DOUBLE_EQ(rs.sum(), sum);
+  EXPECT_NEAR(rs.mean(), mean, 1e-12);
+  EXPECT_NEAR(rs.variance(), var, 1e-12);
+  EXPECT_DOUBLE_EQ(rs.min(), -3.0);
+  EXPECT_DOUBLE_EQ(rs.max(), 10.0);
+}
+
+TEST(RunningStat, MergeEqualsSequential) {
+  RunningStat a, b, all;
+  Xoshiro256 rng(19);
+  for (int i = 0; i < 100; ++i) {
+    const double x = rng.uniform(-5, 5);
+    a.add(x);
+    all.add(x);
+  }
+  for (int i = 0; i < 57; ++i) {
+    const double x = rng.uniform(0, 100);
+    b.add(x);
+    all.add(x);
+  }
+  a.merge(b);
+  EXPECT_EQ(a.count(), all.count());
+  EXPECT_NEAR(a.mean(), all.mean(), 1e-9);
+  EXPECT_NEAR(a.variance(), all.variance(), 1e-6);
+  EXPECT_DOUBLE_EQ(a.min(), all.min());
+  EXPECT_DOUBLE_EQ(a.max(), all.max());
+}
+
+TEST(RunningStat, EmptyAndSingle) {
+  RunningStat rs;
+  EXPECT_EQ(rs.count(), 0u);
+  EXPECT_EQ(rs.mean(), 0.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+  rs.add(42.0);
+  EXPECT_EQ(rs.mean(), 42.0);
+  EXPECT_EQ(rs.variance(), 0.0);
+}
+
+TEST(Histogram, CountsAndClamping) {
+  Histogram h(0.0, 10.0, 10);
+  h.add(-5.0);   // clamps to first bucket
+  h.add(0.5);
+  h.add(9.99);
+  h.add(50.0);   // clamps to last bucket
+  EXPECT_EQ(h.total(), 4u);
+  EXPECT_EQ(h.bucket(0), 2u);
+  EXPECT_EQ(h.bucket(9), 2u);
+}
+
+TEST(Histogram, QuantileOnUniformData) {
+  Histogram h(0.0, 1.0, 100);
+  Xoshiro256 rng(23);
+  for (int i = 0; i < 100000; ++i) h.add(rng.uniform());
+  EXPECT_NEAR(h.quantile(0.5), 0.5, 0.02);
+  EXPECT_NEAR(h.quantile(0.9), 0.9, 0.02);
+}
+
+TEST(Percentile, ExactValues) {
+  std::vector<double> xs{4, 1, 3, 2, 5};
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.0), 1.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 1.0), 5.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.5), 3.0);
+  EXPECT_DOUBLE_EQ(percentile(xs, 0.25), 2.0);
+}
+
+TEST(Geomean, KnownValue) {
+  EXPECT_NEAR(geomean({1.0, 100.0}), 10.0, 1e-9);
+  EXPECT_NEAR(geomean({2.0, 2.0, 2.0}), 2.0, 1e-12);
+}
+
+TEST(TextTable, AsciiAndCsv) {
+  TextTable t({"name", "value"});
+  t.add_row({"alpha", TextTable::num(1.5, 1)});
+  t.add_row({"beta, gamma", "x\"y"});
+  const std::string ascii = t.render_ascii();
+  EXPECT_NE(ascii.find("alpha"), std::string::npos);
+  EXPECT_NE(ascii.find("1.5"), std::string::npos);
+  const std::string csv = t.render_csv();
+  EXPECT_NE(csv.find("\"beta, gamma\""), std::string::npos);
+  EXPECT_NE(csv.find("\"x\"\"y\""), std::string::npos);
+  EXPECT_EQ(t.rows(), 2u);
+}
+
+TEST(Bytes, HexRoundTrip) {
+  const Bytes data{0x00, 0x01, 0xAB, 0xFF, 0x7E};
+  EXPECT_EQ(to_hex(data), "0001abff7e");
+  EXPECT_EQ(from_hex("0001abff7e"), data);
+  EXPECT_EQ(from_hex("0001ABFF7E"), data);
+}
+
+TEST(Bytes, EndianPacking) {
+  Bytes le, be;
+  put_u32le(le, 0x01020304u);
+  put_u32be(be, 0x01020304u);
+  EXPECT_EQ(le, (Bytes{4, 3, 2, 1}));
+  EXPECT_EQ(be, (Bytes{1, 2, 3, 4}));
+  EXPECT_EQ(get_u32le(le, 0), 0x01020304u);
+  EXPECT_EQ(get_u32be(be, 0), 0x01020304u);
+
+  Bytes le64, be64;
+  put_u64le(le64, 0x0102030405060708ull);
+  put_u64be(be64, 0x0102030405060708ull);
+  EXPECT_EQ(le64, (Bytes{8, 7, 6, 5, 4, 3, 2, 1}));
+  EXPECT_EQ(be64, (Bytes{1, 2, 3, 4, 5, 6, 7, 8}));
+}
+
+TEST(Bytes, Fnv1aMatchesReference) {
+  // FNV-1a("") = offset basis; FNV-1a("a") from the reference tables.
+  EXPECT_EQ(fnv1a(Bytes{}), 0xCBF29CE484222325ULL);
+  EXPECT_EQ(fnv1a(bytes_of("a")), 0xAF63DC4C8601EC8CULL);
+}
+
+TEST(CsvParse, RoundTripsThroughRenderCsv) {
+  TextTable t({"a", "b"});
+  t.add_row({"plain", "with, comma"});
+  t.add_row({"quo\"te", "single line"});
+  const auto rows = parse_csv(t.render_csv());
+  ASSERT_EQ(rows.size(), 3u);
+  EXPECT_EQ(rows[0], (std::vector<std::string>{"a", "b"}));
+  EXPECT_EQ(rows[1], (std::vector<std::string>{"plain", "with, comma"}));
+  EXPECT_EQ(rows[2][0], "quo\"te");
+}
+
+TEST(CsvParse, LineEdgeCases) {
+  EXPECT_EQ(parse_csv_line(""), (std::vector<std::string>{""}));
+  EXPECT_EQ(parse_csv_line("a,,c"), (std::vector<std::string>{"a", "", "c"}));
+  EXPECT_EQ(parse_csv_line("\"x,y\",z"),
+            (std::vector<std::string>{"x,y", "z"}));
+  EXPECT_EQ(parse_csv_line("\"a\"\"b\""), (std::vector<std::string>{"a\"b"}));
+}
+
+TEST(Bytes, StringRoundTrip) {
+  const std::string s = "hello\0world";
+  EXPECT_EQ(string_of(bytes_of(s)), s);
+}
+
+}  // namespace
+}  // namespace wats::util

@@ -1,0 +1,94 @@
+// Warm-start tests: persisted history fed into a simulation lets WATS
+// allocate well from the very first batch.
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "core/history_io.hpp"
+#include "sim/experiment.hpp"
+#include "sim/workload_adapter.hpp"
+
+namespace wats::sim {
+namespace {
+
+workloads::BenchmarkSpec skewed_spec(std::size_t batches) {
+  workloads::BenchmarkSpec spec;
+  spec.name = "warm";
+  spec.kind = workloads::BenchKind::kBatch;
+  spec.classes = {
+      {"monster", 200.0, 0.0, 2, 1.0},
+      {"grain", 5.0, 0.0, 30, 1.0},
+  };
+  spec.batches = batches;
+  return spec;
+}
+
+std::string accurate_history() {
+  // Exactly the class means the spec generates.
+  return "monster\t100\t200\ngrain\t100\t5\n";
+}
+
+TEST(WarmStart, HelpsShortRuns) {
+  // With a single batch, cold WATS is effectively random (no history);
+  // warm WATS should beat it clearly on a skewed mix.
+  const auto topo = core::amc_by_name("AMC5");
+  const auto spec = skewed_spec(1);
+  ExperimentConfig cold;
+  cold.repeats = 9;
+  ExperimentConfig warm = cold;
+  warm.warm_history = accurate_history();
+  const auto cold_r = run_experiment(spec, topo, SchedulerKind::kWats, cold);
+  const auto warm_r = run_experiment(spec, topo, SchedulerKind::kWats, warm);
+  EXPECT_LT(warm_r.mean_makespan, cold_r.mean_makespan);
+}
+
+TEST(WarmStart, IrrelevantHistoryIsHarmless) {
+  // History for classes the run never spawns must not change anything
+  // beyond noise.
+  const auto topo = core::amc_by_name("AMC2");
+  const auto spec = skewed_spec(4);
+  ExperimentConfig plain;
+  plain.repeats = 3;
+  ExperimentConfig noisy = plain;
+  noisy.warm_history = "unrelated_class\t10\t12345\n";
+  const auto a = run_experiment(spec, topo, SchedulerKind::kWats, plain);
+  const auto b = run_experiment(spec, topo, SchedulerKind::kWats, noisy);
+  // The unrelated class shifts cluster boundaries slightly (it has
+  // weight) but the run must complete and stay in the same ballpark.
+  EXPECT_EQ(b.runs[0].tasks_completed, spec.total_tasks());
+  EXPECT_NEAR(b.mean_makespan, a.mean_makespan, a.mean_makespan * 0.35);
+}
+
+TEST(WarmStart, RoundTripsThroughSerialization) {
+  // Simulate cold, harvest the history, feed it to a fresh run: the warm
+  // run's first batch should already be allocated.
+  const auto topo = core::amc_by_name("AMC5");
+  ExperimentConfig cfg;
+  cfg.repeats = 1;
+
+  // Harvest: run once and serialize what the registry learned.
+  core::TaskClassRegistry registry;
+  {
+    auto sched = make_scheduler(SchedulerKind::kWats, registry);
+    auto wl = make_workload(skewed_spec(4), registry, 99);
+    SimConfig sc;
+    Engine engine(topo, sc, *sched, *wl);
+    sched->bind(engine);
+    engine.run();
+  }
+  const std::string history = core::serialize_history(registry);
+  EXPECT_NE(history.find("monster"), std::string::npos);
+
+  ExperimentConfig warm = cfg;
+  warm.warm_history = history;
+  warm.repeats = 5;
+  ExperimentConfig cold = cfg;
+  cold.repeats = 5;
+  const auto spec1 = skewed_spec(1);
+  const auto warm_r = run_experiment(spec1, topo, SchedulerKind::kWats, warm);
+  const auto cold_r = run_experiment(spec1, topo, SchedulerKind::kWats, cold);
+  EXPECT_LE(warm_r.mean_makespan, cold_r.mean_makespan * 1.02);
+}
+
+}  // namespace
+}  // namespace wats::sim

@@ -1,0 +1,157 @@
+#include <gtest/gtest.h>
+
+#include <set>
+
+#include "util/stats.hpp"
+#include "workloads/workload_model.hpp"
+
+namespace wats::workloads {
+namespace {
+
+TEST(PaperBenchmarks, AllNinePresentInOrder) {
+  const auto& specs = paper_benchmarks();
+  ASSERT_EQ(specs.size(), 9u);
+  const char* expected[] = {"BWT", "Bzip-2", "DMC",   "GA",    "LZW",
+                            "MD5", "SHA-1",  "Dedup", "Ferret"};
+  for (std::size_t i = 0; i < 9; ++i) {
+    EXPECT_EQ(specs[i].name, expected[i]);
+  }
+}
+
+TEST(PaperBenchmarks, BatchBenchmarksLaunch128TasksPerBatch) {
+  for (const auto& spec : paper_benchmarks()) {
+    if (spec.kind != BenchKind::kBatch) continue;
+    EXPECT_EQ(spec.tasks_per_batch(), 128u) << spec.name;
+    EXPECT_GT(spec.batches, 0u) << spec.name;
+  }
+}
+
+TEST(PaperBenchmarks, PipelinesAreDedupAndFerret) {
+  std::set<std::string> pipelines;
+  for (const auto& spec : paper_benchmarks()) {
+    if (spec.kind == BenchKind::kPipeline) pipelines.insert(spec.name);
+  }
+  EXPECT_EQ(pipelines, (std::set<std::string>{"Dedup", "Ferret"}));
+}
+
+TEST(PaperBenchmarks, ClassNamesUniqueWithinBenchmark) {
+  for (const auto& spec : paper_benchmarks()) {
+    std::set<std::string> names;
+    for (const auto& c : spec.classes) {
+      EXPECT_TRUE(names.insert(c.name).second)
+          << spec.name << ": duplicate class " << c.name;
+      EXPECT_GT(c.mean_work, 0.0);
+      EXPECT_GE(c.cv, 0.0);
+    }
+  }
+}
+
+TEST(PaperBenchmarks, PipelineStageStructureValid) {
+  for (const auto& spec : paper_benchmarks()) {
+    if (spec.kind != BenchKind::kPipeline) continue;
+    EXPECT_GT(spec.pipeline_items, 0u);
+    EXPECT_GT(spec.stage_count(), 1u);
+    for (const auto& stage : spec.pipeline_stages) {
+      ASSERT_EQ(stage.class_options.size(), stage.probabilities.size());
+      double sum = 0;
+      for (std::size_t i = 0; i < stage.class_options.size(); ++i) {
+        EXPECT_LT(stage.class_options[i], spec.classes.size());
+        sum += stage.probabilities[i];
+      }
+      EXPECT_NEAR(sum, 1.0, 1e-9);
+    }
+  }
+}
+
+TEST(PaperBenchmarks, FerretStagesNearUniform) {
+  // The paper's observation — Ferret tasks have similar workloads — must
+  // hold for the model: max/min stage work within 25%.
+  const auto& ferret = benchmark_by_name("Ferret");
+  double lo = 1e100, hi = 0;
+  for (const auto& c : ferret.classes) {
+    lo = std::min(lo, c.mean_work);
+    hi = std::max(hi, c.mean_work);
+  }
+  EXPECT_LT(hi / lo, 1.25);
+}
+
+TEST(PaperBenchmarks, Sha1IsTheMostSkewedBatchMix) {
+  double sha1_ratio = 0;
+  for (const auto& spec : paper_benchmarks()) {
+    if (spec.kind != BenchKind::kBatch) continue;
+    double lo = 1e100, hi = 0;
+    for (const auto& c : spec.classes) {
+      lo = std::min(lo, c.mean_work);
+      hi = std::max(hi, c.mean_work);
+    }
+    if (spec.name == "SHA-1") {
+      sha1_ratio = hi / lo;
+    }
+  }
+  for (const auto& spec : paper_benchmarks()) {
+    if (spec.kind != BenchKind::kBatch || spec.name == "SHA-1") continue;
+    double lo = 1e100, hi = 0;
+    for (const auto& c : spec.classes) {
+      lo = std::min(lo, c.mean_work);
+      hi = std::max(hi, c.mean_work);
+    }
+    EXPECT_LE(hi / lo, sha1_ratio) << spec.name;
+  }
+}
+
+class GaMixTest : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(GaMixTest, Fig8DistributionPattern) {
+  const std::size_t alpha = GetParam();
+  const BenchmarkSpec spec = ga_mix(alpha);
+  ASSERT_EQ(spec.classes.size(), 4u);
+  EXPECT_EQ(spec.classes[0].tasks_per_batch, alpha);
+  EXPECT_EQ(spec.classes[1].tasks_per_batch, alpha);
+  EXPECT_EQ(spec.classes[2].tasks_per_batch, alpha);
+  EXPECT_EQ(spec.classes[3].tasks_per_batch, 128 - 3 * alpha);
+  EXPECT_EQ(spec.tasks_per_batch(), 128u);
+  // Workload proportions 8t : 4t : 2t : t.
+  EXPECT_DOUBLE_EQ(spec.classes[0].mean_work / spec.classes[3].mean_work, 8.0);
+  EXPECT_DOUBLE_EQ(spec.classes[1].mean_work / spec.classes[3].mean_work, 4.0);
+  EXPECT_DOUBLE_EQ(spec.classes[2].mean_work / spec.classes[3].mean_work, 2.0);
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, GaMixTest,
+                         ::testing::Values(0, 4, 8, 16, 32, 40, 42));
+
+TEST(GaMix, RejectsOversizedAlpha) {
+  EXPECT_DEATH(ga_mix(43), "alpha");
+}
+
+TEST(SampleWork, MatchesMeanAndSpread) {
+  TaskClassSpec cls{"x", 100.0, 0.10, 0};
+  util::Xoshiro256 rng(17);
+  util::RunningStat stat;
+  for (int i = 0; i < 20000; ++i) {
+    const double w = sample_work(cls, rng);
+    EXPECT_GT(w, 0.0);
+    stat.add(w);
+  }
+  EXPECT_NEAR(stat.mean(), 100.0, 1.0);
+  EXPECT_NEAR(stat.stddev() / stat.mean(), 0.10, 0.01);
+}
+
+TEST(SampleWork, ZeroCvIsDeterministic) {
+  TaskClassSpec cls{"x", 42.0, 0.0, 0};
+  util::Xoshiro256 rng(1);
+  EXPECT_DOUBLE_EQ(sample_work(cls, rng), 42.0);
+}
+
+TEST(RealTasks, EveryBenchmarkClassRuns) {
+  // Scaled far down so the whole sweep stays fast; checksums must be
+  // deterministic for a fixed seed.
+  for (const auto& spec : paper_benchmarks()) {
+    const auto& cls = spec.classes.front();
+    auto task = make_real_task(spec.name, cls.name, 0.01, 7);
+    auto again = make_real_task(spec.name, cls.name, 0.01, 7);
+    EXPECT_EQ(task(), again()) << spec.name << "/" << cls.name;
+  }
+}
+
+}  // namespace
+}  // namespace wats::workloads

@@ -1,0 +1,74 @@
+// Calibration tool: measure the REAL kernels' per-class execution times
+// and emit them as a WATS history file (core/history_io.hpp format).
+//
+//   wats_calibrate --benchmark Bzip-2 --scale 0.1 --samples 3 \
+//                  --out bzip2.history
+//
+// The emitted file warm-starts a runtime (TaskRuntime::preload_history /
+// load_history_file) or a simulation (ExperimentConfig::warm_history), so
+// the very first batch is scheduled from measured knowledge instead of
+// the all-unknown cold start. It also doubles as a sanity check that the
+// workload model's mean_work ratios track the real kernels' costs: the
+// table prints both side by side.
+#include <chrono>
+#include <cstdio>
+#include <fstream>
+
+#include "core/history_io.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+#include "workloads/workload_model.hpp"
+
+using namespace wats;
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const std::string bench = args.value_or("benchmark", "Bzip-2");
+  const double scale = args.double_or("scale", 0.1);
+  const auto samples = static_cast<std::size_t>(args.int_or("samples", 3));
+  const auto seed = static_cast<std::uint64_t>(args.int_or("seed", 42));
+
+  const auto& spec = workloads::benchmark_by_name(bench);
+  core::TaskClassRegistry registry;
+
+  util::TextTable table({"class", "samples", "mean (ms)",
+                         "measured ratio", "model ratio"});
+  std::vector<double> means;
+  for (const auto& cls : spec.classes) {
+    const auto id = registry.intern(cls.name);
+    double total_ms = 0.0;
+    for (std::size_t s = 0; s < samples; ++s) {
+      auto task = workloads::make_real_task(bench, cls.name, scale,
+                                            seed + s);
+      const auto start = std::chrono::steady_clock::now();
+      volatile std::uint64_t sink = task();
+      (void)sink;
+      const std::chrono::duration<double, std::milli> elapsed =
+          std::chrono::steady_clock::now() - start;
+      total_ms += elapsed.count();
+      // Record as F1-normalized workload in microseconds, as the runtime
+      // would (Eq. 2 with the fastest core).
+      registry.record_completion(id, elapsed.count() * 1000.0);
+    }
+    means.push_back(total_ms / static_cast<double>(samples));
+  }
+
+  const double base_measured = means.back();
+  const double base_model = spec.classes.back().mean_work;
+  for (std::size_t c = 0; c < spec.classes.size(); ++c) {
+    table.add_row({spec.classes[c].name, std::to_string(samples),
+                   util::TextTable::num(means[c], 2),
+                   util::TextTable::num(means[c] / base_measured, 2),
+                   util::TextTable::num(
+                       spec.classes[c].mean_work / base_model, 2)});
+  }
+  std::printf("Calibration of %s (scale %.3f):\n%s", bench.c_str(), scale,
+              table.render_ascii().c_str());
+
+  const auto out_path = args.value("out");
+  if (out_path.has_value() && !out_path->empty()) {
+    core::save_history_file(registry, *out_path);
+    std::printf("wrote warm-start history to %s\n", out_path->c_str());
+  }
+  return 0;
+}

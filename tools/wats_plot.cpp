@@ -1,0 +1,135 @@
+// Plot-script generator: turn a wats_sweep CSV into gnuplot data + script
+// files (grouped bars, one chart per benchmark; machines on the x axis,
+// one bar per scheduler).
+//
+//   wats_sweep --benchmarks GA,SHA-1 --schedulers Cilk,WATS --out sweep.csv
+//   wats_plot sweep.csv --outdir plots
+//   gnuplot plots/GA.gp          # renders plots/GA.png
+#include <algorithm>
+#include <cctype>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <set>
+#include <sstream>
+#include <vector>
+
+#include "util/args.hpp"
+#include "util/check.hpp"
+#include "util/table.hpp"
+
+using namespace wats;
+
+namespace {
+
+std::string sanitize(const std::string& name) {
+  std::string out;
+  for (char c : name) {
+    out.push_back((std::isalnum(static_cast<unsigned char>(c)) != 0) ? c
+                                                                     : '_');
+  }
+  return out;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  if (args.positional().empty()) {
+    std::fprintf(stderr, "usage: wats_plot SWEEP.csv [--outdir DIR]\n");
+    return 2;
+  }
+  const std::string in_path = args.positional().front();
+  const std::string outdir = args.value_or("outdir", ".");
+
+  std::ifstream in(in_path);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot read %s\n", in_path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  const auto rows = util::parse_csv(buf.str());
+  if (rows.size() < 2) {
+    std::fprintf(stderr, "no data rows in %s\n", in_path.c_str());
+    return 1;
+  }
+
+  // Column lookup from the header.
+  const auto& header = rows.front();
+  auto column = [&](const std::string& name) -> std::size_t {
+    for (std::size_t c = 0; c < header.size(); ++c) {
+      if (header[c] == name) return c;
+    }
+    std::fprintf(stderr, "missing column '%s' in %s\n", name.c_str(),
+                 in_path.c_str());
+    std::exit(1);
+  };
+  const std::size_t c_bench = column("benchmark");
+  const std::size_t c_machine = column("machine");
+  const std::size_t c_sched = column("scheduler");
+  const std::size_t c_makespan = column("mean_makespan");
+
+  // benchmark -> machine -> scheduler -> makespan (preserving first-seen
+  // order of machines and schedulers).
+  std::map<std::string, std::map<std::string, std::map<std::string, std::string>>>
+      data;
+  std::vector<std::string> machines, schedulers;
+  for (std::size_t r = 1; r < rows.size(); ++r) {
+    const auto& row = rows[r];
+    WATS_CHECK(row.size() == header.size());
+    data[row[c_bench]][row[c_machine]][row[c_sched]] = row[c_makespan];
+    if (std::find(machines.begin(), machines.end(), row[c_machine]) ==
+        machines.end()) {
+      machines.push_back(row[c_machine]);
+    }
+    if (std::find(schedulers.begin(), schedulers.end(), row[c_sched]) ==
+        schedulers.end()) {
+      schedulers.push_back(row[c_sched]);
+    }
+  }
+
+  for (const auto& [bench, by_machine] : data) {
+    const std::string stem = outdir + "/" + sanitize(bench);
+    // .dat: machine then one column per scheduler.
+    {
+      std::ofstream dat(stem + ".dat", std::ios::trunc);
+      dat << "# machine";
+      for (const auto& s : schedulers) dat << " " << s;
+      dat << "\n";
+      for (const auto& m : machines) {
+        const auto it = by_machine.find(m);
+        if (it == by_machine.end()) continue;
+        dat << m;
+        for (const auto& s : schedulers) {
+          const auto v = it->second.find(s);
+          dat << " " << (v == it->second.end() ? "nan" : v->second);
+        }
+        dat << "\n";
+      }
+    }
+    // .gp: grouped bars.
+    {
+      std::ofstream gp(stem + ".gp", std::ios::trunc);
+      gp << "set terminal pngcairo size 900,520\n"
+         << "set output '" << sanitize(bench) << ".png'\n"
+         << "set title 'Execution time — " << bench << "'\n"
+         << "set style data histogram\n"
+         << "set style histogram clustered gap 1\n"
+         << "set style fill solid 0.85 border -1\n"
+         << "set boxwidth 0.9\n"
+         << "set ylabel 'virtual time units'\n"
+         << "set yrange [0:*]\n"
+         << "set key top right\n";
+      gp << "plot";
+      for (std::size_t s = 0; s < schedulers.size(); ++s) {
+        gp << (s == 0 ? " " : ", ") << "'" << sanitize(bench)
+           << ".dat' using " << (s + 2) << ":xtic(1) title '"
+           << schedulers[s] << "'";
+      }
+      gp << "\n";
+    }
+    std::printf("wrote %s.dat and %s.gp\n", stem.c_str(), stem.c_str());
+  }
+  return 0;
+}

@@ -1,0 +1,117 @@
+// Parameter-sweep tool: run any cross product of benchmarks x machines x
+// schedulers in the simulator and emit a CSV (stdout or --out FILE).
+//
+//   wats_sweep --benchmarks GA,SHA-1 --machines AMC1,AMC5 \
+//              --schedulers Cilk,WATS --repeats 10 --seed 42 \
+//              --steal-cost 0.05 --snatch-cost 25 --out sweep.csv
+//
+// This is how new experiment grids (beyond the paper's figures) are
+// produced without writing a bench binary.
+#include <cstdio>
+#include <fstream>
+#include <iostream>
+
+#include "sim/experiment.hpp"
+#include "workloads/scenarios.hpp"
+#include "util/args.hpp"
+#include "util/table.hpp"
+
+using namespace wats;
+
+namespace {
+
+sim::SchedulerKind parse_scheduler(const std::string& s) {
+  if (s == "Cilk") return sim::SchedulerKind::kCilk;
+  if (s == "PFT") return sim::SchedulerKind::kPft;
+  if (s == "RTS") return sim::SchedulerKind::kRts;
+  if (s == "WATS") return sim::SchedulerKind::kWats;
+  if (s == "WATS-NP") return sim::SchedulerKind::kWatsNp;
+  if (s == "WATS-TS") return sim::SchedulerKind::kWatsTs;
+  if (s == "WATS-M") return sim::SchedulerKind::kWatsM;
+  std::fprintf(stderr, "unknown scheduler '%s'\n", s.c_str());
+  std::exit(2);
+}
+
+int usage() {
+  std::fprintf(
+      stderr,
+      "usage: wats_sweep [--benchmarks A,B] [--machines AMC1|8x2.5+8x0.8,..]\n"
+      "                  [--schedulers Cilk,WATS,...] [--repeats N]\n"
+      "                  [--seed S] [--steal-cost X] [--snatch-cost X]\n"
+      "                  [--ewma ALPHA] [--out FILE]\n");
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto unknown = args.unknown({"benchmarks", "machines", "schedulers",
+                                     "repeats", "seed", "steal-cost",
+                                     "snatch-cost", "ewma", "out", "help"});
+  if (!unknown.empty() || args.flag("help")) {
+    for (const auto& u : unknown) {
+      std::fprintf(stderr, "unknown flag --%s\n", u.c_str());
+    }
+    return usage();
+  }
+
+  const auto benchmarks = args.list_or(
+      "benchmarks",
+      {"BWT", "Bzip-2", "DMC", "GA", "LZW", "MD5", "SHA-1", "Dedup",
+       "Ferret"});
+  const auto machines = args.list_or(
+      "machines", {"AMC1", "AMC2", "AMC3", "AMC4", "AMC5", "AMC6", "AMC7"});
+  const auto schedulers =
+      args.list_or("schedulers", {"Cilk", "PFT", "RTS", "WATS"});
+
+  sim::ExperimentConfig cfg;
+  cfg.repeats = static_cast<std::size_t>(args.int_or("repeats", 5));
+  cfg.base_seed = static_cast<std::uint64_t>(args.int_or("seed", 42));
+  cfg.sim.steal_cost = args.double_or("steal-cost", cfg.sim.steal_cost);
+  cfg.sim.snatch_cost = args.double_or("snatch-cost", cfg.sim.snatch_cost);
+  const double ewma = args.double_or("ewma", 0.0);
+  if (ewma > 0.0) {
+    cfg.estimator = core::WorkloadEstimator::kEwma;
+    cfg.ewma_alpha = ewma;
+  }
+
+  util::TextTable table({"benchmark", "machine", "scheduler", "repeats",
+                         "mean_makespan", "min_makespan", "max_makespan",
+                         "mean_steals", "mean_snatches", "utilization"});
+  for (const auto& bench : benchmarks) {
+    const auto& spec = workloads::spec_by_name(bench);
+    for (const auto& machine : machines) {
+      const auto topo = core::amc_by_name_or_spec(machine);
+      for (const auto& sched : schedulers) {
+        const auto r =
+            sim::run_experiment(spec, topo, parse_scheduler(sched), cfg);
+        table.add_row({bench, machine, sched, std::to_string(cfg.repeats),
+                       util::TextTable::num(r.mean_makespan, 2),
+                       util::TextTable::num(r.min_makespan, 2),
+                       util::TextTable::num(r.max_makespan, 2),
+                       util::TextTable::num(r.mean_steals, 1),
+                       util::TextTable::num(r.mean_snatches, 1),
+                       util::TextTable::num(r.mean_utilization, 4)});
+        std::fprintf(stderr, "done: %s / %s / %s\n", bench.c_str(),
+                     machine.c_str(), sched.c_str());
+      }
+    }
+  }
+
+  const std::string csv = table.render_csv();
+  const auto out_path = args.value("out");
+  if (out_path.has_value() && !out_path->empty()) {
+    std::ofstream out(*out_path, std::ios::trunc);
+    if (!out.good()) {
+      std::fprintf(stderr, "cannot open %s\n", out_path->c_str());
+      return 1;
+    }
+    out << csv;
+    std::fprintf(stderr, "wrote %s (%zu rows)\n", out_path->c_str(),
+                 table.rows());
+  } else {
+    std::fputs(csv.c_str(), stdout);
+  }
+  return 0;
+}
