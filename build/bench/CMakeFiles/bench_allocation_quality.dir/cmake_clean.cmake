@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_allocation_quality.dir/bench_allocation_quality.cpp.o"
+  "CMakeFiles/bench_allocation_quality.dir/bench_allocation_quality.cpp.o.d"
+  "bench_allocation_quality"
+  "bench_allocation_quality.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_allocation_quality.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_cmpi_dvfs.dir/bench_cmpi_dvfs.cpp.o"
+  "CMakeFiles/bench_cmpi_dvfs.dir/bench_cmpi_dvfs.cpp.o.d"
+  "bench_cmpi_dvfs"
+  "bench_cmpi_dvfs.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_cmpi_dvfs.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

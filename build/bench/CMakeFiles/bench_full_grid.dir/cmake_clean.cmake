@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_full_grid.dir/bench_full_grid.cpp.o"
+  "CMakeFiles/bench_full_grid.dir/bench_full_grid.cpp.o.d"
+  "bench_full_grid"
+  "bench_full_grid.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_full_grid.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

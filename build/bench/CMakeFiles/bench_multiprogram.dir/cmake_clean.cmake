@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_multiprogram.dir/bench_multiprogram.cpp.o"
+  "CMakeFiles/bench_multiprogram.dir/bench_multiprogram.cpp.o.d"
+  "bench_multiprogram"
+  "bench_multiprogram.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_multiprogram.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

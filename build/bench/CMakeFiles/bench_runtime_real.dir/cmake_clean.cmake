@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_runtime_real.dir/bench_runtime_real.cpp.o"
+  "CMakeFiles/bench_runtime_real.dir/bench_runtime_real.cpp.o.d"
+  "bench_runtime_real"
+  "bench_runtime_real.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_runtime_real.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

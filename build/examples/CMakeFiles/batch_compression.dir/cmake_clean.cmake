@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/batch_compression.dir/batch_compression.cpp.o"
+  "CMakeFiles/batch_compression.dir/batch_compression.cpp.o.d"
+  "batch_compression"
+  "batch_compression.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/batch_compression.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,24 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/examples/image_search.cpp" "examples/CMakeFiles/image_search.dir/image_search.cpp.o" "gcc" "examples/CMakeFiles/image_search.dir/image_search.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wats_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/wats_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wats_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/wats_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wats_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/parallel_transform.dir/parallel_transform.cpp.o"
+  "CMakeFiles/parallel_transform.dir/parallel_transform.cpp.o.d"
+  "parallel_transform"
+  "parallel_transform.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/parallel_transform.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/process_scheduler.dir/process_scheduler.cpp.o"
+  "CMakeFiles/process_scheduler.dir/process_scheduler.cpp.o.d"
+  "process_scheduler"
+  "process_scheduler.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/process_scheduler.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

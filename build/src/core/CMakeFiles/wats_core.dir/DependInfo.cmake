@@ -1,0 +1,31 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/allocation.cpp" "src/core/CMakeFiles/wats_core.dir/allocation.cpp.o" "gcc" "src/core/CMakeFiles/wats_core.dir/allocation.cpp.o.d"
+  "/root/repo/src/core/alt_allocation.cpp" "src/core/CMakeFiles/wats_core.dir/alt_allocation.cpp.o" "gcc" "src/core/CMakeFiles/wats_core.dir/alt_allocation.cpp.o.d"
+  "/root/repo/src/core/cluster.cpp" "src/core/CMakeFiles/wats_core.dir/cluster.cpp.o" "gcc" "src/core/CMakeFiles/wats_core.dir/cluster.cpp.o.d"
+  "/root/repo/src/core/cmpi.cpp" "src/core/CMakeFiles/wats_core.dir/cmpi.cpp.o" "gcc" "src/core/CMakeFiles/wats_core.dir/cmpi.cpp.o.d"
+  "/root/repo/src/core/dnc_detect.cpp" "src/core/CMakeFiles/wats_core.dir/dnc_detect.cpp.o" "gcc" "src/core/CMakeFiles/wats_core.dir/dnc_detect.cpp.o.d"
+  "/root/repo/src/core/hetsched.cpp" "src/core/CMakeFiles/wats_core.dir/hetsched.cpp.o" "gcc" "src/core/CMakeFiles/wats_core.dir/hetsched.cpp.o.d"
+  "/root/repo/src/core/history_io.cpp" "src/core/CMakeFiles/wats_core.dir/history_io.cpp.o" "gcc" "src/core/CMakeFiles/wats_core.dir/history_io.cpp.o.d"
+  "/root/repo/src/core/lower_bound.cpp" "src/core/CMakeFiles/wats_core.dir/lower_bound.cpp.o" "gcc" "src/core/CMakeFiles/wats_core.dir/lower_bound.cpp.o.d"
+  "/root/repo/src/core/preference.cpp" "src/core/CMakeFiles/wats_core.dir/preference.cpp.o" "gcc" "src/core/CMakeFiles/wats_core.dir/preference.cpp.o.d"
+  "/root/repo/src/core/procsched.cpp" "src/core/CMakeFiles/wats_core.dir/procsched.cpp.o" "gcc" "src/core/CMakeFiles/wats_core.dir/procsched.cpp.o.d"
+  "/root/repo/src/core/task_class.cpp" "src/core/CMakeFiles/wats_core.dir/task_class.cpp.o" "gcc" "src/core/CMakeFiles/wats_core.dir/task_class.cpp.o.d"
+  "/root/repo/src/core/topology.cpp" "src/core/CMakeFiles/wats_core.dir/topology.cpp.o" "gcc" "src/core/CMakeFiles/wats_core.dir/topology.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wats_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

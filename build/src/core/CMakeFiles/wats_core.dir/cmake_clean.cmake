@@ -1,0 +1,33 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wats_core.dir/allocation.cpp.o"
+  "CMakeFiles/wats_core.dir/allocation.cpp.o.d"
+  "CMakeFiles/wats_core.dir/alt_allocation.cpp.o"
+  "CMakeFiles/wats_core.dir/alt_allocation.cpp.o.d"
+  "CMakeFiles/wats_core.dir/cluster.cpp.o"
+  "CMakeFiles/wats_core.dir/cluster.cpp.o.d"
+  "CMakeFiles/wats_core.dir/cmpi.cpp.o"
+  "CMakeFiles/wats_core.dir/cmpi.cpp.o.d"
+  "CMakeFiles/wats_core.dir/dnc_detect.cpp.o"
+  "CMakeFiles/wats_core.dir/dnc_detect.cpp.o.d"
+  "CMakeFiles/wats_core.dir/hetsched.cpp.o"
+  "CMakeFiles/wats_core.dir/hetsched.cpp.o.d"
+  "CMakeFiles/wats_core.dir/history_io.cpp.o"
+  "CMakeFiles/wats_core.dir/history_io.cpp.o.d"
+  "CMakeFiles/wats_core.dir/lower_bound.cpp.o"
+  "CMakeFiles/wats_core.dir/lower_bound.cpp.o.d"
+  "CMakeFiles/wats_core.dir/preference.cpp.o"
+  "CMakeFiles/wats_core.dir/preference.cpp.o.d"
+  "CMakeFiles/wats_core.dir/procsched.cpp.o"
+  "CMakeFiles/wats_core.dir/procsched.cpp.o.d"
+  "CMakeFiles/wats_core.dir/task_class.cpp.o"
+  "CMakeFiles/wats_core.dir/task_class.cpp.o.d"
+  "CMakeFiles/wats_core.dir/topology.cpp.o"
+  "CMakeFiles/wats_core.dir/topology.cpp.o.d"
+  "libwats_core.a"
+  "libwats_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wats_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

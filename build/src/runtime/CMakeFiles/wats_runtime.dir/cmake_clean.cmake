@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wats_runtime.dir/runtime.cpp.o"
+  "CMakeFiles/wats_runtime.dir/runtime.cpp.o.d"
+  "libwats_runtime.a"
+  "libwats_runtime.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wats_runtime.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

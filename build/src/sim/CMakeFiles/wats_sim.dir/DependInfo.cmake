@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/sim/engine.cpp" "src/sim/CMakeFiles/wats_sim.dir/engine.cpp.o" "gcc" "src/sim/CMakeFiles/wats_sim.dir/engine.cpp.o.d"
+  "/root/repo/src/sim/experiment.cpp" "src/sim/CMakeFiles/wats_sim.dir/experiment.cpp.o" "gcc" "src/sim/CMakeFiles/wats_sim.dir/experiment.cpp.o.d"
+  "/root/repo/src/sim/multiprogram.cpp" "src/sim/CMakeFiles/wats_sim.dir/multiprogram.cpp.o" "gcc" "src/sim/CMakeFiles/wats_sim.dir/multiprogram.cpp.o.d"
+  "/root/repo/src/sim/schedulers.cpp" "src/sim/CMakeFiles/wats_sim.dir/schedulers.cpp.o" "gcc" "src/sim/CMakeFiles/wats_sim.dir/schedulers.cpp.o.d"
+  "/root/repo/src/sim/trace.cpp" "src/sim/CMakeFiles/wats_sim.dir/trace.cpp.o" "gcc" "src/sim/CMakeFiles/wats_sim.dir/trace.cpp.o.d"
+  "/root/repo/src/sim/workload_adapter.cpp" "src/sim/CMakeFiles/wats_sim.dir/workload_adapter.cpp.o" "gcc" "src/sim/CMakeFiles/wats_sim.dir/workload_adapter.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/core/CMakeFiles/wats_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/wats_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wats_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/wats_runtime.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wats_sim.dir/engine.cpp.o"
+  "CMakeFiles/wats_sim.dir/engine.cpp.o.d"
+  "CMakeFiles/wats_sim.dir/experiment.cpp.o"
+  "CMakeFiles/wats_sim.dir/experiment.cpp.o.d"
+  "CMakeFiles/wats_sim.dir/multiprogram.cpp.o"
+  "CMakeFiles/wats_sim.dir/multiprogram.cpp.o.d"
+  "CMakeFiles/wats_sim.dir/schedulers.cpp.o"
+  "CMakeFiles/wats_sim.dir/schedulers.cpp.o.d"
+  "CMakeFiles/wats_sim.dir/trace.cpp.o"
+  "CMakeFiles/wats_sim.dir/trace.cpp.o.d"
+  "CMakeFiles/wats_sim.dir/workload_adapter.cpp.o"
+  "CMakeFiles/wats_sim.dir/workload_adapter.cpp.o.d"
+  "libwats_sim.a"
+  "libwats_sim.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wats_sim.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libwats_sim.a"
+)

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wats_util.dir/args.cpp.o"
+  "CMakeFiles/wats_util.dir/args.cpp.o.d"
+  "CMakeFiles/wats_util.dir/bytes.cpp.o"
+  "CMakeFiles/wats_util.dir/bytes.cpp.o.d"
+  "CMakeFiles/wats_util.dir/stats.cpp.o"
+  "CMakeFiles/wats_util.dir/stats.cpp.o.d"
+  "CMakeFiles/wats_util.dir/table.cpp.o"
+  "CMakeFiles/wats_util.dir/table.cpp.o.d"
+  "libwats_util.a"
+  "libwats_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wats_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

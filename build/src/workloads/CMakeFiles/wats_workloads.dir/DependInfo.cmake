@@ -1,0 +1,38 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/workloads/bwt.cpp" "src/workloads/CMakeFiles/wats_workloads.dir/bwt.cpp.o" "gcc" "src/workloads/CMakeFiles/wats_workloads.dir/bwt.cpp.o.d"
+  "/root/repo/src/workloads/bzip2_like.cpp" "src/workloads/CMakeFiles/wats_workloads.dir/bzip2_like.cpp.o" "gcc" "src/workloads/CMakeFiles/wats_workloads.dir/bzip2_like.cpp.o.d"
+  "/root/repo/src/workloads/datagen.cpp" "src/workloads/CMakeFiles/wats_workloads.dir/datagen.cpp.o" "gcc" "src/workloads/CMakeFiles/wats_workloads.dir/datagen.cpp.o.d"
+  "/root/repo/src/workloads/dedup.cpp" "src/workloads/CMakeFiles/wats_workloads.dir/dedup.cpp.o" "gcc" "src/workloads/CMakeFiles/wats_workloads.dir/dedup.cpp.o.d"
+  "/root/repo/src/workloads/dmc.cpp" "src/workloads/CMakeFiles/wats_workloads.dir/dmc.cpp.o" "gcc" "src/workloads/CMakeFiles/wats_workloads.dir/dmc.cpp.o.d"
+  "/root/repo/src/workloads/drivers.cpp" "src/workloads/CMakeFiles/wats_workloads.dir/drivers.cpp.o" "gcc" "src/workloads/CMakeFiles/wats_workloads.dir/drivers.cpp.o.d"
+  "/root/repo/src/workloads/ferret.cpp" "src/workloads/CMakeFiles/wats_workloads.dir/ferret.cpp.o" "gcc" "src/workloads/CMakeFiles/wats_workloads.dir/ferret.cpp.o.d"
+  "/root/repo/src/workloads/ga.cpp" "src/workloads/CMakeFiles/wats_workloads.dir/ga.cpp.o" "gcc" "src/workloads/CMakeFiles/wats_workloads.dir/ga.cpp.o.d"
+  "/root/repo/src/workloads/huffman.cpp" "src/workloads/CMakeFiles/wats_workloads.dir/huffman.cpp.o" "gcc" "src/workloads/CMakeFiles/wats_workloads.dir/huffman.cpp.o.d"
+  "/root/repo/src/workloads/lzw.cpp" "src/workloads/CMakeFiles/wats_workloads.dir/lzw.cpp.o" "gcc" "src/workloads/CMakeFiles/wats_workloads.dir/lzw.cpp.o.d"
+  "/root/repo/src/workloads/md5.cpp" "src/workloads/CMakeFiles/wats_workloads.dir/md5.cpp.o" "gcc" "src/workloads/CMakeFiles/wats_workloads.dir/md5.cpp.o.d"
+  "/root/repo/src/workloads/mtf_rle.cpp" "src/workloads/CMakeFiles/wats_workloads.dir/mtf_rle.cpp.o" "gcc" "src/workloads/CMakeFiles/wats_workloads.dir/mtf_rle.cpp.o.d"
+  "/root/repo/src/workloads/nqueens.cpp" "src/workloads/CMakeFiles/wats_workloads.dir/nqueens.cpp.o" "gcc" "src/workloads/CMakeFiles/wats_workloads.dir/nqueens.cpp.o.d"
+  "/root/repo/src/workloads/scenarios.cpp" "src/workloads/CMakeFiles/wats_workloads.dir/scenarios.cpp.o" "gcc" "src/workloads/CMakeFiles/wats_workloads.dir/scenarios.cpp.o.d"
+  "/root/repo/src/workloads/sha1.cpp" "src/workloads/CMakeFiles/wats_workloads.dir/sha1.cpp.o" "gcc" "src/workloads/CMakeFiles/wats_workloads.dir/sha1.cpp.o.d"
+  "/root/repo/src/workloads/suffix_array.cpp" "src/workloads/CMakeFiles/wats_workloads.dir/suffix_array.cpp.o" "gcc" "src/workloads/CMakeFiles/wats_workloads.dir/suffix_array.cpp.o.d"
+  "/root/repo/src/workloads/workload_model.cpp" "src/workloads/CMakeFiles/wats_workloads.dir/workload_model.cpp.o" "gcc" "src/workloads/CMakeFiles/wats_workloads.dir/workload_model.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/wats_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/wats_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wats_core.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

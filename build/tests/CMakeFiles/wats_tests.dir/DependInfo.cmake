@@ -1,0 +1,66 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/allocation_test.cpp" "tests/CMakeFiles/wats_tests.dir/allocation_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/allocation_test.cpp.o.d"
+  "/root/repo/tests/alt_allocation_test.cpp" "tests/CMakeFiles/wats_tests.dir/alt_allocation_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/alt_allocation_test.cpp.o.d"
+  "/root/repo/tests/args_test.cpp" "tests/CMakeFiles/wats_tests.dir/args_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/args_test.cpp.o.d"
+  "/root/repo/tests/cluster_test.cpp" "tests/CMakeFiles/wats_tests.dir/cluster_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/cluster_test.cpp.o.d"
+  "/root/repo/tests/cmpi_test.cpp" "tests/CMakeFiles/wats_tests.dir/cmpi_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/cmpi_test.cpp.o.d"
+  "/root/repo/tests/compress_test.cpp" "tests/CMakeFiles/wats_tests.dir/compress_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/compress_test.cpp.o.d"
+  "/root/repo/tests/dedup_test.cpp" "tests/CMakeFiles/wats_tests.dir/dedup_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/dedup_test.cpp.o.d"
+  "/root/repo/tests/dnc_test.cpp" "tests/CMakeFiles/wats_tests.dir/dnc_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/dnc_test.cpp.o.d"
+  "/root/repo/tests/drivers_test.cpp" "tests/CMakeFiles/wats_tests.dir/drivers_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/drivers_test.cpp.o.d"
+  "/root/repo/tests/edge_test.cpp" "tests/CMakeFiles/wats_tests.dir/edge_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/edge_test.cpp.o.d"
+  "/root/repo/tests/ferret_test.cpp" "tests/CMakeFiles/wats_tests.dir/ferret_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/ferret_test.cpp.o.d"
+  "/root/repo/tests/full_grid_test.cpp" "tests/CMakeFiles/wats_tests.dir/full_grid_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/full_grid_test.cpp.o.d"
+  "/root/repo/tests/ga_test.cpp" "tests/CMakeFiles/wats_tests.dir/ga_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/ga_test.cpp.o.d"
+  "/root/repo/tests/golden_test.cpp" "tests/CMakeFiles/wats_tests.dir/golden_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/golden_test.cpp.o.d"
+  "/root/repo/tests/hash_test.cpp" "tests/CMakeFiles/wats_tests.dir/hash_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/hash_test.cpp.o.d"
+  "/root/repo/tests/hetsched_test.cpp" "tests/CMakeFiles/wats_tests.dir/hetsched_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/hetsched_test.cpp.o.d"
+  "/root/repo/tests/history_io_test.cpp" "tests/CMakeFiles/wats_tests.dir/history_io_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/history_io_test.cpp.o.d"
+  "/root/repo/tests/kernel_comparison_test.cpp" "tests/CMakeFiles/wats_tests.dir/kernel_comparison_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/kernel_comparison_test.cpp.o.d"
+  "/root/repo/tests/misc_coverage_test.cpp" "tests/CMakeFiles/wats_tests.dir/misc_coverage_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/misc_coverage_test.cpp.o.d"
+  "/root/repo/tests/multiprogram_test.cpp" "tests/CMakeFiles/wats_tests.dir/multiprogram_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/multiprogram_test.cpp.o.d"
+  "/root/repo/tests/nqueens_test.cpp" "tests/CMakeFiles/wats_tests.dir/nqueens_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/nqueens_test.cpp.o.d"
+  "/root/repo/tests/parallel_for_test.cpp" "tests/CMakeFiles/wats_tests.dir/parallel_for_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/parallel_for_test.cpp.o.d"
+  "/root/repo/tests/pipeline_api_test.cpp" "tests/CMakeFiles/wats_tests.dir/pipeline_api_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/pipeline_api_test.cpp.o.d"
+  "/root/repo/tests/preference_test.cpp" "tests/CMakeFiles/wats_tests.dir/preference_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/preference_test.cpp.o.d"
+  "/root/repo/tests/procsched_test.cpp" "tests/CMakeFiles/wats_tests.dir/procsched_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/procsched_test.cpp.o.d"
+  "/root/repo/tests/property_harness_test.cpp" "tests/CMakeFiles/wats_tests.dir/property_harness_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/property_harness_test.cpp.o.d"
+  "/root/repo/tests/reproduction_test.cpp" "tests/CMakeFiles/wats_tests.dir/reproduction_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/reproduction_test.cpp.o.d"
+  "/root/repo/tests/rts_swap_test.cpp" "tests/CMakeFiles/wats_tests.dir/rts_swap_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/rts_swap_test.cpp.o.d"
+  "/root/repo/tests/runtime_concurrency_test.cpp" "tests/CMakeFiles/wats_tests.dir/runtime_concurrency_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/runtime_concurrency_test.cpp.o.d"
+  "/root/repo/tests/runtime_placement_test.cpp" "tests/CMakeFiles/wats_tests.dir/runtime_placement_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/runtime_placement_test.cpp.o.d"
+  "/root/repo/tests/runtime_test.cpp" "tests/CMakeFiles/wats_tests.dir/runtime_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/runtime_test.cpp.o.d"
+  "/root/repo/tests/scenarios_test.cpp" "tests/CMakeFiles/wats_tests.dir/scenarios_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/scenarios_test.cpp.o.d"
+  "/root/repo/tests/scheduler_order_test.cpp" "tests/CMakeFiles/wats_tests.dir/scheduler_order_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/scheduler_order_test.cpp.o.d"
+  "/root/repo/tests/sim_ext_test.cpp" "tests/CMakeFiles/wats_tests.dir/sim_ext_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/sim_ext_test.cpp.o.d"
+  "/root/repo/tests/sim_metrics_test.cpp" "tests/CMakeFiles/wats_tests.dir/sim_metrics_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/sim_metrics_test.cpp.o.d"
+  "/root/repo/tests/sim_test.cpp" "tests/CMakeFiles/wats_tests.dir/sim_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/sim_test.cpp.o.d"
+  "/root/repo/tests/suffix_array_test.cpp" "tests/CMakeFiles/wats_tests.dir/suffix_array_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/suffix_array_test.cpp.o.d"
+  "/root/repo/tests/task_class_test.cpp" "tests/CMakeFiles/wats_tests.dir/task_class_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/task_class_test.cpp.o.d"
+  "/root/repo/tests/task_group_test.cpp" "tests/CMakeFiles/wats_tests.dir/task_group_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/task_group_test.cpp.o.d"
+  "/root/repo/tests/topology_test.cpp" "tests/CMakeFiles/wats_tests.dir/topology_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/topology_test.cpp.o.d"
+  "/root/repo/tests/util_test.cpp" "tests/CMakeFiles/wats_tests.dir/util_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/util_test.cpp.o.d"
+  "/root/repo/tests/warm_start_test.cpp" "tests/CMakeFiles/wats_tests.dir/warm_start_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/warm_start_test.cpp.o.d"
+  "/root/repo/tests/workload_model_test.cpp" "tests/CMakeFiles/wats_tests.dir/workload_model_test.cpp.o" "gcc" "tests/CMakeFiles/wats_tests.dir/workload_model_test.cpp.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/sim/CMakeFiles/wats_sim.dir/DependInfo.cmake"
+  "/root/repo/build/src/runtime/CMakeFiles/wats_runtime.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/wats_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/workloads/CMakeFiles/wats_workloads.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/wats_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wats_calibrate.dir/wats_calibrate.cpp.o"
+  "CMakeFiles/wats_calibrate.dir/wats_calibrate.cpp.o.d"
+  "wats_calibrate"
+  "wats_calibrate.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wats_calibrate.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

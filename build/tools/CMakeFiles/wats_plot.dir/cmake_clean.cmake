@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wats_plot.dir/wats_plot.cpp.o"
+  "CMakeFiles/wats_plot.dir/wats_plot.cpp.o.d"
+  "wats_plot"
+  "wats_plot.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wats_plot.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/wats_sweep.dir/wats_sweep.cpp.o"
+  "CMakeFiles/wats_sweep.dir/wats_sweep.cpp.o.d"
+  "wats_sweep"
+  "wats_sweep.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/wats_sweep.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()
