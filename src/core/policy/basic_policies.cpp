@@ -1,0 +1,134 @@
+// The history-free policies: Cilk, PFT, RTS, and the LPT oracle.
+#include <memory>
+
+#include "core/policy/policy.hpp"
+#include "util/check.hpp"
+
+namespace wats::core::policy {
+namespace {
+
+// ---------------------------------------------------------------------
+// Cilk: child-first spawning with random continuation stealing.
+//
+// For the flat spawn loops of the batch/pipeline drivers, child-first
+// work-stealing means the spawner executes each child immediately while
+// the continuation (which spawns the rest) is stolen by whichever core
+// goes idle next. The net effect — tasks handed out in spawn order to
+// cores in idle order, each handoff costing one steal — is modelled by a
+// central FIFO; the driver remembers each task's spawner so the spawner
+// itself pays no steal cost for a task it picks up directly.
+// ---------------------------------------------------------------------
+class CilkPolicy : public PolicyKernel {
+ public:
+  CilkPolicy() : PolicyKernel(PolicyKind::kCilk) {}
+
+  bool uses_central_queue() const override { return true; }
+
+  Placement place(TaskClassId) override {
+    return {Placement::Where::kCentral, 0};
+  }
+
+  std::optional<AcquireDecision> acquire(MachineView& view,
+                                         CoreIndex) override {
+    if (view.central_size(0) == 0) return std::nullopt;
+    return AcquireDecision{AcquireDecision::Action::kTakeCentral, 0};
+  }
+
+ protected:
+  explicit CilkPolicy(PolicyKind kind) : PolicyKernel(kind) {}
+};
+
+// ---------------------------------------------------------------------
+// RTS (Bender & Rabin style random task snatching): Cilk spawning and
+// stealing, plus: an idle faster core preempts the task of a RANDOMLY
+// chosen busy slower core (thread swap, cost Delta_s).
+// ---------------------------------------------------------------------
+class RtsPolicy : public CilkPolicy {
+ public:
+  RtsPolicy() : CilkPolicy(PolicyKind::kRts) {}
+
+  bool may_snatch() const override { return true; }
+
+  std::optional<CoreIndex> snatch_victim(MachineView& view,
+                                         CoreIndex thief) override {
+    return random_busy_slower(view, thief);
+  }
+};
+
+// ---------------------------------------------------------------------
+// PFT: parent-first spawning + traditional random task stealing.
+// Spawned tasks pile up in the spawner's pool; idle cores pop their own
+// pool LIFO, drain the central (external-spawn) lane, or steal FIFO from
+// a random non-empty victim.
+// ---------------------------------------------------------------------
+class PftPolicy : public PolicyKernel {
+ public:
+  PftPolicy() : PolicyKernel(PolicyKind::kPft) {}
+
+  Placement place(TaskClassId) override {
+    return {Placement::Where::kLocalPool, 0};
+  }
+
+  std::optional<AcquireDecision> acquire(MachineView& view,
+                                         CoreIndex self) override {
+    if (view.pool_size(self, 0) > 0) {
+      return AcquireDecision{AcquireDecision::Action::kPopLocal, 0};
+    }
+    if (view.central_size(0) > 0) {
+      return AcquireDecision{AcquireDecision::Action::kTakeCentral, 0};
+    }
+    const auto victim =
+        pick_steal_victim(view, self, 0, options().steal_victim);
+    if (!victim.has_value()) return std::nullopt;
+    return AcquireDecision{AcquireDecision::Action::kSteal, 0, *victim};
+  }
+};
+
+// ---------------------------------------------------------------------
+// LPT oracle: global pool, longest task first, free acquisition. Not a
+// realizable scheduler (it knows exact workloads and pays no overheads);
+// used as the achievable-upper-bound baseline in benches and tests.
+// ---------------------------------------------------------------------
+class LptOraclePolicy : public PolicyKernel {
+ public:
+  LptOraclePolicy() : PolicyKernel(PolicyKind::kLptOracle) {}
+
+  bool uses_central_queue() const override { return true; }
+  CentralOrder central_order() const override {
+    return CentralOrder::kLongestFirst;
+  }
+  bool central_is_free() const override { return true; }
+
+  Placement place(TaskClassId) override {
+    return {Placement::Where::kCentral, 0};
+  }
+
+  std::optional<AcquireDecision> acquire(MachineView& view,
+                                         CoreIndex) override {
+    if (view.central_size(0) == 0) return std::nullopt;
+    return AcquireDecision{AcquireDecision::Action::kTakeCentral, 0};
+  }
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<PolicyKernel> make_basic_policy(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kCilk:
+      return std::make_unique<CilkPolicy>();
+    case PolicyKind::kPft:
+      return std::make_unique<PftPolicy>();
+    case PolicyKind::kRts:
+      return std::make_unique<RtsPolicy>();
+    case PolicyKind::kLptOracle:
+      return std::make_unique<LptOraclePolicy>();
+    default:
+      WATS_CHECK_MSG(false, "not a basic policy kind");
+      __builtin_unreachable();
+  }
+}
+
+}  // namespace detail
+}  // namespace wats::core::policy

@@ -1,0 +1,115 @@
+#include "core/policy/policy.hpp"
+
+#include <vector>
+
+#include "util/check.hpp"
+
+namespace wats::core::policy {
+
+std::string to_string(PolicyKind kind) {
+  switch (kind) {
+    case PolicyKind::kCilk:
+      return "Cilk";
+    case PolicyKind::kPft:
+      return "PFT";
+    case PolicyKind::kRts:
+      return "RTS";
+    case PolicyKind::kWats:
+      return "WATS";
+    case PolicyKind::kWatsNp:
+      return "WATS-NP";
+    case PolicyKind::kWatsTs:
+      return "WATS-TS";
+    case PolicyKind::kWatsM:
+      return "WATS-M";
+    case PolicyKind::kLptOracle:
+      return "LPT-oracle";
+  }
+  WATS_CHECK_MSG(false, "unknown policy kind");
+  __builtin_unreachable();
+}
+
+std::optional<CoreIndex> pick_steal_victim(MachineView& view, CoreIndex self,
+                                           GroupIndex lane,
+                                           StealVictimRule rule) {
+  const std::size_t n = view.topology().total_cores();
+  if (rule == StealVictimRule::kRandom) {
+    std::vector<CoreIndex> candidates;
+    candidates.reserve(n);
+    for (CoreIndex c = 0; c < n; ++c) {
+      if (c != self && view.pool_size(c, lane) > 0) candidates.push_back(c);
+    }
+    if (candidates.empty()) return std::nullopt;
+    return candidates[view.random_below(candidates.size())];
+  }
+  std::optional<CoreIndex> best;
+  double best_work = 0.0;
+  for (CoreIndex c = 0; c < n; ++c) {
+    if (c == self || view.pool_size(c, lane) == 0) continue;
+    const double w = view.pool_queued_work(c, lane);
+    if (!best.has_value() || w > best_work) {
+      best = c;
+      best_work = w;
+    }
+  }
+  return best;
+}
+
+std::optional<CoreIndex> random_busy_slower(MachineView& view,
+                                            CoreIndex thief) {
+  const double my_speed = view.core_speed(thief);
+  const std::size_t n = view.topology().total_cores();
+  std::vector<CoreIndex> candidates;
+  candidates.reserve(n);
+  for (CoreIndex c = 0; c < n; ++c) {
+    if (c != thief && view.core_busy(c) && view.core_speed(c) < my_speed) {
+      candidates.push_back(c);
+    }
+  }
+  if (candidates.empty()) return std::nullopt;
+  return candidates[view.random_below(candidates.size())];
+}
+
+std::optional<CoreIndex> largest_remaining_busy_slower(MachineView& view,
+                                                       CoreIndex thief) {
+  const double my_speed = view.core_speed(thief);
+  const std::size_t n = view.topology().total_cores();
+  std::optional<CoreIndex> best;
+  double best_remaining = 0.0;
+  for (CoreIndex c = 0; c < n; ++c) {
+    if (c == thief || !view.core_busy(c)) continue;
+    if (view.core_speed(c) >= my_speed) continue;
+    const double rem = view.running_remaining(c);
+    if (rem > best_remaining) {
+      best_remaining = rem;
+      best = c;
+    }
+  }
+  return best;
+}
+
+namespace detail {
+std::unique_ptr<PolicyKernel> make_basic_policy(PolicyKind kind);
+std::unique_ptr<PolicyKernel> make_wats_policy(PolicyKind kind,
+                                               TaskClassRegistry& registry);
+}  // namespace detail
+
+std::unique_ptr<PolicyKernel> make_policy(PolicyKind kind,
+                                          TaskClassRegistry& registry) {
+  switch (kind) {
+    case PolicyKind::kCilk:
+    case PolicyKind::kPft:
+    case PolicyKind::kRts:
+    case PolicyKind::kLptOracle:
+      return detail::make_basic_policy(kind);
+    case PolicyKind::kWats:
+    case PolicyKind::kWatsNp:
+    case PolicyKind::kWatsTs:
+    case PolicyKind::kWatsM:
+      return detail::make_wats_policy(kind, registry);
+  }
+  WATS_CHECK_MSG(false, "unknown policy kind");
+  __builtin_unreachable();
+}
+
+}  // namespace wats::core::policy

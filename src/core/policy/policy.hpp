@@ -1,0 +1,215 @@
+// The backend-agnostic scheduling-decision kernel.
+//
+// Every evaluated policy (Cilk, PFT, RTS, the WATS family, the LPT oracle)
+// is implemented ONCE here, as pure decisions over a MachineView: where a
+// spawned task is placed, what an idle core should do next, which victim a
+// snatch preempts, when the class->cluster map is rebuilt, and when the
+// divide-and-conquer fallback (§IV-E) engages. The virtual-time simulator
+// and the real-thread runtime are thin drivers that execute these
+// decisions against their own mechanics (PoolSet deques vs Chase–Lev
+// deques, virtual latencies vs wall clock). New policies land in this
+// directory only — a policy that touches src/sim or src/runtime directly
+// cannot be validated in both backends.
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <optional>
+#include <string>
+
+#include "core/cluster.hpp"
+#include "core/policy/view.hpp"
+#include "core/task_class.hpp"
+#include "core/topology.hpp"
+
+namespace wats::core::policy {
+
+enum class PolicyKind {
+  kCilk,    ///< child-first spawning, random continuation stealing
+  kPft,     ///< parent-first + plain random task stealing
+  kRts,     ///< Cilk + random task snatching (Bender & Rabin style)
+  kWats,    ///< history-based allocation + preference stealing
+  kWatsNp,  ///< WATS without cross-cluster stealing (§IV-C ablation)
+  kWatsTs,  ///< WATS + workload-aware snatching (§IV-D)
+  /// WATS-M (§IV-E extension): classes observed to be memory-bound are
+  /// pinned to the slowest c-group — fast cores cannot speed them up, so
+  /// they should not occupy fast-core capacity.
+  kWatsM,
+  /// Omniscient LPT oracle (not in the paper): a single global pool from
+  /// which every idle core takes the LONGEST remaining task, with exact
+  /// workload knowledge and no steal cost. An upper baseline showing how
+  /// much headroom remains above WATS's history-based approximation.
+  kLptOracle,
+};
+
+std::string to_string(PolicyKind kind);
+
+/// Steal-victim selection: uniformly random among qualifying cores (the
+/// paper's policy) or the core with the most queued work ("richest").
+enum class StealVictimRule { kRandom, kRichest };
+
+/// How a backend's central queue hands out tasks.
+enum class CentralOrder {
+  kFifo,          ///< spawn order (Cilk's continuation-steal order)
+  kLongestFirst,  ///< largest remaining work first (LPT oracle)
+};
+
+/// Backend-independent tuning knobs, bound once before the run.
+struct PolicyOptions {
+  StealVictimRule steal_victim = StealVictimRule::kRandom;
+  ClusterAlgorithm cluster_algorithm = ClusterAlgorithm::kAlgorithm1;
+  /// Automatic fallback to plain stealing for divide-and-conquer programs
+  /// (§IV-E): enabled when the observed self-recursive spawn fraction
+  /// exceeds dnc_threshold after dnc_min_spawns spawns.
+  bool dnc_fallback = true;
+  double dnc_threshold = 0.5;
+  std::uint64_t dnc_min_spawns = 64;
+};
+
+/// Where a newly spawned task goes.
+struct Placement {
+  enum class Where {
+    kLocalPool,  ///< the spawner's own pool for lane `lane`
+    kCentral,    ///< the shared central queue for lane `lane`
+  };
+  Where where = Where::kLocalPool;
+  GroupIndex lane = 0;  ///< task-cluster lane (always 0 for 1-lane policies)
+};
+
+/// What an idle core should do. The decision is computed against a possibly
+/// stale MachineView; drivers whose queues race (the real runtime) must
+/// tolerate the chosen source having drained and simply ask again.
+struct AcquireDecision {
+  enum class Action {
+    kPopLocal,     ///< pop own pool for `lane` (LIFO / deque bottom)
+    kTakeCentral,  ///< take from the central queue for `lane`
+    kSteal,        ///< steal from `victim`'s pool for `lane`
+  };
+  Action action = Action::kPopLocal;
+  GroupIndex lane = 0;
+  CoreIndex victim = 0;       ///< kSteal only
+  /// kSteal only: take the victim's LIGHTEST task (robbing a faster
+  /// cluster, §II) instead of the oldest (FIFO).
+  bool take_lightest = false;
+
+  friend bool operator==(const AcquireDecision&,
+                         const AcquireDecision&) = default;
+};
+
+class PolicyKernel {
+ public:
+  virtual ~PolicyKernel() = default;
+
+  PolicyKind kind() const { return kind_; }
+
+  /// Bind to a machine before the run. Must be called exactly once, before
+  /// any other decision method.
+  virtual void bind(const AmcTopology& topo, const PolicyOptions& options) {
+    topo_ = &topo;
+    options_ = options;
+  }
+
+  // ---- structural properties (drivers size their queues from these) ----
+
+  /// Number of task-cluster lanes (local pools and central lanes) the
+  /// backend must provide per core: k for the WATS family, 1 otherwise.
+  virtual std::size_t lane_count() const { return 1; }
+
+  /// True when spawns are placed centrally (Cilk, RTS, LPT oracle).
+  virtual bool uses_central_queue() const { return false; }
+
+  virtual CentralOrder central_order() const { return CentralOrder::kFifo; }
+
+  /// True when taking from the central queue costs nothing even across
+  /// cores (the LPT oracle pays no overheads).
+  virtual bool central_is_free() const { return false; }
+
+  /// True when the policy preempts running tasks (RTS, WATS-TS).
+  virtual bool may_snatch() const { return false; }
+
+  /// True when the policy consumes completion history (the WATS family):
+  /// the driver must feed completions into the shared TaskClassRegistry.
+  virtual bool wants_history() const { return false; }
+
+  // ---- decisions ----
+
+  /// Placement of a newly spawned task of class `cls`.
+  virtual Placement place(TaskClassId cls) = 0;
+
+  /// Next action for an idle core, or nothing when the view shows no
+  /// reachable work.
+  virtual std::optional<AcquireDecision> acquire(MachineView& view,
+                                                 CoreIndex self) = 0;
+
+  /// Snatch victim for an idle `thief` that found no queued work, or
+  /// nothing. Only policies with may_snatch() pick one.
+  virtual std::optional<CoreIndex> snatch_victim(MachineView& view,
+                                                 CoreIndex thief) {
+    (void)view;
+    (void)thief;
+    return std::nullopt;
+  }
+
+  /// Observe a spawn edge (parent class -> child class) for
+  /// divide-and-conquer detection. kNoTaskClass parents are ignored.
+  virtual void record_spawn_edge(TaskClassId parent, TaskClassId child) {
+    (void)parent;
+    (void)child;
+  }
+
+  /// Recluster trigger (Algorithm 1): rebuild the class->cluster map iff
+  /// new completions arrived since the last rebuild. Returns true when a
+  /// rebuild happened. Thread-safe; the runtime's helper thread calls this
+  /// periodically while workers read the map.
+  virtual bool maybe_recluster() { return false; }
+
+  /// True when the §IV-E divide-and-conquer fallback currently routes
+  /// everything through plain random stealing.
+  virtual bool dnc_active() const { return false; }
+
+  /// Current cluster of a class (0 for policies without clustering).
+  virtual GroupIndex cluster_of(TaskClassId cls) const {
+    (void)cls;
+    return 0;
+  }
+
+ protected:
+  explicit PolicyKernel(PolicyKind kind) : kind_(kind) {}
+
+  const AmcTopology& topology() const { return *topo_; }
+  const PolicyOptions& options() const { return options_; }
+
+ private:
+  PolicyKind kind_;
+  const AmcTopology* topo_ = nullptr;
+  PolicyOptions options_;
+};
+
+/// Factory. The registry is shared with the backend and the workload
+/// drivers (all sides must agree on task-class ids); only the WATS family
+/// reads it, and the DRIVER owns writing completions into it (see
+/// wants_history()).
+std::unique_ptr<PolicyKernel> make_policy(PolicyKind kind,
+                                          TaskClassRegistry& registry);
+
+// ---- shared selection helpers (used by several policies) ----
+
+/// Uniformly random victim among cores (excluding `self`) whose pool for
+/// `lane` appears non-empty, or the richest such pool, per `rule`.
+/// Candidates are enumerated in core order and the random rule draws
+/// exactly once — the contract the simulator's bit-reproducibility
+/// depends on.
+std::optional<CoreIndex> pick_steal_victim(MachineView& view, CoreIndex self,
+                                           GroupIndex lane,
+                                           StealVictimRule rule);
+
+/// Uniformly random busy core strictly slower than `thief` (RTS snatch).
+std::optional<CoreIndex> random_busy_slower(MachineView& view,
+                                            CoreIndex thief);
+
+/// Busy core strictly slower than `thief` running the task with the
+/// largest remaining work (WATS-TS snatch, §IV-D). First maximum wins.
+std::optional<CoreIndex> largest_remaining_busy_slower(MachineView& view,
+                                                       CoreIndex thief);
+
+}  // namespace wats::core::policy

@@ -1,0 +1,72 @@
+// The backend-supplied machine view the policy kernel decides against.
+//
+// A scheduling policy needs to observe the machine — queue depths, who is
+// busy, how fast each core is, how much work a running task has left — and
+// to draw random numbers. How those observations are obtained differs
+// radically between the virtual-time simulator (exact, single-threaded,
+// one global seeded RNG) and the real-thread runtime (racy approximate
+// reads over Chase–Lev deques, per-worker RNGs). MachineView is the
+// narrow waist between the two: each backend implements it over its own
+// state, and every policy in src/core/policy reads the machine only
+// through it.
+#pragma once
+
+#include <cstdint>
+
+#include "core/topology.hpp"
+
+namespace wats::core::policy {
+
+class MachineView {
+ public:
+  virtual ~MachineView() = default;
+
+  virtual const AmcTopology& topology() const = 0;
+
+  // ---- queue state ----
+
+  /// Tasks queued in `core`'s local pool for `cluster`. Backends may
+  /// return a racy approximation (the runtime's deque sizes); decisions
+  /// that act on it must tolerate the pool having drained meanwhile.
+  virtual std::size_t pool_size(CoreIndex core, GroupIndex cluster) const = 0;
+
+  /// Total queued work in that pool. The simulator reports exact
+  /// F1-normalized work; the runtime approximates with the task count
+  /// (unit weights) since a deque cannot be traversed by observers.
+  virtual double pool_queued_work(CoreIndex core,
+                                  GroupIndex cluster) const = 0;
+
+  /// Work of the lightest task queued in that pool. Only meaningful when
+  /// pool_size() > 0 (the simulator aborts otherwise; the runtime returns
+  /// its unit-weight approximation).
+  virtual double pool_lightest_work(CoreIndex core,
+                                    GroupIndex cluster) const = 0;
+
+  /// Entries in the central queue lane (Cilk-style shared FIFO, or the
+  /// runtime's external-spawn lane). Backends without a central lane for
+  /// the policy return 0.
+  virtual std::size_t central_size(GroupIndex lane) const = 0;
+
+  // ---- running-task state ----
+
+  virtual bool core_busy(CoreIndex core) const = 0;
+
+  /// Current speed of a core. The simulator reports the c-group frequency;
+  /// the runtime reports the worker's emulated speed scale (which RTS-style
+  /// speed swaps move between workers).
+  virtual double core_speed(CoreIndex core) const = 0;
+
+  /// Remaining work of the task running on `core`. Exact in the simulator;
+  /// the runtime estimates it from the class's mean workload minus the
+  /// elapsed execution time (0 when the class has no history).
+  virtual double running_remaining(CoreIndex core) const = 0;
+
+  // ---- randomness ----
+
+  /// Uniform integer in [0, bound). Every stochastic policy decision draws
+  /// through this hook so the simulator stays bit-reproducible (one seeded
+  /// engine) while the runtime uses the calling worker's own RNG.
+  virtual std::uint64_t random_below(std::uint64_t bound) = 0;
+};
+
+}  // namespace wats::core::policy

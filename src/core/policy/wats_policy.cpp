@@ -1,0 +1,210 @@
+// The WATS family: history-based allocation + preference-based stealing.
+//   - WATS:    full Algorithm 3 (cross-cluster stealing allowed)
+//   - WATS-NP: stealing restricted to the core's own cluster (§IV-C)
+//   - WATS-TS: WATS + workload-aware snatching (§IV-D): the victim is the
+//              slower core running the LARGEST remaining task
+//   - WATS-M:  WATS + memory-bound classes pinned to the slowest c-group
+//
+// The class->cluster map is published RCU-style: the helper thread (or the
+// simulator's completion hook) builds a fresh immutable ClusterMap and
+// swaps it into an atomic shared_ptr; spawn-path readers load it without
+// taking any lock.
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "core/dnc_detect.hpp"
+#include "core/policy/policy.hpp"
+#include "core/preference.hpp"
+#include "util/check.hpp"
+
+namespace wats::core::policy {
+namespace {
+
+class WatsPolicy : public PolicyKernel {
+ public:
+  WatsPolicy(PolicyKind kind, TaskClassRegistry& registry, bool cross_cluster,
+             bool snatching, bool memory_aware)
+      : PolicyKernel(kind),
+        registry_(registry),
+        cross_cluster_(cross_cluster),
+        snatching_(snatching),
+        memory_aware_(memory_aware) {}
+
+  void bind(const AmcTopology& topo, const PolicyOptions& options) override {
+    PolicyKernel::bind(topo, options);
+    k_ = topo.group_count();
+    prefs_ = all_preference_lists(k_);
+    if (registry_.total_completions() > 0) {
+      // Warm start: the registry carries persisted history — allocate
+      // from it immediately instead of treating every class as unknown.
+      last_completions_ = registry_.total_completions();
+      rebuild();
+    } else {
+      map_.store(std::make_shared<const ClusterMap>(registry_.size(), k_),
+                 std::memory_order_release);
+    }
+  }
+
+  std::size_t lane_count() const override { return k_; }
+  bool may_snatch() const override { return snatching_; }
+  bool wants_history() const override { return true; }
+
+  Placement place(TaskClassId cls) override {
+    if (dnc_active()) return {Placement::Where::kLocalPool, 0};
+    GroupIndex cluster =
+        map_.load(std::memory_order_acquire)->cluster_of(cls);
+    // WATS-M (§IV-E): classes OBSERVED to be memory-bound (mean scalable
+    // fraction from counter history, not per-task oracle knowledge) gain
+    // almost nothing from fast cores — pin them to the slowest c-group.
+    if (memory_aware_ && k_ > 1 && registry_.has_history(cls) &&
+        registry_.info(cls).mean_scalable < 0.5) {
+      cluster = static_cast<GroupIndex>(k_ - 1);
+    }
+    return {Placement::Where::kLocalPool, cluster};
+  }
+
+  std::optional<AcquireDecision> acquire(MachineView& view,
+                                         CoreIndex self) override {
+    const AmcTopology& topo = view.topology();
+    const GroupIndex own = topo.group_of_core(self);
+    // §IV-E fallback: a divide-and-conquer program collapses into one
+    // class, which clustering cannot spread — degrade to plain stealing
+    // (scan every lane in index order; stale lanes from before the
+    // fallback engaged still need draining).
+    const bool plain = dnc_active();
+    // Algorithm 3: walk the preference list; per cluster, local pool first,
+    // then the central (external-spawn) lane, then steal from a victim
+    // whose pool for that cluster is non-empty. WATS-NP only ever looks at
+    // its own cluster.
+    for (std::size_t step = 0; step < k_; ++step) {
+      const GroupIndex cluster =
+          plain ? static_cast<GroupIndex>(step) : prefs_[own][step];
+      if (!plain && !cross_cluster_ && cluster != own) continue;
+      if (view.pool_size(self, cluster) > 0) {
+        return AcquireDecision{AcquireDecision::Action::kPopLocal, cluster};
+      }
+      if (view.central_size(cluster) > 0) {
+        return AcquireDecision{AcquireDecision::Action::kTakeCentral,
+                               cluster};
+      }
+      const auto victim =
+          pick_steal_victim(view, self, cluster, options().steal_victim);
+      if (!victim.has_value()) continue;
+      if (!plain && cluster < own) {
+        // Robbing a cluster FASTER than our own: per the §II makespan
+        // analysis this only helps when the cluster's owners are
+        // backlogged — otherwise a slower core holding one of their tasks
+        // past the point the owners would have reached it PROLONGS the
+        // makespan. Rob only when the owners' drain time exceeds our
+        // execution time for the lightest available task, and take that
+        // lightest task.
+        double backlog = 0.0;
+        const std::size_t n = topo.total_cores();
+        for (CoreIndex c = 0; c < n; ++c) {
+          backlog += view.pool_queued_work(c, cluster);
+        }
+        // The owners also have to finish what they are running right now.
+        const CoreIndex first = topo.first_core_of_group(cluster);
+        for (CoreIndex c = first;
+             c < first + topo.group(cluster).core_count; ++c) {
+          if (view.core_busy(c)) backlog += view.running_remaining(c);
+        }
+        const double owner_drain = backlog / topo.group_capacity(cluster);
+        const double lightest = view.pool_lightest_work(*victim, cluster);
+        const double my_time = lightest / view.core_speed(self);
+        if (owner_drain <= my_time) continue;
+        return AcquireDecision{AcquireDecision::Action::kSteal, cluster,
+                               *victim, /*take_lightest=*/true};
+      }
+      return AcquireDecision{AcquireDecision::Action::kSteal, cluster,
+                             *victim};
+    }
+    return std::nullopt;
+  }
+
+  std::optional<CoreIndex> snatch_victim(MachineView& view,
+                                         CoreIndex thief) override {
+    if (!snatching_) return std::nullopt;
+    return largest_remaining_busy_slower(view, thief);
+  }
+
+  void record_spawn_edge(TaskClassId parent, TaskClassId child) override {
+    dnc_.record_spawn(parent, child);
+  }
+
+  bool maybe_recluster() override {
+    std::lock_guard lock(rebuild_mu_);
+    const std::uint64_t total = registry_.total_completions();
+    if (total == last_completions_) return false;
+    last_completions_ = total;
+    rebuild();
+    return true;
+  }
+
+  bool dnc_active() const override {
+    if (!options().dnc_fallback) return false;
+    if (dnc_.observed_spawns() < options().dnc_min_spawns) return false;
+    return dnc_.self_recursive_fraction() > options().dnc_threshold;
+  }
+
+  GroupIndex cluster_of(TaskClassId cls) const override {
+    return map_.load(std::memory_order_acquire)->cluster_of(cls);
+  }
+
+ private:
+  void rebuild() {
+    map_.store(std::make_shared<const ClusterMap>(ClusterMap::build(
+                   registry_.snapshot(), topology(),
+                   options().cluster_algorithm)),
+               std::memory_order_release);
+  }
+
+  TaskClassRegistry& registry_;
+  bool cross_cluster_;
+  bool snatching_;
+  bool memory_aware_;
+
+  std::size_t k_ = 1;
+  std::vector<std::vector<GroupIndex>> prefs_;
+  std::atomic<std::shared_ptr<const ClusterMap>> map_;
+  DncDetector dnc_;
+  std::mutex rebuild_mu_;  // serializes rebuilds; readers never block
+  std::uint64_t last_completions_ = 0;  // guarded by rebuild_mu_ after bind
+};
+
+}  // namespace
+
+namespace detail {
+
+std::unique_ptr<PolicyKernel> make_wats_policy(PolicyKind kind,
+                                               TaskClassRegistry& registry) {
+  switch (kind) {
+    case PolicyKind::kWats:
+      return std::make_unique<WatsPolicy>(kind, registry,
+                                          /*cross_cluster=*/true,
+                                          /*snatching=*/false,
+                                          /*memory_aware=*/false);
+    case PolicyKind::kWatsNp:
+      return std::make_unique<WatsPolicy>(kind, registry,
+                                          /*cross_cluster=*/false,
+                                          /*snatching=*/false,
+                                          /*memory_aware=*/false);
+    case PolicyKind::kWatsTs:
+      return std::make_unique<WatsPolicy>(kind, registry,
+                                          /*cross_cluster=*/true,
+                                          /*snatching=*/true,
+                                          /*memory_aware=*/false);
+    case PolicyKind::kWatsM:
+      return std::make_unique<WatsPolicy>(kind, registry,
+                                          /*cross_cluster=*/true,
+                                          /*snatching=*/false,
+                                          /*memory_aware=*/true);
+    default:
+      WATS_CHECK_MSG(false, "not a WATS-family policy kind");
+      __builtin_unreachable();
+  }
+}
+
+}  // namespace detail
+}  // namespace wats::core::policy

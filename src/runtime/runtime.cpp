@@ -2,12 +2,12 @@
 
 #include <algorithm>
 #include <chrono>
-#include <deque>
 #include <utility>
 
 #ifdef __linux__
 #include <pthread.h>
 #include <sched.h>
+#include <unistd.h>
 #endif
 
 #include "util/check.hpp"
@@ -28,15 +28,117 @@ thread_local WorkerContext t_ctx;
 
 using Clock = std::chrono::steady_clock;
 
+std::int64_t now_us() {
+  return std::chrono::duration_cast<std::chrono::microseconds>(
+             Clock::now().time_since_epoch())
+      .count();
+}
+
+core::policy::PolicyKind to_policy_kind(Policy policy) {
+  switch (policy) {
+    case Policy::kCilk:
+      return core::policy::PolicyKind::kCilk;
+    case Policy::kPft:
+      return core::policy::PolicyKind::kPft;
+    case Policy::kWats:
+      return core::policy::PolicyKind::kWats;
+    case Policy::kWatsNp:
+      return core::policy::PolicyKind::kWatsNp;
+    case Policy::kWatsTs:
+      return core::policy::PolicyKind::kWatsTs;
+    case Policy::kRtsSwap:
+      return core::policy::PolicyKind::kRts;
+  }
+  WATS_CHECK_MSG(false, "unknown runtime policy");
+  __builtin_unreachable();
+}
+
 }  // namespace
 
-TaskRuntime::TaskRuntime(RuntimeConfig config) : config_(std::move(config)) {
-  const std::size_t n = config_.topology.total_cores();
-  const std::size_t k = config_.topology.group_count();
-  prefs_ = core::all_preference_lists(k);
-  cluster_map_ = std::make_shared<core::ClusterMap>(0, k);
+/// MachineView over the live runtime. All observations are racy-but-safe
+/// approximations: deque sizes via size_approx(), queued work as task
+/// counts (a Chase–Lev deque cannot be traversed by observers), remaining
+/// work estimated from the class's mean workload and the task's elapsed
+/// wall time. The kernel's decisions are revalidated at execution time.
+class TaskRuntime::View final : public core::policy::MachineView {
+ public:
+  View(const TaskRuntime& rt, Worker& self) : rt_(rt), self_(self) {}
 
-  external_.resize(k);
+  const core::AmcTopology& topology() const override {
+    return rt_.config_.topology;
+  }
+
+  std::size_t pool_size(core::CoreIndex core,
+                        core::GroupIndex lane) const override {
+    return rt_.workers_[core]->pools[lane]->size_approx();
+  }
+
+  double pool_queued_work(core::CoreIndex core,
+                          core::GroupIndex lane) const override {
+    // Unit task weights: the runtime does not know per-task work upfront.
+    return static_cast<double>(pool_size(core, lane));
+  }
+
+  double pool_lightest_work(core::CoreIndex core,
+                            core::GroupIndex lane) const override {
+    return pool_size(core, lane) > 0 ? 1.0 : 0.0;
+  }
+
+  std::size_t central_size(core::GroupIndex lane) const override {
+    return rt_.central_[lane]->size.load(std::memory_order_relaxed);
+  }
+
+  bool core_busy(core::CoreIndex core) const override {
+    return rt_.workers_[core]->executing.load(std::memory_order_acquire);
+  }
+
+  double core_speed(core::CoreIndex core) const override {
+    return rt_.workers_[core]->speed_scale.load(std::memory_order_relaxed);
+  }
+
+  double running_remaining(core::CoreIndex core) const override {
+    // Estimate: the class's mean workload (in F1-normalized microseconds)
+    // minus what the worker already executed. Classes without history
+    // rank lowest — a snatch cannot justify itself on an unknown task.
+    const Worker& w = *rt_.workers_[core];
+    const auto cls = w.running_cls.load(std::memory_order_acquire);
+    if (cls == core::kNoTaskClass || !rt_.registry_.has_history(cls)) {
+      return 0.0;
+    }
+    const double mean = rt_.registry_.info(cls).mean_workload;
+    const double elapsed =
+        static_cast<double>(now_us() -
+                            w.run_started_us.load(std::memory_order_relaxed));
+    const double speed = w.speed_scale.load(std::memory_order_relaxed);
+    return std::max(0.0, mean - elapsed * speed);
+  }
+
+  std::uint64_t random_below(std::uint64_t bound) override {
+    // The calling worker's own RNG: no cross-thread contention.
+    return self_.rng.bounded(bound);
+  }
+
+ private:
+  const TaskRuntime& rt_;
+  Worker& self_;
+};
+
+TaskRuntime::TaskRuntime(RuntimeConfig config) : config_(std::move(config)) {
+  kernel_ = core::policy::make_policy(to_policy_kind(config_.policy),
+                                      registry_);
+  core::policy::PolicyOptions opts;
+  opts.dnc_fallback = config_.dnc_fallback;
+  opts.dnc_threshold = config_.dnc_threshold;
+  opts.dnc_min_spawns = config_.dnc_min_spawns;
+  kernel_->bind(config_.topology, opts);
+
+  const std::size_t n = config_.topology.total_cores();
+  const std::size_t lanes = kernel_->lane_count();
+
+  central_.reserve(lanes);
+  for (std::size_t c = 0; c < lanes; ++c) {
+    central_.push_back(std::make_unique<CentralLane>());
+  }
 
   util::SplitMix64 seeder(config_.seed);
   workers_.reserve(n);
@@ -45,8 +147,8 @@ TaskRuntime::TaskRuntime(RuntimeConfig config) : config_(std::move(config)) {
     w->group = config_.topology.group_of_core(i);
     w->speed_scale.store(config_.topology.relative_speed(w->group));
     w->rng = util::Xoshiro256(seeder.next());
-    w->pools.reserve(k);
-    for (std::size_t c = 0; c < k; ++c) {
+    w->pools.reserve(lanes);
+    for (std::size_t c = 0; c < lanes; ++c) {
       w->pools.push_back(std::make_unique<WorkStealingDeque<TaskNode>>());
     }
     workers_.push_back(std::move(w));
@@ -71,36 +173,32 @@ core::TaskClassId TaskRuntime::register_class(std::string_view name) {
   return registry_.intern(name);
 }
 
-bool TaskRuntime::dnc_active() const {
-  if (!config_.dnc_fallback) return false;
-  if (dnc_.observed_spawns() < config_.dnc_min_spawns) return false;
-  return dnc_.self_recursive_fraction() > config_.dnc_threshold;
-}
-
 void TaskRuntime::enqueue(TaskNode* node) {
-  core::GroupIndex cluster = 0;
-  const bool plain_policy =
-      config_.policy == Policy::kPft || config_.policy == Policy::kRtsSwap;
-  if (!plain_policy && !dnc_active()) {
-    cluster = cluster_of(node->cls);
-  }
-  if (t_ctx.runtime == this) {
+  const auto placement = kernel_->place(node->cls);
+  if (placement.where == core::policy::Placement::Where::kLocalPool &&
+      t_ctx.runtime == this) {
     // Parent-first: the spawner continues; the child waits in the
-    // spawner's own pool for this cluster.
-    workers_[t_ctx.index]->pools[cluster]->push_bottom(node);
+    // spawner's own pool for this lane.
+    workers_[t_ctx.index]->pools[placement.lane]->push_bottom(node);
   } else {
-    std::lock_guard lock(external_mu_);
-    external_[cluster].push_back(node);
+    // Central placement (the Cilk family), or a spawn from outside the
+    // worker threads, which cannot touch the single-owner deques.
+    auto& lane = *central_[placement.lane];
+    std::lock_guard lock(lane.mu);
+    lane.q.push_back(node);
+    lane.size.store(lane.q.size(), std::memory_order_relaxed);
   }
   idle_cv_.notify_all();
 }
 
 void TaskRuntime::spawn(core::TaskClassId cls, std::function<void()> fn) {
   WATS_CHECK(!stopping_.load(std::memory_order_acquire));
-  auto* node = new TaskNode{std::move(fn), cls};
+  const bool on_worker = t_ctx.runtime == this;
+  auto* node = new TaskNode{std::move(fn), cls,
+                            on_worker ? t_ctx.index : kExternalSpawner};
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
-  if (t_ctx.runtime == this) {
-    dnc_.record_spawn(t_ctx.running_class, cls);
+  if (on_worker) {
+    kernel_->record_spawn_edge(t_ctx.running_class, cls);
   }
   enqueue(node);
 }
@@ -141,64 +239,59 @@ void TaskRuntime::wait_all() {
   if (pending) std::rethrow_exception(pending);
 }
 
-TaskRuntime::TaskNode* TaskRuntime::try_steal_cluster(
-    std::size_t thief, core::GroupIndex cluster) {
-  Worker& me = *workers_[thief];
-  // A few random probes, then one full sweep — bounded work per call, and
-  // the worker loop retries anyway.
-  const std::size_t n = workers_.size();
-  for (int probe = 0; probe < 4; ++probe) {
-    const std::size_t victim = static_cast<std::size_t>(me.rng.bounded(n));
-    if (victim == thief) continue;
-    if (TaskNode* t = workers_[victim]->pools[cluster]->steal_top()) {
-      ++me.steals;
-      return t;
-    }
-  }
-  for (std::size_t v = 0; v < n; ++v) {
-    if (v == thief) continue;
-    if (TaskNode* t = workers_[v]->pools[cluster]->steal_top()) {
-      ++me.steals;
-      return t;
-    }
-  }
-  return nullptr;
-}
-
 TaskRuntime::TaskNode* TaskRuntime::try_acquire(std::size_t index) {
   Worker& me = *workers_[index];
-  const std::size_t k = config_.topology.group_count();
-  const bool plain = config_.policy == Policy::kPft ||
-                     config_.policy == Policy::kRtsSwap || dnc_active();
-  const bool cross_cluster = config_.policy != Policy::kWatsNp;
-
-  // Cluster scan order: Algorithm 3's preference list for WATS; for plain
-  // stealing all tasks live in cluster 0 but stale pools from before a
-  // divide-and-conquer fallback still need draining, so scan everything.
-  for (std::size_t step = 0; step < k; ++step) {
-    const core::GroupIndex cluster =
-        plain ? static_cast<core::GroupIndex>(step) : prefs_[me.group][step];
-    if (!plain && !cross_cluster && cluster != me.group) continue;
-
-    // 1. Own pool for this cluster.
-    if (TaskNode* t = me.pools[cluster]->pop_bottom()) {
-      if (cluster != me.group) ++me.cross_cluster;
-      return t;
-    }
-    // 2. External spawns for this cluster.
-    {
-      std::lock_guard lock(external_mu_);
-      if (!external_[cluster].empty()) {
-        TaskNode* t = external_[cluster].front();
-        external_[cluster].pop_front();
-        if (cluster != me.group) ++me.cross_cluster;
-        return t;
+  View view(*this, me);
+  // Kernel decisions are computed against racy queue sizes, so the chosen
+  // source may have drained before we reach it; ask again a bounded number
+  // of times (the worker loop sleeps and retries on total failure anyway).
+  const std::size_t attempts = 2 * kernel_->lane_count() + 8;
+  for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
+    const auto decision = kernel_->acquire(view, index);
+    if (!decision.has_value()) return nullptr;
+    switch (decision->action) {
+      case core::policy::AcquireDecision::Action::kPopLocal:
+        if (TaskNode* t = me.pools[decision->lane]->pop_bottom()) {
+          if (decision->lane != me.group) {
+            me.cross_cluster.fetch_add(1, std::memory_order_relaxed);
+          }
+          return t;
+        }
+        break;
+      case core::policy::AcquireDecision::Action::kTakeCentral: {
+        TaskNode* t = nullptr;
+        auto& lane = *central_[decision->lane];
+        {
+          std::lock_guard lock(lane.mu);
+          if (!lane.q.empty()) {
+            t = lane.q.front();
+            lane.q.pop_front();
+            lane.size.store(lane.q.size(), std::memory_order_relaxed);
+          }
+        }
+        if (t != nullptr) {
+          if (kernel_->uses_central_queue() && t->spawner != index) {
+            // Cilk: a continuation handoff to another core is a steal.
+            me.steals.fetch_add(1, std::memory_order_relaxed);
+          }
+          if (decision->lane != me.group) {
+            me.cross_cluster.fetch_add(1, std::memory_order_relaxed);
+          }
+          return t;
+        }
+        break;
       }
-    }
-    // 3. Steal from other workers' pools for this cluster.
-    if (TaskNode* t = try_steal_cluster(index, cluster)) {
-      if (cluster != me.group) ++me.cross_cluster;
-      return t;
+      case core::policy::AcquireDecision::Action::kSteal:
+        if (TaskNode* t =
+                workers_[decision->victim]->pools[decision->lane]
+                    ->steal_top()) {
+          me.steals.fetch_add(1, std::memory_order_relaxed);
+          if (decision->lane != me.group) {
+            me.cross_cluster.fetch_add(1, std::memory_order_relaxed);
+          }
+          return t;
+        }
+        break;
     }
   }
   return nullptr;
@@ -208,6 +301,8 @@ void TaskRuntime::execute(std::size_t index, TaskNode* node) {
   Worker& me = *workers_[index];
   const auto prev_class = t_ctx.running_class;
   t_ctx.running_class = node->cls;
+  me.running_cls.store(node->cls, std::memory_order_relaxed);
+  me.run_started_us.store(now_us(), std::memory_order_relaxed);
   me.executing.store(true, std::memory_order_release);
 
   const auto start = Clock::now();
@@ -226,7 +321,8 @@ void TaskRuntime::execute(std::size_t index, TaskNode* node) {
   if (config_.emulate_speeds && scale < 1.0) {
     // Duty-cycle throttle: stretch wall time to work / speed.
     const double extra = exec_us.count() * (1.0 / scale - 1.0);
-    std::this_thread::sleep_for(std::chrono::duration<double, std::micro>(extra));
+    std::this_thread::sleep_for(
+        std::chrono::duration<double, std::micro>(extra));
   }
 
   // Algorithm 2 / Eq. 2: measured time on this core, normalized by
@@ -237,8 +333,10 @@ void TaskRuntime::execute(std::size_t index, TaskNode* node) {
   }
 
   me.executing.store(false, std::memory_order_release);
-  ++me.executed;
+  me.running_cls.store(core::kNoTaskClass, std::memory_order_relaxed);
+  me.executed.fetch_add(1, std::memory_order_relaxed);
   if (node->cls != core::kNoTaskClass) {
+    std::lock_guard lock(me.stats_mu);
     if (me.class_counts.size() <= node->cls) {
       me.class_counts.resize(node->cls + 1, 0);
     }
@@ -253,24 +351,23 @@ void TaskRuntime::execute(std::size_t index, TaskNode* node) {
 
 bool TaskRuntime::try_speed_swap(std::size_t thief) {
   Worker& me = *workers_[thief];
+  View view(*this, me);
+  // The kernel picks the victim: random busy-slower for RTS, the slower
+  // worker with the largest estimated remaining work for WATS-TS.
+  const auto choice = kernel_->snatch_victim(view, thief);
+  if (!choice.has_value()) return false;
+  Worker& victim = *workers_[*choice];
+  // Revalidate under the swap lock: the view is racy and the victim may
+  // have finished (or been swapped faster) meanwhile.
   std::lock_guard lock(swap_mu_);
   const double my_scale = me.speed_scale.load(std::memory_order_relaxed);
-  // Find the busy worker with the lowest speed below ours.
-  Worker* victim = nullptr;
-  double victim_scale = my_scale;
-  for (auto& w : workers_) {
-    if (w.get() == &me) continue;
-    if (!w->executing.load(std::memory_order_acquire)) continue;
-    const double s = w->speed_scale.load(std::memory_order_relaxed);
-    if (s < victim_scale) {
-      victim_scale = s;
-      victim = w.get();
-    }
-  }
-  if (victim == nullptr) return false;
+  const double victim_scale =
+      victim.speed_scale.load(std::memory_order_relaxed);
+  if (!victim.executing.load(std::memory_order_acquire)) return false;
+  if (victim_scale >= my_scale) return false;
   // Swap the emulated speeds: the victim's running task continues at our
   // (faster) rate; we inherit the slow slot — the paper's thread swap.
-  victim->speed_scale.store(my_scale, std::memory_order_relaxed);
+  victim.speed_scale.store(my_scale, std::memory_order_relaxed);
   me.speed_scale.store(victim_scale, std::memory_order_relaxed);
   speed_swaps_.fetch_add(1, std::memory_order_relaxed);
   return true;
@@ -297,7 +394,7 @@ void TaskRuntime::worker_loop(std::size_t index) {
       continue;
     }
     failed_rounds_.fetch_add(1, std::memory_order_relaxed);
-    if (config_.policy == Policy::kRtsSwap && config_.emulate_speeds &&
+    if (kernel_->may_snatch() && config_.emulate_speeds &&
         outstanding_.load(std::memory_order_acquire) > 0) {
       try_speed_swap(index);
     }
@@ -309,19 +406,13 @@ void TaskRuntime::worker_loop(std::size_t index) {
 }
 
 void TaskRuntime::helper_loop() {
-  std::uint64_t last_completions = 0;
   while (!stopping_.load(std::memory_order_acquire)) {
     std::this_thread::sleep_for(config_.helper_period);
-    const std::uint64_t completions = registry_.total_completions();
-    if (completions == last_completions) continue;
-    last_completions = completions;
-    auto fresh = std::make_shared<core::ClusterMap>(
-        core::ClusterMap::build(registry_.snapshot(), config_.topology));
-    {
-      std::lock_guard lock(map_mu_);
-      cluster_map_ = std::move(fresh);
+    // Algorithm 1 re-run: the kernel rebuilds and RCU-publishes the
+    // class->cluster map iff new completions arrived.
+    if (kernel_->maybe_recluster()) {
+      reclusters_.fetch_add(1, std::memory_order_relaxed);
     }
-    reclusters_.fetch_add(1, std::memory_order_relaxed);
   }
 }
 
@@ -329,22 +420,30 @@ RuntimeStats TaskRuntime::stats() const {
   RuntimeStats s;
   s.per_group_class_tasks.assign(config_.topology.group_count(), {});
   for (const auto& w : workers_) {
-    s.tasks_executed += w->executed;
-    s.steals += w->steals;
-    s.cross_cluster_acquires += w->cross_cluster;
-    s.per_worker_tasks.push_back(w->executed);
-    auto& group_counts = s.per_group_class_tasks[w->group];
-    if (group_counts.size() < w->class_counts.size()) {
-      group_counts.resize(w->class_counts.size(), 0);
+    const std::uint64_t executed =
+        w->executed.load(std::memory_order_relaxed);
+    s.tasks_executed += executed;
+    s.steals += w->steals.load(std::memory_order_relaxed);
+    s.cross_cluster_acquires +=
+        w->cross_cluster.load(std::memory_order_relaxed);
+    s.per_worker_tasks.push_back(executed);
+    std::vector<std::uint64_t> counts;
+    {
+      std::lock_guard lock(w->stats_mu);
+      counts = w->class_counts;
     }
-    for (std::size_t c = 0; c < w->class_counts.size(); ++c) {
-      group_counts[c] += w->class_counts[c];
+    auto& group_counts = s.per_group_class_tasks[w->group];
+    if (group_counts.size() < counts.size()) {
+      group_counts.resize(counts.size(), 0);
+    }
+    for (std::size_t c = 0; c < counts.size(); ++c) {
+      group_counts[c] += counts[c];
     }
   }
   s.reclusters = reclusters_.load(std::memory_order_relaxed);
   s.speed_swaps = speed_swaps_.load(std::memory_order_relaxed);
   s.failed_acquire_rounds = failed_rounds_.load(std::memory_order_relaxed);
-  s.dnc_fallback_active = dnc_active();
+  s.dnc_fallback_active = kernel_->dnc_active();
   return s;
 }
 
@@ -406,12 +505,7 @@ void TaskGroup::wait() {
 }
 
 core::GroupIndex TaskRuntime::cluster_of(core::TaskClassId cls) const {
-  std::shared_ptr<const core::ClusterMap> map;
-  {
-    std::lock_guard lock(map_mu_);
-    map = cluster_map_;
-  }
-  return map->cluster_of(cls);
+  return kernel_->cluster_of(cls);
 }
 
 }  // namespace wats::runtime

@@ -1,12 +1,21 @@
 // The real-thread WATS task runtime — the paper's modified-MIT-Cilk
 // scheduler rebuilt as a standalone C++ library.
 //
-// One worker thread per emulated core; each worker owns k Chase–Lev pools
-// (one per task cluster, Fig. 5). Spawns are parent-first (§III-C: WATS
-// spawns parent-first so per-task workload measurement is not polluted by
-// children). Idle workers follow Algorithm 3's preference order. A helper
-// thread periodically folds completed-task statistics into task clusters
-// (Algorithms 1+2), exactly like the paper's 1 ms helper.
+// One worker thread per emulated core; each worker owns one Chase–Lev
+// deque per task-cluster lane (Fig. 5). All scheduling DECISIONS —
+// placement, Algorithm 3's preference order, steal-victim and snatch
+// selection, the recluster trigger, the §IV-E divide-and-conquer fallback
+// — come from the shared policy kernel in src/core/policy; this runtime
+// only executes them with real threads: deques, mutexes, wall-clock
+// measurement, duty-cycle speed emulation. The same kernel drives the
+// virtual-time simulator, so every policy here is also simulatable.
+//
+// Spawns are parent-first (§III-C: WATS spawns parent-first so per-task
+// workload measurement is not polluted by children). A helper thread
+// periodically folds completed-task statistics into task clusters
+// (Algorithms 1+2), exactly like the paper's 1 ms helper; the resulting
+// class->cluster map is published RCU-style inside the kernel, so the
+// spawn hot path never takes a lock to read it.
 //
 // Core-speed asymmetry is emulated by duty-cycle throttling: a worker with
 // relative speed s sleeps (1/s - 1) x the measured execution time after
@@ -16,6 +25,7 @@
 #pragma once
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
@@ -27,9 +37,7 @@
 #include <thread>
 #include <vector>
 
-#include "core/cluster.hpp"
-#include "core/dnc_detect.hpp"
-#include "core/preference.hpp"
+#include "core/policy/policy.hpp"
 #include "core/task_class.hpp"
 #include "core/topology.hpp"
 #include "runtime/wsdeque.hpp"
@@ -38,9 +46,11 @@
 namespace wats::runtime {
 
 enum class Policy {
+  kCilk,     ///< child-first spawning, random continuation stealing
   kPft,      ///< parent-first + plain random stealing (baseline)
   kWats,     ///< history-based allocation + preference stealing
   kWatsNp,   ///< WATS without cross-cluster stealing (ablation)
+  kWatsTs,   ///< WATS + workload-aware snatch-as-speed-swap (§IV-D)
   /// RTS emulated the way the paper implemented it — by swapping threads
   /// between a fast and a slow core. Under duty-cycle emulation that is a
   /// speed-scale swap: an idle fast worker that finds no work exchanges
@@ -75,7 +85,7 @@ struct RuntimeStats {
   std::uint64_t steals = 0;
   std::uint64_t cross_cluster_acquires = 0;
   std::uint64_t reclusters = 0;
-  std::uint64_t speed_swaps = 0;  ///< kRtsSwap only
+  std::uint64_t speed_swaps = 0;  ///< kRtsSwap / kWatsTs only
   std::uint64_t failed_acquire_rounds = 0;  ///< idle loops finding nothing
   bool dnc_fallback_active = false;
   std::vector<std::uint64_t> per_worker_tasks;
@@ -117,7 +127,10 @@ class TaskRuntime {
   /// when the timeout expired (no exception is consumed in that case).
   bool wait_all_for(std::chrono::milliseconds timeout);
 
-  /// Snapshot of the scheduler statistics.
+  /// Snapshot of the scheduler statistics. Safe to call while workers are
+  /// running: counters are atomics and per-class tallies are copied under
+  /// their per-worker lock (the totals are a consistent-enough racy
+  /// snapshot, not a quiescent one).
   RuntimeStats stats() const;
 
   /// The task-class history collected so far (Algorithm 2 state).
@@ -135,51 +148,74 @@ class TaskRuntime {
   const core::AmcTopology& topology() const { return config_.topology; }
   const RuntimeConfig& config() const { return config_; }
 
+  /// The decision kernel driving this runtime (diagnostics/tests).
+  const core::policy::PolicyKernel& kernel() const { return *kernel_; }
+
   /// True when called from one of this runtime's worker threads.
   bool on_worker_thread() const;
 
  private:
+  /// Sentinel spawner index for spawns from non-worker threads.
+  static constexpr std::size_t kExternalSpawner =
+      static_cast<std::size_t>(-1);
+
   struct TaskNode {
     std::function<void()> fn;
     core::TaskClassId cls = core::kNoTaskClass;
+    /// Worker that spawned the task (kExternalSpawner otherwise); lets the
+    /// Cilk central queue charge no steal when the spawner takes it back.
+    std::size_t spawner = kExternalSpawner;
   };
 
-  struct Worker {
+  /// Per-worker state, cache-line-aligned so one worker's hot writes do
+  /// not false-share with its neighbours' (workers are individually
+  /// heap-allocated; the alignas also separates the internal groups).
+  struct alignas(64) Worker {
     std::vector<std::unique_ptr<WorkStealingDeque<TaskNode>>> pools;
     core::GroupIndex group = 0;
-    std::atomic<double> speed_scale{1.0};  // Fi / F1; swapped by kRtsSwap
-    std::atomic<bool> executing{false};
-    std::thread thread;
     util::Xoshiro256 rng{0};
-    std::uint64_t executed = 0;
-    std::uint64_t steals = 0;
-    std::uint64_t cross_cluster = 0;
+    std::thread thread;
+
+    /// Execution state read by snatch-victim scans on other threads;
+    /// kept on its own cache line away from the owner's counters.
+    alignas(64) std::atomic<double> speed_scale{1.0};  // Fi / F1; swapped
+    std::atomic<bool> executing{false};
+    std::atomic<core::TaskClassId> running_cls{core::kNoTaskClass};
+    std::atomic<std::int64_t> run_started_us{0};
+
+    /// Statistics, owner-written / stats()-read.
+    alignas(64) std::atomic<std::uint64_t> executed{0};
+    std::atomic<std::uint64_t> steals{0};
+    std::atomic<std::uint64_t> cross_cluster{0};
+    mutable std::mutex stats_mu;              // guards class_counts
     std::vector<std::uint64_t> class_counts;  // indexed by class id
   };
+
+  /// One central-queue lane per task cluster. Serves double duty: the
+  /// shared FIFO of the Cilk-family policies, and the side queue for
+  /// spawns from non-worker threads (which cannot touch the single-owner
+  /// deques) under the pool-based policies.
+  struct alignas(64) CentralLane {
+    std::mutex mu;
+    std::deque<TaskNode*> q;           // guarded by mu
+    std::atomic<std::size_t> size{0};  // racy mirror for the machine view
+  };
+
+  class View;  // MachineView over this runtime (defined in runtime.cpp)
 
   void worker_loop(std::size_t index);
   void helper_loop();
   bool try_speed_swap(std::size_t thief);
   TaskNode* try_acquire(std::size_t index);
-  TaskNode* try_steal_cluster(std::size_t thief, core::GroupIndex cluster);
   void execute(std::size_t index, TaskNode* node);
   void enqueue(TaskNode* node);
-  bool dnc_active() const;
 
   RuntimeConfig config_;
-  std::vector<std::vector<core::GroupIndex>> prefs_;
   std::vector<std::unique_ptr<Worker>> workers_;
+  std::vector<std::unique_ptr<CentralLane>> central_;
 
   core::TaskClassRegistry registry_;
-  core::DncDetector dnc_;
-  std::shared_ptr<const core::ClusterMap> cluster_map_;  // swapped by helper
-  mutable std::mutex map_mu_;
-
-  // Spawns from non-worker threads cannot touch the single-owner deques;
-  // they land in this side queue (one lane per cluster), polled by workers
-  // after their own pools.
-  std::vector<std::deque<TaskNode*>> external_;
-  std::mutex external_mu_;
+  std::unique_ptr<core::policy::PolicyKernel> kernel_;
 
   std::atomic<std::uint64_t> outstanding_{0};
   std::atomic<bool> stopping_{false};

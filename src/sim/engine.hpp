@@ -61,6 +61,14 @@ struct SimConfig {
   /// with the most queued work ("steal from the richest" variant).
   enum class StealVictim { kRandom, kRichest } steal_victim =
       StealVictim::kRandom;
+  /// §IV-E divide-and-conquer fallback for the WATS family: when the
+  /// observed self-recursive spawn fraction exceeds dnc_threshold after
+  /// dnc_min_spawns spawns, degrade to plain random stealing. Only
+  /// workloads that tag SimTask::parent feed the detector, so runs that
+  /// never set it are unaffected.
+  bool dnc_fallback = true;
+  double dnc_threshold = 0.5;
+  std::uint64_t dnc_min_spawns = 64;
 };
 
 struct RunStats {

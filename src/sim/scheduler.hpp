@@ -1,15 +1,17 @@
 // Scheduler policy interface for the simulator.
 //
-// All six evaluated schedulers (Cilk, PFT, RTS, WATS, WATS-NP, WATS-TS)
-// implement this interface; they differ only in where spawned tasks are
-// placed, how an idle core acquires work, and whether/who they snatch —
-// mirroring how the paper implemented every policy inside MIT Cilk.
+// Since the policy-kernel refactor all scheduling DECISIONS (placement,
+// preference order, victim/snatch selection) live in src/core/policy; the
+// single KernelScheduler in schedulers.cpp executes those decisions
+// against the simulator's PoolSet/central-queue mechanics. This interface
+// is what the Engine drives; SchedulerKind is the kernel's PolicyKind.
 #pragma once
 
 #include <memory>
 #include <optional>
 #include <string>
 
+#include "core/policy/policy.hpp"
 #include "core/task_class.hpp"
 #include "core/topology.hpp"
 #include "sim/task.hpp"
@@ -18,25 +20,8 @@ namespace wats::sim {
 
 class Engine;
 
-enum class SchedulerKind {
-  kCilk,
-  kPft,
-  kRts,
-  kWats,
-  kWatsNp,
-  kWatsTs,
-  /// WATS-M (§IV-E extension): like WATS, but classes observed to be
-  /// memory-bound are pinned to the slowest c-group — fast cores cannot
-  /// speed them up, so they should not occupy fast-core capacity.
-  kWatsM,
-  /// Omniscient LPT oracle (not in the paper): a single global pool from
-  /// which every idle core takes the LONGEST remaining task, with exact
-  /// workload knowledge and no steal cost. An upper baseline showing how
-  /// much headroom remains above WATS's history-based approximation.
-  kLptOracle,
-};
-
-std::string to_string(SchedulerKind kind);
+using SchedulerKind = core::policy::PolicyKind;
+using core::policy::to_string;
 
 /// Result of a successful work acquisition: the task plus the virtual-time
 /// latency the acquisition itself cost (0 for a local pool hit,
@@ -85,10 +70,13 @@ class Scheduler {
 
   /// Any tasks queued in pools (used by the engine's deadlock check).
   virtual bool has_pending() const = 0;
+
+  /// The decision kernel this scheduler executes (diagnostics/tests).
+  virtual const core::policy::PolicyKernel* kernel() const { return nullptr; }
 };
 
-/// Factory for the six evaluated schedulers. The registry is shared with
-/// the workload driver (both sides must agree on task-class ids); only the
+/// Factory for the evaluated policies. The registry is shared with the
+/// workload driver (both sides must agree on task-class ids); only the
 /// WATS family reads or writes it.
 std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
                                           core::TaskClassRegistry& registry);

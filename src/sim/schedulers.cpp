@@ -1,10 +1,17 @@
-// The six evaluated scheduler policies (§IV-A): Cilk, PFT, RTS and the
-// WATS family (WATS, WATS-NP, WATS-TS).
+// The simulator-side driver for the policy kernel.
+//
+// All policy DECISIONS (placement, preference order, victim/snatch
+// selection, the rob-faster gate, DNC fallback) live in src/core/policy
+// and are shared with the real-thread runtime. This file only executes
+// those decisions against the simulator's mechanics: PoolSet deques, the
+// central queue with spawner-aware steal costs, virtual-time latencies,
+// and the engine's seeded RNG.
 #include <deque>
 #include <memory>
+#include <vector>
 
-#include "core/cluster.hpp"
-#include "core/preference.hpp"
+#include "core/policy/policy.hpp"
+#include "core/policy/view.hpp"
 #include "core/task_class.hpp"
 #include "sim/engine.hpp"
 #include "sim/pools.hpp"
@@ -13,384 +20,197 @@
 
 namespace wats::sim {
 
-std::string to_string(SchedulerKind kind) {
-  switch (kind) {
-    case SchedulerKind::kCilk:
-      return "Cilk";
-    case SchedulerKind::kPft:
-      return "PFT";
-    case SchedulerKind::kRts:
-      return "RTS";
-    case SchedulerKind::kWats:
-      return "WATS";
-    case SchedulerKind::kWatsNp:
-      return "WATS-NP";
-    case SchedulerKind::kWatsTs:
-      return "WATS-TS";
-    case SchedulerKind::kWatsM:
-      return "WATS-M";
-    case SchedulerKind::kLptOracle:
-      return "LPT-oracle";
-  }
-  WATS_CHECK_MSG(false, "unknown scheduler kind");
-  __builtin_unreachable();
-}
-
 namespace {
 
-/// Pick a victim uniformly at random among cores satisfying `pred`
-/// (excluding `self`). Returns nullopt when none qualifies.
-template <typename Pred>
-std::optional<core::CoreIndex> random_core(Engine& engine,
-                                           core::CoreIndex self, Pred pred) {
-  std::vector<core::CoreIndex> candidates;
-  const std::size_t n = engine.topology().total_cores();
-  candidates.reserve(n);
-  for (core::CoreIndex c = 0; c < n; ++c) {
-    if (c != self && pred(c)) candidates.push_back(c);
-  }
-  if (candidates.empty()) return std::nullopt;
-  return candidates[engine.rng().pick_index(candidates)];
-}
+namespace policy = core::policy;
 
-/// Steal-victim selection honoring SimConfig::steal_victim: uniformly
-/// random among qualifying cores (the paper's policy) or the core whose
-/// pool holds the most queued work ("steal from the richest").
-template <typename QueuedWork, typename Pred>
-std::optional<core::CoreIndex> pick_victim(Engine& engine,
-                                           core::CoreIndex self, Pred pred,
-                                           QueuedWork queued_work) {
-  if (engine.config().steal_victim == SimConfig::StealVictim::kRandom) {
-    return random_core(engine, self, pred);
-  }
-  std::optional<core::CoreIndex> best;
-  double best_work = 0.0;
-  for (core::CoreIndex c = 0; c < engine.topology().total_cores(); ++c) {
-    if (c == self || !pred(c)) continue;
-    const double w = queued_work(c);
-    if (!best.has_value() || w > best_work) {
-      best = c;
-      best_work = w;
-    }
-  }
-  return best;
-}
+/// A task waiting in the central queue remembers its spawner: Cilk charges
+/// no steal cost when the spawner itself picks the task back up.
+struct CentralEntry {
+  SimTask task;
+  core::CoreIndex spawner;
+};
 
-// ---------------------------------------------------------------------
-// Cilk: child-first spawning with random continuation stealing.
-//
-// For the flat spawn loops of the batch/pipeline drivers, child-first
-// work-stealing means the spawner executes each child immediately while
-// the continuation (which spawns the rest) is stolen by whichever core
-// goes idle next. The net effect — tasks handed out in spawn order to
-// cores in idle order, each handoff costing one steal — is modelled by a
-// central FIFO whose entries remember their spawner (the spawner itself
-// pays no steal cost for the task it picks up directly).
-// ---------------------------------------------------------------------
-class CilkScheduler : public Scheduler {
+/// Exact MachineView over the simulator state: pool contents are precise,
+/// randomness draws from the engine's single seeded RNG (preserving the
+/// bit-reproducibility of a run for a fixed seed).
+class SimView final : public policy::MachineView {
  public:
-  void bind(Engine&) override {}
+  SimView(Engine& engine, const std::vector<PoolSet>& pools,
+          const std::deque<CentralEntry>& central)
+      : engine_(engine), pools_(pools), central_(central) {}
+
+  const core::AmcTopology& topology() const override {
+    return engine_.topology();
+  }
+
+  std::size_t pool_size(core::CoreIndex core,
+                        core::GroupIndex lane) const override {
+    return pools_[core].size(lane);
+  }
+
+  double pool_queued_work(core::CoreIndex core,
+                          core::GroupIndex lane) const override {
+    return pools_[core].queued_work(lane);
+  }
+
+  double pool_lightest_work(core::CoreIndex core,
+                            core::GroupIndex lane) const override {
+    const auto w = pools_[core].lightest_work(lane);
+    WATS_CHECK(w.has_value());
+    return *w;
+  }
+
+  std::size_t central_size(core::GroupIndex lane) const override {
+    // The simulator keeps one central queue; policies with per-cluster
+    // lanes never place centrally here, so only lane 0 can be non-empty.
+    return lane == 0 ? central_.size() : 0;
+  }
+
+  bool core_busy(core::CoreIndex core) const override {
+    return engine_.core_busy(core);
+  }
+
+  double core_speed(core::CoreIndex core) const override {
+    return engine_.core_speed(core);
+  }
+
+  double running_remaining(core::CoreIndex core) const override {
+    return engine_.running_remaining(core);
+  }
+
+  std::uint64_t random_below(std::uint64_t bound) override {
+    return engine_.rng().bounded(bound);
+  }
+
+ private:
+  Engine& engine_;
+  const std::vector<PoolSet>& pools_;
+  const std::deque<CentralEntry>& central_;
+};
+
+class KernelScheduler final : public Scheduler {
+ public:
+  KernelScheduler(SchedulerKind kind, core::TaskClassRegistry& registry)
+      : registry_(registry), kernel_(policy::make_policy(kind, registry)) {}
+
+  void bind(Engine& engine) override {
+    policy::PolicyOptions opts;
+    opts.steal_victim =
+        engine.config().steal_victim == SimConfig::StealVictim::kRandom
+            ? policy::StealVictimRule::kRandom
+            : policy::StealVictimRule::kRichest;
+    opts.cluster_algorithm = engine.config().cluster_algorithm;
+    opts.dnc_fallback = engine.config().dnc_fallback;
+    opts.dnc_threshold = engine.config().dnc_threshold;
+    opts.dnc_min_spawns = engine.config().dnc_min_spawns;
+    kernel_->bind(engine.topology(), opts);
+    pools_.assign(engine.topology().total_cores(),
+                  PoolSet(kernel_->lane_count()));
+  }
 
   void on_spawn(Engine&, SimTask task, core::CoreIndex spawner) override {
-    queue_.push_back({std::move(task), spawner});
+    kernel_->record_spawn_edge(task.parent, task.cls);
+    const auto placement = kernel_->place(task.cls);
+    if (placement.where == policy::Placement::Where::kCentral) {
+      central_.push_back({std::move(task), spawner});
+    } else {
+      pools_[spawner].push(placement.lane, std::move(task));
+    }
   }
 
   std::optional<Acquired> acquire(Engine& engine,
                                   core::CoreIndex core) override {
-    if (queue_.empty()) return std::nullopt;
-    Entry e = std::move(queue_.front());
-    queue_.pop_front();
+    SimView view(engine, pools_, central_);
+    const auto decision = kernel_->acquire(view, core);
+    if (!decision.has_value()) return std::nullopt;
+    switch (decision->action) {
+      case policy::AcquireDecision::Action::kPopLocal: {
+        auto t = pools_[core].pop_lifo(decision->lane);
+        WATS_CHECK(t.has_value());
+        return Acquired{std::move(*t), 0.0};
+      }
+      case policy::AcquireDecision::Action::kTakeCentral:
+        return take_central(engine, core);
+      case policy::AcquireDecision::Action::kSteal: {
+        auto t = decision->take_lightest
+                     ? pools_[decision->victim].steal_lightest(decision->lane)
+                     : pools_[decision->victim].steal_fifo(decision->lane);
+        WATS_CHECK(t.has_value());
+        engine.count_steal();
+        return Acquired{std::move(*t), engine.config().steal_cost};
+      }
+    }
+    WATS_CHECK_MSG(false, "unknown acquire action");
+    __builtin_unreachable();
+  }
+
+  std::optional<core::CoreIndex> maybe_snatch(Engine& engine,
+                                              core::CoreIndex thief) override {
+    SimView view(engine, pools_, central_);
+    return kernel_->snatch_victim(view, thief);
+  }
+
+  void on_complete(Engine&, const SimTask& task, core::CoreIndex) override {
+    if (task.cls == core::kNoTaskClass || !kernel_->wants_history()) return;
+    // Algorithm 2 (Eq. 2): the measured cycles on a core of speed Fi,
+    // normalized by Fi/F1, recover exactly the F1-normalized work. The
+    // scalable fraction stands in for the CMPI counters a real system
+    // reads at completion (§IV-E).
+    registry_.record_completion(task.cls, task.work, task.scalable);
+    // The paper's helper thread re-runs Algorithm 1 as completions arrive
+    // (1 ms polling); at simulation scale we refresh immediately.
+    kernel_->maybe_recluster();
+  }
+
+  void on_recluster_tick(Engine&) override { kernel_->maybe_recluster(); }
+
+  bool has_pending() const override {
+    if (!central_.empty()) return true;
+    for (const auto& p : pools_) {
+      if (p.total_size() > 0) return true;
+    }
+    return false;
+  }
+
+  const core::policy::PolicyKernel* kernel() const override {
+    return kernel_.get();
+  }
+
+ private:
+  /// Take from the central queue honoring the kernel's ordering and cost
+  /// rules: Cilk hands out FIFO and charges a steal unless the taker is
+  /// the spawner; the LPT oracle hands out the longest task for free.
+  Acquired take_central(Engine& engine, core::CoreIndex core) {
+    WATS_CHECK(!central_.empty());
+    auto it = central_.begin();
+    if (kernel_->central_order() == policy::CentralOrder::kLongestFirst) {
+      for (auto cand = central_.begin(); cand != central_.end(); ++cand) {
+        if (cand->task.remaining > it->task.remaining) it = cand;
+      }
+    }
+    CentralEntry e = std::move(*it);
+    central_.erase(it);
+    if (kernel_->central_is_free()) {
+      return Acquired{std::move(e.task), 0.0};
+    }
     const bool local = e.spawner == core;
     if (!local) engine.count_steal();
     return Acquired{std::move(e.task),
                     local ? 0.0 : engine.config().steal_cost};
   }
 
-  bool has_pending() const override { return !queue_.empty(); }
-
- protected:
-  struct Entry {
-    SimTask task;
-    core::CoreIndex spawner;
-  };
-  std::deque<Entry> queue_;
-};
-
-// ---------------------------------------------------------------------
-// PFT: parent-first spawning + traditional random task stealing.
-// Spawned tasks pile up in the spawner's deque; idle cores pop their own
-// deque LIFO or steal FIFO from a random non-empty victim.
-// ---------------------------------------------------------------------
-class PftScheduler : public Scheduler {
- public:
-  void bind(Engine& engine) override {
-    pools_.assign(engine.topology().total_cores(), PoolSet(1));
-  }
-
-  void on_spawn(Engine&, SimTask task, core::CoreIndex spawner) override {
-    pools_[spawner].push(0, std::move(task));
-  }
-
-  std::optional<Acquired> acquire(Engine& engine,
-                                  core::CoreIndex core) override {
-    if (auto t = pools_[core].pop_lifo(0)) {
-      return Acquired{std::move(*t), 0.0};
-    }
-    const auto victim = pick_victim(
-        engine, core,
-        [&](core::CoreIndex c) { return !pools_[c].empty(0); },
-        [&](core::CoreIndex c) { return pools_[c].queued_work(0); });
-    if (!victim.has_value()) return std::nullopt;
-    auto t = pools_[*victim].steal_fifo(0);
-    WATS_CHECK(t.has_value());
-    engine.count_steal();
-    return Acquired{std::move(*t), engine.config().steal_cost};
-  }
-
-  bool has_pending() const override {
-    for (const auto& p : pools_) {
-      if (p.total_size() > 0) return true;
-    }
-    return false;
-  }
-
- private:
-  std::vector<PoolSet> pools_;
-};
-
-// ---------------------------------------------------------------------
-// RTS (Bender & Rabin style random task snatching): Cilk spawning and
-// stealing, plus: an idle faster core preempts the task of a RANDOMLY
-// chosen busy slower core (thread swap, cost Delta_s).
-// ---------------------------------------------------------------------
-class RtsScheduler : public CilkScheduler {
- public:
-  std::optional<core::CoreIndex> maybe_snatch(Engine& engine,
-                                              core::CoreIndex thief) override {
-    const double my_speed = engine.core_speed(thief);
-    return random_core(engine, thief, [&](core::CoreIndex c) {
-      return engine.core_busy(c) && engine.core_speed(c) < my_speed;
-    });
-  }
-};
-
-// ---------------------------------------------------------------------
-// LPT oracle: global pool, longest task first, free acquisition. Not a
-// realizable scheduler (it knows exact workloads and pays no overheads);
-// used as the achievable-upper-bound baseline in benches and tests.
-// ---------------------------------------------------------------------
-class LptOracleScheduler : public Scheduler {
- public:
-  void bind(Engine&) override {}
-
-  void on_spawn(Engine&, SimTask task, core::CoreIndex) override {
-    pool_.push_back(std::move(task));
-  }
-
-  std::optional<Acquired> acquire(Engine&, core::CoreIndex) override {
-    if (pool_.empty()) return std::nullopt;
-    auto longest = pool_.begin();
-    for (auto it = pool_.begin(); it != pool_.end(); ++it) {
-      if (it->remaining > longest->remaining) longest = it;
-    }
-    SimTask task = std::move(*longest);
-    pool_.erase(longest);
-    return Acquired{std::move(task), 0.0};
-  }
-
-  bool has_pending() const override { return !pool_.empty(); }
-
- private:
-  std::vector<SimTask> pool_;
-};
-
-// ---------------------------------------------------------------------
-// The WATS family: history-based allocation + preference-based stealing.
-//   - WATS:    full Algorithm 3 (cross-cluster stealing allowed)
-//   - WATS-NP: stealing restricted to the core's own cluster (§IV-C)
-//   - WATS-TS: WATS + workload-aware snatching (§IV-D): the victim is the
-//              slower core running the LARGEST remaining task
-// ---------------------------------------------------------------------
-class WatsScheduler : public Scheduler {
- public:
-  WatsScheduler(core::TaskClassRegistry& registry, bool cross_cluster,
-                bool snatching, bool memory_aware = false)
-      : registry_(registry),
-        cross_cluster_(cross_cluster),
-        snatching_(snatching),
-        memory_aware_(memory_aware) {}
-
-  void bind(Engine& engine) override {
-    const auto& topo = engine.topology();
-    k_ = topo.group_count();
-    pools_.assign(topo.total_cores(), PoolSet(k_));
-    prefs_ = core::all_preference_lists(k_);
-    if (registry_.total_completions() > 0) {
-      // Warm start: the registry carries persisted history — allocate
-      // from it immediately instead of treating every class as unknown.
-      rebuild(engine);
-    } else {
-      cluster_map_ =
-          std::make_unique<core::ClusterMap>(registry_.size(), k_);
-    }
-  }
-
-  void on_spawn(Engine&, SimTask task, core::CoreIndex spawner) override {
-    core::GroupIndex cluster = cluster_map_->cluster_of(task.cls);
-    // WATS-M (§IV-E): classes OBSERVED to be memory-bound (mean scalable
-    // fraction from counter history, not per-task oracle knowledge) gain
-    // almost nothing from fast cores — pin them to the slowest c-group.
-    if (memory_aware_ && k_ > 1 && registry_.has_history(task.cls) &&
-        registry_.info(task.cls).mean_scalable < 0.5) {
-      cluster = static_cast<core::GroupIndex>(k_ - 1);
-    }
-    pools_[spawner].push(cluster, std::move(task));
-  }
-
-  std::optional<Acquired> acquire(Engine& engine,
-                                  core::CoreIndex core) override {
-    const core::GroupIndex own =
-        engine.topology().group_of_core(core);
-    // Algorithm 3: walk the preference list; per cluster, local pool first,
-    // then steal from a random victim whose pool for that cluster is
-    // non-empty. WATS-NP only ever looks at its own cluster.
-    for (const core::GroupIndex cluster : prefs_[own]) {
-      if (!cross_cluster_ && cluster != own) continue;
-      if (auto t = pools_[core].pop_lifo(cluster)) {
-        return Acquired{std::move(*t), 0.0};
-      }
-      const auto victim = pick_victim(
-          engine, core,
-          [&](core::CoreIndex c) { return !pools_[c].empty(cluster); },
-          [&](core::CoreIndex c) { return pools_[c].queued_work(cluster); });
-      if (!victim.has_value()) continue;
-      if (cluster < own) {
-        // Robbing a cluster FASTER than our own: per the §II makespan
-        // analysis this only helps when the cluster's owners are
-        // backlogged — otherwise a slower core holding one of their tasks
-        // past the point the owners would have reached it PROLONGS the
-        // makespan. Rob only when the owners' drain time exceeds our
-        // execution time for the lightest available task, and take that
-        // lightest task.
-        double backlog = 0.0;
-        for (core::CoreIndex c = 0; c < pools_.size(); ++c) {
-          backlog += pools_[c].queued_work(cluster);
-        }
-        // The owners also have to finish what they are running right now.
-        const auto& topo = engine.topology();
-        for (core::CoreIndex c = topo.first_core_of_group(cluster);
-             c < topo.first_core_of_group(cluster) + topo.group(cluster).core_count;
-             ++c) {
-          if (engine.core_busy(c)) backlog += engine.running_remaining(c);
-        }
-        const double owner_drain =
-            backlog / topo.group_capacity(cluster);
-        const auto lightest = pools_[*victim].lightest_work(cluster);
-        WATS_CHECK(lightest.has_value());
-        const double my_time = *lightest / engine.core_speed(core);
-        if (owner_drain <= my_time) continue;
-        auto t = pools_[*victim].steal_lightest(cluster);
-        WATS_CHECK(t.has_value());
-        engine.count_steal();
-        return Acquired{std::move(*t), engine.config().steal_cost};
-      }
-      auto t = pools_[*victim].steal_fifo(cluster);
-      WATS_CHECK(t.has_value());
-      engine.count_steal();
-      return Acquired{std::move(*t), engine.config().steal_cost};
-    }
-    return std::nullopt;
-  }
-
-  std::optional<core::CoreIndex> maybe_snatch(Engine& engine,
-                                              core::CoreIndex thief) override {
-    if (!snatching_) return std::nullopt;
-    // Workload-aware snatch: among busy strictly slower cores, pick the one
-    // with the largest remaining work (§IV-D).
-    const double my_speed = engine.core_speed(thief);
-    std::optional<core::CoreIndex> best;
-    double best_remaining = 0.0;
-    for (core::CoreIndex c = 0; c < engine.topology().total_cores(); ++c) {
-      if (c == thief || !engine.core_busy(c)) continue;
-      if (engine.core_speed(c) >= my_speed) continue;
-      const double rem = engine.running_remaining(c);
-      if (rem > best_remaining) {
-        best_remaining = rem;
-        best = c;
-      }
-    }
-    return best;
-  }
-
-  void on_complete(Engine& engine, const SimTask& task,
-                   core::CoreIndex core) override {
-    if (task.cls == core::kNoTaskClass) return;
-    // Algorithm 2 (Eq. 2): the measured cycles on a core of speed Fi,
-    // normalized by Fi/F1, recover exactly the F1-normalized work. The
-    // scalable fraction stands in for the CMPI counters a real system
-    // reads at completion (§IV-E).
-    registry_.record_completion(task.cls, task.work, task.scalable);
-    (void)core;
-    // The paper's helper thread re-runs Algorithm 1 as completions arrive
-    // (1 ms polling); at simulation scale we refresh immediately.
-    rebuild(engine);
-  }
-
-  void on_recluster_tick(Engine& engine) override { rebuild(engine); }
-
-  bool has_pending() const override {
-    for (const auto& p : pools_) {
-      if (p.total_size() > 0) return true;
-    }
-    return false;
-  }
-
-  /// Test/diagnostic access.
-  const core::ClusterMap& cluster_map() const { return *cluster_map_; }
-
- private:
-  void rebuild(Engine& engine) {
-    cluster_map_ = std::make_unique<core::ClusterMap>(core::ClusterMap::build(
-        registry_.snapshot(), engine.topology(),
-        engine.config().cluster_algorithm));
-  }
-
   core::TaskClassRegistry& registry_;
-  bool cross_cluster_;
-  bool snatching_;
-  bool memory_aware_;
-
-  std::size_t k_ = 1;
+  std::unique_ptr<policy::PolicyKernel> kernel_;
   std::vector<PoolSet> pools_;
-  std::vector<std::vector<core::GroupIndex>> prefs_;
-  std::unique_ptr<core::ClusterMap> cluster_map_;
+  std::deque<CentralEntry> central_;
 };
 
 }  // namespace
 
 std::unique_ptr<Scheduler> make_scheduler(SchedulerKind kind,
                                           core::TaskClassRegistry& registry) {
-  switch (kind) {
-    case SchedulerKind::kCilk:
-      return std::make_unique<CilkScheduler>();
-    case SchedulerKind::kPft:
-      return std::make_unique<PftScheduler>();
-    case SchedulerKind::kRts:
-      return std::make_unique<RtsScheduler>();
-    case SchedulerKind::kWats:
-      return std::make_unique<WatsScheduler>(registry, true, false);
-    case SchedulerKind::kWatsNp:
-      return std::make_unique<WatsScheduler>(registry, false, false);
-    case SchedulerKind::kWatsTs:
-      return std::make_unique<WatsScheduler>(registry, true, true);
-    case SchedulerKind::kWatsM:
-      return std::make_unique<WatsScheduler>(registry, true, false,
-                                             /*memory_aware=*/true);
-    case SchedulerKind::kLptOracle:
-      return std::make_unique<LptOracleScheduler>();
-  }
-  WATS_CHECK_MSG(false, "unknown scheduler kind");
-  __builtin_unreachable();
+  return std::make_unique<KernelScheduler>(kind, registry);
 }
 
 }  // namespace wats::sim

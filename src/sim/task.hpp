@@ -12,6 +12,10 @@ using TaskId = std::uint64_t;
 struct SimTask {
   TaskId id = 0;
   core::TaskClassId cls = core::kNoTaskClass;
+  /// Class of the task that spawned this one (kNoTaskClass for root/driver
+  /// spawns). Feeds the §IV-E divide-and-conquer detector; workloads that
+  /// never set it simply keep the detector silent.
+  core::TaskClassId parent = core::kNoTaskClass;
   double work = 0.0;       ///< total F1-normalized work units
   double remaining = 0.0;  ///< work still to do (differs after preemption)
   /// Frequency-scalable fraction (§IV-E): 1.0 = pure compute (time scales

@@ -84,11 +84,18 @@ TEST(HistoryIo, RuntimeWarmStartPlacesKnownClasses) {
   runtime::TaskRuntime rt(cfg);
   rt.preload_history(persisted);
 
-  // Give the helper a tick to rebuild from the warm history — no task has
-  // executed yet.
-  std::this_thread::sleep_for(std::chrono::milliseconds(5));
+  // Wait for the helper to rebuild from the warm history — no task has
+  // executed yet. The tick period is 200us, but under machine load the
+  // helper thread may be descheduled for much longer, so poll with a
+  // generous deadline instead of assuming a single fixed sleep suffices.
   const auto heavy = rt.register_class("heavy");
   const auto light = rt.register_class("light");
+  const auto deadline =
+      std::chrono::steady_clock::now() + std::chrono::seconds(5);
+  while ((rt.cluster_of(heavy) != 0u || rt.cluster_of(light) == 0u) &&
+         std::chrono::steady_clock::now() < deadline) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(1));
+  }
   EXPECT_EQ(rt.cluster_of(heavy), 0u);
   EXPECT_GT(rt.cluster_of(light), 0u);
 }

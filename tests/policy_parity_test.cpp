@@ -1,0 +1,325 @@
+// Sim <-> runtime parity: the shared policy kernel must make the SAME
+// decisions regardless of which backend's machinery presents the state.
+//
+// Part one drives two kernels of every policy through an identical seeded
+// scenario, one over a PoolSet-backed view (the simulator's exact
+// mechanics) and one over a Chase–Lev-deque-backed view (the real-thread
+// runtime's approximate mechanics, unit task weights). With unit-work
+// tasks the two views report identical state, so the full decision
+// streams — placement and the preference/steal scan — must match draw for
+// draw.
+//
+// Part two checks the class->cluster placement map end to end: a real
+// TaskRuntime warm-started from persisted history must publish the same
+// map as the simulator's scheduler bound to the same history.
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdint>
+#include <deque>
+#include <memory>
+#include <optional>
+#include <thread>
+#include <vector>
+
+#include "core/policy/policy.hpp"
+#include "core/policy/view.hpp"
+#include "core/task_class.hpp"
+#include "core/topology.hpp"
+#include "runtime/runtime.hpp"
+#include "runtime/wsdeque.hpp"
+#include "sim/engine.hpp"
+#include "sim/pools.hpp"
+#include "sim/scheduler.hpp"
+#include "util/rng.hpp"
+
+namespace wats::core::policy {
+namespace {
+
+// Busy/running state scripted by the test and shared by both views (the
+// kernels' pool decisions are what differ between backends, not the
+// execution snapshot).
+struct ExecState {
+  std::vector<bool> busy;
+  std::vector<double> remaining;
+};
+
+/// Simulator-style view: exact PoolSet contents, exact per-task work.
+class ExactView final : public MachineView {
+ public:
+  ExactView(const AmcTopology& topo, std::vector<sim::PoolSet>& pools,
+            std::deque<sim::SimTask>& central, const ExecState& exec,
+            std::uint64_t seed)
+      : topo_(topo), pools_(pools), central_(central), exec_(exec),
+        rng_(seed) {}
+
+  const AmcTopology& topology() const override { return topo_; }
+  std::size_t pool_size(CoreIndex core, GroupIndex lane) const override {
+    return pools_[core].size(lane);
+  }
+  double pool_queued_work(CoreIndex core, GroupIndex lane) const override {
+    return pools_[core].queued_work(lane);
+  }
+  double pool_lightest_work(CoreIndex core, GroupIndex lane) const override {
+    return pools_[core].lightest_work(lane).value_or(0.0);
+  }
+  std::size_t central_size(GroupIndex lane) const override {
+    return lane == 0 ? central_.size() : 0;
+  }
+  bool core_busy(CoreIndex core) const override { return exec_.busy[core]; }
+  double core_speed(CoreIndex core) const override {
+    return topo_.group(topo_.group_of_core(core)).frequency_ghz;
+  }
+  double running_remaining(CoreIndex core) const override {
+    return exec_.remaining[core];
+  }
+  std::uint64_t random_below(std::uint64_t bound) override {
+    return rng_.bounded(bound);
+  }
+
+ private:
+  const AmcTopology& topo_;
+  std::vector<sim::PoolSet>& pools_;
+  std::deque<sim::SimTask>& central_;
+  const ExecState& exec_;
+  util::Xoshiro256 rng_;
+};
+
+/// Runtime-style view: Chase–Lev deques, unit task weights, atomic central
+/// size mirror — the same approximations TaskRuntime's view makes.
+class DequeView final : public MachineView {
+ public:
+  using Deque = runtime::WorkStealingDeque<int>;
+
+  DequeView(const AmcTopology& topo,
+            std::vector<std::vector<std::unique_ptr<Deque>>>& pools,
+            const std::atomic<std::size_t>& central, const ExecState& exec,
+            std::uint64_t seed)
+      : topo_(topo), pools_(pools), central_(central), exec_(exec),
+        rng_(seed) {}
+
+  const AmcTopology& topology() const override { return topo_; }
+  std::size_t pool_size(CoreIndex core, GroupIndex lane) const override {
+    return pools_[core][lane]->size_approx();
+  }
+  double pool_queued_work(CoreIndex core, GroupIndex lane) const override {
+    return static_cast<double>(pools_[core][lane]->size_approx());
+  }
+  double pool_lightest_work(CoreIndex core, GroupIndex lane) const override {
+    return pools_[core][lane]->size_approx() > 0 ? 1.0 : 0.0;
+  }
+  std::size_t central_size(GroupIndex lane) const override {
+    return lane == 0 ? central_.load(std::memory_order_relaxed) : 0;
+  }
+  bool core_busy(CoreIndex core) const override { return exec_.busy[core]; }
+  double core_speed(CoreIndex core) const override {
+    return topo_.group(topo_.group_of_core(core)).frequency_ghz;
+  }
+  double running_remaining(CoreIndex core) const override {
+    return exec_.remaining[core];
+  }
+  std::uint64_t random_below(std::uint64_t bound) override {
+    return rng_.bounded(bound);
+  }
+
+ private:
+  const AmcTopology& topo_;
+  std::vector<std::vector<std::unique_ptr<Deque>>>& pools_;
+  const std::atomic<std::size_t>& central_;
+  const ExecState& exec_;
+  util::Xoshiro256 rng_;
+};
+
+constexpr std::uint64_t kSeed = 0xC0FFEE;
+
+std::vector<PolicyKind> all_policies() {
+  return {PolicyKind::kCilk,   PolicyKind::kPft,    PolicyKind::kRts,
+          PolicyKind::kWats,   PolicyKind::kWatsNp, PolicyKind::kWatsTs,
+          PolicyKind::kWatsM,  PolicyKind::kLptOracle};
+}
+
+/// Drives one policy through the scripted scenario on both backends and
+/// asserts every placement and acquisition decision matches.
+void run_parity_scenario(PolicyKind kind) {
+  SCOPED_TRACE(to_string(kind));
+  const AmcTopology topo("parity", {{2.0, 2}, {1.0, 2}});
+
+  // Shared history: both kernels read the same registry, so the WATS
+  // family builds the same cluster map.
+  TaskClassRegistry reg;
+  const auto heavy = reg.intern("heavy");
+  const auto light = reg.intern("light");
+  for (int i = 0; i < 40; ++i) {
+    reg.record_completion(heavy, 500.0);
+    reg.record_completion(light, 5.0);
+  }
+
+  auto sim_kernel = make_policy(kind, reg);
+  auto rt_kernel = make_policy(kind, reg);
+  PolicyOptions opts;  // defaults; no spawn edges tagged, so DNC is silent
+  sim_kernel->bind(topo, opts);
+  rt_kernel->bind(topo, opts);
+  ASSERT_EQ(sim_kernel->lane_count(), rt_kernel->lane_count());
+  sim_kernel->maybe_recluster();
+  rt_kernel->maybe_recluster();
+
+  const std::size_t cores = topo.total_cores();
+  const std::size_t lanes = sim_kernel->lane_count();
+
+  // Backend one: simulator mechanics.
+  std::vector<sim::PoolSet> sim_pools(cores, sim::PoolSet(lanes));
+  std::deque<sim::SimTask> sim_central;
+
+  // Backend two: runtime mechanics.
+  std::vector<std::vector<std::unique_ptr<DequeView::Deque>>> rt_pools(cores);
+  for (auto& per_core : rt_pools) {
+    for (std::size_t l = 0; l < lanes; ++l) {
+      per_core.emplace_back(std::make_unique<DequeView::Deque>());
+    }
+  }
+  std::atomic<std::size_t> rt_central{0};
+  std::vector<int> rt_task_storage(64, 0);
+
+  ExecState exec;
+  exec.busy.assign(cores, false);
+  exec.remaining.assign(cores, 0.0);
+
+  ExactView sim_view(topo, sim_pools, sim_central, exec, kSeed);
+  DequeView rt_view(topo, rt_pools, rt_central, exec, kSeed);
+
+  // Spawn script: a shuffled mix of classes from different spawners. Unit
+  // work keeps the two views' queued-work reports identical.
+  const std::vector<std::pair<CoreIndex, TaskClassId>> spawns = {
+      {0, heavy}, {0, light}, {1, heavy}, {2, light}, {3, heavy},
+      {0, heavy}, {2, heavy}, {1, light}, {3, light}, {0, light},
+  };
+  std::size_t storage_next = 0;
+  for (const auto& [spawner, cls] : spawns) {
+    const Placement p1 = sim_kernel->place(cls);
+    const Placement p2 = rt_kernel->place(cls);
+    ASSERT_EQ(p1.where, p2.where);
+    ASSERT_EQ(p1.lane, p2.lane);
+
+    sim::SimTask t;
+    t.cls = cls;
+    t.work = t.remaining = 1.0;
+    int* node = &rt_task_storage[storage_next++];
+    if (p1.where == Placement::Where::kCentral) {
+      sim_central.push_back(t);
+      rt_central.fetch_add(1, std::memory_order_relaxed);
+    } else {
+      sim_pools[spawner].push(p1.lane, t);
+      rt_pools[spawner][p1.lane]->push_bottom(node);
+    }
+  }
+
+  // Acquisition rounds: every core asks until a full round finds nothing.
+  // Each pair of decisions must be identical; applying them keeps the two
+  // backends in lockstep so the NEXT decisions see the same state.
+  std::size_t acquired = 0;
+  bool progress = true;
+  while (progress) {
+    progress = false;
+    for (CoreIndex core = 0; core < cores; ++core) {
+      const auto d1 = sim_kernel->acquire(sim_view, core);
+      const auto d2 = rt_kernel->acquire(rt_view, core);
+      ASSERT_EQ(d1.has_value(), d2.has_value());
+      if (!d1.has_value()) continue;
+      ASSERT_EQ(*d1, *d2);
+      progress = true;
+      ++acquired;
+      switch (d1->action) {
+        case AcquireDecision::Action::kPopLocal:
+          ASSERT_TRUE(sim_pools[core].pop_lifo(d1->lane).has_value());
+          ASSERT_NE(rt_pools[core][d1->lane]->pop_bottom(), nullptr);
+          break;
+        case AcquireDecision::Action::kTakeCentral:
+          ASSERT_FALSE(sim_central.empty());
+          sim_central.pop_front();
+          rt_central.fetch_sub(1, std::memory_order_relaxed);
+          break;
+        case AcquireDecision::Action::kSteal: {
+          auto t = d1->take_lightest
+                       ? sim_pools[d1->victim].steal_lightest(d1->lane)
+                       : sim_pools[d1->victim].steal_fifo(d1->lane);
+          ASSERT_TRUE(t.has_value());
+          ASSERT_NE(rt_pools[d1->victim][d1->lane]->steal_top(), nullptr);
+          break;
+        }
+      }
+    }
+  }
+  EXPECT_EQ(acquired, spawns.size());
+
+  // Snatch parity: with identical scripted execution snapshots, the
+  // snatching policies must pick the same victim (or none).
+  exec.busy = {true, false, true, true};
+  exec.remaining = {40.0, 0.0, 120.0, 7.0};
+  for (CoreIndex thief = 0; thief < cores; ++thief) {
+    EXPECT_EQ(sim_kernel->snatch_victim(sim_view, thief),
+              rt_kernel->snatch_victim(rt_view, thief));
+  }
+}
+
+TEST(PolicyParity, DecisionStreamsMatchAcrossBackends) {
+  for (const auto kind : all_policies()) run_parity_scenario(kind);
+}
+
+// A workload that spawns nothing: part two only needs a bound scheduler.
+class NullWorkload : public sim::Workload {
+ public:
+  void start(sim::Engine&) override {}
+  void on_complete(sim::Engine&, const sim::SimTask&, CoreIndex) override {}
+  bool done() const override { return true; }
+};
+
+TEST(PolicyParity, WarmStartClusterMapMatchesAcrossBackends) {
+  const AmcTopology topo("parity", {{2.0, 2}, {1.0, 2}});
+  std::vector<TaskClassInfo> persisted(3);
+  persisted[0].name = "render";
+  persisted[0].completed = 60;
+  persisted[0].mean_workload = 9000.0;
+  persisted[1].name = "decode";
+  persisted[1].completed = 60;
+  persisted[1].mean_workload = 450.0;
+  persisted[2].name = "audio";
+  persisted[2].completed = 60;
+  persisted[2].mean_workload = 20.0;
+
+  // Simulator backend.
+  TaskClassRegistry sim_reg;
+  for (const auto& c : persisted) {
+    sim_reg.restore(sim_reg.intern(c.name), c.completed, c.mean_workload);
+  }
+  auto sched = sim::make_scheduler(sim::SchedulerKind::kWats, sim_reg);
+  NullWorkload wl;
+  sim::Engine engine(topo, sim::SimConfig{}, *sched, wl);
+  sched->bind(engine);
+  sched->on_recluster_tick(engine);
+  ASSERT_NE(sched->kernel(), nullptr);
+
+  // Real-thread runtime backend, warm-started from the same history.
+  runtime::RuntimeConfig cfg;
+  cfg.topology = topo;
+  cfg.emulate_speeds = false;
+  cfg.helper_period = std::chrono::microseconds(200);
+  runtime::TaskRuntime rt(cfg);
+  rt.preload_history(persisted);
+
+  for (const auto& c : persisted) {
+    const auto sim_id = *sim_reg.find(c.name);
+    const auto rt_id = rt.register_class(c.name);
+    const auto want = sched->kernel()->cluster_of(sim_id);
+    // The runtime's helper thread publishes asynchronously; poll briefly.
+    const auto deadline =
+        std::chrono::steady_clock::now() + std::chrono::seconds(5);
+    while (rt.cluster_of(rt_id) != want &&
+           std::chrono::steady_clock::now() < deadline) {
+      std::this_thread::sleep_for(std::chrono::milliseconds(1));
+    }
+    EXPECT_EQ(rt.cluster_of(rt_id), want) << c.name;
+  }
+}
+
+}  // namespace
+}  // namespace wats::core::policy

@@ -60,6 +60,38 @@ TEST(RtsSwap, SwapsHappenUnderImbalance) {
   EXPECT_GT(rt.stats().speed_swaps, 0u);
 }
 
+TEST(RtsSwap, WatsTsSwapsWithWarmHistory) {
+  // WATS-TS picks the busy slower worker whose task has the LARGEST
+  // estimated remaining work (§IV-D) — the estimate comes from class
+  // history, so the first round only warms the registry and later rounds
+  // can swap.
+  auto cfg = swap_config();
+  cfg.policy = Policy::kWatsTs;
+  TaskRuntime rt(cfg);
+  const auto long_cls = rt.register_class("long");
+  const auto short_cls = rt.register_class("short");
+  std::atomic<int> done{0};
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      rt.spawn(long_cls, [&done] {
+        volatile double x = 1;
+        for (int j = 0; j < 400000; ++j) x = x * 1.0000001 + 0.1;
+        done++;
+      });
+    }
+    for (int i = 0; i < 12; ++i) {
+      rt.spawn(short_cls, [&done] {
+        volatile int x = 0;
+        for (int j = 0; j < 500; ++j) x = x + 1;
+        done++;
+      });
+    }
+    rt.wait_all();
+  }
+  EXPECT_EQ(done.load(), 6 * 16);
+  EXPECT_GT(rt.stats().speed_swaps, 0u);
+}
+
 TEST(RtsSwap, OtherPoliciesNeverSwap) {
   auto cfg = swap_config();
   cfg.policy = Policy::kWats;

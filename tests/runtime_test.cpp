@@ -220,6 +220,40 @@ TEST(TaskRuntime, WatsNpPolicyRunsEverything) {
   EXPECT_EQ(count.load(), 300);
 }
 
+TEST(TaskRuntime, CilkPolicyRunsEverything) {
+  TaskRuntime rt(quick_config(Policy::kCilk));
+  EXPECT_TRUE(rt.kernel().uses_central_queue());
+  EXPECT_EQ(rt.kernel().kind(), core::policy::PolicyKind::kCilk);
+  std::atomic<int> count{0};
+  const auto cls = rt.register_class("x");
+  for (int i = 0; i < 150; ++i) {
+    // Nested spawns exercise worker-side placement into the central queue.
+    rt.spawn(cls, [&rt, &count, cls] {
+      count++;
+      rt.spawn(cls, [&count] { count++; });
+    });
+  }
+  rt.wait_all();
+  EXPECT_EQ(count.load(), 300);
+  EXPECT_EQ(rt.stats().tasks_executed, 300u);
+}
+
+TEST(TaskRuntime, WatsTsPolicyRunsEverything) {
+  TaskRuntime rt(quick_config(Policy::kWatsTs));
+  EXPECT_TRUE(rt.kernel().may_snatch());
+  EXPECT_TRUE(rt.kernel().wants_history());
+  EXPECT_EQ(rt.kernel().kind(), core::policy::PolicyKind::kWatsTs);
+  std::atomic<int> count{0};
+  const auto cls = rt.register_class("x");
+  for (int i = 0; i < 300; ++i) {
+    rt.spawn(cls, [&count] { count++; });
+  }
+  rt.wait_all();
+  EXPECT_EQ(count.load(), 300);
+  // Without speed emulation the snatch path is gated off entirely.
+  EXPECT_EQ(rt.stats().speed_swaps, 0u);
+}
+
 TEST(TaskRuntime, DncFallbackTriggersOnRecursiveSpawns) {
   auto cfg = quick_config();
   cfg.dnc_min_spawns = 32;

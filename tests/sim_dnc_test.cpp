@@ -1,0 +1,120 @@
+// End-to-end §IV-E divide-and-conquer fallback in the simulator: a
+// self-recursive workload that tags SimTask::parent must flip the WATS
+// kernel into plain-stealing mode mid-run, and the run must still
+// complete every task.
+#include <gtest/gtest.h>
+
+#include <cstdint>
+
+#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
+
+namespace wats::sim {
+namespace {
+
+/// Binary divide-and-conquer recursion: every completed task of class
+/// `cls` spawns two children of the SAME class (parent tagged) until a
+/// spawn budget runs out — the fib/nqueens shape §IV-E targets.
+class RecursiveWorkload : public Workload {
+ public:
+  RecursiveWorkload(core::TaskClassId cls, std::uint64_t budget,
+                    bool tag_parent = true)
+      : cls_(cls), budget_(budget), tag_parent_(tag_parent) {}
+
+  void start(Engine& engine) override {
+    SimTask root;
+    root.id = engine.next_task_id();
+    root.cls = cls_;
+    root.parent = core::kNoTaskClass;
+    root.work = root.remaining = 1.0;
+    ++outstanding_;
+    engine.spawn(root, 0);
+  }
+
+  void on_complete(Engine& engine, const SimTask& task,
+                   core::CoreIndex core) override {
+    --outstanding_;
+    ++completed_;
+    if (task.cls != cls_) return;
+    for (int i = 0; i < 2 && budget_ > 0; ++i, --budget_) {
+      SimTask child;
+      child.id = engine.next_task_id();
+      child.cls = cls_;
+      // The self-recursive edge the detector watches; workloads opt in.
+      child.parent = tag_parent_ ? cls_ : core::kNoTaskClass;
+      child.work = child.remaining = 1.0;
+      ++outstanding_;
+      engine.spawn(child, core);
+    }
+  }
+
+  bool done() const override { return outstanding_ == 0; }
+  std::uint64_t completed() const { return completed_; }
+
+ private:
+  core::TaskClassId cls_;
+  std::uint64_t budget_;
+  bool tag_parent_;
+  std::uint64_t outstanding_ = 0;
+  std::uint64_t completed_ = 0;
+};
+
+SimConfig dnc_config() {
+  SimConfig cfg;
+  cfg.seed = 7;
+  cfg.steal_cost = 0.0;
+  cfg.spawn_cost = 0.0;
+  cfg.dnc_min_spawns = 16;  // trip the detector early in a small run
+  return cfg;
+}
+
+TEST(SimDnc, SelfRecursiveWorkloadActivatesFallback) {
+  const core::AmcTopology topo("d", {{2.0, 1}, {1.0, 3}});
+  core::TaskClassRegistry reg;
+  const auto cls = reg.intern("fib");
+  auto sched = make_scheduler(SchedulerKind::kWats, reg);
+  RecursiveWorkload wl(cls, 200);
+  Engine engine(topo, dnc_config(), *sched, wl);
+  sched->bind(engine);
+  ASSERT_NE(sched->kernel(), nullptr);
+  EXPECT_FALSE(sched->kernel()->dnc_active());
+
+  const auto stats = engine.run();
+  EXPECT_TRUE(sched->kernel()->dnc_active());
+  EXPECT_EQ(stats.tasks_completed, 201u);  // root + budget
+  EXPECT_EQ(wl.completed(), 201u);
+}
+
+TEST(SimDnc, FallbackRespectsConfigSwitch) {
+  const core::AmcTopology topo("d", {{2.0, 1}, {1.0, 3}});
+  core::TaskClassRegistry reg;
+  const auto cls = reg.intern("fib");
+  auto sched = make_scheduler(SchedulerKind::kWats, reg);
+  RecursiveWorkload wl(cls, 200);
+  auto cfg = dnc_config();
+  cfg.dnc_fallback = false;
+  Engine engine(topo, cfg, *sched, wl);
+  sched->bind(engine);
+
+  const auto stats = engine.run();
+  EXPECT_FALSE(sched->kernel()->dnc_active());
+  EXPECT_EQ(stats.tasks_completed, 201u);
+}
+
+TEST(SimDnc, UntaggedSpawnsKeepDetectorSilent) {
+  const core::AmcTopology topo("d", {{2.0, 1}, {1.0, 3}});
+  core::TaskClassRegistry reg;
+  const auto cls = reg.intern("fib");
+
+  // Same recursion shape but with parent left untagged: the detector must
+  // never engage (workloads opt in by setting SimTask::parent).
+  auto sched = make_scheduler(SchedulerKind::kWats, reg);
+  RecursiveWorkload wl(cls, 100, /*tag_parent=*/false);
+  Engine engine(topo, dnc_config(), *sched, wl);
+  sched->bind(engine);
+  engine.run();
+  EXPECT_FALSE(sched->kernel()->dnc_active());
+}
+
+}  // namespace
+}  // namespace wats::sim
