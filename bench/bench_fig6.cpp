@@ -1,13 +1,53 @@
 // Fig. 6: normalized execution time of all nine Table III benchmarks under
 // Cilk, PFT, RTS and WATS on AMC 1, AMC 2 and AMC 5 (normalized to Cilk,
 // as in the paper's bars).
+//
+// --trace-out=FILE additionally runs the first benchmark on AMC1 under
+// WATS with the execution trace and policy decisions recorded, and writes
+// them as Perfetto JSON (open in https://ui.perfetto.dev, or summarize
+// with tools/wats_trace).
 #include <cstdio>
+#include <fstream>
 
 #include "bench_common.hpp"
+#include "obs/decision.hpp"
+#include "sim/trace.hpp"
+#include "sim/trace_export.hpp"
+#include "util/args.hpp"
 
 using namespace wats;
 
-int main() {
+namespace {
+
+void write_trace(const std::string& path) {
+  const auto& spec = workloads::paper_benchmarks().front();
+  const auto topo = core::amc_by_name("AMC1");
+  sim::TraceRecorder trace;
+  obs::CollectingDecisionSink decisions;
+  auto cfg = bench::default_config(1);
+  cfg.trace = &trace;
+  cfg.decision_sink = &decisions;
+  sim::run_experiment(spec, topo, sim::SchedulerKind::kWats, cfg);
+
+  // Classes are interned in spec order, so spec names label the slices.
+  std::vector<std::string> class_names;
+  for (const auto& cls : spec.classes) class_names.push_back(cls.name);
+  std::ofstream out(path, std::ios::trunc);
+  if (!out.good()) {
+    std::fprintf(stderr, "cannot write %s\n", path.c_str());
+    std::exit(1);
+  }
+  out << sim::perfetto_from_sim_trace(trace, topo, class_names,
+                                      decisions.records());
+  std::printf("\nwrote %s (%zu segments, %zu decisions; %s on AMC1, WATS)\n",
+              path.c_str(), trace.segments().size(), decisions.size(),
+              spec.name.c_str());
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
   std::printf("WATS reproduction — Fig. 6 (a) AMC1, (b) AMC2, (c) AMC5\n");
   const auto cfg = bench::default_config(15);
 
@@ -30,6 +70,9 @@ int main() {
     bench::print_table(std::string("Fig. 6 — ") + machine +
                            " (execution time normalized to Cilk)",
                        t);
+  }
+  if (const auto trace_out = args.value("trace-out")) {
+    write_trace(*trace_out);
   }
   return 0;
 }

@@ -6,8 +6,13 @@
 // scheduler time-slices the workers and wall time mostly measures load.
 // The PLACEMENT quality (fraction of each class executed by the fast
 // c-group) is robust either way, so it is reported first.
+// --trace-out=FILE records the WATS run of the first benchmark through
+// the per-worker event rings and writes Perfetto JSON plus a text summary
+// of the collected metrics (see docs/OBSERVABILITY.md).
 #include <cstdio>
+#include <fstream>
 
+#include "util/args.hpp"
 #include "util/table.hpp"
 #include "workloads/drivers.hpp"
 
@@ -31,11 +36,14 @@ const char* policy_name(runtime::Policy p) {
 
 }  // namespace
 
-int main() {
+int main(int argc, char** argv) {
+  const util::Args args(argc, argv);
+  const auto trace_out = args.value("trace-out");
   std::printf("WATS runtime — real kernels, emulated 2x2.5GHz + 2x0.8GHz\n");
   std::printf("(wall time is only meaningful with >= 4 host CPUs; placement "
               "fractions are robust)\n");
 
+  bool traced_run_done = false;
   for (const char* bench : {"MD5", "SHA-1"}) {
     const auto& spec = workloads::benchmark_by_name(bench);
     util::TextTable t({"policy", "wall (s)", "tasks",
@@ -47,11 +55,32 @@ int main() {
       cfg.topology = core::AmcTopology("mini", {{2.5, 2}, {0.8, 2}});
       cfg.policy = policy;
       cfg.emulate_speeds = true;
+      // Trace the first WATS run: rings sized to hold the whole run, plus
+      // structured policy decisions for the Perfetto policy track.
+      const bool traced = trace_out.has_value() && !traced_run_done &&
+                          policy == runtime::Policy::kWats;
+      if (traced) {
+        cfg.trace.enabled = true;
+        cfg.trace.ring_capacity = 1u << 15;
+        cfg.trace.record_decisions = true;
+      }
       runtime::TaskRuntime rt(cfg);
       // Two mini batches: the first warms the history.
       const auto r =
           workloads::run_batch_on_runtime(rt, spec, 0.12, 42, /*batches=*/2);
       const auto stats = rt.stats();
+      if (traced) {
+        traced_run_done = true;
+        std::ofstream out(*trace_out, std::ios::trunc);
+        if (!out.good()) {
+          std::fprintf(stderr, "cannot write %s\n", trace_out->c_str());
+          return 1;
+        }
+        out << rt.perfetto_trace_json();
+        std::printf("\nwrote %s (%s, WATS)\n-- observability summary --\n%s",
+                    trace_out->c_str(), bench,
+                    rt.observability_summary(r.wall_seconds).c_str());
+      }
       // The heaviest class is the spec's first.
       const auto heavy = rt.register_class(spec.classes.front().name);
       t.add_row({policy_name(policy), util::TextTable::num(r.wall_seconds, 2),

@@ -24,13 +24,24 @@ class CilkPolicy : public PolicyKernel {
 
   bool uses_central_queue() const override { return true; }
 
-  Placement place(TaskClassId) override {
+  Placement place(TaskClassId cls) override {
+    if (decisions_traced()) {
+      emit_placement(cls, 0, obs::ReasonCode::kCentralSpawn);
+    }
     return {Placement::Where::kCentral, 0};
   }
 
   std::optional<AcquireDecision> acquire(MachineView& view,
-                                         CoreIndex) override {
-    if (view.central_size(0) == 0) return std::nullopt;
+                                         CoreIndex self) override {
+    if (view.central_size(0) == 0) {
+      if (decisions_traced()) {
+        emit_acquire(view, self, /*chosen=*/-1, obs::ReasonCode::kNoWork);
+      }
+      return std::nullopt;
+    }
+    if (decisions_traced()) {
+      emit_acquire(view, self, 0, obs::ReasonCode::kCentralTake);
+    }
     return AcquireDecision{AcquireDecision::Action::kTakeCentral, 0};
   }
 
@@ -51,7 +62,15 @@ class RtsPolicy : public CilkPolicy {
 
   std::optional<CoreIndex> snatch_victim(MachineView& view,
                                          CoreIndex thief) override {
-    return random_busy_slower(view, thief);
+    const auto victim = random_busy_slower(view, thief);
+    if (decisions_traced()) {
+      emit_snatch_scan(
+          thief,
+          victim.has_value() ? obs::ReasonCode::kSnatchRandomSlower
+                             : obs::ReasonCode::kNoVictim,
+          victim.has_value() ? static_cast<std::int32_t>(*victim) : -1);
+    }
+    return victim;
   }
 };
 
@@ -65,21 +84,39 @@ class PftPolicy : public PolicyKernel {
  public:
   PftPolicy() : PolicyKernel(PolicyKind::kPft) {}
 
-  Placement place(TaskClassId) override {
+  Placement place(TaskClassId cls) override {
+    if (decisions_traced()) {
+      emit_placement(cls, 0, obs::ReasonCode::kLocalPool);
+    }
     return {Placement::Where::kLocalPool, 0};
   }
 
   std::optional<AcquireDecision> acquire(MachineView& view,
                                          CoreIndex self) override {
     if (view.pool_size(self, 0) > 0) {
+      if (decisions_traced()) {
+        emit_acquire(view, self, 0, obs::ReasonCode::kLocalPool);
+      }
       return AcquireDecision{AcquireDecision::Action::kPopLocal, 0};
     }
     if (view.central_size(0) > 0) {
+      if (decisions_traced()) {
+        emit_acquire(view, self, 0, obs::ReasonCode::kCentralTake);
+      }
       return AcquireDecision{AcquireDecision::Action::kTakeCentral, 0};
     }
     const auto victim =
         pick_steal_victim(view, self, 0, options().steal_victim);
-    if (!victim.has_value()) return std::nullopt;
+    if (!victim.has_value()) {
+      if (decisions_traced()) {
+        emit_acquire(view, self, /*chosen=*/-1, obs::ReasonCode::kNoWork);
+      }
+      return std::nullopt;
+    }
+    if (decisions_traced()) {
+      emit_acquire(view, self, 0, obs::ReasonCode::kStealPreferred,
+                   static_cast<std::int32_t>(*victim));
+    }
     return AcquireDecision{AcquireDecision::Action::kSteal, 0, *victim};
   }
 };
@@ -99,13 +136,24 @@ class LptOraclePolicy : public PolicyKernel {
   }
   bool central_is_free() const override { return true; }
 
-  Placement place(TaskClassId) override {
+  Placement place(TaskClassId cls) override {
+    if (decisions_traced()) {
+      emit_placement(cls, 0, obs::ReasonCode::kCentralSpawn);
+    }
     return {Placement::Where::kCentral, 0};
   }
 
   std::optional<AcquireDecision> acquire(MachineView& view,
-                                         CoreIndex) override {
-    if (view.central_size(0) == 0) return std::nullopt;
+                                         CoreIndex self) override {
+    if (view.central_size(0) == 0) {
+      if (decisions_traced()) {
+        emit_acquire(view, self, /*chosen=*/-1, obs::ReasonCode::kNoWork);
+      }
+      return std::nullopt;
+    }
+    if (decisions_traced()) {
+      emit_acquire(view, self, 0, obs::ReasonCode::kCentralTake);
+    }
     return AcquireDecision{AcquireDecision::Action::kTakeCentral, 0};
   }
 };

@@ -29,6 +29,23 @@ std::string to_string(PolicyKind kind) {
   __builtin_unreachable();
 }
 
+void PolicyKernel::fill_group_load(MachineView& view,
+                                   obs::DecisionRecord& record) const {
+  const std::size_t n = view.topology().total_cores();
+  const std::size_t lanes = lane_count() < obs::kMaxDecisionGroups
+                                ? lane_count()
+                                : obs::kMaxDecisionGroups;
+  record.group_count = static_cast<std::uint8_t>(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    std::size_t load = view.central_size(lane);
+    for (CoreIndex c = 0; c < n; ++c) {
+      load += view.pool_size(c, lane);
+    }
+    record.group_load[lane] = static_cast<std::uint32_t>(
+        load < 0xFFFFFFFFu ? load : 0xFFFFFFFFu);
+  }
+}
+
 std::optional<CoreIndex> pick_steal_victim(MachineView& view, CoreIndex self,
                                            GroupIndex lane,
                                            StealVictimRule rule) {

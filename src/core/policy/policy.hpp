@@ -21,6 +21,7 @@
 #include "core/policy/view.hpp"
 #include "core/task_class.hpp"
 #include "core/topology.hpp"
+#include "obs/decision.hpp"
 
 namespace wats::core::policy {
 
@@ -173,16 +174,88 @@ class PolicyKernel {
     return 0;
   }
 
+  /// Attach (or detach, with nullptr) a decision sink: every subsequent
+  /// placement / acquisition / snatch / DNC-flip / recluster decision
+  /// emits a structured obs::DecisionRecord. Set it before the run — the
+  /// pointer itself is not synchronized against in-flight decisions. With
+  /// no sink attached the decision paths pay one pointer compare; with
+  /// WATS_TRACE=OFF they compile out entirely.
+  void set_decision_sink(obs::DecisionSink* sink) { sink_ = sink; }
+
  protected:
   explicit PolicyKernel(PolicyKind kind) : kind_(kind) {}
 
   const AmcTopology& topology() const { return *topo_; }
   const PolicyOptions& options() const { return options_; }
 
+  /// True when emit_decision() would deliver — lets decision sites skip
+  /// building load snapshots that only the record needs.
+  bool decisions_traced() const {
+    if constexpr (obs::kTraceCompiledIn) {
+      return sink_ != nullptr;
+    } else {
+      return false;
+    }
+  }
+
+  /// Stamp and deliver a record (no-op without a sink / when compiled out).
+  void emit_decision(obs::DecisionRecord record) const {
+    if constexpr (obs::kTraceCompiledIn) {
+      if (sink_ != nullptr) {
+        record.tsc = obs::tsc_now();
+        sink_->on_decision(record);
+      }
+    } else {
+      (void)record;
+    }
+  }
+
+  /// Queued tasks per lane (every core's pool plus the central lane) —
+  /// the load snapshot attached to acquire/snatch records. Costs k*(n+1)
+  /// view calls; call only under decisions_traced().
+  void fill_group_load(MachineView& view, obs::DecisionRecord& record) const;
+
+  /// Placement record for the spawn path (self = 0xFFFF).
+  void emit_placement(TaskClassId cls, GroupIndex lane,
+                      obs::ReasonCode reason) const {
+    obs::DecisionRecord record;
+    record.kind = obs::DecisionKind::kPlacement;
+    record.reason = reason;
+    record.cls = cls;
+    record.chosen = static_cast<std::int32_t>(lane);
+    emit_decision(record);
+  }
+
+  /// Acquire record with the per-lane load snapshot attached. `chosen` is
+  /// the lane acted on, or -1 for a no-work scan.
+  void emit_acquire(MachineView& view, CoreIndex self, std::int32_t chosen,
+                    obs::ReasonCode reason, std::int32_t victim = -1) const {
+    obs::DecisionRecord record;
+    record.kind = obs::DecisionKind::kAcquire;
+    record.reason = reason;
+    record.self = static_cast<std::uint16_t>(self);
+    record.chosen = chosen;
+    record.victim = victim;
+    fill_group_load(view, record);
+    emit_decision(record);
+  }
+
+  /// Snatch-scan record (victim = -1 when the scan came up empty).
+  void emit_snatch_scan(CoreIndex thief, obs::ReasonCode reason,
+                        std::int32_t victim) const {
+    obs::DecisionRecord record;
+    record.kind = obs::DecisionKind::kSnatchScan;
+    record.reason = reason;
+    record.self = static_cast<std::uint16_t>(thief);
+    record.victim = victim;
+    emit_decision(record);
+  }
+
  private:
   PolicyKind kind_;
   const AmcTopology* topo_ = nullptr;
   PolicyOptions options_;
+  obs::DecisionSink* sink_ = nullptr;
 };
 
 /// Factory. The registry is shared with the backend and the workload

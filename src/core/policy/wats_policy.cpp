@@ -7,8 +7,12 @@
 //
 // The class->cluster map is published RCU-style: the helper thread (or the
 // simulator's completion hook) builds a fresh immutable ClusterMap and
-// swaps it into an atomic shared_ptr; spawn-path readers load it without
-// taking any lock.
+// publishes it through a plain atomic pointer; spawn-path readers load it
+// without taking any lock. Superseded maps are retired to a list that is
+// only freed when the policy is destroyed — a reader that loaded a stale
+// pointer can keep using it for as long as it likes. Rebuilds are rare
+// (once per helper period with new completions) and maps are a few words
+// per class, so the retired list stays tiny.
 #include <atomic>
 #include <memory>
 #include <mutex>
@@ -41,8 +45,7 @@ class WatsPolicy : public PolicyKernel {
       last_completions_ = registry_.total_completions();
       rebuild();
     } else {
-      map_.store(std::make_shared<const ClusterMap>(registry_.size(), k_),
-                 std::memory_order_release);
+      publish(std::make_unique<const ClusterMap>(registry_.size(), k_));
     }
   }
 
@@ -51,15 +54,31 @@ class WatsPolicy : public PolicyKernel {
   bool wants_history() const override { return true; }
 
   Placement place(TaskClassId cls) override {
-    if (dnc_active()) return {Placement::Where::kLocalPool, 0};
+    if (dnc_active()) {
+      if (decisions_traced()) {
+        note_dnc_state(true);
+        emit_placement(cls, 0, obs::ReasonCode::kDncFallback);
+      }
+      return {Placement::Where::kLocalPool, 0};
+    }
     GroupIndex cluster =
         map_.load(std::memory_order_acquire)->cluster_of(cls);
     // WATS-M (§IV-E): classes OBSERVED to be memory-bound (mean scalable
     // fraction from counter history, not per-task oracle knowledge) gain
     // almost nothing from fast cores — pin them to the slowest c-group.
+    bool pinned = false;
     if (memory_aware_ && k_ > 1 && registry_.has_history(cls) &&
         registry_.info(cls).mean_scalable < 0.5) {
       cluster = static_cast<GroupIndex>(k_ - 1);
+      pinned = true;
+    }
+    if (decisions_traced()) {
+      note_dnc_state(false);
+      emit_placement(cls, cluster,
+                     pinned ? obs::ReasonCode::kMemoryBoundPin
+                            : (registry_.has_history(cls)
+                                   ? obs::ReasonCode::kHistoryCluster
+                                   : obs::ReasonCode::kUnknownClass));
     }
     return {Placement::Where::kLocalPool, cluster};
   }
@@ -73,6 +92,8 @@ class WatsPolicy : public PolicyKernel {
     // (scan every lane in index order; stale lanes from before the
     // fallback engaged still need draining).
     const bool plain = dnc_active();
+    const bool traced = decisions_traced();
+    if (traced) note_dnc_state(plain);
     // Algorithm 3: walk the preference list; per cluster, local pool first,
     // then the central (external-spawn) lane, then steal from a victim
     // whose pool for that cluster is non-empty. WATS-NP only ever looks at
@@ -82,9 +103,17 @@ class WatsPolicy : public PolicyKernel {
           plain ? static_cast<GroupIndex>(step) : prefs_[own][step];
       if (!plain && !cross_cluster_ && cluster != own) continue;
       if (view.pool_size(self, cluster) > 0) {
+        if (traced) {
+          emit_acquire(view, self, static_cast<std::int32_t>(cluster),
+                       obs::ReasonCode::kLocalPool);
+        }
         return AcquireDecision{AcquireDecision::Action::kPopLocal, cluster};
       }
       if (view.central_size(cluster) > 0) {
+        if (traced) {
+          emit_acquire(view, self, static_cast<std::int32_t>(cluster),
+                       obs::ReasonCode::kCentralTake);
+        }
         return AcquireDecision{AcquireDecision::Action::kTakeCentral,
                                cluster};
       }
@@ -113,12 +142,32 @@ class WatsPolicy : public PolicyKernel {
         const double owner_drain = backlog / topo.group_capacity(cluster);
         const double lightest = view.pool_lightest_work(*victim, cluster);
         const double my_time = lightest / view.core_speed(self);
-        if (owner_drain <= my_time) continue;
+        if (owner_drain <= my_time) {
+          if (traced) {
+            emit_acquire(view, self, static_cast<std::int32_t>(cluster),
+                         obs::ReasonCode::kRobFasterVetoed,
+                         static_cast<std::int32_t>(*victim));
+          }
+          continue;
+        }
+        if (traced) {
+          emit_acquire(view, self, static_cast<std::int32_t>(cluster),
+                       obs::ReasonCode::kRobFasterAccepted,
+                       static_cast<std::int32_t>(*victim));
+        }
         return AcquireDecision{AcquireDecision::Action::kSteal, cluster,
                                *victim, /*take_lightest=*/true};
       }
+      if (traced) {
+        emit_acquire(view, self, static_cast<std::int32_t>(cluster),
+                     obs::ReasonCode::kStealPreferred,
+                     static_cast<std::int32_t>(*victim));
+      }
       return AcquireDecision{AcquireDecision::Action::kSteal, cluster,
                              *victim};
+    }
+    if (traced) {
+      emit_acquire(view, self, /*chosen=*/-1, obs::ReasonCode::kNoWork);
     }
     return std::nullopt;
   }
@@ -126,7 +175,17 @@ class WatsPolicy : public PolicyKernel {
   std::optional<CoreIndex> snatch_victim(MachineView& view,
                                          CoreIndex thief) override {
     if (!snatching_) return std::nullopt;
-    return largest_remaining_busy_slower(view, thief);
+    const auto victim = largest_remaining_busy_slower(view, thief);
+    if (decisions_traced()) {
+      emit_snatch_scan(thief,
+                       victim.has_value()
+                           ? obs::ReasonCode::kSnatchLargestRemaining
+                           : obs::ReasonCode::kNoVictim,
+                       victim.has_value()
+                           ? static_cast<std::int32_t>(*victim)
+                           : -1);
+    }
+    return victim;
   }
 
   void record_spawn_edge(TaskClassId parent, TaskClassId child) override {
@@ -139,6 +198,14 @@ class WatsPolicy : public PolicyKernel {
     if (total == last_completions_) return false;
     last_completions_ = total;
     rebuild();
+    if (decisions_traced()) {
+      obs::DecisionRecord record;
+      record.kind = obs::DecisionKind::kRecluster;
+      record.reason = obs::ReasonCode::kHistoryRefresh;
+      record.chosen = static_cast<std::int32_t>(
+          registry_.size() < 0x7FFFFFFF ? registry_.size() : 0x7FFFFFFF);
+      emit_decision(record);
+    }
     return true;
   }
 
@@ -153,11 +220,31 @@ class WatsPolicy : public PolicyKernel {
   }
 
  private:
+  /// Emit a kDncFlip record on every engaged<->released transition. Only
+  /// called under decisions_traced(); the exchange makes concurrent
+  /// observers of the same flip emit it exactly once.
+  void note_dnc_state(bool engaged) {
+    const int now = engaged ? 1 : 0;
+    if (dnc_state_.exchange(now, std::memory_order_relaxed) != now) {
+      obs::DecisionRecord record;
+      record.kind = obs::DecisionKind::kDncFlip;
+      record.reason = engaged ? obs::ReasonCode::kDncEngaged
+                              : obs::ReasonCode::kDncReleased;
+      emit_decision(record);
+    }
+  }
+
   void rebuild() {
-    map_.store(std::make_shared<const ClusterMap>(ClusterMap::build(
-                   registry_.snapshot(), topology(),
-                   options().cluster_algorithm)),
-               std::memory_order_release);
+    publish(std::make_unique<const ClusterMap>(ClusterMap::build(
+        registry_.snapshot(), topology(), options().cluster_algorithm)));
+  }
+
+  /// Swing readers to `next` and retire the old map. Callers are either
+  /// pre-run (bind) or hold rebuild_mu_ (maybe_recluster), so the retired
+  /// list itself needs no extra lock.
+  void publish(std::unique_ptr<const ClusterMap> next) {
+    map_.store(next.get(), std::memory_order_release);
+    retired_.push_back(std::move(next));
   }
 
   TaskClassRegistry& registry_;
@@ -167,8 +254,12 @@ class WatsPolicy : public PolicyKernel {
 
   std::size_t k_ = 1;
   std::vector<std::vector<GroupIndex>> prefs_;
-  std::atomic<std::shared_ptr<const ClusterMap>> map_;
+  std::atomic<const ClusterMap*> map_{nullptr};
+  /// Every map ever published, newest last; freed only on destruction so
+  /// readers holding a stale pointer stay safe (see file comment).
+  std::vector<std::unique_ptr<const ClusterMap>> retired_;
   DncDetector dnc_;
+  std::atomic<int> dnc_state_{0};  ///< last traced DNC state (kDncFlip dedup)
   std::mutex rebuild_mu_;  // serializes rebuilds; readers never block
   std::uint64_t last_completions_ = 0;  // guarded by rebuild_mu_ after bind
 };

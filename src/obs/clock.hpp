@@ -1,0 +1,87 @@
+// Timestamping for the observability layer: a raw cycle counter for the
+// hot path (one rdtsc, no syscall) plus a calibration that maps ticks to
+// wall-clock nanoseconds after the fact. Header-only so the policy kernel
+// can stamp decision records without linking wats_obs.
+//
+// On non-x86 hosts (or when the TSC is unusable) tsc_now() falls back to
+// steady_clock nanoseconds; calibration then comes out as ~1 ns/tick and
+// everything downstream keeps working, just with a slower stamp.
+#pragma once
+
+#include <chrono>
+#include <cstdint>
+
+#if defined(__x86_64__) || defined(__i386__)
+#include <x86intrin.h>
+#endif
+
+namespace wats::obs {
+
+/// Raw timestamp in "ticks". Monotonic per thread; across threads the TSC
+/// is synchronized on every invariant-TSC x86 machine made this decade.
+inline std::uint64_t tsc_now() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  return __rdtsc();
+#else
+  return static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+#endif
+}
+
+/// Linear tick -> nanosecond map measured against steady_clock.
+struct TscCalibration {
+  std::uint64_t base_ticks = 0;  ///< tsc_now() at calibration time
+  std::int64_t base_ns = 0;      ///< steady_clock ns at base_ticks
+  double ns_per_tick = 1.0;
+
+  /// Nanoseconds (steady_clock epoch) for a tick stamp. Stamps taken
+  /// before base_ticks map backwards correctly (signed delta).
+  std::int64_t to_ns(std::uint64_t ticks) const {
+    const auto delta = static_cast<double>(
+        static_cast<std::int64_t>(ticks - base_ticks));
+    return base_ns + static_cast<std::int64_t>(delta * ns_per_tick);
+  }
+
+  double to_us(std::uint64_t ticks) const {
+    return static_cast<double>(to_ns(ticks)) / 1000.0;
+  }
+
+  /// Duration (not epoch) conversion for tick deltas.
+  double delta_ns(std::uint64_t ticks) const {
+    return static_cast<double>(ticks) * ns_per_tick;
+  }
+};
+
+/// Measure ns_per_tick by sampling (tsc, steady_clock) across a short
+/// sleep. ~2 ms by default: plenty for 3 significant digits, cheap enough
+/// to run once per traced runtime.
+inline TscCalibration calibrate_tsc(
+    std::chrono::microseconds sample = std::chrono::microseconds(2000)) {
+  using std::chrono::steady_clock;
+  const auto ns_of = [](steady_clock::time_point t) {
+    return std::chrono::duration_cast<std::chrono::nanoseconds>(
+               t.time_since_epoch())
+        .count();
+  };
+  TscCalibration cal;
+  const std::uint64_t t0 = tsc_now();
+  const auto c0 = steady_clock::now();
+  const auto deadline = c0 + sample;
+  while (steady_clock::now() < deadline) {
+    // Busy wait: sleeping can park the thread on a different core; the
+    // spin keeps the two clock reads tightly paired.
+  }
+  const std::uint64_t t1 = tsc_now();
+  const auto c1 = steady_clock::now();
+  const double dticks =
+      static_cast<double>(static_cast<std::int64_t>(t1 - t0));
+  const double dns = static_cast<double>(ns_of(c1) - ns_of(c0));
+  cal.base_ticks = t0;
+  cal.base_ns = ns_of(c0);
+  cal.ns_per_tick = dticks > 0.0 ? dns / dticks : 1.0;
+  return cal;
+}
+
+}  // namespace wats::obs

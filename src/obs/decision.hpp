@@ -1,0 +1,169 @@
+// Policy-decision tracing: a structured record for every scheduling
+// decision the policy kernel makes (placement, Algorithm-3 acquisition
+// scan, steal-victim choice, snatch scan, DNC-fallback flips, recluster).
+// Shared by the simulator and the real-thread runtime because the kernel
+// in src/core/policy is the single decision point for both.
+//
+// Header-only on purpose: src/core/policy stamps and emits records without
+// linking wats_obs. Identifiers are plain integers (class ids, group and
+// core indices) so obs stays independent of wats_core.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <mutex>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/trace_event.hpp"
+
+namespace wats::obs {
+
+enum class DecisionKind : std::uint8_t {
+  kPlacement = 0,  ///< where a spawned task was sent
+  kAcquire,        ///< what an idle core was told to do
+  kSnatchScan,     ///< snatch-victim selection for an idle faster core
+  kDncFlip,        ///< §IV-E divide-and-conquer fallback engaged/released
+  kRecluster,      ///< Algorithm 1 rebuilt the class->cluster map
+};
+
+/// Why the kernel chose what it chose. One flat namespace across decision
+/// kinds — a record is (kind, reason, operands).
+enum class ReasonCode : std::uint8_t {
+  // Placement.
+  kHistoryCluster = 0,  ///< class's Algorithm-1 cluster from history
+  kUnknownClass,        ///< no history: §III-A sends it to the fastest group
+  kMemoryBoundPin,      ///< WATS-M pinned a memory-bound class to the slowest
+  kCentralSpawn,        ///< central-queue policy (Cilk family / LPT)
+  kDncFallback,         ///< DNC fallback active: lane 0, plain stealing
+  // Acquire.
+  kLocalPool,           ///< pop own deque for the chosen lane
+  kCentralTake,         ///< take from the central lane
+  kStealPreferred,      ///< steal within Algorithm 3's preference order
+  kRobFasterAccepted,   ///< §II gate passed: rob a faster cluster's lightest
+  kRobFasterVetoed,     ///< §II gate failed: owners would drain it sooner
+  kNoWork,              ///< scan found nothing reachable
+  // Snatch.
+  kSnatchLargestRemaining,  ///< WATS-TS: slower core, largest remaining
+  kSnatchRandomSlower,      ///< RTS: random busy slower core
+  kNoVictim,                ///< no busy slower core to preempt
+  // DNC flip / recluster.
+  kDncEngaged,
+  kDncReleased,
+  kHistoryRefresh,  ///< recluster: new completions folded in
+};
+
+inline const char* to_string(DecisionKind kind) {
+  switch (kind) {
+    case DecisionKind::kPlacement:
+      return "placement";
+    case DecisionKind::kAcquire:
+      return "acquire";
+    case DecisionKind::kSnatchScan:
+      return "snatch_scan";
+    case DecisionKind::kDncFlip:
+      return "dnc_flip";
+    case DecisionKind::kRecluster:
+      return "recluster";
+  }
+  return "?";
+}
+
+inline const char* to_string(ReasonCode reason) {
+  switch (reason) {
+    case ReasonCode::kHistoryCluster:
+      return "history_cluster";
+    case ReasonCode::kUnknownClass:
+      return "unknown_class";
+    case ReasonCode::kMemoryBoundPin:
+      return "memory_bound_pin";
+    case ReasonCode::kCentralSpawn:
+      return "central_spawn";
+    case ReasonCode::kDncFallback:
+      return "dnc_fallback";
+    case ReasonCode::kLocalPool:
+      return "local_pool";
+    case ReasonCode::kCentralTake:
+      return "central_take";
+    case ReasonCode::kStealPreferred:
+      return "steal_preferred";
+    case ReasonCode::kRobFasterAccepted:
+      return "rob_faster_accepted";
+    case ReasonCode::kRobFasterVetoed:
+      return "rob_faster_vetoed";
+    case ReasonCode::kNoWork:
+      return "no_work";
+    case ReasonCode::kSnatchLargestRemaining:
+      return "snatch_largest_remaining";
+    case ReasonCode::kSnatchRandomSlower:
+      return "snatch_random_slower";
+    case ReasonCode::kNoVictim:
+      return "no_victim";
+    case ReasonCode::kDncEngaged:
+      return "dnc_engaged";
+    case ReasonCode::kDncReleased:
+      return "dnc_released";
+    case ReasonCode::kHistoryRefresh:
+      return "history_refresh";
+  }
+  return "?";
+}
+
+/// Groups captured in a load snapshot. Table II machines have at most 4
+/// c-groups; 8 leaves headroom without growing the record past a line.
+inline constexpr std::size_t kMaxDecisionGroups = 8;
+
+struct DecisionRecord {
+  DecisionKind kind = DecisionKind::kPlacement;
+  ReasonCode reason = ReasonCode::kHistoryCluster;
+  std::uint8_t group_count = 0;  ///< valid prefix of group_load
+  std::uint16_t self = 0xFFFF;   ///< deciding core; 0xFFFF = spawn path
+  std::uint32_t cls = kObsNoClass;
+  std::int32_t chosen = -1;  ///< chosen group/lane (placement, acquire)
+  std::int32_t victim = -1;  ///< steal/snatch victim core, when any
+  /// Queued tasks per task-cluster lane at decision time (pool sizes plus
+  /// the central lane) — the "load snapshot" a placement-quality post-
+  /// mortem needs. Only filled on acquire/snatch records.
+  std::array<std::uint32_t, kMaxDecisionGroups> group_load{};
+  std::uint64_t tsc = 0;
+};
+
+/// Where decision records go. Implementations must be thread-safe when
+/// attached to the real-thread runtime (every worker emits).
+class DecisionSink {
+ public:
+  virtual ~DecisionSink() = default;
+  virtual void on_decision(const DecisionRecord& record) = 0;
+};
+
+/// Mutex-guarded accumulator — fine for the single-threaded simulator and
+/// for opt-in runtime diagnostics (tracing decisions serializes briefly on
+/// the sink; it is a debugging mode, not a production default).
+class CollectingDecisionSink final : public DecisionSink {
+ public:
+  void on_decision(const DecisionRecord& record) override {
+    std::lock_guard lock(mu_);
+    records_.push_back(record);
+  }
+
+  std::vector<DecisionRecord> records() const {
+    std::lock_guard lock(mu_);
+    return records_;
+  }
+
+  std::size_t size() const {
+    std::lock_guard lock(mu_);
+    return records_.size();
+  }
+
+  void clear() {
+    std::lock_guard lock(mu_);
+    records_.clear();
+  }
+
+ private:
+  mutable std::mutex mu_;
+  std::vector<DecisionRecord> records_;
+};
+
+}  // namespace wats::obs

@@ -1,0 +1,193 @@
+#include "obs/export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <limits>
+#include <sstream>
+
+namespace wats::obs {
+
+namespace {
+
+std::string fmt_us(double us) {
+  char buf[40];
+  std::snprintf(buf, sizeof(buf), "%.3f", us);
+  return buf;
+}
+
+}  // namespace
+
+std::string PerfettoWriter::escape(std::string_view text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+void PerfettoWriter::process_name(int pid, std::string_view name) {
+  std::ostringstream e;
+  e << "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":" << pid
+    << ",\"tid\":0,\"args\":{\"name\":\"" << escape(name) << "\"}}";
+  events_.push_back(e.str());
+}
+
+void PerfettoWriter::thread_name(int pid, int tid, std::string_view name) {
+  std::ostringstream e;
+  e << "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":" << pid
+    << ",\"tid\":" << tid << ",\"args\":{\"name\":\"" << escape(name)
+    << "\"}}";
+  events_.push_back(e.str());
+}
+
+void PerfettoWriter::complete(int pid, int tid, std::string_view name,
+                              std::string_view category, double ts_us,
+                              double dur_us, std::string_view args_json) {
+  std::ostringstream e;
+  e << "{\"ph\":\"X\",\"name\":\"" << escape(name) << "\",\"cat\":\""
+    << escape(category) << "\",\"ts\":" << fmt_us(ts_us)
+    << ",\"dur\":" << fmt_us(dur_us) << ",\"pid\":" << pid
+    << ",\"tid\":" << tid;
+  if (!args_json.empty()) e << ",\"args\":" << args_json;
+  e << "}";
+  events_.push_back(e.str());
+}
+
+void PerfettoWriter::instant(int pid, int tid, std::string_view name,
+                             std::string_view category, double ts_us,
+                             std::string_view args_json) {
+  std::ostringstream e;
+  e << "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"" << escape(name)
+    << "\",\"cat\":\"" << escape(category) << "\",\"ts\":" << fmt_us(ts_us)
+    << ",\"pid\":" << pid << ",\"tid\":" << tid;
+  if (!args_json.empty()) e << ",\"args\":" << args_json;
+  e << "}";
+  events_.push_back(e.str());
+}
+
+std::string PerfettoWriter::finish() const {
+  std::string out = "{\"traceEvents\":[";
+  for (std::size_t i = 0; i < events_.size(); ++i) {
+    if (i > 0) out += ",\n";
+    out += events_[i];
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string perfetto_from_events(
+    const std::vector<TraceEvent>& events, const TscCalibration& calibration,
+    const std::vector<std::string>& track_names,
+    const std::function<std::string(std::uint32_t)>& class_name,
+    const std::vector<DecisionRecord>& decisions) {
+  PerfettoWriter w;
+  constexpr int kPid = 0;
+  const int policy_tid = static_cast<int>(track_names.size()) + 1;
+
+  w.process_name(kPid, "wats runtime");
+  for (std::size_t t = 0; t < track_names.size(); ++t) {
+    w.thread_name(kPid, static_cast<int>(t), track_names[t]);
+  }
+  if (!decisions.empty()) w.thread_name(kPid, policy_tid, "policy (spawn)");
+
+  // Shift the whole trace so it starts at ts = 0 (Perfetto handles epoch
+  // offsets, but small numbers keep the JSON compact and diffable).
+  double min_us = std::numeric_limits<double>::max();
+  for (const auto& e : events) {
+    double ts = calibration.to_us(e.tsc);
+    if (e.kind == EventKind::kTaskEnd) ts -= calibration.delta_ns(e.arg) / 1000.0;
+    min_us = std::min(min_us, ts);
+  }
+  for (const auto& d : decisions) {
+    min_us = std::min(min_us, calibration.to_us(d.tsc));
+  }
+  if (min_us == std::numeric_limits<double>::max()) min_us = 0.0;
+
+  const auto name_of = [&](std::uint32_t cls) -> std::string {
+    if (cls == kObsNoClass) return "unclassified";
+    if (class_name) return class_name(cls);
+    return "class " + std::to_string(cls);
+  };
+
+  for (const auto& e : events) {
+    const int tid = static_cast<int>(e.worker);
+    const double ts = calibration.to_us(e.tsc) - min_us;
+    std::ostringstream args;
+    switch (e.kind) {
+      case EventKind::kTaskEnd: {
+        const double dur = calibration.delta_ns(e.arg) / 1000.0;
+        args << "{\"cls\":" << e.cls << ",\"lane\":" << +e.lane << "}";
+        w.complete(kPid, tid, name_of(e.cls), "task", ts - dur, dur,
+                   args.str());
+        break;
+      }
+      case EventKind::kTaskBegin:
+        // The matching kTaskEnd carries the whole slice; the begin event
+        // doubles as the dispatch-latency sample.
+        args << "{\"dispatch_latency_us\":"
+             << fmt_us(calibration.delta_ns(e.arg) / 1000.0) << "}";
+        w.instant(kPid, tid, "dispatch", "sched", ts, args.str());
+        break;
+      case EventKind::kStealAttempt:
+      case EventKind::kStealSuccess:
+      case EventKind::kSnatch:
+        args << "{\"victim\":" << e.arg << ",\"lane\":" << +e.lane << "}";
+        w.instant(kPid, tid, to_string(e.kind), "sched", ts, args.str());
+        break;
+      case EventKind::kCrossCluster:
+      case EventKind::kRecluster:
+      case EventKind::kIdleSpin:
+        args << "{\"count\":" << e.arg << ",\"lane\":" << +e.lane << "}";
+        w.instant(kPid, tid, to_string(e.kind), "sched", ts, args.str());
+        break;
+    }
+  }
+
+  for (const auto& d : decisions) {
+    const int tid = d.self == 0xFFFF ? policy_tid : static_cast<int>(d.self);
+    std::ostringstream args;
+    args << "{\"reason\":\"" << to_string(d.reason) << "\",\"cls\":" << d.cls
+         << ",\"chosen\":" << d.chosen << ",\"victim\":" << d.victim;
+    if (d.group_count > 0) {
+      args << ",\"group_load\":[";
+      for (std::uint8_t g = 0; g < d.group_count; ++g) {
+        if (g > 0) args << ",";
+        args << d.group_load[g];
+      }
+      args << "]";
+    }
+    args << "}";
+    w.instant(kPid, tid, to_string(d.kind), "policy",
+              calibration.to_us(d.tsc) - min_us, args.str());
+  }
+
+  return w.finish();
+}
+
+}  // namespace wats::obs

@@ -1,0 +1,64 @@
+// Chrome/Perfetto trace-event JSON export — ONE format, TWO producers: the
+// runtime's per-worker event rings (tick timestamps mapped through a
+// TscCalibration) and the simulator's TraceRecorder (virtual time used as
+// microseconds directly; see sim/trace_export.hpp). Open the output in
+// https://ui.perfetto.dev or chrome://tracing.
+//
+// Schema (the subset we write; validated by tests/obs_test.cpp):
+//   { "traceEvents": [ ... ], "displayTimeUnit": "ms" }
+// with events of:
+//   ph "X"  complete slice   — name, cat, ts, dur, pid, tid [, args]
+//   ph "i"  instant          — name, cat, ts, pid, tid, s:"t" [, args]
+//   ph "M"  metadata         — process_name / thread_name labels
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <string_view>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/decision.hpp"
+#include "obs/trace_event.hpp"
+
+namespace wats::obs {
+
+class PerfettoWriter {
+ public:
+  void process_name(int pid, std::string_view name);
+  void thread_name(int pid, int tid, std::string_view name);
+  /// A complete slice. `args_json` is a pre-rendered JSON object ("{...}")
+  /// or empty.
+  void complete(int pid, int tid, std::string_view name,
+                std::string_view category, double ts_us, double dur_us,
+                std::string_view args_json = {});
+  void instant(int pid, int tid, std::string_view name,
+               std::string_view category, double ts_us,
+               std::string_view args_json = {});
+
+  std::size_t event_count() const { return events_.size(); }
+
+  /// The final JSON document.
+  std::string finish() const;
+
+  static std::string escape(std::string_view text);
+
+ private:
+  std::vector<std::string> events_;  // one rendered JSON object each
+};
+
+/// Convert a merged ring snapshot to a Perfetto trace. `track_names[w]`
+/// labels worker w's thread track (an out-of-range worker id gets a
+/// generated label); `class_name` maps class ids for slice names (may be
+/// null: slices get "class <id>"). kTaskEnd events become complete slices
+/// (their arg is the duration in ticks); all other kinds become instants.
+/// Decision records, when given, land on their deciding core's track (the
+/// spawn path goes to a dedicated "policy" track).
+std::string perfetto_from_events(
+    const std::vector<TraceEvent>& events, const TscCalibration& calibration,
+    const std::vector<std::string>& track_names,
+    const std::function<std::string(std::uint32_t)>& class_name = nullptr,
+    const std::vector<DecisionRecord>& decisions = {});
+
+}  // namespace wats::obs

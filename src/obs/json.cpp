@@ -1,0 +1,232 @@
+#include "obs/json.hpp"
+
+#include <cctype>
+#include <cstdlib>
+
+namespace wats::obs {
+
+const JsonValue* JsonValue::find(const std::string& key) const {
+  if (type_ != Type::kObject) return nullptr;
+  for (const auto& [k, v] : object_) {
+    if (k == key) return &v;
+  }
+  return nullptr;
+}
+
+double JsonValue::number_or(const std::string& key, double fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->type() == Type::kNumber) ? v->as_number()
+                                                      : fallback;
+}
+
+std::string JsonValue::string_or(const std::string& key,
+                                 const std::string& fallback) const {
+  const JsonValue* v = find(key);
+  return (v != nullptr && v->type() == Type::kString) ? v->as_string()
+                                                      : fallback;
+}
+
+class JsonParser {
+ public:
+  explicit JsonParser(const std::string& text) : text_(text) {}
+
+  std::unique_ptr<JsonValue> parse(std::string* error) {
+    auto value = std::make_unique<JsonValue>();
+    if (!parse_value(*value)) {
+      if (error != nullptr) {
+        *error = "JSON parse error at byte " + std::to_string(pos_) + ": " +
+                 message_;
+      }
+      return nullptr;
+    }
+    skip_ws();
+    if (pos_ != text_.size()) {
+      if (error != nullptr) {
+        *error = "trailing data at byte " + std::to_string(pos_);
+      }
+      return nullptr;
+    }
+    return value;
+  }
+
+ private:
+  void skip_ws() {
+    while (pos_ < text_.size() &&
+           std::isspace(static_cast<unsigned char>(text_[pos_])) != 0) {
+      ++pos_;
+    }
+  }
+
+  bool fail(const char* message) {
+    message_ = message;
+    return false;
+  }
+
+  bool consume(char c) {
+    skip_ws();
+    if (pos_ >= text_.size() || text_[pos_] != c) return false;
+    ++pos_;
+    return true;
+  }
+
+  bool parse_value(JsonValue& out) {
+    skip_ws();
+    if (pos_ >= text_.size()) return fail("unexpected end of input");
+    const char c = text_[pos_];
+    switch (c) {
+      case '{':
+        return parse_object(out);
+      case '[':
+        return parse_array(out);
+      case '"':
+        out.type_ = JsonValue::Type::kString;
+        return parse_string(out.string_);
+      case 't':
+        return parse_literal("true", out, JsonValue::Type::kBool, true);
+      case 'f':
+        return parse_literal("false", out, JsonValue::Type::kBool, false);
+      case 'n':
+        return parse_literal("null", out, JsonValue::Type::kNull, false);
+      default:
+        return parse_number(out);
+    }
+  }
+
+  bool parse_literal(const char* word, JsonValue& out, JsonValue::Type type,
+                     bool value) {
+    for (const char* p = word; *p != '\0'; ++p, ++pos_) {
+      if (pos_ >= text_.size() || text_[pos_] != *p) {
+        return fail("bad literal");
+      }
+    }
+    out.type_ = type;
+    out.bool_ = value;
+    return true;
+  }
+
+  bool parse_number(JsonValue& out) {
+    const char* start = text_.c_str() + pos_;
+    char* end = nullptr;
+    out.number_ = std::strtod(start, &end);
+    if (end == start) return fail("bad number");
+    pos_ += static_cast<std::size_t>(end - start);
+    out.type_ = JsonValue::Type::kNumber;
+    return true;
+  }
+
+  bool parse_string(std::string& out) {
+    ++pos_;  // opening quote
+    out.clear();
+    while (pos_ < text_.size()) {
+      const char c = text_[pos_++];
+      if (c == '"') return true;
+      if (c != '\\') {
+        out.push_back(c);
+        continue;
+      }
+      if (pos_ >= text_.size()) break;
+      const char esc = text_[pos_++];
+      switch (esc) {
+        case '"':
+        case '\\':
+        case '/':
+          out.push_back(esc);
+          break;
+        case 'n':
+          out.push_back('\n');
+          break;
+        case 't':
+          out.push_back('\t');
+          break;
+        case 'r':
+          out.push_back('\r');
+          break;
+        case 'b':
+          out.push_back('\b');
+          break;
+        case 'f':
+          out.push_back('\f');
+          break;
+        case 'u': {
+          // The exporters only escape control characters; decode the BMP
+          // code point to UTF-8 and move on (no surrogate-pair support).
+          if (pos_ + 4 > text_.size()) return fail("bad \\u escape");
+          unsigned code = 0;
+          for (int i = 0; i < 4; ++i) {
+            const char h = text_[pos_++];
+            code <<= 4;
+            if (h >= '0' && h <= '9') {
+              code |= static_cast<unsigned>(h - '0');
+            } else if (h >= 'a' && h <= 'f') {
+              code |= static_cast<unsigned>(h - 'a' + 10);
+            } else if (h >= 'A' && h <= 'F') {
+              code |= static_cast<unsigned>(h - 'A' + 10);
+            } else {
+              return fail("bad \\u escape");
+            }
+          }
+          if (code < 0x80) {
+            out.push_back(static_cast<char>(code));
+          } else if (code < 0x800) {
+            out.push_back(static_cast<char>(0xC0 | (code >> 6)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          } else {
+            out.push_back(static_cast<char>(0xE0 | (code >> 12)));
+            out.push_back(static_cast<char>(0x80 | ((code >> 6) & 0x3F)));
+            out.push_back(static_cast<char>(0x80 | (code & 0x3F)));
+          }
+          break;
+        }
+        default:
+          return fail("bad escape");
+      }
+    }
+    return fail("unterminated string");
+  }
+
+  bool parse_array(JsonValue& out) {
+    ++pos_;  // '['
+    out.type_ = JsonValue::Type::kArray;
+    skip_ws();
+    if (consume(']')) return true;
+    while (true) {
+      JsonValue element;
+      if (!parse_value(element)) return false;
+      out.array_.push_back(std::move(element));
+      if (consume(']')) return true;
+      if (!consume(',')) return fail("expected ',' or ']'");
+    }
+  }
+
+  bool parse_object(JsonValue& out) {
+    ++pos_;  // '{'
+    out.type_ = JsonValue::Type::kObject;
+    skip_ws();
+    if (consume('}')) return true;
+    while (true) {
+      skip_ws();
+      if (pos_ >= text_.size() || text_[pos_] != '"') {
+        return fail("expected object key");
+      }
+      std::string key;
+      if (!parse_string(key)) return false;
+      if (!consume(':')) return fail("expected ':'");
+      JsonValue value;
+      if (!parse_value(value)) return false;
+      out.object_.emplace_back(std::move(key), std::move(value));
+      if (consume('}')) return true;
+      if (!consume(',')) return fail("expected ',' or '}'");
+    }
+  }
+
+  const std::string& text_;
+  std::size_t pos_ = 0;
+  const char* message_ = "";
+};
+
+std::unique_ptr<JsonValue> parse_json(const std::string& text,
+                                      std::string* error) {
+  return JsonParser(text).parse(error);
+}
+
+}  // namespace wats::obs

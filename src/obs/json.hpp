@@ -1,0 +1,54 @@
+// A minimal JSON reader for the trace tools: enough of RFC 8259 to parse
+// what the Perfetto exporters write (objects, arrays, strings with basic
+// escapes, numbers, booleans, null). Not a general-purpose library — the
+// tools and tests own both ends of the format.
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <memory>
+#include <string>
+#include <vector>
+
+namespace wats::obs {
+
+class JsonValue {
+ public:
+  enum class Type { kNull, kBool, kNumber, kString, kArray, kObject };
+
+  Type type() const { return type_; }
+  bool is_null() const { return type_ == Type::kNull; }
+
+  bool as_bool() const { return bool_; }
+  double as_number() const { return number_; }
+  const std::string& as_string() const { return string_; }
+  const std::vector<JsonValue>& as_array() const { return array_; }
+
+  /// Object member by key; nullptr when absent or not an object.
+  const JsonValue* find(const std::string& key) const;
+
+  /// Convenience getters with defaults for absent/mistyped members.
+  double number_or(const std::string& key, double fallback) const;
+  std::string string_or(const std::string& key,
+                        const std::string& fallback) const;
+
+  const std::vector<std::pair<std::string, JsonValue>>& members() const {
+    return object_;
+  }
+
+ private:
+  friend class JsonParser;
+  Type type_ = Type::kNull;
+  bool bool_ = false;
+  double number_ = 0.0;
+  std::string string_;
+  std::vector<JsonValue> array_;
+  std::vector<std::pair<std::string, JsonValue>> object_;
+};
+
+/// Parse `text`; on failure returns nullptr and fills `error` (when given)
+/// with a byte offset + message.
+std::unique_ptr<JsonValue> parse_json(const std::string& text,
+                                      std::string* error = nullptr);
+
+}  // namespace wats::obs

@@ -1,0 +1,124 @@
+#include "obs/metrics.hpp"
+
+#include <bit>
+#include <cinttypes>
+#include <cstdio>
+#include <sstream>
+
+namespace wats::obs {
+
+void Histogram::record(std::uint64_t value) noexcept {
+  const std::size_t bucket = static_cast<std::size_t>(std::bit_width(value));
+  buckets_[bucket < kBuckets ? bucket : kBuckets - 1].fetch_add(
+      1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+  std::uint64_t seen = min_.load(std::memory_order_relaxed);
+  while (value < seen &&
+         !min_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+  seen = max_.load(std::memory_order_relaxed);
+  while (value > seen &&
+         !max_.compare_exchange_weak(seen, value,
+                                     std::memory_order_relaxed)) {
+  }
+}
+
+Histogram::Snapshot Histogram::snapshot() const {
+  Snapshot s;
+  s.count = count_.load(std::memory_order_relaxed);
+  s.sum = sum_.load(std::memory_order_relaxed);
+  const std::uint64_t lo = min_.load(std::memory_order_relaxed);
+  s.min = s.count == 0 ? 0 : lo;
+  s.max = max_.load(std::memory_order_relaxed);
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    s.buckets[b] = buckets_[b].load(std::memory_order_relaxed);
+  }
+  return s;
+}
+
+std::uint64_t Histogram::Snapshot::quantile_bound(double p) const {
+  if (count == 0) return 0;
+  if (p < 0.0) p = 0.0;
+  if (p > 1.0) p = 1.0;
+  const double target = p * static_cast<double>(count);
+  std::uint64_t seen = 0;
+  for (std::size_t b = 0; b < kBuckets; ++b) {
+    seen += buckets[b];
+    if (static_cast<double>(seen) >= target && buckets[b] > 0) {
+      // Bucket b holds values with bit_width b: upper bound 2^b - 1.
+      return b == 0 ? 0 : (b >= 64 ? ~std::uint64_t{0} : (1ull << b) - 1);
+    }
+  }
+  return max;
+}
+
+Counter& MetricsRegistry::counter(const std::string& name) {
+  std::lock_guard lock(mu_);
+  for (auto& [n, c] : counters_) {
+    if (n == name) return *c;
+  }
+  counters_.emplace_back(name, std::make_unique<Counter>());
+  return *counters_.back().second;
+}
+
+Histogram& MetricsRegistry::histogram(const std::string& name) {
+  std::lock_guard lock(mu_);
+  for (auto& [n, h] : histograms_) {
+    if (n == name) return *h;
+  }
+  histograms_.emplace_back(name, std::make_unique<Histogram>());
+  return *histograms_.back().second;
+}
+
+void MetricsRegistry::set_gauge(const std::string& name, double value) {
+  std::lock_guard lock(mu_);
+  for (auto& [n, g] : gauges_) {
+    if (n == name) {
+      g = value;
+      return;
+    }
+  }
+  gauges_.emplace_back(name, value);
+}
+
+MetricsRegistry::Snapshot MetricsRegistry::snapshot() const {
+  Snapshot s;
+  std::lock_guard lock(mu_);
+  s.counters.reserve(counters_.size());
+  for (const auto& [n, c] : counters_) s.counters.emplace_back(n, c->value());
+  s.gauges = gauges_;
+  s.histograms.reserve(histograms_.size());
+  for (const auto& [n, h] : histograms_) {
+    s.histograms.emplace_back(n, h->snapshot());
+  }
+  return s;
+}
+
+std::string render_text(const MetricsRegistry::Snapshot& snapshot) {
+  std::ostringstream out;
+  for (const auto& [name, value] : snapshot.counters) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "%-32s %" PRIu64 "\n", name.c_str(),
+                  value);
+    out << line;
+  }
+  for (const auto& [name, value] : snapshot.gauges) {
+    char line[128];
+    std::snprintf(line, sizeof(line), "%-32s %.4f\n", name.c_str(), value);
+    out << line;
+  }
+  for (const auto& [name, h] : snapshot.histograms) {
+    char line[192];
+    std::snprintf(line, sizeof(line),
+                  "%-32s count=%" PRIu64 " mean=%.1f min=%" PRIu64
+                  " p50<=%" PRIu64 " p99<=%" PRIu64 " max=%" PRIu64 "\n",
+                  name.c_str(), h.count, h.mean(), h.min,
+                  h.quantile_bound(0.50), h.quantile_bound(0.99), h.max);
+    out << line;
+  }
+  return out.str();
+}
+
+}  // namespace wats::obs

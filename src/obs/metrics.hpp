@@ -1,0 +1,97 @@
+// Counters, gauges and log2-bucket histograms with a point-in-time
+// snapshot API and a text renderer. Hot-path friendly: callers register
+// once (mutex) and then hold stable pointers whose updates are single
+// relaxed atomic RMWs.
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wats::obs {
+
+class Counter {
+ public:
+  void add(std::uint64_t delta = 1) noexcept {
+    value_.fetch_add(delta, std::memory_order_relaxed);
+  }
+  void set(std::uint64_t value) noexcept {
+    value_.store(value, std::memory_order_relaxed);
+  }
+  std::uint64_t value() const {
+    return value_.load(std::memory_order_relaxed);
+  }
+
+ private:
+  std::atomic<std::uint64_t> value_{0};
+};
+
+/// Histogram over unsigned values (latencies in ns, sizes, ...): 64
+/// power-of-two buckets (bucket b counts values with bit_width b), exact
+/// count/sum and tracked min/max. record() is wait-free.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void record(std::uint64_t value) noexcept;
+
+  struct Snapshot {
+    std::uint64_t count = 0;
+    std::uint64_t sum = 0;
+    std::uint64_t min = 0;
+    std::uint64_t max = 0;
+    std::array<std::uint64_t, kBuckets> buckets{};
+
+    double mean() const {
+      return count == 0 ? 0.0
+                        : static_cast<double>(sum) /
+                              static_cast<double>(count);
+    }
+    /// Upper bound of the bucket holding the p-quantile (p in [0,1]).
+    std::uint64_t quantile_bound(double p) const;
+  };
+
+  Snapshot snapshot() const;
+
+ private:
+  std::array<std::atomic<std::uint64_t>, kBuckets> buckets_{};
+  std::atomic<std::uint64_t> count_{0};
+  std::atomic<std::uint64_t> sum_{0};
+  std::atomic<std::uint64_t> min_{~std::uint64_t{0}};
+  std::atomic<std::uint64_t> max_{0};
+};
+
+/// Named registry. counter()/histogram() return stable references that
+/// outlive the call (entries are never removed); set_gauge() overwrites.
+class MetricsRegistry {
+ public:
+  Counter& counter(const std::string& name);
+  Histogram& histogram(const std::string& name);
+  void set_gauge(const std::string& name, double value);
+
+  struct Snapshot {
+    std::vector<std::pair<std::string, std::uint64_t>> counters;
+    std::vector<std::pair<std::string, double>> gauges;
+    std::vector<std::pair<std::string, Histogram::Snapshot>> histograms;
+  };
+
+  /// Consistent-enough racy snapshot: each metric is read atomically, the
+  /// set as a whole is not quiesced (same contract as RuntimeStats).
+  Snapshot snapshot() const;
+
+ private:
+  mutable std::mutex mu_;  // guards the name maps, not the metric values
+  std::vector<std::pair<std::string, std::unique_ptr<Counter>>> counters_;
+  std::vector<std::pair<std::string, std::unique_ptr<Histogram>>> histograms_;
+  std::vector<std::pair<std::string, double>> gauges_;
+};
+
+/// Human-readable multi-line summary of a snapshot (the text exporter).
+std::string render_text(const MetricsRegistry::Snapshot& snapshot);
+
+}  // namespace wats::obs

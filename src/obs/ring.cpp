@@ -1,0 +1,50 @@
+#include "obs/ring.hpp"
+
+#include <bit>
+
+namespace wats::obs {
+
+EventRing::EventRing(std::size_t capacity) {
+  if (capacity < 2) capacity = 2;
+  slots_ = std::vector<Slot>(std::bit_ceil(capacity));
+  mask_ = slots_.size() - 1;
+}
+
+void EventRing::emit(EventKind kind, std::uint16_t worker, std::uint8_t lane,
+                     std::uint32_t cls, std::uint64_t arg) noexcept {
+  const std::uint64_t i = head_.load(std::memory_order_relaxed);
+  Slot& s = slots_[i & mask_];
+  // Seqlock write: odd marker, payload, even marker carrying the absolute
+  // index (so readers can tell WHICH event the slot holds, not just that
+  // it is stable).
+  s.seq.store(2 * i + 1, std::memory_order_relaxed);
+  std::atomic_thread_fence(std::memory_order_release);
+  s.tsc.store(tsc_now(), std::memory_order_relaxed);
+  s.meta.store(pack_meta(kind, worker, lane, cls), std::memory_order_relaxed);
+  s.arg.store(arg, std::memory_order_relaxed);
+  s.seq.store(2 * (i + 1), std::memory_order_release);
+  head_.store(i + 1, std::memory_order_release);
+}
+
+std::vector<TraceEvent> EventRing::snapshot() const {
+  const std::uint64_t head = head_.load(std::memory_order_acquire);
+  const std::uint64_t n =
+      head < slots_.size() ? head : static_cast<std::uint64_t>(slots_.size());
+  std::vector<TraceEvent> out;
+  out.reserve(static_cast<std::size_t>(n));
+  for (std::uint64_t i = head - n; i < head; ++i) {
+    const Slot& s = slots_[i & mask_];
+    const std::uint64_t s1 = s.seq.load(std::memory_order_acquire);
+    if (s1 != 2 * (i + 1)) continue;  // mid-write or already overwritten
+    TraceEvent e;
+    e.tsc = s.tsc.load(std::memory_order_relaxed);
+    unpack_meta(s.meta.load(std::memory_order_relaxed), e);
+    e.arg = s.arg.load(std::memory_order_relaxed);
+    std::atomic_thread_fence(std::memory_order_acquire);
+    if (s.seq.load(std::memory_order_relaxed) != s1) continue;  // torn
+    out.push_back(e);
+  }
+  return out;
+}
+
+}  // namespace wats::obs

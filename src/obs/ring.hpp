@@ -1,0 +1,87 @@
+// Per-worker event ring: fixed capacity, single producer, lock-free
+// writes, readable by any thread while the producer keeps writing.
+//
+// Each slot is a tiny seqlock: the producer marks the slot odd, stores the
+// payload as relaxed atomics, then publishes an even sequence carrying the
+// event's absolute index. A snapshot accepts a slot only when the sequence
+// it read before and after the payload matches the index it expected, so a
+// slot overwritten mid-copy is dropped instead of returned torn. Every
+// access is an atomic load/store — the ring is TSan-clean by construction.
+//
+// The ring never blocks the producer: when full it overwrites the oldest
+// event (dropped() counts how many are gone). Capacity is rounded up to a
+// power of two.
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+#include "obs/clock.hpp"
+#include "obs/trace_event.hpp"
+
+namespace wats::obs {
+
+class EventRing {
+ public:
+  static constexpr std::size_t kDefaultCapacity = 4096;
+
+  explicit EventRing(std::size_t capacity = kDefaultCapacity);
+
+  EventRing(const EventRing&) = delete;
+  EventRing& operator=(const EventRing&) = delete;
+
+  /// Producer-only. Stamps tsc_now() and publishes the event.
+  void emit(EventKind kind, std::uint16_t worker, std::uint8_t lane,
+            std::uint32_t cls, std::uint64_t arg) noexcept;
+
+  /// The last min(emitted, capacity) events, oldest first. Safe to call
+  /// from any thread while the producer is writing; events overwritten or
+  /// in flight during the copy are skipped, never returned torn.
+  std::vector<TraceEvent> snapshot() const;
+
+  std::uint64_t emitted() const {
+    return head_.load(std::memory_order_acquire);
+  }
+
+  /// Events lost to wraparound so far.
+  std::uint64_t dropped() const {
+    const std::uint64_t n = emitted();
+    return n > slots_.size() ? n - slots_.size() : 0;
+  }
+
+  std::size_t capacity() const { return slots_.size(); }
+
+ private:
+  struct Slot {
+    /// 2*(index+1) when slot holds event `index`; odd while being written.
+    std::atomic<std::uint64_t> seq{0};
+    std::atomic<std::uint64_t> tsc{0};
+    std::atomic<std::uint64_t> meta{0};  ///< kind|worker|lane|cls packed
+    std::atomic<std::uint64_t> arg{0};
+  };
+
+  static std::uint64_t pack_meta(EventKind kind, std::uint16_t worker,
+                                 std::uint8_t lane, std::uint32_t cls) {
+    return (static_cast<std::uint64_t>(kind) << 56) |
+           (static_cast<std::uint64_t>(worker) << 40) |
+           (static_cast<std::uint64_t>(lane) << 32) |
+           static_cast<std::uint64_t>(cls);
+  }
+
+  static void unpack_meta(std::uint64_t meta, TraceEvent& e) {
+    e.kind = static_cast<EventKind>((meta >> 56) & 0xFF);
+    e.worker = static_cast<std::uint16_t>((meta >> 40) & 0xFFFF);
+    e.lane = static_cast<std::uint8_t>((meta >> 32) & 0xFF);
+    e.cls = static_cast<std::uint32_t>(meta & 0xFFFFFFFFu);
+  }
+
+  /// Producer cursor on its own cache line: the producer's stores must not
+  /// false-share with snapshot readers walking the slots.
+  alignas(64) std::atomic<std::uint64_t> head_{0};
+  std::vector<Slot> slots_;
+  std::uint64_t mask_ = 0;
+};
+
+}  // namespace wats::obs

@@ -1,0 +1,74 @@
+// Event taxonomy for the runtime trace rings. One fixed-size POD per
+// event; the ring stores them packed into atomic words (see ring.hpp).
+//
+// Compile-time kill switch: configuring with -DWATS_TRACE=OFF defines
+// WATS_OBS_ENABLED=0, and every instrumentation site in the runtime and
+// the policy kernel is wrapped in `if constexpr (obs::kTraceCompiledIn)`,
+// so the traced paths compile to nothing. With tracing compiled in but not
+// enabled at runtime, the hot path pays one predicted branch (a null ring
+// pointer / null sink check).
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+
+#ifndef WATS_OBS_ENABLED
+#define WATS_OBS_ENABLED 1
+#endif
+
+namespace wats::obs {
+
+inline constexpr bool kTraceCompiledIn = WATS_OBS_ENABLED != 0;
+
+/// What happened. The `arg` field of TraceEvent is kind-specific; see
+/// docs/OBSERVABILITY.md for the full taxonomy.
+enum class EventKind : std::uint8_t {
+  kTaskBegin = 0,     ///< arg = dispatch-to-start latency in ticks
+  kTaskEnd,           ///< arg = execution duration in ticks (incl. throttle)
+  kStealAttempt,      ///< arg = victim core; the deque may still come up dry
+  kStealSuccess,      ///< arg = victim core
+  kCrossCluster,      ///< arg = lane the task belonged to (!= own group)
+  kSnatch,            ///< arg = victim core (speed-swap succeeded)
+  kRecluster,         ///< arg = total reclusters so far (helper thread)
+  kIdleSpin,          ///< arg = coalesced count of consecutive empty rounds
+};
+
+inline constexpr std::size_t kEventKindCount = 8;
+
+inline const char* to_string(EventKind kind) {
+  switch (kind) {
+    case EventKind::kTaskBegin:
+      return "task_begin";
+    case EventKind::kTaskEnd:
+      return "task_end";
+    case EventKind::kStealAttempt:
+      return "steal_attempt";
+    case EventKind::kStealSuccess:
+      return "steal_success";
+    case EventKind::kCrossCluster:
+      return "cross_cluster";
+    case EventKind::kSnatch:
+      return "snatch";
+    case EventKind::kRecluster:
+      return "recluster";
+    case EventKind::kIdleSpin:
+      return "idle_spin";
+  }
+  return "?";
+}
+
+/// Sentinel class id, mirroring core::kNoTaskClass (obs must not depend on
+/// wats_core, so the constant is restated here; a static_assert in
+/// runtime.cpp keeps the two in sync).
+inline constexpr std::uint32_t kObsNoClass = 0xFFFFFFFFu;
+
+struct TraceEvent {
+  std::uint64_t tsc = 0;   ///< tsc_now() stamp at emission
+  std::uint64_t arg = 0;   ///< kind-specific payload (see EventKind)
+  std::uint32_t cls = kObsNoClass;  ///< task class, when meaningful
+  EventKind kind = EventKind::kTaskBegin;
+  std::uint8_t lane = 0;    ///< task-cluster lane involved
+  std::uint16_t worker = 0; ///< emitting worker (ring owner)
+};
+
+}  // namespace wats::obs

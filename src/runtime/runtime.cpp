@@ -14,6 +14,11 @@
 
 namespace wats::runtime {
 
+// obs restates the no-class sentinel so it need not depend on wats_core;
+// the ring stores class ids raw, so the two must agree.
+static_assert(obs::kObsNoClass == core::kNoTaskClass,
+              "obs::kObsNoClass out of sync with core::kNoTaskClass");
+
 namespace {
 
 /// Identity of the current worker within its runtime (so nested spawns are
@@ -135,6 +140,20 @@ TaskRuntime::TaskRuntime(RuntimeConfig config) : config_(std::move(config)) {
   const std::size_t n = config_.topology.total_cores();
   const std::size_t lanes = kernel_->lane_count();
 
+  if constexpr (obs::kTraceCompiledIn) {
+    if (config_.trace.enabled) {
+      calib_ = obs::calibrate_tsc();
+      helper_ring_ = std::make_unique<obs::EventRing>(
+          config_.trace.ring_capacity);
+      if (config_.trace.record_decisions) {
+        // Attached before any worker starts; detaching mid-run is not
+        // supported (see PolicyKernel::set_decision_sink).
+        decision_sink_ = std::make_unique<obs::CollectingDecisionSink>();
+        kernel_->set_decision_sink(decision_sink_.get());
+      }
+    }
+  }
+
   central_.reserve(lanes);
   for (std::size_t c = 0; c < lanes; ++c) {
     central_.push_back(std::make_unique<CentralLane>());
@@ -147,6 +166,12 @@ TaskRuntime::TaskRuntime(RuntimeConfig config) : config_(std::move(config)) {
     w->group = config_.topology.group_of_core(i);
     w->speed_scale.store(config_.topology.relative_speed(w->group));
     w->rng = util::Xoshiro256(seeder.next());
+    if constexpr (obs::kTraceCompiledIn) {
+      if (config_.trace.enabled) {
+        w->ring = std::make_unique<obs::EventRing>(
+            config_.trace.ring_capacity);
+      }
+    }
     w->pools.reserve(lanes);
     for (std::size_t c = 0; c < lanes; ++c) {
       w->pools.push_back(std::make_unique<WorkStealingDeque<TaskNode>>());
@@ -196,6 +221,9 @@ void TaskRuntime::spawn(core::TaskClassId cls, std::function<void()> fn) {
   const bool on_worker = t_ctx.runtime == this;
   auto* node = new TaskNode{std::move(fn), cls,
                             on_worker ? t_ctx.index : kExternalSpawner};
+  if constexpr (obs::kTraceCompiledIn) {
+    if (config_.trace.enabled) node->enqueue_tsc = obs::tsc_now();
+  }
   outstanding_.fetch_add(1, std::memory_order_acq_rel);
   if (on_worker) {
     kernel_->record_spawn_edge(t_ctx.running_class, cls);
@@ -242,6 +270,37 @@ void TaskRuntime::wait_all() {
 TaskRuntime::TaskNode* TaskRuntime::try_acquire(std::size_t index) {
   Worker& me = *workers_[index];
   View view(*this, me);
+  // Steal latency = from entering the acquire scan to a successful steal
+  // (the paper's "cost of preference stealing" is exactly this scan).
+  std::uint64_t scan_start = 0;
+  if constexpr (obs::kTraceCompiledIn) {
+    if (me.ring) scan_start = obs::tsc_now();
+  }
+  const auto note_cross = [&](core::GroupIndex lane) {
+    me.cross_cluster.fetch_add(1, std::memory_order_relaxed);
+    if constexpr (obs::kTraceCompiledIn) {
+      if (me.ring) {
+        me.ring->emit(obs::EventKind::kCrossCluster,
+                      static_cast<std::uint16_t>(index),
+                      static_cast<std::uint8_t>(lane), obs::kObsNoClass,
+                      static_cast<std::uint64_t>(lane));
+      }
+    }
+  };
+  const auto note_steal = [&](core::GroupIndex lane, core::CoreIndex victim) {
+    me.steals.fetch_add(1, std::memory_order_relaxed);
+    if constexpr (obs::kTraceCompiledIn) {
+      if (me.ring) {
+        me.ring->emit(obs::EventKind::kStealSuccess,
+                      static_cast<std::uint16_t>(index),
+                      static_cast<std::uint8_t>(lane), obs::kObsNoClass,
+                      static_cast<std::uint64_t>(victim));
+        metrics_.histogram("steal_latency_ns")
+            .record(static_cast<std::uint64_t>(
+                calib_.delta_ns(obs::tsc_now() - scan_start)));
+      }
+    }
+  };
   // Kernel decisions are computed against racy queue sizes, so the chosen
   // source may have drained before we reach it; ask again a bounded number
   // of times (the worker loop sleeps and retries on total failure anyway).
@@ -252,9 +311,7 @@ TaskRuntime::TaskNode* TaskRuntime::try_acquire(std::size_t index) {
     switch (decision->action) {
       case core::policy::AcquireDecision::Action::kPopLocal:
         if (TaskNode* t = me.pools[decision->lane]->pop_bottom()) {
-          if (decision->lane != me.group) {
-            me.cross_cluster.fetch_add(1, std::memory_order_relaxed);
-          }
+          if (decision->lane != me.group) note_cross(decision->lane);
           return t;
         }
         break;
@@ -271,24 +328,31 @@ TaskRuntime::TaskNode* TaskRuntime::try_acquire(std::size_t index) {
         }
         if (t != nullptr) {
           if (kernel_->uses_central_queue() && t->spawner != index) {
-            // Cilk: a continuation handoff to another core is a steal.
-            me.steals.fetch_add(1, std::memory_order_relaxed);
+            // Cilk: a continuation handoff to another core is a steal
+            // (the "victim" is the spawner whose continuation we took).
+            note_steal(decision->lane,
+                       t->spawner < workers_.size() ? t->spawner : index);
           }
-          if (decision->lane != me.group) {
-            me.cross_cluster.fetch_add(1, std::memory_order_relaxed);
-          }
+          if (decision->lane != me.group) note_cross(decision->lane);
           return t;
         }
         break;
       }
       case core::policy::AcquireDecision::Action::kSteal:
+        if constexpr (obs::kTraceCompiledIn) {
+          if (me.ring) {
+            me.ring->emit(obs::EventKind::kStealAttempt,
+                          static_cast<std::uint16_t>(index),
+                          static_cast<std::uint8_t>(decision->lane),
+                          obs::kObsNoClass,
+                          static_cast<std::uint64_t>(decision->victim));
+          }
+        }
         if (TaskNode* t =
                 workers_[decision->victim]->pools[decision->lane]
                     ->steal_top()) {
-          me.steals.fetch_add(1, std::memory_order_relaxed);
-          if (decision->lane != me.group) {
-            me.cross_cluster.fetch_add(1, std::memory_order_relaxed);
-          }
+          note_steal(decision->lane, decision->victim);
+          if (decision->lane != me.group) note_cross(decision->lane);
           return t;
         }
         break;
@@ -304,6 +368,31 @@ void TaskRuntime::execute(std::size_t index, TaskNode* node) {
   me.running_cls.store(node->cls, std::memory_order_relaxed);
   me.run_started_us.store(now_us(), std::memory_order_relaxed);
   me.executing.store(true, std::memory_order_release);
+
+  std::uint64_t begin_tsc = 0;
+  if constexpr (obs::kTraceCompiledIn) {
+    if (me.ring) {
+      if (me.idle_streak > 0) {
+        // Flush the coalesced idle-spin streak now that work arrived.
+        me.ring->emit(obs::EventKind::kIdleSpin,
+                      static_cast<std::uint16_t>(index), 0, obs::kObsNoClass,
+                      me.idle_streak);
+        me.idle_streak = 0;
+      }
+      begin_tsc = obs::tsc_now();
+      const std::uint64_t dispatch_ticks =
+          node->enqueue_tsc != 0 && begin_tsc > node->enqueue_tsc
+              ? begin_tsc - node->enqueue_tsc
+              : 0;
+      me.ring->emit(obs::EventKind::kTaskBegin,
+                    static_cast<std::uint16_t>(index),
+                    static_cast<std::uint8_t>(me.group), node->cls,
+                    dispatch_ticks);
+      metrics_.histogram("dispatch_latency_ns")
+          .record(
+              static_cast<std::uint64_t>(calib_.delta_ns(dispatch_ticks)));
+    }
+  }
 
   const auto start = Clock::now();
   try {
@@ -335,6 +424,18 @@ void TaskRuntime::execute(std::size_t index, TaskNode* node) {
   me.executing.store(false, std::memory_order_release);
   me.running_cls.store(core::kNoTaskClass, std::memory_order_relaxed);
   me.executed.fetch_add(1, std::memory_order_relaxed);
+  if constexpr (obs::kTraceCompiledIn) {
+    if (me.ring) {
+      // Duration includes the duty-cycle throttle: the slice spans the
+      // emulated occupancy of the core, matching what the paper's wall
+      // clock would see on real asymmetric silicon.
+      const std::uint64_t end_tsc = obs::tsc_now();
+      me.ring->emit(obs::EventKind::kTaskEnd,
+                    static_cast<std::uint16_t>(index),
+                    static_cast<std::uint8_t>(me.group), node->cls,
+                    end_tsc > begin_tsc ? end_tsc - begin_tsc : 0);
+    }
+  }
   if (node->cls != core::kNoTaskClass) {
     std::lock_guard lock(me.stats_mu);
     if (me.class_counts.size() <= node->cls) {
@@ -370,6 +471,15 @@ bool TaskRuntime::try_speed_swap(std::size_t thief) {
   victim.speed_scale.store(my_scale, std::memory_order_relaxed);
   me.speed_scale.store(victim_scale, std::memory_order_relaxed);
   speed_swaps_.fetch_add(1, std::memory_order_relaxed);
+  if constexpr (obs::kTraceCompiledIn) {
+    if (me.ring) {
+      me.ring->emit(obs::EventKind::kSnatch,
+                    static_cast<std::uint16_t>(thief),
+                    static_cast<std::uint8_t>(me.group),
+                    victim.running_cls.load(std::memory_order_relaxed),
+                    static_cast<std::uint64_t>(*choice));
+    }
+  }
   return true;
 }
 
@@ -388,12 +498,16 @@ void TaskRuntime::worker_loop(std::size_t index) {
     (void)pthread_setaffinity_np(pthread_self(), sizeof(set), &set);
   }
 #endif
+  Worker& me = *workers_[index];
   while (true) {
     if (TaskNode* node = try_acquire(index)) {
       execute(index, node);
       continue;
     }
     failed_rounds_.fetch_add(1, std::memory_order_relaxed);
+    if constexpr (obs::kTraceCompiledIn) {
+      if (me.ring) ++me.idle_streak;  // coalesced; flushed in execute()
+    }
     if (kernel_->may_snatch() && config_.emulate_speeds &&
         outstanding_.load(std::memory_order_acquire) > 0) {
       try_speed_swap(index);
@@ -401,6 +515,14 @@ void TaskRuntime::worker_loop(std::size_t index) {
     if (stopping_.load(std::memory_order_acquire)) break;
     std::unique_lock lock(idle_mu_);
     idle_cv_.wait_for(lock, std::chrono::microseconds(200));
+  }
+  if constexpr (obs::kTraceCompiledIn) {
+    if (me.ring && me.idle_streak > 0) {
+      me.ring->emit(obs::EventKind::kIdleSpin,
+                    static_cast<std::uint16_t>(index), 0, obs::kObsNoClass,
+                    me.idle_streak);
+      me.idle_streak = 0;
+    }
   }
   t_ctx.runtime = nullptr;
 }
@@ -411,7 +533,16 @@ void TaskRuntime::helper_loop() {
     // Algorithm 1 re-run: the kernel rebuilds and RCU-publishes the
     // class->cluster map iff new completions arrived.
     if (kernel_->maybe_recluster()) {
-      reclusters_.fetch_add(1, std::memory_order_relaxed);
+      const auto total = reclusters_.fetch_add(1, std::memory_order_relaxed);
+      if constexpr (obs::kTraceCompiledIn) {
+        if (helper_ring_) {
+          // The helper owns its own ring (worker id = total_cores).
+          helper_ring_->emit(
+              obs::EventKind::kRecluster,
+              static_cast<std::uint16_t>(workers_.size()), 0,
+              obs::kObsNoClass, total + 1);
+        }
+      }
     }
   }
 }
@@ -439,6 +570,19 @@ RuntimeStats TaskRuntime::stats() const {
     for (std::size_t c = 0; c < counts.size(); ++c) {
       group_counts[c] += counts[c];
     }
+  }
+  // Workers grow their class_counts lazily (resize on first execution of a
+  // class), so the per-group vectors come out ragged: a group whose
+  // workers never ran the newest classes — interned, say, by a recluster
+  // that grew the class table mid-run — would be shorter than its
+  // siblings. Pad every group to the longest so readers can index any
+  // group by any recorded class id (resize-on-read; see the field's doc).
+  std::size_t max_classes = 0;
+  for (const auto& g : s.per_group_class_tasks) {
+    max_classes = std::max(max_classes, g.size());
+  }
+  for (auto& g : s.per_group_class_tasks) {
+    g.resize(max_classes, 0);
   }
   s.reclusters = reclusters_.load(std::memory_order_relaxed);
   s.speed_swaps = speed_swaps_.load(std::memory_order_relaxed);

@@ -40,6 +40,11 @@
 #include "core/policy/policy.hpp"
 #include "core/task_class.hpp"
 #include "core/topology.hpp"
+#include "obs/clock.hpp"
+#include "obs/decision.hpp"
+#include "obs/metrics.hpp"
+#include "obs/ring.hpp"
+#include "obs/trace_event.hpp"
 #include "runtime/wsdeque.hpp"
 #include "util/rng.hpp"
 
@@ -57,6 +62,21 @@ enum class Policy {
   /// its emulated speed with a busy slower worker, so the running task
   /// continues at the fast rate while the thief inherits the slow slot.
   kRtsSwap,
+};
+
+/// Runtime tracing knobs (src/obs). Off by default: the hot path then
+/// pays one null-pointer check per instrumentation site, and nothing at
+/// all when the tree was configured with -DWATS_TRACE=OFF.
+struct TraceOptions {
+  bool enabled = false;
+  /// Per-worker ring capacity in events (rounded up to a power of two).
+  /// When a ring wraps, the oldest events are overwritten — size it to
+  /// the run when exact per-class placement accounting matters.
+  std::size_t ring_capacity = 1u << 12;
+  /// Also collect structured policy-decision records (placement /
+  /// acquisition / snatch scans; see obs/decision.hpp). Costlier than the
+  /// rings: every decision takes one mutex on the collecting sink.
+  bool record_decisions = false;
 };
 
 struct RuntimeConfig {
@@ -78,6 +98,7 @@ struct RuntimeConfig {
   double dnc_threshold = 0.5;
   std::uint64_t dnc_min_spawns = 64;
   std::uint64_t seed = 0x5EEDu;
+  TraceOptions trace;
 };
 
 struct RuntimeStats {
@@ -92,10 +113,18 @@ struct RuntimeStats {
   /// per_group_class_tasks[g][cls] = tasks of class `cls` executed by
   /// workers of c-group g — the direct measure of placement quality
   /// (a warmed-up WATS runs heavy classes mostly on the fast group).
+  ///
+  /// Every group's vector has the same length: the maximum class id any
+  /// worker has recorded, plus one. Classes interned after the snapshot
+  /// (or recorded by a recluster that grew the class table mid-run) may
+  /// therefore be absent from ALL groups rather than from some — readers
+  /// must treat an out-of-range id as "zero executions", which
+  /// fraction_on_group does.
   std::vector<std::vector<std::uint64_t>> per_group_class_tasks;
 
   /// Fraction of class `cls` executions that ran on c-group `group`
-  /// (0 when the class never ran).
+  /// (0 when the class never ran). Tolerates ids beyond the snapshot's
+  /// class table (see per_group_class_tasks).
   double fraction_on_group(core::TaskClassId cls,
                            core::GroupIndex group) const;
 };
@@ -154,6 +183,39 @@ class TaskRuntime {
   /// True when called from one of this runtime's worker threads.
   bool on_worker_thread() const;
 
+  // ---- observability (src/obs) ----
+
+  /// True when tracing was both compiled in (WATS_TRACE=ON) and enabled
+  /// via RuntimeConfig::trace.
+  bool tracing_enabled() const;
+
+  /// The tick->ns calibration measured at construction (identity when
+  /// tracing is disabled).
+  const obs::TscCalibration& trace_calibration() const { return calib_; }
+
+  /// Merged snapshot of every worker ring plus the helper ring, sorted by
+  /// timestamp. Callable while workers run (racy slots are dropped, see
+  /// obs::EventRing::snapshot); call after wait_all() for a complete view.
+  std::vector<obs::TraceEvent> trace_events() const;
+
+  /// Structured policy-decision records (empty unless
+  /// RuntimeConfig::trace.record_decisions was set).
+  std::vector<obs::DecisionRecord> decision_records() const;
+
+  /// Chrome/Perfetto trace-event JSON from the rings (and decision
+  /// records, when collected). Empty string when tracing is disabled.
+  std::string perfetto_trace_json() const;
+
+  /// Latency histograms and counters recorded alongside the rings.
+  obs::MetricsRegistry& metrics() { return metrics_; }
+  const obs::MetricsRegistry& metrics() const { return metrics_; }
+
+  /// Text report: scheduler counters, latency histograms, per-class
+  /// placement (fraction on the class's Algorithm-1 cluster), ring
+  /// utilization, and — when `wall_seconds` > 0 — the achieved-makespan /
+  /// lower-bound ratio against Lemma 1's TL from the collected history.
+  std::string observability_summary(double wall_seconds = 0.0) const;
+
  private:
   /// Sentinel spawner index for spawns from non-worker threads.
   static constexpr std::size_t kExternalSpawner =
@@ -165,6 +227,9 @@ class TaskRuntime {
     /// Worker that spawned the task (kExternalSpawner otherwise); lets the
     /// Cilk central queue charge no steal when the spawner takes it back.
     std::size_t spawner = kExternalSpawner;
+    /// tsc_now() at spawn (0 when tracing is off) — the dispatch-to-start
+    /// latency baseline for kTaskBegin.
+    std::uint64_t enqueue_tsc = 0;
   };
 
   /// Per-worker state, cache-line-aligned so one worker's hot writes do
@@ -189,6 +254,13 @@ class TaskRuntime {
     std::atomic<std::uint64_t> cross_cluster{0};
     mutable std::mutex stats_mu;              // guards class_counts
     std::vector<std::uint64_t> class_counts;  // indexed by class id
+
+    /// Event ring (null when tracing is off) and the owner-only counter
+    /// of consecutive empty acquire rounds, flushed as ONE coalesced
+    /// kIdleSpin event when work next arrives (an idle worker polling at
+    /// 5 kHz must not flood its ring).
+    std::unique_ptr<obs::EventRing> ring;
+    std::uint64_t idle_streak = 0;
   };
 
   /// One central-queue lane per task cluster. Serves double duty: the
@@ -223,6 +295,14 @@ class TaskRuntime {
   std::atomic<std::uint64_t> speed_swaps_{0};
   std::atomic<std::uint64_t> failed_rounds_{0};
   std::mutex swap_mu_;  // serializes speed-scale swaps
+
+  // Observability (see runtime_obs.cpp for the exporters). The helper
+  // thread gets its own ring (worker id = total_cores) for recluster
+  // events; the calibration is measured once in the constructor.
+  obs::TscCalibration calib_;
+  std::unique_ptr<obs::EventRing> helper_ring_;
+  std::unique_ptr<obs::CollectingDecisionSink> decision_sink_;
+  mutable obs::MetricsRegistry metrics_;
 
   // First exception thrown by any task, rethrown from wait_all().
   std::mutex exception_mu_;

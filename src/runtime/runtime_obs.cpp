@@ -1,0 +1,157 @@
+// Observability endpoints of TaskRuntime: merged ring snapshots, the
+// Perfetto exporter and the text summary. Split out of runtime.cpp so the
+// scheduling mechanics stay readable; everything here is cold path
+// (called after — or at worst during — a run, never per task).
+#include <algorithm>
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/lower_bound.hpp"
+#include "obs/export.hpp"
+#include "runtime/runtime.hpp"
+
+namespace wats::runtime {
+
+bool TaskRuntime::tracing_enabled() const {
+  return obs::kTraceCompiledIn && config_.trace.enabled;
+}
+
+std::vector<obs::TraceEvent> TaskRuntime::trace_events() const {
+  std::vector<obs::TraceEvent> events;
+  if (!tracing_enabled()) return events;
+  for (const auto& w : workers_) {
+    if (!w->ring) continue;
+    const auto part = w->ring->snapshot();
+    events.insert(events.end(), part.begin(), part.end());
+  }
+  if (helper_ring_) {
+    const auto part = helper_ring_->snapshot();
+    events.insert(events.end(), part.begin(), part.end());
+  }
+  std::sort(events.begin(), events.end(),
+            [](const obs::TraceEvent& a, const obs::TraceEvent& b) {
+              return a.tsc < b.tsc;
+            });
+  return events;
+}
+
+std::vector<obs::DecisionRecord> TaskRuntime::decision_records() const {
+  return decision_sink_ ? decision_sink_->records()
+                        : std::vector<obs::DecisionRecord>{};
+}
+
+std::string TaskRuntime::perfetto_trace_json() const {
+  if (!tracing_enabled()) return {};
+  std::vector<std::string> tracks;
+  tracks.reserve(workers_.size() + 1);
+  char label[64];
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const core::GroupIndex g = workers_[i]->group;
+    // Initial speed: kRtsSwap / WATS-TS swap scales mid-run, the label
+    // keeps the topology's assignment.
+    std::snprintf(label, sizeof(label), "worker %zu (group %zu, %.2fx)", i,
+                  g, config_.topology.relative_speed(g));
+    tracks.emplace_back(label);
+  }
+  tracks.emplace_back("helper");
+  const auto classes = registry_.snapshot();
+  const auto class_name = [classes](std::uint32_t cls) -> std::string {
+    if (cls < classes.size() && !classes[cls].name.empty()) {
+      return classes[cls].name;
+    }
+    return "class " + std::to_string(cls);
+  };
+  return obs::perfetto_from_events(trace_events(), calib_, tracks,
+                                   class_name, decision_records());
+}
+
+std::string TaskRuntime::observability_summary(double wall_seconds) const {
+  const RuntimeStats s = stats();
+
+  // Mirror the scheduler counters into the registry so one renderer
+  // handles both them and the latency histograms.
+  metrics_.counter("tasks_executed").set(s.tasks_executed);
+  metrics_.counter("steals").set(s.steals);
+  metrics_.counter("cross_cluster_acquires").set(s.cross_cluster_acquires);
+  metrics_.counter("reclusters").set(s.reclusters);
+  metrics_.counter("speed_swaps").set(s.speed_swaps);
+  metrics_.counter("failed_acquire_rounds").set(s.failed_acquire_rounds);
+  if (tracing_enabled()) {
+    std::uint64_t emitted = 0;
+    std::uint64_t dropped = 0;
+    for (const auto& w : workers_) {
+      if (!w->ring) continue;
+      emitted += w->ring->emitted();
+      dropped += w->ring->dropped();
+    }
+    if (helper_ring_) {
+      emitted += helper_ring_->emitted();
+      dropped += helper_ring_->dropped();
+    }
+    metrics_.counter("trace_events_emitted").set(emitted);
+    metrics_.counter("trace_events_dropped").set(dropped);
+  }
+
+  // Placement accuracy: the fraction of classified executions that ran on
+  // the group Algorithm 1 currently assigns their class to, weighted by
+  // how often each class ran.
+  const auto classes = registry_.snapshot();
+  double on_assigned = 0.0;
+  double classified = 0.0;
+  for (const auto& cls : classes) {
+    std::uint64_t runs = 0;
+    for (const auto& group_counts : s.per_group_class_tasks) {
+      if (cls.id < group_counts.size()) runs += group_counts[cls.id];
+    }
+    if (runs == 0) continue;
+    const double frac = s.fraction_on_group(cls.id, kernel_->cluster_of(cls.id));
+    on_assigned += frac * static_cast<double>(runs);
+    classified += static_cast<double>(runs);
+  }
+  if (classified > 0.0) {
+    metrics_.set_gauge("placement_accuracy", on_assigned / classified);
+  }
+
+  // Lemma 1: TL from the collected history. mean_workload is in
+  // F1-normalized microseconds (Eq. 2), so scaling the bound back by F1
+  // yields microseconds on this machine.
+  if (wall_seconds > 0.0 && !classes.empty()) {
+    double total_workload_us = 0.0;
+    for (const auto& cls : classes) total_workload_us += cls.total_workload();
+    if (total_workload_us > 0.0) {
+      const double tl_s = core::makespan_lower_bound(total_workload_us,
+                                                     config_.topology) *
+                          config_.topology.fastest_frequency() * 1e-6;
+      metrics_.set_gauge("makespan_lower_bound_s", tl_s);
+      metrics_.set_gauge("lower_bound_ratio",
+                         tl_s > 0.0 ? wall_seconds / tl_s : 0.0);
+    }
+  }
+
+  std::string out = obs::render_text(metrics_.snapshot());
+
+  // Per-class placement: where each class actually ran vs its cluster.
+  if (classified > 0.0) {
+    out += "per-class placement (fraction on assigned cluster):\n";
+    char line[160];
+    for (const auto& cls : classes) {
+      std::uint64_t runs = 0;
+      for (const auto& group_counts : s.per_group_class_tasks) {
+        if (cls.id < group_counts.size()) runs += group_counts[cls.id];
+      }
+      if (runs == 0) continue;
+      const core::GroupIndex assigned = kernel_->cluster_of(cls.id);
+      std::snprintf(line, sizeof(line),
+                    "  %-24s cluster %zu  on-cluster %.3f  runs %" PRIu64
+                    "\n",
+                    cls.name.c_str(), assigned,
+                    s.fraction_on_group(cls.id, assigned), runs);
+      out += line;
+    }
+  }
+  return out;
+}
+
+}  // namespace wats::runtime

@@ -32,6 +32,12 @@ ExperimentResult run_experiment(const workloads::BenchmarkSpec& spec,
 
     Engine engine(topo, sim, *scheduler, *workload);
     scheduler->bind(engine);
+    if (i == 0) {
+      if (config.trace != nullptr) engine.set_trace(config.trace);
+      if (config.decision_sink != nullptr) {
+        scheduler->set_decision_sink(config.decision_sink);
+      }
+    }
     RunStats stats = engine.run();
 
     result.mean_makespan += stats.makespan;

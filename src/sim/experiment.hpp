@@ -24,6 +24,11 @@ struct ExperimentConfig {
   /// into the registry before each run, so the first batch is already
   /// allocated from prior knowledge instead of all-unknown -> fastest.
   std::string warm_history;
+  /// Observability taps, attached to the FIRST repeat only (repeats share
+  /// one recorder; a merged multi-seed timeline would be meaningless).
+  /// Caller-owned, may be null. Export with sim/trace_export.hpp.
+  TraceRecorder* trace = nullptr;
+  obs::DecisionSink* decision_sink = nullptr;
 };
 
 struct ExperimentResult {

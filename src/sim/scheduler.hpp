@@ -73,6 +73,10 @@ class Scheduler {
 
   /// The decision kernel this scheduler executes (diagnostics/tests).
   virtual const core::policy::PolicyKernel* kernel() const { return nullptr; }
+
+  /// Forward a decision sink to the kernel (see PolicyKernel::
+  /// set_decision_sink). Attach before the run starts.
+  virtual void set_decision_sink(obs::DecisionSink* sink) { (void)sink; }
 };
 
 /// Factory for the evaluated policies. The registry is shared with the

@@ -177,6 +177,10 @@ class KernelScheduler final : public Scheduler {
     return kernel_.get();
   }
 
+  void set_decision_sink(obs::DecisionSink* sink) override {
+    kernel_->set_decision_sink(sink);
+  }
+
  private:
   /// Take from the central queue honoring the kernel's ordering and cost
   /// rules: Cilk hands out FIFO and charges a steal unless the taker is

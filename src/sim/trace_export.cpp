@@ -1,0 +1,93 @@
+#include "sim/trace_export.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/export.hpp"
+
+namespace wats::sim {
+
+std::string perfetto_from_sim_trace(
+    const TraceRecorder& trace, const core::AmcTopology& topo,
+    const std::vector<std::string>& class_names,
+    const std::vector<obs::DecisionRecord>& decisions) {
+  obs::PerfettoWriter w;
+  constexpr int kPid = 0;
+  const int policy_tid = static_cast<int>(topo.total_cores()) + 1;
+
+  w.process_name(kPid, "wats simulator (" + topo.name() + ")");
+  char label[64];
+  for (core::CoreIndex c = 0; c < topo.total_cores(); ++c) {
+    const core::GroupIndex g = topo.group_of_core(c);
+    std::snprintf(label, sizeof(label), "core %zu (group %zu, %.2fx)", c, g,
+                  topo.relative_speed(g));
+    w.thread_name(kPid, static_cast<int>(c), label);
+  }
+  if (!decisions.empty()) w.thread_name(kPid, policy_tid, "policy");
+
+  const auto name_of = [&](core::TaskClassId cls, TaskId task) {
+    if (cls != core::kNoTaskClass && cls < class_names.size() &&
+        !class_names[cls].empty()) {
+      return class_names[cls];
+    }
+    if (cls != core::kNoTaskClass) {
+      return "class " + std::to_string(cls);
+    }
+    return "task " + std::to_string(task);
+  };
+
+  double makespan = 0.0;
+  for (const auto& seg : trace.segments()) {
+    makespan = std::max(makespan, seg.end);
+    std::ostringstream args;
+    args << "{\"task\":" << seg.task << ",\"cls\":";
+    if (seg.cls == core::kNoTaskClass) {
+      args << -1;
+    } else {
+      args << seg.cls;
+    }
+    args << ",\"preempted\":" << (seg.preempted ? "true" : "false") << "}";
+    w.complete(kPid, static_cast<int>(seg.core),
+               name_of(seg.cls, seg.task), "task", seg.start,
+               seg.end - seg.start, args.str());
+  }
+
+  // Decision records carry wall-clock tick stamps while segments live in
+  // virtual time; rescale the tick range onto [0, makespan] so the
+  // decisions land on the timeline in order, at proportional positions.
+  if (!decisions.empty()) {
+    std::uint64_t lo = decisions.front().tsc;
+    std::uint64_t hi = decisions.front().tsc;
+    for (const auto& d : decisions) {
+      lo = std::min(lo, d.tsc);
+      hi = std::max(hi, d.tsc);
+    }
+    const double span = hi > lo ? static_cast<double>(hi - lo) : 1.0;
+    for (const auto& d : decisions) {
+      const double ts =
+          static_cast<double>(d.tsc - lo) / span * std::max(makespan, 1.0);
+      std::ostringstream args;
+      args << "{\"reason\":\"" << obs::to_string(d.reason)
+           << "\",\"cls\":" << d.cls << ",\"chosen\":" << d.chosen
+           << ",\"victim\":" << d.victim;
+      if (d.group_count > 0) {
+        args << ",\"group_load\":[";
+        for (std::uint8_t g = 0; g < d.group_count; ++g) {
+          if (g > 0) args << ",";
+          args << d.group_load[g];
+        }
+        args << "]";
+      }
+      args << "}";
+      const int tid =
+          d.self == 0xFFFF ? policy_tid : static_cast<int>(d.self);
+      w.instant(kPid, tid, obs::to_string(d.kind), "policy", ts,
+                args.str());
+    }
+  }
+
+  return w.finish();
+}
+
+}  // namespace wats::sim

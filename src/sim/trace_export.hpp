@@ -1,0 +1,26 @@
+// Perfetto export for the simulator's TraceRecorder — the second producer
+// of the one trace format (the first is the runtime's event rings, see
+// obs/export.hpp). Virtual time units map to microseconds 1:1, so a
+// simulated makespan of 120.5 renders as a 120.5 µs timeline.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "core/topology.hpp"
+#include "obs/decision.hpp"
+#include "sim/trace.hpp"
+
+namespace wats::sim {
+
+/// Convert a recorded simulation trace to Chrome/Perfetto trace-event
+/// JSON: one thread track per core (labelled with its c-group and
+/// relative speed), one complete slice per execution segment (snatch-
+/// preempted segments are marked in their args), and — when decision
+/// records were collected — instants on a dedicated policy track.
+std::string perfetto_from_sim_trace(
+    const TraceRecorder& trace, const core::AmcTopology& topo,
+    const std::vector<std::string>& class_names = {},
+    const std::vector<obs::DecisionRecord>& decisions = {});
+
+}  // namespace wats::sim

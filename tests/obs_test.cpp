@@ -1,0 +1,399 @@
+// Tests for the observability layer (src/obs) and its integration into
+// the policy kernel, the simulator and the real-thread runtime:
+//   - event-ring wraparound and snapshot-under-load consistency (the
+//     latter is the TSan target: emit and snapshot race by design),
+//   - TSC -> ns calibration sanity,
+//   - Perfetto JSON golden output + schema validation via obs::parse_json,
+//   - metrics histogram arithmetic and the text renderer,
+//   - decision records flowing out of a simulated WATS run,
+//   - the acceptance property: per-(group, class) task counts derived
+//     from the trace match RuntimeStats::per_group_class_tasks exactly.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <chrono>
+#include <map>
+#include <thread>
+
+#include "obs/clock.hpp"
+#include "obs/export.hpp"
+#include "obs/json.hpp"
+#include "obs/metrics.hpp"
+#include "obs/ring.hpp"
+#include "sim/experiment.hpp"
+#include "wats.hpp"
+
+namespace wats {
+namespace {
+
+using obs::EventKind;
+using obs::EventRing;
+using obs::TraceEvent;
+
+TEST(ObsRing, CapacityRoundsUpToPowerOfTwo) {
+  EXPECT_EQ(EventRing(1).capacity(), 2u);  // floor of 2
+  EXPECT_EQ(EventRing(5).capacity(), 8u);
+  EXPECT_EQ(EventRing(8).capacity(), 8u);
+  EXPECT_EQ(EventRing().capacity(), EventRing::kDefaultCapacity);
+}
+
+TEST(ObsRing, WraparoundKeepsNewestInOrder) {
+  EventRing ring(8);
+  for (std::uint64_t i = 0; i < 20; ++i) {
+    ring.emit(EventKind::kTaskEnd, /*worker=*/3, /*lane=*/1,
+              /*cls=*/static_cast<std::uint32_t>(i), /*arg=*/i);
+  }
+  EXPECT_EQ(ring.emitted(), 20u);
+  EXPECT_EQ(ring.dropped(), 12u);
+
+  const auto events = ring.snapshot();
+  ASSERT_EQ(events.size(), 8u);
+  for (std::size_t i = 0; i < events.size(); ++i) {
+    // Oldest-first: events 12..19 survive.
+    EXPECT_EQ(events[i].arg, 12u + i);
+    EXPECT_EQ(events[i].cls, 12u + i);
+    EXPECT_EQ(events[i].kind, EventKind::kTaskEnd);
+    EXPECT_EQ(events[i].worker, 3u);
+    EXPECT_EQ(events[i].lane, 1u);
+  }
+  // Stamps are monotone (same producer thread).
+  for (std::size_t i = 1; i < events.size(); ++i) {
+    EXPECT_GE(events[i].tsc, events[i - 1].tsc);
+  }
+}
+
+TEST(ObsClock, CalibrationIsSane) {
+  const auto cal = obs::calibrate_tsc(std::chrono::microseconds(500));
+  EXPECT_GT(cal.ns_per_tick, 0.0);
+  // Any plausible host: between 10 GHz TSC (0.1 ns/tick) and the 1
+  // ns/tick steady_clock fallback, with generous slack.
+  EXPECT_LT(cal.ns_per_tick, 100.0);
+  // The epoch map reproduces the calibration base point.
+  EXPECT_EQ(cal.to_ns(cal.base_ticks), cal.base_ns);
+  // A measured delta converts to roughly the elapsed wall time.
+  const std::uint64_t t0 = obs::tsc_now();
+  const auto c0 = std::chrono::steady_clock::now();
+  while (std::chrono::steady_clock::now() - c0 <
+         std::chrono::milliseconds(2)) {
+  }
+  const double ns = cal.delta_ns(obs::tsc_now() - t0);
+  EXPECT_GT(ns, 1e6);   // at least 1 ms measured
+  EXPECT_LT(ns, 1e9);   // and far less than a second
+}
+
+// The seqlock contract under a live producer: snapshots taken while the
+// ring is being overwritten never contain torn slots. Torn reads would
+// show up as events whose packed fields are inconsistent with what the
+// producer writes (and as TSan races when run under -fsanitize=thread).
+TEST(ObsRing, SnapshotUnderLoadIsConsistent) {
+  EventRing ring(64);
+  std::atomic<bool> stop{false};
+  std::thread producer([&] {
+    std::uint64_t i = 0;
+    while (!stop.load(std::memory_order_relaxed)) {
+      // cls mirrors arg so a torn slot is detectable.
+      ring.emit(EventKind::kStealAttempt, /*worker=*/7, /*lane=*/2,
+                static_cast<std::uint32_t>(i & 0xFFFFFFFFu), i);
+      ++i;
+    }
+  });
+
+  // Keep snapshotting until overwrites demonstrably happened while we
+  // were reading (emitted well past capacity), with a floor of 200
+  // rounds; the producer may need a moment to get scheduled at all.
+  int round = 0;
+  while (round < 200 || ring.emitted() < 4 * ring.capacity()) {
+    ++round;
+    const auto events = ring.snapshot();
+    EXPECT_LE(events.size(), ring.capacity());
+    for (std::size_t i = 0; i < events.size(); ++i) {
+      EXPECT_EQ(events[i].kind, EventKind::kStealAttempt);
+      EXPECT_EQ(events[i].worker, 7u);
+      EXPECT_EQ(events[i].lane, 2u);
+      EXPECT_EQ(events[i].cls, events[i].arg & 0xFFFFFFFFu);
+      if (i > 0) {
+        // Oldest-first and strictly increasing payload.
+        EXPECT_LT(events[i - 1].arg, events[i].arg);
+        EXPECT_LE(events[i - 1].tsc, events[i].tsc);
+      }
+    }
+  }
+  stop.store(true);
+  producer.join();
+  EXPECT_GT(ring.emitted(), 0u);
+}
+
+TEST(ObsExport, PerfettoWriterGolden) {
+  obs::PerfettoWriter w;
+  w.process_name(1, "proc");
+  w.thread_name(1, 2, "worker \"fast\"");
+  w.complete(1, 2, "md5", "task", 1.5, 2.0, "{\"cls\":0}");
+  w.instant(1, 2, "steal", "sched", 3.25);
+  const std::string expected =
+      "{\"traceEvents\":["
+      "{\"ph\":\"M\",\"name\":\"process_name\",\"pid\":1,\"tid\":0,"
+      "\"args\":{\"name\":\"proc\"}},\n"
+      "{\"ph\":\"M\",\"name\":\"thread_name\",\"pid\":1,\"tid\":2,"
+      "\"args\":{\"name\":\"worker \\\"fast\\\"\"}},\n"
+      "{\"ph\":\"X\",\"name\":\"md5\",\"cat\":\"task\",\"ts\":1.500,"
+      "\"dur\":2.000,\"pid\":1,\"tid\":2,\"args\":{\"cls\":0}},\n"
+      "{\"ph\":\"i\",\"s\":\"t\",\"name\":\"steal\",\"cat\":\"sched\","
+      "\"ts\":3.250,\"pid\":1,\"tid\":2}"
+      "],\"displayTimeUnit\":\"ms\"}\n";
+  EXPECT_EQ(w.finish(), expected);
+}
+
+TEST(ObsExport, PerfettoFromEventsValidatesAgainstSchema) {
+  // Identity-ish calibration: 1 tick = 1 us, epoch at 0.
+  obs::TscCalibration cal;
+  cal.base_ticks = 0;
+  cal.base_ns = 0;
+  cal.ns_per_tick = 1000.0;
+
+  std::vector<TraceEvent> events;
+  TraceEvent end;  // slice [50, 100) us on worker 0
+  end.tsc = 100;
+  end.arg = 50;
+  end.cls = 0;
+  end.kind = EventKind::kTaskEnd;
+  end.worker = 0;
+  events.push_back(end);
+  TraceEvent steal;
+  steal.tsc = 60;
+  steal.arg = 0;  // victim
+  steal.kind = EventKind::kStealSuccess;
+  steal.worker = 1;
+  events.push_back(steal);
+
+  obs::DecisionRecord dec;
+  dec.kind = obs::DecisionKind::kAcquire;
+  dec.reason = obs::ReasonCode::kStealPreferred;
+  dec.self = 1;
+  dec.chosen = 0;
+  dec.victim = 0;
+  dec.group_count = 2;
+  dec.group_load = {3, 1};
+  dec.tsc = 60;
+
+  const auto json = obs::perfetto_from_events(
+      events, cal, {"w0", "w1"},
+      [](std::uint32_t cls) { return "class " + std::to_string(cls); },
+      {dec});
+
+  std::string error;
+  const auto doc = obs::parse_json(json, &error);
+  ASSERT_NE(doc, nullptr) << error;
+  const auto* trace_events = doc->find("traceEvents");
+  ASSERT_NE(trace_events, nullptr);
+  ASSERT_EQ(trace_events->type(), obs::JsonValue::Type::kArray);
+  EXPECT_EQ(doc->find("displayTimeUnit")->as_string(), "ms");
+
+  std::size_t slices = 0;
+  std::size_t policy_instants = 0;
+  for (const auto& e : trace_events->as_array()) {
+    const std::string ph = e.string_or("ph", "");
+    ASSERT_FALSE(ph.empty());
+    ASSERT_NE(e.find("name"), nullptr);
+    ASSERT_NE(e.find("pid"), nullptr);
+    ASSERT_NE(e.find("tid"), nullptr);
+    if (ph == "M") continue;
+    ASSERT_NE(e.find("ts"), nullptr);
+    EXPECT_GE(e.number_or("ts", -1.0), 0.0);  // shifted to start at 0
+    if (ph == "X") {
+      ++slices;
+      EXPECT_EQ(e.string_or("name", ""), "class 0");
+      EXPECT_DOUBLE_EQ(e.number_or("dur", 0.0), 50.0);
+      EXPECT_DOUBLE_EQ(e.number_or("ts", -1.0), 0.0);  // 50 - min(50)
+    }
+    if (e.string_or("cat", "") == "policy") {
+      ++policy_instants;
+      EXPECT_EQ(e.string_or("name", ""), "acquire");
+      const auto* args = e.find("args");
+      ASSERT_NE(args, nullptr);
+      EXPECT_EQ(args->string_or("reason", ""), "steal_preferred");
+      ASSERT_NE(args->find("group_load"), nullptr);
+      EXPECT_EQ(args->find("group_load")->as_array().size(), 2u);
+    }
+  }
+  EXPECT_EQ(slices, 1u);
+  EXPECT_EQ(policy_instants, 1u);
+}
+
+TEST(ObsMetrics, HistogramStatsAndQuantiles) {
+  obs::Histogram h;
+  for (std::uint64_t v : {1u, 2u, 3u, 100u}) h.record(v);
+  const auto s = h.snapshot();
+  EXPECT_EQ(s.count, 4u);
+  EXPECT_EQ(s.sum, 106u);
+  EXPECT_EQ(s.min, 1u);
+  EXPECT_EQ(s.max, 100u);
+  EXPECT_DOUBLE_EQ(s.mean(), 26.5);
+  // Three of four values are <= 3: the 0.5-quantile bucket bound is small,
+  // the 0.99 one covers the 100.
+  EXPECT_LE(s.quantile_bound(0.5), 4u);
+  EXPECT_GE(s.quantile_bound(0.99), 100u);
+}
+
+TEST(ObsMetrics, RegistryRendersText) {
+  obs::MetricsRegistry reg;
+  reg.counter("tasks_executed").add(7);
+  reg.histogram("steal_latency_ns").record(1500);
+  reg.set_gauge("placement_accuracy", 0.875);
+  const auto text = obs::render_text(reg.snapshot());
+  EXPECT_NE(text.find("tasks_executed"), std::string::npos);
+  EXPECT_NE(text.find("steal_latency_ns"), std::string::npos);
+  EXPECT_NE(text.find("placement_accuracy"), std::string::npos);
+  EXPECT_NE(text.find("7"), std::string::npos);
+}
+
+// A simulated WATS run with a decision sink attached produces structured
+// records of every kind of decision the kernel makes.
+TEST(ObsDecision, SimulatedWatsRunEmitsDecisionRecords) {
+  workloads::BenchmarkSpec spec;
+  spec.name = "obs";
+  spec.kind = workloads::BenchKind::kBatch;
+  spec.classes = {
+      {"heavy", 8.0, 0.0, 2},
+      {"light", 2.0, 0.0, 6},
+  };
+  spec.batches = 8;
+  const core::AmcTopology topo("t", {{2.0, 1}, {1.0, 3}});
+
+  obs::CollectingDecisionSink sink;
+  sim::ExperimentConfig cfg;
+  cfg.repeats = 1;
+  cfg.decision_sink = &sink;
+  sim::run_experiment(spec, topo, sim::SchedulerKind::kWats, cfg);
+
+  if constexpr (!obs::kTraceCompiledIn) {
+    EXPECT_EQ(sink.size(), 0u);
+    GTEST_SKIP() << "tracing compiled out (WATS_TRACE=OFF)";
+  }
+  const auto records = sink.records();
+  ASSERT_FALSE(records.empty());
+  std::map<obs::DecisionKind, std::size_t> by_kind;
+  for (const auto& r : records) {
+    ++by_kind[r.kind];
+    EXPECT_LE(r.group_count, obs::kMaxDecisionGroups);
+    if (r.kind == obs::DecisionKind::kPlacement) {
+      // Placements always choose a lane and come from the spawn path.
+      EXPECT_GE(r.chosen, 0);
+      EXPECT_LT(r.chosen, static_cast<std::int32_t>(topo.group_count()));
+      EXPECT_EQ(r.self, 0xFFFF);
+    }
+    if (r.kind == obs::DecisionKind::kAcquire) {
+      // Acquire records carry the per-lane load snapshot.
+      EXPECT_GT(r.group_count, 0u);
+      EXPECT_NE(r.self, 0xFFFF);
+    }
+  }
+  EXPECT_GT(by_kind[obs::DecisionKind::kPlacement], 0u);
+  EXPECT_GT(by_kind[obs::DecisionKind::kAcquire], 0u);
+  EXPECT_GT(by_kind[obs::DecisionKind::kRecluster], 0u);
+}
+
+// The ISSUE's acceptance property: with tracing on and rings sized so
+// nothing drops, counting kTaskEnd events per (worker group, class) must
+// reproduce RuntimeStats::per_group_class_tasks EXACTLY.
+TEST(ObsRuntime, TracePlacementMatchesStatsExactly) {
+  if constexpr (!obs::kTraceCompiledIn) {
+    GTEST_SKIP() << "tracing compiled out (WATS_TRACE=OFF)";
+  }
+  runtime::RuntimeConfig cfg;
+  cfg.topology = core::AmcTopology("t", {{2.5, 2}, {0.8, 2}});
+  cfg.policy = runtime::Policy::kWats;
+  cfg.emulate_speeds = true;
+  cfg.trace.enabled = true;
+  cfg.trace.ring_capacity = 1u << 15;  // holds the whole run
+  cfg.trace.record_decisions = true;
+  runtime::TaskRuntime rt(cfg);
+  EXPECT_TRUE(rt.tracing_enabled());
+
+  const auto heavy = rt.register_class("heavy");
+  const auto light = rt.register_class("light");
+  for (int round = 0; round < 3; ++round) {
+    for (int i = 0; i < 16; ++i) {
+      rt.spawn(heavy, [] {
+        volatile double x = 1;
+        for (int j = 0; j < 60000; ++j) x = x * 1.0000001 + 0.1;
+      });
+      rt.spawn(light, [] {
+        volatile int x = 0;
+        for (int j = 0; j < 1500; ++j) x = x + 1;
+      });
+    }
+    rt.wait_all();
+  }
+  // wait_all() returns when the last task's completion is counted; give
+  // the worker a beat to finish emitting its kTaskEnd event.
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+
+  const auto stats = rt.stats();
+  const auto events = rt.trace_events();
+  ASSERT_FALSE(events.empty());
+
+  // Rebuild the per-(group, class) execution counts from the trace.
+  std::vector<std::vector<std::uint64_t>> from_trace(
+      cfg.topology.group_count());
+  std::uint64_t end_events = 0;
+  for (const auto& e : events) {
+    if (e.kind != EventKind::kTaskEnd) continue;
+    ++end_events;
+    if (e.cls == obs::kObsNoClass) continue;
+    ASSERT_LT(e.worker, cfg.topology.total_cores());
+    auto& row = from_trace[cfg.topology.group_of_core(e.worker)];
+    if (e.cls >= row.size()) row.resize(e.cls + 1, 0);
+    ++row[e.cls];
+  }
+  EXPECT_EQ(end_events, stats.tasks_executed);
+  EXPECT_EQ(end_events, 96u);
+
+  ASSERT_EQ(stats.per_group_class_tasks.size(), from_trace.size());
+  for (std::size_t g = 0; g < from_trace.size(); ++g) {
+    const auto& expect = stats.per_group_class_tasks[g];
+    for (std::size_t cls = 0; cls < expect.size(); ++cls) {
+      const std::uint64_t traced =
+          cls < from_trace[g].size() ? from_trace[g][cls] : 0;
+      EXPECT_EQ(traced, expect[cls])
+          << "group " << g << " class " << cls;
+    }
+  }
+  // Sanity on the class ids we spawned with.
+  (void)heavy;
+  (void)light;
+
+  // The run also produced decision records and a loadable Perfetto doc.
+  EXPECT_FALSE(rt.decision_records().empty());
+  std::string error;
+  const auto doc = obs::parse_json(rt.perfetto_trace_json(), &error);
+  ASSERT_NE(doc, nullptr) << error;
+  ASSERT_NE(doc->find("traceEvents"), nullptr);
+  EXPECT_GT(doc->find("traceEvents")->as_array().size(), end_events);
+}
+
+// Tracing off (the default) leaves the observability endpoints empty but
+// well-defined, and the metrics/summary path still works.
+TEST(ObsRuntime, UntracedRuntimeHasEmptyTraceButWorkingSummary) {
+  runtime::RuntimeConfig cfg;
+  cfg.topology = core::AmcTopology("t", {{2.0, 1}, {1.0, 1}});
+  cfg.emulate_speeds = false;
+  runtime::TaskRuntime rt(cfg);
+  EXPECT_FALSE(rt.tracing_enabled());
+
+  const auto cls = rt.register_class("only");
+  std::atomic<int> ran{0};
+  for (int i = 0; i < 8; ++i) {
+    rt.spawn(cls, [&] { ran.fetch_add(1); });
+  }
+  rt.wait_all();
+  EXPECT_EQ(ran.load(), 8);
+  EXPECT_TRUE(rt.trace_events().empty());
+  EXPECT_TRUE(rt.decision_records().empty());
+  EXPECT_TRUE(rt.perfetto_trace_json().empty());
+  const auto summary = rt.observability_summary();
+  EXPECT_NE(summary.find("tasks_executed"), std::string::npos);
+  EXPECT_NE(summary.find("failed_acquire_rounds"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wats

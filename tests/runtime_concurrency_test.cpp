@@ -138,6 +138,15 @@ TEST(RuntimeConcurrency, FailedAcquireRoundsAccumulateWhenIdle) {
   // Let workers idle briefly; their polling loops count failed rounds.
   std::this_thread::sleep_for(std::chrono::milliseconds(5));
   EXPECT_GT(rt.stats().failed_acquire_rounds, 0u);
+  // The counter is surfaced through the text summary exporter, and the
+  // rendered line carries a non-zero value (idle polling kept counting,
+  // so the summary's value is at least the one observed above).
+  const auto summary = rt.observability_summary();
+  const auto pos = summary.find("failed_acquire_rounds");
+  ASSERT_NE(pos, std::string::npos);
+  const auto eol = summary.find('\n', pos);
+  const std::string line = summary.substr(pos, eol - pos);
+  EXPECT_EQ(line.find(" 0"), std::string::npos) << line;
 }
 
 }  // namespace

@@ -5,6 +5,11 @@
 //   wats_sweep --benchmarks GA,SHA-1 --schedulers Cilk,WATS --out sweep.csv
 //   wats_plot sweep.csv --outdir plots
 //   gnuplot plots/GA.gp          # renders plots/GA.png
+//
+// Alternative input — a Perfetto trace JSON (from bench_fig6/
+// bench_runtime_real --trace-out or TaskRuntime::perfetto_trace_json):
+//   wats_plot --gantt trace.json [--width 100]
+// renders an ASCII Gantt chart, one row per thread track.
 #include <algorithm>
 #include <cctype>
 #include <cstdio>
@@ -14,6 +19,7 @@
 #include <sstream>
 #include <vector>
 
+#include "obs/json.hpp"
 #include "util/args.hpp"
 #include "util/check.hpp"
 #include "util/table.hpp"
@@ -31,12 +37,116 @@ std::string sanitize(const std::string& name) {
   return out;
 }
 
+/// ASCII Gantt from trace-event JSON: every "X" slice fills its track's
+/// cells with '#' ('>' when several slices land in one cell); tracks are
+/// labelled from thread_name metadata.
+int render_gantt(const std::string& path, std::size_t width) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in.good()) {
+    std::fprintf(stderr, "cannot read %s\n", path.c_str());
+    return 1;
+  }
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  std::string error;
+  const auto doc = obs::parse_json(buf.str(), &error);
+  if (!doc) {
+    std::fprintf(stderr, "%s: JSON parse error: %s\n", path.c_str(),
+                 error.c_str());
+    return 1;
+  }
+  const auto* events = doc->find("traceEvents");
+  if (events == nullptr ||
+      events->type() != obs::JsonValue::Type::kArray) {
+    std::fprintf(stderr, "%s: not a trace-event file\n", path.c_str());
+    return 1;
+  }
+
+  struct Slice {
+    double ts, dur;
+  };
+  std::map<int, std::vector<Slice>> by_tid;
+  std::map<int, std::string> labels;
+  double t0 = 0.0, t1 = 0.0;
+  bool any = false;
+  for (const auto& e : events->as_array()) {
+    const int tid = static_cast<int>(e.number_or("tid", 0));
+    if (e.string_or("ph", "") == "M") {
+      if (e.string_or("name", "") == "thread_name") {
+        if (const auto* a = e.find("args")) {
+          labels[tid] = a->string_or("name", "");
+        }
+      }
+      continue;
+    }
+    if (e.string_or("ph", "") != "X") continue;
+    const Slice s{e.number_or("ts", 0.0), e.number_or("dur", 0.0)};
+    if (!any || s.ts < t0) t0 = s.ts;
+    if (!any || s.ts + s.dur > t1) t1 = s.ts + s.dur;
+    any = true;
+    by_tid[tid].push_back(s);
+  }
+  if (!any || t1 <= t0) {
+    std::fprintf(stderr, "%s: no complete slices to plot\n", path.c_str());
+    return 1;
+  }
+
+  std::printf("gantt over %.3f ms (%zu cols, '.' idle, '#' busy):\n",
+              (t1 - t0) / 1000.0, width);
+  const double cell = (t1 - t0) / static_cast<double>(width);
+  for (const auto& [tid, slices] : by_tid) {
+    std::vector<int> cover(width, 0);
+    double busy = 0.0;
+    for (const auto& s : slices) {
+      busy += s.dur;
+      auto lo = static_cast<std::size_t>((s.ts - t0) / cell);
+      auto hi = static_cast<std::size_t>((s.ts + s.dur - t0) / cell);
+      lo = std::min(lo, width - 1);
+      hi = std::min(hi, width - 1);
+      for (std::size_t c = lo; c <= hi; ++c) ++cover[c];
+    }
+    std::string row(width, '.');
+    for (std::size_t c = 0; c < width; ++c) {
+      if (cover[c] > 1) {
+        row[c] = '>';
+      } else if (cover[c] == 1) {
+        row[c] = '#';
+      }
+    }
+    const auto it = labels.find(tid);
+    std::printf("%-28s |%s| %4.0f%%\n",
+                it != labels.end() ? it->second.c_str()
+                                   : ("tid " + std::to_string(tid)).c_str(),
+                row.c_str(), 100.0 * busy / (t1 - t0));
+  }
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
+  // --gantt TRACE.json parses as a valued flag; --gantt with the file as
+  // a positional also works.
+  const auto gantt = args.value("gantt");
+  const bool gantt_mode = gantt.has_value() || args.flag("gantt");
+  if (gantt_mode) {
+    std::string path = gantt.value_or("");
+    if ((path.empty() || path == "true" || path == "1") &&
+        !args.positional().empty()) {
+      path = args.positional().front();
+    }
+    if (path.empty()) {
+      std::fprintf(stderr, "usage: wats_plot --gantt TRACE.json [--width N]\n");
+      return 2;
+    }
+    const auto width = static_cast<std::size_t>(args.int_or("width", 100));
+    return render_gantt(path, std::max<std::size_t>(width, 10));
+  }
   if (args.positional().empty()) {
-    std::fprintf(stderr, "usage: wats_plot SWEEP.csv [--outdir DIR]\n");
+    std::fprintf(stderr,
+                 "usage: wats_plot SWEEP.csv [--outdir DIR]\n"
+                 "       wats_plot --gantt TRACE.json [--width N]\n");
     return 2;
   }
   const std::string in_path = args.positional().front();

@@ -1,0 +1,331 @@
+// wats_trace: inspect and combine Chrome/Perfetto trace-event JSON files
+// produced by the runtime's event rings and the simulator's TraceRecorder
+// (one format, two producers — see docs/OBSERVABILITY.md).
+//
+// Subcommands (first positional argument):
+//   summarize <trace.json>            per-track busy time + event counts
+//   merge <a.json> <b.json> ...       one file, one pid per input
+//   convert <trace.json>              parse, validate, re-emit normalized
+// Common flags: --out=<file> (default stdout for merge/convert).
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <vector>
+
+#include "obs/json.hpp"
+#include "util/args.hpp"
+#include "util/check.hpp"
+
+namespace {
+
+using wats::obs::JsonValue;
+
+std::string read_file(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  WATS_CHECK_MSG(in.good(), "cannot open input file");
+  std::ostringstream buf;
+  buf << in.rdbuf();
+  return buf.str();
+}
+
+void write_output(const std::string& out_path, const std::string& text) {
+  if (out_path.empty()) {
+    std::fwrite(text.data(), 1, text.size(), stdout);
+    return;
+  }
+  std::ofstream out(out_path, std::ios::binary);
+  WATS_CHECK_MSG(out.good(), "cannot open output file");
+  out << text;
+}
+
+std::unique_ptr<JsonValue> parse_trace(const std::string& path) {
+  std::string error;
+  auto doc = wats::obs::parse_json(read_file(path), &error);
+  if (!doc) {
+    std::fprintf(stderr, "%s: JSON parse error: %s\n", path.c_str(),
+                 error.c_str());
+    std::exit(1);
+  }
+  if (doc->find("traceEvents") == nullptr ||
+      doc->find("traceEvents")->type() != JsonValue::Type::kArray) {
+    std::fprintf(stderr, "%s: not a trace-event file (no traceEvents)\n",
+                 path.c_str());
+    std::exit(1);
+  }
+  return doc;
+}
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Re-serialize a parsed value (numbers print with up-to-µs precision —
+/// enough for trace timestamps, which the exporters write with 3 decimal
+/// digits to begin with).
+void render(const JsonValue& v, std::string& out) {
+  switch (v.type()) {
+    case JsonValue::Type::kNull:
+      out += "null";
+      break;
+    case JsonValue::Type::kBool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case JsonValue::Type::kNumber: {
+      char buf[40];
+      const double n = v.as_number();
+      if (n == static_cast<double>(static_cast<long long>(n))) {
+        std::snprintf(buf, sizeof(buf), "%lld",
+                      static_cast<long long>(n));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.3f", n);
+      }
+      out += buf;
+      break;
+    }
+    case JsonValue::Type::kString:
+      out += '"';
+      out += json_escape(v.as_string());
+      out += '"';
+      break;
+    case JsonValue::Type::kArray: {
+      out += '[';
+      const auto& items = v.as_array();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out += ',';
+        render(items[i], out);
+      }
+      out += ']';
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      out += '{';
+      const auto& members = v.members();
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i > 0) out += ',';
+        out += '"';
+        out += json_escape(members[i].first);
+        out += "\":";
+        render(members[i].second, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+/// Render one event, overriding its pid (merge assigns one pid per input).
+void render_event(const JsonValue& event, int pid_override,
+                  std::string& out) {
+  out += '{';
+  bool first = true;
+  bool saw_pid = false;
+  for (const auto& [key, value] : event.members()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(key);
+    out += "\":";
+    if (key == "pid" && pid_override >= 0) {
+      out += std::to_string(pid_override);
+      saw_pid = true;
+    } else {
+      render(value, out);
+    }
+  }
+  if (!saw_pid && pid_override >= 0) {
+    if (!first) out += ',';
+    out += "\"pid\":" + std::to_string(pid_override);
+  }
+  out += '}';
+}
+
+int cmd_summarize(const std::string& path) {
+  const auto doc = parse_trace(path);
+  const auto& events = doc->find("traceEvents")->as_array();
+
+  std::size_t slices = 0;
+  std::size_t instants = 0;
+  std::size_t metadata = 0;
+  double t_min = 0.0;
+  double t_max = 0.0;
+  bool any_ts = false;
+  std::map<int, std::string> track_names;  // tid -> label
+  std::map<int, double> track_busy_us;
+  std::map<int, std::size_t> track_slices;
+  std::map<std::string, std::size_t> by_name;
+
+  for (const auto& e : events) {
+    const std::string ph = e.string_or("ph", "");
+    const int tid = static_cast<int>(e.number_or("tid", 0));
+    if (ph == "M") {
+      ++metadata;
+      if (e.string_or("name", "") == "thread_name") {
+        if (const auto* args = e.find("args")) {
+          track_names[tid] = args->string_or("name", "");
+        }
+      }
+      continue;
+    }
+    const double ts = e.number_or("ts", 0.0);
+    const double dur = e.number_or("dur", 0.0);
+    if (!any_ts || ts < t_min) t_min = ts;
+    if (!any_ts || ts + dur > t_max) t_max = ts + dur;
+    any_ts = true;
+    ++by_name[e.string_or("name", "?")];
+    if (ph == "X") {
+      ++slices;
+      track_busy_us[tid] += dur;
+      ++track_slices[tid];
+    } else {
+      ++instants;
+    }
+  }
+
+  std::printf("%s: %zu events (%zu slices, %zu instants, %zu metadata)\n",
+              path.c_str(), events.size(), slices, instants, metadata);
+  if (any_ts) {
+    std::printf("span: %.3f ms\n", (t_max - t_min) / 1000.0);
+  }
+  if (!track_busy_us.empty()) {
+    std::printf("tracks:\n");
+    for (const auto& [tid, busy] : track_busy_us) {
+      const auto it = track_names.find(tid);
+      std::printf("  %-28s %6zu slices, busy %10.3f us\n",
+                  it != track_names.end() ? it->second.c_str()
+                                          : ("tid " + std::to_string(tid))
+                                                .c_str(),
+                  track_slices[tid], busy);
+    }
+  }
+  std::printf("event counts by name:\n");
+  std::vector<std::pair<std::string, std::size_t>> sorted(by_name.begin(),
+                                                          by_name.end());
+  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
+    return a.second > b.second;
+  });
+  for (const auto& [name, count] : sorted) {
+    std::printf("  %-28s %zu\n", name.c_str(), count);
+  }
+  return 0;
+}
+
+int cmd_merge(const std::vector<std::string>& paths,
+              const std::string& out_path) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < paths.size(); ++i) {
+    const auto doc = parse_trace(paths[i]);
+    for (const auto& e : doc->find("traceEvents")->as_array()) {
+      if (!first) out += ",\n";
+      first = false;
+      render_event(e, static_cast<int>(i), out);
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  write_output(out_path, out);
+  return 0;
+}
+
+int cmd_convert(const std::string& path, const std::string& out_path) {
+  const auto doc = parse_trace(path);
+  const auto& events = doc->find("traceEvents")->as_array();
+  // Normalize: shift timestamps so the earliest is 0 (merging traces from
+  // different epochs by hand becomes feasible after this).
+  double t_min = 0.0;
+  bool any = false;
+  for (const auto& e : events) {
+    if (e.string_or("ph", "") == "M") continue;
+    const double ts = e.number_or("ts", 0.0);
+    if (!any || ts < t_min) t_min = ts;
+    any = true;
+  }
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : events) {
+    if (!first) out += ",\n";
+    first = false;
+    out += '{';
+    bool first_key = true;
+    for (const auto& [key, value] : e.members()) {
+      if (!first_key) out += ',';
+      first_key = false;
+      out += '"';
+      out += json_escape(key);
+      out += "\":";
+      if (key == "ts" && e.string_or("ph", "") != "M") {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.3f", value.as_number() - t_min);
+        out += buf;
+      } else {
+        render(value, out);
+      }
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  write_output(out_path, out);
+  return 0;
+}
+
+void usage() {
+  std::fprintf(stderr,
+               "usage: wats_trace <summarize|merge|convert> <trace.json...>"
+               " [--out=FILE]\n");
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  wats::util::Args args(argc, argv);
+  const auto& pos = args.positional();
+  if (pos.empty()) {
+    usage();
+    return 2;
+  }
+  const std::string cmd = pos[0];
+  const std::string out = args.value_or("out", "");
+  if (cmd == "summarize" && pos.size() == 2) {
+    return cmd_summarize(pos[1]);
+  }
+  if (cmd == "merge" && pos.size() >= 2) {
+    return cmd_merge({pos.begin() + 1, pos.end()}, out);
+  }
+  if (cmd == "convert" && pos.size() == 2) {
+    return cmd_convert(pos[1], out);
+  }
+  usage();
+  return 2;
+}
