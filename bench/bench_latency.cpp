@@ -1,19 +1,112 @@
-// Scheduling-latency analysis (extension): per-class task wait times
-// (spawn -> execution start) for the pipeline benchmarks, comparing Cilk
-// and WATS. Makespan is the paper's metric; for a service-style pipeline
-// the per-stage queueing delay is what a user feels, and WATS's class
-// affinity changes its distribution.
+// Scheduling-latency analysis (extension), two parts:
+//
+// 1. REAL-RUNTIME dispatch latency, before/after the sleep/wake protocol
+//    change. The "before" mode re-enables the original idle loop via
+//    RuntimeConfig::legacy_idle_poll (a 200 µs timed poll whose notify has
+//    no sleeper accounting): a spawn landing between a worker's failed
+//    scan and its wait is missed until the timeout fires, flooring tail
+//    dispatch latency at the poll period. The ping-pong below lands spawns
+//    in exactly that window — wait_all() wakes the producer at the same
+//    moment the worker transitions from its failed scan to its wait — so
+//    the legacy tail shows the floor and the eventcount protocol's does
+//    not.
+//
+// 2. The original per-class task wait times (spawn -> execution start)
+//    for the simulated pipeline benchmarks, comparing Cilk and WATS.
+#include <algorithm>
+#include <atomic>
+#include <chrono>
 #include <cstdio>
+#include <vector>
 
 #include "bench_common.hpp"
+#include "runtime/runtime.hpp"
 
 using namespace wats;
 
+namespace {
+
+struct DispatchStats {
+  double p50_us = 0;
+  double p99_us = 0;
+  double p999_us = 0;
+  double max_us = 0;
+};
+
+DispatchStats dispatch_latency(std::chrono::microseconds legacy_poll) {
+  runtime::RuntimeConfig cfg;
+  cfg.topology = core::AmcTopology("lat", {{1.0, 1}});
+  cfg.policy = runtime::Policy::kPft;
+  cfg.emulate_speeds = false;
+  cfg.legacy_idle_poll = legacy_poll;
+  runtime::TaskRuntime rt(cfg);
+  const auto cls = rt.register_class("ping");
+
+  constexpr int kWarmup = 100;
+  constexpr int kSamples = 4000;
+  std::vector<double> samples;
+  samples.reserve(kSamples);
+  const auto epoch = std::chrono::steady_clock::now();
+  for (int i = 0; i < kWarmup + kSamples; ++i) {
+    std::atomic<std::int64_t> started_ns{0};
+    const auto t0 = std::chrono::steady_clock::now();
+    rt.spawn(cls, [&started_ns, epoch] {
+      started_ns.store(
+          std::chrono::duration_cast<std::chrono::nanoseconds>(
+              std::chrono::steady_clock::now() - epoch)
+              .count(),
+          std::memory_order_release);
+    });
+    rt.wait_all();
+    if (i >= kWarmup) {
+      const auto spawn_ns =
+          std::chrono::duration_cast<std::chrono::nanoseconds>(t0 - epoch)
+              .count();
+      samples.push_back(
+          static_cast<double>(started_ns.load(std::memory_order_acquire) -
+                              spawn_ns) /
+          1000.0);
+    }
+  }
+  std::sort(samples.begin(), samples.end());
+  DispatchStats s;
+  s.p50_us = samples[samples.size() / 2];
+  s.p99_us = samples[(samples.size() * 99) / 100];
+  s.p999_us = samples[(samples.size() * 999) / 1000];
+  s.max_us = samples.back();
+  return s;
+}
+
+void run_dispatch_section() {
+  util::TextTable t(
+      {"idle protocol", "p50 us", "p99 us", "p99.9 us", "max us"});
+  const auto legacy = dispatch_latency(std::chrono::microseconds(200));
+  t.add_row({"legacy 200us poll (before)",
+             util::TextTable::num(legacy.p50_us, 1),
+             util::TextTable::num(legacy.p99_us, 1),
+             util::TextTable::num(legacy.p999_us, 1),
+             util::TextTable::num(legacy.max_us, 1)});
+  const auto eventcount = dispatch_latency(std::chrono::microseconds(0));
+  t.add_row({"eventcount park/unpark (after)",
+             util::TextTable::num(eventcount.p50_us, 1),
+             util::TextTable::num(eventcount.p99_us, 1),
+             util::TextTable::num(eventcount.p999_us, 1),
+             util::TextTable::num(eventcount.max_us, 1)});
+  bench::print_table(
+      "Real-runtime dispatch latency — spawn to task start, 1-core "
+      "ping-pong, 4000 samples",
+      t);
+}
+
+}  // namespace
+
 int main() {
-  std::printf("WATS reproduction — per-class scheduling latency (pipelines)\n");
+  std::printf("WATS reproduction — scheduling latency\n");
+
+  run_dispatch_section();
+
   const std::vector<sim::SchedulerKind> kinds{sim::SchedulerKind::kCilk,
                                               sim::SchedulerKind::kWats};
-
   for (const char* bench : {"Dedup", "Ferret"}) {
     const auto& spec = workloads::benchmark_by_name(bench);
     const auto topo = core::amc_by_name("AMC5");

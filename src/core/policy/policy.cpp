@@ -2,6 +2,7 @@
 
 #include <vector>
 
+#include "core/preference.hpp"
 #include "util/check.hpp"
 
 namespace wats::core::policy {
@@ -27,6 +28,15 @@ std::string to_string(PolicyKind kind) {
   }
   WATS_CHECK_MSG(false, "unknown policy kind");
   __builtin_unreachable();
+}
+
+std::vector<GroupIndex> PolicyKernel::wake_order(GroupIndex lane) const {
+  // Default: §III-B's preference list anchored at the lane the work landed
+  // on — the lane's own group first, then slower groups, then faster ones
+  // in decreasing distance. Single-lane policies (lane 0) therefore wake
+  // the fastest group first, which is also the §III-A rule for work with
+  // no cluster affinity.
+  return preference_list(lane, topology().group_count());
 }
 
 void PolicyKernel::fill_group_load(MachineView& view,

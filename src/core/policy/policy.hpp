@@ -16,6 +16,7 @@
 #include <memory>
 #include <optional>
 #include <string>
+#include <vector>
 
 #include "core/cluster.hpp"
 #include "core/policy/view.hpp"
@@ -173,6 +174,19 @@ class PolicyKernel {
     (void)cls;
     return 0;
   }
+
+  /// Preferred order of c-groups to WAKE an idle core for new work placed
+  /// on task-cluster lane `lane` — Algorithm 3's scan order seen from the
+  /// waker's side: the groups whose preference list reaches `lane`
+  /// earliest come first, i.e. {C_i, C_i+1, ..., C_k, C_i-1, ..., C_1}
+  /// for a task on lane i. Backends with sleeping cores (the real-thread
+  /// runtime's parking lot) use this to wake ONE well-chosen worker
+  /// instead of all of them; keeping the hook on the kernel means wake
+  /// targeting can never diverge from the steal preference the woken core
+  /// will scan with. Valid after bind(). Policies that restrict stealing
+  /// (WATS-NP) override this to exclude groups that could never acquire
+  /// the lane's work.
+  virtual std::vector<GroupIndex> wake_order(GroupIndex lane) const;
 
   /// Attach (or detach, with nullptr) a decision sink: every subsequent
   /// placement / acquisition / snatch / DNC-flip / recluster decision

@@ -219,6 +219,16 @@ class WatsPolicy : public PolicyKernel {
     return map_.load(std::memory_order_acquire)->cluster_of(cls);
   }
 
+  std::vector<GroupIndex> wake_order(GroupIndex lane) const override {
+    // WATS-NP never steals across clusters, so waking another group's
+    // core for this lane would be a guaranteed spurious wakeup: only the
+    // lane's own group can acquire the work. (Under the §IV-E fallback
+    // any group scans any lane, and a group-`lane` worker still reaches
+    // the task, so the restriction stays safe.)
+    if (!cross_cluster_) return {lane};
+    return prefs_[lane];
+  }
+
  private:
   /// Emit a kDncFlip record on every engaged<->released transition. Only
   /// called under decisions_traced(); the exchange makes concurrent

@@ -166,6 +166,15 @@ std::string perfetto_from_events(
         args << "{\"count\":" << e.arg << ",\"lane\":" << +e.lane << "}";
         w.instant(kPid, tid, to_string(e.kind), "sched", ts, args.str());
         break;
+      case EventKind::kPark:
+      case EventKind::kUnpark:
+      case EventKind::kWake:
+        // Sleep/wake protocol: park carries the eventcount ticket, unpark
+        // whether a wake (vs a snatch-poll timeout) ended the sleep, wake
+        // the c-group whose sleeper the spawner chose.
+        args << "{\"arg\":" << e.arg << ",\"lane\":" << +e.lane << "}";
+        w.instant(kPid, tid, to_string(e.kind), "sched", ts, args.str());
+        break;
     }
   }
 

@@ -31,9 +31,12 @@ enum class EventKind : std::uint8_t {
   kSnatch,            ///< arg = victim core (speed-swap succeeded)
   kRecluster,         ///< arg = total reclusters so far (helper thread)
   kIdleSpin,          ///< arg = coalesced count of consecutive empty rounds
+  kPark,              ///< arg = eventcount ticket the worker parked with
+  kUnpark,            ///< arg = 1 woken by a wake, 0 timed out (snatch poll)
+  kWake,              ///< arg = c-group whose sleeper the spawn woke
 };
 
-inline constexpr std::size_t kEventKindCount = 8;
+inline constexpr std::size_t kEventKindCount = 11;
 
 inline const char* to_string(EventKind kind) {
   switch (kind) {
@@ -53,6 +56,12 @@ inline const char* to_string(EventKind kind) {
       return "recluster";
     case EventKind::kIdleSpin:
       return "idle_spin";
+    case EventKind::kPark:
+      return "park";
+    case EventKind::kUnpark:
+      return "unpark";
+    case EventKind::kWake:
+      return "wake";
   }
   return "?";
 }

@@ -1,0 +1,110 @@
+#include "runtime/parking_lot.hpp"
+
+namespace wats::runtime {
+
+ParkingLot::ParkingLot(std::size_t group_count) {
+  cells_.reserve(group_count);
+  for (std::size_t g = 0; g < group_count; ++g) {
+    cells_.push_back(std::make_unique<Cell>());
+  }
+}
+
+std::uint64_t ParkingLot::prepare_park(std::size_t group) {
+  Cell& cell = *cells_[group];
+  std::lock_guard lock(cell.mu);
+  ++cell.waiters;
+  return cell.epoch;
+}
+
+void ParkingLot::cancel_park(std::size_t group) {
+  Cell& cell = *cells_[group];
+  std::lock_guard lock(cell.mu);
+  --cell.waiters;
+  // A wake already claimed for us stays claimable by the next parker
+  // (it will wake spuriously and re-scan), but signals must never exceed
+  // waiters or unpark_one would skip a registry with a live sleeper.
+  if (cell.signals > cell.waiters) cell.signals = cell.waiters;
+}
+
+void ParkingLot::park(std::size_t group, std::uint64_t ticket) {
+  Cell& cell = *cells_[group];
+  std::unique_lock lock(cell.mu);
+  cell.cv.wait(lock, [&] {
+    return cell.signals > 0 || cell.epoch != ticket;
+  });
+  if (cell.signals > 0) --cell.signals;
+  --cell.waiters;
+}
+
+bool ParkingLot::park_for(std::size_t group, std::uint64_t ticket,
+                          std::chrono::microseconds timeout) {
+  Cell& cell = *cells_[group];
+  std::unique_lock lock(cell.mu);
+  const bool woken = cell.cv.wait_for(lock, timeout, [&] {
+    return cell.signals > 0 || cell.epoch != ticket;
+  });
+  if (cell.signals > 0) --cell.signals;
+  --cell.waiters;
+  return woken;
+}
+
+std::size_t ParkingLot::unpark_one(const std::vector<std::size_t>& order) {
+  for (const std::size_t g : order) {
+    Cell& cell = *cells_[g];
+    bool claimed = false;
+    {
+      std::lock_guard lock(cell.mu);
+      ++cell.epoch;
+      // Claim a sleeper slot on the waker side: once every announced
+      // sleeper of this cell has a pending signal, further notifies here
+      // would be absorbed — move on and wake the next group instead.
+      if (cell.waiters > cell.signals) {
+        ++cell.signals;
+        claimed = true;
+      }
+    }
+    if (claimed) {
+      cell.cv.notify_one();
+      return g;
+    }
+  }
+  return kNone;
+}
+
+void ParkingLot::unpark_all() {
+  for (const auto& cell : cells_) {
+    {
+      std::lock_guard lock(cell->mu);
+      ++cell->epoch;
+      cell->signals = cell->waiters;
+    }
+    cell->cv.notify_all();
+  }
+}
+
+void ParkingLot::legacy_poll(std::size_t group,
+                             std::chrono::microseconds timeout) {
+  Cell& cell = *cells_[group];
+  std::unique_lock lock(cell.mu);
+  cell.cv.wait_for(lock, timeout);
+}
+
+void ParkingLot::legacy_notify_all() {
+  for (const auto& cell : cells_) {
+    cell->cv.notify_all();
+  }
+}
+
+std::uint64_t ParkingLot::epoch(std::size_t group) const {
+  const Cell& cell = *cells_[group];
+  std::lock_guard lock(cell.mu);
+  return cell.epoch;
+}
+
+std::uint64_t ParkingLot::sleepers(std::size_t group) const {
+  const Cell& cell = *cells_[group];
+  std::lock_guard lock(cell.mu);
+  return cell.waiters;
+}
+
+}  // namespace wats::runtime

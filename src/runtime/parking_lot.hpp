@@ -1,0 +1,155 @@
+// Eventcount-style sleeper protocol for the real-thread runtime.
+//
+// The old idle loop hid a family of lost-wakeup bugs behind a global
+// 200 µs `wait_for` poll: enqueue() notified a condition variable with no
+// sleeper accounting, so a task posted between a worker's failed acquire
+// scan and its wait was simply missed until the timeout fired — dispatch
+// latency floored at the poll period and every spawn paid a
+// thundering-herd notify_all. The ParkingLot replaces that with a
+// per-c-group sleeper registry ("cell") and an explicit handshake:
+//
+//   sleeper                                waker (enqueue)
+//   -------                                ---------------
+//   1. acquire scan fails                  1. push task
+//   2. prepare_park(): lock own cell,      2. unpark_one(order): for each
+//      waiters++, unlock; ticket =            cell in the policy's wake-
+//      cell epoch                             preference order: lock it,
+//   3. RE-SCAN for work                       epoch++; if it has an
+//      found  -> cancel_park(), run it        unclaimed sleeper
+//      none   -> park(ticket): block          (waiters > signals) then
+//      until signalled or the cell             signals++, notify ONE,
+//      epoch moves past ticket                 stop — else next cell
+//
+// Two bugs this shape closes:
+//
+// * Lost wakeup. The sleeper registers (waiters++) BEFORE its re-scan,
+//   and the waker pushes BEFORE it walks the cells, with every step under
+//   the cell mutex. For any cell the waker visits, the mutex gives a
+//   total order against that cell's sleepers: if the waker's visit came
+//   first, the sleeper's later re-scan happens-after the push and finds
+//   the task (or try_acquire reports `saw_work` and the park is
+//   cancelled); if the sleeper registered first, the waker sees
+//   waiters > signals and wakes it. If the waker instead stopped early
+//   because an earlier cell in the order had a sleeper, that sleeper was
+//   woken and its own re-scan covers the task. Either the work is seen
+//   or a worker is woken — never neither.
+//
+// * Absorbed notify. Waking is accounted on the WAKER side: unpark_one
+//   claims a sleeper slot (signals++) under the lock, so a burst of N
+//   spawns wakes N DISTINCT sleepers — it never keeps notifying a cell
+//   whose sleepers were already claimed but have not yet been scheduled
+//   by the OS (those notifies would be silently absorbed and other
+//   groups' sleepers would be left asleep).
+//
+// The epoch is per cell, not global: it only advances when a waker
+// actually visited that cell, so a parked worker whose lane sees no
+// traffic is not spuriously churned by unrelated spawns (WATS-NP wakes
+// only the task's own group — its workers must not busy-wake on other
+// lanes' activity). A stale ticket makes park() refuse to block, closing
+// the window between the re-scan and the wait.
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <vector>
+
+namespace wats::runtime {
+
+/// One PAUSE/YIELD hint to the core's pipeline — the body of the bounded
+/// exponential spin a worker runs before it commits to parking.
+inline void cpu_relax() noexcept {
+#if defined(__x86_64__) || defined(__i386__)
+  __builtin_ia32_pause();
+#elif defined(__aarch64__)
+  asm volatile("yield" ::: "memory");
+#else
+  std::atomic_signal_fence(std::memory_order_seq_cst);
+#endif
+}
+
+class ParkingLot {
+ public:
+  /// Returned by unpark_one when no group had a sleeper to wake.
+  static constexpr std::size_t kNone = static_cast<std::size_t>(-1);
+
+  explicit ParkingLot(std::size_t group_count);
+
+  ParkingLot(const ParkingLot&) = delete;
+  ParkingLot& operator=(const ParkingLot&) = delete;
+
+  // ---- sleeper side (the worker threads) ----
+
+  /// Announce intent to sleep in `group`'s registry and capture the cell's
+  /// epoch ticket. MUST be followed by a full re-scan for work and then
+  /// exactly one of cancel_park() (work found / shutting down) or park()/
+  /// park_for() with the returned ticket.
+  std::uint64_t prepare_park(std::size_t group);
+
+  /// Withdraw a prepare_park() announcement without sleeping.
+  void cancel_park(std::size_t group);
+
+  /// Block until a waker claims this sleeper (signal) or the cell's epoch
+  /// moves past `ticket`. Consumes the announcement.
+  void park(std::size_t group, std::uint64_t ticket);
+
+  /// park() with a deadline: returns true when woken, false on timeout.
+  /// Consumes the announcement either way. Used by snatch-capable
+  /// policies, which must keep scanning for busy slower victims even when
+  /// no queue ever fills.
+  bool park_for(std::size_t group, std::uint64_t ticket,
+                std::chrono::microseconds timeout);
+
+  // ---- waker side (enqueue / shutdown) ----
+
+  /// Wake ONE sleeper, visiting the per-group registries in `order` (the
+  /// policy's wake preference for the lane the new task landed on): bump
+  /// each visited cell's epoch, claim and notify the first unclaimed
+  /// sleeper found. Returns the group whose sleeper was woken, or kNone
+  /// when every visited registry was empty (all candidate workers awake —
+  /// the task will be found by their scans).
+  std::size_t unpark_one(const std::vector<std::size_t>& order);
+
+  /// Wake every sleeper in every group (shutdown).
+  void unpark_all();
+
+  // ---- legacy polling emulation (benchmark escape hatch) ----
+
+  /// The PRE-eventcount idle protocol, kept so bench_latency can measure
+  /// the lost-wakeup latency floor this class removes: a plain timed wait
+  /// with no sleeper accounting and no epoch recheck...
+  void legacy_poll(std::size_t group, std::chrono::microseconds timeout);
+
+  /// ...paired with a plain notify_all that a not-yet-waiting poller
+  /// misses — the original bug, reproduced on purpose.
+  void legacy_notify_all();
+
+  // ---- introspection (tests / diagnostics) ----
+
+  /// Wakes routed through `group`'s registry so far.
+  std::uint64_t epoch(std::size_t group) const;
+  /// Workers currently announced (parked or about to park) in `group`.
+  std::uint64_t sleepers(std::size_t group) const;
+  std::size_t group_count() const { return cells_.size(); }
+
+ private:
+  /// Per-c-group sleeper registry. Cache-line aligned and individually
+  /// heap-allocated so one group's wake traffic does not false-share with
+  /// its neighbours'. All counters are guarded by `mu` — parking is by
+  /// definition off the hot path, and the mutex is what makes the
+  /// waker/sleeper handshake a total order per cell.
+  struct alignas(64) Cell {
+    mutable std::mutex mu;
+    std::condition_variable cv;
+    std::uint64_t epoch = 0;    ///< bumped on every waker visit
+    std::uint64_t waiters = 0;  ///< announced sleepers (prepare_park)
+    std::uint64_t signals = 0;  ///< claimed-but-not-yet-woken sleepers
+  };
+
+  std::vector<std::unique_ptr<Cell>> cells_;
+};
+
+}  // namespace wats::runtime

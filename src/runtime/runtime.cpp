@@ -39,6 +39,17 @@ std::int64_t now_us() {
       .count();
 }
 
+/// Duty-cycle throttle owed for `dur_us` of execution at relative speed
+/// `scale`: a core at speed s sleeps (1/s - 1) x the time it computed, so
+/// wall clock behaves like s x F1. Speeds >= 1 owe nothing (the host
+/// cannot be made faster). Never negative — each piecewise segment can
+/// only ADD debt, which is what makes the accumulated throttle monotone
+/// under mid-task speed swaps.
+double throttle_penalty_us(double dur_us, double scale) {
+  if (scale >= 1.0 || dur_us <= 0.0) return 0.0;
+  return dur_us * (1.0 / scale - 1.0);
+}
+
 core::policy::PolicyKind to_policy_kind(Policy policy) {
   switch (policy) {
     case Policy::kCilk:
@@ -128,7 +139,8 @@ class TaskRuntime::View final : public core::policy::MachineView {
   Worker& self_;
 };
 
-TaskRuntime::TaskRuntime(RuntimeConfig config) : config_(std::move(config)) {
+TaskRuntime::TaskRuntime(RuntimeConfig config)
+    : config_(std::move(config)), lot_(config_.topology.group_count()) {
   kernel_ = core::policy::make_policy(to_policy_kind(config_.policy),
                                       registry_);
   core::policy::PolicyOptions opts;
@@ -139,6 +151,16 @@ TaskRuntime::TaskRuntime(RuntimeConfig config) : config_(std::move(config)) {
 
   const std::size_t n = config_.topology.total_cores();
   const std::size_t lanes = kernel_->lane_count();
+
+  // Wake preference per lane, frozen from the kernel before any spawn:
+  // the enqueue hot path indexes this instead of re-deriving the order.
+  wake_orders_.reserve(lanes);
+  for (std::size_t lane = 0; lane < lanes; ++lane) {
+    wake_orders_.push_back(kernel_->wake_order(lane));
+  }
+  wakeups_issued_ = &metrics_.counter("wakeups_issued");
+  spurious_wakeups_ = &metrics_.counter("spurious_wakeups");
+  throttle_sleep_us_ = &metrics_.counter("throttle_sleep_us");
 
   if constexpr (obs::kTraceCompiledIn) {
     if (config_.trace.enabled) {
@@ -185,13 +207,31 @@ TaskRuntime::TaskRuntime(RuntimeConfig config) : config_(std::move(config)) {
 }
 
 TaskRuntime::~TaskRuntime() {
-  wait_all();
+  // Drain WITHOUT rethrowing: wait_all() would rethrow a captured task
+  // exception out of a destructor and std::terminate the process. An
+  // exception still pending here is dropped — the caller chose not to
+  // call wait_all().
+  drain_quiet();
   stopping_.store(true, std::memory_order_release);
-  idle_cv_.notify_all();
+  lot_.unpark_all();
+  if (config_.legacy_idle_poll.count() > 0) lot_.legacy_notify_all();
   for (auto& w : workers_) {
     if (w->thread.joinable()) w->thread.join();
   }
+  {
+    // Taking the mutex orders the notify against a helper that read
+    // stopping_ as false but has not yet parked on helper_cv_.
+    std::lock_guard lock(helper_mu_);
+  }
+  helper_cv_.notify_all();
   if (helper_.joinable()) helper_.join();
+}
+
+void TaskRuntime::drain_quiet() {
+  std::unique_lock lock(done_mu_);
+  done_cv_.wait(lock, [this] {
+    return outstanding_.load(std::memory_order_acquire) == 0;
+  });
 }
 
 core::TaskClassId TaskRuntime::register_class(std::string_view name) {
@@ -213,7 +253,33 @@ void TaskRuntime::enqueue(TaskNode* node) {
     lane.q.push_back(node);
     lane.size.store(lane.q.size(), std::memory_order_relaxed);
   }
-  idle_cv_.notify_all();
+  if (config_.legacy_idle_poll.count() > 0) {
+    // Pre-eventcount behaviour (benchmark escape hatch): notify with no
+    // sleeper accounting — a worker between its failed scan and its timed
+    // wait misses this and sleeps the full poll period.
+    lot_.legacy_notify_all();
+    return;
+  }
+  // Eventcount publish: bump the epoch (so a worker that re-scanned
+  // before we pushed refuses to park) and wake ONE sleeper, preferring
+  // the groups Algorithm 3 sends to this lane first.
+  const std::size_t woken = lot_.unpark_one(wake_orders_[placement.lane]);
+  if (woken != ParkingLot::kNone) {
+    wakeups_issued_->add(1);
+    if constexpr (obs::kTraceCompiledIn) {
+      // Ring emission requires being the ring's single producer, so only
+      // worker-thread spawns trace kWake; external-thread wakes are still
+      // counted in wakeups_issued.
+      if (t_ctx.runtime == this) {
+        if (auto& ring = workers_[t_ctx.index]->ring) {
+          ring->emit(obs::EventKind::kWake,
+                     static_cast<std::uint16_t>(t_ctx.index),
+                     static_cast<std::uint8_t>(placement.lane),
+                     obs::kObsNoClass, static_cast<std::uint64_t>(woken));
+        }
+      }
+    }
+  }
 }
 
 void TaskRuntime::spawn(core::TaskClassId cls, std::function<void()> fn) {
@@ -237,7 +303,7 @@ void TaskRuntime::spawn(std::function<void()> fn) {
 
 bool TaskRuntime::wait_all_for(std::chrono::milliseconds timeout) {
   {
-    std::unique_lock lock(idle_mu_);
+    std::unique_lock lock(done_mu_);
     const bool drained = done_cv_.wait_for(lock, timeout, [this] {
       return outstanding_.load(std::memory_order_acquire) == 0;
     });
@@ -253,12 +319,7 @@ bool TaskRuntime::wait_all_for(std::chrono::milliseconds timeout) {
 }
 
 void TaskRuntime::wait_all() {
-  {
-    std::unique_lock lock(idle_mu_);
-    done_cv_.wait(lock, [this] {
-      return outstanding_.load(std::memory_order_acquire) == 0;
-    });
-  }
+  drain_quiet();
   std::exception_ptr pending;
   {
     std::lock_guard lock(exception_mu_);
@@ -267,7 +328,9 @@ void TaskRuntime::wait_all() {
   if (pending) std::rethrow_exception(pending);
 }
 
-TaskRuntime::TaskNode* TaskRuntime::try_acquire(std::size_t index) {
+TaskRuntime::TaskNode* TaskRuntime::try_acquire(std::size_t index,
+                                                bool* saw_work) {
+  if (saw_work != nullptr) *saw_work = false;
   Worker& me = *workers_[index];
   View view(*this, me);
   // Steal latency = from entering the acquire scan to a successful steal
@@ -308,6 +371,7 @@ TaskRuntime::TaskNode* TaskRuntime::try_acquire(std::size_t index) {
   for (std::size_t attempt = 0; attempt < attempts; ++attempt) {
     const auto decision = kernel_->acquire(view, index);
     if (!decision.has_value()) return nullptr;
+    if (saw_work != nullptr) *saw_work = true;
     switch (decision->action) {
       case core::policy::AcquireDecision::Action::kPopLocal:
         if (TaskNode* t = me.pools[decision->lane]->pop_bottom()) {
@@ -367,6 +431,17 @@ void TaskRuntime::execute(std::size_t index, TaskNode* node) {
   t_ctx.running_class = node->cls;
   me.running_cls.store(node->cls, std::memory_order_relaxed);
   me.run_started_us.store(now_us(), std::memory_order_relaxed);
+  // Under snatch-capable policies our speed_scale can change mid-task
+  // (try_speed_swap on another thread), so the duty-cycle throttle must
+  // be priced per constant-speed segment. Open the first segment before
+  // publishing `executing` — the release store orders it for the swapper.
+  const bool piecewise_throttle =
+      config_.emulate_speeds && kernel_->may_snatch();
+  if (piecewise_throttle) {
+    std::lock_guard lock(swap_mu_);
+    me.throttle_debt_us = 0.0;
+    me.segment_start_us = now_us();
+  }
   me.executing.store(true, std::memory_order_release);
 
   std::uint64_t begin_tsc = 0;
@@ -406,12 +481,32 @@ void TaskRuntime::execute(std::size_t index, TaskNode* node) {
 
   const std::chrono::duration<double, std::micro> exec_us = end - start;
 
-  const double scale = me.speed_scale.load(std::memory_order_relaxed);
-  if (config_.emulate_speeds && scale < 1.0) {
-    // Duty-cycle throttle: stretch wall time to work / speed.
-    const double extra = exec_us.count() * (1.0 / scale - 1.0);
-    std::this_thread::sleep_for(
-        std::chrono::duration<double, std::micro>(extra));
+  if (config_.emulate_speeds) {
+    double extra_us;
+    if (piecewise_throttle) {
+      // Close the final segment at the speed it ACTUALLY ran at and
+      // collect the debt the swap path accumulated. Pricing each segment
+      // at its contemporaneous scale means an RTS/WATS-TS speed swap
+      // mid-task can never retroactively re-price execution that already
+      // happened (the old code loaded speed_scale once, after the task
+      // ran, and throttled the whole execution at the final speed).
+      std::lock_guard lock(swap_mu_);
+      const double scale = me.speed_scale.load(std::memory_order_relaxed);
+      me.throttle_debt_us += throttle_penalty_us(
+          static_cast<double>(now_us() - me.segment_start_us), scale);
+      extra_us = me.throttle_debt_us;
+      me.throttle_debt_us = 0.0;
+    } else {
+      // Speed can only change between tasks here — one segment.
+      const double scale = me.speed_scale.load(std::memory_order_relaxed);
+      extra_us = throttle_penalty_us(exec_us.count(), scale);
+    }
+    if (extra_us > 0.0) {
+      // Duty-cycle throttle: stretch wall time to work / speed.
+      throttle_sleep_us_->add(static_cast<std::uint64_t>(extra_us));
+      std::this_thread::sleep_for(
+          std::chrono::duration<double, std::micro>(extra_us));
+    }
   }
 
   // Algorithm 2 / Eq. 2: measured time on this core, normalized by
@@ -445,7 +540,7 @@ void TaskRuntime::execute(std::size_t index, TaskNode* node) {
   }
   delete node;
   if (outstanding_.fetch_sub(1, std::memory_order_acq_rel) == 1) {
-    std::lock_guard lock(idle_mu_);
+    std::lock_guard lock(done_mu_);
     done_cv_.notify_all();
   }
 }
@@ -466,6 +561,14 @@ bool TaskRuntime::try_speed_swap(std::size_t thief) {
       victim.speed_scale.load(std::memory_order_relaxed);
   if (!victim.executing.load(std::memory_order_acquire)) return false;
   if (victim_scale >= my_scale) return false;
+  // Fold the victim's open constant-speed segment into its throttle debt
+  // at the speed it ran so far, then start a fresh segment at the swapped
+  // speed: the throttle is accumulated piecewise, never re-priced.
+  const std::int64_t swap_at_us = now_us();
+  victim.throttle_debt_us += throttle_penalty_us(
+      static_cast<double>(swap_at_us - victim.segment_start_us),
+      victim_scale);
+  victim.segment_start_us = swap_at_us;
   // Swap the emulated speeds: the victim's running task continues at our
   // (faster) rate; we inherit the slow slot — the paper's thread swap.
   victim.speed_scale.store(my_scale, std::memory_order_relaxed);
@@ -499,8 +602,23 @@ void TaskRuntime::worker_loop(std::size_t index) {
   }
 #endif
   Worker& me = *workers_[index];
+  const std::size_t my_group = me.group;
+  // Spin-then-park backoff: after a failed scan, spin (with `pause`) for
+  // a bounded, exponentially growing number of rounds before registering
+  // in the parking lot — steals stay hot when work arrives within a few
+  // microseconds, but a truly idle core reaches a real sleep instead of
+  // burning its power budget (or a 200 µs poll) forever.
+  constexpr std::uint32_t kSpinRounds = 6;
+  // Snatch-capable policies cannot park unboundedly while tasks run
+  // elsewhere: no enqueue ever announces a snatch opportunity, so they
+  // sleep in bounded slices and re-scan for busy slower victims.
+  constexpr std::chrono::microseconds kSnatchPoll{100};
+  std::uint32_t spins = 0;
+  bool just_woken = false;
   while (true) {
     if (TaskNode* node = try_acquire(index)) {
+      spins = 0;
+      just_woken = false;
       execute(index, node);
       continue;
     }
@@ -508,13 +626,75 @@ void TaskRuntime::worker_loop(std::size_t index) {
     if constexpr (obs::kTraceCompiledIn) {
       if (me.ring) ++me.idle_streak;  // coalesced; flushed in execute()
     }
-    if (kernel_->may_snatch() && config_.emulate_speeds &&
-        outstanding_.load(std::memory_order_acquire) > 0) {
-      try_speed_swap(index);
+    if (just_woken) {
+      // Woken from a park but the scan came up dry: someone else got to
+      // the work first (or the wake raced a steal).
+      spurious_wakeups_->add(1);
+      just_woken = false;
     }
+    const bool snatchable =
+        kernel_->may_snatch() && config_.emulate_speeds &&
+        outstanding_.load(std::memory_order_acquire) > 0;
+    if (snatchable) try_speed_swap(index);
     if (stopping_.load(std::memory_order_acquire)) break;
-    std::unique_lock lock(idle_mu_);
-    idle_cv_.wait_for(lock, std::chrono::microseconds(200));
+    if (config_.legacy_idle_poll.count() > 0) {
+      // Benchmark escape hatch: the pre-eventcount timed poll, lost
+      // wakeups and all (see RuntimeConfig::legacy_idle_poll).
+      lot_.legacy_poll(my_group, config_.legacy_idle_poll);
+      continue;
+    }
+    if (spins < kSpinRounds) {
+      for (std::uint32_t i = 0; i < (8u << spins); ++i) cpu_relax();
+      ++spins;
+      continue;
+    }
+    // Park: announce intent, RE-VALIDATE, then sleep. The re-scan between
+    // prepare_park and park closes the lost-wakeup window — an enqueue
+    // that raced our first scan either becomes visible to this scan or
+    // bumps the lot's epoch past our ticket, so park() refuses to block.
+    const std::uint64_t ticket = lot_.prepare_park(my_group);
+    if (stopping_.load(std::memory_order_acquire)) {
+      lot_.cancel_park(my_group);
+      break;
+    }
+    bool saw_work = false;
+    if (TaskNode* node = try_acquire(index, &saw_work)) {
+      lot_.cancel_park(my_group);
+      spins = 0;
+      execute(index, node);
+      continue;
+    }
+    if (saw_work) {
+      // The kernel proposed sources but every acquisition lost a race
+      // (e.g. a transiently contended steal). Work is still reachable and
+      // nobody will wake us for it — retry instead of sleeping.
+      lot_.cancel_park(my_group);
+      continue;
+    }
+    if constexpr (obs::kTraceCompiledIn) {
+      if (me.ring) {
+        me.ring->emit(obs::EventKind::kPark,
+                      static_cast<std::uint16_t>(index),
+                      static_cast<std::uint8_t>(my_group), obs::kObsNoClass,
+                      ticket);
+      }
+    }
+    bool woken = true;
+    if (snatchable) {
+      woken = lot_.park_for(my_group, ticket, kSnatchPoll);
+    } else {
+      lot_.park(my_group, ticket);
+    }
+    if constexpr (obs::kTraceCompiledIn) {
+      if (me.ring) {
+        me.ring->emit(obs::EventKind::kUnpark,
+                      static_cast<std::uint16_t>(index),
+                      static_cast<std::uint8_t>(my_group), obs::kObsNoClass,
+                      woken ? 1 : 0);
+      }
+    }
+    just_woken = woken;
+    if (woken) spins = 0;  // a wake means work: earn the spin budget back
   }
   if constexpr (obs::kTraceCompiledIn) {
     if (me.ring && me.idle_streak > 0) {
@@ -528,10 +708,9 @@ void TaskRuntime::worker_loop(std::size_t index) {
 }
 
 void TaskRuntime::helper_loop() {
-  while (!stopping_.load(std::memory_order_acquire)) {
-    std::this_thread::sleep_for(config_.helper_period);
-    // Algorithm 1 re-run: the kernel rebuilds and RCU-publishes the
-    // class->cluster map iff new completions arrived.
+  // Algorithm 1 re-run: the kernel rebuilds and RCU-publishes the
+  // class->cluster map iff new completions arrived.
+  const auto recluster_tick = [this] {
     if (kernel_->maybe_recluster()) {
       const auto total = reclusters_.fetch_add(1, std::memory_order_relaxed);
       if constexpr (obs::kTraceCompiledIn) {
@@ -544,7 +723,24 @@ void TaskRuntime::helper_loop() {
         }
       }
     }
+  };
+  // Park on the condvar instead of a blind sleep: the destructor's
+  // stopping_ + notify ends the wait immediately, so shutdown no longer
+  // stalls up to a full helper_period.
+  std::unique_lock lock(helper_mu_);
+  while (!helper_cv_.wait_for(lock, config_.helper_period, [this] {
+    return stopping_.load(std::memory_order_acquire);
+  })) {
+    lock.unlock();
+    recluster_tick();
+    lock.lock();
   }
+  lock.unlock();
+  // Final sweep: completions that landed after the last tick (e.g. the
+  // run's tail finishing right before destruction) still reach the class
+  // history and the published map — class_history() after shutdown is
+  // complete.
+  recluster_tick();
 }
 
 RuntimeStats TaskRuntime::stats() const {

@@ -45,6 +45,7 @@
 #include "obs/metrics.hpp"
 #include "obs/ring.hpp"
 #include "obs/trace_event.hpp"
+#include "runtime/parking_lot.hpp"
 #include "runtime/wsdeque.hpp"
 #include "util/rng.hpp"
 
@@ -98,6 +99,12 @@ struct RuntimeConfig {
   double dnc_threshold = 0.5;
   std::uint64_t dnc_min_spawns = 64;
   std::uint64_t seed = 0x5EEDu;
+  /// A/B benchmarking escape hatch: when nonzero, idle workers use the
+  /// PRE-eventcount protocol (a plain timed poll at this period, spawns
+  /// notify without sleeper accounting), which exhibits the lost-wakeup
+  /// dispatch-latency floor the parking lot removes. bench_latency sets
+  /// this to 200 µs for its "before" column; leave at zero otherwise.
+  std::chrono::microseconds legacy_idle_poll{0};
   TraceOptions trace;
 };
 
@@ -248,6 +255,16 @@ class TaskRuntime {
     std::atomic<core::TaskClassId> running_cls{core::kNoTaskClass};
     std::atomic<std::int64_t> run_started_us{0};
 
+    /// Piecewise duty-cycle throttle accounting (guarded by swap_mu_;
+    /// only written while `executing` under a snatch-capable policy): the
+    /// throttle debt accumulated by the RUNNING task's finished
+    /// constant-speed segments, and the wall-clock start of the current
+    /// segment. A speed swap folds the victim's open segment in at the
+    /// speed it actually ran at, so a mid-task swap never re-prices the
+    /// part of the execution that already happened.
+    double throttle_debt_us = 0.0;
+    std::int64_t segment_start_us = 0;
+
     /// Statistics, owner-written / stats()-read.
     alignas(64) std::atomic<std::uint64_t> executed{0};
     std::atomic<std::uint64_t> steals{0};
@@ -278,9 +295,18 @@ class TaskRuntime {
   void worker_loop(std::size_t index);
   void helper_loop();
   bool try_speed_swap(std::size_t thief);
-  TaskNode* try_acquire(std::size_t index);
+  /// One full kernel-driven acquire scan. When `saw_work` is non-null it
+  /// is set to true iff the kernel proposed at least one source this scan
+  /// (so a nullptr return with *saw_work == true means every proposal was
+  /// lost to a race, not that the machine is out of reachable work) —
+  /// the pre-park re-validation uses this to spin instead of sleeping on
+  /// transiently contended queues.
+  TaskNode* try_acquire(std::size_t index, bool* saw_work = nullptr);
   void execute(std::size_t index, TaskNode* node);
   void enqueue(TaskNode* node);
+  /// Drain to outstanding_ == 0 without consuming the captured exception
+  /// (the destructor's wait — rethrowing there would std::terminate).
+  void drain_quiet();
 
   RuntimeConfig config_;
   std::vector<std::unique_ptr<Worker>> workers_;
@@ -308,11 +334,27 @@ class TaskRuntime {
   std::mutex exception_mu_;
   std::exception_ptr first_exception_;
 
-  // Idle/wake coordination (used by spawns from the external thread and by
-  // wait_all).
-  std::mutex idle_mu_;
-  std::condition_variable idle_cv_;
+  // Sleep/wake protocol: idle workers park in the lot's per-c-group
+  // sleeper registries; enqueue() bumps the lot's epoch and wakes ONE
+  // sleeper following the kernel's wake-preference order for the lane the
+  // task landed on (wake_orders_[lane], precomputed at construction).
+  ParkingLot lot_;
+  std::vector<std::vector<std::size_t>> wake_orders_;
+
+  // Hot-path wakeup accounting (always on — one relaxed add per event).
+  obs::Counter* wakeups_issued_ = nullptr;
+  obs::Counter* spurious_wakeups_ = nullptr;
+  obs::Counter* throttle_sleep_us_ = nullptr;
+
+  // wait_all / wait_all_for completion signal.
+  std::mutex done_mu_;
   std::condition_variable done_cv_;
+
+  // Helper-thread pacing: parked on helper_cv_ for helper_period per
+  // tick, woken immediately by the destructor via stopping_ so shutdown
+  // never blocks a full period.
+  std::mutex helper_mu_;
+  std::condition_variable helper_cv_;
 
   std::thread helper_;
 };

@@ -1,7 +1,10 @@
 #include <gtest/gtest.h>
 
 #include <algorithm>
+#include <memory>
+#include <vector>
 
+#include "core/policy/policy.hpp"
 #include "core/preference.hpp"
 
 namespace wats::core {
@@ -64,6 +67,55 @@ TEST_P(PreferencePropertyTest, EveryListIsAPermutationStartingWithOwn) {
 
 INSTANTIATE_TEST_SUITE_P(Ks, PreferencePropertyTest,
                          ::testing::Values(1, 2, 3, 4, 5, 8, 16));
+
+// ---- PolicyKernel::wake_order — the waker-side mirror of Algorithm 3,
+// used by the runtime's parking lot to pick which c-group's sleeper a
+// fresh spawn should wake.
+
+std::unique_ptr<policy::PolicyKernel> bound_kernel(policy::PolicyKind kind,
+                                                   TaskClassRegistry& reg,
+                                                   const AmcTopology& topo) {
+  auto kernel = policy::make_policy(kind, reg);
+  kernel->bind(topo, policy::PolicyOptions{});
+  return kernel;
+}
+
+TEST(WakeOrder, WatsFamilyFollowsPreferenceLists) {
+  const AmcTopology topo("t", {{2.0, 1}, {1.5, 1}, {1.0, 1}});
+  TaskClassRegistry reg;
+  for (const auto kind : {policy::PolicyKind::kWats, policy::PolicyKind::kWatsTs,
+                          policy::PolicyKind::kWatsM}) {
+    SCOPED_TRACE(policy::to_string(kind));
+    const auto kernel = bound_kernel(kind, reg, topo);
+    for (GroupIndex lane = 0; lane < 3; ++lane) {
+      EXPECT_EQ(kernel->wake_order(lane), preference_list(lane, 3));
+    }
+  }
+}
+
+TEST(WakeOrder, WatsNpWakesOnlyTheOwnGroup) {
+  // No-preference-stealing ablation: other groups can never acquire the
+  // lane's work, so waking their sleepers would be pure churn.
+  const AmcTopology topo("t", {{2.0, 1}, {1.5, 1}, {1.0, 1}});
+  TaskClassRegistry reg;
+  const auto kernel = bound_kernel(policy::PolicyKind::kWatsNp, reg, topo);
+  for (GroupIndex lane = 0; lane < 3; ++lane) {
+    EXPECT_EQ(kernel->wake_order(lane), (std::vector<GroupIndex>{lane}));
+  }
+}
+
+TEST(WakeOrder, SingleLanePoliciesCoverEveryGroup) {
+  // Cilk/PFT/RTS place everything on lane 0 and any worker may take it:
+  // the wake order degenerates to the full fast-first scan.
+  const AmcTopology topo("t", {{2.0, 1}, {1.5, 1}, {1.0, 1}});
+  TaskClassRegistry reg;
+  for (const auto kind : {policy::PolicyKind::kCilk, policy::PolicyKind::kPft,
+                          policy::PolicyKind::kRts}) {
+    SCOPED_TRACE(policy::to_string(kind));
+    const auto kernel = bound_kernel(kind, reg, topo);
+    EXPECT_EQ(kernel->wake_order(0), (std::vector<GroupIndex>{0, 1, 2}));
+  }
+}
 
 }  // namespace
 }  // namespace wats::core

@@ -4,6 +4,7 @@
 #include <gtest/gtest.h>
 
 #include <atomic>
+#include <cstdint>
 
 #include "runtime/runtime.hpp"
 
@@ -90,6 +91,46 @@ TEST(RtsSwap, WatsTsSwapsWithWarmHistory) {
   }
   EXPECT_EQ(done.load(), 6 * 16);
   EXPECT_GT(rt.stats().speed_swaps, 0u);
+}
+
+TEST(RtsSwap, ThrottleAccumulatesMonotonicallyAcrossSwaps) {
+  // Regression test for the duty-cycle throttle: the emulated slowdown is
+  // accumulated PIECEWISE (each segment priced at the scale it actually
+  // ran at), folded on every swap. The old code priced the whole task at
+  // its end-of-task scale, so a swap UP mid-task retroactively made the
+  // already-run slow portion cheap — the accumulated penalty could shrink
+  // or go negative. Piecewise accounting is monotone: the throttle-sleep
+  // counter never decreases and a swap-heavy slow-group workload always
+  // pays some penalty.
+  TaskRuntime rt(swap_config());
+  const auto cls = rt.register_class("lumpy");
+  std::uint64_t previous = 0;
+  std::atomic<int> done{0};
+  for (int round = 0; round < 6; ++round) {
+    for (int i = 0; i < 4; ++i) {
+      rt.spawn(cls, [&done] {
+        volatile double x = 1;
+        for (int j = 0; j < 400000; ++j) x = x * 1.0000001 + 0.1;
+        done++;
+      });
+    }
+    for (int i = 0; i < 12; ++i) {
+      rt.spawn(cls, [&done] {
+        volatile int x = 0;
+        for (int j = 0; j < 500; ++j) x = x + 1;
+        done++;
+      });
+    }
+    rt.wait_all();
+    const std::uint64_t now =
+        rt.metrics().counter("throttle_sleep_us").value();
+    EXPECT_GE(now, previous) << "round " << round;
+    previous = now;
+  }
+  EXPECT_EQ(done.load(), 6 * 16);
+  // Three 0.5x workers ran real work for six rounds: the piecewise
+  // segments must have added up to a visible penalty.
+  EXPECT_GT(previous, 0u);
 }
 
 TEST(RtsSwap, OtherPoliciesNeverSwap) {

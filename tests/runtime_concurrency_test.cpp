@@ -149,5 +149,33 @@ TEST(RuntimeConcurrency, FailedAcquireRoundsAccumulateWhenIdle) {
   EXPECT_EQ(line.find(" 0"), std::string::npos) << line;
 }
 
+TEST(RuntimeConcurrency, ParkUnparkStressNeverLosesAWakeup) {
+  // The lost-wakeup regression test for the parking-lot protocol: every
+  // iteration quiesces the pool (all workers end up parked) and then a
+  // single spawn must get one of them woken. With the old timed poll this
+  // "only" cost 200 µs per iteration; with an unaccounted sleep protocol a
+  // genuinely lost wakeup deadlocks the iteration — caught here by the
+  // wait_all_for deadline instead of a hung test binary.
+  RuntimeConfig cfg;
+  cfg.topology = core::AmcTopology("t", {{2.0, 2}, {1.0, 2}});
+  cfg.emulate_speeds = false;
+  TaskRuntime rt(cfg);
+  const auto cls = rt.register_class("ping");
+
+  std::atomic<int> executed{0};
+  constexpr int kIterations = 1000;
+  for (int i = 0; i < kIterations; ++i) {
+    rt.spawn(cls, [&executed] {
+      executed.fetch_add(1, std::memory_order_relaxed);
+    });
+    ASSERT_TRUE(rt.wait_all_for(std::chrono::milliseconds(5000)))
+        << "lost wakeup: iteration " << i << " did not complete in 5 s";
+  }
+  EXPECT_EQ(executed.load(), kIterations);
+  // The spawns found parked workers (the protocol actually exercised
+  // park/unpark rather than always hitting the spin phase).
+  EXPECT_GT(rt.metrics().counter("wakeups_issued").value(), 0u);
+}
+
 }  // namespace
 }  // namespace wats::runtime

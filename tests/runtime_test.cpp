@@ -2,6 +2,7 @@
 
 #include <atomic>
 #include <chrono>
+#include <stdexcept>
 #include <thread>
 #include <vector>
 
@@ -340,6 +341,49 @@ TEST(TaskRuntime, SpeedEmulationSlowsSlowGroups) {
   const auto history = rt.class_history();
   EXPECT_EQ(history[cls].completed, 100u);
   EXPECT_GT(history[cls].mean_workload, 0.0);
+}
+
+TEST(TaskRuntime, DestructorSwallowsUncollectedTaskException) {
+  // A task throws and the caller never calls wait_all(): the destructor
+  // must drain the pool and DROP the captured exception — rethrowing from
+  // ~TaskRuntime would std::terminate the process. (Explicit wait_all()
+  // still rethrows; see ParallelFor's exception tests.)
+  std::atomic<bool> ran{false};
+  {
+    RuntimeConfig cfg;
+    cfg.topology = core::AmcTopology("t", {{1.0, 2}});
+    cfg.emulate_speeds = false;
+    TaskRuntime rt(cfg);
+    const auto cls = rt.register_class("thrower");
+    rt.spawn(cls, [&ran] {
+      ran.store(true, std::memory_order_release);
+      throw std::runtime_error("uncollected");
+    });
+    // Scope ends with the exception still pending inside the runtime.
+  }
+  EXPECT_TRUE(ran.load(std::memory_order_acquire));
+}
+
+TEST(TaskRuntime, DestructorSwallowsExceptionFromNestedSpawns) {
+  std::atomic<int> ran{0};
+  {
+    RuntimeConfig cfg;
+    cfg.topology = core::AmcTopology("t", {{2.0, 1}, {1.0, 1}});
+    cfg.emulate_speeds = false;
+    TaskRuntime rt(cfg);
+    const auto cls = rt.register_class("nested_thrower");
+    for (int i = 0; i < 8; ++i) {
+      rt.spawn(cls, [&rt, &ran, cls] {
+        rt.spawn(cls, [&ran] {
+          ran.fetch_add(1, std::memory_order_relaxed);
+          throw std::runtime_error("child");
+        });
+        ran.fetch_add(1, std::memory_order_relaxed);
+        throw std::runtime_error("parent");
+      });
+    }
+  }
+  EXPECT_EQ(ran.load(), 16);
 }
 
 }  // namespace
