@@ -214,6 +214,90 @@ void BM_RegistryRecordCompletion(benchmark::State& state) {
 }
 BENCHMARK(BM_RegistryRecordCompletion);
 
+// ---- Completion-history contention: locked vs sharded (the before/after
+// of moving Algorithm 2's per-class statistics off the completion hot
+// path). Both run the same per-completion work from 1..16 threads; the
+// locked variant funnels every thread through the registry mutex (the
+// pre-shard design, still reachable via RuntimeConfig::locked_history),
+// the sharded variant is each thread's private wait-free HistoryShard —
+// the acceptance bar is parity at 1 thread and >= 2x at 16.
+
+void BM_HistoryLockedContention(benchmark::State& state) {
+  // Function-local static: all threads of the benchmark share ONE
+  // registry (magic statics are thread-safe), exactly like runtime
+  // workers sharing registry_.
+  static core::TaskClassRegistry reg;
+  static const auto id = reg.intern("contended");
+  for (auto _ : state) {
+    reg.record_completion(id, 1.0);
+  }
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistoryLockedContention)->ThreadRange(1, 16)->UseRealTime();
+
+void BM_HistoryShardedContention(benchmark::State& state) {
+  static core::TaskClassRegistry reg;
+  static const auto id = reg.intern("sharded");
+  // One private shard per thread, as each runtime worker owns one.
+  core::HistoryShard shard;
+  for (auto _ : state) {
+    shard.record(id, 1.0);
+  }
+  // Fold once at the end — the runtime's helper amortizes this over the
+  // ~1 ms of completions between ticks (concurrent folders of DIFFERENT
+  // shards are safe; the registry lock serializes the table updates).
+  core::HistoryShard::FoldCursor cursor;
+  shard.fold_into(reg, cursor);
+  state.SetItemsProcessed(state.iterations());
+}
+BENCHMARK(BM_HistoryShardedContention)->ThreadRange(1, 16)->UseRealTime();
+
+void BM_HistoryShardFold(benchmark::State& state) {
+  // Cost of one helper fold pass over a shard with range(0) touched
+  // classes, one fresh completion per class per pass.
+  core::TaskClassRegistry reg;
+  const auto classes = static_cast<std::size_t>(state.range(0));
+  for (std::size_t i = 0; i < classes; ++i) {
+    reg.intern("c" + std::to_string(i));
+  }
+  core::HistoryShard shard;
+  core::HistoryShard::FoldCursor cursor;
+  for (auto _ : state) {
+    state.PauseTiming();
+    for (std::size_t i = 0; i < classes; ++i) {
+      shard.record(static_cast<core::TaskClassId>(i), 1.0);
+    }
+    state.ResumeTiming();
+    shard.fold_into(reg, cursor);
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          state.range(0));
+}
+BENCHMARK(BM_HistoryShardFold)->Arg(16)->Arg(256);
+
+void BM_RuntimeClassifiedCompletions(benchmark::State& state) {
+  // End-to-end: classified no-op tasks through the real runtime with the
+  // completion history sharded (Arg 0, the default) or behind the shared
+  // mutex (Arg 1, RuntimeConfig::locked_history).
+  runtime::RuntimeConfig cfg;
+  cfg.topology = core::AmcTopology("bench", {{2.0, 4}});
+  cfg.emulate_speeds = false;
+  cfg.locked_history = state.range(0) != 0;
+  runtime::TaskRuntime rt(cfg);
+  const auto cls = rt.register_class("classified");
+  constexpr int kBatch = 1024;
+  for (auto _ : state) {
+    for (int i = 0; i < kBatch; ++i) {
+      rt.spawn(cls, [] {});
+    }
+    rt.wait_all();
+  }
+  state.SetItemsProcessed(static_cast<std::int64_t>(state.iterations()) *
+                          kBatch);
+  state.SetLabel(cfg.locked_history ? "locked" : "sharded");
+}
+BENCHMARK(BM_RuntimeClassifiedCompletions)->Arg(0)->Arg(1);
+
 void BM_Algorithm1(benchmark::State& state) {
   util::Xoshiro256 rng(13);
   std::vector<double> w(static_cast<std::size_t>(state.range(0)));

@@ -1,5 +1,8 @@
 #include "core/task_class.hpp"
 
+#include <algorithm>
+#include <cmath>
+
 #include "util/check.hpp"
 
 namespace wats::core {
@@ -11,6 +14,157 @@ double normalized_workload(double cycles, double core_freq,
   return cycles * (core_freq / fastest_freq);
 }
 
+std::uint64_t quantize_history(double value) {
+  WATS_CHECK(value >= 0.0);
+  const double scaled = value * kHistoryFixedScale + 0.5;
+  // 2^64 as a double is exactly representable; anything at or above it
+  // saturates (a single saturating sample would need ~500k years of cpu).
+  constexpr double kLimit = 18446744073709551616.0;
+  if (scaled >= kLimit) return std::numeric_limits<std::uint64_t>::max();
+  return static_cast<std::uint64_t>(scaled);
+}
+
+void FixedSum::add_product(std::uint64_t a, std::uint64_t b) {
+  const std::uint64_t a_lo = a & 0xFFFFFFFFull;
+  const std::uint64_t a_hi = a >> 32;
+  const std::uint64_t b_lo = b & 0xFFFFFFFFull;
+  const std::uint64_t b_hi = b >> 32;
+  FixedSum p;
+  p.lo = a_lo * b_lo;
+  p.hi = a_hi * b_hi;
+  for (const std::uint64_t mid : {a_lo * b_hi, a_hi * b_lo}) {
+    const std::uint64_t m_lo = mid << 32;
+    p.lo += m_lo;
+    p.hi += ((p.lo < m_lo) ? 1u : 0u) + (mid >> 32);
+  }
+  add(p);
+}
+
+double FixedSum::to_double() const {
+  return std::ldexp(static_cast<double>(hi), 64) + static_cast<double>(lo);
+}
+
+// ---------------------------------------------------------------------------
+// HistoryShard
+// ---------------------------------------------------------------------------
+
+void HistoryShard::record(TaskClassId id, double workload, double scalable) {
+  WATS_CHECK(workload >= 0.0);
+  WATS_CHECK(scalable >= 0.0 && scalable <= 1.0);
+  SlotArray* arr = arr_.load(std::memory_order_relaxed);
+  if (arr == nullptr || id >= arr->capacity) arr = grow(id);
+  Slot& s = arr->slots[id];
+  // Single-writer accumulation: plain relaxed load+store, no RMW. Sums go
+  // first and the count last so a folder that observes the count bump is
+  // likely (not guaranteed — everything is relaxed) to see the sums too;
+  // either way each unit is folded exactly once (wraparound deltas).
+  s.sum_w.store(s.sum_w.load(std::memory_order_relaxed) +
+                    quantize_history(workload),
+                std::memory_order_relaxed);
+  s.sum_s.store(s.sum_s.load(std::memory_order_relaxed) +
+                    quantize_history(scalable),
+                std::memory_order_relaxed);
+  if (workload < s.min_w.load(std::memory_order_relaxed))
+    s.min_w.store(workload, std::memory_order_relaxed);
+  if (workload > s.max_w.load(std::memory_order_relaxed))
+    s.max_w.store(workload, std::memory_order_relaxed);
+  s.count.store(s.count.load(std::memory_order_relaxed) + 1,
+                std::memory_order_relaxed);
+}
+
+HistoryShard::SlotArray* HistoryShard::grow(TaskClassId id) {
+  SlotArray* old = arr_.load(std::memory_order_relaxed);
+  const std::size_t want = static_cast<std::size_t>(id) + 1;
+  std::size_t new_cap = (old == nullptr) ? 16 : old->capacity;
+  while (new_cap < want) new_cap *= 2;
+  auto fresh = std::make_unique<SlotArray>(new_cap);
+  if (old != nullptr) {
+    for (std::size_t i = 0; i < old->capacity; ++i) {
+      const Slot& src = old->slots[i];
+      Slot& dst = fresh->slots[i];
+      dst.count.store(src.count.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+      dst.sum_w.store(src.sum_w.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+      dst.sum_s.store(src.sum_s.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+      dst.min_w.store(src.min_w.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+      dst.max_w.store(src.max_w.load(std::memory_order_relaxed),
+                      std::memory_order_relaxed);
+    }
+  }
+  SlotArray* raw = fresh.get();
+  // retired_ owns every array ever published (including the current one);
+  // a folder still holding the superseded pointer reads valid — merely
+  // stale — values, and the cursor is keyed by slot id, not by array, so
+  // nothing is double-folded after the swing.
+  retired_.push_back(std::move(fresh));
+  arr_.store(raw, std::memory_order_release);
+  return raw;
+}
+
+HistoryShard::FoldStats HistoryShard::fold_into(TaskClassRegistry& table,
+                                                FoldCursor& cursor) const {
+  FoldStats stats;
+  const SlotArray* arr = arr_.load(std::memory_order_acquire);
+  if (arr == nullptr) return stats;
+  const std::size_t n = arr->capacity;
+  if (cursor.count.size() < n) {
+    cursor.count.resize(n, 0);
+    cursor.sum_w.resize(n, 0);
+    cursor.sum_s.resize(n, 0);
+    cursor.min_w.resize(n, std::numeric_limits<double>::infinity());
+    cursor.max_w.resize(n, 0.0);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    const Slot& s = arr->slots[i];
+    const std::uint64_t cur_count = s.count.load(std::memory_order_relaxed);
+    // Untouched slot (counts are monotone): nothing to fold, and skipping
+    // avoids touching three more cache lines per empty slot.
+    if (cur_count == 0 && cursor.count[i] == 0) continue;
+    const std::uint64_t cur_sum_w = s.sum_w.load(std::memory_order_relaxed);
+    const std::uint64_t cur_sum_s = s.sum_s.load(std::memory_order_relaxed);
+    const double cur_min = s.min_w.load(std::memory_order_relaxed);
+    const double cur_max = s.max_w.load(std::memory_order_relaxed);
+    // Exact while < 2^64 fixed-point units accumulate between folds
+    // (unsigned wraparound subtraction).
+    const std::uint64_t dcount = cur_count - cursor.count[i];
+    const std::uint64_t dw = cur_sum_w - cursor.sum_w[i];
+    const std::uint64_t ds = cur_sum_s - cursor.sum_s[i];
+    const bool extremes_moved =
+        cur_min < cursor.min_w[i] || cur_max > cursor.max_w[i];
+    if (dcount == 0 && dw == 0 && ds == 0 && !extremes_moved) continue;
+    FixedSum fdw;
+    fdw.lo = dw;
+    FixedSum fds;
+    fds.lo = ds;
+    const bool discovered = table.apply_history_delta(
+        static_cast<TaskClassId>(i), dcount, fdw, fds, cur_min, cur_max);
+    stats.completions += dcount;
+    if (discovered) ++stats.classes_discovered;
+    cursor.count[i] = cur_count;
+    cursor.sum_w[i] = cur_sum_w;
+    cursor.sum_s[i] = cur_sum_s;
+    cursor.min_w[i] = cur_min;
+    cursor.max_w[i] = cur_max;
+  }
+  return stats;
+}
+
+std::uint64_t HistoryShard::recorded_approx() const {
+  const SlotArray* arr = arr_.load(std::memory_order_acquire);
+  if (arr == nullptr) return 0;
+  std::uint64_t total = 0;
+  for (std::size_t i = 0; i < arr->capacity; ++i)
+    total += arr->slots[i].count.load(std::memory_order_relaxed);
+  return total;
+}
+
+// ---------------------------------------------------------------------------
+// TaskClassRegistry
+// ---------------------------------------------------------------------------
+
 TaskClassRegistry::TaskClassRegistry(WorkloadEstimator estimator,
                                      double ewma_alpha)
     : estimator_(estimator), ewma_alpha_(ewma_alpha) {
@@ -18,24 +172,35 @@ TaskClassRegistry::TaskClassRegistry(WorkloadEstimator estimator,
 }
 
 TaskClassId TaskClassRegistry::intern(std::string_view name) {
-  std::lock_guard lock(mu_);
-  auto it = by_name_.find(std::string(name));
-  if (it != by_name_.end()) return it->second;
-  const auto id = static_cast<TaskClassId>(classes_.size());
-  WATS_CHECK_MSG(id != kNoTaskClass, "task class id space exhausted");
-  TaskClassInfo info;
-  info.id = id;
-  info.name = std::string(name);
-  classes_.push_back(std::move(info));
-  by_name_.emplace(std::string(name), id);
+  auto& stripe = stripes_[stripe_of(name)];
+  std::string key(name);
+  std::lock_guard stripe_lock(stripe.mu);
+  auto it = stripe.by_name.find(key);
+  if (it != stripe.by_name.end()) return it->second;
+  // Discovery slow path: allocate the next dense id under the table lock
+  // (stripe -> table lock order, never the reverse). Repeat interns of a
+  // known name stay on their stripe and never contend on mu_.
+  TaskClassId id;
+  {
+    std::lock_guard table_lock(mu_);
+    id = static_cast<TaskClassId>(classes_.size());
+    WATS_CHECK_MSG(id != kNoTaskClass, "task class id space exhausted");
+    TaskClassInfo info;
+    info.id = id;
+    info.name = key;
+    classes_.push_back(std::move(info));
+    exact_.emplace_back();
+  }
+  stripe.by_name.emplace(std::move(key), id);
   return id;
 }
 
 std::optional<TaskClassId> TaskClassRegistry::find(
     std::string_view name) const {
-  std::lock_guard lock(mu_);
-  auto it = by_name_.find(std::string(name));
-  if (it == by_name_.end()) return std::nullopt;
+  auto& stripe = stripes_[stripe_of(name)];
+  std::lock_guard lock(stripe.mu);
+  auto it = stripe.by_name.find(std::string(name));
+  if (it == stripe.by_name.end()) return std::nullopt;
   return it->second;
 }
 
@@ -47,7 +212,10 @@ void TaskClassRegistry::record_completion(TaskClassId id, double workload,
   WATS_CHECK(id < classes_.size());
   auto& c = classes_[id];
   if (estimator_ == WorkloadEstimator::kRunningMean || c.completed == 0) {
-    // Algorithm 2: w <- (n*w + w_gamma) / (n+1), n <- n+1.
+    // Algorithm 2: w <- (n*w + w_gamma) / (n+1), n <- n+1. Kept verbatim —
+    // the simulator's bit-reproducible figures depend on this exact fold
+    // order, so the serial path does NOT derive its mean from the exact
+    // sums (the sharded path does; the two agree to rounding error).
     const auto n = static_cast<double>(c.completed);
     c.mean_workload = (n * c.mean_workload + workload) / (n + 1.0);
     c.mean_scalable = (n * c.mean_scalable + scalable) / (n + 1.0);
@@ -59,6 +227,63 @@ void TaskClassRegistry::record_completion(TaskClassId id, double workload,
   }
   ++c.completed;
   ++total_completions_;
+  auto& e = exact_[id];
+  e.sum_w.add(quantize_history(workload));
+  e.sum_s.add(quantize_history(scalable));
+  c.min_workload = std::min(c.min_workload, workload);
+  c.max_workload = std::max(c.max_workload, workload);
+}
+
+bool TaskClassRegistry::apply_history_delta(TaskClassId id,
+                                            std::uint64_t dcount,
+                                            FixedSum dsum_w, FixedSum dsum_s,
+                                            double min_w, double max_w) {
+  std::lock_guard lock(mu_);
+  WATS_CHECK_MSG(estimator_ == WorkloadEstimator::kRunningMean,
+                 "sharded history folding requires the running-mean "
+                 "estimator (EWMA folds are order-sensitive)");
+  WATS_CHECK(id < classes_.size());
+  auto& c = classes_[id];
+  const bool discovered = c.completed == 0 && dcount > 0;
+  auto& e = exact_[id];
+  e.sum_w.add(dsum_w);
+  e.sum_s.add(dsum_s);
+  c.completed += dcount;
+  total_completions_ += dcount;
+  if (min_w < c.min_workload) c.min_workload = min_w;
+  if (max_w > c.max_workload) c.max_workload = max_w;
+  // A fold can catch a completion's sum before its count (or vice versa —
+  // the shard fields are read non-atomically as a group), so re-derive on
+  // any change; at quiescence both have landed and the means are exact.
+  const bool changed =
+      dcount > 0 || dsum_w != FixedSum{} || dsum_s != FixedSum{};
+  if (changed && c.completed > 0) derive_means_locked(id);
+  return discovered;
+}
+
+void TaskClassRegistry::merge_history(TaskClassId id, std::uint64_t completed,
+                                      double mean_workload,
+                                      double mean_scalable) {
+  WATS_CHECK(mean_workload >= 0.0);
+  WATS_CHECK(mean_scalable >= 0.0 && mean_scalable <= 1.0);
+  if (completed == 0) return;
+  // Treat the persisted run as `completed` samples of the persisted mean:
+  // an exact integer product folded through the same combine as a shard
+  // delta, so the merge lands identically wherever it sits in the fold
+  // order. The mean stands in for the unrecorded extremes.
+  FixedSum dw;
+  dw.add_product(quantize_history(mean_workload), completed);
+  FixedSum ds;
+  ds.add_product(quantize_history(mean_scalable), completed);
+  apply_history_delta(id, completed, dw, ds, mean_workload, mean_workload);
+}
+
+void TaskClassRegistry::derive_means_locked(TaskClassId id) {
+  auto& c = classes_[id];
+  const auto& e = exact_[id];
+  const double denom = static_cast<double>(c.completed) * kHistoryFixedScale;
+  c.mean_workload = e.sum_w.to_double() / denom;
+  c.mean_scalable = e.sum_s.to_double() / denom;
 }
 
 std::size_t TaskClassRegistry::size() const {
@@ -99,6 +324,20 @@ void TaskClassRegistry::restore(TaskClassId id, std::uint64_t completed,
   c.completed = completed;
   c.mean_workload = mean_workload;
   total_completions_ += completed;
+  // Rebuild the exact accumulators to `completed` samples of the restored
+  // mean so later merges/folds combine consistently with the overwrite.
+  auto& e = exact_[id];
+  e.sum_w = FixedSum{};
+  e.sum_s = FixedSum{};
+  if (completed > 0) {
+    e.sum_w.add_product(quantize_history(mean_workload), completed);
+    e.sum_s.add_product(quantize_history(c.mean_scalable), completed);
+    c.min_workload = mean_workload;
+    c.max_workload = mean_workload;
+  } else {
+    c.min_workload = std::numeric_limits<double>::infinity();
+    c.max_workload = 0.0;
+  }
 }
 
 void TaskClassRegistry::reset_history() {
@@ -106,7 +345,10 @@ void TaskClassRegistry::reset_history() {
   for (auto& c : classes_) {
     c.completed = 0;
     c.mean_workload = 0.0;
+    c.min_workload = std::numeric_limits<double>::infinity();
+    c.max_workload = 0.0;
   }
+  for (auto& e : exact_) e = ExactStats{};
   total_completions_ = 0;
 }
 

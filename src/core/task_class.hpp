@@ -5,11 +5,33 @@
 // count n and running-average normalized workload w (Algorithm 2, Eq. 2).
 // Here "function name" is an explicit TaskClassId that callers obtain once
 // via intern(); the registry is shared by the simulator and the real-thread
-// runtime, so updates are mutex-protected (they happen at task completion,
-// which is far off the spawn/steal fast path).
+// runtime.
+//
+// Two update paths feed the table:
+//
+//  * record_completion() — the serial path: one mutex per completion,
+//    Algorithm 2's incremental mean verbatim. The single-threaded
+//    simulator uses it (bit-reproducible figures depend on the exact
+//    fold order), and the real runtime keeps it reachable behind
+//    RuntimeConfig::locked_history for honest before/after benchmarks.
+//  * HistoryShard + apply_history_delta() — the sharded path: each worker
+//    accumulates per-class deltas into a private cache-line-aligned shard
+//    with wait-free relaxed stores, and a single folder (the runtime's
+//    helper thread) drains every shard into the table at each recluster
+//    tick. The combine is ORDER-INSENSITIVE: counts and fixed-point
+//    integer sums add exactly (commutative + associative), min/max are
+//    idempotent lattice joins, and the mean is derived from the exact sum
+//    — so folding any partition of a completion stream in any order
+//    yields the identical table (tests/history_merge_test.cpp).
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <cstddef>
 #include <cstdint>
+#include <functional>
+#include <limits>
+#include <memory>
 #include <mutex>
 #include <optional>
 #include <string>
@@ -27,15 +49,59 @@ using TaskClassId = std::uint32_t;
 /// fastest c-group per §III-A).
 inline constexpr TaskClassId kNoTaskClass = 0xFFFFFFFFu;
 
+/// Fixed-point scale of the exact workload accumulators: 2^20 units per
+/// F1-normalized microsecond (≈1 ps resolution). Integer sums at this
+/// scale are what make the shard merge order-insensitive — floating-point
+/// addition is not associative, 128-bit integer addition is.
+inline constexpr double kHistoryFixedScale = 1048576.0;
+
+/// Quantize a non-negative sample to fixed point (saturating; a single
+/// sample near 2^64 / 2^20 µs ≈ 500 000 years is out of scope).
+std::uint64_t quantize_history(double value);
+
+/// Exact 128-bit unsigned accumulator (two 64-bit words; no __int128 so
+/// -Wpedantic stays clean). Addition never rounds, so any association /
+/// commutation of the same deltas produces the same bits — the foundation
+/// of the merge-equivalence guarantee.
+struct FixedSum {
+  std::uint64_t lo = 0;
+  std::uint64_t hi = 0;
+
+  void add(std::uint64_t v) {
+    lo += v;
+    hi += (lo < v) ? 1u : 0u;
+  }
+  void add(const FixedSum& other) {
+    const std::uint64_t other_lo = other.lo;  // copy first: self-add safe
+    const std::uint64_t other_hi = other.hi;
+    lo += other_lo;
+    hi += ((lo < other_lo) ? 1u : 0u) + other_hi;
+  }
+  /// this += a * b (full 64x64 -> 128 product).
+  void add_product(std::uint64_t a, std::uint64_t b);
+
+  /// Deterministic double conversion (hi * 2^64 + lo, rounded once per
+  /// word). Equal (lo, hi) pairs convert to equal doubles everywhere.
+  double to_double() const;
+
+  friend bool operator==(const FixedSum&, const FixedSum&) = default;
+};
+
 /// Snapshot of one task class: TC(f, n, w) from the paper, extended with
 /// the class's observed frequency-scalable fraction (§IV-E: derived from
-/// CMPI performance-counter readings in a real system).
+/// CMPI performance-counter readings in a real system) and the observed
+/// workload extremes (collected by the history shards; min is +inf until
+/// the first completion).
 struct TaskClassInfo {
   TaskClassId id = kNoTaskClass;
   std::string name;           ///< f  — the function name.
   std::uint64_t completed = 0;  ///< n  — tasks of this class completed.
   double mean_workload = 0.0;   ///< w  — mean F1-normalized workload.
   double mean_scalable = 1.0;   ///< observed frequency-scalable fraction.
+  /// Smallest / largest observed F1-normalized workload sample. Exact
+  /// (never rounded) and order-insensitive by construction.
+  double min_workload = std::numeric_limits<double>::infinity();
+  double max_workload = 0.0;
 
   /// The weight Algorithm 1 uses when partitioning classes: n * w.
   double total_workload() const {
@@ -55,8 +121,92 @@ enum class WorkloadEstimator {
   kRunningMean,
   /// Exponentially weighted moving average: w <- (1-a)*w + a*sample.
   /// Adapts within ~1/a completions of a phase change (§III-A's "timely
-  /// update" goal taken further); an extension, off by default.
+  /// update" goal taken further); an extension, off by default. The EWMA
+  /// fold is inherently order-sensitive, so it is only reachable through
+  /// the serial record_completion path — sharded folding requires
+  /// kRunningMean.
   kEwma,
+};
+
+class TaskClassRegistry;
+
+/// Per-worker completion-history shard: the wait-free side of the sharded
+/// path. Exactly ONE owner thread calls record(); exactly one folder at a
+/// time calls fold_into() (the runtime serializes folders behind a mutex).
+/// Owner and folder never block each other:
+///
+///  * record() is plain relaxed loads/stores into a per-class slot —
+///    no RMW, no lock, no fence. The only slow path is growing the slot
+///    array the first time the shard sees a class id beyond its capacity
+///    (an owner-local RCU swing; superseded arrays are retired until
+///    destruction so a folder holding a stale pointer stays safe).
+///  * fold_into() computes per-field deltas against a folder-owned cursor
+///    (last-folded values). Counts and sums are monotone u64 accumulators
+///    read with relaxed loads; unsigned wraparound subtraction makes the
+///    delta exact provided fewer than 2^64 fixed-point units (~200 days
+///    of per-class cpu time) accumulate between folds. Fields are not
+///    read atomically as a group — a fold may catch the count of a
+///    completion whose sum lands next fold — but every unit is folded
+///    exactly once, so totals are exact at quiescence (the TSan stress
+///    test pins this down).
+class alignas(64) HistoryShard {
+ public:
+  HistoryShard() = default;
+  ~HistoryShard() = default;
+  HistoryShard(const HistoryShard&) = delete;
+  HistoryShard& operator=(const HistoryShard&) = delete;
+
+  /// Owner-only: fold one completed task of class `id` into the shard.
+  /// `workload` is the F1-normalized workload (Eq. 2), `scalable` the
+  /// observed frequency-scalable fraction. Wait-free after the shard has
+  /// seen the class id range (growth allocates).
+  void record(TaskClassId id, double workload, double scalable = 1.0);
+
+  /// Folder-owned per-shard memory of the last fold (what has already
+  /// been pushed into the table). One cursor per (folder, shard) pair.
+  struct FoldCursor {
+    std::vector<std::uint64_t> count;
+    std::vector<std::uint64_t> sum_w;
+    std::vector<std::uint64_t> sum_s;
+    std::vector<double> min_w;
+    std::vector<double> max_w;
+  };
+
+  struct FoldStats {
+    std::uint64_t completions = 0;         ///< completions folded this pass
+    std::uint64_t classes_discovered = 0;  ///< table history went 0 -> >0
+  };
+
+  /// Fold everything recorded since `cursor`'s last visit into `table`
+  /// via TaskClassRegistry::apply_history_delta. Safe to call while the
+  /// owner keeps recording; callers must serialize concurrent folders of
+  /// the SAME shard+cursor themselves.
+  FoldStats fold_into(TaskClassRegistry& table, FoldCursor& cursor) const;
+
+  /// Racy total of recorded completions (tests/diagnostics).
+  std::uint64_t recorded_approx() const;
+
+ private:
+  struct Slot {
+    std::atomic<std::uint64_t> count{0};
+    std::atomic<std::uint64_t> sum_w{0};  ///< fixed-point; wraps mod 2^64
+    std::atomic<std::uint64_t> sum_s{0};  ///< fixed-point; wraps mod 2^64
+    std::atomic<double> min_w{std::numeric_limits<double>::infinity()};
+    std::atomic<double> max_w{0.0};
+  };
+  struct SlotArray {
+    explicit SlotArray(std::size_t n)
+        : capacity(n), slots(std::make_unique<Slot[]>(n)) {}
+    std::size_t capacity;
+    std::unique_ptr<Slot[]> slots;
+  };
+
+  /// Owner-only growth: allocate a larger array, copy the accumulated
+  /// values, publish, retire the old array (freed at destruction only).
+  SlotArray* grow(TaskClassId id);
+
+  std::atomic<SlotArray*> arr_{nullptr};
+  std::vector<std::unique_ptr<SlotArray>> retired_;  ///< owner-only
 };
 
 /// Thread-safe registry of task classes.
@@ -66,18 +216,46 @@ class TaskClassRegistry {
   explicit TaskClassRegistry(WorkloadEstimator estimator,
                              double ewma_alpha = 0.2);
 
-  /// Intern a class name; returns a stable dense id. Idempotent.
+  /// Intern a class name; returns a stable dense id. Idempotent. Lookups
+  /// take only a striped lock keyed by the name hash; true discovery (an
+  /// unseen name) additionally takes the table lock to allocate the next
+  /// dense id — the "striped-lock slow path" that keeps ids stable
+  /// without serializing repeat interns behind one global mutex.
   TaskClassId intern(std::string_view name);
 
   /// Look up an interned name without creating it.
   std::optional<TaskClassId> find(std::string_view name) const;
 
-  /// Algorithm 2: fold one completed task into its class. `workload` must
-  /// already be normalized (Eq. 2 / normalized_workload()). `scalable` is
-  /// the task's observed frequency-scalable fraction (1.0 = CPU-bound;
-  /// a real system derives it from CMPI counters, §IV-E).
+  /// Algorithm 2 (serial path): fold one completed task into its class.
+  /// `workload` must already be normalized (Eq. 2 / normalized_workload()).
+  /// `scalable` is the task's observed frequency-scalable fraction
+  /// (1.0 = CPU-bound; a real system derives it from CMPI counters,
+  /// §IV-E). One mutex acquisition per call — the contention the sharded
+  /// path exists to remove.
   void record_completion(TaskClassId id, double workload,
                          double scalable = 1.0);
+
+  /// Sharded path: apply one class's accumulated delta (from a
+  /// HistoryShard fold or a warm-start merge). dcount completions whose
+  /// fixed-point workload/scalable sums are dsum_w/dsum_s; min_w/max_w
+  /// are the source's observed extremes (folded as lattice joins, so
+  /// re-applying the same extremes is a no-op). The mean is re-derived
+  /// from the exact sums, which is what makes any fold order produce
+  /// identical bits. Requires the kRunningMean estimator. Returns true
+  /// when the class had no history before (a "discovery").
+  bool apply_history_delta(TaskClassId id, std::uint64_t dcount,
+                           FixedSum dsum_w, FixedSum dsum_s, double min_w,
+                           double max_w);
+
+  /// Warm-start merge: combine persisted statistics (n completions of
+  /// mean workload w) through the SAME order-insensitive combine as shard
+  /// folding — the persisted run is treated as n samples of value w, its
+  /// mean standing in for the unrecorded extremes. Merging before, after
+  /// or between live shard folds yields the identical table; it never
+  /// overwrites (use restore() for that) and never double-weights a class
+  /// that also appears in live history.
+  void merge_history(TaskClassId id, std::uint64_t completed,
+                     double mean_workload, double mean_scalable = 1.0);
 
   /// Number of classes interned so far.
   std::size_t size() const;
@@ -95,7 +273,9 @@ class TaskClassRegistry {
   TaskClassInfo info(TaskClassId id) const;
 
   /// Overwrite a class's statistics (history persistence / warm starts).
-  /// Counts as completions for change-detection purposes.
+  /// Counts as completions for change-detection purposes. The exact
+  /// accumulators are reset to n samples of the given mean so later
+  /// merges/folds combine consistently.
   void restore(TaskClassId id, std::uint64_t completed, double mean_workload);
 
   /// Drop all history but keep interned names/ids (used by phase-change
@@ -103,11 +283,30 @@ class TaskClassRegistry {
   void reset_history();
 
  private:
-  mutable std::mutex mu_;
+  static constexpr std::size_t kInternStripes = 8;
+  struct Stripe {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, TaskClassId> by_name;
+  };
+  static std::size_t stripe_of(std::string_view name) {
+    return std::hash<std::string_view>{}(name) % kInternStripes;
+  }
+
+  /// Exact per-class accumulators backing the order-insensitive combine.
+  struct ExactStats {
+    FixedSum sum_w;
+    FixedSum sum_s;
+  };
+
+  /// Re-derive the means from the exact sums (callers hold mu_).
+  void derive_means_locked(TaskClassId id);
+
+  mutable std::mutex mu_;  ///< guards classes_/exact_/total_completions_
   WorkloadEstimator estimator_ = WorkloadEstimator::kRunningMean;
   double ewma_alpha_ = 0.2;
-  std::unordered_map<std::string, TaskClassId> by_name_;
+  std::array<Stripe, kInternStripes> stripes_;
   std::vector<TaskClassInfo> classes_;
+  std::vector<ExactStats> exact_;
   std::uint64_t total_completions_ = 0;
 };
 

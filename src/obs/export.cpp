@@ -163,6 +163,7 @@ std::string perfetto_from_events(
       case EventKind::kCrossCluster:
       case EventKind::kRecluster:
       case EventKind::kIdleSpin:
+      case EventKind::kHistoryMerge:
         args << "{\"count\":" << e.arg << ",\"lane\":" << +e.lane << "}";
         w.instant(kPid, tid, to_string(e.kind), "sched", ts, args.str());
         break;

@@ -34,9 +34,10 @@ enum class EventKind : std::uint8_t {
   kPark,              ///< arg = eventcount ticket the worker parked with
   kUnpark,            ///< arg = 1 woken by a wake, 0 timed out (snatch poll)
   kWake,              ///< arg = c-group whose sleeper the spawn woke
+  kHistoryMerge,      ///< arg = completions folded from the history shards
 };
 
-inline constexpr std::size_t kEventKindCount = 11;
+inline constexpr std::size_t kEventKindCount = 12;
 
 inline const char* to_string(EventKind kind) {
   switch (kind) {
@@ -62,6 +63,8 @@ inline const char* to_string(EventKind kind) {
       return "unpark";
     case EventKind::kWake:
       return "wake";
+    case EventKind::kHistoryMerge:
+      return "history_merge";
   }
   return "?";
 }

@@ -161,6 +161,9 @@ TaskRuntime::TaskRuntime(RuntimeConfig config)
   wakeups_issued_ = &metrics_.counter("wakeups_issued");
   spurious_wakeups_ = &metrics_.counter("spurious_wakeups");
   throttle_sleep_us_ = &metrics_.counter("throttle_sleep_us");
+  shard_flushes_ = &metrics_.counter("shard_flushes");
+  classes_discovered_ = &metrics_.counter("classes_discovered");
+  history_merge_ns_ = &metrics_.histogram("history_merge_ns");
 
   if constexpr (obs::kTraceCompiledIn) {
     if (config_.trace.enabled) {
@@ -513,7 +516,15 @@ void TaskRuntime::execute(std::size_t index, TaskNode* node) {
   // Fi / F1, is the F1-equivalent workload. With the duty-cycle throttle
   // the total wall time is exec/speed, so wall * speed == exec.
   if (node->cls != core::kNoTaskClass) {
-    registry_.record_completion(node->cls, exec_us.count());
+    if (config_.locked_history) {
+      // Pre-shard design (A/B escape hatch): one shared-mutex acquisition
+      // per completion.
+      registry_.record_completion(node->cls, exec_us.count());
+    } else {
+      // Wait-free: accumulate into this worker's private shard; the
+      // helper thread folds it into the registry at the next tick.
+      me.shard.record(node->cls, exec_us.count());
+    }
   }
 
   me.executing.store(false, std::memory_order_release);
@@ -709,8 +720,12 @@ void TaskRuntime::worker_loop(std::size_t index) {
 
 void TaskRuntime::helper_loop() {
   // Algorithm 1 re-run: the kernel rebuilds and RCU-publishes the
-  // class->cluster map iff new completions arrived.
+  // class->cluster map iff new completions arrived. The shard fold runs
+  // FIRST so the history Algorithm 1 partitions — and the completion
+  // count maybe_recluster() uses for change detection — include
+  // everything the workers recorded up to this tick.
   const auto recluster_tick = [this] {
+    fold_history_shards(/*from_helper=*/true);
     if (kernel_->maybe_recluster()) {
       const auto total = reclusters_.fetch_add(1, std::memory_order_relaxed);
       if constexpr (obs::kTraceCompiledIn) {
@@ -803,7 +818,44 @@ double RuntimeStats::fraction_on_group(core::TaskClassId cls,
                           static_cast<double>(total);
 }
 
+void TaskRuntime::fold_history_shards(bool from_helper) const {
+  if (config_.locked_history) return;  // completions went straight in
+  std::lock_guard lock(fold_mu_);
+  if (fold_cursors_.size() < workers_.size()) {
+    fold_cursors_.resize(workers_.size());
+  }
+  const auto start = Clock::now();
+  core::HistoryShard::FoldStats total;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    const auto folded =
+        workers_[i]->shard.fold_into(registry_, fold_cursors_[i]);
+    if (folded.completions > 0) shard_flushes_->add(1);
+    total.completions += folded.completions;
+    total.classes_discovered += folded.classes_discovered;
+  }
+  if (total.completions == 0) return;
+  classes_discovered_->add(total.classes_discovered);
+  const auto dur_ns = std::chrono::duration_cast<std::chrono::nanoseconds>(
+                          Clock::now() - start)
+                          .count();
+  history_merge_ns_->record(static_cast<std::uint64_t>(dur_ns));
+  if constexpr (obs::kTraceCompiledIn) {
+    // Rings are single-producer: only the helper thread may emit to its
+    // own ring, so on-demand folds (class_history from an external
+    // thread) are counted in the metrics but not ring-traced.
+    if (from_helper && helper_ring_) {
+      helper_ring_->emit(obs::EventKind::kHistoryMerge,
+                         static_cast<std::uint16_t>(workers_.size()), 0,
+                         obs::kObsNoClass, total.completions);
+    }
+  }
+}
+
 std::vector<core::TaskClassInfo> TaskRuntime::class_history() const {
+  // Fold pending shard deltas first so external readers (persistence,
+  // tests, the observability summary) see everything recorded so far, not
+  // just what the helper's last tick published.
+  fold_history_shards(/*from_helper=*/false);
   return registry_.snapshot();
 }
 
@@ -811,7 +863,14 @@ void TaskRuntime::preload_history(
     const std::vector<core::TaskClassInfo>& classes) {
   for (const auto& cls : classes) {
     const auto id = registry_.intern(cls.name);
-    registry_.restore(id, cls.completed, cls.mean_workload);
+    // Merge, don't overwrite: the persisted run combines with any live
+    // history through the same order-insensitive combine as shard folding
+    // (treating it as `completed` samples of the persisted mean), so a
+    // class that already completed tasks in THIS run keeps that weight
+    // instead of having it clobbered — and preloading before, during or
+    // after live folds yields the same table.
+    registry_.merge_history(id, cls.completed, cls.mean_workload,
+                            cls.mean_scalable);
   }
 }
 

@@ -105,6 +105,15 @@ struct RuntimeConfig {
   /// dispatch-latency floor the parking lot removes. bench_latency sets
   /// this to 200 µs for its "before" column; leave at zero otherwise.
   std::chrono::microseconds legacy_idle_poll{0};
+  /// A/B benchmarking escape hatch for the completion-history path: when
+  /// true, workers fold completed-task statistics straight into the shared
+  /// registry under its mutex (the PRE-shard design — one lock acquisition
+  /// per completion, contention grows with core count). Default false:
+  /// each worker accumulates into its private core::HistoryShard with
+  /// wait-free stores and the helper thread folds all shards into the
+  /// registry at each recluster tick. bench_micro's History benchmarks
+  /// compare the two; leave at false otherwise.
+  bool locked_history = false;
   TraceOptions trace;
 };
 
@@ -278,6 +287,12 @@ class TaskRuntime {
     /// 5 kHz must not flood its ring).
     std::unique_ptr<obs::EventRing> ring;
     std::uint64_t idle_streak = 0;
+
+    /// Private completion-history shard (sharded path, the default): the
+    /// worker records each classified completion here with wait-free
+    /// stores; the helper thread folds it into the shared registry at
+    /// each recluster tick. Unused when RuntimeConfig::locked_history.
+    core::HistoryShard shard;
   };
 
   /// One central-queue lane per task cluster. Serves double duty: the
@@ -307,12 +322,25 @@ class TaskRuntime {
   /// Drain to outstanding_ == 0 without consuming the captured exception
   /// (the destructor's wait — rethrowing there would std::terminate).
   void drain_quiet();
+  /// Fold every worker's history shard into the shared registry (no-op
+  /// under locked_history). Called by the helper thread before each
+  /// recluster tick, and on demand by class_history() so external readers
+  /// see up-to-date statistics. Concurrent folders are serialized behind
+  /// fold_mu_; `from_helper` gates the kHistoryMerge ring event (only the
+  /// helper may write to its single-producer ring).
+  void fold_history_shards(bool from_helper) const;
 
   RuntimeConfig config_;
   std::vector<std::unique_ptr<Worker>> workers_;
   std::vector<std::unique_ptr<CentralLane>> central_;
 
-  core::TaskClassRegistry registry_;
+  /// mutable: const observers (class_history, stats paths) fold pending
+  /// shard deltas in before reading — logically read-only.
+  mutable core::TaskClassRegistry registry_;
+  /// Folder state for fold_history_shards: one cursor per worker shard
+  /// (what has already been folded), all guarded by fold_mu_.
+  mutable std::mutex fold_mu_;
+  mutable std::vector<core::HistoryShard::FoldCursor> fold_cursors_;
   std::unique_ptr<core::policy::PolicyKernel> kernel_;
 
   std::atomic<std::uint64_t> outstanding_{0};
@@ -345,6 +373,13 @@ class TaskRuntime {
   obs::Counter* wakeups_issued_ = nullptr;
   obs::Counter* spurious_wakeups_ = nullptr;
   obs::Counter* throttle_sleep_us_ = nullptr;
+
+  // Sharded-history accounting (always on): shards folded with pending
+  // completions, classes whose first completion arrived via a fold, and
+  // the latency of each non-empty fold pass.
+  obs::Counter* shard_flushes_ = nullptr;
+  obs::Counter* classes_discovered_ = nullptr;
+  obs::Histogram* history_merge_ns_ = nullptr;
 
   // wait_all / wait_all_for completion signal.
   std::mutex done_mu_;

@@ -56,7 +56,7 @@ std::string TaskRuntime::perfetto_trace_json() const {
     tracks.emplace_back(label);
   }
   tracks.emplace_back("helper");
-  const auto classes = registry_.snapshot();
+  const auto classes = class_history();
   const auto class_name = [classes](std::uint32_t cls) -> std::string {
     if (cls < classes.size() && !classes[cls].name.empty()) {
       return classes[cls].name;
@@ -97,7 +97,7 @@ std::string TaskRuntime::observability_summary(double wall_seconds) const {
   // Placement accuracy: the fraction of classified executions that ran on
   // the group Algorithm 1 currently assigns their class to, weighted by
   // how often each class ran.
-  const auto classes = registry_.snapshot();
+  const auto classes = class_history();
   double on_assigned = 0.0;
   double classified = 0.0;
   for (const auto& cls : classes) {

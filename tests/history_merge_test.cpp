@@ -1,0 +1,483 @@
+// Merge-equivalence suite for the sharded completion history
+// (core::HistoryShard + TaskClassRegistry::apply_history_delta /
+// merge_history) — the proof obligation behind taking the per-completion
+// mutex off the hot path.
+//
+// The combine is built to be ORDER-INSENSITIVE: counts and fixed-point
+// integer workload sums add exactly (u64/128-bit integer addition is
+// commutative and associative; double addition is not, which is why the
+// sums are integers), min/max are idempotent lattice joins, and the mean
+// is re-derived from the exact sums. So folding ANY partition of a
+// completion stream through ANY number of shards in ANY order must yield
+// a bit-identical table — which is exactly what these tests assert, for
+// 100+ random seeds.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/task_class.hpp"
+#include "runtime/runtime.hpp"
+#include "util/rng.hpp"
+
+namespace wats::core {
+namespace {
+
+struct Sample {
+  TaskClassId cls;
+  double workload;
+  double scalable;
+};
+
+/// A randomized completion stream over `num_classes` classes. Workloads
+/// span five orders of magnitude so the fixed-point sums exercise both
+/// tiny and large magnitudes; some classes are made rare so "seen by only
+/// one worker" happens naturally.
+std::vector<Sample> make_stream(util::Xoshiro256& rng,
+                                std::size_t num_classes,
+                                std::size_t length) {
+  std::vector<Sample> stream;
+  stream.reserve(length);
+  for (std::size_t i = 0; i < length; ++i) {
+    Sample s;
+    // Bias towards low class ids: high ids become rare/singleton classes.
+    const auto a = rng.bounded(num_classes);
+    const auto b = rng.bounded(num_classes);
+    s.cls = static_cast<TaskClassId>(std::min(a, b));
+    s.workload = rng.uniform(0.01, 50000.0);
+    s.scalable = rng.uniform(0.0, 1.0);
+    stream.push_back(s);
+  }
+  return stream;
+}
+
+/// Intern `n` classes as "cls0".."clsN" into `reg`, returning the ids
+/// (dense, so id == index).
+std::vector<TaskClassId> intern_classes(TaskClassRegistry& reg,
+                                        std::size_t n) {
+  std::vector<TaskClassId> ids;
+  for (std::size_t i = 0; i < n; ++i) {
+    ids.push_back(reg.intern("cls" + std::to_string(i)));
+  }
+  return ids;
+}
+
+/// The reference: the SAME combine applied serially, one delta per
+/// completion, in stream order (a partition into singletons). Any other
+/// partition/order must reproduce this table bit for bit. (Fills a
+/// caller-owned registry: TaskClassRegistry owns mutexes, so it cannot be
+/// returned by value.)
+void serial_reference(const std::vector<Sample>& stream,
+                      std::size_t num_classes, TaskClassRegistry& reg) {
+  intern_classes(reg, num_classes);
+  for (const auto& s : stream) {
+    FixedSum dw;
+    dw.add(quantize_history(s.workload));
+    FixedSum ds;
+    ds.add(quantize_history(s.scalable));
+    reg.apply_history_delta(s.cls, 1, dw, ds, s.workload, s.workload);
+  }
+}
+
+void expect_bit_identical(const TaskClassRegistry& got,
+                          const TaskClassRegistry& want) {
+  const auto g = got.snapshot();
+  const auto w = want.snapshot();
+  ASSERT_EQ(g.size(), w.size());
+  EXPECT_EQ(got.total_completions(), want.total_completions());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    SCOPED_TRACE("class " + std::to_string(i));
+    EXPECT_EQ(g[i].completed, w[i].completed);
+    // Bit-identical, not approximately equal: the exact integer sums make
+    // the derived doubles deterministic across fold orders.
+    EXPECT_EQ(g[i].mean_workload, w[i].mean_workload);
+    EXPECT_EQ(g[i].mean_scalable, w[i].mean_scalable);
+    EXPECT_EQ(g[i].min_workload, w[i].min_workload);
+    EXPECT_EQ(g[i].max_workload, w[i].max_workload);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// FixedSum unit coverage (the primitive everything else leans on).
+// ---------------------------------------------------------------------------
+
+TEST(FixedSum, CarriesAcrossTheLowWord) {
+  FixedSum s;
+  s.add(std::numeric_limits<std::uint64_t>::max());
+  s.add(1);
+  EXPECT_EQ(s.lo, 0u);
+  EXPECT_EQ(s.hi, 1u);
+  FixedSum t;
+  t.add(std::numeric_limits<std::uint64_t>::max());
+  t.add(t);  // self-add: doubles the value
+  EXPECT_EQ(t.lo, std::numeric_limits<std::uint64_t>::max() - 1);
+  EXPECT_EQ(t.hi, 1u);
+}
+
+TEST(FixedSum, ProductMatchesRepeatedAddition) {
+  util::Xoshiro256 rng(42);
+  for (int round = 0; round < 200; ++round) {
+    const std::uint64_t a = rng.next() >> (rng.bounded(32));
+    const std::uint64_t n = rng.bounded(1000);
+    FixedSum by_product;
+    by_product.add_product(a, n);
+    FixedSum by_addition;
+    for (std::uint64_t i = 0; i < n; ++i) by_addition.add(a);
+    EXPECT_EQ(by_product, by_addition) << "a=" << a << " n=" << n;
+  }
+}
+
+TEST(FixedSum, ProductCoversFullWidth) {
+  // (2^64 - 1)^2 = 2^128 - 2^65 + 1 -> lo = 1, hi = 2^64 - 2.
+  FixedSum s;
+  const std::uint64_t m = std::numeric_limits<std::uint64_t>::max();
+  s.add_product(m, m);
+  EXPECT_EQ(s.lo, 1u);
+  EXPECT_EQ(s.hi, m - 1);
+}
+
+// ---------------------------------------------------------------------------
+// The property: any partition, any order == serial accumulation.
+// ---------------------------------------------------------------------------
+
+TEST(HistoryMerge, AnyPartitionAnyOrderMatchesSerial) {
+  constexpr std::size_t kSeeds = 120;  // acceptance asks for 100+
+  for (std::uint64_t seed = 1; seed <= kSeeds; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    util::Xoshiro256 rng(seed);
+    const std::size_t num_classes = 1 + rng.bounded(24);
+    const std::size_t length = rng.bounded(2000);
+    const auto stream = make_stream(rng, num_classes, length);
+    TaskClassRegistry want;
+    serial_reference(stream, num_classes, want);
+
+    // Partition the stream across a random number of shards. Shards are
+    // assigned per-sample at random, so empty shards and classes seen by
+    // a single shard both occur (and are asserted below to occur at least
+    // once across the seed sweep via the tallies).
+    const std::size_t num_shards = 1 + rng.bounded(9);
+    std::vector<HistoryShard> shards(num_shards);
+    for (const auto& s : stream) {
+      shards[rng.bounded(num_shards)].record(s.cls, s.workload, s.scalable);
+    }
+
+    // Fold the shards in a random order, interleaving a second fold pass
+    // of an already-folded shard (idempotence: a fold with no new data
+    // must change nothing).
+    TaskClassRegistry got;
+    intern_classes(got, num_classes);
+    std::vector<std::size_t> order(num_shards);
+    std::iota(order.begin(), order.end(), std::size_t{0});
+    rng.shuffle(order);
+    std::vector<HistoryShard::FoldCursor> cursors(num_shards);
+    for (const auto i : order) {
+      shards[i].fold_into(got, cursors[i]);
+      // Re-fold the same shard immediately: the cursor remembers what was
+      // already pushed, so this must be a no-op.
+      const auto again = shards[i].fold_into(got, cursors[i]);
+      EXPECT_EQ(again.completions, 0u);
+    }
+    expect_bit_identical(got, want);
+  }
+}
+
+TEST(HistoryMerge, FoldOrderCommutes) {
+  // Small and explicit: three shards folded under all six permutations
+  // land on identical bits (commutativity + associativity of the merge).
+  util::Xoshiro256 rng(7);
+  constexpr std::size_t kClasses = 5;
+  const auto stream = make_stream(rng, kClasses, 300);
+  TaskClassRegistry want;
+  serial_reference(stream, kClasses, want);
+
+  std::vector<std::size_t> perm = {0, 1, 2};
+  do {
+    std::vector<HistoryShard> shards(3);
+    for (std::size_t i = 0; i < stream.size(); ++i) {
+      shards[i % 3].record(stream[i].cls, stream[i].workload,
+                           stream[i].scalable);
+    }
+    TaskClassRegistry got;
+    intern_classes(got, kClasses);
+    std::vector<HistoryShard::FoldCursor> cursors(3);
+    for (const auto i : perm) shards[i].fold_into(got, cursors[i]);
+    expect_bit_identical(got, want);
+  } while (std::next_permutation(perm.begin(), perm.end()));
+}
+
+TEST(HistoryMerge, EmptyShardsAndSingleWorkerClasses) {
+  TaskClassRegistry want;
+  TaskClassRegistry got;
+  intern_classes(want, 3);
+  intern_classes(got, 3);
+  // Class 0: seen only by shard 0. Class 2: seen only by shard 2.
+  // Class 1: never completed. Shard 1: never records anything.
+  HistoryShard s0, s1, s2;
+  s0.record(0, 10.0);
+  s0.record(0, 20.0);
+  s2.record(2, 5.0, 0.25);
+  {
+    FixedSum dw, ds;
+    dw.add(quantize_history(10.0));
+    ds.add(quantize_history(1.0));
+    want.apply_history_delta(0, 1, dw, ds, 10.0, 10.0);
+  }
+  {
+    FixedSum dw, ds;
+    dw.add(quantize_history(20.0));
+    ds.add(quantize_history(1.0));
+    want.apply_history_delta(0, 1, dw, ds, 20.0, 20.0);
+  }
+  {
+    FixedSum dw, ds;
+    dw.add(quantize_history(5.0));
+    ds.add(quantize_history(0.25));
+    want.apply_history_delta(2, 1, dw, ds, 5.0, 5.0);
+  }
+  HistoryShard::FoldCursor c0, c1, c2;
+  // Empty shard first, empty shard between, re-fold of an empty shard:
+  // all no-ops.
+  EXPECT_EQ(s1.fold_into(got, c1).completions, 0u);
+  const auto f0 = s0.fold_into(got, c0);
+  EXPECT_EQ(f0.completions, 2u);
+  EXPECT_EQ(f0.classes_discovered, 1u);
+  EXPECT_EQ(s1.fold_into(got, c1).completions, 0u);
+  const auto f2 = s2.fold_into(got, c2);
+  EXPECT_EQ(f2.completions, 1u);
+  EXPECT_EQ(f2.classes_discovered, 1u);
+  expect_bit_identical(got, want);
+  EXPECT_EQ(got.info(1).completed, 0u);
+  EXPECT_FALSE(got.has_history(1));
+  EXPECT_EQ(got.info(2).mean_scalable, 0.25);
+  EXPECT_EQ(got.info(0).min_workload, 10.0);
+  EXPECT_EQ(got.info(0).max_workload, 20.0);
+}
+
+TEST(HistoryMerge, ShardedMeanTracksLockedMeanToRoundingError) {
+  // The locked path keeps Algorithm 2's incremental formula verbatim (the
+  // simulator's golden figures depend on its exact rounding); the sharded
+  // path derives the mean from exact sums. The two must agree to relative
+  // rounding error — they are the same statistic computed two ways.
+  for (std::uint64_t seed = 1; seed <= 20; ++seed) {
+    util::Xoshiro256 rng(seed * 977);
+    constexpr std::size_t kClasses = 8;
+    const auto stream = make_stream(rng, kClasses, 1500);
+
+    TaskClassRegistry locked;
+    intern_classes(locked, kClasses);
+    for (const auto& s : stream) {
+      locked.record_completion(s.cls, s.workload, s.scalable);
+    }
+    HistoryShard shard;
+    for (const auto& s : stream) shard.record(s.cls, s.workload, s.scalable);
+    TaskClassRegistry sharded;
+    intern_classes(sharded, kClasses);
+    HistoryShard::FoldCursor cursor;
+    shard.fold_into(sharded, cursor);
+
+    const auto a = locked.snapshot();
+    const auto b = sharded.snapshot();
+    ASSERT_EQ(a.size(), b.size());
+    for (std::size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].completed, b[i].completed);
+      // Error budget: fixed-point quantization adds <= 2^-21 (~4.8e-7)
+      // absolute error per sample — and hence at most that much to the
+      // mean — on top of ordinary FP rounding (relative ~1e-15).
+      const double tol = 1e-6 + 1e-9 * a[i].mean_workload;
+      EXPECT_NEAR(a[i].mean_workload, b[i].mean_workload, tol);
+      EXPECT_NEAR(a[i].mean_scalable, b[i].mean_scalable, 1e-6);
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Warm-start merge (the preload_history fix).
+// ---------------------------------------------------------------------------
+
+TEST(HistoryMerge, MergeHistoryCombinesInsteadOfOverwriting) {
+  // Live history: 10 completions of 2.0. Persisted: 30 completions of
+  // mean 6.0. The merge must weight them 10:30 -> mean 5.0 (restore, the
+  // overwrite, would leave 6.0).
+  TaskClassRegistry reg;
+  const auto id = reg.intern("mixed");
+  HistoryShard shard;
+  for (int i = 0; i < 10; ++i) shard.record(id, 2.0);
+  HistoryShard::FoldCursor cursor;
+  shard.fold_into(reg, cursor);
+  reg.merge_history(id, 30, 6.0);
+  EXPECT_EQ(reg.info(id).completed, 40u);
+  EXPECT_NEAR(reg.info(id).mean_workload, 5.0, 1e-6);
+  EXPECT_EQ(reg.total_completions(), 40u);
+}
+
+TEST(HistoryMerge, MergeCommutesWithFolds) {
+  // merge-then-fold and fold-then-merge give bit-identical tables: the
+  // persisted block is just another delta in the order-insensitive
+  // combine.
+  util::Xoshiro256 rng(31337);
+  constexpr std::size_t kClasses = 6;
+  const auto stream = make_stream(rng, kClasses, 400);
+
+  const auto build = [&](bool merge_first) {
+    TaskClassRegistry reg;
+    intern_classes(reg, kClasses);
+    HistoryShard shard;
+    for (const auto& s : stream) shard.record(s.cls, s.workload, s.scalable);
+    HistoryShard::FoldCursor cursor;
+    if (merge_first) reg.merge_history(2, 500, 123.456, 0.5);
+    shard.fold_into(reg, cursor);
+    if (!merge_first) reg.merge_history(2, 500, 123.456, 0.5);
+    return reg.snapshot();
+  };
+  const auto a = build(true);
+  const auto b = build(false);
+  ASSERT_EQ(a.size(), b.size());
+  for (std::size_t i = 0; i < a.size(); ++i) {
+    EXPECT_EQ(a[i].completed, b[i].completed);
+    EXPECT_EQ(a[i].mean_workload, b[i].mean_workload);
+    EXPECT_EQ(a[i].mean_scalable, b[i].mean_scalable);
+    EXPECT_EQ(a[i].min_workload, b[i].min_workload);
+    EXPECT_EQ(a[i].max_workload, b[i].max_workload);
+  }
+}
+
+TEST(HistoryMerge, RuntimePreloadMergesWithLiveHistory) {
+  // End-to-end regression for the preload_history double-weight bug: a
+  // class with live completions in THIS run used to have them clobbered
+  // by a warm-start restore(). Now the persisted block merges. Run under
+  // both history paths.
+  for (const bool locked : {false, true}) {
+    SCOPED_TRACE(locked ? "locked_history" : "sharded_history");
+    runtime::RuntimeConfig cfg;
+    cfg.topology = core::AmcTopology("merge", {{1.0, 2}});
+    cfg.emulate_speeds = false;
+    cfg.helper_period = std::chrono::microseconds(200);
+    cfg.locked_history = locked;
+    runtime::TaskRuntime rt(cfg);
+    const auto cls = rt.register_class("warm");
+    constexpr int kLive = 8;
+    for (int i = 0; i < kLive; ++i) {
+      rt.spawn(cls, [] {
+        // Minimal but nonzero work so the measured workload is sane.
+        volatile int x = 0;
+        for (int j = 0; j < 1000; ++j) x = x + j;
+      });
+    }
+    rt.wait_all();
+
+    std::vector<TaskClassInfo> persisted(1);
+    persisted[0].name = "warm";
+    persisted[0].completed = 100;
+    persisted[0].mean_workload = 50.0;
+    rt.preload_history(persisted);
+
+    const auto history = rt.class_history();
+    ASSERT_GT(history.size(), cls);
+    // The live completions survive the preload: merged, not overwritten.
+    EXPECT_EQ(history[cls].completed,
+              static_cast<std::uint64_t>(kLive) + 100u);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Concurrency: recorders vs a folding helper (run under TSan in CI).
+// ---------------------------------------------------------------------------
+
+TEST(HistoryMerge, ConcurrentRecordAndFoldLosesNothing) {
+  // N recorder threads hammer overlapping class sets while a folder
+  // thread folds all shards and triggers reclusters, 1000+ fold
+  // iterations. At quiescence every completion must have landed exactly
+  // once. This is the TSan witness for the relaxed-atomics protocol; the
+  // count assertion catches lost updates even without TSan.
+  constexpr std::size_t kRecorders = 4;
+  constexpr std::uint64_t kPerRecorder = 20000;
+  constexpr std::size_t kClasses = 12;
+  constexpr int kFoldIterations = 1000;
+
+  TaskClassRegistry reg;
+  intern_classes(reg, kClasses);
+  std::vector<HistoryShard> shards(kRecorders);
+  std::atomic<bool> stop{false};
+
+  std::vector<std::thread> recorders;
+  for (std::size_t r = 0; r < kRecorders; ++r) {
+    recorders.emplace_back([&, r] {
+      util::Xoshiro256 rng(0xABCD + r);
+      for (std::uint64_t i = 0; i < kPerRecorder; ++i) {
+        // Overlapping sets: recorder r covers [r, r + kClasses/2].
+        const auto cls = static_cast<TaskClassId>(
+            (r + rng.bounded(kClasses / 2 + 1)) % kClasses);
+        shards[r].record(cls, rng.uniform(0.1, 100.0), rng.uniform(0.0, 1.0));
+      }
+    });
+  }
+
+  std::thread folder([&] {
+    std::vector<HistoryShard::FoldCursor> cursors(kRecorders);
+    int iterations = 0;
+    // Keep folding until the recorders are done AND we did >= 1000
+    // passes (the folds overlap live recording either way).
+    while (iterations < kFoldIterations ||
+           !stop.load(std::memory_order_acquire)) {
+      for (std::size_t r = 0; r < kRecorders; ++r) {
+        shards[r].fold_into(reg, cursors[r]);
+      }
+      ++iterations;
+      // "Trigger a recluster": consume the completion count the way the
+      // helper's change detection does (Algorithm 1's input is the
+      // registry the folds feed).
+      (void)reg.total_completions();
+    }
+    // Final quiescent pass: everything recorded has happened-before the
+    // recorder joins below, but this thread may have folded before then —
+    // one more fold catches the tail.
+    for (std::size_t r = 0; r < kRecorders; ++r) {
+      shards[r].fold_into(reg, cursors[r]);
+    }
+  });
+
+  for (auto& t : recorders) t.join();
+  stop.store(true, std::memory_order_release);
+  folder.join();
+
+  std::uint64_t total = 0;
+  for (const auto& c : reg.snapshot()) total += c.completed;
+  EXPECT_EQ(total, kRecorders * kPerRecorder);
+  EXPECT_EQ(reg.total_completions(), kRecorders * kPerRecorder);
+}
+
+TEST(HistoryMerge, RuntimeShardedHistoryIsCompleteAfterWaitAll) {
+  // Through the real runtime: spawn classified tasks on several workers,
+  // then check class_history() (which folds on read) accounts for every
+  // completion even between helper ticks.
+  runtime::RuntimeConfig cfg;
+  cfg.topology = core::AmcTopology("complete", {{2.0, 2}, {1.0, 2}});
+  cfg.emulate_speeds = false;
+  cfg.helper_period = std::chrono::milliseconds(1);
+  runtime::TaskRuntime rt(cfg);
+  const auto a = rt.register_class("alpha");
+  const auto b = rt.register_class("beta");
+  constexpr std::uint64_t kTasks = 600;
+  std::atomic<std::uint64_t> ran{0};
+  for (std::uint64_t i = 0; i < kTasks; ++i) {
+    rt.spawn(i % 2 == 0 ? a : b,
+             [&ran] { ran.fetch_add(1, std::memory_order_relaxed); });
+  }
+  rt.wait_all();
+  EXPECT_EQ(ran.load(), kTasks);
+  const auto history = rt.class_history();
+  ASSERT_GT(history.size(), std::max(a, b));
+  EXPECT_EQ(history[a].completed + history[b].completed, kTasks);
+  EXPECT_EQ(history[a].completed, kTasks / 2);
+  EXPECT_GT(history[a].mean_workload, 0.0);
+  EXPECT_LE(history[a].min_workload, history[a].max_workload);
+}
+
+}  // namespace
+}  // namespace wats::core

@@ -273,7 +273,12 @@ class NullWorkload : public sim::Workload {
   bool done() const override { return true; }
 };
 
-TEST(PolicyParity, WarmStartClusterMapMatchesAcrossBackends) {
+// Part two body, run with both completion-history paths: sharded (the
+// default — completions land in per-worker shards folded by the helper)
+// and locked (the pre-shard mutex-per-completion escape hatch). The
+// published class->cluster map must match the simulator's either way.
+void run_warm_start_parity(bool locked_history) {
+  SCOPED_TRACE(locked_history ? "locked_history" : "sharded_history");
   const AmcTopology topo("parity", {{2.0, 2}, {1.0, 2}});
   std::vector<TaskClassInfo> persisted(3);
   persisted[0].name = "render";
@@ -303,6 +308,7 @@ TEST(PolicyParity, WarmStartClusterMapMatchesAcrossBackends) {
   cfg.topology = topo;
   cfg.emulate_speeds = false;
   cfg.helper_period = std::chrono::microseconds(200);
+  cfg.locked_history = locked_history;
   runtime::TaskRuntime rt(cfg);
   rt.preload_history(persisted);
 
@@ -319,6 +325,14 @@ TEST(PolicyParity, WarmStartClusterMapMatchesAcrossBackends) {
     }
     EXPECT_EQ(rt.cluster_of(rt_id), want) << c.name;
   }
+}
+
+TEST(PolicyParity, WarmStartClusterMapMatchesAcrossBackends) {
+  run_warm_start_parity(/*locked_history=*/false);
+}
+
+TEST(PolicyParity, WarmStartClusterMapMatchesWithLockedHistory) {
+  run_warm_start_parity(/*locked_history=*/true);
 }
 
 }  // namespace
