@@ -9,13 +9,20 @@ namespace wats::core {
 
 ContiguousPartition allocate_sorted(std::span<const double> sorted_workloads,
                                     const AmcTopology& topo) {
-  WATS_CHECK_MSG(
+  // Precondition, debug builds only: the O(m log m) sortedness scan is
+  // pure paranoia on a path re-run every helper tick, so release builds
+  // skip it (callers that cannot guarantee order use allocate()).
+  WATS_DCHECK_MSG(
       std::is_sorted(sorted_workloads.begin(), sorted_workloads.end(),
                      std::greater<>()),
       "Algorithm 1 requires workloads sorted in descending order");
 
   const std::size_t m = sorted_workloads.size();
   const std::size_t k = topo.group_count();
+  // AmcTopology drops empty c-groups at construction and rejects
+  // non-positive frequencies, so every capacity below is > 0 and TL is
+  // well-defined; all-zero workloads give TL = 0 and every item lands in
+  // group 0 (no budget is ever exceeded).
   const double tl = makespan_lower_bound(sorted_workloads, topo);
 
   ContiguousPartition p;

@@ -1,13 +1,23 @@
 #include "core/cluster.hpp"
 
 #include <algorithm>
-#include <numeric>
 
-#include "core/allocation.hpp"
-#include "core/alt_allocation.hpp"
+#include "core/partitioner.hpp"
 #include "util/check.hpp"
 
 namespace wats::core {
+
+const char* to_string(ClusterAlgorithm algorithm) {
+  switch (algorithm) {
+    case ClusterAlgorithm::kAlgorithm1:
+      return "algorithm1";
+    case ClusterAlgorithm::kDualApprox:
+      return "dual_approx";
+    case ClusterAlgorithm::kExactDp:
+      return "exact_dp";
+  }
+  return "?";
+}
 
 ClusterMap::ClusterMap(std::size_t class_count, std::size_t group_count)
     : assignment_(class_count, 0), group_count_(group_count) {
@@ -46,50 +56,15 @@ ClusterMap ClusterMap::build(const std::vector<TaskClassInfo>& classes,
     weights.push_back(classes[idx].total_workload());
   }
 
-  if (algorithm == ClusterAlgorithm::kDualApprox) {
-    const auto alt = allocate_dual_approx(weights, topo);
-    for (std::size_t i = 0; i < with_history.size(); ++i) {
-      map.assignment_[with_history[i]] = alt.group_of_item[i];
-    }
-    return map;
-  }
-
-  // Algorithm 1 requires weights sorted descending; classes sorted by mean
-  // workload are not necessarily sorted by total workload, so we run the
-  // boundary walk directly on the w-sorted order (this is what the paper
-  // specifies: split the *w-sorted class list* by accumulated n*w).
-  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
-  const double tl = total / topo.total_capacity();
-
-  // Boundary rounding as in core/allocation.cpp: the class at a group
-  // boundary goes to whichever side keeps the group's finish time closer
-  // to TL (Algorithm 1's stated objective).
-  double acc = 0.0;
-  GroupIndex g = 0;
+  // The partitioners all consume the same inputs: the w-sorted weight
+  // list plus the topology. kAlgorithm1 runs the boundary walk directly
+  // on the w-sorted order (what the paper specifies: split the *w-sorted
+  // class list* by accumulated n*w, even though classes sorted by mean
+  // workload are not necessarily sorted by total workload).
+  const auto assignment =
+      make_partitioner(algorithm)->partition(weights, topo);
   for (std::size_t i = 0; i < with_history.size(); ++i) {
-    acc += weights[i];
-    GroupIndex assign_to = g;
-    if (g + 1 < topo.group_count()) {
-      const double budget = tl * topo.group_capacity(g);
-      if (acc > budget) {
-        const double overshoot = acc - budget;
-        const double undershoot = budget - (acc - weights[i]);
-        // Same boundary rule as core/allocation.cpp: keep unless pushing
-        // yields a strictly better worst finish time.
-        const double keep_finish = acc / topo.group_capacity(g);
-        const double push_floor = weights[i] / topo.group_capacity(g + 1);
-        if (overshoot <= undershoot || push_floor > keep_finish) {
-          assign_to = g;  // keep the boundary class in this group
-          ++g;
-          acc = 0.0;
-        } else {
-          ++g;
-          assign_to = g;
-          acc = weights[i];
-        }
-      }
-    }
-    map.assignment_[with_history[i]] = assign_to;
+    map.assignment_[with_history[i]] = assignment[i];
   }
   return map;
 }

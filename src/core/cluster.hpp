@@ -22,7 +22,14 @@ enum class ClusterAlgorithm {
   /// (non-contiguous; §II-C's cited alternative [14]). More precise on
   /// coarse class sets, costlier to rebuild.
   kDualApprox,
+  /// Exact branch-and-bound optimum (core/partitioner.hpp's
+  /// ExactPartitioner). Primarily the quality oracle for tests and
+  /// bench_allocation_quality; safe online for small class counts (above
+  /// its item cap it degrades to the best seeding heuristic).
+  kExactDp,
 };
+
+const char* to_string(ClusterAlgorithm algorithm);
 
 /// Immutable class->cluster mapping produced by one run of the clustering
 /// step. Cluster indices coincide with c-group indices (the paper's

@@ -16,6 +16,11 @@ double makespan_lower_bound(std::span<const double> workloads,
 
 double makespan_lower_bound(double total_workload, const AmcTopology& topo) {
   WATS_CHECK(total_workload >= 0.0);
+  // Guards TL = sum_w / sum(Fi*Ni) against a zero denominator: AmcTopology
+  // drops empty c-groups at construction and requires positive
+  // frequencies, so a validated topology can never reach zero here.
+  WATS_CHECK_MSG(topo.total_capacity() > 0.0,
+                 "TL needs positive total capacity");
   return total_workload / topo.total_capacity();
 }
 

@@ -1,0 +1,75 @@
+#include "core/partition_plan.hpp"
+
+#include <algorithm>
+
+#include "core/lower_bound.hpp"
+#include "core/partitioner.hpp"
+
+namespace wats::core {
+
+PartitionPlan build_partition_plan(const std::vector<TaskClassInfo>& classes,
+                                   const AmcTopology& topo,
+                                   ClusterAlgorithm algorithm,
+                                   const PartitionPlan* previous) {
+  PartitionPlan plan;
+  plan.epoch = previous == nullptr ? 1 : previous->epoch + 1;
+  plan.algorithm = algorithm;
+  plan.map = ClusterMap::build(classes, topo, algorithm);
+
+  // Evaluate the assignment over ALL classes: classes without history
+  // carry zero weight (they sit in group 0 under every plan), so they
+  // influence neither the finish times nor the diff.
+  std::vector<double> weights(classes.size(), 0.0);
+  double total = 0.0;
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    if (classes[i].completed > 0) {
+      weights[i] = classes[i].total_workload();
+      total += weights[i];
+    }
+  }
+  plan.group_finish =
+      assignment_finish_times(weights, plan.map.assignment(), topo);
+  plan.lower_bound = makespan_lower_bound(total, topo);
+  plan.makespan =
+      plan.group_finish.empty()
+          ? 0.0
+          : *std::max_element(plan.group_finish.begin(),
+                              plan.group_finish.end());
+  plan.ratio_to_tl =
+      plan.lower_bound == 0.0 ? 1.0 : plan.makespan / plan.lower_bound;
+
+  // Diff vs the previous plan, through the same lookup a reader uses:
+  // ids beyond the old map resolve to group 0 (§III-A's unknown-class
+  // rule), so a new class assigned to group 0 is NOT a move — publishing
+  // would not change where its tasks go.
+  std::vector<GroupIndex> stale(classes.size(), 0);
+  for (std::size_t id = 0; id < classes.size(); ++id) {
+    stale[id] = previous == nullptr
+                    ? 0
+                    : previous->map.cluster_of(static_cast<TaskClassId>(id));
+    if (stale[id] != plan.map.assignment()[id]) {
+      ++plan.diff.classes_moved;
+      plan.diff.weight_moved += weights[id];
+    }
+  }
+  plan.diff.assignment_identical = plan.diff.classes_moved == 0;
+  plan.diff.stale_makespan = assignment_makespan(weights, stale, topo);
+  return plan;
+}
+
+bool plan_gate_allows(const PlanGate& gate, const PartitionPlan& candidate) {
+  if (gate.always_republish) return true;
+  // An assignment-identical candidate is unobservable to readers; its
+  // fresh finish-time predictions still reach the caller through the
+  // ReclusterOutcome, so nothing is lost by not republishing.
+  if (candidate.diff.assignment_identical) return false;
+  if (candidate.diff.classes_moved > gate.max_classes_moved) {
+    const double stale = candidate.diff.stale_makespan;
+    const double improvement =
+        stale > 0.0 ? (stale - candidate.makespan) / stale : 0.0;
+    if (improvement < gate.min_rel_improvement) return false;
+  }
+  return true;
+}
+
+}  // namespace wats::core

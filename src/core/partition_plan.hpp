@@ -1,0 +1,92 @@
+// The versioned output of one recluster pass.
+//
+// A PartitionPlan is an immutable snapshot of everything one run of a
+// partitioner decided: the class->c-group assignment (as a ClusterMap),
+// the predicted per-group finish times for the weights it was built from,
+// how the predicted makespan compares to Lemma 1's TL, and a diff against
+// the previously published plan (classes moved, weight moved). Plans are
+// epoch-versioned — the epoch increments once per PUBLISHED plan — so the
+// runtime helper loop, the simulator, and the obs layer can all talk
+// about the same plan identity instead of "the map was rebuilt".
+//
+// The PlanGate decides whether a freshly built candidate is worth
+// publishing at all (see DESIGN.md "PartitionPlan pipeline"): republishing
+// an assignment-identical plan buys nothing, and under live history drift
+// a plan that moves many classes for a marginal predicted gain thrashes
+// task placement. The old always-republish behavior stays available
+// behind `always_republish` for honest A/B numbers.
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/task_class.hpp"
+#include "core/topology.hpp"
+
+namespace wats::core {
+
+/// How a candidate plan differs from the previously published one.
+struct PlanDiff {
+  /// Classes whose assigned c-group changed (classes interned since the
+  /// previous plan count as moved when they land outside group 0 — a
+  /// reader of the OLD map resolves their out-of-range id to group 0).
+  std::size_t classes_moved = 0;
+  /// Total weight (n*w, F1-normalized) of the moved classes.
+  double weight_moved = 0.0;
+  /// True iff classes_moved == 0: every class resolves to the same
+  /// c-group under both plans, so publishing would change nothing.
+  bool assignment_identical = true;
+  /// Predicted makespan of KEEPING the previous assignment under the
+  /// candidate's (fresh) weights — what the churn gate compares the
+  /// candidate's makespan against to price an actual improvement.
+  double stale_makespan = 0.0;
+};
+
+/// Immutable, epoch-versioned result of one partitioner run.
+struct PartitionPlan {
+  /// Publication epoch: 0 for the pre-history empty plan a policy binds
+  /// with, then +1 per published plan. Skipped candidates burn no epoch.
+  std::uint64_t epoch = 0;
+  ClusterAlgorithm algorithm = ClusterAlgorithm::kAlgorithm1;
+  ClusterMap map = ClusterMap(0, 1);
+  /// Predicted finish time per c-group for the planned weights.
+  std::vector<double> group_finish;
+  double lower_bound = 0.0;  ///< Lemma 1 TL over the planned weights.
+  double makespan = 0.0;     ///< predicted max group finish.
+  double ratio_to_tl = 1.0;  ///< makespan / TL (1.0 when TL == 0).
+  PlanDiff diff;             ///< vs the previously published plan.
+};
+
+/// The publication gate: when is a fresh candidate worth swinging readers
+/// to? Defaults are behavior-neutral: identical candidates are skipped
+/// (readers could not observe the republish anyway) and the churn rule is
+/// disabled (max_classes_moved unbounded).
+struct PlanGate {
+  /// Escape hatch: pre-refactor behavior — publish every candidate, even
+  /// assignment-identical ones.
+  bool always_republish = false;
+  /// Churn hysteresis: a candidate moving MORE than max_classes_moved
+  /// classes is only published when its predicted relative makespan
+  /// improvement over keeping the current assignment (at the fresh
+  /// weights) reaches min_rel_improvement. The default never triggers.
+  std::size_t max_classes_moved = static_cast<std::size_t>(-1);
+  double min_rel_improvement = 0.0;
+};
+
+/// One recluster pass: filter classes with history, sort by descending
+/// mean workload, weight by n*w (§III-A), run `algorithm`'s partitioner,
+/// and evaluate the result (finish times, TL, ratio, diff vs `previous`).
+/// `previous` may be null (first plan; diff is taken against the all-
+/// zeros assignment every reader falls back to). The candidate's epoch is
+/// previous->epoch + 1 — the caller only keeps it on publish.
+PartitionPlan build_partition_plan(const std::vector<TaskClassInfo>& classes,
+                                   const AmcTopology& topo,
+                                   ClusterAlgorithm algorithm,
+                                   const PartitionPlan* previous);
+
+/// Does `gate` allow publishing `candidate`? (Pure; the policy kernel
+/// calls this under its rebuild lock.)
+bool plan_gate_allows(const PlanGate& gate, const PartitionPlan& candidate);
+
+}  // namespace wats::core

@@ -1,0 +1,192 @@
+#include "core/partitioner.hpp"
+
+#include <algorithm>
+#include <limits>
+#include <numeric>
+
+#include "core/allocation.hpp"
+#include "core/alt_allocation.hpp"
+#include "core/lower_bound.hpp"
+#include "util/check.hpp"
+
+namespace wats::core {
+
+double assignment_makespan(std::span<const double> weights,
+                           std::span<const GroupIndex> assignment,
+                           const AmcTopology& topo) {
+  const auto finish = assignment_finish_times(weights, assignment, topo);
+  return finish.empty() ? 0.0
+                        : *std::max_element(finish.begin(), finish.end());
+}
+
+std::vector<double> assignment_finish_times(
+    std::span<const double> weights, std::span<const GroupIndex> assignment,
+    const AmcTopology& topo) {
+  WATS_CHECK(weights.size() == assignment.size());
+  std::vector<double> load(topo.group_count(), 0.0);
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    WATS_CHECK(assignment[i] < topo.group_count());
+    load[assignment[i]] += weights[i];
+  }
+  for (GroupIndex g = 0; g < topo.group_count(); ++g) {
+    load[g] /= topo.group_capacity(g);
+  }
+  return load;
+}
+
+std::vector<GroupIndex> GreedyPartitioner::partition(
+    std::span<const double> weights, const AmcTopology& topo) const {
+  std::vector<GroupIndex> assignment(weights.size(), 0);
+  if (weights.empty() || topo.group_count() == 1) return assignment;
+
+  const double total = std::accumulate(weights.begin(), weights.end(), 0.0);
+  const double tl = total / topo.total_capacity();
+
+  // Algorithm 1's boundary walk over the items IN THE GIVEN ORDER, with
+  // the same boundary-rounding rule as core/allocation.cpp: the class at
+  // a group boundary goes to whichever side keeps the group's finish time
+  // closer to TL (Algorithm 1's stated objective). This is the exact walk
+  // ClusterMap::build ran inline before the partitioner refactor — the
+  // fig6-10 goldens depend on it byte for byte.
+  double acc = 0.0;
+  GroupIndex g = 0;
+  for (std::size_t i = 0; i < weights.size(); ++i) {
+    acc += weights[i];
+    GroupIndex assign_to = g;
+    if (g + 1 < topo.group_count()) {
+      const double budget = tl * topo.group_capacity(g);
+      if (acc > budget) {
+        const double overshoot = acc - budget;
+        const double undershoot = budget - (acc - weights[i]);
+        // Keep unless pushing yields a strictly better worst finish time.
+        const double keep_finish = acc / topo.group_capacity(g);
+        const double push_floor = weights[i] / topo.group_capacity(g + 1);
+        if (overshoot <= undershoot || push_floor > keep_finish) {
+          assign_to = g;  // keep the boundary item in this group
+          ++g;
+          acc = 0.0;
+        } else {
+          ++g;
+          assign_to = g;
+          acc = weights[i];
+        }
+      }
+    }
+    assignment[i] = assign_to;
+  }
+  return assignment;
+}
+
+std::vector<GroupIndex> DualApproxPartitioner::partition(
+    std::span<const double> weights, const AmcTopology& topo) const {
+  if (weights.empty()) return {};
+  return allocate_dual_approx(weights, topo, iterations_).group_of_item;
+}
+
+std::vector<GroupIndex> ExactPartitioner::partition(
+    std::span<const double> weights, const AmcTopology& topo) const {
+  const std::size_t m = weights.size();
+  const std::size_t k = topo.group_count();
+  std::vector<GroupIndex> best(m, 0);
+  if (m == 0 || k == 1) return best;
+
+  // Seed the incumbent with every cheap heuristic we have. This is what
+  // makes the oracle guarantee unconditional: even when the node budget
+  // (or max_items) truncates the search, the result is the best of
+  // {greedy-in-order, greedy-on-sorted, LPT, dual approximation} — never
+  // worse than any of them.
+  double best_makespan = std::numeric_limits<double>::infinity();
+  auto consider = [&](std::vector<GroupIndex> assignment) {
+    const double ms = assignment_makespan(weights, assignment, topo);
+    if (ms < best_makespan) {
+      best_makespan = ms;
+      best = std::move(assignment);
+    }
+  };
+  consider(GreedyPartitioner{}.partition(weights, topo));
+  consider(allocate_lpt(weights, topo).group_of_item);
+  consider(allocate_dual_approx(weights, topo).group_of_item);
+
+  std::vector<std::size_t> order(m);
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(), [&](std::size_t a,
+                                                   std::size_t b) {
+    return weights[a] > weights[b];
+  });
+  {
+    // Algorithm 1 proper (descending order) — can beat the in-order walk
+    // when the caller's order is not weight-sorted.
+    std::vector<double> sorted(m);
+    for (std::size_t i = 0; i < m; ++i) sorted[i] = weights[order[i]];
+    const ContiguousPartition p = allocate_sorted(sorted, topo);
+    std::vector<GroupIndex> assignment(m, 0);
+    for (GroupIndex g = 0; g < k; ++g) {
+      for (std::size_t i = p.group_begin(g); i < p.group_end(g); ++i) {
+        assignment[order[i]] = g;
+      }
+    }
+    consider(std::move(assignment));
+  }
+  if (m > max_items_) return best;
+
+  // Branch and bound over per-item group choices, items in descending
+  // weight order (big decisions first = early pruning). A branch is cut
+  // when its partial makespan already reaches the incumbent; groups that
+  // are indistinguishable (same capacity, same current load) are tried
+  // only once per level.
+  std::vector<double> w_desc(m);
+  for (std::size_t i = 0; i < m; ++i) w_desc[i] = weights[order[i]];
+  std::vector<double> caps(k);
+  for (GroupIndex g = 0; g < k; ++g) caps[g] = topo.group_capacity(g);
+
+  std::vector<double> loads(k, 0.0);
+  std::vector<GroupIndex> current(m, 0);
+  std::uint64_t nodes = 0;
+
+  auto dfs = [&](auto&& self, std::size_t i, double partial_makespan) -> void {
+    if (nodes >= node_budget_) return;
+    ++nodes;
+    if (i == m) {
+      // partial_makespan is now the full makespan; strictly-better only,
+      // so ties keep the deterministic seed assignment.
+      best_makespan = partial_makespan;
+      for (std::size_t j = 0; j < m; ++j) best[order[j]] = current[j];
+      return;
+    }
+    for (GroupIndex g = 0; g < k; ++g) {
+      bool symmetric_dup = false;
+      for (GroupIndex h = 0; h < g; ++h) {
+        if (caps[h] == caps[g] && loads[h] == loads[g]) {
+          symmetric_dup = true;
+          break;
+        }
+      }
+      if (symmetric_dup) continue;
+      loads[g] += w_desc[i];
+      const double child =
+          std::max(partial_makespan, loads[g] / caps[g]);
+      if (child < best_makespan) {
+        current[i] = g;
+        self(self, i + 1, child);
+      }
+      loads[g] -= w_desc[i];
+    }
+  };
+  dfs(dfs, 0, 0.0);
+  return best;
+}
+
+std::unique_ptr<Partitioner> make_partitioner(ClusterAlgorithm algorithm) {
+  switch (algorithm) {
+    case ClusterAlgorithm::kAlgorithm1:
+      return std::make_unique<GreedyPartitioner>();
+    case ClusterAlgorithm::kDualApprox:
+      return std::make_unique<DualApproxPartitioner>();
+    case ClusterAlgorithm::kExactDp:
+      return std::make_unique<ExactPartitioner>();
+  }
+  WATS_CHECK_MSG(false, "unknown ClusterAlgorithm");
+  __builtin_unreachable();
+}
+
+}  // namespace wats::core

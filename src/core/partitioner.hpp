@@ -1,0 +1,119 @@
+// Pluggable static partitioners: one interface over every algorithm that
+// splits weighted items (task classes weighted by n*w) across the k
+// c-groups of an AMC machine.
+//
+// The recluster pipeline (core/partition_plan.hpp) builds PartitionPlans
+// through this interface, so the paper's Algorithm 1 greedy walk, the
+// Hochbaum–Shmoys dual approximation, and the exact branch-and-bound
+// oracle are interchangeable: same inputs (item weights in w-sorted class
+// order + topology), same output (a per-item group assignment). The exact
+// partitioner exists primarily as a QUALITY ORACLE — tests and
+// bench_allocation_quality measure how far greedy/dual-approx sit from
+// the optimum — but it is cheap enough to run online for small class
+// counts (see ExactPartitioner::max_items).
+#pragma once
+
+#include <cstdint>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "core/cluster.hpp"
+#include "core/topology.hpp"
+
+namespace wats::core {
+
+/// A static allocator of weighted items to c-groups. Implementations are
+/// stateless w.r.t. the items (safe to reuse across reclusters) and must
+/// be deterministic: identical inputs yield identical assignments (the
+/// fig6-10 bit-reproducibility and the plan-diff hysteresis both depend
+/// on this).
+class Partitioner {
+ public:
+  virtual ~Partitioner() = default;
+
+  /// Assign each item to a group. `weights` follows the caller's item
+  /// order (the recluster pipeline passes classes sorted by descending
+  /// mean workload, per §III-A — NOT necessarily by descending weight).
+  /// Returns one GroupIndex per item, each < topo.group_count().
+  virtual std::vector<GroupIndex> partition(std::span<const double> weights,
+                                            const AmcTopology& topo) const = 0;
+
+  /// Stable identifier for traces / bench output.
+  virtual std::string name() const = 0;
+};
+
+/// The paper's Algorithm 1: greedy contiguous split of the item list
+/// against per-group budgets TL * Fi * Ni, with the boundary-rounding
+/// refinement documented in DESIGN.md (the overflow item stays in the
+/// current group when that leaves the finish time closer to TL). Walks
+/// the items IN THE GIVEN ORDER — this is byte-for-byte the walk
+/// ClusterMap::build has always run on the w-sorted class list.
+class GreedyPartitioner final : public Partitioner {
+ public:
+  std::vector<GroupIndex> partition(std::span<const double> weights,
+                                    const AmcTopology& topo) const override;
+  std::string name() const override { return "greedy"; }
+};
+
+/// Hochbaum–Shmoys style dual approximation (§II-C's cited alternative
+/// [14]): binary search on the target makespan with an FFD packing
+/// oracle. Non-contiguous; wraps core/alt_allocation.cpp.
+class DualApproxPartitioner final : public Partitioner {
+ public:
+  explicit DualApproxPartitioner(int iterations = 40)
+      : iterations_(iterations) {}
+
+  std::vector<GroupIndex> partition(std::span<const double> weights,
+                                    const AmcTopology& topo) const override;
+  std::string name() const override { return "dual_approx"; }
+
+ private:
+  int iterations_;
+};
+
+/// Exact optimal partitioner: branch-and-bound over per-item group
+/// choices, minimizing the makespan max_g(load_g / cap_g). The incumbent
+/// is seeded with the best of {greedy on the descending-sorted items,
+/// LPT, dual approximation}, so the result is NEVER worse than any of
+/// those even when the node budget truncates the search — the invariant
+/// the quality-oracle property tests rely on.
+///
+/// Feasible at the paper's scale (m <= ~20 classes, k <= 4 groups explore
+/// in well under a millisecond); above `max_items` the search is skipped
+/// entirely and the best seed is returned, so the partitioner stays safe
+/// to leave enabled online.
+class ExactPartitioner final : public Partitioner {
+ public:
+  explicit ExactPartitioner(std::size_t max_items = 24,
+                            std::uint64_t node_budget = 4'000'000)
+      : max_items_(max_items), node_budget_(node_budget) {}
+
+  std::vector<GroupIndex> partition(std::span<const double> weights,
+                                    const AmcTopology& topo) const override;
+  std::string name() const override { return "exact"; }
+
+  std::size_t max_items() const { return max_items_; }
+
+ private:
+  std::size_t max_items_;
+  std::uint64_t node_budget_;
+};
+
+/// Makespan of an assignment: max over groups of (assigned weight /
+/// group capacity). Shared by the partitioners and the plan builder.
+double assignment_makespan(std::span<const double> weights,
+                           std::span<const GroupIndex> assignment,
+                           const AmcTopology& topo);
+
+/// Per-group predicted finish times of an assignment (size group_count).
+std::vector<double> assignment_finish_times(
+    std::span<const double> weights, std::span<const GroupIndex> assignment,
+    const AmcTopology& topo);
+
+/// The partitioner a ClusterAlgorithm names (used by ClusterMap::build
+/// and the plan pipeline so both stay in lockstep).
+std::unique_ptr<Partitioner> make_partitioner(ClusterAlgorithm algorithm);
+
+}  // namespace wats::core

@@ -19,6 +19,7 @@
 #include <vector>
 
 #include "core/cluster.hpp"
+#include "core/partition_plan.hpp"
 #include "core/policy/view.hpp"
 #include "core/task_class.hpp"
 #include "core/topology.hpp"
@@ -60,6 +61,12 @@ enum class CentralOrder {
 struct PolicyOptions {
   StealVictimRule steal_victim = StealVictimRule::kRandom;
   ClusterAlgorithm cluster_algorithm = ClusterAlgorithm::kAlgorithm1;
+  /// Publication gate for freshly built PartitionPlans (WATS family):
+  /// defaults skip only assignment-identical candidates (unobservable to
+  /// readers); set always_republish for the pre-refactor behavior or
+  /// tighten max_classes_moved / min_rel_improvement for churn
+  /// hysteresis under live history drift.
+  PlanGate plan_gate;
   /// Automatic fallback to plain stealing for divide-and-conquer programs
   /// (§IV-E): enabled when the observed self-recursive spawn fraction
   /// exceeds dnc_threshold after dnc_min_spawns spawns.
@@ -76,6 +83,37 @@ struct Placement {
   };
   Where where = Where::kLocalPool;
   GroupIndex lane = 0;  ///< task-cluster lane (always 0 for 1-lane policies)
+};
+
+/// What one maybe_recluster() call did. `attempted` is false when there
+/// was nothing to do (no new completions since the last attempt, or the
+/// policy keeps no history); `published` is true when readers were swung
+/// to a new plan. A skipped attempt reports why plus the candidate's diff
+/// so drivers can trace it without rebuilding anything.
+struct ReclusterOutcome {
+  bool attempted = false;
+  bool published = false;
+  enum class Skip : std::uint8_t {
+    kNone,       ///< published, or nothing attempted
+    kIdentical,  ///< candidate assignment-identical to the current plan
+    kChurn,      ///< churn hysteresis: too many moves, too little gain
+  };
+  Skip skip = Skip::kNone;
+  /// Epoch of the plan readers see AFTER this call (the fresh plan's on
+  /// publish, the retained plan's on skip).
+  std::uint64_t epoch = 0;
+  std::size_t classes_moved = 0;  ///< candidate's diff vs current plan
+  double weight_moved = 0.0;
+  double ratio_to_tl = 0.0;  ///< candidate's predicted makespan / TL
+};
+
+/// Lifetime counters for the plan pipeline (monotone; cheap to read).
+struct PlanStats {
+  std::uint64_t published = 0;  ///< plans readers were swung to
+  std::uint64_t skipped_identical = 0;
+  std::uint64_t skipped_churn = 0;
+
+  std::uint64_t skipped() const { return skipped_identical + skipped_churn; }
 };
 
 /// What an idle core should do. The decision is computed against a possibly
@@ -159,11 +197,19 @@ class PolicyKernel {
     (void)child;
   }
 
-  /// Recluster trigger (Algorithm 1): rebuild the class->cluster map iff
-  /// new completions arrived since the last rebuild. Returns true when a
-  /// rebuild happened. Thread-safe; the runtime's helper thread calls this
-  /// periodically while workers read the map.
-  virtual bool maybe_recluster() { return false; }
+  /// Recluster trigger (Algorithm 1): build a candidate PartitionPlan iff
+  /// new completions arrived since the last attempt, and publish it iff
+  /// the PolicyOptions::plan_gate allows. Thread-safe; the runtime's
+  /// helper thread calls this periodically while workers read the plan.
+  virtual ReclusterOutcome maybe_recluster() { return {}; }
+
+  /// The currently published plan, or null for policies without one.
+  /// The pointer stays valid for the policy's lifetime (retired plans are
+  /// only freed at destruction — same RCU discipline as the cluster map).
+  virtual const PartitionPlan* current_plan() const { return nullptr; }
+
+  /// Lifetime publish/skip counters for the plan pipeline.
+  virtual PlanStats plan_stats() const { return {}; }
 
   /// True when the §IV-E divide-and-conquer fallback currently routes
   /// everything through plain random stealing.

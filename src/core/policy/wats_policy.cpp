@@ -5,19 +5,30 @@
 //              slower core running the LARGEST remaining task
 //   - WATS-M:  WATS + memory-bound classes pinned to the slowest c-group
 //
-// The class->cluster map is published RCU-style: the helper thread (or the
-// simulator's completion hook) builds a fresh immutable ClusterMap and
-// publishes it through a plain atomic pointer; spawn-path readers load it
-// without taking any lock. Superseded maps are retired to a list that is
-// only freed when the policy is destroyed — a reader that loaded a stale
-// pointer can keep using it for as long as it likes. Rebuilds are rare
-// (once per helper period with new completions) and maps are a few words
-// per class, so the retired list stays tiny.
+// The class->cluster assignment is published RCU-style as an immutable,
+// epoch-versioned PartitionPlan: the helper thread (or the simulator's
+// completion hook) builds a fresh candidate through the Partitioner
+// pipeline and — when the PlanGate allows — publishes it through a plain
+// atomic pointer; spawn-path readers load it without taking any lock.
+// Superseded plans are retired to a list that is only freed when the
+// policy is destroyed — a reader that loaded a stale pointer can keep
+// using it for as long as it likes. Publishes are rare (at most once per
+// helper period with new completions, fewer under the gate) and plans are
+// a few words per class, so the retired list stays tiny.
+//
+// The gate (core/partition_plan.hpp) is what keeps live history drift
+// from thrashing task placement: assignment-identical candidates are
+// never republished (readers could not tell), and the optional churn
+// rule suppresses plans that move many classes for a marginal predicted
+// makespan gain. PolicyOptions::plan_gate.always_republish restores the
+// pre-gate behavior for A/B comparisons.
+#include <algorithm>
 #include <atomic>
 #include <memory>
 #include <mutex>
 
 #include "core/dnc_detect.hpp"
+#include "core/partition_plan.hpp"
 #include "core/policy/policy.hpp"
 #include "core/preference.hpp"
 #include "util/check.hpp"
@@ -40,12 +51,21 @@ class WatsPolicy : public PolicyKernel {
     k_ = topo.group_count();
     prefs_ = all_preference_lists(k_);
     if (registry_.total_completions() > 0) {
-      // Warm start: the registry carries persisted history — allocate
-      // from it immediately instead of treating every class as unknown.
+      // Warm start: the registry carries persisted history — publish a
+      // plan from it immediately (ungated: there are no readers yet and
+      // nothing to diff against but the empty epoch-0 plan) instead of
+      // treating every class as unknown.
       last_completions_ = registry_.total_completions();
-      rebuild();
+      PartitionPlan seed;  // epoch 0: the all-unknown empty plan
+      seed.map = ClusterMap(registry_.size(), k_);
+      publish(std::make_unique<const PartitionPlan>(build_partition_plan(
+          registry_.snapshot(), topology(), options.cluster_algorithm,
+          &seed)));
+      published_.fetch_add(1, std::memory_order_relaxed);
     } else {
-      publish(std::make_unique<const ClusterMap>(registry_.size(), k_));
+      auto empty = std::make_unique<PartitionPlan>();
+      empty->map = ClusterMap(registry_.size(), k_);
+      publish(std::move(empty));
     }
   }
 
@@ -62,7 +82,7 @@ class WatsPolicy : public PolicyKernel {
       return {Placement::Where::kLocalPool, 0};
     }
     GroupIndex cluster =
-        map_.load(std::memory_order_acquire)->cluster_of(cls);
+        plan_.load(std::memory_order_acquire)->map.cluster_of(cls);
     // WATS-M (§IV-E): classes OBSERVED to be memory-bound (mean scalable
     // fraction from counter history, not per-task oracle knowledge) gain
     // almost nothing from fast cores — pin them to the slowest c-group.
@@ -192,12 +212,51 @@ class WatsPolicy : public PolicyKernel {
     dnc_.record_spawn(parent, child);
   }
 
-  bool maybe_recluster() override {
+  ReclusterOutcome maybe_recluster() override {
     std::lock_guard lock(rebuild_mu_);
+    ReclusterOutcome out;
     const std::uint64_t total = registry_.total_completions();
-    if (total == last_completions_) return false;
+    const PartitionPlan* current = plan_.load(std::memory_order_relaxed);
+    out.epoch = current->epoch;
+    if (total == last_completions_) return out;
     last_completions_ = total;
-    rebuild();
+    out.attempted = true;
+
+    PartitionPlan candidate =
+        build_partition_plan(registry_.snapshot(), topology(),
+                             options().cluster_algorithm, current);
+    out.classes_moved = candidate.diff.classes_moved;
+    out.weight_moved = candidate.diff.weight_moved;
+    out.ratio_to_tl = candidate.ratio_to_tl;
+
+    if (!plan_gate_allows(options().plan_gate, candidate)) {
+      // Readers keep the current plan; the candidate (and its epoch) is
+      // dropped. Identical candidates are the common steady-state case.
+      out.skip = candidate.diff.assignment_identical
+                     ? ReclusterOutcome::Skip::kIdentical
+                     : ReclusterOutcome::Skip::kChurn;
+      if (out.skip == ReclusterOutcome::Skip::kIdentical) {
+        skipped_identical_.fetch_add(1, std::memory_order_relaxed);
+      } else {
+        skipped_churn_.fetch_add(1, std::memory_order_relaxed);
+      }
+      if (decisions_traced()) {
+        obs::DecisionRecord record;
+        record.kind = obs::DecisionKind::kRecluster;
+        record.reason = out.skip == ReclusterOutcome::Skip::kIdentical
+                            ? obs::ReasonCode::kPlanIdentical
+                            : obs::ReasonCode::kPlanChurnSuppressed;
+        record.chosen = static_cast<std::int32_t>(std::min<std::size_t>(
+            candidate.diff.classes_moved, 0x7FFFFFFF));
+        emit_decision(record);
+      }
+      return out;
+    }
+
+    out.published = true;
+    out.epoch = candidate.epoch;
+    publish(std::make_unique<const PartitionPlan>(std::move(candidate)));
+    published_.fetch_add(1, std::memory_order_relaxed);
     if (decisions_traced()) {
       obs::DecisionRecord record;
       record.kind = obs::DecisionKind::kRecluster;
@@ -206,7 +265,20 @@ class WatsPolicy : public PolicyKernel {
           registry_.size() < 0x7FFFFFFF ? registry_.size() : 0x7FFFFFFF);
       emit_decision(record);
     }
-    return true;
+    return out;
+  }
+
+  const PartitionPlan* current_plan() const override {
+    return plan_.load(std::memory_order_acquire);
+  }
+
+  PlanStats plan_stats() const override {
+    PlanStats stats;
+    stats.published = published_.load(std::memory_order_relaxed);
+    stats.skipped_identical =
+        skipped_identical_.load(std::memory_order_relaxed);
+    stats.skipped_churn = skipped_churn_.load(std::memory_order_relaxed);
+    return stats;
   }
 
   bool dnc_active() const override {
@@ -216,7 +288,7 @@ class WatsPolicy : public PolicyKernel {
   }
 
   GroupIndex cluster_of(TaskClassId cls) const override {
-    return map_.load(std::memory_order_acquire)->cluster_of(cls);
+    return plan_.load(std::memory_order_acquire)->map.cluster_of(cls);
   }
 
   std::vector<GroupIndex> wake_order(GroupIndex lane) const override {
@@ -244,16 +316,11 @@ class WatsPolicy : public PolicyKernel {
     }
   }
 
-  void rebuild() {
-    publish(std::make_unique<const ClusterMap>(ClusterMap::build(
-        registry_.snapshot(), topology(), options().cluster_algorithm)));
-  }
-
-  /// Swing readers to `next` and retire the old map. Callers are either
+  /// Swing readers to `next` and retire the old plan. Callers are either
   /// pre-run (bind) or hold rebuild_mu_ (maybe_recluster), so the retired
   /// list itself needs no extra lock.
-  void publish(std::unique_ptr<const ClusterMap> next) {
-    map_.store(next.get(), std::memory_order_release);
+  void publish(std::unique_ptr<const PartitionPlan> next) {
+    plan_.store(next.get(), std::memory_order_release);
     retired_.push_back(std::move(next));
   }
 
@@ -264,10 +331,13 @@ class WatsPolicy : public PolicyKernel {
 
   std::size_t k_ = 1;
   std::vector<std::vector<GroupIndex>> prefs_;
-  std::atomic<const ClusterMap*> map_{nullptr};
-  /// Every map ever published, newest last; freed only on destruction so
+  std::atomic<const PartitionPlan*> plan_{nullptr};
+  /// Every plan ever published, newest last; freed only on destruction so
   /// readers holding a stale pointer stay safe (see file comment).
-  std::vector<std::unique_ptr<const ClusterMap>> retired_;
+  std::vector<std::unique_ptr<const PartitionPlan>> retired_;
+  std::atomic<std::uint64_t> published_{0};
+  std::atomic<std::uint64_t> skipped_identical_{0};
+  std::atomic<std::uint64_t> skipped_churn_{0};
   DncDetector dnc_;
   std::atomic<int> dnc_state_{0};  ///< last traced DNC state (kDncFlip dedup)
   std::mutex rebuild_mu_;  // serializes rebuilds; readers never block

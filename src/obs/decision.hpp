@@ -50,7 +50,9 @@ enum class ReasonCode : std::uint8_t {
   // DNC flip / recluster.
   kDncEngaged,
   kDncReleased,
-  kHistoryRefresh,  ///< recluster: new completions folded in
+  kHistoryRefresh,  ///< recluster: new plan published from fresh history
+  kPlanIdentical,   ///< recluster skipped: candidate assignment-identical
+  kPlanChurnSuppressed,  ///< recluster skipped: churn hysteresis vetoed it
 };
 
 inline const char* to_string(DecisionKind kind) {
@@ -105,6 +107,10 @@ inline const char* to_string(ReasonCode reason) {
       return "dnc_released";
     case ReasonCode::kHistoryRefresh:
       return "history_refresh";
+    case ReasonCode::kPlanIdentical:
+      return "plan_identical";
+    case ReasonCode::kPlanChurnSuppressed:
+      return "plan_churn_suppressed";
   }
   return "?";
 }

@@ -167,6 +167,17 @@ std::string perfetto_from_events(
         args << "{\"count\":" << e.arg << ",\"lane\":" << +e.lane << "}";
         w.instant(kPid, tid, to_string(e.kind), "sched", ts, args.str());
         break;
+      case EventKind::kPlanPublish:
+        // Plan pipeline: cls carries the plan epoch, arg the classes the
+        // published plan moved relative to its predecessor.
+        args << "{\"epoch\":" << e.cls << ",\"moved\":" << e.arg << "}";
+        w.instant(kPid, tid, to_string(e.kind), "sched", ts, args.str());
+        break;
+      case EventKind::kPlanSkip:
+        args << "{\"epoch\":" << e.cls << ",\"reason\":\""
+             << (e.arg == 2 ? "churn" : "identical") << "\"}";
+        w.instant(kPid, tid, to_string(e.kind), "sched", ts, args.str());
+        break;
       case EventKind::kPark:
       case EventKind::kUnpark:
       case EventKind::kWake:

@@ -35,9 +35,11 @@ enum class EventKind : std::uint8_t {
   kUnpark,            ///< arg = 1 woken by a wake, 0 timed out (snatch poll)
   kWake,              ///< arg = c-group whose sleeper the spawn woke
   kHistoryMerge,      ///< arg = completions folded from the history shards
+  kPlanPublish,       ///< arg = classes moved by the plan; cls = plan epoch
+  kPlanSkip,          ///< arg = 1 identical / 2 churn-suppressed; cls = epoch
 };
 
-inline constexpr std::size_t kEventKindCount = 12;
+inline constexpr std::size_t kEventKindCount = 14;
 
 inline const char* to_string(EventKind kind) {
   switch (kind) {
@@ -65,6 +67,10 @@ inline const char* to_string(EventKind kind) {
       return "wake";
     case EventKind::kHistoryMerge:
       return "history_merge";
+    case EventKind::kPlanPublish:
+      return "plan_publish";
+    case EventKind::kPlanSkip:
+      return "plan_skip";
   }
   return "?";
 }

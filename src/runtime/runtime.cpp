@@ -147,6 +147,7 @@ TaskRuntime::TaskRuntime(RuntimeConfig config)
   opts.dnc_fallback = config_.dnc_fallback;
   opts.dnc_threshold = config_.dnc_threshold;
   opts.dnc_min_spawns = config_.dnc_min_spawns;
+  opts.plan_gate = config_.plan_gate;
   kernel_->bind(config_.topology, opts);
 
   const std::size_t n = config_.topology.total_cores();
@@ -164,6 +165,9 @@ TaskRuntime::TaskRuntime(RuntimeConfig config)
   shard_flushes_ = &metrics_.counter("shard_flushes");
   classes_discovered_ = &metrics_.counter("classes_discovered");
   history_merge_ns_ = &metrics_.histogram("history_merge_ns");
+  plans_published_ = &metrics_.counter("plans_published");
+  plans_skipped_counter_ = &metrics_.counter("plans_skipped");
+  partition_latency_ns_ = &metrics_.histogram("partition_latency_ns");
 
   if constexpr (obs::kTraceCompiledIn) {
     if (config_.trace.enabled) {
@@ -719,15 +723,25 @@ void TaskRuntime::worker_loop(std::size_t index) {
 }
 
 void TaskRuntime::helper_loop() {
-  // Algorithm 1 re-run: the kernel rebuilds and RCU-publishes the
-  // class->cluster map iff new completions arrived. The shard fold runs
-  // FIRST so the history Algorithm 1 partitions — and the completion
-  // count maybe_recluster() uses for change detection — include
-  // everything the workers recorded up to this tick.
+  // Algorithm 1 re-run: the kernel builds a candidate PartitionPlan iff
+  // new completions arrived and RCU-publishes it iff the plan gate
+  // allows. The shard fold runs FIRST so the history Algorithm 1
+  // partitions — and the completion count maybe_recluster() uses for
+  // change detection — include everything the workers recorded up to
+  // this tick.
   const auto recluster_tick = [this] {
     fold_history_shards(/*from_helper=*/true);
-    if (kernel_->maybe_recluster()) {
+    const auto t0 = std::chrono::steady_clock::now();
+    const core::policy::ReclusterOutcome outcome = kernel_->maybe_recluster();
+    if (!outcome.attempted) return;
+    partition_latency_ns_->record(static_cast<std::uint64_t>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(
+            std::chrono::steady_clock::now() - t0)
+            .count()));
+    if (outcome.published) {
       const auto total = reclusters_.fetch_add(1, std::memory_order_relaxed);
+      plans_published_->add(1);
+      metrics_.set_gauge("plan_ratio_to_tl", outcome.ratio_to_tl);
       if constexpr (obs::kTraceCompiledIn) {
         if (helper_ring_) {
           // The helper owns its own ring (worker id = total_cores).
@@ -735,6 +749,25 @@ void TaskRuntime::helper_loop() {
               obs::EventKind::kRecluster,
               static_cast<std::uint16_t>(workers_.size()), 0,
               obs::kObsNoClass, total + 1);
+          helper_ring_->emit(
+              obs::EventKind::kPlanPublish,
+              static_cast<std::uint16_t>(workers_.size()), 0,
+              static_cast<std::uint32_t>(outcome.epoch),
+              outcome.classes_moved);
+        }
+      }
+    } else {
+      plans_skipped_.fetch_add(1, std::memory_order_relaxed);
+      plans_skipped_counter_->add(1);
+      if constexpr (obs::kTraceCompiledIn) {
+        if (helper_ring_) {
+          helper_ring_->emit(
+              obs::EventKind::kPlanSkip,
+              static_cast<std::uint16_t>(workers_.size()), 0,
+              static_cast<std::uint32_t>(outcome.epoch),
+              outcome.skip == core::policy::ReclusterOutcome::Skip::kChurn
+                  ? 2
+                  : 1);
         }
       }
     }
@@ -796,6 +829,10 @@ RuntimeStats TaskRuntime::stats() const {
     g.resize(max_classes, 0);
   }
   s.reclusters = reclusters_.load(std::memory_order_relaxed);
+  s.plans_skipped = plans_skipped_.load(std::memory_order_relaxed);
+  if (const core::PartitionPlan* plan = kernel_->current_plan()) {
+    s.plan_epoch = plan->epoch;
+  }
   s.speed_swaps = speed_swaps_.load(std::memory_order_relaxed);
   s.failed_acquire_rounds = failed_rounds_.load(std::memory_order_relaxed);
   s.dnc_fallback_active = kernel_->dnc_active();

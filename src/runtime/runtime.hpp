@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/partition_plan.hpp"
 #include "core/policy/policy.hpp"
 #include "core/task_class.hpp"
 #include "core/topology.hpp"
@@ -92,6 +93,15 @@ struct RuntimeConfig {
   bool pin_threads = false;
   /// Helper-thread recluster period (the paper uses 1 ms).
   std::chrono::microseconds helper_period{1000};
+  /// PartitionPlan publication gate for the WATS family (see
+  /// core/partition_plan.hpp). The default skips only assignment-
+  /// identical candidates — behavior-neutral, since readers resolve to
+  /// the same c-group either way. Set plan_gate.always_republish = true
+  /// for the pre-gate behavior (every attempt publishes — the honest
+  /// "before" column of an A/B churn comparison), or bound
+  /// max_classes_moved / min_rel_improvement to add churn hysteresis
+  /// under live history drift.
+  core::PlanGate plan_gate;
   /// Automatic fallback to plain stealing for divide-and-conquer programs
   /// (§IV-E): enabled when the observed self-recursive spawn fraction
   /// exceeds dnc_threshold after dnc_min_spawns spawns.
@@ -121,7 +131,14 @@ struct RuntimeStats {
   std::uint64_t tasks_executed = 0;
   std::uint64_t steals = 0;
   std::uint64_t cross_cluster_acquires = 0;
-  std::uint64_t reclusters = 0;
+  std::uint64_t reclusters = 0;  ///< plans PUBLISHED by the helper loop
+  /// Recluster attempts the plan gate declined to publish (identical or
+  /// churn-suppressed candidates). reclusters + plans_skipped = attempts
+  /// that saw new completions.
+  std::uint64_t plans_skipped = 0;
+  /// Epoch of the currently published PartitionPlan (0 = the initial
+  /// all-unknown plan; +1 per publish).
+  std::uint64_t plan_epoch = 0;
   std::uint64_t speed_swaps = 0;  ///< kRtsSwap / kWatsTs only
   std::uint64_t failed_acquire_rounds = 0;  ///< idle loops finding nothing
   bool dnc_fallback_active = false;
@@ -346,6 +363,7 @@ class TaskRuntime {
   std::atomic<std::uint64_t> outstanding_{0};
   std::atomic<bool> stopping_{false};
   std::atomic<std::uint64_t> reclusters_{0};
+  std::atomic<std::uint64_t> plans_skipped_{0};
   std::atomic<std::uint64_t> speed_swaps_{0};
   std::atomic<std::uint64_t> failed_rounds_{0};
   std::mutex swap_mu_;  // serializes speed-scale swaps
@@ -380,6 +398,13 @@ class TaskRuntime {
   obs::Counter* shard_flushes_ = nullptr;
   obs::Counter* classes_discovered_ = nullptr;
   obs::Histogram* history_merge_ns_ = nullptr;
+
+  // Plan-pipeline accounting (always on; helper-thread writes only):
+  // publishes and gate skips, plus the wall latency of each recluster
+  // attempt that saw new completions (build + gate + publish).
+  obs::Counter* plans_published_ = nullptr;
+  obs::Counter* plans_skipped_counter_ = nullptr;
+  obs::Histogram* partition_latency_ns_ = nullptr;
 
   // wait_all / wait_all_for completion signal.
   std::mutex done_mu_;

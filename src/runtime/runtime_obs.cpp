@@ -76,6 +76,14 @@ std::string TaskRuntime::observability_summary(double wall_seconds) const {
   metrics_.counter("steals").set(s.steals);
   metrics_.counter("cross_cluster_acquires").set(s.cross_cluster_acquires);
   metrics_.counter("reclusters").set(s.reclusters);
+  metrics_.counter("plans_published").set(s.reclusters);
+  metrics_.counter("plans_skipped").set(s.plans_skipped);
+  metrics_.set_gauge("plan_epoch", static_cast<double>(s.plan_epoch));
+  if (const core::PartitionPlan* plan = kernel_->current_plan()) {
+    if (plan->epoch > 0) {
+      metrics_.set_gauge("plan_ratio_to_tl", plan->ratio_to_tl);
+    }
+  }
   metrics_.counter("speed_swaps").set(s.speed_swaps);
   metrics_.counter("failed_acquire_rounds").set(s.failed_acquire_rounds);
   if (tracing_enabled()) {

@@ -260,6 +260,14 @@ RunStats Engine::run() {
   WATS_CHECK_MSG(!scheduler_.has_pending(),
                  "simulation drained with tasks still queued");
   stats_.makespan = now_;
+  if (const core::policy::PolicyKernel* kernel = scheduler_.kernel()) {
+    const core::policy::PlanStats plan = kernel->plan_stats();
+    stats_.plans_published = plan.published;
+    stats_.plans_skipped = plan.skipped();
+    if (const core::PartitionPlan* current = kernel->current_plan()) {
+      stats_.plan_epoch = current->epoch;
+    }
+  }
   return stats_;
 }
 

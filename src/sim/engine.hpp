@@ -56,6 +56,11 @@ struct SimConfig {
   /// Static allocator used by the WATS family's recluster step.
   core::ClusterAlgorithm cluster_algorithm =
       core::ClusterAlgorithm::kAlgorithm1;
+  /// PartitionPlan publication gate for the WATS family (see
+  /// core/partition_plan.hpp). The default skips assignment-identical
+  /// candidates only — placement-neutral, so fig6-10 stay bit-identical;
+  /// always_republish restores the pre-gate behavior for A/B runs.
+  core::PlanGate plan_gate;
   /// Steal-victim selection for the deque-based schedulers (PFT, WATS
   /// family): uniformly random victim (the paper's policy) or the victim
   /// with the most queued work ("steal from the richest" variant).
@@ -76,6 +81,12 @@ struct RunStats {
   std::uint64_t tasks_completed = 0;
   std::uint64_t steals = 0;    ///< successful cross-core steals
   std::uint64_t snatches = 0;  ///< successful snatches (RTS / WATS-TS)
+  /// Plan pipeline (WATS family; zero for kernels without one): plans
+  /// readers were swung to vs candidates the gate declined, and the epoch
+  /// of the final published plan.
+  std::uint64_t plans_published = 0;
+  std::uint64_t plans_skipped = 0;
+  std::uint64_t plan_epoch = 0;
   std::uint64_t failed_acquires = 0;  ///< idle offers that found nothing
   double total_work = 0.0;     ///< F1-normalized work units completed
   std::vector<double> busy_time;      ///< per-core time spent executing

@@ -37,6 +37,10 @@ namespace wats::util {
 #define WATS_DCHECK(expr) \
   do {                    \
   } while (false)
+#define WATS_DCHECK_MSG(expr, msg) \
+  do {                             \
+  } while (false)
 #else
 #define WATS_DCHECK(expr) WATS_CHECK(expr)
+#define WATS_DCHECK_MSG(expr, msg) WATS_CHECK_MSG(expr, msg)
 #endif

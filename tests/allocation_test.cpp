@@ -79,9 +79,67 @@ TEST(Algorithm1, FewerTasksThanGroups) {
   EXPECT_GT(total, 0.0);
 }
 
-TEST(Algorithm1, RejectsUnsortedInput) {
+#ifndef NDEBUG
+// The sortedness precondition is a debug assert (WATS_DCHECK_MSG): the
+// O(m log m) scan is compiled out of release builds, where allocate()
+// is the safe entry point for unsorted inputs.
+TEST(Algorithm1, RejectsUnsortedInputInDebugBuilds) {
   const std::vector<double> w{1, 6};
   EXPECT_DEATH(allocate_sorted(w, two_groups()), "descending");
+}
+#endif
+
+TEST(Algorithm1, AllZeroWorkloadsLandInFastestGroup) {
+  // TL = 0, every budget is 0, and no item ever exceeds it: the whole
+  // (weightless) list stays in group 0 and the partition is still valid.
+  const std::vector<double> w{0, 0, 0, 0};
+  const ContiguousPartition p = allocate_sorted(w, two_groups());
+  EXPECT_EQ(p.group_begin(0), 0u);
+  EXPECT_EQ(p.group_end(0), 4u);
+  EXPECT_EQ(p.group_begin(1), 4u);  // empty
+  EXPECT_DOUBLE_EQ(partition_makespan(w, p, two_groups()), 0.0);
+}
+
+TEST(EvaluateAllocation, AllZeroWorkloadsReportOptimalRatio) {
+  const std::vector<double> w{0, 0, 0};
+  const AllocationQuality q = evaluate_allocation(w, two_groups());
+  EXPECT_DOUBLE_EQ(q.lower_bound, 0.0);
+  EXPECT_DOUBLE_EQ(q.makespan, 0.0);
+  EXPECT_DOUBLE_EQ(q.ratio, 1.0);  // zero-workload guard: no 0/0
+}
+
+TEST(EvaluateAllocation, EmptyInputIsWellDefined) {
+  const std::vector<double> w;
+  const AllocationQuality q = evaluate_allocation(w, two_groups());
+  EXPECT_DOUBLE_EQ(q.makespan, 0.0);
+  EXPECT_DOUBLE_EQ(q.ratio, 1.0);
+  ASSERT_EQ(q.group_finish.size(), 2u);
+  EXPECT_DOUBLE_EQ(q.group_finish[0], 0.0);
+  EXPECT_DOUBLE_EQ(q.group_finish[1], 0.0);
+}
+
+TEST(DegenerateTopology, EmptyGroupsAreDroppedBeforeTlDivides) {
+  // An empty c-group never reaches the TL denominator: AmcTopology drops
+  // zero-core groups at construction, so capacity stays positive and
+  // allocate_sorted sees only the real groups.
+  const AmcTopology topo("empty-mid", {{2.0, 1}, {1.5, 0}, {1.0, 2}});
+  EXPECT_EQ(topo.group_count(), 2u);
+  EXPECT_DOUBLE_EQ(topo.total_capacity(), 4.0);
+  const std::vector<double> w{6, 3, 2, 1};
+  EXPECT_DOUBLE_EQ(makespan_lower_bound(w, topo), 3.0);
+  const ContiguousPartition p = allocate_sorted(w, topo);
+  EXPECT_EQ(p.boundaries.size(), 2u);
+  EXPECT_EQ(p.boundaries.back(), 4u);
+}
+
+TEST(DegenerateTopology, SingleCoreMachine) {
+  const AmcTopology topo("1c", {{1.0, 1}});
+  const std::vector<double> w{5, 3};
+  const ContiguousPartition p = allocate_sorted(w, topo);
+  EXPECT_EQ(p.group_end(0), 2u);
+  EXPECT_DOUBLE_EQ(partition_makespan(w, p, topo), 8.0);
+  const AllocationQuality q = evaluate_allocation(w, topo);
+  EXPECT_DOUBLE_EQ(q.ratio, 1.0);  // one group: always exactly TL
 }
 
 TEST(Allocate, ReturnsAssignmentInOriginalOrder) {

@@ -67,6 +67,85 @@ TEST(HistoryIo, FileRoundTrip) {
   std::remove(path.c_str());
 }
 
+TEST(HistoryIo, SaveLoadSaveIsByteStable) {
+  // Regression for the save -> load -> save cycle: serializing a registry
+  // restored from a history file reproduces the file byte-for-byte, so
+  // repeated runs that persist on exit cannot drift the statistics.
+  TaskClassRegistry source;
+  const auto a = source.intern("alpha");
+  const auto b = source.intern("beta");
+  for (int i = 0; i < 7; ++i) source.record_completion(a, 12.5);
+  for (int i = 0; i < 3; ++i) source.record_completion(b, 0.25);
+  const std::string first = serialize_history(source);
+
+  TaskClassRegistry restored;
+  load_history(restored, first);
+  EXPECT_EQ(serialize_history(restored), first);
+
+  // And once more through the merge path preload_history uses: merging
+  // into an EMPTY registry must equal the persisted statistics exactly.
+  TaskClassRegistry merged;
+  merged.merge_history(merged.intern("alpha"), 7, 12.5);
+  merged.merge_history(merged.intern("beta"), 3, 0.25);
+  EXPECT_EQ(serialize_history(merged), first);
+}
+
+TEST(HistoryIo, PreloadMergesWithLiveHistory) {
+  // Since the merge rework, preload_history MERGES persisted statistics
+  // with live ones (same order-insensitive combine as shard folding)
+  // instead of clobbering them. Persisted: 4 completions of mean 2.0.
+  // Live: 4 completions of mean 4.0. Merged mean must be 3.0.
+  std::vector<TaskClassInfo> persisted(1);
+  persisted[0].name = "mixed";
+  persisted[0].completed = 4;
+  persisted[0].mean_workload = 2.0;
+
+  runtime::RuntimeConfig cfg;
+  cfg.topology = AmcTopology("m", {{2.0, 1}, {1.0, 1}});
+  cfg.emulate_speeds = false;
+  runtime::TaskRuntime rt(cfg);
+  const auto id = rt.register_class("mixed");
+  for (int i = 0; i < 4; ++i) {
+    rt.spawn(id, [] {});
+  }
+  rt.wait_all();
+  // The spawned tasks recorded real measured workloads; build the merge
+  // expectation from whatever is live right now.
+  const auto live = rt.class_history();
+  ASSERT_EQ(live.size(), 1u);
+  const std::uint64_t live_n = live[0].completed;
+  const double live_sum = live[0].mean_workload * double(live_n);
+
+  rt.preload_history(persisted);
+  const auto merged = rt.class_history();
+  ASSERT_EQ(merged.size(), 1u);
+  EXPECT_EQ(merged[0].completed, live_n + 4);
+  EXPECT_NEAR(merged[0].mean_workload,
+              (live_sum + 4 * 2.0) / double(live_n + 4), 1e-6);
+
+  // Save -> preload -> save stability. The persisted format stores the
+  // MEAN, so the first re-preload may requantize it (half a fixed-point
+  // quantum, 2^-21); after that the statistics are a fixed point and
+  // every further round trip reproduces them bit-for-bit.
+  const auto reload = [](const std::vector<TaskClassInfo>& classes) {
+    runtime::RuntimeConfig c;
+    c.topology = AmcTopology("m2", {{2.0, 1}, {1.0, 1}});
+    c.emulate_speeds = false;
+    runtime::TaskRuntime r(c);
+    r.preload_history(classes);
+    return r.class_history();
+  };
+  const auto once = reload(merged);
+  ASSERT_EQ(once.size(), 1u);
+  EXPECT_EQ(once[0].completed, merged[0].completed);
+  EXPECT_NEAR(once[0].mean_workload, merged[0].mean_workload, 1e-6);
+  const auto twice = reload(once);
+  ASSERT_EQ(twice.size(), 1u);
+  EXPECT_EQ(twice[0].completed, once[0].completed);
+  EXPECT_DOUBLE_EQ(twice[0].mean_workload, once[0].mean_workload);
+  EXPECT_DOUBLE_EQ(twice[0].mean_scalable, once[0].mean_scalable);
+}
+
 TEST(HistoryIo, RuntimeWarmStartPlacesKnownClasses) {
   // Persisted statistics from a "previous run": heavy is 100x light.
   std::vector<TaskClassInfo> persisted(2);

@@ -1,0 +1,471 @@
+// The PartitionPlan pipeline: pluggable partitioners (greedy /
+// dual-approx / exact branch-and-bound oracle), plan evaluation and
+// diffing, and the publication gate's hysteresis rules.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+#include <vector>
+
+#include "core/allocation.hpp"
+#include "core/alt_allocation.hpp"
+#include "core/cluster.hpp"
+#include "core/lower_bound.hpp"
+#include "core/partition_plan.hpp"
+#include "core/partitioner.hpp"
+#include "core/policy/policy.hpp"
+#include "core/task_class.hpp"
+#include "core/topology.hpp"
+#include "util/rng.hpp"
+
+namespace wats::core {
+namespace {
+
+AmcTopology two_groups() { return AmcTopology("2g", {{2.0, 1}, {1.0, 2}}); }
+
+std::vector<TaskClassInfo> classes_with(
+    std::vector<std::pair<double, std::uint64_t>> mean_and_count) {
+  std::vector<TaskClassInfo> classes;
+  for (std::size_t i = 0; i < mean_and_count.size(); ++i) {
+    TaskClassInfo info;
+    info.id = static_cast<TaskClassId>(i);
+    info.name = "cls" + std::to_string(i);
+    info.mean_workload = mean_and_count[i].first;
+    info.completed = mean_and_count[i].second;
+    classes.push_back(info);
+  }
+  return classes;
+}
+
+// ---- Partitioner interface ----
+
+TEST(Partitioner, GreedyMatchesClusterMapBuild) {
+  // ClusterMap::build now routes through GreedyPartitioner; this pins the
+  // walk itself against the reference implementation allocate() uses on
+  // a descending-sorted input, where the two must coincide.
+  util::Xoshiro256 rng(7);
+  const GreedyPartitioner greedy;
+  for (int iter = 0; iter < 50; ++iter) {
+    std::vector<double> w(4 + rng.bounded(60));
+    for (auto& x : w) x = std::exp(rng.uniform(0.0, 4.0));
+    std::sort(w.begin(), w.end(), std::greater<>());
+    for (const auto& topo : amc_table2()) {
+      const auto got = greedy.partition(w, topo);
+      const auto want = allocate(w, topo);
+      EXPECT_EQ(got, want) << topo.name();
+    }
+  }
+}
+
+TEST(Partitioner, GreedyEmptyAndSingleGroup) {
+  const GreedyPartitioner greedy;
+  EXPECT_TRUE(greedy.partition({}, two_groups()).empty());
+  const AmcTopology one("1g", {{2.0, 4}});
+  const std::vector<double> w{3, 2, 1};
+  EXPECT_EQ(greedy.partition(w, one),
+            (std::vector<GroupIndex>{0, 0, 0}));
+}
+
+TEST(Partitioner, DualApproxMatchesAllocateDualApprox) {
+  const std::vector<double> w{9, 7, 5, 3, 2, 1};
+  for (const auto& topo : amc_table2()) {
+    EXPECT_EQ(DualApproxPartitioner{}.partition(w, topo),
+              allocate_dual_approx(w, topo).group_of_item);
+  }
+}
+
+TEST(Partitioner, FactoryCoversEveryAlgorithm) {
+  EXPECT_EQ(make_partitioner(ClusterAlgorithm::kAlgorithm1)->name(),
+            "greedy");
+  EXPECT_EQ(make_partitioner(ClusterAlgorithm::kDualApprox)->name(),
+            "dual_approx");
+  EXPECT_EQ(make_partitioner(ClusterAlgorithm::kExactDp)->name(), "exact");
+}
+
+TEST(Partitioner, AssignmentFinishTimesSumWeights) {
+  const std::vector<double> w{4, 2, 2};
+  const std::vector<GroupIndex> assignment{0, 1, 1};
+  const auto finish = assignment_finish_times(w, assignment, two_groups());
+  ASSERT_EQ(finish.size(), 2u);
+  EXPECT_DOUBLE_EQ(finish[0], 2.0);  // 4 / (2*1)
+  EXPECT_DOUBLE_EQ(finish[1], 2.0);  // 4 / (1*2)
+  EXPECT_DOUBLE_EQ(assignment_makespan(w, assignment, two_groups()), 2.0);
+}
+
+// ---- The exact oracle ----
+
+// Brute force over every assignment: the ground truth the oracle must
+// reach on instances small enough to enumerate.
+double brute_force_makespan(std::span<const double> w,
+                            const AmcTopology& topo) {
+  const std::size_t m = w.size();
+  const std::size_t k = topo.group_count();
+  double best = std::numeric_limits<double>::infinity();
+  std::vector<GroupIndex> assignment(m, 0);
+  while (true) {
+    best = std::min(best, assignment_makespan(w, assignment, topo));
+    std::size_t i = 0;
+    while (i < m && assignment[i] + 1u == k) assignment[i++] = 0;
+    if (i == m) break;
+    ++assignment[i];
+  }
+  return best;
+}
+
+TEST(ExactPartitioner, MatchesBruteForceOnSmallInstances) {
+  util::Xoshiro256 rng(11);
+  const ExactPartitioner exact;
+  for (int iter = 0; iter < 40; ++iter) {
+    const std::size_t m = 1 + rng.bounded(8);
+    std::vector<double> w(m);
+    for (auto& x : w) x = std::exp(rng.uniform(0.0, 3.0));
+    const AmcTopology topo = iter % 2 == 0
+                                 ? two_groups()
+                                 : AmcTopology("3g", {{2.5, 1},
+                                                      {1.8, 2},
+                                                      {1.0, 2}});
+    const auto assignment = exact.partition(w, topo);
+    const double got = assignment_makespan(w, assignment, topo);
+    const double want = brute_force_makespan(w, topo);
+    EXPECT_NEAR(got, want, 1e-9 * std::max(1.0, want));
+  }
+}
+
+// The acceptance property: on randomized instances (m <= 20 classes,
+// k <= 4 groups) the exact makespan never exceeds greedy's or
+// dual-approx's, and greedy stays within Theorem 1's 2*TL envelope.
+TEST(ExactPartitioner, NeverWorseThanHeuristicsProperty) {
+  util::Xoshiro256 rng(1234);
+  const ExactPartitioner exact;
+  const GreedyPartitioner greedy;
+  const DualApproxPartitioner dual;
+  int checked = 0;
+  for (int iter = 0; iter < 150; ++iter) {
+    const std::size_t m = 1 + rng.bounded(20);
+    std::vector<double> w(m);
+    for (auto& x : w) x = std::exp(rng.uniform(0.0, 4.0));
+    std::sort(w.begin(), w.end(), std::greater<>());  // Algorithm 1's order
+    for (const auto& topo : amc_table2()) {
+      ASSERT_LE(topo.group_count(), 4u);
+      const double tl = makespan_lower_bound(w, topo);
+      const double exact_ms =
+          assignment_makespan(w, exact.partition(w, topo), topo);
+      const double greedy_ms =
+          assignment_makespan(w, greedy.partition(w, topo), topo);
+      const double dual_ms =
+          assignment_makespan(w, dual.partition(w, topo), topo);
+      EXPECT_LE(exact_ms, greedy_ms + 1e-9) << topo.name() << " m=" << m;
+      EXPECT_LE(exact_ms, dual_ms + 1e-9) << topo.name() << " m=" << m;
+      EXPECT_GE(exact_ms, tl - 1e-9) << topo.name();
+      // Theorem 1's 2*TL envelope, under its premise: no single item
+      // exceeds any group's budget TL * cap_g. (With one dominant item
+      // even the OPTIMUM exceeds 2*TL — the item must land somewhere —
+      // so the bound is only meaningful when items are divisible-ish.)
+      double min_cap = std::numeric_limits<double>::infinity();
+      for (std::size_t g = 0; g < topo.group_count(); ++g) {
+        min_cap = std::min(min_cap, topo.group_capacity(g));
+      }
+      if (tl > 0.0 && w.front() <= tl * min_cap) {
+        EXPECT_LE(greedy_ms, 2.0 * tl + 1e-9) << topo.name() << " m=" << m;
+      }
+      ++checked;
+    }
+  }
+  EXPECT_GT(checked, 0);
+}
+
+TEST(ExactPartitioner, AboveItemCapFallsBackToBestSeed) {
+  // With max_items = 4 the search is skipped for 6 items, but the seeded
+  // incumbent still guarantees <= every heuristic.
+  const ExactPartitioner capped(/*max_items=*/4);
+  const std::vector<double> w{9, 7, 5, 3, 2, 1};
+  for (const auto& topo : amc_table2()) {
+    const double capped_ms =
+        assignment_makespan(w, capped.partition(w, topo), topo);
+    const double greedy_ms = assignment_makespan(
+        w, GreedyPartitioner{}.partition(w, topo), topo);
+    const double dual_ms = assignment_makespan(
+        w, DualApproxPartitioner{}.partition(w, topo), topo);
+    EXPECT_LE(capped_ms, greedy_ms + 1e-12);
+    EXPECT_LE(capped_ms, dual_ms + 1e-12);
+  }
+}
+
+TEST(ExactPartitioner, AvailableThroughClusterMapBuild) {
+  const auto classes = classes_with({{6.0, 1}, {3.0, 1}, {3.0, 1}});
+  const ClusterMap map =
+      ClusterMap::build(classes, two_groups(), ClusterAlgorithm::kExactDp);
+  // Optimal split of {6,3,3} on capacities {2,2}: {6} | {3,3} -> 3.0.
+  EXPECT_EQ(map.cluster_of(0), 0u);
+  EXPECT_EQ(map.cluster_of(1), 1u);
+  EXPECT_EQ(map.cluster_of(2), 1u);
+}
+
+// ---- Plan building ----
+
+TEST(PartitionPlan, EvaluatesFinishTimesAndRatio) {
+  const auto classes = classes_with({{6.0, 1}, {3.0, 1}, {3.0, 1}});
+  const PartitionPlan plan = build_partition_plan(
+      classes, two_groups(), ClusterAlgorithm::kExactDp, nullptr);
+  EXPECT_EQ(plan.epoch, 1u);
+  EXPECT_DOUBLE_EQ(plan.lower_bound, 3.0);
+  EXPECT_DOUBLE_EQ(plan.makespan, 3.0);
+  EXPECT_DOUBLE_EQ(plan.ratio_to_tl, 1.0);
+  ASSERT_EQ(plan.group_finish.size(), 2u);
+  EXPECT_DOUBLE_EQ(plan.group_finish[0], 3.0);
+  EXPECT_DOUBLE_EQ(plan.group_finish[1], 3.0);
+}
+
+TEST(PartitionPlan, DiffAgainstNullCountsNonZeroAssignments) {
+  const auto classes = classes_with({{6.0, 1}, {1.0, 1}, {1.0, 1}});
+  const PartitionPlan plan = build_partition_plan(
+      classes, two_groups(), ClusterAlgorithm::kAlgorithm1, nullptr);
+  // vs the all-zeros fallback every reader starts from: only classes
+  // leaving group 0 count as moved.
+  std::size_t nonzero = 0;
+  double nonzero_weight = 0.0;
+  for (std::size_t i = 0; i < classes.size(); ++i) {
+    if (plan.map.cluster_of(static_cast<TaskClassId>(i)) != 0) {
+      ++nonzero;
+      nonzero_weight += classes[i].total_workload();
+    }
+  }
+  EXPECT_EQ(plan.diff.classes_moved, nonzero);
+  EXPECT_DOUBLE_EQ(plan.diff.weight_moved, nonzero_weight);
+  EXPECT_EQ(plan.diff.assignment_identical, nonzero == 0);
+}
+
+TEST(PartitionPlan, IdenticalRebuildDiffsToZero) {
+  const auto classes = classes_with({{6.0, 2}, {3.0, 2}, {3.0, 2}});
+  const PartitionPlan first = build_partition_plan(
+      classes, two_groups(), ClusterAlgorithm::kAlgorithm1, nullptr);
+  const PartitionPlan second = build_partition_plan(
+      classes, two_groups(), ClusterAlgorithm::kAlgorithm1, &first);
+  EXPECT_EQ(second.epoch, first.epoch + 1);
+  EXPECT_TRUE(second.diff.assignment_identical);
+  EXPECT_EQ(second.diff.classes_moved, 0u);
+  EXPECT_DOUBLE_EQ(second.diff.weight_moved, 0.0);
+  EXPECT_DOUBLE_EQ(second.diff.stale_makespan, second.makespan);
+}
+
+TEST(PartitionPlan, NewClassInGroupZeroIsNotAMove) {
+  auto classes = classes_with({{6.0, 2}, {3.0, 2}, {3.0, 2}});
+  const PartitionPlan first = build_partition_plan(
+      classes, two_groups(), ClusterAlgorithm::kAlgorithm1, nullptr);
+  // A class interned after `first` with no completions resolves to group
+  // 0 under BOTH plans (out-of-range id in the old map, explicit 0 in the
+  // new): publishing would not change placement, so it is not a move.
+  TaskClassInfo fresh;
+  fresh.id = 3;
+  fresh.name = "fresh";
+  classes.push_back(fresh);
+  const PartitionPlan second = build_partition_plan(
+      classes, two_groups(), ClusterAlgorithm::kAlgorithm1, &first);
+  EXPECT_TRUE(second.diff.assignment_identical);
+}
+
+TEST(PartitionPlan, HistoryDriftReportsMovedWeight) {
+  auto classes = classes_with({{6.0, 4}, {3.0, 4}, {3.0, 4}});
+  const PartitionPlan first = build_partition_plan(
+      classes, two_groups(), ClusterAlgorithm::kExactDp, nullptr);
+  // Class 0 collapses, class 1 balloons: the optimal split flips.
+  classes[0].mean_workload = 0.5;
+  classes[1].mean_workload = 12.0;
+  const PartitionPlan second = build_partition_plan(
+      classes, two_groups(), ClusterAlgorithm::kExactDp, &first);
+  EXPECT_FALSE(second.diff.assignment_identical);
+  EXPECT_GT(second.diff.classes_moved, 0u);
+  EXPECT_GT(second.diff.weight_moved, 0.0);
+  // Keeping the stale assignment must predict a makespan no better than
+  // the fresh optimum (under the fresh weights).
+  EXPECT_GE(second.diff.stale_makespan, second.makespan - 1e-9);
+}
+
+// ---- The publication gate ----
+
+PartitionPlan candidate_with(std::size_t moved, double stale_makespan,
+                             double makespan) {
+  PartitionPlan plan;
+  plan.diff.classes_moved = moved;
+  plan.diff.assignment_identical = moved == 0;
+  plan.diff.stale_makespan = stale_makespan;
+  plan.makespan = makespan;
+  return plan;
+}
+
+TEST(PlanGate, DefaultSkipsOnlyIdenticalCandidates) {
+  const PlanGate gate;
+  EXPECT_FALSE(plan_gate_allows(gate, candidate_with(0, 5.0, 5.0)));
+  EXPECT_TRUE(plan_gate_allows(gate, candidate_with(1, 5.0, 5.0)));
+  EXPECT_TRUE(plan_gate_allows(gate, candidate_with(1000, 5.0, 4.999)));
+}
+
+TEST(PlanGate, AlwaysRepublishEscapeHatch) {
+  PlanGate gate;
+  gate.always_republish = true;
+  EXPECT_TRUE(plan_gate_allows(gate, candidate_with(0, 5.0, 5.0)));
+}
+
+TEST(PlanGate, ChurnRuleSuppressesMarginalMoves) {
+  PlanGate gate;
+  gate.max_classes_moved = 2;
+  gate.min_rel_improvement = 0.05;
+  // Within the move budget: always allowed.
+  EXPECT_TRUE(plan_gate_allows(gate, candidate_with(2, 10.0, 10.0)));
+  // Over budget, 1% predicted gain: suppressed.
+  EXPECT_FALSE(plan_gate_allows(gate, candidate_with(3, 10.0, 9.9)));
+  // Over budget, 20% predicted gain: worth the churn.
+  EXPECT_TRUE(plan_gate_allows(gate, candidate_with(3, 10.0, 8.0)));
+}
+
+// ---- Gate + kernel integration (the policy's maybe_recluster) ----
+
+std::unique_ptr<policy::PolicyKernel> bound_wats(
+    TaskClassRegistry& registry, const AmcTopology& topo,
+    const PlanGate& gate) {
+  auto kernel = policy::make_policy(policy::PolicyKind::kWats, registry);
+  policy::PolicyOptions opts;
+  opts.plan_gate = gate;
+  kernel->bind(topo, opts);
+  return kernel;
+}
+
+TEST(PlanPipeline, SteadyHistorySkipsRepublish) {
+  TaskClassRegistry registry;
+  const auto topo = two_groups();
+  const TaskClassId heavy = registry.intern("heavy");
+  const TaskClassId light = registry.intern("light");
+  auto kernel = bound_wats(registry, topo, PlanGate{});  // cold: epoch 0
+
+  for (int i = 0; i < 16; ++i) {
+    registry.record_completion(heavy, 8.0, 1.0);
+    registry.record_completion(light, 1.0, 1.0);
+  }
+  auto first = kernel->maybe_recluster();
+  ASSERT_TRUE(first.attempted);
+  EXPECT_TRUE(first.published);
+  const std::uint64_t epoch = first.epoch;
+  EXPECT_GT(epoch, 0u);
+
+  // Same ratio of completions again: identical assignment -> skipped,
+  // epoch unchanged, readers keep the same plan pointer.
+  const PartitionPlan* before = kernel->current_plan();
+  for (int i = 0; i < 16; ++i) {
+    registry.record_completion(heavy, 8.0, 1.0);
+    registry.record_completion(light, 1.0, 1.0);
+  }
+  auto second = kernel->maybe_recluster();
+  ASSERT_TRUE(second.attempted);
+  EXPECT_FALSE(second.published);
+  EXPECT_EQ(second.skip, policy::ReclusterOutcome::Skip::kIdentical);
+  EXPECT_EQ(second.epoch, epoch);
+  EXPECT_EQ(kernel->current_plan(), before);
+
+  // No new completions at all: not even attempted.
+  auto third = kernel->maybe_recluster();
+  EXPECT_FALSE(third.attempted);
+
+  const auto stats = kernel->plan_stats();
+  EXPECT_EQ(stats.published, 1u);
+  EXPECT_EQ(stats.skipped_identical, 1u);
+  EXPECT_EQ(stats.skipped_churn, 0u);
+}
+
+TEST(PlanPipeline, AlwaysRepublishRestoresOldBehavior) {
+  TaskClassRegistry registry;
+  const TaskClassId heavy = registry.intern("heavy");
+  const TaskClassId light = registry.intern("light");
+  PlanGate gate;
+  gate.always_republish = true;
+  const auto topo = two_groups();  // must outlive the kernel (bind keeps a ref)
+  auto kernel = bound_wats(registry, topo, gate);
+  std::uint64_t last_epoch = 0;
+  for (int round = 0; round < 3; ++round) {
+    registry.record_completion(heavy, 8.0, 1.0);
+    registry.record_completion(light, 1.0, 1.0);
+    auto outcome = kernel->maybe_recluster();
+    ASSERT_TRUE(outcome.attempted);
+    EXPECT_TRUE(outcome.published);  // even when assignment-identical
+    EXPECT_EQ(outcome.epoch, last_epoch + 1);
+    last_epoch = outcome.epoch;
+  }
+  EXPECT_EQ(kernel->plan_stats().published, 3u);
+  EXPECT_EQ(kernel->plan_stats().skipped(), 0u);
+}
+
+TEST(PlanPipeline, ChurnGateHoldsPlacementSteady) {
+  TaskClassRegistry registry;
+  const auto topo = two_groups();
+  const TaskClassId a = registry.intern("a");
+  const TaskClassId b = registry.intern("b");
+  registry.record_completion(a, 8.0, 1.0);
+  registry.record_completion(b, 1.0, 1.0);
+  PlanGate gate;
+  gate.max_classes_moved = 0;        // any move is churn...
+  gate.min_rel_improvement = 0.90;   // ...and 90% gains never materialize
+  auto kernel = bound_wats(registry, topo, gate);
+
+  const GroupIndex a_before = kernel->cluster_of(a);
+  const GroupIndex b_before = kernel->cluster_of(b);
+  // Flip the workload shape hard; the gate must still hold placement.
+  for (int i = 0; i < 64; ++i) {
+    registry.record_completion(a, 0.1, 1.0);
+    registry.record_completion(b, 16.0, 1.0);
+  }
+  auto outcome = kernel->maybe_recluster();
+  ASSERT_TRUE(outcome.attempted);
+  EXPECT_FALSE(outcome.published);
+  EXPECT_EQ(outcome.skip, policy::ReclusterOutcome::Skip::kChurn);
+  EXPECT_GT(outcome.classes_moved, 0u);
+  EXPECT_EQ(kernel->cluster_of(a), a_before);
+  EXPECT_EQ(kernel->cluster_of(b), b_before);
+  EXPECT_EQ(kernel->plan_stats().skipped_churn, 1u);
+}
+
+TEST(PlanPipeline, EpochsAreMonotoneAcrossPublishes) {
+  TaskClassRegistry registry;
+  const TaskClassId a = registry.intern("a");
+  const TaskClassId b = registry.intern("b");
+  const auto topo = two_groups();  // must outlive the kernel (bind keeps a ref)
+  auto kernel = bound_wats(registry, topo, PlanGate{});
+  ASSERT_NE(kernel->current_plan(), nullptr);
+  EXPECT_EQ(kernel->current_plan()->epoch, 0u);  // pre-history empty plan
+
+  std::uint64_t last = 0;
+  double heavy = 8.0;
+  for (int round = 0; round < 4; ++round) {
+    // Alternate which class looks heavy; rebuilds that end up identical
+    // must be skipped WITHOUT burning an epoch.
+    registry.record_completion(a, heavy, 1.0);
+    registry.record_completion(b, 9.0 - heavy, 1.0);
+    heavy = 9.0 - heavy;
+    auto outcome = kernel->maybe_recluster();
+    if (!outcome.published) continue;
+    EXPECT_GT(outcome.epoch, last);
+    last = outcome.epoch;
+    EXPECT_EQ(kernel->current_plan()->epoch, outcome.epoch);
+  }
+  EXPECT_GT(last, 0u);
+}
+
+TEST(PlanPipeline, WarmStartPublishesFromPersistedHistory) {
+  TaskClassRegistry registry;
+  const TaskClassId heavy = registry.intern("heavy");
+  const TaskClassId light = registry.intern("light");
+  for (int i = 0; i < 8; ++i) {
+    registry.record_completion(heavy, 8.0, 1.0);
+    registry.record_completion(light, 1.0, 1.0);
+  }
+  const auto topo = two_groups();  // must outlive the kernel (bind keeps a ref)
+  auto kernel = bound_wats(registry, topo, PlanGate{});
+  const PartitionPlan* plan = kernel->current_plan();
+  ASSERT_NE(plan, nullptr);
+  EXPECT_EQ(plan->epoch, 1u);  // published straight from the warm history
+  EXPECT_EQ(kernel->plan_stats().published, 1u);
+  EXPECT_EQ(kernel->cluster_of(heavy), 0u);
+  EXPECT_GT(kernel->cluster_of(light), 0u);
+}
+
+}  // namespace
+}  // namespace wats::core

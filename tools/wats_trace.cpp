@@ -186,6 +186,13 @@ int cmd_summarize(const std::string& path) {
   std::map<int, double> track_busy_us;
   std::map<int, std::size_t> track_slices;
   std::map<std::string, std::size_t> by_name;
+  // Plan-churn tallies (plan_publish / plan_skip instants).
+  std::size_t plan_publishes = 0;
+  std::size_t plan_skips_identical = 0;
+  std::size_t plan_skips_churn = 0;
+  std::size_t plan_moved_total = 0;
+  std::size_t plan_moved_max = 0;
+  double plan_last_epoch = 0.0;
 
   for (const auto& e : events) {
     const std::string ph = e.string_or("ph", "");
@@ -204,7 +211,27 @@ int cmd_summarize(const std::string& path) {
     if (!any_ts || ts < t_min) t_min = ts;
     if (!any_ts || ts + dur > t_max) t_max = ts + dur;
     any_ts = true;
-    ++by_name[e.string_or("name", "?")];
+    const std::string name = e.string_or("name", "?");
+    ++by_name[name];
+    if (name == "plan_publish" || name == "plan_skip") {
+      const auto* args = e.find("args");
+      if (name == "plan_publish") {
+        ++plan_publishes;
+        const auto moved = static_cast<std::size_t>(
+            args != nullptr ? args->number_or("moved", 0.0) : 0.0);
+        plan_moved_total += moved;
+        plan_moved_max = std::max(plan_moved_max, moved);
+      } else if (args != nullptr &&
+                 args->string_or("reason", "") == "churn") {
+        ++plan_skips_churn;
+      } else {
+        ++plan_skips_identical;
+      }
+      if (args != nullptr) {
+        plan_last_epoch = std::max(plan_last_epoch,
+                                   args->number_or("epoch", 0.0));
+      }
+    }
     if (ph == "X") {
       ++slices;
       track_busy_us[tid] += dur;
@@ -228,6 +255,20 @@ int cmd_summarize(const std::string& path) {
                                           : ("tid " + std::to_string(tid))
                                                 .c_str(),
                   track_slices[tid], busy);
+    }
+  }
+  if (plan_publishes + plan_skips_identical + plan_skips_churn > 0) {
+    std::printf("plan churn:\n");
+    std::printf("  publishes                    %zu (last epoch %.0f)\n",
+                plan_publishes, plan_last_epoch);
+    std::printf("  skips                        %zu identical, %zu churn\n",
+                plan_skips_identical, plan_skips_churn);
+    if (plan_publishes > 0) {
+      std::printf(
+          "  classes moved per publish    mean %.1f, max %zu\n",
+          static_cast<double>(plan_moved_total) /
+              static_cast<double>(plan_publishes),
+          plan_moved_max);
     }
   }
   std::printf("event counts by name:\n");
