@@ -3,77 +3,91 @@
 //   2. snatch cost / redo sweep   — RTS & WATS-TS overhead model
 //   3. recluster cadence          — per-completion vs periodic helper
 //   4. cross-cluster rob guard    — the backlog test on faster-cluster robs
+//
+// Thin renderer over the seven "ablation-*" scenario-registry entries:
+// each knob sweep is a variant list on its registry spec, and this binary
+// only arranges the cells into the DESIGN.md tables.
 #include <cstdio>
+#include <cstdlib>
 
 #include "bench_common.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 using namespace wats;
 
 namespace {
 
-double run_with(const workloads::BenchmarkSpec& spec,
-                const core::AmcTopology& topo, sim::SchedulerKind kind,
-                const sim::SimConfig& sim_cfg, std::size_t repeats = 5) {
-  sim::ExperimentConfig cfg;
-  cfg.repeats = repeats;
-  cfg.sim = sim_cfg;
-  return sim::run_experiment(spec, topo, kind, cfg).mean_makespan;
-}
+/// Run a registry entry and expose makespan(workload, machine, kind,
+/// variant) lookups for the table rows.
+struct Ablation {
+  explicit Ablation(const char* name)
+      : spec(*scenario::find_scenario(name)),
+        result(scenario::run_scenario(spec)) {}
+
+  double makespan(sim::SchedulerKind kind, const std::string& variant) const {
+    return result.makespan(spec.workloads[0], spec.machines[0], kind,
+                           variant);
+  }
+
+  const scenario::ScenarioSpec& spec;
+  const scenario::ScenarioResult result;
+};
 
 }  // namespace
 
 int main() {
   std::printf("WATS reproduction — design ablations\n");
-  const auto topo = core::amc_by_name("AMC5");
-  const auto& ga = workloads::benchmark_by_name("GA");
 
   {
+    const Ablation a("ablation-steal-cost");
     util::TextTable t({"steal cost", "Cilk", "PFT", "WATS"});
-    for (double c : {0.0, 0.05, 0.5, 2.0, 8.0}) {
-      sim::SimConfig cfg;
-      cfg.steal_cost = c;
-      t.add_row({util::TextTable::num(c, 2),
-                 util::TextTable::num(
-                     run_with(ga, topo, sim::SchedulerKind::kCilk, cfg), 0),
-                 util::TextTable::num(
-                     run_with(ga, topo, sim::SchedulerKind::kPft, cfg), 0),
-                 util::TextTable::num(
-                     run_with(ga, topo, sim::SchedulerKind::kWats, cfg), 0)});
+    for (const auto& v : a.spec.variants) {
+      t.add_row(
+          {util::TextTable::num(std::strtod(v.label.c_str(), nullptr), 2),
+           util::TextTable::num(a.makespan(sim::SchedulerKind::kCilk,
+                                           v.label), 0),
+           util::TextTable::num(a.makespan(sim::SchedulerKind::kPft,
+                                           v.label), 0),
+           util::TextTable::num(a.makespan(sim::SchedulerKind::kWats,
+                                           v.label), 0)});
     }
     bench::print_table("Ablation 1 — steal cost sweep (GA, AMC5)", t);
   }
 
   {
+    // WATS never snatches, so its column is the same in every variant
+    // (the constant base the sweep is compared against).
+    const Ablation a("ablation-snatch");
     util::TextTable t({"snatch cost", "redo", "RTS", "WATS-TS", "WATS"});
-    sim::SimConfig base;
-    const double wats = run_with(ga, topo, sim::SchedulerKind::kWats, base);
-    for (double cost : {0.0, 8.0, 25.0, 100.0}) {
-      for (double redo : {0.0, 0.5, 1.0}) {
-        sim::SimConfig cfg;
-        cfg.snatch_cost = cost;
-        cfg.snatch_redo_fraction = redo;
-        t.add_row(
-            {util::TextTable::num(cost, 0), util::TextTable::num(redo, 1),
-             util::TextTable::num(
-                 run_with(ga, topo, sim::SchedulerKind::kRts, cfg), 0),
-             util::TextTable::num(
-                 run_with(ga, topo, sim::SchedulerKind::kWatsTs, cfg), 0),
-             util::TextTable::num(wats, 0)});
-      }
+    const double wats =
+        a.makespan(sim::SchedulerKind::kWats, a.spec.variants[0].label);
+    for (const auto& v : a.spec.variants) {
+      const auto slash = v.label.find('/');
+      const double cost = std::strtod(v.label.c_str(), nullptr);
+      const double redo =
+          std::strtod(v.label.c_str() + slash + 1, nullptr);
+      t.add_row({util::TextTable::num(cost, 0),
+                 util::TextTable::num(redo, 1),
+                 util::TextTable::num(a.makespan(sim::SchedulerKind::kRts,
+                                                 v.label), 0),
+                 util::TextTable::num(a.makespan(sim::SchedulerKind::kWatsTs,
+                                                 v.label), 0),
+                 util::TextTable::num(wats, 0)});
     }
     bench::print_table(
         "Ablation 2 — snatch cost & cold-migration redo (GA, AMC5)", t);
   }
 
   {
+    const Ablation a("ablation-recluster");
     util::TextTable t({"recluster period", "WATS"});
-    for (double period : {0.0, 10.0, 100.0, 1000.0}) {
-      sim::SimConfig cfg;
-      cfg.recluster_period = period;
+    for (const auto& v : a.spec.variants) {
+      const double period = std::strtod(v.label.c_str(), nullptr);
       t.add_row({period == 0.0 ? "per-completion"
                                : util::TextTable::num(period, 0),
-                 util::TextTable::num(
-                     run_with(ga, topo, sim::SchedulerKind::kWats, cfg), 0)});
+                 util::TextTable::num(a.makespan(sim::SchedulerKind::kWats,
+                                                 v.label), 0)});
     }
     bench::print_table(
         "Ablation 3 — helper-thread recluster cadence (GA, AMC5)", t);
@@ -81,16 +95,12 @@ int main() {
 
   {
     // Sensitivity to the batch structure: fewer batches = colder history.
+    const Ablation a("ablation-batches");
     util::TextTable t({"batches", "Cilk", "WATS", "gain"});
-    for (std::size_t batches : {1u, 2u, 4u, 8u, 16u, 32u}) {
-      auto spec = ga;
-      spec.batches = batches;
-      sim::SimConfig cfg;
-      const double cilk =
-          run_with(spec, topo, sim::SchedulerKind::kCilk, cfg);
-      const double wats =
-          run_with(spec, topo, sim::SchedulerKind::kWats, cfg);
-      t.add_row({std::to_string(batches), util::TextTable::num(cilk, 0),
+    for (const auto& v : a.spec.variants) {
+      const double cilk = a.makespan(sim::SchedulerKind::kCilk, v.label);
+      const double wats = a.makespan(sim::SchedulerKind::kWats, v.label);
+      t.add_row({v.label, util::TextTable::num(cilk, 0),
                  util::TextTable::num(wats, 0),
                  util::TextTable::num((1.0 - wats / cilk) * 100.0, 1) + "%"});
     }
@@ -102,18 +112,16 @@ int main() {
     // §IV-E: the paper pins every scheduler's main task to the fastest
     // core "to exclude the impact of this optimization"; this ablation
     // measures what random main placement costs.
+    const Ablation a("ablation-main-placement");
     util::TextTable t({"main task placement", "Cilk", "PFT", "WATS"});
-    for (bool fastest : {true, false}) {
-      sim::SimConfig cfg;
-      cfg.main_on_fastest = fastest;
-      cfg.spawn_cost = 0.05;  // placement only matters with serial spawns
-      t.add_row({fastest ? "fastest core" : "random core",
-                 util::TextTable::num(
-                     run_with(ga, topo, sim::SchedulerKind::kCilk, cfg), 0),
-                 util::TextTable::num(
-                     run_with(ga, topo, sim::SchedulerKind::kPft, cfg), 0),
-                 util::TextTable::num(
-                     run_with(ga, topo, sim::SchedulerKind::kWats, cfg), 0)});
+    for (const auto& v : a.spec.variants) {
+      t.add_row({v.label == "fastest" ? "fastest core" : "random core",
+                 util::TextTable::num(a.makespan(sim::SchedulerKind::kCilk,
+                                                 v.label), 0),
+                 util::TextTable::num(a.makespan(sim::SchedulerKind::kPft,
+                                                 v.label), 0),
+                 util::TextTable::num(a.makespan(sim::SchedulerKind::kWats,
+                                                 v.label), 0)});
     }
     bench::print_table(
         "Ablation 5 — main task on fastest vs random core (GA, AMC5)", t);
@@ -123,18 +131,18 @@ int main() {
     // §II-C cites non-contiguous allocators ([13],[14]) as alternatives
     // to Algorithm 1 when workloads are repeatable: how much makespan do
     // they buy when plugged into the WATS recluster step?
+    const Ablation a("ablation-allocator");
     util::TextTable t({"machine", "WATS (Algorithm 1)",
                        "WATS (dual approximation)"});
-    for (const char* machine : {"AMC1", "AMC2", "AMC5"}) {
-      const auto mtopo = core::amc_by_name(machine);
-      sim::SimConfig alg1;
-      sim::SimConfig dual;
-      dual.cluster_algorithm = core::ClusterAlgorithm::kDualApprox;
+    for (const auto& machine : a.spec.machines) {
       t.add_row({machine,
                  util::TextTable::num(
-                     run_with(ga, mtopo, sim::SchedulerKind::kWats, alg1), 0),
+                     a.result.makespan("GA", machine,
+                                       sim::SchedulerKind::kWats,
+                                       "algorithm1"), 0),
                  util::TextTable::num(
-                     run_with(ga, mtopo, sim::SchedulerKind::kWats, dual),
+                     a.result.makespan("GA", machine,
+                                       sim::SchedulerKind::kWats, "dual"),
                      0)});
     }
     bench::print_table(
@@ -149,19 +157,14 @@ int main() {
     // benchmarks are insensitive (all tasks sit in the one spawner's
     // pools, so the victim is forced); the pipeline benchmarks spread
     // spawners across cores, so the choice shows up there.
-    const auto& dedup = workloads::benchmark_by_name("Dedup");
+    const Ablation a("ablation-steal-victim");
     util::TextTable t({"victim policy", "PFT (Dedup)", "WATS (Dedup)"});
-    for (auto policy : {sim::SimConfig::StealVictim::kRandom,
-                        sim::SimConfig::StealVictim::kRichest}) {
-      sim::SimConfig cfg;
-      cfg.steal_victim = policy;
-      t.add_row({policy == sim::SimConfig::StealVictim::kRandom ? "random"
-                                                                : "richest",
-                 util::TextTable::num(
-                     run_with(dedup, topo, sim::SchedulerKind::kPft, cfg), 0),
-                 util::TextTable::num(
-                     run_with(dedup, topo, sim::SchedulerKind::kWats, cfg),
-                     0)});
+    for (const auto& v : a.spec.variants) {
+      t.add_row({v.label,
+                 util::TextTable::num(a.makespan(sim::SchedulerKind::kPft,
+                                                 v.label), 0),
+                 util::TextTable::num(a.makespan(sim::SchedulerKind::kWats,
+                                                 v.label), 0)});
     }
     bench::print_table(
         "Ablation 7 — steal-victim selection (Dedup pipeline, AMC5)", t);

@@ -1,27 +1,30 @@
 // Fig. 10: is task snatching worth adding to WATS? WATS vs WATS-TS
 // (workload-aware snatching) over all nine benchmarks on AMC 2.
+// Thin renderer over the "fig10" scenario-registry entry.
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 using namespace wats;
 
 int main() {
   std::printf("WATS reproduction — Fig. 10 (WATS vs WATS-TS on AMC2)\n");
-  const auto topo = core::amc_by_name("AMC2");
-  const auto cfg = bench::default_config(15);
-  const std::vector<sim::SchedulerKind> kinds{sim::SchedulerKind::kWats,
-                                              sim::SchedulerKind::kWatsTs};
+  const auto& scenario = *scenario::find_scenario("fig10");
+  const auto result = scenario::run_scenario(scenario);
 
   util::TextTable t({"benchmark", "WATS", "WATS-TS (norm.)",
                      "TS overhead", "TS snatches"});
-  for (const auto& spec : workloads::paper_benchmarks()) {
-    const auto results = sim::run_schedulers(spec, topo, kinds, cfg);
-    const double wats = results[0].mean_makespan;
-    const double ts = results[1].mean_makespan;
-    t.add_row({spec.name, "1.000", util::TextTable::num(ts / wats, 3),
+  for (const auto& workload : scenario.workloads) {
+    const double wats =
+        result.makespan(workload, "AMC2", sim::SchedulerKind::kWats);
+    const auto& ts_cell =
+        result.cell(workload, "AMC2", sim::SchedulerKind::kWatsTs);
+    const double ts = ts_cell.mean_makespan;
+    t.add_row({workload, "1.000", util::TextTable::num(ts / wats, 3),
                util::TextTable::num((ts / wats - 1.0) * 100.0, 1) + "%",
-               util::TextTable::num(results[1].mean_snatches, 0)});
+               util::TextTable::num(ts_cell.result.mean_snatches, 0)});
   }
   bench::print_table(
       "Fig. 10 — execution time of WATS-TS normalized to WATS (AMC2)", t);

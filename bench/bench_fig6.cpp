@@ -2,6 +2,10 @@
 // Cilk, PFT, RTS and WATS on AMC 1, AMC 2 and AMC 5 (normalized to Cilk,
 // as in the paper's bars).
 //
+// Thin renderer over the "fig6" scenario-registry entry (src/scenario/):
+// the registry declares the grid, scenario::run_scenario executes it, and
+// this binary only formats the paper's table.
+//
 // --trace-out=FILE additionally runs the first benchmark on AMC1 under
 // WATS with the execution trace and policy decisions recorded, and writes
 // them as Perfetto JSON (open in https://ui.perfetto.dev, or summarize
@@ -11,6 +15,8 @@
 
 #include "bench_common.hpp"
 #include "obs/decision.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 #include "sim/trace.hpp"
 #include "sim/trace_export.hpp"
 #include "util/args.hpp"
@@ -49,21 +55,23 @@ void write_trace(const std::string& path) {
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
   std::printf("WATS reproduction — Fig. 6 (a) AMC1, (b) AMC2, (c) AMC5\n");
-  const auto cfg = bench::default_config(15);
+  const auto& scenario = *scenario::find_scenario("fig6");
+  const auto result = scenario::run_scenario(scenario);
 
-  for (const char* machine : {"AMC1", "AMC2", "AMC5"}) {
-    const auto topo = core::amc_by_name(machine);
+  for (const auto& machine : scenario.machines) {
     util::TextTable t(
         {"benchmark", "Cilk", "PFT", "RTS", "WATS", "WATS gain vs Cilk"});
-    for (const auto& spec : workloads::paper_benchmarks()) {
-      const auto results =
-          sim::run_schedulers(spec, topo, bench::fig6_schedulers(), cfg);
-      const double cilk = results[0].mean_makespan;
-      std::vector<std::string> row{spec.name};
-      for (const auto& r : results) {
-        row.push_back(util::TextTable::num(r.mean_makespan / cilk, 3));
+    for (const auto& workload : scenario.workloads) {
+      const double cilk =
+          result.makespan(workload, machine, sim::SchedulerKind::kCilk);
+      std::vector<std::string> row{workload};
+      for (const auto kind : scenario.schedulers) {
+        row.push_back(util::TextTable::num(
+            result.makespan(workload, machine, kind) / cilk, 3));
       }
-      const double gain = 1.0 - results[3].mean_makespan / cilk;
+      const double gain =
+          1.0 -
+          result.makespan(workload, machine, sim::SchedulerKind::kWats) / cilk;
       row.push_back(util::TextTable::num(gain * 100.0, 1) + "%");
       t.add_row(std::move(row));
     }

@@ -1,46 +1,51 @@
 // Fig. 7: execution time of GA under Cilk, PFT, RTS and WATS on all seven
 // Table II machines (absolute virtual seconds, like the paper's y-axis).
+// Thin renderer over the "fig7" scenario-registry entry.
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 using namespace wats;
 
 int main() {
   std::printf("WATS reproduction — Fig. 7 (GA on AMC1..AMC7)\n");
-  const auto cfg = bench::default_config(15);
-  const auto& ga = workloads::benchmark_by_name("GA");
+  const auto& scenario = *scenario::find_scenario("fig7");
+  const auto result = scenario::run_scenario(scenario);
 
   util::TextTable t({"machine", "Cilk", "PFT", "RTS", "WATS",
                      "WATS gain vs Cilk"});
-  double wats_amc6 = 0, wats_amc7 = 0, pft_amc6 = 0, pft_amc7 = 0;
-  for (const auto& topo : core::amc_table2()) {
-    const auto results =
-        sim::run_schedulers(ga, topo, bench::fig6_schedulers(), cfg);
-    std::vector<std::string> row{topo.name()};
-    for (const auto& r : results) {
-      row.push_back(util::TextTable::num(r.mean_makespan, 0));
+  for (const auto& machine : scenario.machines) {
+    const auto mk = [&](sim::SchedulerKind kind) {
+      return result.makespan("GA", machine, kind);
+    };
+    std::vector<std::string> row{machine};
+    for (const auto kind : scenario.schedulers) {
+      row.push_back(util::TextTable::num(mk(kind), 0));
     }
     row.push_back(util::TextTable::num(
-                      (1.0 - results[3].mean_makespan /
-                                 results[0].mean_makespan) * 100.0, 1) + "%");
+                      (1.0 - mk(sim::SchedulerKind::kWats) /
+                                 mk(sim::SchedulerKind::kCilk)) * 100.0, 1) +
+                  "%");
     t.add_row(std::move(row));
-    if (topo.name() == "AMC6") {
-      pft_amc6 = results[1].mean_makespan;
-      wats_amc6 = results[3].mean_makespan;
-    }
-    if (topo.name() == "AMC7") {
-      pft_amc7 = results[1].mean_makespan;
-      wats_amc7 = results[3].mean_makespan;
-    }
   }
   bench::print_table("Fig. 7 — GA execution time (virtual time units)", t);
 
   // The paper's headline observations for this figure.
+  const auto of = [&](const char* machine, sim::SchedulerKind kind) {
+    return result.makespan("GA", machine, kind);
+  };
   std::printf(
       "\nPaper check: WATS AMC6 vs AMC7 slowdown = %.1f%% (paper: ~0%%); "
       "PFT AMC6 vs AMC7 slowdown = %.1f%% (paper: +397%%)\n",
-      (wats_amc6 / wats_amc7 - 1.0) * 100.0,
-      (pft_amc6 / pft_amc7 - 1.0) * 100.0);
+      (of("AMC6", sim::SchedulerKind::kWats) /
+           of("AMC7", sim::SchedulerKind::kWats) -
+       1.0) *
+          100.0,
+      (of("AMC6", sim::SchedulerKind::kPft) /
+           of("AMC7", sim::SchedulerKind::kPft) -
+       1.0) *
+          100.0);
   return 0;
 }

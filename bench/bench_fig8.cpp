@@ -3,32 +3,40 @@
 // (alpha, alpha, alpha, 128 - 3*alpha), on AMC 5, for alpha = 0..44 step 4
 // (44 > 42 is infeasible: 3*alpha <= 128, so the sweep tops out at 42 and
 // we include it as the paper's right edge).
+// Thin renderer over the "fig8" scenario-registry entry, whose workloads
+// are the "GAmix:<alpha>" names of the same sweep.
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 using namespace wats;
 
 int main() {
   std::printf("WATS reproduction — Fig. 8 (GA workload mixes on AMC5)\n");
-  const auto topo = core::amc_by_name("AMC5");
-  const auto cfg = bench::default_config(15);
+  const auto& scenario = *scenario::find_scenario("fig8");
+  const auto result = scenario::run_scenario(scenario);
 
   util::TextTable t({"alpha", "Cilk", "PFT", "RTS", "WATS",
                      "WATS gain vs Cilk", "RTS snatches"});
-  for (std::size_t alpha : {0u, 4u, 8u, 12u, 16u, 20u, 24u, 28u, 32u, 36u,
-                            40u, 42u}) {
-    const auto spec = workloads::ga_mix(alpha);
-    const auto results =
-        sim::run_schedulers(spec, topo, bench::fig6_schedulers(), cfg);
-    std::vector<std::string> row{std::to_string(alpha)};
-    for (const auto& r : results) {
-      row.push_back(util::TextTable::num(r.mean_makespan, 0));
+  for (const auto& workload : scenario.workloads) {
+    const auto cell = [&](sim::SchedulerKind kind) -> const auto& {
+      return result.cell(workload, "AMC5", kind);
+    };
+    std::vector<std::string> row{workload.substr(workload.find(':') + 1)};
+    for (const auto kind : scenario.schedulers) {
+      row.push_back(util::TextTable::num(cell(kind).mean_makespan, 0));
     }
+    row.push_back(
+        util::TextTable::num(
+            (1.0 - cell(sim::SchedulerKind::kWats).mean_makespan /
+                       cell(sim::SchedulerKind::kCilk).mean_makespan) *
+                100.0,
+            1) +
+        "%");
     row.push_back(util::TextTable::num(
-                      (1.0 - results[3].mean_makespan /
-                                 results[0].mean_makespan) * 100.0, 1) + "%");
-    row.push_back(util::TextTable::num(results[2].mean_snatches, 0));
+        cell(sim::SchedulerKind::kRts).result.mean_snatches, 0));
     t.add_row(std::move(row));
   }
   bench::print_table("Fig. 8 — GA under different workload mixes (AMC5)", t);

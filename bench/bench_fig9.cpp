@@ -1,33 +1,37 @@
 // Fig. 9: effectiveness of preference-based stealing — GA under Cilk, PFT,
 // WATS-NP (no cross-cluster stealing) and WATS on all seven machines.
+// Thin renderer over the "fig9" scenario-registry entry.
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 using namespace wats;
 
 int main() {
   std::printf("WATS reproduction — Fig. 9 (WATS vs WATS-NP)\n");
-  const auto cfg = bench::default_config(15);
-  const auto& ga = workloads::benchmark_by_name("GA");
-  const std::vector<sim::SchedulerKind> kinds{
-      sim::SchedulerKind::kCilk, sim::SchedulerKind::kPft,
-      sim::SchedulerKind::kWatsNp, sim::SchedulerKind::kWats};
+  const auto& scenario = *scenario::find_scenario("fig9");
+  const auto result = scenario::run_scenario(scenario);
 
   util::TextTable t({"machine", "Cilk", "PFT", "WATS-NP", "WATS",
                      "NP gain vs PFT", "WATS gain vs NP"});
-  for (const auto& topo : core::amc_table2()) {
-    const auto results = sim::run_schedulers(ga, topo, kinds, cfg);
-    std::vector<std::string> row{topo.name()};
-    for (const auto& r : results) {
-      row.push_back(util::TextTable::num(r.mean_makespan, 0));
+  for (const auto& machine : scenario.machines) {
+    const auto mk = [&](sim::SchedulerKind kind) {
+      return result.makespan("GA", machine, kind);
+    };
+    std::vector<std::string> row{machine};
+    for (const auto kind : scenario.schedulers) {
+      row.push_back(util::TextTable::num(mk(kind), 0));
     }
     row.push_back(util::TextTable::num(
-                      (1.0 - results[2].mean_makespan /
-                                 results[1].mean_makespan) * 100.0, 1) + "%");
+                      (1.0 - mk(sim::SchedulerKind::kWatsNp) /
+                                 mk(sim::SchedulerKind::kPft)) * 100.0, 1) +
+                  "%");
     row.push_back(util::TextTable::num(
-                      (1.0 - results[3].mean_makespan /
-                                 results[2].mean_makespan) * 100.0, 1) + "%");
+                      (1.0 - mk(sim::SchedulerKind::kWats) /
+                                 mk(sim::SchedulerKind::kWatsNp)) * 100.0, 1) +
+                  "%");
     t.add_row(std::move(row));
   }
   bench::print_table("Fig. 9 — GA in Cilk, PFT, WATS-NP and WATS", t);

@@ -1,29 +1,31 @@
 // The full 9x7 grid the paper alludes to ("the benchmarks in other AMC
 // architectures perform similarly"): WATS's gain over Cilk for every
 // Table III benchmark on every Table II machine.
+// Thin renderer over the "full-grid" scenario-registry entry.
 #include <cstdio>
 
 #include "bench_common.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 using namespace wats;
 
 int main() {
   std::printf("WATS reproduction — full benchmark x machine grid\n");
-  const auto cfg = bench::default_config(7);
+  const auto& scenario = *scenario::find_scenario("full-grid");
+  const auto result = scenario::run_scenario(scenario);
 
   std::vector<std::string> header{"benchmark"};
-  for (const auto& topo : core::amc_table2()) header.push_back(topo.name());
+  for (const auto& machine : scenario.machines) header.push_back(machine);
   util::TextTable t(std::move(header));
 
-  for (const auto& spec : workloads::paper_benchmarks()) {
-    std::vector<std::string> row{spec.name};
-    for (const auto& topo : core::amc_table2()) {
+  for (const auto& workload : scenario.workloads) {
+    std::vector<std::string> row{workload};
+    for (const auto& machine : scenario.machines) {
       const double cilk =
-          sim::run_experiment(spec, topo, sim::SchedulerKind::kCilk, cfg)
-              .mean_makespan;
+          result.makespan(workload, machine, sim::SchedulerKind::kCilk);
       const double wats =
-          sim::run_experiment(spec, topo, sim::SchedulerKind::kWats, cfg)
-              .mean_makespan;
+          result.makespan(workload, machine, sim::SchedulerKind::kWats);
       row.push_back(util::TextTable::num((1.0 - wats / cilk) * 100.0, 1) +
                     "%");
     }

@@ -2,45 +2,32 @@
 // one AMC machine. WATS keeps each application's heavy classes on fast
 // cores even under interference; random stealing mixes everything.
 // Reports each application's own finish time and the global makespan.
+// Thin renderer over the "multiprogram" scenario-registry entry (the
+// "A+B" workload names resolve to sim::run_multiprogram co-runs).
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "sim/multiprogram.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 using namespace wats;
 
 int main() {
   std::printf("WATS reproduction — multiprogrammed co-scheduling "
               "(extension)\n");
-  const std::vector<std::pair<std::string, std::string>> pairs{
-      {"GA", "Ferret"}, {"SHA-1", "Ferret"}, {"GA", "SHA-1"}};
-  const std::vector<sim::SchedulerKind> kinds{sim::SchedulerKind::kCilk,
-                                              sim::SchedulerKind::kWats};
+  const auto& scenario = *scenario::find_scenario("multiprogram");
+  const auto result = scenario::run_scenario(scenario);
 
-  for (const char* machine : {"AMC2", "AMC5"}) {
-    const auto topo = core::amc_by_name(machine);
+  for (const auto& machine : scenario.machines) {
     util::TextTable t({"co-run", "scheduler", "app1 finish", "app2 finish",
                        "makespan"});
-    for (const auto& [a, b] : pairs) {
-      for (auto kind : kinds) {
-        // Average over seeds.
-        double f1 = 0, f2 = 0, mk = 0;
-        constexpr int kRepeats = 7;
-        for (int r = 0; r < kRepeats; ++r) {
-          sim::SimConfig cfg;
-          cfg.seed = 42 + static_cast<std::uint64_t>(r);
-          const auto result = sim::run_multiprogram(
-              {workloads::benchmark_by_name(a),
-               workloads::benchmark_by_name(b)},
-              topo, kind, cfg);
-          f1 += result.per_app_finish[0];
-          f2 += result.per_app_finish[1];
-          mk += result.makespan;
-        }
-        t.add_row({a + "+" + b, sim::to_string(kind),
-                   util::TextTable::num(f1 / kRepeats, 0),
-                   util::TextTable::num(f2 / kRepeats, 0),
-                   util::TextTable::num(mk / kRepeats, 0)});
+    for (const auto& workload : scenario.workloads) {
+      for (const auto kind : scenario.schedulers) {
+        const auto& cell = result.cell(workload, machine, kind);
+        t.add_row({workload, sim::to_string(kind),
+                   util::TextTable::num(cell.per_app_finish[0], 0),
+                   util::TextTable::num(cell.per_app_finish[1], 0),
+                   util::TextTable::num(cell.mean_makespan, 0)});
       }
     }
     bench::print_table(std::string("Co-scheduling on ") + machine, t);

@@ -2,67 +2,67 @@
 // workload patterns beyond Table III, on a big.LITTLE-like machine.
 // DiurnalPhases is additionally run with the EWMA estimator to show the
 // phase-adaptation headroom over the paper's running mean.
+// Thin renderer over three scenario-registry entries: "scenario-catalog",
+// "diurnal-estimator" (variants = the two estimators) and
+// "mixed-criticality".
 #include <cstdio>
 
 #include "bench_common.hpp"
-#include "workloads/scenarios.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
 
 using namespace wats;
 
 int main() {
   std::printf("WATS reproduction — scenario catalog (extension)\n");
-  const auto topo = core::amc_by_name("AMC5");
-  const auto cfg = bench::default_config(10);
 
-  util::TextTable t({"scenario", "Cilk", "RTS", "WATS",
-                     "WATS gain vs Cilk"});
-  for (const auto& spec : workloads::scenario_catalog()) {
-    const auto results = sim::run_schedulers(
-        spec, topo,
-        {sim::SchedulerKind::kCilk, sim::SchedulerKind::kRts,
-         sim::SchedulerKind::kWats},
-        cfg);
-    const double cilk = results[0].mean_makespan;
-    t.add_row({spec.name, util::TextTable::num(cilk, 0),
-               util::TextTable::num(results[1].mean_makespan, 0),
-               util::TextTable::num(results[2].mean_makespan, 0),
-               util::TextTable::num(
-                   (1.0 - results[2].mean_makespan / cilk) * 100.0, 1) +
-                   "%"});
+  {
+    const auto& scenario = *scenario::find_scenario("scenario-catalog");
+    const auto result = scenario::run_scenario(scenario);
+    util::TextTable t({"scenario", "Cilk", "RTS", "WATS",
+                       "WATS gain vs Cilk"});
+    for (const auto& workload : scenario.workloads) {
+      const auto mk = [&](sim::SchedulerKind kind) {
+        return result.makespan(workload, "AMC5", kind);
+      };
+      const double cilk = mk(sim::SchedulerKind::kCilk);
+      const double wats = mk(sim::SchedulerKind::kWats);
+      t.add_row({workload, util::TextTable::num(cilk, 0),
+                 util::TextTable::num(mk(sim::SchedulerKind::kRts), 0),
+                 util::TextTable::num(wats, 0),
+                 util::TextTable::num((1.0 - wats / cilk) * 100.0, 1) + "%"});
+    }
+    bench::print_table("Scenario catalog on AMC5", t);
   }
-  bench::print_table("Scenario catalog on AMC5", t);
 
   // Phase adaptation: running mean vs EWMA on the diurnal scenario.
   {
-    const auto spec = workloads::diurnal_phases();
-    auto mean_cfg = bench::default_config(10);
-    auto ewma_cfg = mean_cfg;
-    ewma_cfg.estimator = core::WorkloadEstimator::kEwma;
-    ewma_cfg.ewma_alpha = 0.3;
-    const auto mean_r =
-        sim::run_experiment(spec, topo, sim::SchedulerKind::kWats, mean_cfg);
-    const auto ewma_r =
-        sim::run_experiment(spec, topo, sim::SchedulerKind::kWats, ewma_cfg);
+    const auto& scenario = *scenario::find_scenario("diurnal-estimator");
+    const auto result = scenario::run_scenario(scenario);
     util::TextTable e({"estimator", "WATS makespan"});
     e.add_row({"running mean (Algorithm 2)",
-               util::TextTable::num(mean_r.mean_makespan, 0)});
+               util::TextTable::num(
+                   result.makespan("DiurnalPhases", "AMC5",
+                                   sim::SchedulerKind::kWats, "running_mean"),
+                   0)});
     e.add_row({"EWMA alpha=0.3 (extension)",
-               util::TextTable::num(ewma_r.mean_makespan, 0)});
+               util::TextTable::num(
+                   result.makespan("DiurnalPhases", "AMC5",
+                                   sim::SchedulerKind::kWats, "ewma"),
+                   0)});
     bench::print_table("DiurnalPhases — history estimator comparison", e);
   }
 
   // Mixed criticality: the interesting metric is the critical class's
   // wait time, not the makespan.
   {
-    const auto spec = workloads::mixed_criticality();
+    const auto& scenario = *scenario::find_scenario("mixed-criticality");
+    const auto result = scenario::run_scenario(scenario);
     util::TextTable w({"scheduler", "critical mean wait", "critical max wait",
                        "makespan"});
-    for (auto kind : {sim::SchedulerKind::kCilk, sim::SchedulerKind::kWats,
-                      sim::SchedulerKind::kWatsM}) {
-      sim::ExperimentConfig one;
-      one.repeats = 1;
-      const auto r = sim::run_experiment(spec, topo, kind, one);
-      const auto& run = r.runs[0];
+    for (const auto kind : scenario.schedulers) {
+      const auto& run =
+          result.cell("MixedCriticality", "AMC5", kind).result.runs[0];
       // Class 0 is critical_control (first interned).
       const auto& wait = run.wait_time_by_class.at(0);
       w.add_row({sim::to_string(kind), util::TextTable::num(wait.mean(), 1),

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cmath>
+#include <utility>
 
 #include "util/check.hpp"
 
@@ -232,6 +233,7 @@ void TaskClassRegistry::record_completion(TaskClassId id, double workload,
   e.sum_s.add(quantize_history(scalable));
   c.min_workload = std::min(c.min_workload, workload);
   c.max_workload = std::max(c.max_workload, workload);
+  if (cp_config_.enabled) observe_change_point_locked(id, workload, 1);
 }
 
 bool TaskClassRegistry::apply_history_delta(TaskClassId id,
@@ -258,6 +260,15 @@ bool TaskClassRegistry::apply_history_delta(TaskClassId id,
   const bool changed =
       dcount > 0 || dsum_w != FixedSum{} || dsum_s != FixedSum{};
   if (changed && c.completed > 0) derive_means_locked(id);
+  if (cp_config_.enabled && dcount > 0) {
+    // The folded delta stands in for dcount samples at the delta mean —
+    // the detector sees the same total deviation mass as the serial path,
+    // just coarser (per fold instead of per completion).
+    const double delta_mean =
+        dsum_w.to_double() / (static_cast<double>(dcount) *
+                              kHistoryFixedScale);
+    observe_change_point_locked(id, delta_mean, dcount);
+  }
   return discovered;
 }
 
@@ -349,7 +360,98 @@ void TaskClassRegistry::reset_history() {
     c.max_workload = 0.0;
   }
   for (auto& e : exact_) e = ExactStats{};
+  for (auto& s : cusum_) s = CusumState{};
   total_completions_ = 0;
+}
+
+void TaskClassRegistry::configure_change_point(
+    const ChangePointConfig& config) {
+  WATS_CHECK(config.slack >= 0.0);
+  WATS_CHECK(config.threshold > 0.0);
+  std::lock_guard lock(mu_);
+  cp_config_ = config;
+}
+
+std::uint64_t TaskClassRegistry::history_resets() const {
+  std::lock_guard lock(mu_);
+  return history_resets_;
+}
+
+std::vector<HistoryReset> TaskClassRegistry::drain_history_resets() {
+  std::lock_guard lock(mu_);
+  return std::exchange(pending_resets_, {});
+}
+
+void TaskClassRegistry::observe_change_point_locked(TaskClassId id,
+                                                    double mean,
+                                                    std::uint64_t count) {
+  if (cusum_.size() < classes_.size()) cusum_.resize(classes_.size());
+  auto& s = cusum_[id];
+  const auto& c = classes_[id];
+  if (!s.armed) {
+    // Arm once the class has a stable-enough mean. The reference is the
+    // CURRENT mean (which includes the arming samples): deviations are
+    // measured against what the allocator actually believes.
+    if (c.completed >= cp_config_.min_samples) {
+      s.armed = true;
+      s.ref_mean = c.mean_workload;
+    }
+    return;
+  }
+  const double ref = std::max(s.ref_mean, 1e-12);
+  const double dev = (mean - s.ref_mean) / ref;  // fractional deviation
+  const double n = static_cast<double>(count);
+  s.pos = std::max(0.0, s.pos + (dev - cp_config_.slack) * n);
+  s.neg = std::max(0.0, s.neg + (-dev - cp_config_.slack) * n);
+  if (s.pos > 0.0 || s.neg > 0.0) {
+    // A deviation run is open: keep the post-change window so the
+    // detection-time estimate comes from the drifted samples only.
+    s.recent_sum += mean * n;
+    s.recent_count += count;
+  } else {
+    s.recent_sum = 0.0;
+    s.recent_count = 0;
+  }
+  if (s.pos > cp_config_.threshold || s.neg > cp_config_.threshold) {
+    const double fresh = s.recent_count > 0
+                             ? s.recent_sum /
+                                   static_cast<double>(s.recent_count)
+                             : mean;
+    reset_class_locked(id, fresh);
+  }
+}
+
+void TaskClassRegistry::reset_class_locked(TaskClassId id,
+                                           double fresh_mean) {
+  auto& c = classes_[id];
+  pending_resets_.push_back(
+      {id, c.mean_workload, fresh_mean, total_completions_});
+  ++history_resets_;
+  // The decay is restore()'s exact rebuild: decay_to synthetic samples at
+  // the fresh mean, FixedSum accumulators reset to the exact product —
+  // later shard folds and warm-start merges keep combining exactly.
+  const std::uint64_t n = cp_config_.decay_to;
+  total_completions_ -= c.completed;
+  c.completed = n;
+  total_completions_ += n;
+  auto& e = exact_[id];
+  e.sum_w = FixedSum{};
+  e.sum_s = FixedSum{};
+  if (n > 0) {
+    e.sum_w.add_product(quantize_history(fresh_mean), n);
+    e.sum_s.add_product(quantize_history(c.mean_scalable), n);
+    c.mean_workload = fresh_mean;
+    c.min_workload = fresh_mean;
+    c.max_workload = fresh_mean;
+  } else {
+    c.mean_workload = 0.0;
+    c.min_workload = std::numeric_limits<double>::infinity();
+    c.max_workload = 0.0;
+  }
+  auto& s = cusum_[id];
+  s = CusumState{};
+  s.armed = n > 0;  // n == 0: re-arm after min_samples fresh completions
+  s.ref_mean = fresh_mean;
 }
 
 }  // namespace wats::core

@@ -128,6 +128,52 @@ enum class WorkloadEstimator {
   kEwma,
 };
 
+/// Change-point detection on the per-class completion stream (ROADMAP
+/// item 5): the paper's running mean never forgets, so when a class's
+/// workload drifts mid-run (a new execution phase) the stale mean keeps
+/// mis-placing the class until enough new samples dilute it — O(history)
+/// completions. A two-sided CUSUM on the normalized deviation of each
+/// completion from a reference mean detects the drift in O(threshold /
+/// shift) samples instead; on detection the class's history is DECAYED to
+/// a few synthetic samples at the post-change mean estimate (via the same
+/// exact-FixedSum rebuild as restore(), so later shard folds and merges
+/// keep combining exactly) and the reference re-arms. WATS's next
+/// recluster then re-places the class from fresh data.
+///
+/// Detection runs wherever history lands: per sample on the serial
+/// record_completion path (the simulator), and per folded delta on
+/// apply_history_delta (the runtime's helper thread, right next to the
+/// existing shard fold). Disabled by default — a disabled detector is
+/// bit-invisible.
+struct ChangePointConfig {
+  bool enabled = false;
+  /// CUSUM slack k per sample, in units of the reference mean: deviations
+  /// below this fraction are absorbed as noise (covers the within-class
+  /// cv of the Table III models).
+  double slack = 0.5;
+  /// Detection threshold h, in accumulated reference-mean units. With a
+  /// step of size s x ref the detection lag is ~ threshold / (s - 1 -
+  /// slack) samples.
+  double threshold = 6.0;
+  /// Completions before the reference mean arms (too-early references
+  /// are noise).
+  std::uint64_t min_samples = 8;
+  /// History kept after a reset: the class restarts as `decay_to`
+  /// synthetic samples at the post-change mean estimate (0 = forget
+  /// entirely; the class then re-enters as never-seen -> fastest group).
+  std::uint64_t decay_to = 4;
+};
+
+/// One history reset performed by the change-point detector (drained by
+/// the runtime's helper thread for the kHistoryReset ring event, and by
+/// tests).
+struct HistoryReset {
+  TaskClassId id = kNoTaskClass;
+  double stale_mean = 0.0;  ///< mean the detector rejected
+  double fresh_mean = 0.0;  ///< post-change estimate history decayed to
+  std::uint64_t at_completions = 0;  ///< registry-wide completion count
+};
+
 class TaskClassRegistry;
 
 /// Per-worker completion-history shard: the wait-free side of the sharded
@@ -282,6 +328,22 @@ class TaskClassRegistry {
   /// tests and by callers that want a cold-start).
   void reset_history();
 
+  // ---- change-point detection (see ChangePointConfig) ----
+
+  /// Install the detector configuration. Call before the run; flipping
+  /// `enabled` mid-run is safe (detector state is per-class and lazily
+  /// armed) but resets nothing retroactively.
+  void configure_change_point(const ChangePointConfig& config);
+
+  const ChangePointConfig& change_point_config() const { return cp_config_; }
+
+  /// Total history resets the detector performed so far.
+  std::uint64_t history_resets() const;
+
+  /// Remove and return the resets recorded since the last drain (the
+  /// runtime's helper thread turns these into kHistoryReset ring events).
+  std::vector<HistoryReset> drain_history_resets();
+
  private:
   static constexpr std::size_t kInternStripes = 8;
   struct Stripe {
@@ -301,6 +363,29 @@ class TaskClassRegistry {
   /// Re-derive the means from the exact sums (callers hold mu_).
   void derive_means_locked(TaskClassId id);
 
+  /// Per-class CUSUM accumulators (allocated lazily alongside classes_).
+  struct CusumState {
+    bool armed = false;
+    double ref_mean = 0.0;  ///< mean the deviations are measured against
+    double pos = 0.0;       ///< upward CUSUM, in reference-mean units
+    double neg = 0.0;       ///< downward CUSUM
+    /// Post-deviation window: samples folded since the CUSUM last left
+    /// zero — the post-change mean estimate at detection time.
+    double recent_sum = 0.0;
+    std::uint64_t recent_count = 0;
+  };
+
+  /// Feed `count` completions of mean `mean` into class `id`'s detector;
+  /// fires the decay/reset when a CUSUM crosses the threshold. Callers
+  /// hold mu_.
+  void observe_change_point_locked(TaskClassId id, double mean,
+                                   std::uint64_t count);
+
+  /// The decay itself: rebuild the class as cp_config_.decay_to synthetic
+  /// samples at `fresh_mean` (exact-FixedSum rebuild, like restore()) and
+  /// re-arm the detector. Callers hold mu_.
+  void reset_class_locked(TaskClassId id, double fresh_mean);
+
   mutable std::mutex mu_;  ///< guards classes_/exact_/total_completions_
   WorkloadEstimator estimator_ = WorkloadEstimator::kRunningMean;
   double ewma_alpha_ = 0.2;
@@ -308,6 +393,11 @@ class TaskClassRegistry {
   std::vector<TaskClassInfo> classes_;
   std::vector<ExactStats> exact_;
   std::uint64_t total_completions_ = 0;
+
+  ChangePointConfig cp_config_;  ///< guarded by mu_
+  std::vector<CusumState> cusum_;  ///< lazily sized to classes_ (mu_)
+  std::uint64_t history_resets_ = 0;  ///< guarded by mu_
+  std::vector<HistoryReset> pending_resets_;  ///< guarded by mu_
 };
 
 }  // namespace wats::core

@@ -178,6 +178,12 @@ std::string perfetto_from_events(
              << (e.arg == 2 ? "churn" : "identical") << "\"}";
         w.instant(kPid, tid, to_string(e.kind), "sched", ts, args.str());
         break;
+      case EventKind::kHistoryReset:
+        // Change-point decay: cls is the decayed class, arg the running
+        // reset total at emission.
+        args << "{\"cls\":" << e.cls << ",\"resets\":" << e.arg << "}";
+        w.instant(kPid, tid, to_string(e.kind), "sched", ts, args.str());
+        break;
       case EventKind::kPark:
       case EventKind::kUnpark:
       case EventKind::kWake:

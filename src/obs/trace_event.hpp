@@ -37,9 +37,10 @@ enum class EventKind : std::uint8_t {
   kHistoryMerge,      ///< arg = completions folded from the history shards
   kPlanPublish,       ///< arg = classes moved by the plan; cls = plan epoch
   kPlanSkip,          ///< arg = 1 identical / 2 churn-suppressed; cls = epoch
+  kHistoryReset,      ///< arg = total resets so far; cls = decayed class
 };
 
-inline constexpr std::size_t kEventKindCount = 14;
+inline constexpr std::size_t kEventKindCount = 15;
 
 inline const char* to_string(EventKind kind) {
   switch (kind) {
@@ -71,6 +72,8 @@ inline const char* to_string(EventKind kind) {
       return "plan_publish";
     case EventKind::kPlanSkip:
       return "plan_skip";
+    case EventKind::kHistoryReset:
+      return "history_reset";
   }
   return "?";
 }

@@ -141,6 +141,9 @@ class TaskRuntime::View final : public core::policy::MachineView {
 
 TaskRuntime::TaskRuntime(RuntimeConfig config)
     : config_(std::move(config)), lot_(config_.topology.group_count()) {
+  if (config_.change_point.enabled) {
+    registry_.configure_change_point(config_.change_point);
+  }
   kernel_ = core::policy::make_policy(to_policy_kind(config_.policy),
                                       registry_);
   core::policy::PolicyOptions opts;
@@ -164,6 +167,7 @@ TaskRuntime::TaskRuntime(RuntimeConfig config)
   throttle_sleep_us_ = &metrics_.counter("throttle_sleep_us");
   shard_flushes_ = &metrics_.counter("shard_flushes");
   classes_discovered_ = &metrics_.counter("classes_discovered");
+  history_resets_counter_ = &metrics_.counter("history_resets");
   history_merge_ns_ = &metrics_.histogram("history_merge_ns");
   plans_published_ = &metrics_.counter("plans_published");
   plans_skipped_counter_ = &metrics_.counter("plans_skipped");
@@ -856,7 +860,13 @@ double RuntimeStats::fraction_on_group(core::TaskClassId cls,
 }
 
 void TaskRuntime::fold_history_shards(bool from_helper) const {
-  if (config_.locked_history) return;  // completions went straight in
+  if (config_.locked_history) {
+    // Completions went straight into the registry — but the detector may
+    // still have fired there; keep the metric honest.
+    const auto resets = registry_.drain_history_resets();
+    if (!resets.empty()) history_resets_counter_->add(resets.size());
+    return;
+  }
   std::lock_guard lock(fold_mu_);
   if (fold_cursors_.size() < workers_.size()) {
     fold_cursors_.resize(workers_.size());
@@ -876,6 +886,15 @@ void TaskRuntime::fold_history_shards(bool from_helper) const {
                           Clock::now() - start)
                           .count();
   history_merge_ns_->record(static_cast<std::uint64_t>(dur_ns));
+  // The fold may have tripped the change-point detector; surface each
+  // decay as a metric bump plus (helper-only) a ring event. Draining on
+  // the fold path keeps detection and its observability on the same
+  // thread, just like the shard fold itself.
+  const std::vector<core::HistoryReset> resets =
+      registry_.drain_history_resets();
+  if (!resets.empty()) {
+    history_resets_counter_->add(resets.size());
+  }
   if constexpr (obs::kTraceCompiledIn) {
     // Rings are single-producer: only the helper thread may emit to its
     // own ring, so on-demand folds (class_history from an external
@@ -884,6 +903,12 @@ void TaskRuntime::fold_history_shards(bool from_helper) const {
       helper_ring_->emit(obs::EventKind::kHistoryMerge,
                          static_cast<std::uint16_t>(workers_.size()), 0,
                          obs::kObsNoClass, total.completions);
+      const std::uint64_t base = registry_.history_resets() - resets.size();
+      for (std::size_t i = 0; i < resets.size(); ++i) {
+        helper_ring_->emit(obs::EventKind::kHistoryReset,
+                           static_cast<std::uint16_t>(workers_.size()), 0,
+                           resets[i].id, base + i + 1);
+      }
     }
   }
 }

@@ -124,6 +124,12 @@ struct RuntimeConfig {
   /// registry at each recluster tick. bench_micro's History benchmarks
   /// compare the two; leave at false otherwise.
   bool locked_history = false;
+  /// Change-point history decay (core/task_class.hpp): when enabled, the
+  /// registry runs a per-class CUSUM — fed per completion on the
+  /// locked_history path, per folded delta on the sharded path — and
+  /// decays a class's history when its workload drifts. Resets surface as
+  /// the `history_resets` metric and kHistoryReset helper-ring events.
+  core::ChangePointConfig change_point;
   TraceOptions trace;
 };
 
@@ -397,6 +403,7 @@ class TaskRuntime {
   // the latency of each non-empty fold pass.
   obs::Counter* shard_flushes_ = nullptr;
   obs::Counter* classes_discovered_ = nullptr;
+  obs::Counter* history_resets_counter_ = nullptr;
   obs::Histogram* history_merge_ns_ = nullptr;
 
   // Plan-pipeline accounting (always on; helper-thread writes only):

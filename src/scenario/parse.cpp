@@ -1,0 +1,493 @@
+#include "scenario/parse.hpp"
+
+#include <cstdio>
+#include <cstdlib>
+#include <fstream>
+#include <sstream>
+
+namespace wats::scenario {
+
+namespace {
+
+std::string trim(const std::string& s) {
+  std::size_t b = s.find_first_not_of(" \t\r");
+  if (b == std::string::npos) return "";
+  std::size_t e = s.find_last_not_of(" \t\r");
+  return s.substr(b, e - b + 1);
+}
+
+std::vector<std::string> split(const std::string& s, char sep) {
+  std::vector<std::string> out;
+  std::size_t pos = 0;
+  while (pos <= s.size()) {
+    std::size_t next = s.find(sep, pos);
+    if (next == std::string::npos) next = s.size();
+    const std::string piece = trim(s.substr(pos, next - pos));
+    if (!piece.empty()) out.push_back(piece);
+    pos = next + 1;
+  }
+  return out;
+}
+
+bool parse_double(const std::string& text, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_uint(const std::string& text, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+/// Split "k1=v1 k2=v2 ..." into assignments; returns false on a token
+/// without '='.
+bool parse_assignments(const std::string& text,
+                       std::vector<KnobAssignment>* out) {
+  for (const auto& token : split(text, ' ')) {
+    const std::size_t eq = token.find('=');
+    if (eq == std::string::npos || eq == 0) return false;
+    out->push_back({token.substr(0, eq), token.substr(eq + 1)});
+  }
+  return true;
+}
+
+const std::string* assignment(const std::vector<KnobAssignment>& kvs,
+                              const std::string& key) {
+  for (const auto& kv : kvs) {
+    if (kv.key == key) return &kv.value;
+  }
+  return nullptr;
+}
+
+struct Parser {
+  ScenarioParse result;
+  workloads::BenchmarkSpec* current = nullptr;  ///< open inline workload
+  std::size_t line_no = 0;
+
+  void error(const std::string& msg) {
+    result.errors.push_back("line " + std::to_string(line_no) + ": " + msg);
+  }
+
+  workloads::BenchmarkSpec* need_workload(const std::string& key) {
+    if (current == nullptr) {
+      error("'" + key + "' before any workload.name");
+    }
+    return current;
+  }
+
+  void handle(const std::string& key, const std::string& value);
+  void handle_class(const std::string& value);
+  void handle_phase(const std::string& value);
+  void handle_task(const std::string& value);
+  void handle_variant(const std::string& value);
+};
+
+void Parser::handle_class(const std::string& value) {
+  auto* wl = need_workload("class");
+  if (wl == nullptr) return;
+  std::vector<KnobAssignment> kvs;
+  const auto space = value.find(' ');
+  const std::string name = trim(value.substr(0, space));
+  if (name.empty()) {
+    error("class needs a name");
+    return;
+  }
+  if (space != std::string::npos &&
+      !parse_assignments(value.substr(space + 1), &kvs)) {
+    error("malformed class attributes (want k=v pairs)");
+    return;
+  }
+  workloads::TaskClassSpec cls;
+  cls.name = name;
+  bool ok = true;
+  for (const auto& kv : kvs) {
+    std::uint64_t u = 0;
+    if (kv.key == "mean_work") {
+      ok &= parse_double(kv.value, &cls.mean_work) && cls.mean_work > 0.0;
+    } else if (kv.key == "cv") {
+      ok &= parse_double(kv.value, &cls.cv) && cls.cv >= 0.0;
+    } else if (kv.key == "tasks") {
+      ok &= parse_uint(kv.value, &u);
+      cls.tasks_per_batch = static_cast<std::size_t>(u);
+    } else if (kv.key == "scalable") {
+      ok &= parse_double(kv.value, &cls.scalable) && cls.scalable >= 0.0 &&
+            cls.scalable <= 1.0;
+    } else {
+      error("unknown class attribute '" + kv.key + "'");
+      return;
+    }
+  }
+  if (!ok) {
+    error("bad class attribute value");
+    return;
+  }
+  wl->classes.push_back(std::move(cls));
+}
+
+void Parser::handle_phase(const std::string& value) {
+  auto* wl = need_workload("phase");
+  if (wl == nullptr) return;
+  std::vector<KnobAssignment> kvs;
+  if (!parse_assignments(value, &kvs)) {
+    error("malformed phase (want batch=N scale=a,b,...)");
+    return;
+  }
+  const std::string* batch = assignment(kvs, "batch");
+  const std::string* scale = assignment(kvs, "scale");
+  std::uint64_t b = 0;
+  if (batch == nullptr || scale == nullptr || !parse_uint(*batch, &b)) {
+    error("phase needs batch=N and scale=a,b,...");
+    return;
+  }
+  workloads::PhaseSpec phase;
+  phase.start_batch = static_cast<std::size_t>(b);
+  for (const auto& piece : split(*scale, ',')) {
+    double d = 0.0;
+    if (!parse_double(piece, &d) || d < 0.0) {
+      error("bad phase scale '" + piece + "'");
+      return;
+    }
+    phase.class_scale.push_back(d);
+  }
+  wl->phases.push_back(std::move(phase));
+}
+
+void Parser::handle_task(const std::string& value) {
+  auto* wl = need_workload("task");
+  if (wl == nullptr) return;
+  std::vector<KnobAssignment> kvs;
+  if (!parse_assignments(value, &kvs)) {
+    error("malformed task (want arrival=T class=NAME work=W)");
+    return;
+  }
+  const std::string* arrival = assignment(kvs, "arrival");
+  const std::string* cls = assignment(kvs, "class");
+  const std::string* work = assignment(kvs, "work");
+  workloads::ReplayTaskSpec rec;
+  if (arrival == nullptr || cls == nullptr || work == nullptr ||
+      !parse_double(*arrival, &rec.arrival) || rec.arrival < 0.0 ||
+      !parse_double(*work, &rec.work) || rec.work < 0.0) {
+    error("task needs arrival=T class=NAME work=W (non-negative)");
+    return;
+  }
+  // Classes must be declared before the tasks that reference them.
+  rec.class_index = wl->classes.size();
+  for (std::size_t i = 0; i < wl->classes.size(); ++i) {
+    if (wl->classes[i].name == *cls) rec.class_index = i;
+  }
+  if (rec.class_index == wl->classes.size()) {
+    error("task references undeclared class '" + *cls + "'");
+    return;
+  }
+  wl->replay_tasks.push_back(rec);
+}
+
+void Parser::handle_variant(const std::string& value) {
+  const std::size_t colon = value.find(':');
+  if (colon == std::string::npos || colon == 0) {
+    error("variant wants 'label: k=v k=v ...'");
+    return;
+  }
+  ScenarioVariant variant;
+  variant.label = trim(value.substr(0, colon));
+  if (!parse_assignments(trim(value.substr(colon + 1)), &variant.knobs)) {
+    error("malformed variant knobs (want k=v pairs)");
+    return;
+  }
+  result.spec.variants.push_back(std::move(variant));
+}
+
+void Parser::handle(const std::string& key, const std::string& value) {
+  ScenarioSpec& s = result.spec;
+  double d = 0.0;
+  std::uint64_t u = 0;
+  const auto want_double = [&](double lo) {
+    if (parse_double(value, &d) && d >= lo) return true;
+    error("'" + key + "': bad value '" + value + "'");
+    return false;
+  };
+  const auto want_uint = [&] {
+    if (parse_uint(value, &u)) return true;
+    error("'" + key + "': bad value '" + value + "'");
+    return false;
+  };
+  const auto want_bool = [&](bool* out) {
+    if (value == "on" || value == "true" || value == "1") {
+      *out = true;
+      return true;
+    }
+    if (value == "off" || value == "false" || value == "0") {
+      *out = false;
+      return true;
+    }
+    error("'" + key + "': bad value '" + value + "'");
+    return false;
+  };
+
+  if (key == "name") {
+    s.name = value;
+  } else if (key == "description") {
+    s.description = value;
+  } else if (key == "machine" || key == "machines") {
+    for (auto& m : split(value, ',')) s.machines.push_back(std::move(m));
+  } else if (key == "workload" || key == "workloads") {
+    for (auto& w : split(value, ',')) s.workloads.push_back(std::move(w));
+  } else if (key == "scheduler" || key == "schedulers") {
+    for (const auto& name : split(value, ',')) {
+      sim::SchedulerKind kind;
+      if (scheduler_from_string(name, &kind)) {
+        s.schedulers.push_back(kind);
+      } else {
+        error("unknown scheduler '" + name + "'");
+      }
+    }
+  } else if (key == "repeats") {
+    if (want_uint() && u > 0) s.repeats = static_cast<std::size_t>(u);
+  } else if (key == "seed") {
+    if (want_uint()) s.base_seed = u;
+  } else if (key == "estimator") {
+    if (value == "running_mean") {
+      s.estimator = core::WorkloadEstimator::kRunningMean;
+    } else if (value == "ewma") {
+      s.estimator = core::WorkloadEstimator::kEwma;
+    } else {
+      error("estimator wants running_mean or ewma");
+    }
+  } else if (key == "ewma_alpha") {
+    if (want_double(0.0)) s.ewma_alpha = d;
+  } else if (key == "change_point") {
+    want_bool(&s.change_point.enabled);
+  } else if (key == "cp_slack") {
+    if (want_double(0.0)) s.change_point.slack = d;
+  } else if (key == "cp_threshold") {
+    if (want_double(0.0)) s.change_point.threshold = d;
+  } else if (key == "cp_min_samples") {
+    if (want_uint()) s.change_point.min_samples = u;
+  } else if (key == "cp_decay_to") {
+    if (want_uint()) s.change_point.decay_to = u;
+  } else if (key == "steal_cost") {
+    if (want_double(0.0)) s.sim.steal_cost = d;
+  } else if (key == "snatch_cost") {
+    if (want_double(0.0)) s.sim.snatch_cost = d;
+  } else if (key == "snatch_redo_fraction") {
+    if (want_double(0.0)) s.sim.snatch_redo_fraction = d;
+  } else if (key == "spawn_cost") {
+    if (want_double(0.0)) s.sim.spawn_cost = d;
+  } else if (key == "recluster_period") {
+    if (want_double(0.0)) s.sim.recluster_period = d;
+  } else if (key == "main_on_fastest") {
+    want_bool(&s.sim.main_on_fastest);
+  } else if (key == "cluster_algorithm") {
+    if (value == "algorithm1") {
+      s.sim.cluster_algorithm = core::ClusterAlgorithm::kAlgorithm1;
+    } else if (value == "dual") {
+      s.sim.cluster_algorithm = core::ClusterAlgorithm::kDualApprox;
+    } else {
+      error("cluster_algorithm wants algorithm1 or dual");
+    }
+  } else if (key == "steal_victim") {
+    if (value == "random") {
+      s.sim.steal_victim = sim::SimConfig::StealVictim::kRandom;
+    } else if (value == "richest") {
+      s.sim.steal_victim = sim::SimConfig::StealVictim::kRichest;
+    } else {
+      error("steal_victim wants random or richest");
+    }
+  } else if (key == "variant") {
+    handle_variant(value);
+  } else if (key == "workload.name") {
+    s.inline_workloads.emplace_back();
+    current = &s.inline_workloads.back();
+    current->name = value;
+  } else if (key == "workload.kind") {
+    if (auto* wl = need_workload(key)) {
+      if (value == "batch") {
+        wl->kind = workloads::BenchKind::kBatch;
+      } else if (value == "pipeline") {
+        wl->kind = workloads::BenchKind::kPipeline;
+      } else if (value == "replay") {
+        wl->kind = workloads::BenchKind::kReplay;
+      } else {
+        error("workload.kind wants batch, pipeline or replay");
+      }
+    }
+  } else if (key == "workload.batches") {
+    if (auto* wl = need_workload(key); wl != nullptr && want_uint()) {
+      wl->batches = static_cast<std::size_t>(u);
+    }
+  } else if (key == "workload.pipeline_items") {
+    if (auto* wl = need_workload(key); wl != nullptr && want_uint()) {
+      wl->pipeline_items = static_cast<std::size_t>(u);
+    }
+  } else if (key == "workload.pipeline_window") {
+    if (auto* wl = need_workload(key); wl != nullptr && want_uint()) {
+      wl->pipeline_window = static_cast<std::size_t>(u);
+    }
+  } else if (key == "class") {
+    handle_class(value);
+  } else if (key == "phase") {
+    handle_phase(value);
+  } else if (key == "task") {
+    handle_task(value);
+  } else {
+    error("unknown key '" + key + "'");
+  }
+}
+
+std::string fmt_double(double v) {
+  // Shortest representation that round-trips the exact double.
+  char buf[64];
+  for (int prec = 1; prec <= 17; ++prec) {
+    std::snprintf(buf, sizeof(buf), "%.*g", prec, v);
+    if (std::strtod(buf, nullptr) == v) break;
+  }
+  return buf;
+}
+
+}  // namespace
+
+ScenarioParse parse_scenario(const std::string& text) {
+  Parser p;
+  std::istringstream in(text);
+  std::string raw;
+  while (std::getline(in, raw)) {
+    ++p.line_no;
+    const std::size_t hash = raw.find('#');
+    if (hash != std::string::npos) raw.resize(hash);
+    const std::string line = trim(raw);
+    if (line.empty()) continue;
+    const std::size_t eq = line.find('=');
+    if (eq == std::string::npos || eq == 0) {
+      p.error("expected 'key = value'");
+      continue;
+    }
+    p.handle(trim(line.substr(0, eq)), trim(line.substr(eq + 1)));
+  }
+  return p.result;
+}
+
+ScenarioParse parse_scenario_file(const std::string& path) {
+  std::ifstream in(path);
+  if (!in.good()) {
+    ScenarioParse result;
+    result.errors.push_back("cannot read scenario file '" + path + "'");
+    return result;
+  }
+  std::ostringstream text;
+  text << in.rdbuf();
+  return parse_scenario(text.str());
+}
+
+std::string serialize_scenario(const ScenarioSpec& spec) {
+  std::ostringstream out;
+  const auto join = [](const std::vector<std::string>& items) {
+    std::string joined;
+    for (const auto& item : items) {
+      if (!joined.empty()) joined += ", ";
+      joined += item;
+    }
+    return joined;
+  };
+  out << "# WATS scenario file (docs/SCENARIOS.md)\n";
+  out << "name = " << spec.name << "\n";
+  if (!spec.description.empty()) {
+    out << "description = " << spec.description << "\n";
+  }
+  if (!spec.machines.empty()) {
+    out << "machines = " << join(spec.machines) << "\n";
+  }
+  if (!spec.workloads.empty()) {
+    out << "workloads = " << join(spec.workloads) << "\n";
+  }
+  std::vector<std::string> scheds;
+  for (const auto kind : spec.schedulers) {
+    scheds.push_back(core::policy::to_string(kind));
+  }
+  if (!scheds.empty()) out << "schedulers = " << join(scheds) << "\n";
+  out << "repeats = " << spec.repeats << "\n";
+  out << "seed = " << spec.base_seed << "\n";
+  if (spec.estimator == core::WorkloadEstimator::kEwma) {
+    out << "estimator = ewma\n";
+    out << "ewma_alpha = " << fmt_double(spec.ewma_alpha) << "\n";
+  }
+  if (spec.change_point.enabled) {
+    out << "change_point = on\n";
+    out << "cp_slack = " << fmt_double(spec.change_point.slack) << "\n";
+    out << "cp_threshold = " << fmt_double(spec.change_point.threshold)
+        << "\n";
+    out << "cp_min_samples = " << spec.change_point.min_samples << "\n";
+    out << "cp_decay_to = " << spec.change_point.decay_to << "\n";
+  }
+  const sim::SimConfig defaults;
+  const auto sim_knob = [&](const char* key, double v, double dflt) {
+    if (v != dflt) out << key << " = " << fmt_double(v) << "\n";
+  };
+  sim_knob("steal_cost", spec.sim.steal_cost, defaults.steal_cost);
+  sim_knob("snatch_cost", spec.sim.snatch_cost, defaults.snatch_cost);
+  sim_knob("snatch_redo_fraction", spec.sim.snatch_redo_fraction,
+           defaults.snatch_redo_fraction);
+  sim_knob("spawn_cost", spec.sim.spawn_cost, defaults.spawn_cost);
+  sim_knob("recluster_period", spec.sim.recluster_period,
+           defaults.recluster_period);
+  if (spec.sim.main_on_fastest != defaults.main_on_fastest) {
+    out << "main_on_fastest = " << (spec.sim.main_on_fastest ? "on" : "off")
+        << "\n";
+  }
+  if (spec.sim.cluster_algorithm == core::ClusterAlgorithm::kDualApprox) {
+    out << "cluster_algorithm = dual\n";
+  }
+  if (spec.sim.steal_victim == sim::SimConfig::StealVictim::kRichest) {
+    out << "steal_victim = richest\n";
+  }
+  for (const auto& variant : spec.variants) {
+    out << "variant = " << variant.label << ":";
+    for (const auto& knob : variant.knobs) {
+      out << " " << knob.key << "=" << knob.value;
+    }
+    out << "\n";
+  }
+  for (const auto& wl : spec.inline_workloads) {
+    out << "\nworkload.name = " << wl.name << "\n";
+    switch (wl.kind) {
+      case workloads::BenchKind::kBatch:
+        out << "workload.kind = batch\n";
+        out << "workload.batches = " << wl.batches << "\n";
+        break;
+      case workloads::BenchKind::kPipeline:
+        out << "workload.kind = pipeline\n";
+        out << "workload.pipeline_items = " << wl.pipeline_items << "\n";
+        out << "workload.pipeline_window = " << wl.pipeline_window << "\n";
+        break;
+      case workloads::BenchKind::kReplay:
+        out << "workload.kind = replay\n";
+        break;
+    }
+    for (const auto& cls : wl.classes) {
+      out << "class = " << cls.name << " mean_work=" << fmt_double(cls.mean_work)
+          << " cv=" << fmt_double(cls.cv) << " tasks=" << cls.tasks_per_batch
+          << " scalable=" << fmt_double(cls.scalable) << "\n";
+    }
+    for (const auto& phase : wl.phases) {
+      out << "phase = batch=" << phase.start_batch << " scale=";
+      for (std::size_t i = 0; i < phase.class_scale.size(); ++i) {
+        if (i > 0) out << ",";
+        out << fmt_double(phase.class_scale[i]);
+      }
+      out << "\n";
+    }
+    for (const auto& rec : wl.replay_tasks) {
+      out << "task = arrival=" << fmt_double(rec.arrival)
+          << " class=" << wl.classes[rec.class_index].name
+          << " work=" << fmt_double(rec.work) << "\n";
+    }
+  }
+  return out.str();
+}
+
+}  // namespace wats::scenario

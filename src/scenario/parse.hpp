@@ -1,0 +1,57 @@
+// Scenario file format: the text form of ScenarioSpec (docs/SCENARIOS.md).
+//
+// Line-based `key = value`, '#' comments, blank lines ignored:
+//
+//   name        = step-drift-demo
+//   machines    = AMC5, 8x2.5+8x0.8       # Table II names or NxF specs
+//   workloads   = GA, DiurnalPhases       # named; "A+B" = co-run
+//   schedulers  = Cilk, WATS
+//   repeats     = 5
+//   seed        = 42
+//   estimator   = running_mean            # or: ewma (+ ewma_alpha = 0.3)
+//   change_point = on                     # + cp_slack / cp_threshold /
+//                                         #   cp_min_samples / cp_decay_to
+//   steal_cost  = 0.05                    # any sim knob; see docs
+//   variant     = frozen: change_point=off
+//   variant     = adaptive: change_point=on cp_threshold=4
+//
+// Inline workloads: `workload.name = X` starts one; following workload.*,
+// class, phase and task lines belong to it until the next workload.name.
+//
+//   workload.name    = StepDrift
+//   workload.kind    = batch              # batch | pipeline | replay
+//   workload.batches = 40
+//   class = shifty_worker mean_work=10 cv=0.05 tasks=24 scalable=1
+//   class = steady_worker mean_work=120 cv=0.05 tasks=8
+//   phase = batch=10 scale=16,1           # per-class multipliers
+//   task  = arrival=3.5 class=shifty_worker work=12.5   # replay records
+//
+// parse_scenario never aborts: every malformed line lands in `errors`
+// with its line number. serialize_scenario writes the same format back
+// (round-trip: parse(serialize(s)) == s), which is how `wats_trace
+// replay-export` emits recorded runs as scenario files.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace wats::scenario {
+
+struct ScenarioParse {
+  ScenarioSpec spec;
+  std::vector<std::string> errors;  ///< "line N: message"
+  bool ok() const { return errors.empty(); }
+};
+
+/// Parse scenario text (the contents of a .scenario file).
+ScenarioParse parse_scenario(const std::string& text);
+
+/// Read and parse a scenario file; unreadable paths report one error.
+ScenarioParse parse_scenario_file(const std::string& path);
+
+/// Serialize a spec to the file format above.
+std::string serialize_scenario(const ScenarioSpec& spec);
+
+}  // namespace wats::scenario

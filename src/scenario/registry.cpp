@@ -1,0 +1,345 @@
+#include "scenario/registry.hpp"
+
+#include "core/topology.hpp"
+#include "workloads/scenarios.hpp"
+
+namespace wats::scenario {
+
+namespace {
+
+using K = sim::SchedulerKind;
+
+std::vector<std::string> table2_names() {
+  std::vector<std::string> names;
+  for (const auto& t : core::amc_table2()) names.push_back(t.name());
+  return names;
+}
+
+std::vector<std::string> paper_names() {
+  std::vector<std::string> names;
+  for (const auto& s : workloads::paper_benchmarks()) names.push_back(s.name);
+  return names;
+}
+
+std::vector<std::string> catalog_names() {
+  std::vector<std::string> names;
+  for (const auto& s : workloads::scenario_catalog()) names.push_back(s.name);
+  return names;
+}
+
+ScenarioSpec fig6() {
+  ScenarioSpec s;
+  s.name = "fig6";
+  s.description =
+      "Fig. 6: all Table III benchmarks under Cilk/PFT/RTS/WATS on "
+      "AMC1/AMC2/AMC5, normalized to Cilk";
+  s.machines = {"AMC1", "AMC2", "AMC5"};
+  s.workloads = paper_names();
+  s.schedulers = {K::kCilk, K::kPft, K::kRts, K::kWats};
+  s.repeats = 15;
+  return s;
+}
+
+ScenarioSpec fig7() {
+  ScenarioSpec s;
+  s.name = "fig7";
+  s.description =
+      "Fig. 7: GA under Cilk/PFT/RTS/WATS on all seven Table II machines";
+  s.machines = table2_names();
+  s.workloads = {"GA"};
+  s.schedulers = {K::kCilk, K::kPft, K::kRts, K::kWats};
+  s.repeats = 15;
+  return s;
+}
+
+ScenarioSpec fig8() {
+  ScenarioSpec s;
+  s.name = "fig8";
+  s.description =
+      "Fig. 8: GA workload mixes (alpha sweep) under Cilk/PFT/RTS/WATS on "
+      "AMC5";
+  s.machines = {"AMC5"};
+  for (std::size_t alpha :
+       {0u, 4u, 8u, 12u, 16u, 20u, 24u, 28u, 32u, 36u, 40u, 42u}) {
+    s.workloads.push_back("GAmix:" + std::to_string(alpha));
+  }
+  s.schedulers = {K::kCilk, K::kPft, K::kRts, K::kWats};
+  s.repeats = 15;
+  return s;
+}
+
+ScenarioSpec fig9() {
+  ScenarioSpec s;
+  s.name = "fig9";
+  s.description =
+      "Fig. 9: GA under Cilk/PFT/WATS-NP/WATS on all Table II machines";
+  s.machines = table2_names();
+  s.workloads = {"GA"};
+  s.schedulers = {K::kCilk, K::kPft, K::kWatsNp, K::kWats};
+  s.repeats = 15;
+  return s;
+}
+
+ScenarioSpec fig10() {
+  ScenarioSpec s;
+  s.name = "fig10";
+  s.description =
+      "Fig. 10: WATS vs WATS-TS over all Table III benchmarks on AMC2";
+  s.machines = {"AMC2"};
+  s.workloads = paper_names();
+  s.schedulers = {K::kWats, K::kWatsTs};
+  s.repeats = 15;
+  return s;
+}
+
+ScenarioSpec full_grid() {
+  ScenarioSpec s;
+  s.name = "full-grid";
+  s.description =
+      "WATS gain over Cilk for every Table III benchmark on every Table II "
+      "machine";
+  s.machines = table2_names();
+  s.workloads = paper_names();
+  s.schedulers = {K::kCilk, K::kWats};
+  s.repeats = 7;
+  return s;
+}
+
+ScenarioSpec scenario_catalog() {
+  ScenarioSpec s;
+  s.name = "scenario-catalog";
+  s.description =
+      "Extension catalog (bursty/diurnal/fanout/criticality) under "
+      "Cilk/RTS/WATS on AMC5";
+  s.machines = {"AMC5"};
+  s.workloads = catalog_names();
+  s.schedulers = {K::kCilk, K::kRts, K::kWats};
+  s.repeats = 10;
+  return s;
+}
+
+ScenarioSpec diurnal_estimator() {
+  ScenarioSpec s;
+  s.name = "diurnal-estimator";
+  s.description =
+      "DiurnalPhases under WATS: running-mean vs EWMA history estimator";
+  s.machines = {"AMC5"};
+  s.workloads = {"DiurnalPhases"};
+  s.schedulers = {K::kWats};
+  s.repeats = 10;
+  s.variants = {
+      {"running_mean", {{"estimator", "running_mean"}}},
+      {"ewma", {{"estimator", "ewma"}, {"ewma_alpha", "0.3"}}},
+  };
+  return s;
+}
+
+ScenarioSpec mixed_criticality() {
+  ScenarioSpec s;
+  s.name = "mixed-criticality";
+  s.description =
+      "MixedCriticality: critical-class wait time under Cilk/WATS/WATS-M";
+  s.machines = {"AMC5"};
+  s.workloads = {"MixedCriticality"};
+  s.schedulers = {K::kCilk, K::kWats, K::kWatsM};
+  s.repeats = 1;
+  return s;
+}
+
+ScenarioSpec multiprogram() {
+  ScenarioSpec s;
+  s.name = "multiprogram";
+  s.description =
+      "Two applications co-scheduled on one machine under Cilk vs WATS";
+  s.machines = {"AMC2", "AMC5"};
+  s.workloads = {"GA+Ferret", "SHA-1+Ferret", "GA+SHA-1"};
+  s.schedulers = {K::kCilk, K::kWats};
+  s.repeats = 7;
+  return s;
+}
+
+ScenarioSpec ablation_steal_cost() {
+  ScenarioSpec s;
+  s.name = "ablation-steal-cost";
+  s.description = "Ablation 1: steal-cost sweep (GA, AMC5)";
+  s.machines = {"AMC5"};
+  s.workloads = {"GA"};
+  s.schedulers = {K::kCilk, K::kPft, K::kWats};
+  s.repeats = 5;
+  for (const char* c : {"0", "0.05", "0.5", "2", "8"}) {
+    s.variants.push_back({c, {{"steal_cost", c}}});
+  }
+  return s;
+}
+
+ScenarioSpec ablation_snatch() {
+  ScenarioSpec s;
+  s.name = "ablation-snatch";
+  s.description =
+      "Ablation 2: snatch cost x cold-migration redo (GA, AMC5). WATS "
+      "never snatches, so its column is the constant base";
+  s.machines = {"AMC5"};
+  s.workloads = {"GA"};
+  s.schedulers = {K::kRts, K::kWatsTs, K::kWats};
+  s.repeats = 5;
+  for (const char* cost : {"0", "8", "25", "100"}) {
+    for (const char* redo : {"0", "0.5", "1"}) {
+      s.variants.push_back(
+          {std::string(cost) + "/" + redo,
+           {{"snatch_cost", cost}, {"snatch_redo_fraction", redo}}});
+    }
+  }
+  return s;
+}
+
+ScenarioSpec ablation_recluster() {
+  ScenarioSpec s;
+  s.name = "ablation-recluster";
+  s.description = "Ablation 3: helper-thread recluster cadence (GA, AMC5)";
+  s.machines = {"AMC5"};
+  s.workloads = {"GA"};
+  s.schedulers = {K::kWats};
+  s.repeats = 5;
+  for (const char* period : {"0", "10", "100", "1000"}) {
+    s.variants.push_back({period, {{"recluster_period", period}}});
+  }
+  return s;
+}
+
+ScenarioSpec ablation_batches() {
+  ScenarioSpec s;
+  s.name = "ablation-batches";
+  s.description = "Ablation 4: history warm-up — batches per run (GA, AMC5)";
+  s.machines = {"AMC5"};
+  s.workloads = {"GA"};
+  s.schedulers = {K::kCilk, K::kWats};
+  s.repeats = 5;
+  for (const char* batches : {"1", "2", "4", "8", "16", "32"}) {
+    s.variants.push_back({batches, {{"batches", batches}}});
+  }
+  return s;
+}
+
+ScenarioSpec ablation_main_placement() {
+  ScenarioSpec s;
+  s.name = "ablation-main-placement";
+  s.description =
+      "Ablation 5: main task on the fastest vs a random core (GA, AMC5)";
+  s.machines = {"AMC5"};
+  s.workloads = {"GA"};
+  s.schedulers = {K::kCilk, K::kPft, K::kWats};
+  s.repeats = 5;
+  s.sim.spawn_cost = 0.05;  // placement only matters with serial spawns
+  s.variants = {
+      {"fastest", {{"main_on_fastest", "true"}}},
+      {"random", {{"main_on_fastest", "false"}}},
+  };
+  return s;
+}
+
+ScenarioSpec ablation_allocator() {
+  ScenarioSpec s;
+  s.name = "ablation-allocator";
+  s.description =
+      "Ablation 6: recluster allocator — Algorithm 1 vs dual approximation "
+      "(GA)";
+  s.machines = {"AMC1", "AMC2", "AMC5"};
+  s.workloads = {"GA"};
+  s.schedulers = {K::kWats};
+  s.repeats = 5;
+  s.variants = {
+      {"algorithm1", {{"cluster_algorithm", "algorithm1"}}},
+      {"dual", {{"cluster_algorithm", "dual"}}},
+  };
+  return s;
+}
+
+ScenarioSpec ablation_steal_victim() {
+  ScenarioSpec s;
+  s.name = "ablation-steal-victim";
+  s.description =
+      "Ablation 7: steal-victim selection — random vs richest (Dedup, AMC5)";
+  s.machines = {"AMC5"};
+  s.workloads = {"Dedup"};
+  s.schedulers = {K::kPft, K::kWats};
+  s.repeats = 5;
+  s.variants = {
+      {"random", {{"steal_victim", "random"}}},
+      {"richest", {{"steal_victim", "richest"}}},
+  };
+  return s;
+}
+
+ScenarioSpec step_drift() {
+  ScenarioSpec s;
+  s.name = "step-drift";
+  s.description =
+      "Nonstationary demo: a class's workload steps 16x mid-run. Frozen "
+      "running-mean WATS keeps mis-placing it; change-point history decay "
+      "re-places it within a few batches";
+  s.machines = {"AMC5"};
+  s.inline_workloads = {step_drift_workload()};
+  s.schedulers = {K::kWats};
+  s.repeats = 5;
+  s.variants = {
+      {"frozen", {{"change_point", "off"}}},
+      {"adaptive", {{"change_point", "on"}}},
+  };
+  return s;
+}
+
+}  // namespace
+
+workloads::BenchmarkSpec step_drift_workload() {
+  workloads::BenchmarkSpec s;
+  s.name = "StepDrift";
+  s.kind = workloads::BenchKind::kBatch;
+  // Before the drift, shifty_worker's tasks are light (10) next to
+  // steady_worker (100); from batch 10 onwards they step to 160 — now THE
+  // heaviest class. The frozen running mean needs 15 more batches
+  // ((400 + 640k) / (40 + 4k) > 100 <=> k > 15) before its estimate even
+  // crosses steady_worker's, so Algorithm 1 keeps the four drifted tasks
+  // on the slow c-group — whose cores start them immediately, leaving
+  // nothing for idle fast cores to steal — for half the post-drift run.
+  // The detector decays the stale history within one batch of the step.
+  s.classes = {
+      {"shifty_worker", 10.0, 0.05, 4, 1.0},
+      {"steady_worker", 100.0, 0.05, 24, 1.0},
+  };
+  s.batches = 40;
+  s.phases = {{10, {16.0, 1.0}}};
+  return s;
+}
+
+const std::vector<ScenarioSpec>& builtin_scenarios() {
+  static const std::vector<ScenarioSpec> all{
+      fig6(),
+      fig7(),
+      fig8(),
+      fig9(),
+      fig10(),
+      full_grid(),
+      scenario_catalog(),
+      diurnal_estimator(),
+      mixed_criticality(),
+      multiprogram(),
+      ablation_steal_cost(),
+      ablation_snatch(),
+      ablation_recluster(),
+      ablation_batches(),
+      ablation_main_placement(),
+      ablation_allocator(),
+      ablation_steal_victim(),
+      step_drift(),
+  };
+  return all;
+}
+
+const ScenarioSpec* find_scenario(const std::string& name) {
+  for (const auto& s : builtin_scenarios()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+}  // namespace wats::scenario

@@ -1,0 +1,28 @@
+// Compiled-in scenario registry: every experiment the repo's bench
+// drivers print — fig6..fig10, the Table III x Table II full grid, the
+// scenario catalog, the design ablations, the multiprogram co-runs — plus
+// the nonstationary step-drift demo, each as a declarative ScenarioSpec.
+// The bench binaries fetch their spec here and render tables from the
+// runner's cells; wats_run executes any entry by name.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+
+namespace wats::scenario {
+
+/// All registry entries (stable order; names are unique).
+const std::vector<ScenarioSpec>& builtin_scenarios();
+
+/// Lookup by name; nullptr when unknown.
+const ScenarioSpec* find_scenario(const std::string& name);
+
+/// The nonstationary acceptance workload: a class whose workload steps up
+/// 16x mid-run while another stays put, so a frozen running mean keeps
+/// mis-placing the now-heavy class for the rest of the run. Used by the
+/// "step-drift" registry entry and the change-point tests.
+workloads::BenchmarkSpec step_drift_workload();
+
+}  // namespace wats::scenario

@@ -1,0 +1,180 @@
+#include "scenario/replay.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdlib>
+#include <limits>
+#include <map>
+
+#include "obs/json.hpp"
+
+namespace wats::scenario {
+
+namespace {
+
+void add_error(std::vector<std::string>* errors, const std::string& msg) {
+  if (errors != nullptr) errors->push_back(msg);
+}
+
+/// Relative speed from a track label like "core 3 (group 1, 1.80x)";
+/// false when the label carries no speed suffix ("policy", "helper").
+bool speed_from_label(const std::string& label, double* out) {
+  const std::size_t x = label.rfind("x)");
+  const std::size_t comma = label.rfind(", ");
+  if (x == std::string::npos || comma == std::string::npos || comma + 2 >= x ||
+      x + 2 != label.size()) {
+    return false;
+  }
+  const std::string digits = label.substr(comma + 2, x - comma - 2);
+  char* end = nullptr;
+  const double v = std::strtod(digits.c_str(), &end);
+  if (end == digits.c_str() || *end != '\0' || v <= 0.0) return false;
+  *out = v;
+  return true;
+}
+
+struct ReplayedTask {
+  double arrival = 0.0;
+  std::size_t class_index = 0;
+  double work = 0.0;
+};
+
+}  // namespace
+
+workloads::BenchmarkSpec replay_workload_from_trace(
+    const std::string& trace_json, const std::string& name,
+    std::vector<std::string>* errors) {
+  workloads::BenchmarkSpec spec;
+  spec.name = name;
+  spec.kind = workloads::BenchKind::kReplay;
+
+  std::string parse_error;
+  const auto root = obs::parse_json(trace_json, &parse_error);
+  if (!root) {
+    add_error(errors, "trace is not valid JSON: " + parse_error);
+    return spec;
+  }
+  const obs::JsonValue* events = root->find("traceEvents");
+  if (events == nullptr ||
+      events->type() != obs::JsonValue::Type::kArray) {
+    add_error(errors, "trace has no traceEvents array");
+    return spec;
+  }
+
+  // Pass 1: track speeds from thread_name metadata.
+  std::map<int, double> speed_by_tid;
+  for (const auto& e : events->as_array()) {
+    if (e.string_or("ph", "") != "M" ||
+        e.string_or("name", "") != "thread_name") {
+      continue;
+    }
+    const obs::JsonValue* args = e.find("args");
+    if (args == nullptr) continue;
+    double speed = 0.0;
+    if (speed_from_label(args->string_or("name", ""), &speed)) {
+      speed_by_tid[static_cast<int>(e.number_or("tid", -1.0))] = speed;
+    }
+  }
+
+  // Pass 2: task slices. Segments sharing an args.task id merge (snatch
+  // re-execution splits one task across cores); slices without an id —
+  // the runtime export — are one task each.
+  std::vector<ReplayedTask> tasks;
+  std::map<double, std::size_t> task_by_id;
+  std::map<std::string, std::size_t> class_by_name;
+  std::size_t slices = 0;
+  for (const auto& e : events->as_array()) {
+    if (e.string_or("ph", "") != "X" || e.string_or("cat", "") != "task") {
+      continue;
+    }
+    ++slices;
+    const std::string cls = e.string_or("name", "");
+    const double ts = e.number_or("ts", 0.0);
+    const double dur = e.number_or("dur", 0.0);
+    const int tid = static_cast<int>(e.number_or("tid", -1.0));
+    const auto speed_it = speed_by_tid.find(tid);
+    const double speed =
+        speed_it != speed_by_tid.end() ? speed_it->second : 1.0;
+
+    const auto cls_it = class_by_name.find(cls);
+    std::size_t class_index;
+    if (cls_it != class_by_name.end()) {
+      class_index = cls_it->second;
+    } else {
+      class_index = spec.classes.size();
+      class_by_name.emplace(cls, class_index);
+      workloads::TaskClassSpec c;
+      c.name = cls;
+      spec.classes.push_back(c);
+    }
+
+    const obs::JsonValue* args = e.find("args");
+    const obs::JsonValue* task_id =
+        args != nullptr ? args->find("task") : nullptr;
+    if (task_id != nullptr) {
+      const auto it = task_by_id.find(task_id->as_number());
+      if (it != task_by_id.end()) {
+        auto& t = tasks[it->second];
+        t.arrival = std::min(t.arrival, ts);
+        t.work += dur * speed;
+        continue;
+      }
+      task_by_id.emplace(task_id->as_number(), tasks.size());
+    }
+    tasks.push_back({ts, class_index, dur * speed});
+  }
+  if (tasks.empty()) {
+    add_error(errors, "trace has no task slices (ph \"X\", cat \"task\")");
+    return spec;
+  }
+
+  std::stable_sort(tasks.begin(), tasks.end(),
+                   [](const ReplayedTask& a, const ReplayedTask& b) {
+                     return a.arrival < b.arrival;
+                   });
+  const double t0 = tasks.front().arrival;
+  spec.replay_tasks.reserve(tasks.size());
+  for (const auto& t : tasks) {
+    spec.replay_tasks.push_back({t.arrival - t0, t.class_index, t.work});
+  }
+
+  // Back-fill per-class statistics (informational: replay tasks carry
+  // their own work, but the class means keep tables and serialized
+  // scenario files readable).
+  std::vector<double> sum(spec.classes.size(), 0.0);
+  std::vector<double> sum_sq(spec.classes.size(), 0.0);
+  std::vector<std::size_t> count(spec.classes.size(), 0);
+  for (const auto& t : spec.replay_tasks) {
+    sum[t.class_index] += t.work;
+    sum_sq[t.class_index] += t.work * t.work;
+    ++count[t.class_index];
+  }
+  for (std::size_t c = 0; c < spec.classes.size(); ++c) {
+    if (count[c] == 0) continue;
+    const double n = static_cast<double>(count[c]);
+    const double mean = sum[c] / n;
+    const double var = std::max(0.0, sum_sq[c] / n - mean * mean);
+    spec.classes[c].mean_work = mean;
+    spec.classes[c].cv = mean > 0.0 ? std::sqrt(var) / mean : 0.0;
+    spec.classes[c].tasks_per_batch = count[c];
+  }
+  (void)slices;
+  return spec;
+}
+
+ScenarioSpec replay_scenario_from_trace(const std::string& trace_json,
+                                        const std::string& name,
+                                        const std::string& machine,
+                                        std::vector<std::string>* errors) {
+  ScenarioSpec scenario;
+  scenario.name = name;
+  scenario.description = "replayed from a recorded trace";
+  scenario.machines = {machine};
+  scenario.schedulers = {sim::SchedulerKind::kCilk, sim::SchedulerKind::kWats};
+  scenario.repeats = 1;
+  scenario.inline_workloads = {
+      replay_workload_from_trace(trace_json, name, errors)};
+  return scenario;
+}
+
+}  // namespace wats::scenario

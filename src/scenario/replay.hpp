@@ -1,0 +1,42 @@
+// Perfetto trace -> replay workload: re-ingest a recorded run (simulator
+// or runtime export, obs/export.hpp schema) as a kReplay BenchmarkSpec,
+// so `wats_trace replay-export` can turn any trace into a scenario file
+// and `wats_run` can re-execute it under a different machine/scheduler.
+//
+// Conversion (inverts sim/trace_export.cpp):
+//   - thread_name metadata carries each track's relative speed — labels
+//     like "core 3 (group 1, 1.80x)" / "worker 5 (group 2, 0.52x)";
+//     tracks without a speed suffix (e.g. "policy") replay at 1.0x.
+//   - every ph "X" slice is one executed task segment: `name` is the task
+//     class, `ts` the virtual start time, and work = dur x track speed
+//     (Eq. 2 normalization back to F1 units). Segments sharing an
+//     args.task id (snatch-migrated tasks) merge into one task whose work
+//     is the segment sum and whose arrival is the earliest start.
+//   - arrivals are shifted so the earliest task arrives at 0.
+#pragma once
+
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+#include "workloads/workload_model.hpp"
+
+namespace wats::scenario {
+
+/// Build a kReplay workload from trace-event JSON. `name` becomes the
+/// workload name. On malformed input, appends to `errors` and returns a
+/// spec with empty replay_tasks (validate_scenario would reject it).
+workloads::BenchmarkSpec replay_workload_from_trace(
+    const std::string& trace_json, const std::string& name,
+    std::vector<std::string>* errors = nullptr);
+
+/// Wrap the replayed workload in a runnable single-cell scenario:
+/// machine `machine` (defaults to the Table II big.LITTLE flagship AMC5),
+/// schedulers Cilk + WATS, one repeat (the stream is fixed; only
+/// scheduling decisions vary).
+ScenarioSpec replay_scenario_from_trace(
+    const std::string& trace_json, const std::string& name,
+    const std::string& machine = "AMC5",
+    std::vector<std::string>* errors = nullptr);
+
+}  // namespace wats::scenario

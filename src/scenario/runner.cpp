@@ -1,0 +1,126 @@
+#include "scenario/runner.hpp"
+
+#include <chrono>
+
+#include "core/topology.hpp"
+#include "sim/multiprogram.hpp"
+#include "util/check.hpp"
+
+namespace wats::scenario {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+double seconds_since(Clock::time_point start) {
+  return std::chrono::duration<double>(Clock::now() - start).count();
+}
+
+CellResult run_single(const workloads::BenchmarkSpec& spec,
+                      const core::AmcTopology& topo, sim::SchedulerKind kind,
+                      const sim::ExperimentConfig& config) {
+  CellResult cell;
+  const auto start = Clock::now();
+  cell.result = sim::run_experiment(spec, topo, kind, config);
+  cell.wall_seconds = seconds_since(start);
+  cell.mean_makespan = cell.result.mean_makespan;
+  cell.history_resets = cell.result.history_resets;
+  for (const auto& run : cell.result.runs) {
+    cell.sim_events += run.sim_events;
+    cell.tasks_completed += run.tasks_completed;
+  }
+  return cell;
+}
+
+CellResult run_multi(const std::vector<workloads::BenchmarkSpec>& specs,
+                     const core::AmcTopology& topo, sim::SchedulerKind kind,
+                     const sim::ExperimentConfig& config) {
+  // Mirrors bench_multiprogram's original loop exactly: one
+  // run_multiprogram per repeat with seed base_seed + r, everything else
+  // from the base SimConfig, results averaged.
+  CellResult cell;
+  const auto start = Clock::now();
+  cell.per_app_finish.assign(specs.size(), 0.0);
+  for (std::size_t r = 0; r < config.repeats; ++r) {
+    sim::SimConfig sim = config.sim;
+    sim.seed = config.base_seed + r;
+    const auto result = sim::run_multiprogram(specs, topo, kind, sim);
+    cell.mean_makespan += result.makespan;
+    for (std::size_t i = 0; i < specs.size(); ++i) {
+      cell.per_app_finish[i] += result.per_app_finish[i];
+    }
+    cell.sim_events += result.stats.sim_events;
+    cell.tasks_completed += result.stats.tasks_completed;
+  }
+  const auto n = static_cast<double>(config.repeats);
+  cell.mean_makespan /= n;
+  for (auto& f : cell.per_app_finish) f /= n;
+  cell.result.mean_makespan = cell.mean_makespan;
+  cell.wall_seconds = seconds_since(start);
+  return cell;
+}
+
+}  // namespace
+
+const CellResult& ScenarioResult::cell(const std::string& workload,
+                                       const std::string& machine,
+                                       sim::SchedulerKind scheduler,
+                                       const std::string& variant) const {
+  for (const auto& c : cells) {
+    if (c.workload == workload && c.machine == machine &&
+        c.scheduler == scheduler && c.variant == variant) {
+      return c;
+    }
+  }
+  WATS_CHECK_MSG(false, "scenario cell not found");
+  __builtin_unreachable();
+}
+
+double ScenarioResult::makespan(const std::string& workload,
+                                const std::string& machine,
+                                sim::SchedulerKind scheduler,
+                                const std::string& variant) const {
+  return cell(workload, machine, scheduler, variant).mean_makespan;
+}
+
+ScenarioResult run_scenario(const ScenarioSpec& spec) {
+  {
+    const auto errors = validate_scenario(spec);
+    WATS_CHECK_MSG(errors.empty(), "scenario failed validation");
+  }
+  ScenarioResult out;
+  out.name = spec.name;
+  const auto start = Clock::now();
+
+  const auto workloads = resolve_workloads(spec);
+  // One unlabeled base variant when the spec declares none.
+  std::vector<ScenarioVariant> variants = spec.variants;
+  if (variants.empty()) variants.push_back({"", {}});
+
+  for (const auto& machine : spec.machines) {
+    const core::AmcTopology topo = core::amc_by_name_or_spec(machine);
+    for (const auto& workload : workloads) {
+      for (const auto& variant : variants) {
+        // Knobs may rewrite the workload (e.g. batches), so each variant
+        // works on its own copy of the resolved specs.
+        std::vector<workloads::BenchmarkSpec> specs = workload.specs;
+        const sim::ExperimentConfig config =
+            experiment_config(spec, variant, specs);
+        for (const sim::SchedulerKind kind : spec.schedulers) {
+          CellResult cell = workload.multiprogram()
+                                ? run_multi(specs, topo, kind, config)
+                                : run_single(specs[0], topo, kind, config);
+          cell.workload = workload.label;
+          cell.machine = machine;
+          cell.variant = variant.label;
+          cell.scheduler = kind;
+          out.cells.push_back(std::move(cell));
+        }
+      }
+    }
+  }
+  out.wall_seconds = seconds_since(start);
+  return out;
+}
+
+}  // namespace wats::scenario

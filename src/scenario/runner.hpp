@@ -1,0 +1,59 @@
+// Executes a ScenarioSpec: every (machine, workload, variant, scheduler)
+// cell through sim::run_experiment (or sim::run_multiprogram for "A+B"
+// co-runs), collecting per-cell results the bench renderers and wats_run
+// read back by key. The runner is a pure function of the spec — cells are
+// independent, each repeat builds a fresh registry, and the seeds are the
+// spec's — which is what keeps the registry-driven benches bit-identical
+// to their former inline loops.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "scenario/spec.hpp"
+#include "sim/experiment.hpp"
+
+namespace wats::scenario {
+
+struct CellResult {
+  std::string workload;  ///< ResolvedWorkload label ("GA", "GA+Ferret")
+  std::string machine;
+  std::string variant;   ///< variant label; "" when the spec has none
+  sim::SchedulerKind scheduler = sim::SchedulerKind::kCilk;
+
+  /// Single-application cells: the full experiment result. Multiprogram
+  /// cells fill mean_makespan/per_app_finish below instead (runs empty).
+  sim::ExperimentResult result;
+  double mean_makespan = 0.0;
+  std::vector<double> per_app_finish;  ///< seed-averaged; multiprogram only
+
+  double wall_seconds = 0.0;        ///< host time spent on this cell
+  std::uint64_t sim_events = 0;     ///< engine events across all repeats
+  std::uint64_t tasks_completed = 0;
+  std::uint64_t history_resets = 0;
+};
+
+struct ScenarioResult {
+  std::string name;
+  std::vector<CellResult> cells;
+  double wall_seconds = 0.0;
+
+  /// Cell lookup by key; aborts if absent (a bench asking for a cell its
+  /// own spec does not produce is a programming error).
+  const CellResult& cell(const std::string& workload,
+                         const std::string& machine,
+                         sim::SchedulerKind scheduler,
+                         const std::string& variant = "") const;
+  /// Shorthand for cell(...).mean_makespan.
+  double makespan(const std::string& workload, const std::string& machine,
+                  sim::SchedulerKind scheduler,
+                  const std::string& variant = "") const;
+};
+
+/// Run every cell of the scenario. Aborts (WATS_CHECK) when the spec does
+/// not validate — callers wanting graceful errors run validate_scenario
+/// first.
+ScenarioResult run_scenario(const ScenarioSpec& spec);
+
+}  // namespace wats::scenario

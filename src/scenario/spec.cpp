@@ -1,0 +1,298 @@
+#include "scenario/spec.hpp"
+
+#include <cstdlib>
+#include <sstream>
+
+#include "core/topology.hpp"
+#include "workloads/scenarios.hpp"
+
+namespace wats::scenario {
+
+namespace {
+
+void add_error(std::vector<std::string>* errors, const std::string& msg) {
+  if (errors != nullptr) errors->push_back(msg);
+}
+
+bool parse_double(const std::string& text, double* out) {
+  char* end = nullptr;
+  const double v = std::strtod(text.c_str(), &end);
+  if (end == text.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_uint(const std::string& text, std::uint64_t* out) {
+  char* end = nullptr;
+  const unsigned long long v = std::strtoull(text.c_str(), &end, 10);
+  if (end == text.c_str() || *end != '\0') return false;
+  *out = v;
+  return true;
+}
+
+bool parse_bool(const std::string& text, bool* out) {
+  if (text == "true" || text == "1" || text == "on" || text == "yes") {
+    *out = true;
+    return true;
+  }
+  if (text == "false" || text == "0" || text == "off" || text == "no") {
+    *out = false;
+    return true;
+  }
+  return false;
+}
+
+/// Resolve one workload name to specs; empty vector = unknown.
+std::vector<workloads::BenchmarkSpec> resolve_one(
+    const ScenarioSpec& scenario, const std::string& name) {
+  for (const auto& inl : scenario.inline_workloads) {
+    if (inl.name == name) return {inl};
+  }
+  if (const auto* named = workloads::find_spec(name)) return {*named};
+  if (name == "MemboundMix") return {workloads::membound_mix()};
+  if (name.rfind("GAmix:", 0) == 0) {
+    std::uint64_t alpha = 0;
+    if (!parse_uint(name.substr(6), &alpha) || 3 * alpha > 128) return {};
+    return {workloads::ga_mix(static_cast<std::size_t>(alpha))};
+  }
+  // "A+B": a multiprogrammed co-run (members must themselves resolve to
+  // single applications).
+  const auto plus = name.find('+');
+  if (plus != std::string::npos && plus > 0 && plus + 1 < name.size()) {
+    auto left = resolve_one(scenario, name.substr(0, plus));
+    auto right = resolve_one(scenario, name.substr(plus + 1));
+    if (left.size() == 1 && right.size() == 1) {
+      return {std::move(left[0]), std::move(right[0])};
+    }
+  }
+  return {};
+}
+
+}  // namespace
+
+bool scheduler_from_string(const std::string& name, sim::SchedulerKind* out) {
+  using K = sim::SchedulerKind;
+  for (K k : {K::kCilk, K::kPft, K::kRts, K::kWats, K::kWatsNp, K::kWatsTs,
+              K::kWatsM, K::kLptOracle}) {
+    if (core::policy::to_string(k) == name) {
+      *out = k;
+      return true;
+    }
+  }
+  return false;
+}
+
+std::vector<ResolvedWorkload> resolve_workloads(
+    const ScenarioSpec& spec, std::vector<std::string>* errors) {
+  std::vector<ResolvedWorkload> resolved;
+  for (const auto& inl : spec.inline_workloads) {
+    resolved.push_back({inl.name, {inl}});
+  }
+  for (const auto& name : spec.workloads) {
+    // Inline specs double as named entries; skip duplicates.
+    bool is_inline = false;
+    for (const auto& inl : spec.inline_workloads) {
+      is_inline |= inl.name == name;
+    }
+    if (is_inline) continue;
+    auto specs = resolve_one(spec, name);
+    if (specs.empty()) {
+      add_error(errors, "unknown workload '" + name + "'");
+      continue;
+    }
+    resolved.push_back({name, std::move(specs)});
+  }
+  return resolved;
+}
+
+bool apply_knob(const KnobAssignment& knob, sim::ExperimentConfig& config,
+                std::vector<workloads::BenchmarkSpec>& specs,
+                std::vector<std::string>* errors) {
+  const auto bad_value = [&] {
+    add_error(errors, "knob '" + knob.key + "': bad value '" + knob.value +
+                          "'");
+    return false;
+  };
+  double d = 0.0;
+  std::uint64_t u = 0;
+  bool b = false;
+  if (knob.key == "steal_cost") {
+    if (!parse_double(knob.value, &d)) return bad_value();
+    config.sim.steal_cost = d;
+  } else if (knob.key == "snatch_cost") {
+    if (!parse_double(knob.value, &d)) return bad_value();
+    config.sim.snatch_cost = d;
+  } else if (knob.key == "snatch_redo_fraction") {
+    if (!parse_double(knob.value, &d)) return bad_value();
+    config.sim.snatch_redo_fraction = d;
+  } else if (knob.key == "spawn_cost") {
+    if (!parse_double(knob.value, &d)) return bad_value();
+    config.sim.spawn_cost = d;
+  } else if (knob.key == "recluster_period") {
+    if (!parse_double(knob.value, &d)) return bad_value();
+    config.sim.recluster_period = d;
+  } else if (knob.key == "main_on_fastest") {
+    if (!parse_bool(knob.value, &b)) return bad_value();
+    config.sim.main_on_fastest = b;
+  } else if (knob.key == "cluster_algorithm") {
+    if (knob.value == "algorithm1") {
+      config.sim.cluster_algorithm = core::ClusterAlgorithm::kAlgorithm1;
+    } else if (knob.value == "dual") {
+      config.sim.cluster_algorithm = core::ClusterAlgorithm::kDualApprox;
+    } else {
+      return bad_value();
+    }
+  } else if (knob.key == "steal_victim") {
+    if (knob.value == "random") {
+      config.sim.steal_victim = sim::SimConfig::StealVictim::kRandom;
+    } else if (knob.value == "richest") {
+      config.sim.steal_victim = sim::SimConfig::StealVictim::kRichest;
+    } else {
+      return bad_value();
+    }
+  } else if (knob.key == "estimator") {
+    if (knob.value == "running_mean") {
+      config.estimator = core::WorkloadEstimator::kRunningMean;
+    } else if (knob.value == "ewma") {
+      config.estimator = core::WorkloadEstimator::kEwma;
+    } else {
+      return bad_value();
+    }
+  } else if (knob.key == "ewma_alpha") {
+    if (!parse_double(knob.value, &d) || d <= 0.0 || d > 1.0) {
+      return bad_value();
+    }
+    config.ewma_alpha = d;
+  } else if (knob.key == "change_point") {
+    if (!parse_bool(knob.value, &b)) return bad_value();
+    config.change_point.enabled = b;
+  } else if (knob.key == "cp_slack") {
+    if (!parse_double(knob.value, &d) || d < 0.0) return bad_value();
+    config.change_point.slack = d;
+  } else if (knob.key == "cp_threshold") {
+    if (!parse_double(knob.value, &d) || d <= 0.0) return bad_value();
+    config.change_point.threshold = d;
+  } else if (knob.key == "cp_min_samples") {
+    if (!parse_uint(knob.value, &u)) return bad_value();
+    config.change_point.min_samples = u;
+  } else if (knob.key == "cp_decay_to") {
+    if (!parse_uint(knob.value, &u)) return bad_value();
+    config.change_point.decay_to = u;
+  } else if (knob.key == "batches") {
+    if (!parse_uint(knob.value, &u) || u == 0) return bad_value();
+    for (auto& s : specs) s.batches = static_cast<std::size_t>(u);
+  } else if (knob.key == "repeats") {
+    if (!parse_uint(knob.value, &u) || u == 0) return bad_value();
+    config.repeats = static_cast<std::size_t>(u);
+  } else if (knob.key == "seed") {
+    if (!parse_uint(knob.value, &u)) return bad_value();
+    config.base_seed = u;
+  } else {
+    add_error(errors, "unknown knob '" + knob.key + "'");
+    return false;
+  }
+  return true;
+}
+
+sim::ExperimentConfig experiment_config(
+    const ScenarioSpec& spec, const ScenarioVariant& variant,
+    std::vector<workloads::BenchmarkSpec>& specs,
+    std::vector<std::string>* errors) {
+  sim::ExperimentConfig config;
+  config.sim = spec.sim;
+  config.repeats = spec.repeats;
+  config.base_seed = spec.base_seed;
+  config.estimator = spec.estimator;
+  config.ewma_alpha = spec.ewma_alpha;
+  config.change_point = spec.change_point;
+  for (const auto& knob : variant.knobs) {
+    apply_knob(knob, config, specs, errors);
+  }
+  return config;
+}
+
+std::vector<std::string> validate_scenario(const ScenarioSpec& spec) {
+  std::vector<std::string> errors;
+  if (spec.name.empty()) errors.push_back("scenario has no name");
+  if (spec.machines.empty()) errors.push_back("no machines");
+  if (spec.schedulers.empty()) errors.push_back("no schedulers");
+  if (spec.repeats == 0) errors.push_back("repeats must be >= 1");
+  if (spec.workloads.empty() && spec.inline_workloads.empty()) {
+    errors.push_back("no workloads");
+  }
+  for (const auto& m : spec.machines) {
+    // amc_by_name_or_spec aborts on bad input, so pre-check here: either
+    // a Table II name, or an inline "NxF+NxF" spec whose every group
+    // parses as <count>x<frequency>.
+    bool known = false;
+    for (const auto& t : core::amc_table2()) known |= t.name() == m;
+    if (!known && m.find('x') != std::string::npos) {
+      known = true;
+      std::size_t pos = 0;
+      while (pos <= m.size()) {
+        std::size_t plus = m.find('+', pos);
+        if (plus == std::string::npos) plus = m.size();
+        const std::string group = m.substr(pos, plus - pos);
+        const std::size_t x = group.find('x');
+        std::uint64_t count = 0;
+        double freq = 0.0;
+        known &= x != std::string::npos && x > 0 && x + 1 < group.size() &&
+                 parse_uint(group.substr(0, x), &count) &&
+                 parse_double(group.substr(x + 1), &freq) && freq > 0.0;
+        pos = plus + 1;
+      }
+    }
+    if (!known) errors.push_back("unknown machine '" + m + "'");
+  }
+  resolve_workloads(spec, &errors);
+  for (const auto& inl : spec.inline_workloads) {
+    if (inl.name.empty()) errors.push_back("inline workload has no name");
+    const std::string where = "inline workload '" + inl.name + "': ";
+    if (inl.classes.empty()) errors.push_back(where + "no classes");
+    switch (inl.kind) {
+      case workloads::BenchKind::kBatch:
+        if (inl.batches == 0) errors.push_back(where + "batches must be >= 1");
+        if (inl.tasks_per_batch() == 0) {
+          errors.push_back(where + "no class has tasks_per_batch > 0");
+        }
+        break;
+      case workloads::BenchKind::kPipeline:
+        if (inl.pipeline_items == 0) {
+          errors.push_back(where + "pipeline_items must be >= 1");
+        }
+        break;
+      case workloads::BenchKind::kReplay:
+        if (inl.replay_tasks.empty()) {
+          errors.push_back(where + "replay workload has no tasks");
+        }
+        for (const auto& rec : inl.replay_tasks) {
+          if (rec.class_index >= inl.classes.size()) {
+            errors.push_back(where + "replay task class index out of range");
+            break;
+          }
+        }
+        break;
+    }
+    for (const auto& phase : inl.phases) {
+      if (phase.class_scale.size() != inl.classes.size()) {
+        errors.push_back(where + "phase at batch " +
+                         std::to_string(phase.start_batch) + " has " +
+                         std::to_string(phase.class_scale.size()) +
+                         " scales for " + std::to_string(inl.classes.size()) +
+                         " classes");
+      }
+    }
+  }
+  // Variant knobs must at least parse (applied against a scratch config).
+  for (const auto& variant : spec.variants) {
+    if (variant.label.empty()) errors.push_back("variant has no label");
+    sim::ExperimentConfig scratch;
+    std::vector<workloads::BenchmarkSpec> scratch_specs;
+    for (const auto& knob : variant.knobs) {
+      apply_knob(knob, scratch, scratch_specs, &errors);
+    }
+  }
+  return errors;
+}
+
+}  // namespace wats::scenario

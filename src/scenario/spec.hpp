@@ -1,0 +1,116 @@
+// Declarative scenario specs: the one structure every bench, tool and CI
+// leg runs through (ROADMAP item 5).
+//
+// A ScenarioSpec is struct-as-data — machines, workloads, schedulers,
+// variants and all run knobs as plain values — so an experiment is (a) a
+// compiled-in registry entry (registry.hpp), (b) a parsed scenario file
+// (parse.hpp), or (c) a literal in a test, and all three execute through
+// the same runner (runner.hpp). The bench binaries are thin renderers
+// over registry entries; bit-identical figures fall out of the runner
+// constructing the exact ExperimentConfig the benches used to build
+// inline.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "core/task_class.hpp"
+#include "sim/experiment.hpp"
+#include "workloads/workload_model.hpp"
+
+namespace wats::scenario {
+
+/// One `key=value` override a variant applies on top of the spec's base
+/// configuration. Keys (value syntax in parens):
+///   steal_cost, snatch_cost, snatch_redo_fraction, spawn_cost,
+///   recluster_period, ewma_alpha, cp_slack, cp_threshold   (double)
+///   main_on_fastest                                        (bool)
+///   cluster_algorithm       (algorithm1 | dual)
+///   steal_victim            (random | richest)
+///   estimator               (running_mean | ewma)
+///   change_point            (on | off)
+///   cp_min_samples, cp_decay_to, batches, repeats, seed    (integer)
+/// `batches` rewrites the workload spec itself (history warm-up
+/// ablations); everything else lands on the ExperimentConfig.
+struct KnobAssignment {
+  std::string key;
+  std::string value;
+};
+
+/// A labeled knob bundle: the scenario runs every (machine, workload,
+/// variant, scheduler) cell. No variants = one unlabeled base variant.
+struct ScenarioVariant {
+  std::string label;
+  std::vector<KnobAssignment> knobs;
+};
+
+struct ScenarioSpec {
+  std::string name;
+  std::string description;
+
+  /// Machines by Table II name ("AMC5") or inline "NxF+NxF" spec string
+  /// (core::amc_by_name_or_spec).
+  std::vector<std::string> machines;
+
+  /// Workloads by name: a Table III benchmark ("GA"), a catalog scenario
+  /// ("DiurnalPhases"), "GAmix:<alpha>" (the Fig. 8 mixes),
+  /// "MemboundMix", or "A+B" — a multiprogrammed co-run of two named
+  /// applications through sim::run_multiprogram.
+  std::vector<std::string> workloads;
+
+  /// Inline workload specs (scenario files and tests); run in addition
+  /// to the named ones, identified by their BenchmarkSpec::name.
+  std::vector<workloads::BenchmarkSpec> inline_workloads;
+
+  std::vector<sim::SchedulerKind> schedulers;
+
+  std::size_t repeats = 3;
+  std::uint64_t base_seed = 42;
+  core::WorkloadEstimator estimator = core::WorkloadEstimator::kRunningMean;
+  double ewma_alpha = 0.2;
+  core::ChangePointConfig change_point;
+  sim::SimConfig sim;  ///< seed is overridden per repeat by the runner
+
+  std::vector<ScenarioVariant> variants;
+};
+
+/// One workload cell after name resolution: a single application, or two
+/// or more co-scheduled ones (multiprogram).
+struct ResolvedWorkload {
+  std::string label;  ///< the name as given ("GA", "GA+Ferret", ...)
+  std::vector<workloads::BenchmarkSpec> specs;
+  bool multiprogram() const { return specs.size() > 1; }
+};
+
+/// Resolve every workload name (and inline spec) of `spec`, appending a
+/// message per unresolvable name to `errors`. Resolution order: inline
+/// workloads first, then paper benchmarks / catalog scenarios / GAmix /
+/// MemboundMix.
+std::vector<ResolvedWorkload> resolve_workloads(
+    const ScenarioSpec& spec, std::vector<std::string>* errors = nullptr);
+
+/// Full validation: machines parse, workloads resolve, schedulers and
+/// repeats present, variant knobs well-formed, inline workloads
+/// internally consistent (phase vectors aligned, replay indices in
+/// range). Returns all problems found; empty = runnable.
+std::vector<std::string> validate_scenario(const ScenarioSpec& spec);
+
+/// Apply one knob to (config, workload specs). Returns false (and appends
+/// to `errors`) on an unknown key or unparsable value.
+bool apply_knob(const KnobAssignment& knob, sim::ExperimentConfig& config,
+                std::vector<workloads::BenchmarkSpec>& specs,
+                std::vector<std::string>* errors = nullptr);
+
+/// The ExperimentConfig the runner executes a variant's cells with: the
+/// spec's base knobs plus the variant's assignments, in order.
+sim::ExperimentConfig experiment_config(
+    const ScenarioSpec& spec, const ScenarioVariant& variant,
+    std::vector<workloads::BenchmarkSpec>& specs,
+    std::vector<std::string>* errors = nullptr);
+
+/// Scheduler-kind name round-trip ("WATS-TS" etc., matching
+/// core::policy::to_string). Returns false on unknown names.
+bool scheduler_from_string(const std::string& name, sim::SchedulerKind* out);
+
+}  // namespace wats::scenario

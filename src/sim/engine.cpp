@@ -232,6 +232,7 @@ RunStats Engine::run() {
     events_.pop();
     WATS_CHECK(e.time >= now_);
     now_ = e.time;
+    ++stats_.sim_events;
     switch (e.kind) {
       case EventKind::kSpawn:
         spawn(e.task, e.spawner);

@@ -88,6 +88,13 @@ struct RunStats {
   std::uint64_t plans_skipped = 0;
   std::uint64_t plan_epoch = 0;
   std::uint64_t failed_acquires = 0;  ///< idle offers that found nothing
+  /// History decays performed by the change-point detector (zero unless
+  /// ExperimentConfig::change_point is enabled).
+  std::uint64_t history_resets = 0;
+  /// Discrete events processed by the engine's loop (spawns, finishes,
+  /// recluster ticks) — the denominator of the sim events/sec throughput
+  /// metric in wats_run's JSON artifact.
+  std::uint64_t sim_events = 0;
   double total_work = 0.0;     ///< F1-normalized work units completed
   std::vector<double> busy_time;      ///< per-core time spent executing
   std::vector<double> overhead_time;  ///< per-core steal/snatch latency

@@ -24,6 +24,9 @@ ExperimentResult run_experiment(const workloads::BenchmarkSpec& spec,
     // Fresh history per run: the paper's statistics live for one program
     // execution.
     core::TaskClassRegistry registry(config.estimator, config.ewma_alpha);
+    if (config.change_point.enabled) {
+      registry.configure_change_point(config.change_point);
+    }
     if (!config.warm_history.empty()) {
       core::load_history(registry, config.warm_history);
     }
@@ -39,6 +42,8 @@ ExperimentResult run_experiment(const workloads::BenchmarkSpec& spec,
       }
     }
     RunStats stats = engine.run();
+    stats.history_resets = registry.history_resets();
+    result.history_resets += stats.history_resets;
 
     result.mean_makespan += stats.makespan;
     result.mean_steals += static_cast<double>(stats.steals);

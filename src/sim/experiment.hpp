@@ -20,6 +20,9 @@ struct ExperimentConfig {
   /// Workload estimator for the WATS family's history (§III-A extension).
   core::WorkloadEstimator estimator = core::WorkloadEstimator::kRunningMean;
   double ewma_alpha = 0.2;
+  /// Change-point history decay (core/task_class.hpp): disabled by default,
+  /// in which case runs are bit-identical to a registry without a detector.
+  core::ChangePointConfig change_point;
   /// Warm start: serialized history (core/history_io.hpp format) loaded
   /// into the registry before each run, so the first batch is already
   /// allocated from prior knowledge instead of all-unknown -> fastest.
@@ -38,6 +41,9 @@ struct ExperimentResult {
   double mean_steals = 0.0;
   double mean_snatches = 0.0;
   double mean_utilization = 0.0;
+  /// Total change-point history decays across all repeats (0 when the
+  /// detector is disabled).
+  std::uint64_t history_resets = 0;
   std::vector<RunStats> runs;
 };
 

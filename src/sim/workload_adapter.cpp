@@ -50,23 +50,15 @@ void BatchWorkload::spawn_batch(Engine& engine) {
   }
   rng_.shuffle(mix);
 
-  // Phase change: scale workloads once the shift batch is reached
-  // (per-class override first, spec-wide default otherwise).
-  const bool shifted = spec_.phase_shift_batch > 0 &&
-                       batches_launched_ > spec_.phase_shift_batch;
-
   const double spawn_cost = engine.config().spawn_cost;
   double offset = 0.0;
   for (std::size_t c : mix) {
     SimTask task;
     task.id = engine.next_task_id();
     task.cls = class_ids_[c];
-    double scale = 1.0;
-    if (shifted) {
-      scale = spec_.classes[c].phase_scale > 0.0
-                  ? spec_.classes[c].phase_scale
-                  : spec_.phase_scale;
-    }
+    // Phase change: the spec's schedule decides the multiplier for this
+    // batch (legacy single shift and the phases: list both resolve here).
+    const double scale = spec_.phase_multiplier(batches_launched_, c);
     task.work = workloads::sample_work(spec_.classes[c], rng_) * scale;
     task.remaining = task.work;
     task.scalable = spec_.classes[c].scalable;
@@ -174,11 +166,53 @@ bool PipelineWorkload::done() const {
   return completed_items_ == spec_.pipeline_items;
 }
 
+ReplayWorkload::ReplayWorkload(const workloads::BenchmarkSpec& spec,
+                               core::TaskClassRegistry& registry)
+    : spec_(spec), registry_(registry) {
+  WATS_CHECK(spec_.kind == workloads::BenchKind::kReplay);
+  WATS_CHECK(!spec_.replay_tasks.empty());
+  WATS_CHECK(!spec_.classes.empty());
+}
+
+void ReplayWorkload::start(Engine& engine) {
+  class_ids_.clear();
+  for (const auto& cls : spec_.classes) {
+    class_ids_.push_back(registry_.intern(cls.name));
+  }
+  // The whole recorded stream is scheduled up front: arrivals are data,
+  // not reactions, so a replay is an open-loop arrival process.
+  for (const auto& rec : spec_.replay_tasks) {
+    WATS_CHECK(rec.class_index < class_ids_.size());
+    SimTask task;
+    task.id = engine.next_task_id();
+    task.cls = class_ids_[rec.class_index];
+    task.work = rec.work;
+    task.remaining = rec.work;
+    task.scalable = spec_.classes[rec.class_index].scalable;
+    engine.spawn_at(std::move(task), kMainCore, rec.arrival);
+    ++outstanding_;
+  }
+}
+
+void ReplayWorkload::on_complete(Engine& engine, const SimTask& task,
+                                 core::CoreIndex core) {
+  (void)engine;
+  (void)task;
+  (void)core;
+  WATS_CHECK(outstanding_ > 0);
+  --outstanding_;
+}
+
+bool ReplayWorkload::done() const { return outstanding_ == 0; }
+
 std::unique_ptr<Workload> make_workload(const workloads::BenchmarkSpec& spec,
                                         core::TaskClassRegistry& registry,
                                         std::uint64_t seed) {
   if (spec.kind == workloads::BenchKind::kBatch) {
     return std::make_unique<BatchWorkload>(spec, registry, seed);
+  }
+  if (spec.kind == workloads::BenchKind::kReplay) {
+    return std::make_unique<ReplayWorkload>(spec, registry);
   }
   return std::make_unique<PipelineWorkload>(spec, registry, seed);
 }

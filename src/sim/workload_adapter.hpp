@@ -69,6 +69,29 @@ class PipelineWorkload : public Workload {
   std::size_t completed_items_ = 0;
 };
 
+/// Replay driver (kReplay): spawns the spec's recorded task stream at its
+/// recorded virtual-time arrivals from the main core — an open-loop
+/// arrival process. No RNG: a replay is a pure function of the spec, so
+/// any recorded run (e.g. a Perfetto trace converted by
+/// `wats_trace replay-export`) becomes a reproducible scenario.
+class ReplayWorkload : public Workload {
+ public:
+  ReplayWorkload(const workloads::BenchmarkSpec& spec,
+                 core::TaskClassRegistry& registry);
+
+  void start(Engine& engine) override;
+  void on_complete(Engine& engine, const SimTask& task,
+                   core::CoreIndex core) override;
+  bool done() const override;
+
+ private:
+  // Owned copy: callers may pass temporaries (the spec is small).
+  const workloads::BenchmarkSpec spec_;
+  core::TaskClassRegistry& registry_;
+  std::vector<core::TaskClassId> class_ids_;
+  std::size_t outstanding_ = 0;
+};
+
 /// Factory dispatching on spec.kind.
 std::unique_ptr<Workload> make_workload(const workloads::BenchmarkSpec& spec,
                                         core::TaskClassRegistry& registry,

@@ -70,15 +70,20 @@ const std::vector<BenchmarkSpec>& scenario_catalog() {
   return catalog;
 }
 
-const BenchmarkSpec& spec_by_name(const std::string& name) {
+const BenchmarkSpec* find_spec(const std::string& name) {
   for (const auto& s : paper_benchmarks()) {
-    if (s.name == name) return s;
+    if (s.name == name) return &s;
   }
   for (const auto& s : scenario_catalog()) {
-    if (s.name == name) return s;
+    if (s.name == name) return &s;
   }
-  WATS_CHECK_MSG(false, "unknown benchmark or scenario name");
-  __builtin_unreachable();
+  return nullptr;
+}
+
+const BenchmarkSpec& spec_by_name(const std::string& name) {
+  const BenchmarkSpec* s = find_spec(name);
+  WATS_CHECK_MSG(s != nullptr, "unknown benchmark or scenario name");
+  return *s;
 }
 
 }  // namespace wats::workloads

@@ -30,4 +30,8 @@ const std::vector<BenchmarkSpec>& scenario_catalog();
 /// Lookup across paper benchmarks AND scenarios; aborts on unknown names.
 const BenchmarkSpec& spec_by_name(const std::string& name);
 
+/// Non-aborting lookup (the scenario layer's workload resolution reports
+/// unknown names as validation errors instead of dying).
+const BenchmarkSpec* find_spec(const std::string& name);
+
 }  // namespace wats::workloads

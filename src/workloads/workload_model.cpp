@@ -29,7 +29,25 @@ std::size_t BenchmarkSpec::stage_count() const {
 
 std::size_t BenchmarkSpec::total_tasks() const {
   if (kind == BenchKind::kBatch) return tasks_per_batch() * batches;
+  if (kind == BenchKind::kReplay) return replay_tasks.size();
   return pipeline_items * stage_count();
+}
+
+double BenchmarkSpec::phase_multiplier(std::size_t batch,
+                                       std::size_t cls) const {
+  // The latest phase whose start batch has been passed wins outright.
+  const PhaseSpec* active = nullptr;
+  for (const auto& p : phases) {
+    if (batch > p.start_batch) active = &p;
+  }
+  if (active != nullptr) {
+    return cls < active->class_scale.size() ? active->class_scale[cls] : 1.0;
+  }
+  if (phase_shift_batch > 0 && batch > phase_shift_batch) {
+    return classes[cls].phase_scale > 0.0 ? classes[cls].phase_scale
+                                          : phase_scale;
+  }
+  return 1.0;
 }
 
 namespace {

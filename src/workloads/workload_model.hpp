@@ -27,6 +27,7 @@ namespace wats::workloads {
 enum class BenchKind {
   kBatch,     ///< rounds of independent tasks with a barrier between rounds
   kPipeline,  ///< items flowing through ordered stages
+  kReplay,    ///< a recorded task stream re-played at its recorded arrivals
 };
 
 struct TaskClassSpec {
@@ -53,11 +54,31 @@ struct PipelineStageSpec {
   std::vector<double> probabilities;       ///< same length; sums to 1
 };
 
+/// One change point of a nonstationary (phase-changing) batch workload:
+/// from the batch after `start_batch` onwards, class c's sampled workload
+/// is multiplied by `class_scale[c]` (1.0 = unchanged). Scales are
+/// absolute multipliers of the BASE spec, not cumulative: when several
+/// phases have fired, the latest one wins. The single-shift
+/// phase_shift_batch/phase_scale fields predate this and stay supported;
+/// a PhaseSpec that is active overrides them.
+struct PhaseSpec {
+  std::size_t start_batch = 0;
+  std::vector<double> class_scale;  ///< aligned with BenchmarkSpec::classes
+};
+
+/// One task of a replayed (kReplay) workload: spawned from the main core
+/// at virtual time `arrival` with a fixed F1-normalized `work`.
+struct ReplayTaskSpec {
+  double arrival = 0.0;
+  std::size_t class_index = 0;  ///< index into BenchmarkSpec::classes
+  double work = 1.0;
+};
+
 struct BenchmarkSpec {
   std::string name;
   BenchKind kind = BenchKind::kBatch;
   /// Batch: the classes launched each batch. Pipeline: the classes the
-  /// stages draw from.
+  /// stages draw from. Replay: the classes the recorded tasks belong to.
   std::vector<TaskClassSpec> classes;
   std::size_t batches = 0;         ///< batch benchmarks: rounds
   std::size_t pipeline_items = 0;  ///< pipeline benchmarks: items
@@ -72,12 +93,26 @@ struct BenchmarkSpec {
   std::size_t phase_shift_batch = 0;
   double phase_scale = 1.0;
 
+  /// Nonstationary extension: an arbitrary schedule of change points
+  /// (sorted by start_batch). Empty = stationary (or the legacy single
+  /// shift above); see PhaseSpec for the override semantics.
+  std::vector<PhaseSpec> phases;
+
+  /// Recorded task stream (kReplay only), sorted by arrival.
+  std::vector<ReplayTaskSpec> replay_tasks;
+
   /// Number of stages of a pipeline benchmark.
   std::size_t stage_count() const;
 
   std::size_t tasks_per_batch() const;
   /// Total tasks over the whole run.
   std::size_t total_tasks() const;
+
+  /// Workload multiplier of class `cls` in 1-based batch `batch`: the
+  /// latest active PhaseSpec wins; otherwise the legacy single shift;
+  /// otherwise 1.0. The single source of truth for phase semantics
+  /// (sim adapter and scenario tooling both call it).
+  double phase_multiplier(std::size_t batch, std::size_t cls) const;
 };
 
 /// All nine benchmarks of Table III, in the paper's order:

@@ -1,0 +1,327 @@
+// The scenario layer (src/scenario/): every registry entry validates; the
+// runner is bit-identical to the hand-rolled run_experiment /
+// run_multiprogram loops the benches used to carry; knobs apply (and
+// reject garbage); the file format round-trips; parse and validate report
+// malformed input instead of aborting; and replay conversion inverts the
+// Perfetto trace export.
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "core/topology.hpp"
+#include "scenario/parse.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/replay.hpp"
+#include "scenario/runner.hpp"
+#include "scenario/spec.hpp"
+#include "sim/experiment.hpp"
+#include "sim/multiprogram.hpp"
+#include "workloads/workload_model.hpp"
+
+namespace wats::scenario {
+namespace {
+
+TEST(Scenario, AllRegistryEntriesValidate) {
+  const auto& all = builtin_scenarios();
+  ASSERT_FALSE(all.empty());
+  for (const auto& spec : all) {
+    const auto errors = validate_scenario(spec);
+    EXPECT_TRUE(errors.empty())
+        << spec.name << ": " << (errors.empty() ? "" : errors[0]);
+  }
+}
+
+TEST(Scenario, RegistryLookup) {
+  for (const char* name :
+       {"fig6", "fig7", "fig8", "fig9", "fig10", "full-grid", "multiprogram",
+        "scenario-catalog", "step-drift", "ablation-steal-cost"}) {
+    EXPECT_NE(find_scenario(name), nullptr) << name;
+  }
+  EXPECT_EQ(find_scenario("no-such-scenario"), nullptr);
+
+  // Names are unique (lookup would silently shadow otherwise).
+  const auto& all = builtin_scenarios();
+  for (std::size_t i = 0; i < all.size(); ++i) {
+    for (std::size_t j = i + 1; j < all.size(); ++j) {
+      EXPECT_NE(all[i].name, all[j].name);
+    }
+  }
+}
+
+TEST(Scenario, RunnerMatchesHandRolledExperimentBitIdentical) {
+  // A trimmed fig6 cell through the runner vs the loop bench_fig6 used to
+  // inline. Exact == : same seeds, same fold order, same bits.
+  ScenarioSpec spec = *find_scenario("fig6");
+  spec.workloads = {"GA"};
+  spec.machines = {"AMC5"};
+  spec.schedulers = {sim::SchedulerKind::kCilk, sim::SchedulerKind::kWats};
+  spec.repeats = 3;
+  const ScenarioResult result = run_scenario(spec);
+
+  sim::ExperimentConfig config;
+  config.sim = spec.sim;
+  config.repeats = spec.repeats;
+  config.base_seed = spec.base_seed;
+  config.estimator = spec.estimator;
+  config.ewma_alpha = spec.ewma_alpha;
+  config.change_point = spec.change_point;
+  const auto& ga = workloads::benchmark_by_name("GA");
+  const auto topo = core::amc_by_name("AMC5");
+  for (const auto kind :
+       {sim::SchedulerKind::kCilk, sim::SchedulerKind::kWats}) {
+    const auto direct = sim::run_experiment(ga, topo, kind, config);
+    EXPECT_EQ(result.makespan("GA", "AMC5", kind), direct.mean_makespan);
+    EXPECT_EQ(result.cell("GA", "AMC5", kind).result.mean_steals,
+              direct.mean_steals);
+  }
+}
+
+TEST(Scenario, RunnerMatchesHandRolledMultiprogramBitIdentical) {
+  ScenarioSpec spec;
+  spec.name = "mp-parity";
+  spec.machines = {"AMC5"};
+  spec.workloads = {"GA+Ferret"};
+  spec.schedulers = {sim::SchedulerKind::kWats};
+  spec.repeats = 2;
+  ASSERT_TRUE(validate_scenario(spec).empty());
+  const ScenarioResult result = run_scenario(spec);
+  const auto& cell =
+      result.cell("GA+Ferret", "AMC5", sim::SchedulerKind::kWats);
+
+  const std::vector<workloads::BenchmarkSpec> apps = {
+      workloads::benchmark_by_name("GA"),
+      workloads::benchmark_by_name("Ferret")};
+  const auto topo = core::amc_by_name("AMC5");
+  double makespan = 0.0;
+  std::vector<double> finish(2, 0.0);
+  for (std::size_t r = 0; r < spec.repeats; ++r) {
+    sim::SimConfig sim = spec.sim;
+    sim.seed = spec.base_seed + r;
+    const auto mp =
+        sim::run_multiprogram(apps, topo, sim::SchedulerKind::kWats, sim);
+    makespan += mp.makespan;
+    finish[0] += mp.per_app_finish[0];
+    finish[1] += mp.per_app_finish[1];
+  }
+  const double n = static_cast<double>(spec.repeats);
+  EXPECT_EQ(cell.mean_makespan, makespan / n);
+  ASSERT_EQ(cell.per_app_finish.size(), 2u);
+  EXPECT_EQ(cell.per_app_finish[0], finish[0] / n);
+  EXPECT_EQ(cell.per_app_finish[1], finish[1] / n);
+}
+
+TEST(Scenario, KnobsApplyToConfigAndWorkloads) {
+  sim::ExperimentConfig config;
+  std::vector<workloads::BenchmarkSpec> specs = {
+      workloads::benchmark_by_name("GA")};
+  std::vector<std::string> errors;
+
+  EXPECT_TRUE(apply_knob({"steal_cost", "0.25"}, config, specs, &errors));
+  EXPECT_EQ(config.sim.steal_cost, 0.25);
+  EXPECT_TRUE(apply_knob({"change_point", "on"}, config, specs, &errors));
+  EXPECT_TRUE(config.change_point.enabled);
+  EXPECT_TRUE(apply_knob({"cp_threshold", "3.5"}, config, specs, &errors));
+  EXPECT_EQ(config.change_point.threshold, 3.5);
+  EXPECT_TRUE(apply_knob({"estimator", "ewma"}, config, specs, &errors));
+  EXPECT_EQ(config.estimator, core::WorkloadEstimator::kEwma);
+  EXPECT_TRUE(apply_knob({"batches", "7"}, config, specs, &errors));
+  EXPECT_EQ(specs[0].batches, 7u);
+  EXPECT_TRUE(errors.empty());
+
+  EXPECT_FALSE(apply_knob({"no_such_knob", "1"}, config, specs, &errors));
+  EXPECT_FALSE(apply_knob({"steal_cost", "fast"}, config, specs, &errors));
+  EXPECT_FALSE(apply_knob({"change_point", "maybe"}, config, specs, &errors));
+  EXPECT_EQ(errors.size(), 3u);
+}
+
+TEST(Scenario, SchedulerNamesRoundTrip) {
+  for (const auto kind :
+       {sim::SchedulerKind::kCilk, sim::SchedulerKind::kPft,
+        sim::SchedulerKind::kRts, sim::SchedulerKind::kWats,
+        sim::SchedulerKind::kWatsTs}) {
+    sim::SchedulerKind parsed{};
+    ASSERT_TRUE(scheduler_from_string(sim::to_string(kind), &parsed))
+        << sim::to_string(kind);
+    EXPECT_EQ(parsed, kind);
+  }
+  sim::SchedulerKind parsed{};
+  EXPECT_FALSE(scheduler_from_string("FIFO", &parsed));
+}
+
+TEST(Scenario, SerializeParseRoundTrip) {
+  // A spec exercising every section of the format: inline workload with
+  // classes, phase schedule and replay records, variants, change-point
+  // knobs. parse(serialize(s)) must serialize back to the same text.
+  ScenarioSpec s;
+  s.name = "round-trip";
+  s.description = "format coverage";
+  s.machines = {"AMC5", "4x2.0+4x1.0"};
+  s.workloads = {"GA"};
+  s.schedulers = {sim::SchedulerKind::kCilk, sim::SchedulerKind::kWats};
+  s.repeats = 2;
+  s.base_seed = 7;
+  s.estimator = core::WorkloadEstimator::kEwma;
+  s.ewma_alpha = 0.3;
+  s.change_point.enabled = true;
+  s.change_point.threshold = 4.0;
+  s.sim.steal_cost = 0.1;
+  s.variants = {{"frozen", {{"change_point", "off"}}},
+                {"hot", {{"cp_threshold", "2"}, {"steal_cost", "0.2"}}}};
+
+  workloads::BenchmarkSpec w;
+  w.name = "Inline";
+  w.kind = workloads::BenchKind::kBatch;
+  w.classes = {{"light", 10.0, 0.05, 4, 1.0, 0.0},
+               {"heavy", 100.0, 0.1, 2, 0.5, 0.0}};
+  w.batches = 12;
+  w.phases = {{6, {16.0, 1.0}}};
+  s.inline_workloads.push_back(w);
+
+  workloads::BenchmarkSpec r;
+  r.name = "Replayed";
+  r.kind = workloads::BenchKind::kReplay;
+  r.classes = {{"seg", 5.0, 0.0, 2, 1.0, 0.0}};
+  r.replay_tasks = {{0.0, 0, 4.5}, {1.25, 0, 5.5}};
+  s.inline_workloads.push_back(r);
+
+  const std::string text = serialize_scenario(s);
+  const ScenarioParse parsed = parse_scenario(text);
+  ASSERT_TRUE(parsed.ok()) << parsed.errors[0];
+  EXPECT_EQ(serialize_scenario(parsed.spec), text);
+
+  // Spot-check the parsed structure, not just the text fixed point.
+  EXPECT_EQ(parsed.spec.name, "round-trip");
+  EXPECT_EQ(parsed.spec.base_seed, 7u);
+  EXPECT_EQ(parsed.spec.estimator, core::WorkloadEstimator::kEwma);
+  EXPECT_TRUE(parsed.spec.change_point.enabled);
+  ASSERT_EQ(parsed.spec.inline_workloads.size(), 2u);
+  ASSERT_EQ(parsed.spec.inline_workloads[0].phases.size(), 1u);
+  EXPECT_EQ(parsed.spec.inline_workloads[0].phases[0].start_batch, 6u);
+  ASSERT_EQ(parsed.spec.inline_workloads[1].replay_tasks.size(), 2u);
+  EXPECT_EQ(parsed.spec.inline_workloads[1].replay_tasks[1].work, 5.5);
+  ASSERT_EQ(parsed.spec.variants.size(), 2u);
+  EXPECT_EQ(parsed.spec.variants[1].knobs.size(), 2u);
+}
+
+TEST(Scenario, ParseReportsMalformedLinesWithNumbers) {
+  const ScenarioParse p = parse_scenario(
+      "name = broken\n"
+      "bogus_key = 1\n"
+      "schedulers = Cilk, FIFO\n"
+      "repeats = many\n"
+      "phase = batch=3 scale=1,2\n"  // phase before any workload
+      "machines = AMC5\n");
+  EXPECT_FALSE(p.ok());
+  ASSERT_GE(p.errors.size(), 4u);
+  for (const char* needle : {"line 2", "line 3", "line 4", "line 5"}) {
+    bool found = false;
+    for (const auto& e : p.errors) found |= e.find(needle) == 0;
+    EXPECT_TRUE(found) << "no error for " << needle;
+  }
+  // Well-formed lines around the breakage still land.
+  EXPECT_EQ(p.spec.name, "broken");
+  EXPECT_EQ(p.spec.machines, std::vector<std::string>{"AMC5"});
+}
+
+TEST(Scenario, ValidateCatchesBrokenSpecs) {
+  ScenarioSpec s;
+  s.name = "broken";
+  EXPECT_FALSE(validate_scenario(s).empty());  // nothing to run
+
+  s.machines = {"AMC5", "not-a-machine"};
+  s.workloads = {"GA", "NoSuchBench"};
+  s.schedulers = {sim::SchedulerKind::kCilk};
+  s.variants = {{"v", {{"warp_speed", "9"}}}};
+  const auto errors = validate_scenario(s);
+  // One complaint each: bad machine, bad workload, bad knob.
+  EXPECT_GE(errors.size(), 3u);
+
+  // Misaligned phase vector on an inline workload.
+  ScenarioSpec p;
+  p.name = "phases";
+  p.machines = {"AMC5"};
+  p.schedulers = {sim::SchedulerKind::kWats};
+  workloads::BenchmarkSpec w;
+  w.name = "W";
+  w.classes = {{"a", 1.0, 0.1, 1, 1.0, 0.0}};
+  w.batches = 4;
+  w.phases = {{2, {1.0, 2.0}}};  // two scales, one class
+  p.inline_workloads = {w};
+  EXPECT_FALSE(validate_scenario(p).empty());
+}
+
+TEST(Scenario, ReplayConversionInvertsTraceExport) {
+  // Hand-built Perfetto JSON in the trace_export format: two cores with
+  // speed suffixes, one task snatched across them (two slices sharing
+  // args.task), one plain task, and a policy track to ignore.
+  const std::string trace = R"json({"traceEvents":[
+    {"ph":"M","name":"thread_name","pid":1,"tid":0,
+     "args":{"name":"core 0 (group 0, 2.00x)"}},
+    {"ph":"M","name":"thread_name","pid":1,"tid":1,
+     "args":{"name":"core 1 (group 1, 0.50x)"}},
+    {"ph":"M","name":"thread_name","pid":1,"tid":9,
+     "args":{"name":"policy"}},
+    {"ph":"X","cat":"task","name":"alpha","pid":1,"tid":1,
+     "ts":100.0,"dur":8.0,"args":{"task":7}},
+    {"ph":"X","cat":"task","name":"alpha","pid":1,"tid":0,
+     "ts":120.0,"dur":3.0,"args":{"task":7}},
+    {"ph":"X","cat":"task","name":"beta","pid":1,"tid":0,
+     "ts":110.0,"dur":2.0,"args":{"task":8}},
+    {"ph":"X","cat":"instant","name":"noise","pid":1,"tid":0,
+     "ts":0.0,"dur":1.0}
+  ]})json";
+
+  std::vector<std::string> errors;
+  const workloads::BenchmarkSpec spec =
+      replay_workload_from_trace(trace, "rt", &errors);
+  EXPECT_TRUE(errors.empty());
+  EXPECT_EQ(spec.kind, workloads::BenchKind::kReplay);
+  ASSERT_EQ(spec.classes.size(), 2u);
+  EXPECT_EQ(spec.classes[0].name, "alpha");
+  EXPECT_EQ(spec.classes[1].name, "beta");
+  ASSERT_EQ(spec.replay_tasks.size(), 2u);
+
+  // Arrivals normalize to the earliest slice (ts 100); work = dur x the
+  // executing core's relative speed, snatch segments summed:
+  // alpha = 8*0.5 + 3*2.0 = 10, beta = 2*2.0 = 4 at arrival 110-100.
+  EXPECT_EQ(spec.replay_tasks[0].arrival, 0.0);
+  EXPECT_EQ(spec.replay_tasks[0].class_index, 0u);
+  EXPECT_EQ(spec.replay_tasks[0].work, 10.0);
+  EXPECT_EQ(spec.replay_tasks[1].arrival, 10.0);
+  EXPECT_EQ(spec.replay_tasks[1].class_index, 1u);
+  EXPECT_EQ(spec.replay_tasks[1].work, 4.0);
+
+  // The wrapping scenario validates and runs as-is.
+  const ScenarioSpec wrapped = replay_scenario_from_trace(trace, "rt");
+  EXPECT_TRUE(validate_scenario(wrapped).empty());
+
+  // Degenerate traces report instead of aborting.
+  std::vector<std::string> bad;
+  replay_workload_from_trace("not json", "x", &bad);
+  ASSERT_EQ(bad.size(), 1u);
+  bad.clear();
+  replay_workload_from_trace(R"json({"traceEvents":[]})json", "x", &bad);
+  ASSERT_EQ(bad.size(), 1u);
+}
+
+TEST(Scenario, ParsedFileRunsLikeItsRegistryTwin) {
+  // serialize a registry entry, parse it back, run both: the file format
+  // must carry everything the runner consumes. step-drift is the
+  // cheapest entry with variants + an inline phased workload.
+  const ScenarioSpec& original = *find_scenario("step-drift");
+  const ScenarioParse reparsed =
+      parse_scenario(serialize_scenario(original));
+  ASSERT_TRUE(reparsed.ok()) << reparsed.errors[0];
+
+  const ScenarioResult a = run_scenario(original);
+  const ScenarioResult b = run_scenario(reparsed.spec);
+  ASSERT_EQ(a.cells.size(), b.cells.size());
+  for (std::size_t i = 0; i < a.cells.size(); ++i) {
+    EXPECT_EQ(a.cells[i].mean_makespan, b.cells[i].mean_makespan);
+    EXPECT_EQ(a.cells[i].history_resets, b.cells[i].history_resets);
+  }
+}
+
+}  // namespace
+}  // namespace wats::scenario

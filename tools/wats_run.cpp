@@ -1,0 +1,305 @@
+// wats_run — execute any scenario by registry name or scenario file.
+//
+// The one driver over the declarative scenario layer (src/scenario/):
+// every experiment the bench binaries render is a registry entry here,
+// and any key=value scenario file (docs/SCENARIOS.md) runs through the
+// same path — including replays exported by `wats_trace replay-export`.
+//
+//   wats_run --list                      # registry entries
+//   wats_run fig6 step-drift             # run entries by name
+//   wats_run --all --repeats=1           # whole registry, short reps
+//   wats_run --file=examples/step_drift.scenario
+//   wats_run --validate --all            # validation only, no cells run
+//   wats_run --all --repeats=1 --json=BENCH.json
+//
+// --json writes the canonical per-PR perf artifact (ROADMAP item 3):
+// per-scenario makespans and sim events/sec, plus a real-thread runtime
+// probe measuring partition latency, steal latency p99 and
+// ns/completion. --no-perf skips the probe (validation-speed CI legs).
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "core/topology.hpp"
+#include "obs/metrics.hpp"
+#include "runtime/runtime.hpp"
+#include "scenario/parse.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "util/table.hpp"
+#include "workloads/drivers.hpp"
+#include "workloads/workload_model.hpp"
+
+using namespace wats;
+
+namespace {
+
+struct PerfProbe {
+  std::uint64_t tasks = 0;
+  double wall_seconds = 0.0;
+  double ns_per_completion = 0.0;
+  obs::Histogram::Snapshot partition_latency;
+  obs::Histogram::Snapshot steal_latency;
+};
+
+/// A short real-thread WATS run on an emulated 2-fast + 2-slow machine:
+/// enough completions, steals and recluster ticks to fill the latency
+/// histograms the artifact tracks across PRs.
+PerfProbe run_perf_probe() {
+  runtime::RuntimeConfig cfg;
+  cfg.topology = core::AmcTopology("probe", {{2.5, 2}, {0.8, 2}});
+  cfg.policy = runtime::Policy::kWats;
+  cfg.emulate_speeds = true;
+  runtime::TaskRuntime rt(cfg);
+  const auto& spec = workloads::benchmark_by_name("MD5");
+  const auto r = workloads::run_batch_on_runtime(rt, spec, 0.08, 42,
+                                                 /*batches_override=*/4);
+  PerfProbe probe;
+  probe.tasks = r.tasks_run;
+  probe.wall_seconds = r.wall_seconds;
+  probe.ns_per_completion =
+      r.tasks_run > 0 ? r.wall_seconds * 1e9 / static_cast<double>(r.tasks_run)
+                      : 0.0;
+  for (const auto& [name, h] : rt.metrics().snapshot().histograms) {
+    if (name == "partition_latency_ns") probe.partition_latency = h;
+    if (name == "steal_latency_ns") probe.steal_latency = h;
+  }
+  return probe;
+}
+
+std::string json_str(const std::string& s) {
+  std::string out = "\"";
+  for (char c : s) {
+    if (c == '"' || c == '\\') out += '\\';
+    out += c;
+  }
+  out += '"';
+  return out;
+}
+
+void print_scenario(const scenario::ScenarioSpec& spec,
+                    const scenario::ScenarioResult& result) {
+  const bool any_resets = [&] {
+    for (const auto& c : result.cells) {
+      if (c.history_resets > 0) return true;
+    }
+    return false;
+  }();
+  std::vector<std::string> header = {"workload", "machine", "variant",
+                                     "scheduler", "makespan"};
+  if (any_resets) header.push_back("history resets");
+  util::TextTable t(header);
+  for (const auto& c : result.cells) {
+    std::vector<std::string> row = {
+        c.workload, c.machine, c.variant.empty() ? "-" : c.variant,
+        std::string(sim::to_string(c.scheduler)),
+        util::TextTable::num(c.mean_makespan, 1)};
+    if (any_resets) row.push_back(std::to_string(c.history_resets));
+    t.add_row(std::move(row));
+  }
+  std::uint64_t events = 0;
+  for (const auto& c : result.cells) events += c.sim_events;
+  std::printf("\n== %s ==\n", spec.name.c_str());
+  if (!spec.description.empty()) std::printf("%s\n", spec.description.c_str());
+  std::printf("%s", t.render_ascii().c_str());
+  std::printf("[%zu cells, %.2fs wall, %.2fM sim events/s]\n",
+              result.cells.size(), result.wall_seconds,
+              result.wall_seconds > 0.0
+                  ? static_cast<double>(events) / result.wall_seconds / 1e6
+                  : 0.0);
+}
+
+void write_json(std::FILE* out,
+                const std::vector<scenario::ScenarioResult>& results,
+                const PerfProbe* perf) {
+  std::fprintf(out, "{\n  \"schema\": \"wats_run/1\",\n  \"scenarios\": [\n");
+  for (std::size_t i = 0; i < results.size(); ++i) {
+    const auto& r = results[i];
+    std::uint64_t events = 0;
+    for (const auto& c : r.cells) events += c.sim_events;
+    std::fprintf(out,
+                 "    {\"name\": %s, \"wall_seconds\": %.3f, "
+                 "\"sim_events\": %llu, \"sim_events_per_sec\": %.0f, "
+                 "\"cells\": [\n",
+                 json_str(r.name).c_str(), r.wall_seconds,
+                 static_cast<unsigned long long>(events),
+                 r.wall_seconds > 0.0
+                     ? static_cast<double>(events) / r.wall_seconds
+                     : 0.0);
+    for (std::size_t j = 0; j < r.cells.size(); ++j) {
+      const auto& c = r.cells[j];
+      std::fprintf(out,
+                   "      {\"workload\": %s, \"machine\": %s, "
+                   "\"variant\": %s, \"scheduler\": %s, "
+                   "\"makespan\": %.6f, \"tasks\": %llu, "
+                   "\"history_resets\": %llu",
+                   json_str(c.workload).c_str(), json_str(c.machine).c_str(),
+                   json_str(c.variant).c_str(),
+                   json_str(std::string(sim::to_string(c.scheduler))).c_str(),
+                   c.mean_makespan,
+                   static_cast<unsigned long long>(c.tasks_completed),
+                   static_cast<unsigned long long>(c.history_resets));
+      if (!c.per_app_finish.empty()) {
+        std::fprintf(out, ", \"per_app_finish\": [");
+        for (std::size_t a = 0; a < c.per_app_finish.size(); ++a) {
+          std::fprintf(out, "%s%.6f", a > 0 ? ", " : "", c.per_app_finish[a]);
+        }
+        std::fprintf(out, "]");
+      }
+      std::fprintf(out, "}%s\n", j + 1 < r.cells.size() ? "," : "");
+    }
+    std::fprintf(out, "    ]}%s\n", i + 1 < results.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]");
+  if (perf != nullptr) {
+    std::fprintf(
+        out,
+        ",\n  \"perf\": {\n"
+        "    \"probe\": \"MD5 x4 batches, WATS, emulated 2x2.5+2x0.8\",\n"
+        "    \"tasks\": %llu,\n    \"wall_seconds\": %.3f,\n"
+        "    \"ns_per_completion\": %.0f,\n"
+        "    \"partition_latency_ns\": {\"count\": %llu, \"mean\": %.0f, "
+        "\"p99\": %llu},\n"
+        "    \"steal_latency_ns\": {\"count\": %llu, \"mean\": %.0f, "
+        "\"p99\": %llu}\n  }",
+        static_cast<unsigned long long>(perf->tasks), perf->wall_seconds,
+        perf->ns_per_completion,
+        static_cast<unsigned long long>(perf->partition_latency.count),
+        perf->partition_latency.mean(),
+        static_cast<unsigned long long>(
+            perf->partition_latency.quantile_bound(0.99)),
+        static_cast<unsigned long long>(perf->steal_latency.count),
+        perf->steal_latency.mean(),
+        static_cast<unsigned long long>(
+            perf->steal_latency.quantile_bound(0.99)));
+  }
+  std::fprintf(out, "\n}\n");
+}
+
+int usage(const char* argv0) {
+  std::fprintf(
+      stderr,
+      "usage: %s [options] [scenario-name ...]\n"
+      "  --list            list registry entries and exit\n"
+      "  --all             run every registry entry\n"
+      "  --file=PATH       run a scenario file (repeatable)\n"
+      "  --validate        validate specs only; run nothing\n"
+      "  --repeats=N       override repeats on every spec run\n"
+      "  --json=FILE       write the canonical JSON artifact (- = stdout)\n"
+      "  --no-perf         skip the runtime perf probe in the artifact\n",
+      argv0);
+  return 2;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  bool list = false, all = false, validate = false, no_perf = false;
+  std::size_t repeats_override = 0;
+  std::string json_path;
+  std::vector<std::string> names;
+  std::vector<std::string> files;
+  for (int i = 1; i < argc; ++i) {
+    const std::string arg = argv[i];
+    if (arg == "--list") {
+      list = true;
+    } else if (arg == "--all") {
+      all = true;
+    } else if (arg == "--validate") {
+      validate = true;
+    } else if (arg == "--no-perf") {
+      no_perf = true;
+    } else if (arg.rfind("--file=", 0) == 0) {
+      files.push_back(arg.substr(7));
+    } else if (arg.rfind("--json=", 0) == 0) {
+      json_path = arg.substr(7);
+    } else if (arg.rfind("--repeats=", 0) == 0) {
+      repeats_override = static_cast<std::size_t>(
+          std::strtoull(arg.c_str() + 10, nullptr, 10));
+    } else if (arg.rfind("--", 0) == 0) {
+      return usage(argv[0]);
+    } else {
+      names.push_back(arg);
+    }
+  }
+
+  if (list) {
+    for (const auto& s : scenario::builtin_scenarios()) {
+      std::printf("%-24s %s\n", s.name.c_str(), s.description.c_str());
+    }
+    return 0;
+  }
+
+  // Collect the specs to run.
+  std::vector<scenario::ScenarioSpec> specs;
+  if (all) {
+    specs = scenario::builtin_scenarios();
+  }
+  for (const auto& name : names) {
+    const auto* s = scenario::find_scenario(name);
+    if (s == nullptr) {
+      std::fprintf(stderr, "unknown scenario '%s' (try --list)\n",
+                   name.c_str());
+      return 1;
+    }
+    specs.push_back(*s);
+  }
+  for (const auto& path : files) {
+    auto parsed = scenario::parse_scenario_file(path);
+    if (!parsed.ok()) {
+      std::fprintf(stderr, "%s:\n", path.c_str());
+      for (const auto& e : parsed.errors) {
+        std::fprintf(stderr, "  %s\n", e.c_str());
+      }
+      return 1;
+    }
+    specs.push_back(std::move(parsed.spec));
+  }
+  if (specs.empty()) return usage(argv[0]);
+
+  if (repeats_override > 0) {
+    for (auto& s : specs) s.repeats = repeats_override;
+  }
+
+  // Validate everything first; --validate stops here.
+  bool valid = true;
+  for (const auto& s : specs) {
+    const auto errors = scenario::validate_scenario(s);
+    if (!errors.empty()) {
+      valid = false;
+      std::fprintf(stderr, "scenario '%s' failed validation:\n",
+                   s.name.c_str());
+      for (const auto& e : errors) std::fprintf(stderr, "  %s\n", e.c_str());
+    }
+  }
+  if (!valid) return 1;
+  if (validate) {
+    std::printf("%zu scenario%s valid\n", specs.size(),
+                specs.size() == 1 ? "" : "s");
+    return 0;
+  }
+
+  std::vector<scenario::ScenarioResult> results;
+  for (const auto& s : specs) {
+    results.push_back(scenario::run_scenario(s));
+    print_scenario(s, results.back());
+  }
+
+  if (!json_path.empty()) {
+    PerfProbe probe;
+    if (!no_perf) probe = run_perf_probe();
+    std::FILE* f = json_path == "-" ? stdout
+                                    : std::fopen(json_path.c_str(), "w");
+    if (f == nullptr) {
+      std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
+      return 1;
+    }
+    write_json(f, results, no_perf ? nullptr : &probe);
+    if (f != stdout) {
+      std::fclose(f);
+      std::printf("\nJSON written to %s\n", json_path.c_str());
+    }
+  }
+  return 0;
+}

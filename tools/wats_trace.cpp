@@ -6,7 +6,11 @@
 //   summarize <trace.json>            per-track busy time + event counts
 //   merge <a.json> <b.json> ...       one file, one pid per input
 //   convert <trace.json>              parse, validate, re-emit normalized
-// Common flags: --out=<file> (default stdout for merge/convert).
+//   replay-export <trace.json>        scenario file replaying the trace's
+//                                     task stream (run with wats_run
+//                                     --file=...; --name= and --machine=
+//                                     override the defaults)
+// Common flags: --out=<file> (default stdout for merge/convert/replay).
 #include <algorithm>
 #include <cstdio>
 #include <fstream>
@@ -16,6 +20,8 @@
 #include <vector>
 
 #include "obs/json.hpp"
+#include "scenario/parse.hpp"
+#include "scenario/replay.hpp"
 #include "util/args.hpp"
 #include "util/check.hpp"
 
@@ -341,10 +347,36 @@ int cmd_convert(const std::string& path, const std::string& out_path) {
   return 0;
 }
 
+int cmd_replay_export(const std::string& path, const std::string& name,
+                      const std::string& machine,
+                      const std::string& out_path) {
+  std::vector<std::string> errors;
+  const auto scenario = wats::scenario::replay_scenario_from_trace(
+      read_file(path), name, machine, &errors);
+  if (!errors.empty()) {
+    for (const auto& e : errors) {
+      std::fprintf(stderr, "%s: %s\n", path.c_str(), e.c_str());
+    }
+    return 1;
+  }
+  const auto& workload = scenario.inline_workloads.front();
+  write_output(out_path, wats::scenario::serialize_scenario(scenario));
+  if (!out_path.empty()) {
+    std::fprintf(stderr,
+                 "%s: %zu tasks across %zu classes -> %s (run with "
+                 "wats_run --file=%s)\n",
+                 path.c_str(), workload.replay_tasks.size(),
+                 workload.classes.size(), out_path.c_str(),
+                 out_path.c_str());
+  }
+  return 0;
+}
+
 void usage() {
   std::fprintf(stderr,
-               "usage: wats_trace <summarize|merge|convert> <trace.json...>"
-               " [--out=FILE]\n");
+               "usage: wats_trace <summarize|merge|convert|replay-export>"
+               " <trace.json...> [--out=FILE]"
+               " [--name=SCENARIO] [--machine=AMC5]\n");
 }
 
 }  // namespace
@@ -366,6 +398,10 @@ int main(int argc, char** argv) {
   }
   if (cmd == "convert" && pos.size() == 2) {
     return cmd_convert(pos[1], out);
+  }
+  if (cmd == "replay-export" && pos.size() == 2) {
+    return cmd_replay_export(pos[1], args.value_or("name", "trace-replay"),
+                             args.value_or("machine", "AMC5"), out);
   }
   usage();
   return 2;
