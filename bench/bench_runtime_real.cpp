@@ -9,6 +9,9 @@
 // --trace-out=FILE records the WATS run of the first benchmark through
 // the per-worker event rings and writes Perfetto JSON plus a text summary
 // of the collected metrics (see docs/OBSERVABILITY.md).
+// --metrics-json=FILE additionally writes the same run's MetricsRegistry
+// as a wats_metrics/1 JSON document (machine-readable counterpart of the
+// text summary).
 #include <cstdio>
 #include <fstream>
 
@@ -39,6 +42,7 @@ const char* policy_name(runtime::Policy p) {
 int main(int argc, char** argv) {
   const util::Args args(argc, argv);
   const auto trace_out = args.value("trace-out");
+  const auto metrics_json = args.value("metrics-json");
   std::printf("WATS runtime — real kernels, emulated 2x2.5GHz + 2x0.8GHz\n");
   std::printf("(wall time is only meaningful with >= 4 host CPUs; placement "
               "fractions are robust)\n");
@@ -56,9 +60,11 @@ int main(int argc, char** argv) {
       cfg.policy = policy;
       cfg.emulate_speeds = true;
       // Trace the first WATS run: rings sized to hold the whole run, plus
-      // structured policy decisions for the Perfetto policy track.
-      const bool traced = trace_out.has_value() && !traced_run_done &&
-                          policy == runtime::Policy::kWats;
+      // structured policy decisions for the Perfetto policy track. The
+      // metrics-json artifact rides the same instrumented run.
+      const bool traced =
+          (trace_out.has_value() || metrics_json.has_value()) &&
+          !traced_run_done && policy == runtime::Policy::kWats;
       if (traced) {
         cfg.trace.enabled = true;
         cfg.trace.ring_capacity = 1u << 15;
@@ -71,15 +77,28 @@ int main(int argc, char** argv) {
       const auto stats = rt.stats();
       if (traced) {
         traced_run_done = true;
-        std::ofstream out(*trace_out, std::ios::trunc);
-        if (!out.good()) {
-          std::fprintf(stderr, "cannot write %s\n", trace_out->c_str());
-          return 1;
+        if (trace_out.has_value()) {
+          std::ofstream out(*trace_out, std::ios::trunc);
+          if (!out.good()) {
+            std::fprintf(stderr, "cannot write %s\n", trace_out->c_str());
+            return 1;
+          }
+          out << rt.perfetto_trace_json();
+          std::printf(
+              "\nwrote %s (%s, WATS)\n-- observability summary --\n%s",
+              trace_out->c_str(), bench,
+              rt.observability_summary(r.wall_seconds).c_str());
         }
-        out << rt.perfetto_trace_json();
-        std::printf("\nwrote %s (%s, WATS)\n-- observability summary --\n%s",
-                    trace_out->c_str(), bench,
-                    rt.observability_summary(r.wall_seconds).c_str());
+        if (metrics_json.has_value()) {
+          std::ofstream out(*metrics_json, std::ios::trunc);
+          if (!out.good()) {
+            std::fprintf(stderr, "cannot write %s\n", metrics_json->c_str());
+            return 1;
+          }
+          out << rt.observability_summary_json(r.wall_seconds);
+          std::printf("\nwrote %s (%s, WATS metrics)\n",
+                      metrics_json->c_str(), bench);
+        }
       }
       // The heaviest class is the spec's first.
       const auto heavy = rt.register_class(spec.classes.front().name);

@@ -1,0 +1,555 @@
+#include "obs/analyze.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "obs/json.hpp"
+#include "obs/trace_event.hpp"
+
+namespace wats::obs {
+
+namespace {
+
+constexpr double kEps = 1e-12;
+
+double quantile(const std::vector<double>& sorted, double p) {
+  if (sorted.empty()) return 0.0;
+  // Nearest-rank on the sorted samples (exact, not bucketed).
+  const double rank = std::ceil(p * static_cast<double>(sorted.size()));
+  std::size_t idx = rank <= 1.0 ? 0 : static_cast<std::size_t>(rank) - 1;
+  if (idx >= sorted.size()) idx = sorted.size() - 1;
+  return sorted[idx];
+}
+
+QueueDelayStats delay_stats(std::vector<double> samples) {
+  QueueDelayStats s;
+  if (samples.empty()) return s;
+  std::sort(samples.begin(), samples.end());
+  s.count = samples.size();
+  double sum = 0.0;
+  for (const double v : samples) sum += v;
+  s.mean = sum / static_cast<double>(samples.size());
+  s.p50 = quantile(samples, 0.50);
+  s.p99 = quantile(samples, 0.99);
+  s.p999 = quantile(samples, 0.999);
+  s.max = samples.back();
+  return s;
+}
+
+/// Fast = the core's group runs at the machine's top relative speed.
+bool core_is_fast(const SpanGraph& g, std::uint32_t core) {
+  if (core >= g.core_speed.size()) return true;
+  double max_speed = 0.0;
+  for (const double s : g.core_speed) max_speed = std::max(max_speed, s);
+  return g.core_speed[core] >= max_speed - 1e-9;
+}
+
+std::string class_label(const SpanGraph& g, std::uint32_t cls) {
+  if (cls < g.class_names.size() && !g.class_names[cls].empty()) {
+    return g.class_names[cls];
+  }
+  if (cls == kObsNoClass) return "unclassified";
+  return "class " + std::to_string(cls);
+}
+
+}  // namespace
+
+const char* to_string(CostComponent component) {
+  switch (component) {
+    case CostComponent::kFastCompute:
+      return "fast-core compute";
+    case CostComponent::kSlowCompute:
+      return "slow-core compute";
+    case CostComponent::kQueueWait:
+      return "queue wait";
+    case CostComponent::kStealMigration:
+      return "steal/migration";
+    case CostComponent::kReclusterStall:
+      return "recluster stall";
+    case CostComponent::kParkWake:
+      return "park/wake";
+  }
+  return "?";
+}
+
+CriticalPathReport analyze_spans(const SpanGraph& graph) {
+  CriticalPathReport report;
+  report.exact = graph.exact;
+  report.total_tasks = graph.spans.size();
+
+  // Machine shape: one GroupReport per distinct group id.
+  std::map<std::uint32_t, GroupReport> groups;
+  for (std::size_t c = 0; c < graph.core_group.size(); ++c) {
+    GroupReport& g = groups[graph.core_group[c]];
+    g.group = graph.core_group[c];
+    g.speed = c < graph.core_speed.size() ? graph.core_speed[c] : 1.0;
+    ++g.cores;
+  }
+  const auto group_of = [&](std::uint32_t core) -> std::uint32_t {
+    return core < graph.core_group.size() ? graph.core_group[core] : 0;
+  };
+
+  // Whole-trace aggregates: per-group busy time, per-class task counts
+  // and queue-delay samples (ready -> first dispatch).
+  std::map<std::uint32_t, ClassReport> classes;
+  std::vector<double> all_delays;
+  std::size_t total_slices = 0;
+  double makespan = 0.0;
+  std::map<std::uint64_t, const TaskSpan*> by_id;
+  const TaskSpan* last = nullptr;
+  for (const auto& span : graph.spans) {
+    by_id[span.id] = &span;
+    ClassReport& cr = classes[span.cls];
+    cr.cls = span.cls;
+    ++cr.tasks;
+    total_slices += span.slices.size();
+    for (const auto& s : span.slices) {
+      groups[group_of(s.core)].busy += s.end - s.start;
+      if (s.end > makespan) {
+        makespan = s.end;
+        last = &span;
+      }
+    }
+    if (!span.slices.empty()) {
+      const double delay =
+          std::max(0.0, span.slices.front().dispatched - span.ready);
+      all_delays.push_back(delay);
+    }
+  }
+  if (graph.makespan > makespan) makespan = graph.makespan;
+  report.makespan = makespan;
+
+  std::map<std::uint32_t, std::vector<double>> class_delays;
+  for (const auto& span : graph.spans) {
+    if (span.slices.empty()) continue;
+    class_delays[span.cls].push_back(
+        std::max(0.0, span.slices.front().dispatched - span.ready));
+  }
+
+  // Backward last-arrival walk: attribute [0, makespan] by telescoping
+  // contiguous intervals, jumping to the spawning task at each `ready`.
+  const auto add = [&](CostComponent c, double dt) {
+    if (dt > 0.0) report.components[static_cast<std::size_t>(c)] += dt;
+  };
+  double t = makespan;
+  const TaskSpan* cur = last;
+  std::size_t steps = 0;
+  const std::size_t max_steps = 4 * total_slices + graph.spans.size() + 16;
+  while (cur != nullptr && t > kEps && steps++ < max_steps) {
+    ++report.critical_tasks;
+    for (auto it = cur->slices.rbegin(); it != cur->slices.rend(); ++it) {
+      const SpanSlice& s = *it;
+      if (s.dispatched >= t) continue;  // slice entirely after the cursor
+      if (t > s.end) {
+        // Gap above the slice (spawn-cost stagger, parent finished before
+        // a deferred spawn fired): nothing was executing on the chain.
+        add(CostComponent::kQueueWait, t - s.end);
+        t = s.end;
+      }
+      const double exec_from = std::min(std::max(s.start, s.dispatched), t);
+      if (t > exec_from) {
+        const double dt = t - exec_from;
+        add(core_is_fast(graph, s.core) ? CostComponent::kFastCompute
+                                        : CostComponent::kSlowCompute,
+            dt);
+        groups[group_of(s.core)].critical_compute += dt;
+        classes[cur->cls].critical_compute += dt;
+        t = exec_from;
+      }
+      if (t > s.dispatched) {
+        add(CostComponent::kStealMigration, t - s.dispatched);
+        t = s.dispatched;
+      }
+    }
+    const double ready = std::min(cur->ready, t);
+    if (t > ready) {
+      add(CostComponent::kQueueWait, t - ready);
+      t = ready;
+    }
+    if (cur->parent == 0) break;
+    const auto parent = by_id.find(cur->parent);
+    cur = parent == by_id.end() ? nullptr : parent->second;
+  }
+  if (t > 0.0) {
+    // Root reached (or an unlinked parent): the head of the chain is the
+    // initial spawn stagger — ready but nothing dispatched yet.
+    add(CostComponent::kQueueWait, t);
+  }
+
+  report.queue_delay = delay_stats(std::move(all_delays));
+  for (auto& [cls, cr] : classes) {
+    cr.name = class_label(graph, cls);
+    cr.queue_delay = delay_stats(std::move(class_delays[cls]));
+    report.classes.push_back(std::move(cr));
+  }
+  for (auto& [id, g] : groups) report.groups.push_back(g);
+  return report;
+}
+
+// ---------------------------------------------------------------------------
+// JSON ingestion (both producers).
+
+namespace {
+
+struct TrackInfo {
+  bool is_worker = false;  ///< "core N (...)" / "worker N (...)" label
+  std::uint32_t group = 0;
+  double speed = 1.0;
+};
+
+/// Parse "core 3 (group 1, 0.40x)" / "worker 3 (group 1, 0.40x)".
+bool parse_track_label(const std::string& label, TrackInfo* info) {
+  std::size_t idx;
+  unsigned long group;
+  double speed;
+  if (std::sscanf(label.c_str(), "core %zu (group %lu, %lfx)", &idx, &group,
+                  &speed) == 3 ||
+      std::sscanf(label.c_str(), "worker %zu (group %lu, %lfx)", &idx,
+                  &group, &speed) == 3) {
+    info->is_worker = true;
+    info->group = static_cast<std::uint32_t>(group);
+    info->speed = speed;
+    return true;
+  }
+  return false;
+}
+
+struct ParsedDoc {
+  const JsonValue* events = nullptr;
+  std::map<int, std::string> track_names;  // tid -> label
+  std::string process_name;
+};
+
+bool parse_doc(const JsonValue& doc, ParsedDoc* out, std::string* error) {
+  out->events = doc.find("traceEvents");
+  if (out->events == nullptr ||
+      out->events->type() != JsonValue::Type::kArray) {
+    if (error != nullptr) *error = "not a trace-event file (no traceEvents)";
+    return false;
+  }
+  for (const auto& e : out->events->as_array()) {
+    if (e.string_or("ph", "") != "M") continue;
+    const auto* args = e.find("args");
+    if (args == nullptr) continue;
+    if (e.string_or("name", "") == "thread_name") {
+      out->track_names[static_cast<int>(e.number_or("tid", 0))] =
+          args->string_or("name", "");
+    } else if (e.string_or("name", "") == "process_name") {
+      if (out->process_name.empty()) {
+        out->process_name = args->string_or("name", "");
+      }
+    }
+  }
+  return true;
+}
+
+bool build_sim_graph(const ParsedDoc& doc, SpanGraph* graph) {
+  graph->exact = true;
+  int max_tid = -1;
+  for (const auto& [tid, label] : doc.track_names) {
+    TrackInfo info;
+    if (parse_track_label(label, &info) && tid > max_tid) max_tid = tid;
+  }
+  graph->core_group.assign(static_cast<std::size_t>(max_tid + 1), 0);
+  graph->core_speed.assign(static_cast<std::size_t>(max_tid + 1), 1.0);
+  for (const auto& [tid, label] : doc.track_names) {
+    TrackInfo info;
+    if (parse_track_label(label, &info) && tid >= 0) {
+      graph->core_group[static_cast<std::size_t>(tid)] = info.group;
+      graph->core_speed[static_cast<std::size_t>(tid)] = info.speed;
+    }
+  }
+
+  std::map<std::uint64_t, TaskSpan> spans;
+  for (const auto& e : doc.events->as_array()) {
+    if (e.string_or("ph", "") != "X") continue;
+    const auto* args = e.find("args");
+    if (args == nullptr || args->find("task") == nullptr) continue;
+    const auto id = static_cast<std::uint64_t>(args->number_or("task", 0.0));
+    const double ts = e.number_or("ts", 0.0);
+    const double dur = e.number_or("dur", 0.0);
+    TaskSpan& span = spans[id];
+    span.id = id;
+    const double cls = args->number_or("cls", -1.0);
+    span.cls = cls < 0.0 ? kObsNoClass : static_cast<std::uint32_t>(cls);
+    span.parent =
+        static_cast<std::uint64_t>(args->number_or("parent", 0.0));
+    SpanSlice slice;
+    slice.start = ts;
+    slice.end = ts + dur;
+    slice.dispatched = std::min(args->number_or("dispatched", ts), ts);
+    slice.core = static_cast<std::uint32_t>(e.number_or("tid", 0.0));
+    slice.preempted = [&] {
+      const auto* p = args->find("preempted");
+      return p != nullptr && p->type() == JsonValue::Type::kBool &&
+             p->as_bool();
+    }();
+    span.slices.push_back(slice);
+    // `ready` defaults to the earliest dispatch when the producer predates
+    // lifecycle recording (queue wait then collapses to 0 for the task).
+    const double ready = args->number_or("ready", slice.dispatched);
+    if (span.slices.size() == 1 || ready < span.ready) span.ready = ready;
+    if (span.cls != kObsNoClass) {
+      if (graph->class_names.size() <= span.cls) {
+        graph->class_names.resize(span.cls + 1);
+      }
+      if (graph->class_names[span.cls].empty()) {
+        graph->class_names[span.cls] = e.string_or("name", "");
+      }
+    }
+    if (slice.end > graph->makespan) graph->makespan = slice.end;
+  }
+  for (auto& [id, span] : spans) {
+    std::sort(span.slices.begin(), span.slices.end(),
+              [](const SpanSlice& a, const SpanSlice& b) {
+                return a.start < b.start;
+              });
+    graph->spans.push_back(std::move(span));
+  }
+  return true;
+}
+
+/// Best-effort runtime decomposition: per-worker timelines averaged over
+/// the workers so the components still sum to the wall span.
+CriticalPathReport analyze_runtime_doc(const ParsedDoc& doc) {
+  CriticalPathReport report;
+  report.exact = false;
+
+  struct WorkerAgg {
+    TrackInfo info;
+    double busy = 0.0;
+    double parked = 0.0;
+    double park_since = -1.0;
+  };
+  std::map<int, WorkerAgg> workers;
+  for (const auto& [tid, label] : doc.track_names) {
+    TrackInfo info;
+    if (parse_track_label(label, &info)) workers[tid].info = info;
+  }
+
+  double t_min = 0.0, t_max = 0.0;
+  bool any_ts = false;
+  std::map<std::uint32_t, ClassReport> classes;
+  std::map<std::uint32_t, std::vector<double>> class_delays;
+  std::vector<double> all_delays;
+  std::map<std::uint32_t, GroupReport> groups;
+  std::uint64_t tasks = 0;
+  bool has_queue_delay = false;
+  // First pass: prefer the explicit task_dispatch queue-delay samples
+  // over the spawn->start dispatch instants when both are present.
+  for (const auto& e : doc.events->as_array()) {
+    if (e.string_or("ph", "") == "i" &&
+        e.string_or("name", "") == "task_dispatch") {
+      has_queue_delay = true;
+      break;
+    }
+  }
+
+  for (const auto& e : doc.events->as_array()) {
+    const std::string ph = e.string_or("ph", "");
+    if (ph == "M") continue;
+    const int tid = static_cast<int>(e.number_or("tid", 0.0));
+    const double ts = e.number_or("ts", 0.0);
+    const double dur = e.number_or("dur", 0.0);
+    if (!any_ts || ts < t_min) t_min = ts;
+    if (!any_ts || ts + dur > t_max) t_max = ts + dur;
+    any_ts = true;
+    const std::string name = e.string_or("name", "");
+    const auto* args = e.find("args");
+    if (ph == "X") {
+      ++tasks;
+      auto it = workers.find(tid);
+      if (it != workers.end()) {
+        it->second.busy += dur;
+        GroupReport& g = groups[it->second.info.group];
+        g.group = it->second.info.group;
+        g.speed = it->second.info.speed;
+        g.busy += dur;
+      }
+      const double cls_num =
+          args != nullptr ? args->number_or("cls", -1.0) : -1.0;
+      const std::uint32_t cls = cls_num < 0.0
+                                    ? kObsNoClass
+                                    : static_cast<std::uint32_t>(cls_num);
+      ClassReport& cr = classes[cls];
+      cr.cls = cls;
+      if (cr.name.empty()) cr.name = name;
+      ++cr.tasks;
+      continue;
+    }
+    if (ph != "i") continue;
+    auto it = workers.find(tid);
+    if (name == "park" && it != workers.end()) {
+      it->second.park_since = ts;
+    } else if (name == "unpark" && it != workers.end()) {
+      if (it->second.park_since >= 0.0 && ts > it->second.park_since) {
+        it->second.parked += ts - it->second.park_since;
+      }
+      it->second.park_since = -1.0;
+    } else if ((has_queue_delay && name == "task_dispatch") ||
+               (!has_queue_delay && name == "dispatch")) {
+      const double us =
+          args != nullptr
+              ? args->number_or(
+                    has_queue_delay ? "queue_delay_us" : "dispatch_latency_us",
+                    0.0)
+              : 0.0;
+      all_delays.push_back(us);
+      const double cls_num =
+          args != nullptr ? args->number_or("cls", -1.0) : -1.0;
+      if (cls_num >= 0.0) {
+        class_delays[static_cast<std::uint32_t>(cls_num)].push_back(us);
+      }
+    }
+  }
+
+  const double span = any_ts ? t_max - t_min : 0.0;
+  report.makespan = span;
+  report.total_tasks = tasks;
+  double max_speed = 0.0;
+  for (const auto& [tid, w] : workers) {
+    max_speed = std::max(max_speed, w.info.speed);
+  }
+  if (!workers.empty() && span > 0.0) {
+    const double n = static_cast<double>(workers.size());
+    for (const auto& [tid, w] : workers) {
+      const double busy = std::min(w.busy, span);
+      const double parked = std::min(w.parked, span - busy);
+      const double idle = std::max(0.0, span - busy - parked);
+      const bool fast = w.info.speed >= max_speed - 1e-9;
+      report.components[static_cast<std::size_t>(
+          fast ? CostComponent::kFastCompute
+               : CostComponent::kSlowCompute)] += busy / n;
+      report.components[static_cast<std::size_t>(
+          CostComponent::kParkWake)] += parked / n;
+      // Task identity does not survive the rings, so unattributed idle is
+      // binned into queue wait (documented in OBSERVABILITY.md).
+      report.components[static_cast<std::size_t>(
+          CostComponent::kQueueWait)] += idle / n;
+    }
+  }
+
+  report.queue_delay = delay_stats(std::move(all_delays));
+  for (auto& [cls, cr] : classes) {
+    cr.queue_delay = delay_stats(std::move(class_delays[cls]));
+    report.classes.push_back(std::move(cr));
+  }
+  for (auto& [id, g] : groups) report.groups.push_back(g);
+  return report;
+}
+
+}  // namespace
+
+bool span_graph_from_trace_json(const std::string& json_text,
+                                SpanGraph* graph, std::string* error) {
+  std::string parse_error;
+  const auto doc = parse_json(json_text, &parse_error);
+  if (doc == nullptr) {
+    if (error != nullptr) *error = "JSON parse error: " + parse_error;
+    return false;
+  }
+  ParsedDoc parsed;
+  if (!parse_doc(*doc, &parsed, error)) return false;
+  return build_sim_graph(parsed, graph);
+}
+
+AnalyzeResult analyze_trace_json(const std::string& json_text) {
+  AnalyzeResult result;
+  std::string parse_error;
+  const auto doc = parse_json(json_text, &parse_error);
+  if (doc == nullptr) {
+    result.error = "JSON parse error: " + parse_error;
+    return result;
+  }
+  ParsedDoc parsed;
+  if (!parse_doc(*doc, &parsed, &result.error)) return result;
+
+  // Producer detection: the simulator stamps its process label; failing
+  // that, slices carrying a task id (the sim's args) mean exact mode.
+  bool is_sim =
+      parsed.process_name.rfind("wats simulator", 0) == 0;
+  if (!is_sim && parsed.process_name.rfind("wats runtime", 0) != 0) {
+    for (const auto& e : parsed.events->as_array()) {
+      if (e.string_or("ph", "") != "X") continue;
+      const auto* args = e.find("args");
+      is_sim = args != nullptr && args->find("task") != nullptr;
+      break;
+    }
+  }
+  if (is_sim) {
+    SpanGraph graph;
+    build_sim_graph(parsed, &graph);
+    result.report = analyze_spans(graph);
+  } else {
+    result.report = analyze_runtime_doc(parsed);
+  }
+  return result;
+}
+
+std::string render_report(const CriticalPathReport& report) {
+  std::ostringstream out;
+  char line[192];
+  std::snprintf(line, sizeof(line),
+                "critical path (%s, makespan %.3f us, %llu tasks):\n",
+                report.exact ? "exact, virtual time"
+                             : "best-effort, wall time",
+                report.makespan,
+                static_cast<unsigned long long>(report.total_tasks));
+  out << line;
+  const double denom = report.makespan > 0.0 ? report.makespan : 1.0;
+  for (std::size_t i = 0; i < kCostComponentCount; ++i) {
+    std::snprintf(line, sizeof(line), "  %-20s %14.3f us  %5.1f%%\n",
+                  to_string(static_cast<CostComponent>(i)),
+                  report.components[i], 100.0 * report.components[i] / denom);
+    out << line;
+  }
+  std::snprintf(line, sizeof(line), "  %-20s %14.3f us  %5.1f%%\n", "sum",
+                report.components_sum(),
+                100.0 * report.components_sum() / denom);
+  out << line;
+  if (report.exact && report.critical_tasks > 0) {
+    std::snprintf(line, sizeof(line), "  [chain: %zu of %llu tasks]\n",
+                  report.critical_tasks,
+                  static_cast<unsigned long long>(report.total_tasks));
+    out << line;
+  }
+  if (!report.groups.empty()) {
+    out << "per c-group:\n";
+    for (const auto& g : report.groups) {
+      std::snprintf(line, sizeof(line),
+                    "  group %u (%.2fx, %zu cores)  on-chain compute "
+                    "%12.3f us  busy %12.3f us\n",
+                    g.group, g.speed, g.cores, g.critical_compute, g.busy);
+      out << line;
+    }
+  }
+  if (report.queue_delay.count > 0) {
+    std::snprintf(line, sizeof(line),
+                  "queue delay (us): n=%llu mean=%.3f p50=%.3f p99=%.3f "
+                  "p999=%.3f max=%.3f\n",
+                  static_cast<unsigned long long>(report.queue_delay.count),
+                  report.queue_delay.mean, report.queue_delay.p50,
+                  report.queue_delay.p99, report.queue_delay.p999,
+                  report.queue_delay.max);
+    out << line;
+  }
+  if (!report.classes.empty()) {
+    out << "per task class:\n";
+    for (const auto& c : report.classes) {
+      std::snprintf(line, sizeof(line),
+                    "  %-24s tasks %6llu  on-chain %10.3f us  queue p50 "
+                    "%8.3f p99 %8.3f p999 %8.3f\n",
+                    c.name.c_str(),
+                    static_cast<unsigned long long>(c.tasks),
+                    c.critical_compute, c.queue_delay.p50, c.queue_delay.p99,
+                    c.queue_delay.p999);
+      out << line;
+    }
+  }
+  return out.str();
+}
+
+}  // namespace wats::obs

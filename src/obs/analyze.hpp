@@ -1,0 +1,113 @@
+// Post-run critical-path analysis: decompose the makespan of a recorded
+// trace into {fast-core compute, slow-core compute, queue wait,
+// steal/migration overhead, recluster stall, park/wake latency}.
+//
+// Exact mode (virtual-time sim traces): a backward "last-arrival chain"
+// walk from the last-completing task. Each step attributes a contiguous
+// interval — execution slices to compute (fast or slow by the core's
+// group), [dispatched, start) windows to steal/migration, [ready,
+// first-dispatch) to queue wait — then jumps to the spawning task at
+// `ready` and continues, terminating at t = 0. The intervals telescope,
+// so the components sum to the makespan BY CONSTRUCTION (asserted in
+// tests to 1e-9 relative).
+//
+// Best-effort mode (TSC-stamped runtime traces): no task identity
+// survives the rings, so the decomposition is per-worker — slice time is
+// compute, park->unpark intervals are park/wake, and the unattributed
+// idle remainder is binned into queue wait — averaged across workers so
+// the components still sum to the wall span. `exact` is false.
+#pragma once
+
+#include <array>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "obs/span.hpp"
+
+namespace wats::obs {
+
+enum class CostComponent : std::size_t {
+  kFastCompute = 0,   ///< execution on the fastest c-group
+  kSlowCompute,       ///< execution on any slower c-group
+  kQueueWait,         ///< ready but not yet being acquired
+  kStealMigration,    ///< steal / snatch acquisition latency
+  kReclusterStall,    ///< blocked on a recluster (0: publication is RCU)
+  kParkWake,          ///< parked worker on the chain (0 in virtual time)
+};
+
+inline constexpr std::size_t kCostComponentCount = 6;
+
+const char* to_string(CostComponent component);
+
+/// Order statistics of the per-task ready -> first-dispatch delay,
+/// computed exactly from the sorted samples (not bucketed).
+struct QueueDelayStats {
+  std::uint64_t count = 0;
+  double mean = 0.0;
+  double p50 = 0.0;
+  double p99 = 0.0;
+  double p999 = 0.0;
+  double max = 0.0;
+};
+
+struct ClassReport {
+  std::uint32_t cls = 0;
+  std::string name;
+  std::uint64_t tasks = 0;        ///< spans of this class in the trace
+  double critical_compute = 0.0;  ///< compute this class puts on the chain
+  QueueDelayStats queue_delay;    ///< over ALL spans of the class
+};
+
+struct GroupReport {
+  std::uint32_t group = 0;
+  double speed = 1.0;
+  std::size_t cores = 0;
+  double critical_compute = 0.0;  ///< chain compute executed on this group
+  double busy = 0.0;              ///< total slice time across the group
+};
+
+struct CriticalPathReport {
+  bool exact = false;
+  double makespan = 0.0;  ///< virtual us (sim) / wall us (runtime)
+  std::array<double, kCostComponentCount> components{};
+  std::vector<GroupReport> groups;
+  std::vector<ClassReport> classes;  ///< ordered by class id
+  QueueDelayStats queue_delay;       ///< over all spans
+  std::size_t critical_tasks = 0;    ///< tasks on the chain (exact mode)
+  std::uint64_t total_tasks = 0;
+
+  double components_sum() const {
+    double s = 0.0;
+    for (const double c : components) s += c;
+    return s;
+  }
+  double component(CostComponent c) const {
+    return components[static_cast<std::size_t>(c)];
+  }
+};
+
+/// Exact decomposition of a span graph (see file comment). Works on any
+/// graph; `report.exact` mirrors `graph.exact`.
+CriticalPathReport analyze_spans(const SpanGraph& graph);
+
+/// Analyze a Chrome/Perfetto trace-event JSON document from either
+/// producer (detected via the process_name metadata). Sim traces rebuild
+/// the exact span graph from the slice args (task/cls/ready/dispatched/
+/// parent); runtime traces get the best-effort per-worker decomposition.
+struct AnalyzeResult {
+  CriticalPathReport report;
+  std::string error;  ///< empty on success
+  bool ok() const { return error.empty(); }
+};
+AnalyzeResult analyze_trace_json(const std::string& json_text);
+
+/// Rebuild a SpanGraph from an exact (simulator-produced) trace JSON.
+/// Returns false and fills `error` when the document is not parseable.
+bool span_graph_from_trace_json(const std::string& json_text,
+                                SpanGraph* graph, std::string* error);
+
+/// Human-readable report (the `wats_trace analyze` output).
+std::string render_report(const CriticalPathReport& report);
+
+}  // namespace wats::obs

@@ -105,7 +105,8 @@ std::string perfetto_from_events(
     const std::vector<TraceEvent>& events, const TscCalibration& calibration,
     const std::vector<std::string>& track_names,
     const std::function<std::string(std::uint32_t)>& class_name,
-    const std::vector<DecisionRecord>& decisions) {
+    const std::vector<DecisionRecord>& decisions,
+    const std::vector<RingLoss>& losses) {
   PerfettoWriter w;
   constexpr int kPid = 0;
   const int policy_tid = static_cast<int>(track_names.size()) + 1;
@@ -151,8 +152,18 @@ std::string perfetto_from_events(
         // The matching kTaskEnd carries the whole slice; the begin event
         // doubles as the dispatch-latency sample.
         args << "{\"dispatch_latency_us\":"
-             << fmt_us(calibration.delta_ns(e.arg) / 1000.0) << "}";
+             << fmt_us(calibration.delta_ns(e.arg) / 1000.0)
+             << ",\"cls\":" << e.cls << "}";
         w.instant(kPid, tid, "dispatch", "sched", ts, args.str());
+        break;
+      case EventKind::kTaskDispatch:
+        // Lifecycle queue-delay edge: ready (enqueue) -> dispatch (the
+        // worker took the task). The analyzer's queueing histograms read
+        // these.
+        args << "{\"queue_delay_us\":"
+             << fmt_us(calibration.delta_ns(e.arg) / 1000.0)
+             << ",\"cls\":" << e.cls << "}";
+        w.instant(kPid, tid, to_string(e.kind), "sched", ts, args.str());
         break;
       case EventKind::kStealAttempt:
       case EventKind::kStealSuccess:
@@ -194,6 +205,17 @@ std::string perfetto_from_events(
         w.instant(kPid, tid, to_string(e.kind), "sched", ts, args.str());
         break;
     }
+  }
+
+  // Ring-overwrite loss markers: one instant per lossy ring, at t = 0 so
+  // they head the track. summarize warns when any are present.
+  for (const auto& loss : losses) {
+    if (loss.dropped == 0) continue;
+    std::ostringstream args;
+    args << "{\"dropped\":" << loss.dropped
+         << ",\"emitted\":" << loss.emitted << "}";
+    w.instant(kPid, static_cast<int>(loss.worker), "events_dropped", "meta",
+              0.0, args.str());
   }
 
   for (const auto& d : decisions) {

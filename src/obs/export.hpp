@@ -48,17 +48,29 @@ class PerfettoWriter {
   std::vector<std::string> events_;  // one rendered JSON object each
 };
 
+/// Overwrite loss of one event ring, surfaced into the export so trace
+/// consumers can tell a lossy trace from a complete one (`wats_trace
+/// summarize` warns on any ring with dropped > 0).
+struct RingLoss {
+  std::uint32_t worker = 0;
+  std::uint64_t emitted = 0;
+  std::uint64_t dropped = 0;
+};
+
 /// Convert a merged ring snapshot to a Perfetto trace. `track_names[w]`
 /// labels worker w's thread track (an out-of-range worker id gets a
 /// generated label); `class_name` maps class ids for slice names (may be
 /// null: slices get "class <id>"). kTaskEnd events become complete slices
 /// (their arg is the duration in ticks); all other kinds become instants.
 /// Decision records, when given, land on their deciding core's track (the
-/// spawn path goes to a dedicated "policy" track).
+/// spawn path goes to a dedicated "policy" track). Rings that overwrote
+/// events (`losses` with dropped > 0) emit an "events_dropped" instant on
+/// their track so the loss survives into the file.
 std::string perfetto_from_events(
     const std::vector<TraceEvent>& events, const TscCalibration& calibration,
     const std::vector<std::string>& track_names,
     const std::function<std::string(std::uint32_t)>& class_name = nullptr,
-    const std::vector<DecisionRecord>& decisions = {});
+    const std::vector<DecisionRecord>& decisions = {},
+    const std::vector<RingLoss>& losses = {});
 
 }  // namespace wats::obs

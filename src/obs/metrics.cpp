@@ -110,14 +110,56 @@ std::string render_text(const MetricsRegistry::Snapshot& snapshot) {
     out << line;
   }
   for (const auto& [name, h] : snapshot.histograms) {
-    char line[192];
+    char line[224];
     std::snprintf(line, sizeof(line),
                   "%-32s count=%" PRIu64 " mean=%.1f min=%" PRIu64
-                  " p50<=%" PRIu64 " p99<=%" PRIu64 " max=%" PRIu64 "\n",
+                  " p50<=%" PRIu64 " p99<=%" PRIu64 " p999<=%" PRIu64
+                  " max=%" PRIu64 "\n",
                   name.c_str(), h.count, h.mean(), h.min,
-                  h.quantile_bound(0.50), h.quantile_bound(0.99), h.max);
+                  h.quantile_bound(0.50), h.quantile_bound(0.99),
+                  h.quantile_bound(0.999), h.max);
     out << line;
   }
+  return out.str();
+}
+
+std::string render_json(const MetricsRegistry::Snapshot& snapshot) {
+  std::ostringstream out;
+  const auto escape = [](const std::string& s) {
+    std::string e;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') e += '\\';
+      e += c;
+    }
+    return e;
+  };
+  out << "{\n  \"schema\": \"wats_metrics/1\",\n  \"counters\": {";
+  for (std::size_t i = 0; i < snapshot.counters.size(); ++i) {
+    const auto& [name, value] = snapshot.counters[i];
+    out << (i > 0 ? ",\n    " : "\n    ") << '"' << escape(name)
+        << "\": " << value;
+  }
+  out << "\n  },\n  \"gauges\": {";
+  char num[48];
+  for (std::size_t i = 0; i < snapshot.gauges.size(); ++i) {
+    const auto& [name, value] = snapshot.gauges[i];
+    std::snprintf(num, sizeof(num), "%.6f", value);
+    out << (i > 0 ? ",\n    " : "\n    ") << '"' << escape(name)
+        << "\": " << num;
+  }
+  out << "\n  },\n  \"histograms\": {";
+  for (std::size_t i = 0; i < snapshot.histograms.size(); ++i) {
+    const auto& [name, h] = snapshot.histograms[i];
+    std::snprintf(num, sizeof(num), "%.3f", h.mean());
+    out << (i > 0 ? ",\n    " : "\n    ") << '"' << escape(name)
+        << "\": {\"count\": " << h.count << ", \"mean\": " << num
+        << ", \"min\": " << h.min
+        << ", \"p50\": " << h.quantile_bound(0.50)
+        << ", \"p99\": " << h.quantile_bound(0.99)
+        << ", \"p999\": " << h.quantile_bound(0.999)
+        << ", \"max\": " << h.max << "}";
+  }
+  out << "\n  }\n}\n";
   return out.str();
 }
 

@@ -94,4 +94,9 @@ class MetricsRegistry {
 /// Human-readable multi-line summary of a snapshot (the text exporter).
 std::string render_text(const MetricsRegistry::Snapshot& snapshot);
 
+/// Machine-readable JSON rendering of a snapshot: counters and gauges as
+/// name/value maps, histograms as {count, mean, min, p50, p99, p999, max}
+/// (quantiles are log2-bucket upper bounds, like the text summary).
+std::string render_json(const MetricsRegistry::Snapshot& snapshot);
+
 }  // namespace wats::obs

@@ -1,0 +1,177 @@
+#include "obs/perf.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace wats::obs {
+
+double PerfMetric::best() const {
+  if (values.empty()) return 0.0;
+  return higher_is_better
+             ? *std::max_element(values.begin(), values.end())
+             : *std::min_element(values.begin(), values.end());
+}
+
+const PerfMetric* PerfReport::find(const std::string& name) const {
+  for (const auto& m : metrics) {
+    if (m.name == name) return &m;
+  }
+  return nullptr;
+}
+
+std::string render_perf_json(const PerfReport& report) {
+  std::ostringstream out;
+  const auto escape = [](const std::string& s) {
+    std::string e;
+    for (const char c : s) {
+      if (c == '"' || c == '\\') e += '\\';
+      e += c;
+    }
+    return e;
+  };
+  out << "{\n  \"schema\": \"" << kPerfSchema << "\",\n"
+      << "  \"probe\": \"" << escape(report.probe) << "\",\n"
+      << "  \"repeats\": " << report.repeats << ",\n"
+      << "  \"metrics\": [\n";
+  char num[48];
+  for (std::size_t i = 0; i < report.metrics.size(); ++i) {
+    const auto& m = report.metrics[i];
+    std::snprintf(num, sizeof(num), "%.4f", m.rel_threshold);
+    out << "    {\"name\": \"" << escape(m.name) << "\", \"unit\": \""
+        << escape(m.unit) << "\", \"higher_is_better\": "
+        << (m.higher_is_better ? "true" : "false")
+        << ", \"rel_threshold\": " << num << ", \"values\": [";
+    for (std::size_t j = 0; j < m.values.size(); ++j) {
+      std::snprintf(num, sizeof(num), "%.6g", m.values[j]);
+      out << (j > 0 ? ", " : "") << num;
+    }
+    out << "]}" << (i + 1 < report.metrics.size() ? "," : "") << "\n";
+  }
+  out << "  ]\n}\n";
+  return out.str();
+}
+
+bool parse_perf_json(const std::string& json_text, PerfReport* report,
+                     std::string* error) {
+  std::string parse_error;
+  const auto doc = parse_json(json_text, &parse_error);
+  if (doc == nullptr) {
+    if (error != nullptr) *error = "JSON parse error: " + parse_error;
+    return false;
+  }
+  if (doc->string_or("schema", "") != kPerfSchema) {
+    if (error != nullptr) {
+      *error = "schema mismatch: expected " + std::string(kPerfSchema) +
+               ", got '" + doc->string_or("schema", "") + "'";
+    }
+    return false;
+  }
+  PerfReport r;
+  r.probe = doc->string_or("probe", "");
+  r.repeats = static_cast<std::size_t>(doc->number_or("repeats", 0.0));
+  const auto* metrics = doc->find("metrics");
+  if (metrics == nullptr || metrics->type() != JsonValue::Type::kArray) {
+    if (error != nullptr) *error = "missing metrics array";
+    return false;
+  }
+  for (const auto& m : metrics->as_array()) {
+    PerfMetric metric;
+    metric.name = m.string_or("name", "");
+    if (metric.name.empty()) {
+      if (error != nullptr) *error = "metric without a name";
+      return false;
+    }
+    metric.unit = m.string_or("unit", "");
+    const auto* hib = m.find("higher_is_better");
+    metric.higher_is_better = hib != nullptr &&
+                              hib->type() == JsonValue::Type::kBool &&
+                              hib->as_bool();
+    metric.rel_threshold = m.number_or("rel_threshold", 0.10);
+    const auto* values = m.find("values");
+    if (values != nullptr && values->type() == JsonValue::Type::kArray) {
+      for (const auto& v : values->as_array()) {
+        metric.values.push_back(v.as_number());
+      }
+    }
+    r.metrics.push_back(std::move(metric));
+  }
+  *report = std::move(r);
+  return true;
+}
+
+PerfDiffResult diff_perf(const PerfReport& baseline,
+                         const PerfReport& current, double slack) {
+  PerfDiffResult result;
+  if (slack <= 0.0) slack = 1.0;
+  for (const auto& base : baseline.metrics) {
+    PerfDelta d;
+    d.name = base.name;
+    d.base = base.best();
+    const PerfMetric* cur = current.find(base.name);
+    if (cur == nullptr || cur->values.empty() || base.values.empty()) {
+      d.missing = true;
+      result.deltas.push_back(std::move(d));
+      continue;
+    }
+    d.current = cur->best();
+    // The BASELINE's band governs: the committed file carries the
+    // per-metric noise expectation the repo has agreed on.
+    d.allowed = base.rel_threshold * slack;
+    if (d.base != 0.0) {
+      // Positive rel_change = worse, regardless of direction.
+      d.rel_change = base.higher_is_better
+                         ? (d.base - d.current) / std::abs(d.base)
+                         : (d.current - d.base) / std::abs(d.base);
+    } else {
+      d.rel_change = d.current == 0.0 ? 0.0 : 1.0;
+    }
+    d.regressed = d.rel_change > d.allowed;
+    d.improved = d.rel_change < -d.allowed;
+    result.regression |= d.regressed;
+    result.deltas.push_back(std::move(d));
+  }
+  for (const auto& cur : current.metrics) {
+    if (baseline.find(cur.name) == nullptr) {
+      PerfDelta d;
+      d.name = cur.name;
+      d.current = cur.best();
+      d.missing = true;
+      result.deltas.push_back(std::move(d));
+    }
+  }
+  return result;
+}
+
+std::string render_perf_diff(const PerfDiffResult& diff) {
+  std::ostringstream out;
+  char line[224];
+  std::snprintf(line, sizeof(line), "%-28s %14s %14s %9s %9s  %s\n",
+                "metric", "baseline", "current", "change", "allowed",
+                "verdict");
+  out << line;
+  for (const auto& d : diff.deltas) {
+    if (d.missing) {
+      std::snprintf(line, sizeof(line), "%-28s %14.4g %14.4g %9s %9s  %s\n",
+                    d.name.c_str(), d.base, d.current, "-", "-",
+                    "missing (ignored)");
+      out << line;
+      continue;
+    }
+    std::snprintf(line, sizeof(line),
+                  "%-28s %14.4g %14.4g %+8.1f%% %8.1f%%  %s\n",
+                  d.name.c_str(), d.base, d.current, 100.0 * d.rel_change,
+                  100.0 * d.allowed,
+                  d.regressed ? "REGRESSED"
+                              : (d.improved ? "improved" : "ok"));
+    out << line;
+  }
+  out << (diff.regression ? "RESULT: regression detected\n"
+                          : "RESULT: no regression\n");
+  return out.str();
+}
+
+}  // namespace wats::obs

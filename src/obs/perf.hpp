@@ -1,0 +1,73 @@
+// The noise-aware perf-regression harness behind tools/wats_perf and the
+// committed BENCH_*.json trajectory (ROADMAP item 3).
+//
+// A PerfReport is a schema-versioned set of named metrics, each with the
+// raw value of every repeat, a direction (higher/lower is better) and a
+// per-metric relative noise band. `diff_perf` compares best-of-repeats
+// (min for lower-is-better, max for higher-is-better — the least-noisy
+// estimator of the machine's capability) and flags a regression only when
+// the relative change exceeds the metric's band times the caller's slack
+// multiplier, so identical runs always pass and a 2x slowdown always
+// fails.
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace wats::obs {
+
+inline constexpr const char* kPerfSchema = "wats_perf/1";
+
+struct PerfMetric {
+  std::string name;
+  std::string unit;              ///< "ns", "1/s", ... (informational)
+  bool higher_is_better = false;
+  /// Relative noise band: changes within best*(1 +/- band*slack) pass.
+  double rel_threshold = 0.10;
+  std::vector<double> values;    ///< one per repeat
+
+  double best() const;  ///< min (lower-is-better) / max (higher)
+};
+
+struct PerfReport {
+  std::string probe;  ///< free-text description of the probe setup
+  std::size_t repeats = 0;
+  std::vector<PerfMetric> metrics;
+
+  const PerfMetric* find(const std::string& name) const;
+};
+
+/// Schema-versioned JSON document (the BENCH_*.json format).
+std::string render_perf_json(const PerfReport& report);
+
+/// Parse a wats_perf/1 document. False + `error` on malformed input or a
+/// schema mismatch.
+bool parse_perf_json(const std::string& json_text, PerfReport* report,
+                     std::string* error);
+
+struct PerfDelta {
+  std::string name;
+  double base = 0.0;      ///< baseline best-of-repeats
+  double current = 0.0;   ///< candidate best-of-repeats
+  double rel_change = 0.0;  ///< signed; positive = worse
+  double allowed = 0.0;     ///< rel_threshold * slack actually applied
+  bool regressed = false;
+  bool improved = false;
+  bool missing = false;   ///< metric absent from one of the reports
+};
+
+struct PerfDiffResult {
+  std::vector<PerfDelta> deltas;
+  bool regression = false;  ///< any metric regressed beyond its band
+};
+
+/// Compare candidate against baseline. `slack` scales every metric's
+/// noise band (>1 for cross-machine CI smoke runs). Metrics present in
+/// only one report are noted but never count as regressions.
+PerfDiffResult diff_perf(const PerfReport& baseline,
+                         const PerfReport& current, double slack = 1.0);
+
+/// Human-readable diff table (the `wats_perf diff` output).
+std::string render_perf_diff(const PerfDiffResult& diff);
+
+}  // namespace wats::obs

@@ -1,0 +1,55 @@
+// Backend-neutral task-lifecycle span model: the data both trace
+// producers (the simulator's TraceRecorder, the runtime's event rings)
+// can be reduced to, and the input of the critical-path analyzer
+// (obs/analyze.hpp).
+//
+// A task's lifecycle is spawn -> ready -> dispatch -> start -> complete:
+// `ready` is when the spawn became visible to the scheduler (for the
+// simulator, the engine's spawn event; the paper's Algorithm 1 placement
+// happens here), `dispatched` when an idle core began acquiring it
+// (steal/snatch latency accrues from here), `start` when execution
+// actually began, `end` when the slice ended — by completion or by a
+// snatch preemption, in which case the task has a later slice on the
+// thief core whose `dispatched` equals this slice's `end` (the virtual
+// timeline is gapless; see DESIGN.md "Span-edge semantics").
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wats::obs {
+
+/// One contiguous execution window of a task on one core.
+struct SpanSlice {
+  double dispatched = 0.0;  ///< acquisition began (<= start)
+  double start = 0.0;       ///< execution began (post steal/snatch latency)
+  double end = 0.0;         ///< completion or preemption
+  std::uint32_t core = 0;   ///< executing core / worker
+  bool preempted = false;   ///< ended by a snatch, not completion
+};
+
+struct TaskSpan {
+  std::uint64_t id = 0;
+  std::uint32_t cls = 0xFFFFFFFFu;  ///< kObsNoClass when unclassified
+  std::uint64_t parent = 0;  ///< spawning task id; 0 = external / root
+  double ready = 0.0;        ///< spawn time (virtual microseconds)
+  std::vector<SpanSlice> slices;  ///< time-ordered; >= 1 once executed
+};
+
+/// Everything the analyzer needs: the spans plus the machine shape (which
+/// c-group each core belongs to and its relative speed — the fast/slow
+/// compute split keys off the fastest group).
+struct SpanGraph {
+  std::vector<TaskSpan> spans;
+  double makespan = 0.0;  ///< max slice end (virtual microseconds)
+  std::vector<std::uint32_t> core_group;  ///< per core: c-group index
+  std::vector<double> core_speed;         ///< per core: relative speed
+  std::vector<std::string> class_names;   ///< by class id; may be short
+  /// True for virtual-time sim graphs: the decomposition telescopes and
+  /// the components sum exactly to the makespan. False for TSC-stamped
+  /// runtime graphs (best-effort per-worker attribution).
+  bool exact = true;
+};
+
+}  // namespace wats::obs

@@ -38,9 +38,10 @@ enum class EventKind : std::uint8_t {
   kPlanPublish,       ///< arg = classes moved by the plan; cls = plan epoch
   kPlanSkip,          ///< arg = 1 identical / 2 churn-suppressed; cls = epoch
   kHistoryReset,      ///< arg = total resets so far; cls = decayed class
+  kTaskDispatch,      ///< arg = ready-to-dispatch queue delay in ticks
 };
 
-inline constexpr std::size_t kEventKindCount = 15;
+inline constexpr std::size_t kEventKindCount = 16;
 
 inline const char* to_string(EventKind kind) {
   switch (kind) {
@@ -74,6 +75,8 @@ inline const char* to_string(EventKind kind) {
       return "plan_skip";
     case EventKind::kHistoryReset:
       return "history_reset";
+    case EventKind::kTaskDispatch:
+      return "task_dispatch";
   }
   return "?";
 }

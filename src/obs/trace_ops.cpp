@@ -1,0 +1,346 @@
+#include "obs/trace_ops.hpp"
+
+#include <algorithm>
+#include <cstdio>
+#include <map>
+#include <sstream>
+
+#include "obs/json.hpp"
+
+namespace wats::obs {
+
+namespace {
+
+std::string json_escape(const std::string& text) {
+  std::string out;
+  out.reserve(text.size());
+  for (const char c : text) {
+    switch (c) {
+      case '"':
+        out += "\\\"";
+        break;
+      case '\\':
+        out += "\\\\";
+        break;
+      case '\n':
+        out += "\\n";
+        break;
+      case '\t':
+        out += "\\t";
+        break;
+      case '\r':
+        out += "\\r";
+        break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x",
+                        static_cast<unsigned>(static_cast<unsigned char>(c)));
+          out += buf;
+        } else {
+          out.push_back(c);
+        }
+    }
+  }
+  return out;
+}
+
+/// Re-serialize a parsed value (numbers print with up-to-µs precision —
+/// enough for trace timestamps, which the exporters write with 3 decimal
+/// digits to begin with).
+void render(const JsonValue& v, std::string& out) {
+  switch (v.type()) {
+    case JsonValue::Type::kNull:
+      out += "null";
+      break;
+    case JsonValue::Type::kBool:
+      out += v.as_bool() ? "true" : "false";
+      break;
+    case JsonValue::Type::kNumber: {
+      char buf[40];
+      const double n = v.as_number();
+      if (n == static_cast<double>(static_cast<long long>(n))) {
+        std::snprintf(buf, sizeof(buf), "%lld", static_cast<long long>(n));
+      } else {
+        std::snprintf(buf, sizeof(buf), "%.3f", n);
+      }
+      out += buf;
+      break;
+    }
+    case JsonValue::Type::kString:
+      out += '"';
+      out += json_escape(v.as_string());
+      out += '"';
+      break;
+    case JsonValue::Type::kArray: {
+      out += '[';
+      const auto& items = v.as_array();
+      for (std::size_t i = 0; i < items.size(); ++i) {
+        if (i > 0) out += ',';
+        render(items[i], out);
+      }
+      out += ']';
+      break;
+    }
+    case JsonValue::Type::kObject: {
+      out += '{';
+      const auto& members = v.members();
+      for (std::size_t i = 0; i < members.size(); ++i) {
+        if (i > 0) out += ',';
+        out += '"';
+        out += json_escape(members[i].first);
+        out += "\":";
+        render(members[i].second, out);
+      }
+      out += '}';
+      break;
+    }
+  }
+}
+
+/// Render one event, overriding its pid (merge assigns one pid per input).
+void render_event(const JsonValue& event, int pid_override,
+                  std::string& out) {
+  out += '{';
+  bool first = true;
+  bool saw_pid = false;
+  for (const auto& [key, value] : event.members()) {
+    if (!first) out += ',';
+    first = false;
+    out += '"';
+    out += json_escape(key);
+    out += "\":";
+    if (key == "pid" && pid_override >= 0) {
+      out += std::to_string(pid_override);
+      saw_pid = true;
+    } else {
+      render(value, out);
+    }
+  }
+  if (!saw_pid && pid_override >= 0) {
+    if (!first) out += ',';
+    out += "\"pid\":" + std::to_string(pid_override);
+  }
+  out += '}';
+}
+
+std::unique_ptr<JsonValue> parse_trace_text(const std::string& text,
+                                            std::string* error) {
+  std::string parse_error;
+  auto doc = parse_json(text, &parse_error);
+  if (doc == nullptr) {
+    if (error != nullptr) *error = "JSON parse error: " + parse_error;
+    return nullptr;
+  }
+  const auto* events = doc->find("traceEvents");
+  if (events == nullptr || events->type() != JsonValue::Type::kArray) {
+    if (error != nullptr) {
+      *error = "not a trace-event file (no traceEvents)";
+    }
+    return nullptr;
+  }
+  return doc;
+}
+
+}  // namespace
+
+bool summarize_trace(const std::string& json_text, TraceSummary* summary,
+                     std::string* error) {
+  const auto doc = parse_trace_text(json_text, error);
+  if (doc == nullptr) return false;
+  const auto& events = doc->find("traceEvents")->as_array();
+
+  TraceSummary s;
+  s.events = events.size();
+  std::map<int, std::string> track_names;
+  std::map<int, double> track_busy_us;
+  std::map<int, std::size_t> track_slices;
+  std::map<std::string, std::size_t> by_name;
+
+  for (const auto& e : events) {
+    const std::string ph = e.string_or("ph", "");
+    const int tid = static_cast<int>(e.number_or("tid", 0));
+    if (ph == "M") {
+      ++s.metadata;
+      if (e.string_or("name", "") == "thread_name") {
+        if (const auto* args = e.find("args")) {
+          track_names[tid] = args->string_or("name", "");
+        }
+      }
+      continue;
+    }
+    const double ts = e.number_or("ts", 0.0);
+    const double dur = e.number_or("dur", 0.0);
+    if (!s.any_ts || ts < s.t_min_us) s.t_min_us = ts;
+    if (!s.any_ts || ts + dur > s.t_max_us) s.t_max_us = ts + dur;
+    s.any_ts = true;
+    const std::string name = e.string_or("name", "?");
+    ++by_name[name];
+    if (name == "plan_publish" || name == "plan_skip") {
+      const auto* args = e.find("args");
+      if (name == "plan_publish") {
+        ++s.plan_publishes;
+        const auto moved = static_cast<std::size_t>(
+            args != nullptr ? args->number_or("moved", 0.0) : 0.0);
+        s.plan_moved_total += moved;
+        s.plan_moved_max = std::max(s.plan_moved_max, moved);
+      } else if (args != nullptr &&
+                 args->string_or("reason", "") == "churn") {
+        ++s.plan_skips_churn;
+      } else {
+        ++s.plan_skips_identical;
+      }
+      if (args != nullptr) {
+        s.plan_last_epoch =
+            std::max(s.plan_last_epoch, args->number_or("epoch", 0.0));
+      }
+    }
+    if (name == "events_dropped") {
+      ++s.lossy_rings;
+      if (const auto* args = e.find("args")) {
+        s.events_dropped +=
+            static_cast<std::uint64_t>(args->number_or("dropped", 0.0));
+      }
+    }
+    if (ph == "X") {
+      ++s.slices;
+      track_busy_us[tid] += dur;
+      ++track_slices[tid];
+    } else {
+      ++s.instants;
+    }
+  }
+
+  for (const auto& [tid, busy] : track_busy_us) {
+    TrackSummary t;
+    t.tid = tid;
+    const auto it = track_names.find(tid);
+    t.name = it != track_names.end() ? it->second
+                                     : "tid " + std::to_string(tid);
+    t.slices = track_slices[tid];
+    t.busy_us = busy;
+    s.tracks.push_back(std::move(t));
+  }
+  s.by_name.assign(by_name.begin(), by_name.end());
+  std::sort(s.by_name.begin(), s.by_name.end(),
+            [](const auto& a, const auto& b) { return a.second > b.second; });
+  *summary = std::move(s);
+  return true;
+}
+
+std::string render_summary(const TraceSummary& s, const std::string& label) {
+  std::ostringstream out;
+  char line[256];
+  std::snprintf(line, sizeof(line),
+                "%s: %zu events (%zu slices, %zu instants, %zu metadata)\n",
+                label.c_str(), s.events, s.slices, s.instants, s.metadata);
+  out << line;
+  if (s.lossy()) {
+    std::snprintf(line, sizeof(line),
+                  "WARNING: trace is lossy — %llu events overwritten across "
+                  "%zu ring(s); counts below under-report (size the rings "
+                  "up via TraceOptions::ring_capacity)\n",
+                  static_cast<unsigned long long>(s.events_dropped),
+                  s.lossy_rings);
+    out << line;
+  }
+  if (s.any_ts) {
+    std::snprintf(line, sizeof(line), "span: %.3f ms\n",
+                  (s.t_max_us - s.t_min_us) / 1000.0);
+    out << line;
+  }
+  if (!s.tracks.empty()) {
+    out << "tracks:\n";
+    for (const auto& t : s.tracks) {
+      std::snprintf(line, sizeof(line),
+                    "  %-28s %6zu slices, busy %10.3f us\n", t.name.c_str(),
+                    t.slices, t.busy_us);
+      out << line;
+    }
+  }
+  if (s.plan_publishes + s.plan_skips_identical + s.plan_skips_churn > 0) {
+    out << "plan churn:\n";
+    std::snprintf(line, sizeof(line),
+                  "  publishes                    %zu (last epoch %.0f)\n",
+                  s.plan_publishes, s.plan_last_epoch);
+    out << line;
+    std::snprintf(line, sizeof(line),
+                  "  skips                        %zu identical, %zu churn\n",
+                  s.plan_skips_identical, s.plan_skips_churn);
+    out << line;
+    if (s.plan_publishes > 0) {
+      std::snprintf(line, sizeof(line),
+                    "  classes moved per publish    mean %.1f, max %zu\n",
+                    static_cast<double>(s.plan_moved_total) /
+                        static_cast<double>(s.plan_publishes),
+                    s.plan_moved_max);
+      out << line;
+    }
+  }
+  out << "event counts by name:\n";
+  for (const auto& [name, count] : s.by_name) {
+    std::snprintf(line, sizeof(line), "  %-28s %zu\n", name.c_str(), count);
+    out << line;
+  }
+  return out.str();
+}
+
+std::string merge_traces(const std::vector<std::string>& json_texts,
+                         std::string* error) {
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (std::size_t i = 0; i < json_texts.size(); ++i) {
+    const auto doc = parse_trace_text(json_texts[i], error);
+    if (doc == nullptr) return {};
+    for (const auto& e : doc->find("traceEvents")->as_array()) {
+      if (!first) out += ",\n";
+      first = false;
+      render_event(e, static_cast<int>(i), out);
+    }
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+std::string convert_trace(const std::string& json_text, std::string* error) {
+  const auto doc = parse_trace_text(json_text, error);
+  if (doc == nullptr) return {};
+  const auto& events = doc->find("traceEvents")->as_array();
+  // Normalize: shift timestamps so the earliest is 0 (merging traces from
+  // different epochs by hand becomes feasible after this).
+  double t_min = 0.0;
+  bool any = false;
+  for (const auto& e : events) {
+    if (e.string_or("ph", "") == "M") continue;
+    const double ts = e.number_or("ts", 0.0);
+    if (!any || ts < t_min) t_min = ts;
+    any = true;
+  }
+  std::string out = "{\"traceEvents\":[";
+  bool first = true;
+  for (const auto& e : events) {
+    if (!first) out += ",\n";
+    first = false;
+    out += '{';
+    bool first_key = true;
+    for (const auto& [key, value] : e.members()) {
+      if (!first_key) out += ',';
+      first_key = false;
+      out += '"';
+      out += json_escape(key);
+      out += "\":";
+      if (key == "ts" && e.string_or("ph", "") != "M") {
+        char buf[40];
+        std::snprintf(buf, sizeof(buf), "%.3f", value.as_number() - t_min);
+        out += buf;
+      } else {
+        render(value, out);
+      }
+    }
+    out += '}';
+  }
+  out += "],\"displayTimeUnit\":\"ms\"}\n";
+  return out;
+}
+
+}  // namespace wats::obs

@@ -1,0 +1,63 @@
+// The logic behind the wats_trace subcommands (summarize / merge /
+// convert), factored out of the CLI so tests can cover the paths without
+// spawning binaries. All functions take trace-event JSON documents as
+// text and either return the transformed document or fill `error`.
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <utility>
+#include <vector>
+
+namespace wats::obs {
+
+struct TrackSummary {
+  int tid = 0;
+  std::string name;
+  std::size_t slices = 0;
+  double busy_us = 0.0;
+};
+
+struct TraceSummary {
+  std::size_t events = 0;
+  std::size_t slices = 0;
+  std::size_t instants = 0;
+  std::size_t metadata = 0;
+  bool any_ts = false;
+  double t_min_us = 0.0;
+  double t_max_us = 0.0;
+  std::vector<TrackSummary> tracks;  ///< tracks with slices, by tid
+  /// Event counts by name, sorted descending.
+  std::vector<std::pair<std::string, std::size_t>> by_name;
+  // Plan churn (plan_publish / plan_skip instants).
+  std::size_t plan_publishes = 0;
+  std::size_t plan_skips_identical = 0;
+  std::size_t plan_skips_churn = 0;
+  std::size_t plan_moved_total = 0;
+  std::size_t plan_moved_max = 0;
+  double plan_last_epoch = 0.0;
+  // Ring-overwrite loss ("events_dropped" markers; see obs/export.hpp).
+  std::uint64_t events_dropped = 0;
+  std::size_t lossy_rings = 0;
+  bool lossy() const { return events_dropped > 0; }
+};
+
+/// Parse and tally one trace document. Returns false + `error` when the
+/// text is not a trace-event file.
+bool summarize_trace(const std::string& json_text, TraceSummary* summary,
+                     std::string* error);
+
+/// The `wats_trace summarize` text, including the loss warning when the
+/// trace dropped events. `label` heads the output (usually the path).
+std::string render_summary(const TraceSummary& summary,
+                           const std::string& label);
+
+/// Merge documents into one file, one pid per input (sim vs runtime side
+/// by side). Empty return + `error` on a malformed input.
+std::string merge_traces(const std::vector<std::string>& json_texts,
+                         std::string* error);
+
+/// Parse, validate and re-emit with timestamps normalized to start at 0.
+std::string convert_trace(const std::string& json_text, std::string* error);
+
+}  // namespace wats::obs

@@ -474,9 +474,17 @@ void TaskRuntime::execute(std::size_t index, TaskNode* node) {
                     static_cast<std::uint16_t>(index),
                     static_cast<std::uint8_t>(me.group), node->cls,
                     dispatch_ticks);
-      metrics_.histogram("dispatch_latency_ns")
-          .record(
-              static_cast<std::uint64_t>(calib_.delta_ns(dispatch_ticks)));
+      // Lifecycle span edge ready -> dispatch: the time the task sat in a
+      // queue between spawn (enqueue_tsc) and this worker taking it. The
+      // analyzer's queueing-delay histograms key off this event.
+      me.ring->emit(obs::EventKind::kTaskDispatch,
+                    static_cast<std::uint16_t>(index),
+                    static_cast<std::uint8_t>(me.group), node->cls,
+                    dispatch_ticks);
+      const auto delay_ns =
+          static_cast<std::uint64_t>(calib_.delta_ns(dispatch_ticks));
+      metrics_.histogram("dispatch_latency_ns").record(delay_ns);
+      metrics_.histogram("queue_delay_ns").record(delay_ns);
     }
   }
 

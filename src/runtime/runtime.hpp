@@ -255,7 +255,15 @@ class TaskRuntime {
   /// lower-bound ratio against Lemma 1's TL from the collected history.
   std::string observability_summary(double wall_seconds = 0.0) const;
 
+  /// The same counters/gauges/histograms as observability_summary, as a
+  /// wats_metrics/1 JSON document (obs::render_json) for machine readers.
+  std::string observability_summary_json(double wall_seconds = 0.0) const;
+
  private:
+  /// Mirrors scheduler counters, ring loss, placement accuracy and the
+  /// Lemma-1 bound into metrics_ (shared by the text and JSON summaries).
+  void mirror_metrics(double wall_seconds) const;
+
   /// Sentinel spawner index for spawns from non-worker threads.
   static constexpr std::size_t kExternalSpawner =
       static_cast<std::size_t>(-1);

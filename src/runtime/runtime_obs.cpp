@@ -63,11 +63,25 @@ std::string TaskRuntime::perfetto_trace_json() const {
     }
     return "class " + std::to_string(cls);
   };
+  // Per-ring overwrite loss → events_dropped markers in the export, so a
+  // lossy trace is diagnosable from the file alone (wats_trace summarize
+  // warns on them).
+  std::vector<obs::RingLoss> losses;
+  for (std::size_t i = 0; i < workers_.size(); ++i) {
+    if (!workers_[i]->ring) continue;
+    losses.push_back({static_cast<std::uint32_t>(i),
+                      workers_[i]->ring->emitted(),
+                      workers_[i]->ring->dropped()});
+  }
+  if (helper_ring_) {
+    losses.push_back({static_cast<std::uint32_t>(workers_.size()),
+                      helper_ring_->emitted(), helper_ring_->dropped()});
+  }
   return obs::perfetto_from_events(trace_events(), calib_, tracks,
-                                   class_name, decision_records());
+                                   class_name, decision_records(), losses);
 }
 
-std::string TaskRuntime::observability_summary(double wall_seconds) const {
+void TaskRuntime::mirror_metrics(double wall_seconds) const {
   const RuntimeStats s = stats();
 
   // Mirror the scheduler counters into the registry so one renderer
@@ -100,6 +114,9 @@ std::string TaskRuntime::observability_summary(double wall_seconds) const {
     }
     metrics_.counter("trace_events_emitted").set(emitted);
     metrics_.counter("trace_events_dropped").set(dropped);
+    // The short alias the loss satellite standardizes on; kept alongside
+    // the legacy trace_events_dropped name so existing readers still work.
+    metrics_.counter("events_dropped").set(dropped);
   }
 
   // Placement accuracy: the fraction of classified executions that ran on
@@ -136,6 +153,27 @@ std::string TaskRuntime::observability_summary(double wall_seconds) const {
       metrics_.set_gauge("lower_bound_ratio",
                          tl_s > 0.0 ? wall_seconds / tl_s : 0.0);
     }
+  }
+}
+
+std::string TaskRuntime::observability_summary_json(
+    double wall_seconds) const {
+  mirror_metrics(wall_seconds);
+  return obs::render_json(metrics_.snapshot());
+}
+
+std::string TaskRuntime::observability_summary(double wall_seconds) const {
+  mirror_metrics(wall_seconds);
+
+  const RuntimeStats s = stats();
+  const auto classes = class_history();
+  double classified = 0.0;
+  for (const auto& cls : classes) {
+    std::uint64_t runs = 0;
+    for (const auto& group_counts : s.per_group_class_tasks) {
+      if (cls.id < group_counts.size()) runs += group_counts[cls.id];
+    }
+    classified += static_cast<double>(runs);
   }
 
   std::string out = obs::render_text(metrics_.snapshot());

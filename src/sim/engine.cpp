@@ -60,6 +60,19 @@ void Engine::push_event(Event e) {
 void Engine::spawn(SimTask task, core::CoreIndex spawner) {
   ++stats_.spawned;
   task.spawned_at = now_;
+  if (trace_ != nullptr) {
+    // Lifecycle parent: the task running on the spawner, or — because
+    // handle_finish marks the core idle before the completion hooks that
+    // chain most spawns — the task that finished there at this instant.
+    const CoreState& s = cores_[spawner];
+    TaskId parent = 0;
+    if (s.busy) {
+      parent = s.task.id;
+    } else if (s.last_finish_time == now_) {
+      parent = s.last_finished;
+    }
+    trace_->record_spawn({task.id, task.cls, parent, now_});
+  }
   scheduler_.on_spawn(*this, std::move(task), spawner);
   // Idle cores get a chance to pick the new work up at the current time.
   // (Dispatch happens in the main loop right after the triggering event,
@@ -154,7 +167,7 @@ bool Engine::snatch(core::CoreIndex thief, core::CoreIndex victim) {
   stats_.busy_time[victim] += std::max(0.0, now_ - v.task_started);
   if (trace_ != nullptr && now_ > v.task_started) {
     trace_->record({v.task_started, now_, victim, v.task.id, v.task.cls,
-                    /*preempted=*/true});
+                    /*preempted=*/true, v.dispatched_at});
   }
   v.busy = false;
   ++v.version;  // invalidates the victim's scheduled finish event
@@ -201,11 +214,13 @@ void Engine::handle_finish(const Event& e) {
   stats_.busy_time[e.core] += std::max(0.0, now_ - s.task_started);
   if (trace_ != nullptr && now_ > s.task_started) {
     trace_->record({s.task_started, now_, e.core, s.task.id, s.task.cls,
-                    /*preempted=*/false});
+                    /*preempted=*/false, s.dispatched_at});
   }
   const SimTask finished = s.task;
   s.busy = false;
   ++s.version;
+  s.last_finished = finished.id;
+  s.last_finish_time = now_;
 
   ++stats_.tasks_completed;
   stats_.total_work += finished.work;

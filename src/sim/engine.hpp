@@ -190,6 +190,11 @@ class Engine {
     double dispatched_at = 0.0;  // when the acquisition started
     double eff_speed = 1.0;      // effective speed of the running task
     std::uint64_t version = 0;   // bumped on every dispatch/preempt
+    // Last task that COMPLETED here and when: completion hooks run after
+    // the core is marked idle, so a spawn issued from on_complete links
+    // its lifecycle parent through these instead of the running task.
+    TaskId last_finished = 0;
+    double last_finish_time = -1.0;
   };
 
   void push_event(Event e);

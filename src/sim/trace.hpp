@@ -20,13 +20,34 @@ struct TraceSegment {
   TaskId task = 0;
   core::TaskClassId cls = core::kNoTaskClass;
   bool preempted = false;  ///< segment ended by a snatch, not completion
+  /// When the executing core began acquiring the task (<= start; the
+  /// [dispatched, start) window is the steal/snatch latency). Filled by
+  /// the engine; hand-built segments may leave it 0 (clamped on use).
+  double dispatched = 0.0;
+};
+
+/// Task-lifecycle record, one per spawn: when the task became ready and
+/// which task spawned it (0 = external / the workload's root). Together
+/// with the segments this is the exact span graph the critical-path
+/// analyzer (obs/analyze.hpp) walks.
+struct TaskLifecycle {
+  TaskId id = 0;
+  core::TaskClassId cls = core::kNoTaskClass;
+  TaskId parent = 0;
+  double ready = 0.0;  ///< spawn event time (virtual)
 };
 
 class TraceRecorder {
  public:
   void record(TraceSegment segment) { segments_.push_back(segment); }
+  void record_spawn(TaskLifecycle lifecycle) {
+    lifecycles_.push_back(lifecycle);
+  }
 
   const std::vector<TraceSegment>& segments() const { return segments_; }
+  const std::vector<TaskLifecycle>& lifecycles() const {
+    return lifecycles_;
+  }
 
   /// Segments of one core, in time order (as recorded).
   std::vector<TraceSegment> core_segments(core::CoreIndex core) const;
@@ -44,6 +65,7 @@ class TraceRecorder {
 
  private:
   std::vector<TraceSegment> segments_;
+  std::vector<TaskLifecycle> lifecycles_;
 };
 
 }  // namespace wats::sim

@@ -2,6 +2,7 @@
 
 #include <algorithm>
 #include <cstdio>
+#include <map>
 #include <sstream>
 
 #include "obs/export.hpp"
@@ -37,6 +38,15 @@ std::string perfetto_from_sim_trace(
     return "task " + std::to_string(task);
   };
 
+  // Lifecycle lookup (task -> ready/parent) for the span-graph args.
+  std::map<TaskId, const TaskLifecycle*> lifecycle;
+  for (const auto& lc : trace.lifecycles()) lifecycle[lc.id] = &lc;
+  char num[40];
+  const auto fmt = [&](double v) {
+    std::snprintf(num, sizeof(num), "%.3f", v);
+    return std::string(num);
+  };
+
   double makespan = 0.0;
   for (const auto& seg : trace.segments()) {
     makespan = std::max(makespan, seg.end);
@@ -47,7 +57,13 @@ std::string perfetto_from_sim_trace(
     } else {
       args << seg.cls;
     }
-    args << ",\"preempted\":" << (seg.preempted ? "true" : "false") << "}";
+    args << ",\"preempted\":" << (seg.preempted ? "true" : "false")
+         << ",\"dispatched\":" << fmt(std::min(seg.dispatched, seg.start));
+    if (const auto it = lifecycle.find(seg.task); it != lifecycle.end()) {
+      args << ",\"ready\":" << fmt(it->second->ready)
+           << ",\"parent\":" << it->second->parent;
+    }
+    args << "}";
     w.complete(kPid, static_cast<int>(seg.core),
                name_of(seg.cls, seg.task), "task", seg.start,
                seg.end - seg.start, args.str());
@@ -88,6 +104,58 @@ std::string perfetto_from_sim_trace(
   }
 
   return w.finish();
+}
+
+obs::SpanGraph span_graph_from_sim_trace(
+    const TraceRecorder& trace, const core::AmcTopology& topo,
+    const std::vector<std::string>& class_names) {
+  obs::SpanGraph graph;
+  graph.exact = true;
+  graph.class_names = class_names;
+  graph.core_group.reserve(topo.total_cores());
+  graph.core_speed.reserve(topo.total_cores());
+  for (core::CoreIndex c = 0; c < topo.total_cores(); ++c) {
+    const core::GroupIndex g = topo.group_of_core(c);
+    graph.core_group.push_back(static_cast<std::uint32_t>(g));
+    graph.core_speed.push_back(topo.relative_speed(g));
+  }
+
+  std::map<TaskId, obs::TaskSpan> spans;
+  for (const auto& lc : trace.lifecycles()) {
+    obs::TaskSpan& span = spans[lc.id];
+    span.id = lc.id;
+    span.cls = lc.cls == core::kNoTaskClass
+                   ? obs::kObsNoClass
+                   : static_cast<std::uint32_t>(lc.cls);
+    span.parent = lc.parent;
+    span.ready = lc.ready;
+  }
+  for (const auto& seg : trace.segments()) {
+    obs::TaskSpan& span = spans[seg.task];
+    if (span.id == 0) {  // segment without a lifecycle (hand-built trace)
+      span.id = seg.task;
+      span.cls = seg.cls == core::kNoTaskClass
+                     ? obs::kObsNoClass
+                     : static_cast<std::uint32_t>(seg.cls);
+      span.ready = std::min(seg.dispatched, seg.start);
+    }
+    obs::SpanSlice slice;
+    slice.dispatched = std::min(seg.dispatched, seg.start);
+    slice.start = seg.start;
+    slice.end = seg.end;
+    slice.core = static_cast<std::uint32_t>(seg.core);
+    slice.preempted = seg.preempted;
+    span.slices.push_back(slice);
+    graph.makespan = std::max(graph.makespan, seg.end);
+  }
+  for (auto& [id, span] : spans) {
+    std::sort(span.slices.begin(), span.slices.end(),
+              [](const obs::SpanSlice& a, const obs::SpanSlice& b) {
+                return a.start < b.start;
+              });
+    graph.spans.push_back(std::move(span));
+  }
+  return graph;
 }
 
 }  // namespace wats::sim

@@ -9,6 +9,7 @@
 
 #include "core/topology.hpp"
 #include "obs/decision.hpp"
+#include "obs/span.hpp"
 #include "sim/trace.hpp"
 
 namespace wats::sim {
@@ -16,11 +17,21 @@ namespace wats::sim {
 /// Convert a recorded simulation trace to Chrome/Perfetto trace-event
 /// JSON: one thread track per core (labelled with its c-group and
 /// relative speed), one complete slice per execution segment (snatch-
-/// preempted segments are marked in their args), and — when decision
-/// records were collected — instants on a dedicated policy track.
+/// preempted segments are marked in their args, lifecycle fields —
+/// ready/dispatched/parent — ride along so `wats_trace analyze` can
+/// rebuild the exact span graph), and — when decision records were
+/// collected — instants on a dedicated policy track.
 std::string perfetto_from_sim_trace(
     const TraceRecorder& trace, const core::AmcTopology& topo,
     const std::vector<std::string>& class_names = {},
     const std::vector<obs::DecisionRecord>& decisions = {});
+
+/// The exact span graph of a recorded run, at full double precision (no
+/// JSON round trip) — the input of obs::analyze_spans. Virtual time maps
+/// to microseconds 1:1, matching the Perfetto export.
+obs::SpanGraph span_graph_from_sim_trace(const TraceRecorder& trace,
+                                         const core::AmcTopology& topo,
+                                         const std::vector<std::string>&
+                                             class_names = {});
 
 }  // namespace wats::sim

@@ -1,0 +1,310 @@
+// Critical-path analyzer tests: the exact-sum invariant on real sim
+// traces (fig6-class scenarios, snatch-heavy RTS runs), the JSON
+// round-trip through the Perfetto exporter, degenerate inputs, and the
+// best-effort runtime decomposition.
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "obs/analyze.hpp"
+#include "sim/experiment.hpp"
+#include "sim/trace.hpp"
+#include "sim/trace_export.hpp"
+#include "workloads/workload_model.hpp"
+
+namespace wats {
+namespace {
+
+std::vector<std::string> names_of(const workloads::BenchmarkSpec& spec) {
+  std::vector<std::string> names;
+  for (const auto& cls : spec.classes) names.push_back(cls.name);
+  return names;
+}
+
+/// One traced run -> (span graph, run stats).
+struct TracedRun {
+  sim::TraceRecorder trace;
+  sim::ExperimentResult result;
+  obs::SpanGraph graph;
+};
+
+TracedRun run_traced(const std::string& bench, const std::string& machine,
+                     sim::SchedulerKind kind) {
+  TracedRun out;
+  const auto& spec = workloads::benchmark_by_name(bench);
+  const auto topo = core::amc_by_name(machine);
+  sim::ExperimentConfig cfg;
+  cfg.repeats = 1;
+  cfg.trace = &out.trace;
+  out.result = sim::run_experiment(spec, topo, kind, cfg);
+  out.graph = sim::span_graph_from_sim_trace(out.trace, topo, names_of(spec));
+  return out;
+}
+
+void expect_exact_sum(const obs::CriticalPathReport& report,
+                      const std::string& label) {
+  EXPECT_TRUE(report.exact) << label;
+  const double tol = 1e-9 * std::max(1.0, report.makespan);
+  EXPECT_NEAR(report.components_sum(), report.makespan, tol) << label;
+  // Virtual time has no recluster stall (RCU plan publication) and no
+  // parked workers on the chain.
+  EXPECT_EQ(report.component(obs::CostComponent::kReclusterStall), 0.0)
+      << label;
+  EXPECT_EQ(report.component(obs::CostComponent::kParkWake), 0.0) << label;
+}
+
+// The acceptance invariant: on fig6-class scenarios (paper benchmarks x
+// AMC machines x schedulers) the six components sum to the makespan
+// exactly — the backward walk telescopes [0, makespan].
+TEST(Analyze, ComponentsSumToMakespanOnFig6Scenarios) {
+  for (const char* bench : {"GA", "MD5"}) {
+    for (const char* machine : {"AMC1", "AMC5"}) {
+      for (const auto kind :
+           {sim::SchedulerKind::kCilk, sim::SchedulerKind::kWats}) {
+        const auto run = run_traced(bench, machine, kind);
+        const auto report = obs::analyze_spans(run.graph);
+        const std::string label = std::string(bench) + "/" + machine;
+        expect_exact_sum(report, label);
+        EXPECT_NEAR(report.makespan, run.result.runs[0].makespan,
+                    1e-9 * run.result.runs[0].makespan)
+            << label;
+        EXPECT_EQ(report.total_tasks, run.result.runs[0].tasks_completed)
+            << label;
+        EXPECT_GE(report.critical_tasks, 1u) << label;
+        // Every executed task contributes one queue-delay sample.
+        EXPECT_EQ(report.queue_delay.count,
+                  run.result.runs[0].tasks_completed)
+            << label;
+        // Some compute must be on the chain.
+        EXPECT_GT(report.component(obs::CostComponent::kFastCompute) +
+                      report.component(obs::CostComponent::kSlowCompute),
+                  0.0)
+            << label;
+      }
+    }
+  }
+}
+
+// Snatching produces preempted slices whose end equals the thief slice's
+// dispatched time; the walk must stay exact across those edges.
+TEST(Analyze, SnatchHeavyRtsRunStaysExact) {
+  const auto run = run_traced("GA", "AMC5", sim::SchedulerKind::kRts);
+  bool any_preempted = false;
+  for (const auto& seg : run.trace.segments()) {
+    any_preempted |= seg.preempted;
+  }
+  EXPECT_TRUE(any_preempted) << "RTS on AMC5 should snatch at least once";
+  expect_exact_sum(obs::analyze_spans(run.graph), "GA/AMC5/RTS");
+}
+
+// Per-group and per-class aggregates are consistent with the components.
+TEST(Analyze, GroupAndClassAggregatesConsistent) {
+  const auto run = run_traced("GA", "AMC5", sim::SchedulerKind::kWats);
+  const auto report = obs::analyze_spans(run.graph);
+  double group_chain = 0.0;
+  for (const auto& g : report.groups) {
+    EXPECT_GT(g.cores, 0u);
+    group_chain += g.critical_compute;
+  }
+  double class_chain = 0.0;
+  std::uint64_t class_tasks = 0;
+  for (const auto& c : report.classes) {
+    class_chain += c.critical_compute;
+    class_tasks += c.tasks;
+  }
+  const double chain_compute =
+      report.component(obs::CostComponent::kFastCompute) +
+      report.component(obs::CostComponent::kSlowCompute);
+  EXPECT_NEAR(group_chain, chain_compute, 1e-9 * std::max(1.0, chain_compute));
+  EXPECT_NEAR(class_chain, chain_compute, 1e-9 * std::max(1.0, chain_compute));
+  EXPECT_EQ(class_tasks, report.total_tasks);
+}
+
+// Perfetto JSON round-trip: the exporter's slice args (task / cls /
+// dispatched / ready / parent) carry enough to rebuild the span graph;
+// the rebuilt analysis still sums exactly (timestamps are rounded to
+// 1e-3 us in the JSON, but the walk telescopes whatever it is given) and
+// stays close to the direct-graph analysis.
+TEST(Analyze, JsonRoundTripMatchesDirectAnalysis) {
+  const auto run = run_traced("GA", "AMC1", sim::SchedulerKind::kWats);
+  const auto direct = obs::analyze_spans(run.graph);
+
+  const auto& spec = workloads::benchmark_by_name("GA");
+  const auto topo = core::amc_by_name("AMC1");
+  const std::string json =
+      sim::perfetto_from_sim_trace(run.trace, topo, names_of(spec), {});
+
+  const auto result = obs::analyze_trace_json(json);
+  ASSERT_TRUE(result.ok()) << result.error;
+  const auto& report = result.report;
+  expect_exact_sum(report, "round-trip");
+  EXPECT_EQ(report.total_tasks, direct.total_tasks);
+  EXPECT_EQ(report.queue_delay.count, direct.queue_delay.count);
+  // %.3f rounding moves each edge by <= 5e-4 us; allow the accumulated
+  // drift a small fraction of the makespan.
+  const double tol = std::max(1.0, 0.01 * direct.makespan);
+  EXPECT_NEAR(report.makespan, direct.makespan, tol);
+  for (std::size_t i = 0; i < obs::kCostComponentCount; ++i) {
+    EXPECT_NEAR(report.components[i], direct.components[i], tol)
+        << obs::to_string(static_cast<obs::CostComponent>(i));
+  }
+
+  // span_graph_from_trace_json exposes the same rebuild.
+  obs::SpanGraph rebuilt;
+  std::string error;
+  ASSERT_TRUE(obs::span_graph_from_trace_json(json, &rebuilt, &error))
+      << error;
+  EXPECT_EQ(rebuilt.spans.size(), run.graph.spans.size());
+  EXPECT_TRUE(rebuilt.exact);
+}
+
+TEST(Analyze, DegenerateInputs) {
+  EXPECT_FALSE(obs::analyze_trace_json("not json at all").ok());
+  EXPECT_FALSE(obs::analyze_trace_json("{}").ok());
+  EXPECT_FALSE(obs::analyze_trace_json("{\"traceEvents\": 3}").ok());
+
+  // Empty trace: analyzable, everything zero.
+  const auto empty = obs::analyze_trace_json("{\"traceEvents\":[]}");
+  ASSERT_TRUE(empty.ok()) << empty.error;
+  EXPECT_EQ(empty.report.makespan, 0.0);
+  EXPECT_EQ(empty.report.components_sum(), 0.0);
+  EXPECT_EQ(empty.report.total_tasks, 0u);
+  EXPECT_FALSE(obs::render_report(empty.report).empty());
+}
+
+// A single-task graph, fully hand-built: each interval lands in exactly
+// the component the span-edge semantics prescribe.
+TEST(Span, SingleTaskDecomposition) {
+  obs::SpanGraph g;
+  g.exact = true;
+  g.core_group = {0, 1};
+  g.core_speed = {2.0, 1.0};
+  obs::TaskSpan task;
+  task.id = 1;
+  task.cls = 0;
+  task.parent = 0;
+  task.ready = 2.0;  // spawned at t=2
+  // Acquired at t=3 (1 us of steal latency), ran 4..10 on the fast core.
+  task.slices.push_back({3.0, 4.0, 10.0, 0, false});
+  g.spans.push_back(task);
+
+  const auto report = obs::analyze_spans(g);
+  EXPECT_TRUE(report.exact);
+  EXPECT_DOUBLE_EQ(report.makespan, 10.0);
+  EXPECT_DOUBLE_EQ(report.component(obs::CostComponent::kFastCompute), 6.0);
+  EXPECT_DOUBLE_EQ(report.component(obs::CostComponent::kSlowCompute), 0.0);
+  EXPECT_DOUBLE_EQ(report.component(obs::CostComponent::kStealMigration),
+                   1.0);
+  // [3,4) steal + [2,3) queue + [0,2) pre-spawn head -> 3 us queue wait.
+  EXPECT_DOUBLE_EQ(report.component(obs::CostComponent::kQueueWait), 3.0);
+  EXPECT_DOUBLE_EQ(report.components_sum(), 10.0);
+  EXPECT_EQ(report.critical_tasks, 1u);
+  ASSERT_EQ(report.queue_delay.count, 1u);
+  EXPECT_DOUBLE_EQ(report.queue_delay.mean, 1.0);  // ready 2 -> dispatch 3
+}
+
+// A preempted (snatched) task: victim slice end == thief slice dispatch,
+// the migration window is steal/migration, and the walk crosses the edge
+// without losing time.
+TEST(Span, SnatchEdgeDecomposition) {
+  obs::SpanGraph g;
+  g.exact = true;
+  g.core_group = {0, 1};
+  g.core_speed = {2.0, 1.0};
+  obs::TaskSpan task;
+  task.id = 1;
+  task.cls = 0;
+  task.ready = 0.0;
+  // Ran 0..5 on the slow core, snatched at 5, swap cost until 8, then
+  // finished 8..12 on the fast core.
+  task.slices.push_back({0.0, 0.0, 5.0, 1, true});
+  task.slices.push_back({5.0, 8.0, 12.0, 0, false});
+  g.spans.push_back(task);
+
+  const auto report = obs::analyze_spans(g);
+  EXPECT_DOUBLE_EQ(report.makespan, 12.0);
+  EXPECT_DOUBLE_EQ(report.component(obs::CostComponent::kFastCompute), 4.0);
+  EXPECT_DOUBLE_EQ(report.component(obs::CostComponent::kSlowCompute), 5.0);
+  EXPECT_DOUBLE_EQ(report.component(obs::CostComponent::kStealMigration),
+                   3.0);
+  EXPECT_DOUBLE_EQ(report.component(obs::CostComponent::kQueueWait), 0.0);
+  EXPECT_DOUBLE_EQ(report.components_sum(), 12.0);
+}
+
+// A parent -> child chain: the walk jumps to the spawner at `ready` and
+// keeps telescoping.
+TEST(Span, ParentChainDecomposition) {
+  obs::SpanGraph g;
+  g.exact = true;
+  g.core_group = {0};
+  g.core_speed = {1.0};
+  obs::TaskSpan parent;
+  parent.id = 1;
+  parent.ready = 0.0;
+  parent.slices.push_back({0.0, 0.0, 6.0, 0, false});
+  obs::TaskSpan child;
+  child.id = 2;
+  child.parent = 1;
+  child.ready = 4.0;  // spawned mid-parent
+  child.slices.push_back({6.0, 6.0, 9.0, 0, false});
+  g.spans.push_back(parent);
+  g.spans.push_back(child);
+
+  const auto report = obs::analyze_spans(g);
+  EXPECT_DOUBLE_EQ(report.makespan, 9.0);
+  // Chain: child compute [6,9), child queue [4,6), parent compute [0,4).
+  EXPECT_DOUBLE_EQ(report.component(obs::CostComponent::kFastCompute), 7.0);
+  EXPECT_DOUBLE_EQ(report.component(obs::CostComponent::kQueueWait), 2.0);
+  EXPECT_DOUBLE_EQ(report.components_sum(), 9.0);
+  EXPECT_EQ(report.critical_tasks, 2u);
+}
+
+// Best-effort runtime mode: per-worker busy/park/idle averaged across
+// workers sums to the wall span; queue-delay stats come from the
+// task_dispatch instants.
+TEST(Analyze, RuntimeBestEffortSumsToWallSpan) {
+  const std::string json = R"json({"traceEvents":[
+{"ph":"M","name":"process_name","pid":0,"tid":0,"args":{"name":"wats runtime"}},
+{"ph":"M","name":"thread_name","pid":0,"tid":0,"args":{"name":"worker 0 (group 0, 2.50x)"}},
+{"ph":"M","name":"thread_name","pid":0,"tid":1,"args":{"name":"worker 1 (group 1, 0.80x)"}},
+{"ph":"X","name":"md5","cat":"task","ts":0.0,"dur":40.0,"pid":0,"tid":0,"args":{"cls":0,"lane":0}},
+{"ph":"X","name":"md5","cat":"task","ts":50.0,"dur":50.0,"pid":0,"tid":0,"args":{"cls":0,"lane":0}},
+{"ph":"i","s":"t","name":"task_dispatch","cat":"sched","ts":50.0,"pid":0,"tid":0,"args":{"queue_delay_us":5.0,"cls":0}},
+{"ph":"i","s":"t","name":"park","cat":"sched","ts":20.0,"pid":0,"tid":1,"args":{"arg":1,"lane":0}},
+{"ph":"i","s":"t","name":"unpark","cat":"sched","ts":60.0,"pid":0,"tid":1,"args":{"arg":1,"lane":0}},
+{"ph":"X","name":"md5","cat":"task","ts":60.0,"dur":40.0,"pid":0,"tid":1,"args":{"cls":0,"lane":1}}
+],"displayTimeUnit":"ms"})json";
+
+  const auto result = obs::analyze_trace_json(json);
+  ASSERT_TRUE(result.ok()) << result.error;
+  const auto& report = result.report;
+  EXPECT_FALSE(report.exact);
+  EXPECT_DOUBLE_EQ(report.makespan, 100.0);
+  // Worker 0 (fast): busy 90, idle 10. Worker 1 (slow): busy 40,
+  // parked 40, idle 20. Averaged over 2 workers.
+  EXPECT_DOUBLE_EQ(report.component(obs::CostComponent::kFastCompute), 45.0);
+  EXPECT_DOUBLE_EQ(report.component(obs::CostComponent::kSlowCompute), 20.0);
+  EXPECT_DOUBLE_EQ(report.component(obs::CostComponent::kParkWake), 20.0);
+  EXPECT_DOUBLE_EQ(report.component(obs::CostComponent::kQueueWait), 15.0);
+  EXPECT_NEAR(report.components_sum(), report.makespan, 1e-9);
+  EXPECT_EQ(report.total_tasks, 3u);
+  ASSERT_EQ(report.queue_delay.count, 1u);
+  EXPECT_DOUBLE_EQ(report.queue_delay.mean, 5.0);
+  EXPECT_FALSE(obs::render_report(report).empty());
+}
+
+// The renderer mentions every component and the sum line (CLI contract).
+TEST(Analyze, RenderReportMentionsComponents) {
+  const auto run = run_traced("MD5", "AMC1", sim::SchedulerKind::kWats);
+  const auto text = obs::render_report(obs::analyze_spans(run.graph));
+  for (const char* needle :
+       {"fast-core compute", "slow-core compute", "queue wait",
+        "steal/migration", "recluster stall", "park/wake", "sum",
+        "queue delay", "per task class", "per c-group"}) {
+    EXPECT_NE(text.find(needle), std::string::npos) << needle << "\n"
+                                                    << text;
+  }
+}
+
+}  // namespace
+}  // namespace wats

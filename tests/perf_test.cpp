@@ -1,0 +1,175 @@
+// Tests for the noise-aware perf harness (obs/perf.hpp): JSON round-trip,
+// direction-aware banded comparison, best-of-repeats noise rejection, the
+// slack multiplier, and the wats_metrics/1 JSON renderer.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <cmath>
+
+#include "obs/metrics.hpp"
+#include "obs/perf.hpp"
+
+namespace wats::obs {
+namespace {
+
+PerfReport sample_report() {
+  PerfReport r;
+  r.probe = "test probe";
+  r.repeats = 3;
+  r.metrics = {
+      {"steal_latency_ns_p99", "ns", false, 0.75, {900.0, 850.0, 910.0}},
+      {"ns_per_completion", "ns", false, 0.35, {120.0, 118.0, 125.0}},
+      {"sim_events_per_sec", "1/s", true, 0.35, {2.0e6, 2.2e6, 2.1e6}},
+  };
+  return r;
+}
+
+TEST(Perf, BestOfRepeatsByDirection) {
+  const auto r = sample_report();
+  EXPECT_DOUBLE_EQ(r.metrics[0].best(), 850.0);   // lower is better -> min
+  EXPECT_DOUBLE_EQ(r.metrics[2].best(), 2.2e6);   // higher is better -> max
+  EXPECT_DOUBLE_EQ(PerfMetric{}.best(), 0.0);     // empty -> 0
+}
+
+TEST(Perf, JsonRoundTrip) {
+  const auto original = sample_report();
+  const std::string json = render_perf_json(original);
+  EXPECT_NE(json.find("wats_perf/1"), std::string::npos);
+
+  PerfReport parsed;
+  std::string error;
+  ASSERT_TRUE(parse_perf_json(json, &parsed, &error)) << error;
+  EXPECT_EQ(parsed.probe, original.probe);
+  EXPECT_EQ(parsed.repeats, original.repeats);
+  ASSERT_EQ(parsed.metrics.size(), original.metrics.size());
+  for (std::size_t i = 0; i < parsed.metrics.size(); ++i) {
+    EXPECT_EQ(parsed.metrics[i].name, original.metrics[i].name);
+    EXPECT_EQ(parsed.metrics[i].unit, original.metrics[i].unit);
+    EXPECT_EQ(parsed.metrics[i].higher_is_better,
+              original.metrics[i].higher_is_better);
+    EXPECT_NEAR(parsed.metrics[i].rel_threshold,
+                original.metrics[i].rel_threshold, 1e-9);
+    ASSERT_EQ(parsed.metrics[i].values.size(),
+              original.metrics[i].values.size());
+    for (std::size_t j = 0; j < parsed.metrics[i].values.size(); ++j) {
+      const double v = original.metrics[i].values[j];
+      EXPECT_NEAR(parsed.metrics[i].values[j], v,
+                  1e-5 * std::max(1.0, std::abs(v)));
+    }
+  }
+}
+
+TEST(Perf, ParseRejectsBadInput) {
+  PerfReport r;
+  std::string error;
+  EXPECT_FALSE(parse_perf_json("not json", &r, &error));
+  EXPECT_FALSE(parse_perf_json("{\"schema\": \"other/1\"}", &r, &error));
+  EXPECT_NE(error.find("schema"), std::string::npos);
+  EXPECT_FALSE(
+      parse_perf_json("{\"schema\": \"wats_perf/1\"}", &r, &error));
+}
+
+TEST(Perf, IdenticalRunsPass) {
+  const auto r = sample_report();
+  const auto diff = diff_perf(r, r, 1.0);
+  EXPECT_FALSE(diff.regression);
+  for (const auto& d : diff.deltas) {
+    EXPECT_FALSE(d.regressed) << d.name;
+    EXPECT_FALSE(d.missing) << d.name;
+    EXPECT_DOUBLE_EQ(d.rel_change, 0.0) << d.name;
+  }
+}
+
+// The acceptance criterion: an injected 2x slowdown must flag, on both
+// lower-is-better and higher-is-better metrics (every band is < 1.0).
+TEST(Perf, TwoXSlowdownFlags) {
+  const auto base = sample_report();
+  auto slow = base;
+  for (auto& m : slow.metrics) {
+    for (auto& v : m.values) v = m.higher_is_better ? v / 2.0 : v * 2.0;
+  }
+  const auto diff = diff_perf(base, slow, 1.0);
+  EXPECT_TRUE(diff.regression);
+  for (const auto& d : diff.deltas) {
+    EXPECT_TRUE(d.regressed) << d.name;
+    EXPECT_GT(d.rel_change, d.allowed) << d.name;
+  }
+  // The other direction never regresses. Note the asymmetry: a 2x
+  // speedup on a lower-is-better metric is rel_change -0.5, which stays
+  // inside a 0.75 band ("ok"), while the 2x slowdown was +1.0 (flagged).
+  const auto inverse = diff_perf(slow, base, 1.0);
+  EXPECT_FALSE(inverse.regression);
+  for (const auto& d : inverse.deltas) {
+    EXPECT_FALSE(d.regressed) << d.name;
+    EXPECT_LT(d.rel_change, 0.0) << d.name;
+    if (d.allowed < 0.5) EXPECT_TRUE(d.improved) << d.name;
+  }
+}
+
+// Best-of-repeats absorbs one-off spikes: a current run whose BEST repeat
+// matches the baseline passes even when its other repeats are terrible.
+TEST(Perf, BestOfRepeatsRejectsSpikes) {
+  PerfReport base;
+  base.metrics = {{"lat", "ns", false, 0.10, {100.0, 102.0}}};
+  PerfReport current;
+  current.metrics = {{"lat", "ns", false, 0.10, {350.0, 104.0}}};
+  const auto diff = diff_perf(base, current, 1.0);
+  EXPECT_FALSE(diff.regression);
+  EXPECT_NEAR(diff.deltas[0].rel_change, 0.04, 1e-9);
+}
+
+TEST(Perf, SlackWidensBands) {
+  PerfReport base;
+  base.metrics = {{"lat", "ns", false, 0.50, {100.0}}};
+  PerfReport current;
+  current.metrics = {{"lat", "ns", false, 0.50, {160.0}}};  // +60%
+  EXPECT_TRUE(diff_perf(base, current, 1.0).regression);
+  EXPECT_FALSE(diff_perf(base, current, 2.0).regression);
+}
+
+TEST(Perf, MissingMetricsNeverRegress) {
+  auto base = sample_report();
+  auto current = sample_report();
+  current.metrics.erase(current.metrics.begin());  // dropped in current
+  current.metrics.push_back({"new_metric", "ns", false, 0.1, {5.0}});
+  const auto diff = diff_perf(base, current, 1.0);
+  EXPECT_FALSE(diff.regression);
+  std::size_t missing = 0;
+  for (const auto& d : diff.deltas) missing += d.missing ? 1 : 0;
+  EXPECT_EQ(missing, 2u);  // the dropped one and the new one
+}
+
+TEST(Perf, RenderDiffShowsVerdicts) {
+  const auto base = sample_report();
+  auto slow = base;
+  for (auto& v : slow.metrics[0].values) v *= 10.0;
+  const auto text = render_perf_diff(diff_perf(base, slow, 1.0));
+  EXPECT_NE(text.find("REGRESSED"), std::string::npos);
+  EXPECT_NE(text.find("regression detected"), std::string::npos);
+  const auto ok_text = render_perf_diff(diff_perf(base, base, 1.0));
+  EXPECT_NE(ok_text.find("no regression"), std::string::npos);
+}
+
+// The wats_metrics/1 renderer (runtime --json satellite): counters,
+// gauges and histograms with p50/p99/p999 appear in the document.
+TEST(Perf, MetricsRegistryJson) {
+  MetricsRegistry reg;
+  reg.counter("tasks_executed").set(42);
+  reg.set_gauge("placement_accuracy", 0.875);
+  auto& h = reg.histogram("queue_delay_ns");
+  for (std::uint64_t v : {100u, 200u, 400u, 800u, 1600u}) h.record(v);
+
+  const std::string json = render_json(reg.snapshot());
+  for (const char* needle :
+       {"wats_metrics/1", "\"tasks_executed\": 42", "placement_accuracy",
+        "0.875000", "queue_delay_ns", "\"count\": 5", "\"p50\"", "\"p99\"",
+        "\"p999\"", "\"max\": 1600"}) {
+    EXPECT_NE(json.find(needle), std::string::npos) << needle << "\n"
+                                                    << json;
+  }
+  // And the text renderer now reports p999 too.
+  EXPECT_NE(render_text(reg.snapshot()).find("p999<="), std::string::npos);
+}
+
+}  // namespace
+}  // namespace wats::obs

@@ -1,0 +1,115 @@
+// Tests for the factored wats_trace subcommand logic (obs/trace_ops.hpp):
+// summarize tallies + the ring-loss warning, multi-input merge with
+// per-input pids, and convert's timestamp normalization.
+#include <gtest/gtest.h>
+
+#include "obs/json.hpp"
+#include "obs/trace_ops.hpp"
+
+namespace wats::obs {
+namespace {
+
+const char* kSimTrace = R"json({"traceEvents":[
+{"ph":"M","name":"process_name","pid":0,"tid":0,"args":{"name":"wats simulator (AMC1)"}},
+{"ph":"M","name":"thread_name","pid":0,"tid":0,"args":{"name":"core 0 (group 0, 2.00x)"}},
+{"ph":"X","name":"ga","cat":"task","ts":1000.0,"dur":5.0,"pid":0,"tid":0,"args":{"task":1,"cls":0}},
+{"ph":"X","name":"ga","cat":"task","ts":1010.0,"dur":7.5,"pid":0,"tid":0,"args":{"task":2,"cls":0}},
+{"ph":"i","s":"t","name":"steal_success","cat":"sched","ts":1009.0,"pid":0,"tid":0,"args":{"victim":1}}
+],"displayTimeUnit":"ms"})json";
+
+const char* kRuntimeTrace = R"json({"traceEvents":[
+{"ph":"M","name":"process_name","pid":0,"tid":0,"args":{"name":"wats runtime"}},
+{"ph":"M","name":"thread_name","pid":0,"tid":0,"args":{"name":"worker 0 (group 0, 2.50x)"}},
+{"ph":"X","name":"md5","cat":"task","ts":0.0,"dur":12.0,"pid":0,"tid":0,"args":{"cls":1,"lane":0}},
+{"ph":"i","s":"t","name":"events_dropped","cat":"meta","ts":0.0,"pid":0,"tid":0,"args":{"dropped":37,"emitted":4133}}
+],"displayTimeUnit":"ms"})json";
+
+TEST(TraceOps, SummarizeCountsEventsAndTracks) {
+  TraceSummary s;
+  std::string error;
+  ASSERT_TRUE(summarize_trace(kSimTrace, &s, &error)) << error;
+  EXPECT_EQ(s.events, 5u);
+  EXPECT_EQ(s.slices, 2u);
+  EXPECT_EQ(s.instants, 1u);
+  EXPECT_EQ(s.metadata, 2u);
+  EXPECT_DOUBLE_EQ(s.t_min_us, 1000.0);
+  EXPECT_DOUBLE_EQ(s.t_max_us, 1017.5);
+  ASSERT_EQ(s.tracks.size(), 1u);
+  EXPECT_EQ(s.tracks[0].name, "core 0 (group 0, 2.00x)");
+  EXPECT_EQ(s.tracks[0].slices, 2u);
+  EXPECT_DOUBLE_EQ(s.tracks[0].busy_us, 12.5);
+  EXPECT_FALSE(s.lossy());
+  EXPECT_EQ(render_summary(s, "x").find("WARNING"), std::string::npos);
+}
+
+TEST(TraceOps, SummarizeWarnsOnLossyTrace) {
+  TraceSummary s;
+  std::string error;
+  ASSERT_TRUE(summarize_trace(kRuntimeTrace, &s, &error)) << error;
+  EXPECT_TRUE(s.lossy());
+  EXPECT_EQ(s.events_dropped, 37u);
+  EXPECT_EQ(s.lossy_rings, 1u);
+  const std::string text = render_summary(s, "lossy.json");
+  EXPECT_NE(text.find("WARNING"), std::string::npos);
+  EXPECT_NE(text.find("37"), std::string::npos);
+  EXPECT_NE(text.find("under-report"), std::string::npos);
+}
+
+TEST(TraceOps, SummarizeRejectsNonTraceInput) {
+  TraceSummary s;
+  std::string error;
+  EXPECT_FALSE(summarize_trace("plainly not json", &s, &error));
+  EXPECT_FALSE(error.empty());
+  EXPECT_FALSE(summarize_trace("{\"other\": 1}", &s, &error));
+  EXPECT_NE(error.find("traceEvents"), std::string::npos);
+}
+
+TEST(TraceOps, MergeAssignsOnePidPerInput) {
+  std::string error;
+  const std::string merged = merge_traces({kSimTrace, kRuntimeTrace}, &error);
+  ASSERT_FALSE(merged.empty()) << error;
+
+  TraceSummary s;
+  ASSERT_TRUE(summarize_trace(merged, &s, &error)) << error;
+  EXPECT_EQ(s.events, 9u);  // 5 + 4, nothing dropped or duplicated
+  EXPECT_EQ(s.slices, 3u);
+
+  // Every event of input 0 has pid 0, input 1 pid 1.
+  const auto doc = parse_json(merged, &error);
+  ASSERT_NE(doc, nullptr) << error;
+  const auto& events = doc->find("traceEvents")->as_array();
+  std::size_t pid0 = 0, pid1 = 0;
+  for (const auto& e : events) {
+    const int pid = static_cast<int>(e.number_or("pid", -1.0));
+    pid0 += pid == 0 ? 1 : 0;
+    pid1 += pid == 1 ? 1 : 0;
+  }
+  EXPECT_EQ(pid0, 5u);
+  EXPECT_EQ(pid1, 4u);
+
+  // A malformed input aborts the merge.
+  EXPECT_TRUE(merge_traces({kSimTrace, "nope"}, &error).empty());
+}
+
+TEST(TraceOps, ConvertNormalizesTimestampsToZero) {
+  std::string error;
+  const std::string converted = convert_trace(kSimTrace, &error);
+  ASSERT_FALSE(converted.empty()) << error;
+
+  TraceSummary s;
+  ASSERT_TRUE(summarize_trace(converted, &s, &error)) << error;
+  EXPECT_EQ(s.events, 5u);
+  EXPECT_DOUBLE_EQ(s.t_min_us, 0.0);
+  EXPECT_DOUBLE_EQ(s.t_max_us, 17.5);
+
+  // Converting an already-normalized trace is a fixed point.
+  const std::string again = convert_trace(converted, &error);
+  TraceSummary s2;
+  ASSERT_TRUE(summarize_trace(again, &s2, &error)) << error;
+  EXPECT_EQ(s2.events, s.events);
+  EXPECT_DOUBLE_EQ(s2.t_min_us, 0.0);
+  EXPECT_DOUBLE_EQ(s2.t_max_us, s.t_max_us);
+}
+
+}  // namespace
+}  // namespace wats::obs

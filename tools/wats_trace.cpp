@@ -4,6 +4,12 @@
 //
 // Subcommands (first positional argument):
 //   summarize <trace.json>            per-track busy time + event counts
+//                                     (warns when the rings dropped events)
+//   analyze <trace.json>              critical-path latency attribution:
+//                                     makespan decomposed into compute /
+//                                     queue wait / steal / stall components
+//                                     (exact on sim traces, best-effort on
+//                                     runtime traces)
 //   merge <a.json> <b.json> ...       one file, one pid per input
 //   convert <trace.json>              parse, validate, re-emit normalized
 //   replay-export <trace.json>        scenario file replaying the trace's
@@ -11,23 +17,23 @@
 //                                     --file=...; --name= and --machine=
 //                                     override the defaults)
 // Common flags: --out=<file> (default stdout for merge/convert/replay).
-#include <algorithm>
+//
+// The summarize/merge/convert/analyze logic lives in obs::trace_ops and
+// obs::analyze so the test suite covers it without spawning this binary.
 #include <cstdio>
 #include <fstream>
-#include <map>
 #include <sstream>
 #include <string>
 #include <vector>
 
-#include "obs/json.hpp"
+#include "obs/analyze.hpp"
+#include "obs/trace_ops.hpp"
 #include "scenario/parse.hpp"
 #include "scenario/replay.hpp"
 #include "util/args.hpp"
 #include "util/check.hpp"
 
 namespace {
-
-using wats::obs::JsonValue;
 
 std::string read_file(const std::string& path) {
   std::ifstream in(path, std::ios::binary);
@@ -47,303 +53,52 @@ void write_output(const std::string& out_path, const std::string& text) {
   out << text;
 }
 
-std::unique_ptr<JsonValue> parse_trace(const std::string& path) {
-  std::string error;
-  auto doc = wats::obs::parse_json(read_file(path), &error);
-  if (!doc) {
-    std::fprintf(stderr, "%s: JSON parse error: %s\n", path.c_str(),
-                 error.c_str());
-    std::exit(1);
-  }
-  if (doc->find("traceEvents") == nullptr ||
-      doc->find("traceEvents")->type() != JsonValue::Type::kArray) {
-    std::fprintf(stderr, "%s: not a trace-event file (no traceEvents)\n",
-                 path.c_str());
-    std::exit(1);
-  }
-  return doc;
-}
-
-std::string json_escape(const std::string& text) {
-  std::string out;
-  out.reserve(text.size());
-  for (const char c : text) {
-    switch (c) {
-      case '"':
-        out += "\\\"";
-        break;
-      case '\\':
-        out += "\\\\";
-        break;
-      case '\n':
-        out += "\\n";
-        break;
-      case '\t':
-        out += "\\t";
-        break;
-      case '\r':
-        out += "\\r";
-        break;
-      default:
-        if (static_cast<unsigned char>(c) < 0x20) {
-          char buf[8];
-          std::snprintf(buf, sizeof(buf), "\\u%04x",
-                        static_cast<unsigned>(static_cast<unsigned char>(c)));
-          out += buf;
-        } else {
-          out.push_back(c);
-        }
-    }
-  }
-  return out;
-}
-
-/// Re-serialize a parsed value (numbers print with up-to-µs precision —
-/// enough for trace timestamps, which the exporters write with 3 decimal
-/// digits to begin with).
-void render(const JsonValue& v, std::string& out) {
-  switch (v.type()) {
-    case JsonValue::Type::kNull:
-      out += "null";
-      break;
-    case JsonValue::Type::kBool:
-      out += v.as_bool() ? "true" : "false";
-      break;
-    case JsonValue::Type::kNumber: {
-      char buf[40];
-      const double n = v.as_number();
-      if (n == static_cast<double>(static_cast<long long>(n))) {
-        std::snprintf(buf, sizeof(buf), "%lld",
-                      static_cast<long long>(n));
-      } else {
-        std::snprintf(buf, sizeof(buf), "%.3f", n);
-      }
-      out += buf;
-      break;
-    }
-    case JsonValue::Type::kString:
-      out += '"';
-      out += json_escape(v.as_string());
-      out += '"';
-      break;
-    case JsonValue::Type::kArray: {
-      out += '[';
-      const auto& items = v.as_array();
-      for (std::size_t i = 0; i < items.size(); ++i) {
-        if (i > 0) out += ',';
-        render(items[i], out);
-      }
-      out += ']';
-      break;
-    }
-    case JsonValue::Type::kObject: {
-      out += '{';
-      const auto& members = v.members();
-      for (std::size_t i = 0; i < members.size(); ++i) {
-        if (i > 0) out += ',';
-        out += '"';
-        out += json_escape(members[i].first);
-        out += "\":";
-        render(members[i].second, out);
-      }
-      out += '}';
-      break;
-    }
-  }
-}
-
-/// Render one event, overriding its pid (merge assigns one pid per input).
-void render_event(const JsonValue& event, int pid_override,
-                  std::string& out) {
-  out += '{';
-  bool first = true;
-  bool saw_pid = false;
-  for (const auto& [key, value] : event.members()) {
-    if (!first) out += ',';
-    first = false;
-    out += '"';
-    out += json_escape(key);
-    out += "\":";
-    if (key == "pid" && pid_override >= 0) {
-      out += std::to_string(pid_override);
-      saw_pid = true;
-    } else {
-      render(value, out);
-    }
-  }
-  if (!saw_pid && pid_override >= 0) {
-    if (!first) out += ',';
-    out += "\"pid\":" + std::to_string(pid_override);
-  }
-  out += '}';
-}
-
 int cmd_summarize(const std::string& path) {
-  const auto doc = parse_trace(path);
-  const auto& events = doc->find("traceEvents")->as_array();
+  wats::obs::TraceSummary summary;
+  std::string error;
+  if (!wats::obs::summarize_trace(read_file(path), &summary, &error)) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+    return 1;
+  }
+  std::fputs(wats::obs::render_summary(summary, path).c_str(), stdout);
+  return 0;
+}
 
-  std::size_t slices = 0;
-  std::size_t instants = 0;
-  std::size_t metadata = 0;
-  double t_min = 0.0;
-  double t_max = 0.0;
-  bool any_ts = false;
-  std::map<int, std::string> track_names;  // tid -> label
-  std::map<int, double> track_busy_us;
-  std::map<int, std::size_t> track_slices;
-  std::map<std::string, std::size_t> by_name;
-  // Plan-churn tallies (plan_publish / plan_skip instants).
-  std::size_t plan_publishes = 0;
-  std::size_t plan_skips_identical = 0;
-  std::size_t plan_skips_churn = 0;
-  std::size_t plan_moved_total = 0;
-  std::size_t plan_moved_max = 0;
-  double plan_last_epoch = 0.0;
-
-  for (const auto& e : events) {
-    const std::string ph = e.string_or("ph", "");
-    const int tid = static_cast<int>(e.number_or("tid", 0));
-    if (ph == "M") {
-      ++metadata;
-      if (e.string_or("name", "") == "thread_name") {
-        if (const auto* args = e.find("args")) {
-          track_names[tid] = args->string_or("name", "");
-        }
-      }
-      continue;
-    }
-    const double ts = e.number_or("ts", 0.0);
-    const double dur = e.number_or("dur", 0.0);
-    if (!any_ts || ts < t_min) t_min = ts;
-    if (!any_ts || ts + dur > t_max) t_max = ts + dur;
-    any_ts = true;
-    const std::string name = e.string_or("name", "?");
-    ++by_name[name];
-    if (name == "plan_publish" || name == "plan_skip") {
-      const auto* args = e.find("args");
-      if (name == "plan_publish") {
-        ++plan_publishes;
-        const auto moved = static_cast<std::size_t>(
-            args != nullptr ? args->number_or("moved", 0.0) : 0.0);
-        plan_moved_total += moved;
-        plan_moved_max = std::max(plan_moved_max, moved);
-      } else if (args != nullptr &&
-                 args->string_or("reason", "") == "churn") {
-        ++plan_skips_churn;
-      } else {
-        ++plan_skips_identical;
-      }
-      if (args != nullptr) {
-        plan_last_epoch = std::max(plan_last_epoch,
-                                   args->number_or("epoch", 0.0));
-      }
-    }
-    if (ph == "X") {
-      ++slices;
-      track_busy_us[tid] += dur;
-      ++track_slices[tid];
-    } else {
-      ++instants;
-    }
+int cmd_analyze(const std::string& path) {
+  const auto result = wats::obs::analyze_trace_json(read_file(path));
+  if (!result.ok()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), result.error.c_str());
+    return 1;
   }
-
-  std::printf("%s: %zu events (%zu slices, %zu instants, %zu metadata)\n",
-              path.c_str(), events.size(), slices, instants, metadata);
-  if (any_ts) {
-    std::printf("span: %.3f ms\n", (t_max - t_min) / 1000.0);
-  }
-  if (!track_busy_us.empty()) {
-    std::printf("tracks:\n");
-    for (const auto& [tid, busy] : track_busy_us) {
-      const auto it = track_names.find(tid);
-      std::printf("  %-28s %6zu slices, busy %10.3f us\n",
-                  it != track_names.end() ? it->second.c_str()
-                                          : ("tid " + std::to_string(tid))
-                                                .c_str(),
-                  track_slices[tid], busy);
-    }
-  }
-  if (plan_publishes + plan_skips_identical + plan_skips_churn > 0) {
-    std::printf("plan churn:\n");
-    std::printf("  publishes                    %zu (last epoch %.0f)\n",
-                plan_publishes, plan_last_epoch);
-    std::printf("  skips                        %zu identical, %zu churn\n",
-                plan_skips_identical, plan_skips_churn);
-    if (plan_publishes > 0) {
-      std::printf(
-          "  classes moved per publish    mean %.1f, max %zu\n",
-          static_cast<double>(plan_moved_total) /
-              static_cast<double>(plan_publishes),
-          plan_moved_max);
-    }
-  }
-  std::printf("event counts by name:\n");
-  std::vector<std::pair<std::string, std::size_t>> sorted(by_name.begin(),
-                                                          by_name.end());
-  std::sort(sorted.begin(), sorted.end(), [](const auto& a, const auto& b) {
-    return a.second > b.second;
-  });
-  for (const auto& [name, count] : sorted) {
-    std::printf("  %-28s %zu\n", name.c_str(), count);
-  }
+  std::printf("%s:\n%s", path.c_str(),
+              wats::obs::render_report(result.report).c_str());
   return 0;
 }
 
 int cmd_merge(const std::vector<std::string>& paths,
               const std::string& out_path) {
-  std::string out = "{\"traceEvents\":[";
-  bool first = true;
-  for (std::size_t i = 0; i < paths.size(); ++i) {
-    const auto doc = parse_trace(paths[i]);
-    for (const auto& e : doc->find("traceEvents")->as_array()) {
-      if (!first) out += ",\n";
-      first = false;
-      render_event(e, static_cast<int>(i), out);
-    }
+  std::vector<std::string> texts;
+  texts.reserve(paths.size());
+  for (const auto& p : paths) texts.push_back(read_file(p));
+  std::string error;
+  const std::string merged = wats::obs::merge_traces(texts, &error);
+  if (merged.empty()) {
+    std::fprintf(stderr, "merge: %s\n", error.c_str());
+    return 1;
   }
-  out += "],\"displayTimeUnit\":\"ms\"}\n";
-  write_output(out_path, out);
+  write_output(out_path, merged);
   return 0;
 }
 
 int cmd_convert(const std::string& path, const std::string& out_path) {
-  const auto doc = parse_trace(path);
-  const auto& events = doc->find("traceEvents")->as_array();
-  // Normalize: shift timestamps so the earliest is 0 (merging traces from
-  // different epochs by hand becomes feasible after this).
-  double t_min = 0.0;
-  bool any = false;
-  for (const auto& e : events) {
-    if (e.string_or("ph", "") == "M") continue;
-    const double ts = e.number_or("ts", 0.0);
-    if (!any || ts < t_min) t_min = ts;
-    any = true;
+  std::string error;
+  const std::string converted =
+      wats::obs::convert_trace(read_file(path), &error);
+  if (converted.empty()) {
+    std::fprintf(stderr, "%s: %s\n", path.c_str(), error.c_str());
+    return 1;
   }
-  std::string out = "{\"traceEvents\":[";
-  bool first = true;
-  for (const auto& e : events) {
-    if (!first) out += ",\n";
-    first = false;
-    out += '{';
-    bool first_key = true;
-    for (const auto& [key, value] : e.members()) {
-      if (!first_key) out += ',';
-      first_key = false;
-      out += '"';
-      out += json_escape(key);
-      out += "\":";
-      if (key == "ts" && e.string_or("ph", "") != "M") {
-        char buf[40];
-        std::snprintf(buf, sizeof(buf), "%.3f", value.as_number() - t_min);
-        out += buf;
-      } else {
-        render(value, out);
-      }
-    }
-    out += '}';
-  }
-  out += "],\"displayTimeUnit\":\"ms\"}\n";
-  write_output(out_path, out);
+  write_output(out_path, converted);
   return 0;
 }
 
@@ -374,7 +129,8 @@ int cmd_replay_export(const std::string& path, const std::string& name,
 
 void usage() {
   std::fprintf(stderr,
-               "usage: wats_trace <summarize|merge|convert|replay-export>"
+               "usage: wats_trace "
+               "<summarize|analyze|merge|convert|replay-export>"
                " <trace.json...> [--out=FILE]"
                " [--name=SCENARIO] [--machine=AMC5]\n");
 }
@@ -392,6 +148,9 @@ int main(int argc, char** argv) {
   const std::string out = args.value_or("out", "");
   if (cmd == "summarize" && pos.size() == 2) {
     return cmd_summarize(pos[1]);
+  }
+  if (cmd == "analyze" && pos.size() == 2) {
+    return cmd_analyze(pos[1]);
   }
   if (cmd == "merge" && pos.size() >= 2) {
     return cmd_merge({pos.begin() + 1, pos.end()}, out);
