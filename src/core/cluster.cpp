@@ -24,6 +24,12 @@ ClusterMap::ClusterMap(std::size_t class_count, std::size_t group_count)
   WATS_CHECK(group_count > 0);
 }
 
+ClusterMap::ClusterMap(std::vector<GroupIndex> assignment,
+                       std::size_t group_count)
+    : assignment_(std::move(assignment)), group_count_(group_count) {
+  WATS_CHECK(group_count > 0);
+}
+
 GroupIndex ClusterMap::cluster_of(TaskClassId id) const {
   if (id == kNoTaskClass || id >= assignment_.size()) return 0;
   return assignment_[id];

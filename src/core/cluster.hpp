@@ -41,6 +41,11 @@ class ClusterMap {
   /// rule for classes with no history.
   ClusterMap(std::size_t class_count, std::size_t group_count);
 
+  /// Adopt a fully materialized class->cluster assignment (indexed by
+  /// class id). The incremental plan repairer builds its assignment
+  /// without going through a registry snapshot and wraps it here.
+  ClusterMap(std::vector<GroupIndex> assignment, std::size_t group_count);
+
   /// Cluster of a class; classes interned after this map was built (id out
   /// of range) and kNoTaskClass go to cluster 0, per §III-A ("if there is
   /// no task class for f, gamma is allocated to the fastest c-group C1").

@@ -11,22 +11,32 @@ PartitionPlan build_partition_plan(const std::vector<TaskClassInfo>& classes,
                                    const AmcTopology& topo,
                                    ClusterAlgorithm algorithm,
                                    const PartitionPlan* previous) {
-  PartitionPlan plan;
-  plan.epoch = previous == nullptr ? 1 : previous->epoch + 1;
-  plan.algorithm = algorithm;
-  plan.map = ClusterMap::build(classes, topo, algorithm);
-
   // Evaluate the assignment over ALL classes: classes without history
   // carry zero weight (they sit in group 0 under every plan), so they
   // influence neither the finish times nor the diff.
   std::vector<double> weights(classes.size(), 0.0);
-  double total = 0.0;
   for (std::size_t i = 0; i < classes.size(); ++i) {
-    if (classes[i].completed > 0) {
-      weights[i] = classes[i].total_workload();
-      total += weights[i];
-    }
+    if (classes[i].completed > 0) weights[i] = classes[i].total_workload();
   }
+  return evaluate_partition_plan(ClusterMap::build(classes, topo, algorithm),
+                                 weights, topo, algorithm, previous);
+}
+
+PartitionPlan evaluate_partition_plan(ClusterMap map,
+                                      const std::vector<double>& weights,
+                                      const AmcTopology& topo,
+                                      ClusterAlgorithm algorithm,
+                                      const PartitionPlan* previous) {
+  PartitionPlan plan;
+  plan.epoch = previous == nullptr ? 1 : previous->epoch + 1;
+  plan.algorithm = algorithm;
+  plan.map = std::move(map);
+
+  // Zero weights add exactly (x + 0.0 == x for the non-negative weights
+  // here), so summing the full id-indexed vector in ascending order is
+  // bit-identical to summing only the classes with history.
+  double total = 0.0;
+  for (const double w : weights) total += w;
   plan.group_finish =
       assignment_finish_times(weights, plan.map.assignment(), topo);
   plan.lower_bound = makespan_lower_bound(total, topo);
@@ -41,19 +51,32 @@ PartitionPlan build_partition_plan(const std::vector<TaskClassInfo>& classes,
   // Diff vs the previous plan, through the same lookup a reader uses:
   // ids beyond the old map resolve to group 0 (§III-A's unknown-class
   // rule), so a new class assigned to group 0 is NOT a move — publishing
-  // would not change where its tasks go.
-  std::vector<GroupIndex> stale(classes.size(), 0);
-  for (std::size_t id = 0; id < classes.size(); ++id) {
-    stale[id] = previous == nullptr
-                    ? 0
-                    : previous->map.cluster_of(static_cast<TaskClassId>(id));
-    if (stale[id] != plan.map.assignment()[id]) {
+  // would not change where its tasks go. The stale loads accumulate in
+  // the same ascending-id order assignment_finish_times would use, so
+  // stale_makespan stays bit-identical to materializing the stale
+  // assignment and re-walking it (while saving that O(m) pass — this
+  // runs on the recluster hot path at 10k classes).
+  const std::vector<GroupIndex>* prev_assign =
+      previous == nullptr ? nullptr : &previous->map.assignment();
+  const auto& cur_assign = plan.map.assignment();
+  std::vector<double> stale_load(topo.group_count(), 0.0);
+  for (std::size_t id = 0; id < weights.size(); ++id) {
+    const GroupIndex stale_g =
+        prev_assign != nullptr && id < prev_assign->size() ? (*prev_assign)[id]
+                                                           : 0;
+    stale_load[stale_g] += weights[id];
+    if (stale_g != cur_assign[id]) {
       ++plan.diff.classes_moved;
       plan.diff.weight_moved += weights[id];
     }
   }
   plan.diff.assignment_identical = plan.diff.classes_moved == 0;
-  plan.diff.stale_makespan = assignment_makespan(weights, stale, topo);
+  double stale_makespan = 0.0;
+  for (GroupIndex g = 0; g < topo.group_count(); ++g) {
+    stale_makespan =
+        std::max(stale_makespan, stale_load[g] / topo.group_capacity(g));
+  }
+  plan.diff.stale_makespan = weights.empty() ? 0.0 : stale_makespan;
   return plan;
 }
 

@@ -85,6 +85,19 @@ PartitionPlan build_partition_plan(const std::vector<TaskClassInfo>& classes,
                                    ClusterAlgorithm algorithm,
                                    const PartitionPlan* previous);
 
+/// Evaluate a finished assignment into a full PartitionPlan: finish
+/// times, TL, makespan/ratio, and the diff vs `previous`. `weights` is
+/// the per-class n*w vector indexed by class id (zero for classes with
+/// no history). Shared by build_partition_plan and the incremental
+/// repairer (core/repair.hpp) so both paths run the IDENTICAL
+/// floating-point loops — the bit-exactness guarantee of the repair path
+/// rests on this function being the single evaluator.
+PartitionPlan evaluate_partition_plan(ClusterMap map,
+                                      const std::vector<double>& weights,
+                                      const AmcTopology& topo,
+                                      ClusterAlgorithm algorithm,
+                                      const PartitionPlan* previous);
+
 /// Does `gate` allow publishing `candidate`? (Pure; the policy kernel
 /// calls this under its rebuild lock.)
 bool plan_gate_allows(const PlanGate& gate, const PartitionPlan& candidate);

@@ -20,6 +20,7 @@
 
 #include "core/cluster.hpp"
 #include "core/partition_plan.hpp"
+#include "core/repair.hpp"
 #include "core/policy/view.hpp"
 #include "core/task_class.hpp"
 #include "core/topology.hpp"
@@ -67,6 +68,11 @@ struct PolicyOptions {
   /// tighten max_classes_moved / min_rel_improvement for churn
   /// hysteresis under live history drift.
   PlanGate plan_gate;
+  /// Incremental plan repair (core/repair.hpp): recluster ticks start
+  /// from the previous plan's maintained class order instead of paying a
+  /// snapshot + full sort. Bit-exact on every path, so the default is on;
+  /// disable for honest full-rebuild latency baselines.
+  PlanRepairConfig plan_repair;
   /// Automatic fallback to plain stealing for divide-and-conquer programs
   /// (§IV-E): enabled when the observed self-recursive spawn fraction
   /// exceeds dnc_threshold after dnc_min_spawns spawns.
@@ -105,6 +111,11 @@ struct ReclusterOutcome {
   std::size_t classes_moved = 0;  ///< candidate's diff vs current plan
   double weight_moved = 0.0;
   double ratio_to_tl = 0.0;  ///< candidate's predicted makespan / TL
+  /// The candidate came out of the incremental repair path (bit-identical
+  /// to a full rebuild; see core/repair.hpp).
+  bool repaired = false;
+  /// This attempt's full rebuild was forced by the repair drift bound.
+  bool repair_fallback = false;
 };
 
 /// Lifetime counters for the plan pipeline (monotone; cheap to read).
@@ -112,6 +123,10 @@ struct PlanStats {
   std::uint64_t published = 0;  ///< plans readers were swung to
   std::uint64_t skipped_identical = 0;
   std::uint64_t skipped_churn = 0;
+  /// Candidates built by the incremental repair path / full rebuilds the
+  /// repair drift bound forced (both count attempts, not publishes).
+  std::uint64_t repairs = 0;
+  std::uint64_t repair_fallbacks = 0;
 
   std::uint64_t skipped() const { return skipped_identical + skipped_churn; }
 };

@@ -50,6 +50,7 @@ class WatsPolicy : public PolicyKernel {
     PolicyKernel::bind(topo, options);
     k_ = topo.group_count();
     prefs_ = all_preference_lists(k_);
+    repairer_ = IncrementalRepairPartitioner(options.plan_repair);
     if (registry_.total_completions() > 0) {
       // Warm start: the registry carries persisted history — publish a
       // plan from it immediately (ungated: there are no readers yet and
@@ -222,9 +223,20 @@ class WatsPolicy : public PolicyKernel {
     last_completions_ = total;
     out.attempted = true;
 
-    PartitionPlan candidate =
-        build_partition_plan(registry_.snapshot(), topology(),
-                             options().cluster_algorithm, current);
+    // The repairer produces a candidate bit-identical to a full rebuild
+    // on every path (core/repair.hpp); when repair is disabled or the
+    // algorithm has no incremental walk it runs the full rebuild itself.
+    auto built = repairer_.build(registry_, topology(),
+                                 options().cluster_algorithm, current);
+    PartitionPlan candidate = std::move(built.plan);
+    out.repaired = built.repaired;
+    out.repair_fallback = built.drift_fallback;
+    if (built.repaired) {
+      repairs_.fetch_add(1, std::memory_order_relaxed);
+    }
+    if (built.drift_fallback) {
+      repair_fallbacks_.fetch_add(1, std::memory_order_relaxed);
+    }
     out.classes_moved = candidate.diff.classes_moved;
     out.weight_moved = candidate.diff.weight_moved;
     out.ratio_to_tl = candidate.ratio_to_tl;
@@ -278,6 +290,8 @@ class WatsPolicy : public PolicyKernel {
     stats.skipped_identical =
         skipped_identical_.load(std::memory_order_relaxed);
     stats.skipped_churn = skipped_churn_.load(std::memory_order_relaxed);
+    stats.repairs = repairs_.load(std::memory_order_relaxed);
+    stats.repair_fallbacks = repair_fallbacks_.load(std::memory_order_relaxed);
     return stats;
   }
 
@@ -338,6 +352,11 @@ class WatsPolicy : public PolicyKernel {
   std::atomic<std::uint64_t> published_{0};
   std::atomic<std::uint64_t> skipped_identical_{0};
   std::atomic<std::uint64_t> skipped_churn_{0};
+  std::atomic<std::uint64_t> repairs_{0};
+  std::atomic<std::uint64_t> repair_fallbacks_{0};
+  /// Incremental candidate builder; all access under rebuild_mu_ (bind
+  /// runs pre-threads).
+  IncrementalRepairPartitioner repairer_;
   DncDetector dnc_;
   std::atomic<int> dnc_state_{0};  ///< last traced DNC state (kDncFlip dedup)
   std::mutex rebuild_mu_;  // serializes rebuilds; readers never block

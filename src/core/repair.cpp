@@ -1,0 +1,183 @@
+#include "core/repair.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iterator>
+
+namespace wats::core {
+
+namespace {
+
+/// The maintained total order: mean descending, id ascending on ties —
+/// exactly what ClusterMap::build's stable_sort over the ascending-id
+/// class list yields.
+struct OrderCmp {
+  const std::vector<double>& means;
+  bool operator()(TaskClassId a, TaskClassId b) const {
+    if (means[a] != means[b]) return means[a] > means[b];
+    return a < b;
+  }
+};
+
+}  // namespace
+
+IncrementalRepairPartitioner::Outcome
+IncrementalRepairPartitioner::full_rebuild(const TaskClassRegistry& registry,
+                                           const AmcTopology& topo,
+                                           ClusterAlgorithm algorithm,
+                                           const PartitionPlan* previous,
+                                           bool drift_fallback) {
+  const auto snap = registry.snapshot();
+  Outcome out;
+  out.plan = build_partition_plan(snap, topo, algorithm, previous);
+  out.drift_fallback = drift_fallback;
+
+  // Re-anchor the mirror on the snapshot the rebuild actually consumed.
+  const std::size_t n = snap.size();
+  completed_.assign(n, 0);
+  means_.assign(n, 0.0);
+  weights_.assign(n, 0.0);
+  order_.clear();
+  total_weight_ = 0.0;
+  for (std::size_t i = 0; i < n; ++i) {
+    completed_[i] = snap[i].completed;
+    means_[i] = snap[i].mean_workload;
+    if (snap[i].completed > 0) {
+      weights_[i] = snap[i].total_workload();
+      total_weight_ += weights_[i];
+      order_.push_back(static_cast<TaskClassId>(i));
+    }
+  }
+  std::sort(order_.begin(), order_.end(), OrderCmp{means_});
+  drift_ = 0.0;
+  synced_ = true;
+  return out;
+}
+
+IncrementalRepairPartitioner::Outcome IncrementalRepairPartitioner::build(
+    const TaskClassRegistry& registry, const AmcTopology& topo,
+    ClusterAlgorithm algorithm, const PartitionPlan* previous) {
+  if (!config_.enabled || algorithm != ClusterAlgorithm::kAlgorithm1) {
+    // No incremental walk for this algorithm: plain full rebuild, and the
+    // mirror goes stale (it resyncs on the next eligible tick).
+    synced_ = false;
+    Outcome out;
+    out.plan =
+        build_partition_plan(registry.snapshot(), topo, algorithm, previous);
+    return out;
+  }
+  if (!synced_) {
+    return full_rebuild(registry, topo, algorithm, previous,
+                        /*drift_fallback=*/false);
+  }
+
+  // Pull the per-class deltas: one lock, no string copies. The visit
+  // walks ids in ascending order, so changes_ comes out id-sorted.
+  changes_.clear();
+  registry.visit_class_stats(
+      [this](TaskClassId id, std::uint64_t completed, double mean) {
+        if (id >= completed_.size() || completed_[id] != completed ||
+            means_[id] != mean) {
+          changes_.push_back({id, completed, mean});
+        }
+      });
+
+  // Apply the deltas to the mirror. Only classes whose sort key (mean) or
+  // history membership moved dirty the maintained order; a pure count
+  // change reweights in place.
+  if (touched_.size() < completed_.size()) touched_.resize(completed_.size());
+  bool order_dirty = false;
+  for (const auto& ch : changes_) {
+    if (ch.id >= completed_.size()) {
+      const std::size_t want = static_cast<std::size_t>(ch.id) + 1;
+      completed_.resize(want, 0);
+      means_.resize(want, 0.0);
+      weights_.resize(want, 0.0);
+      touched_.resize(want, 0);
+    }
+    const double old_w = weights_[ch.id];
+    const double new_w =
+        ch.completed > 0 ? static_cast<double>(ch.completed) * ch.mean : 0.0;
+    drift_ += std::abs(new_w - old_w);
+    total_weight_ += new_w - old_w;
+    const bool had = completed_[ch.id] > 0;
+    const bool has = ch.completed > 0;
+    if (had != has || (has && means_[ch.id] != ch.mean)) {
+      touched_[ch.id] = 1;
+      order_dirty = true;
+    }
+    completed_[ch.id] = ch.completed;
+    means_[ch.id] = ch.mean;
+    weights_[ch.id] = new_w;
+  }
+
+  // Zero total mass (fresh or just-reset history) never forces a
+  // re-anchor: the plan is trivial there and the repair walk handles it
+  // exactly, so comparing drift against threshold * 0 would only thrash.
+  if (total_weight_ > 0.0 &&
+      drift_ > config_.drift_threshold * total_weight_) {
+    // Accumulated drift crossed the re-anchor bound: take the honest full
+    // rebuild (still bit-identical — the threshold bounds mirror age, not
+    // correctness).
+    for (const auto& ch : changes_) touched_[ch.id] = 0;
+    return full_rebuild(registry, topo, algorithm, previous,
+                        /*drift_fallback=*/true);
+  }
+
+  if (order_dirty) {
+    // Relocate only the dirty classes. (mean desc, id asc) is a STRICT
+    // total order over distinct ids, so the sorted sequence of any id set
+    // is unique — extract-then-reinsert lands on exactly the order a
+    // stable merge (or a full stable_sort) would produce.
+    moved_.clear();
+    for (const auto& ch : changes_) {
+      if (touched_[ch.id] && completed_[ch.id] > 0) moved_.push_back(ch.id);
+    }
+    const OrderCmp cmp{means_};
+    std::sort(moved_.begin(), moved_.end(), cmp);
+    order_.erase(std::remove_if(order_.begin(), order_.end(),
+                                [this](TaskClassId id) {
+                                  return touched_[id] != 0;
+                                }),
+                 order_.end());
+    if (moved_.size() <= 16) {
+      // Few movers (the common recluster tick): binary-search each one
+      // back in — two memmove-speed shifts beat a comparator-driven merge
+      // pass over all m classes.
+      for (const TaskClassId id : moved_) {
+        order_.insert(
+            std::lower_bound(order_.begin(), order_.end(), id, cmp), id);
+      }
+    } else {
+      keep_.assign(order_.begin(), order_.end());
+      order_.clear();
+      std::merge(keep_.begin(), keep_.end(), moved_.begin(), moved_.end(),
+                 std::back_inserter(order_), cmp);
+    }
+  }
+  for (const auto& ch : changes_) touched_[ch.id] = 0;
+
+  // The cheap part of Algorithm 1: the O(m) boundary walk over the
+  // maintained order, then the shared evaluator. Mirrors
+  // ClusterMap::build's early-out (no history / single group: everything
+  // stays in group 0).
+  std::vector<GroupIndex> assign(completed_.size(), 0);
+  if (!order_.empty() && topo.group_count() > 1) {
+    sorted_weights_.clear();
+    for (const TaskClassId id : order_) {
+      sorted_weights_.push_back(weights_[id]);
+    }
+    const auto grouped = greedy_.partition(sorted_weights_, topo);
+    for (std::size_t i = 0; i < order_.size(); ++i) {
+      assign[order_[i]] = grouped[i];
+    }
+  }
+  Outcome out;
+  out.plan = evaluate_partition_plan(
+      ClusterMap(std::move(assign), topo.group_count()), weights_, topo,
+      algorithm, previous);
+  out.repaired = true;
+  return out;
+}
+
+}  // namespace wats::core

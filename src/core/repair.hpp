@@ -1,0 +1,117 @@
+// Incremental PartitionPlan repair (ISSUE 8 / ROADMAP item 3).
+//
+// The paper's recluster tick rebuilds the plan from scratch: snapshot the
+// registry (one string copy per class), stable_sort every class by mean
+// workload, run the Algorithm 1 walk, evaluate. At 8 cores and 24 classes
+// that is noise; at 256-1024 cores and 10k+ classes the snapshot+sort
+// dominates the helper thread's tick.
+//
+// IncrementalRepairPartitioner keeps a mirror of the scheduling-relevant
+// stats (completed, mean, n*w weight per class) plus the w-sorted class
+// order between ticks. Each tick it pulls the per-class deltas from the
+// history fold (TaskClassRegistry::visit_class_stats — one lock, no
+// strings), relocates ONLY the classes whose sort key or history
+// membership actually moved (extract dirty ids, sort the dirty subset,
+// merge with the untouched — already sorted — remainder), re-runs the
+// cheap O(m) greedy boundary walk on the maintained order, and evaluates
+// through the SAME evaluate_partition_plan the full rebuild uses.
+//
+// Exactness: (mean descending, id ascending) is a total order, and it is
+// precisely what ClusterMap::build's stable_sort over the ascending-id
+// snapshot produces — so the maintained order, the weights read off it,
+// the greedy walk, and the shared evaluator are all bit-identical to a
+// full rebuild from the same registry state. A repaired plan is therefore
+// ALWAYS bit-identical to what the full rebuild would publish (asserted
+// by tests/plan_repair_test.cpp's property suite); the drift threshold
+// does not guard correctness, it only bounds how long the repairer runs
+// before re-anchoring on a genuine full rebuild (a cheap safety net
+// against unbounded accumulation of mirror state).
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "core/partition_plan.hpp"
+#include "core/partitioner.hpp"
+#include "core/task_class.hpp"
+#include "core/topology.hpp"
+
+namespace wats::core {
+
+/// Knobs of the incremental repair path. Enabled by default — the path is
+/// bit-exact, so the only observable change is the latency of the tick
+/// (plus the plan_repairs / repair_fallbacks counters).
+struct PlanRepairConfig {
+  bool enabled = true;
+  /// Re-anchor rule: when the accumulated absolute weight drift since the
+  /// last full rebuild exceeds this fraction of the current total weight,
+  /// the next tick runs a full rebuild instead of a repair (counted as a
+  /// repair fallback). Roughly: one re-anchor per doubling of total
+  /// history mass at the default.
+  double drift_threshold = 0.5;
+};
+
+/// Stateful incremental counterpart of build_partition_plan. NOT thread
+/// safe — the owning policy kernel calls build() under its rebuild lock,
+/// exactly where the full rebuild used to run.
+class IncrementalRepairPartitioner {
+ public:
+  explicit IncrementalRepairPartitioner(PlanRepairConfig config = {})
+      : config_(config) {}
+
+  struct Outcome {
+    PartitionPlan plan;
+    /// Plan came out of the incremental path (false: full rebuild, either
+    /// because repair is disabled/unsupported for the algorithm, because
+    /// the mirror was not yet synced, or because drift forced a fallback).
+    bool repaired = false;
+    /// This tick's full rebuild was forced by the drift threshold.
+    bool drift_fallback = false;
+  };
+
+  /// One recluster tick: produce the candidate plan for the registry's
+  /// current state. Bit-identical to
+  /// build_partition_plan(registry.snapshot(), topo, algorithm, previous)
+  /// on every path. Only kAlgorithm1 has an incremental walk; other
+  /// algorithms transparently take the full rebuild.
+  Outcome build(const TaskClassRegistry& registry, const AmcTopology& topo,
+                ClusterAlgorithm algorithm, const PartitionPlan* previous);
+
+  /// Accumulated |weight delta| since the last full rebuild (tests).
+  double accumulated_drift() const { return drift_; }
+  const PlanRepairConfig& config() const { return config_; }
+
+ private:
+  struct ClassDelta {
+    TaskClassId id = kNoTaskClass;
+    std::uint64_t completed = 0;
+    double mean = 0.0;
+  };
+
+  Outcome full_rebuild(const TaskClassRegistry& registry,
+                       const AmcTopology& topo, ClusterAlgorithm algorithm,
+                       const PartitionPlan* previous, bool drift_fallback);
+
+  PlanRepairConfig config_;
+  GreedyPartitioner greedy_;
+  bool synced_ = false;
+  double drift_ = 0.0;
+  double total_weight_ = 0.0;
+
+  // Mirror of the registry's scheduling-relevant stats, indexed by id.
+  std::vector<std::uint64_t> completed_;
+  std::vector<double> means_;
+  std::vector<double> weights_;
+  /// Classes with history, sorted by (mean desc, id asc) — the exact
+  /// order ClusterMap::build's stable_sort produces.
+  std::vector<TaskClassId> order_;
+
+  // Per-tick scratch (kept hot across ticks to avoid reallocation).
+  std::vector<ClassDelta> changes_;
+  std::vector<char> touched_;
+  std::vector<TaskClassId> keep_;
+  std::vector<TaskClassId> moved_;
+  std::vector<double> sorted_weights_;
+};
+
+}  // namespace wats::core

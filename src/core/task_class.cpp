@@ -191,6 +191,8 @@ TaskClassId TaskClassRegistry::intern(std::string_view name) {
     info.name = key;
     classes_.push_back(std::move(info));
     exact_.emplace_back();
+    stats_completed_.push_back(0);
+    stats_mean_.push_back(0.0);
   }
   stripe.by_name.emplace(std::move(key), id);
   return id;
@@ -234,6 +236,7 @@ void TaskClassRegistry::record_completion(TaskClassId id, double workload,
   c.min_workload = std::min(c.min_workload, workload);
   c.max_workload = std::max(c.max_workload, workload);
   if (cp_config_.enabled) observe_change_point_locked(id, workload, 1);
+  sync_stats_locked(id);
 }
 
 bool TaskClassRegistry::apply_history_delta(TaskClassId id,
@@ -269,6 +272,7 @@ bool TaskClassRegistry::apply_history_delta(TaskClassId id,
                               kHistoryFixedScale);
     observe_change_point_locked(id, delta_mean, dcount);
   }
+  sync_stats_locked(id);
   return discovered;
 }
 
@@ -349,6 +353,7 @@ void TaskClassRegistry::restore(TaskClassId id, std::uint64_t completed,
     c.min_workload = std::numeric_limits<double>::infinity();
     c.max_workload = 0.0;
   }
+  sync_stats_locked(id);
 }
 
 void TaskClassRegistry::reset_history() {
@@ -361,6 +366,8 @@ void TaskClassRegistry::reset_history() {
   }
   for (auto& e : exact_) e = ExactStats{};
   for (auto& s : cusum_) s = CusumState{};
+  stats_completed_.assign(classes_.size(), 0);
+  stats_mean_.assign(classes_.size(), 0.0);
   total_completions_ = 0;
 }
 
@@ -452,6 +459,7 @@ void TaskClassRegistry::reset_class_locked(TaskClassId id,
   s = CusumState{};
   s.armed = n > 0;  // n == 0: re-arm after min_samples fresh completions
   s.ref_mean = fresh_mean;
+  sync_stats_locked(id);
 }
 
 }  // namespace wats::core

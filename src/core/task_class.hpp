@@ -316,6 +316,26 @@ class TaskClassRegistry {
   /// Copy out the per-class statistics.
   std::vector<TaskClassInfo> snapshot() const;
 
+  /// Delta export for the incremental plan repairer: calls
+  /// fn(id, completed, mean_workload) for every interned class, under one
+  /// lock acquisition — a consistent cut of the scheduling-relevant stats
+  /// without the per-class string copies snapshot() pays. The scan walks
+  /// a compact structure-of-arrays mirror (16 bytes per class instead of
+  /// a whole TaskClassInfo), which is what keeps a 10k-class visit in the
+  /// tens of microseconds. The caller diffs against its own mirror of the
+  /// table to recover exactly the classes whose weight moved since its
+  /// last visit (covers every mutation path: record_completion, shard
+  /// folds, warm-start merges, restore, change-point decays,
+  /// reset_history). The callback must not re-enter the registry.
+  template <typename F>
+  void visit_class_stats(F&& fn) const {
+    std::lock_guard lock(mu_);
+    const std::size_t n = stats_completed_.size();
+    for (std::size_t i = 0; i < n; ++i) {
+      fn(static_cast<TaskClassId>(i), stats_completed_[i], stats_mean_[i]);
+    }
+  }
+
   TaskClassInfo info(TaskClassId id) const;
 
   /// Overwrite a class's statistics (history persistence / warm starts).
@@ -363,6 +383,13 @@ class TaskClassRegistry {
   /// Re-derive the means from the exact sums (callers hold mu_).
   void derive_means_locked(TaskClassId id);
 
+  /// Refresh class `id`'s slots in the SoA stats mirror after a mutation
+  /// (callers hold mu_). Every public mutator ends with this.
+  void sync_stats_locked(TaskClassId id) {
+    stats_completed_[id] = classes_[id].completed;
+    stats_mean_[id] = classes_[id].mean_workload;
+  }
+
   /// Per-class CUSUM accumulators (allocated lazily alongside classes_).
   struct CusumState {
     bool armed = false;
@@ -392,6 +419,11 @@ class TaskClassRegistry {
   std::array<Stripe, kInternStripes> stripes_;
   std::vector<TaskClassInfo> classes_;
   std::vector<ExactStats> exact_;
+  /// SoA mirror of (classes_[i].completed, classes_[i].mean_workload),
+  /// kept in lockstep by sync_stats_locked so visit_class_stats scans
+  /// two dense arrays instead of the string-bearing AoS table.
+  std::vector<std::uint64_t> stats_completed_;
+  std::vector<double> stats_mean_;
   std::uint64_t total_completions_ = 0;
 
   ChangePointConfig cp_config_;  ///< guarded by mu_

@@ -189,6 +189,13 @@ std::string perfetto_from_events(
              << (e.arg == 2 ? "churn" : "identical") << "\"}";
         w.instant(kPid, tid, to_string(e.kind), "sched", ts, args.str());
         break;
+      case EventKind::kPlanRepair:
+        // Incremental repair tick: the candidate came from the repairer's
+        // maintained order instead of a full rebuild (bit-identical plan,
+        // cheaper tick); arg is the classes it moved.
+        args << "{\"epoch\":" << e.cls << ",\"moved\":" << e.arg << "}";
+        w.instant(kPid, tid, to_string(e.kind), "sched", ts, args.str());
+        break;
       case EventKind::kHistoryReset:
         // Change-point decay: cls is the decayed class, arg the running
         // reset total at emission.

@@ -44,7 +44,12 @@ std::string render_perf_json(const PerfReport& report) {
     out << "    {\"name\": \"" << escape(m.name) << "\", \"unit\": \""
         << escape(m.unit) << "\", \"higher_is_better\": "
         << (m.higher_is_better ? "true" : "false")
-        << ", \"rel_threshold\": " << num << ", \"values\": [";
+        << ", \"rel_threshold\": " << num;
+    if (m.abs_floor > 0.0) {
+      std::snprintf(num, sizeof(num), "%.6g", m.abs_floor);
+      out << ", \"abs_floor\": " << num;
+    }
+    out << ", \"values\": [";
     for (std::size_t j = 0; j < m.values.size(); ++j) {
       std::snprintf(num, sizeof(num), "%.6g", m.values[j]);
       out << (j > 0 ? ", " : "") << num;
@@ -91,6 +96,7 @@ bool parse_perf_json(const std::string& json_text, PerfReport* report,
                               hib->type() == JsonValue::Type::kBool &&
                               hib->as_bool();
     metric.rel_threshold = m.number_or("rel_threshold", 0.10);
+    metric.abs_floor = m.number_or("abs_floor", 0.0);
     const auto* values = m.find("values");
     if (values != nullptr && values->type() == JsonValue::Type::kArray) {
       for (const auto& v : values->as_array()) {
@@ -121,11 +127,16 @@ PerfDiffResult diff_perf(const PerfReport& baseline,
     // The BASELINE's band governs: the committed file carries the
     // per-metric noise expectation the repo has agreed on.
     d.allowed = base.rel_threshold * slack;
-    if (d.base != 0.0) {
+    // The metric's absolute floor absorbs small-count jitter outright and
+    // caps how much a near-zero baseline can inflate the relative change
+    // (a 0 -> 2 counter move used to read as an infinite regression).
+    const double denom = std::max(std::abs(d.base), base.abs_floor);
+    if (std::abs(d.current - d.base) <= base.abs_floor) {
+      d.rel_change = 0.0;
+    } else if (denom != 0.0) {
       // Positive rel_change = worse, regardless of direction.
-      d.rel_change = base.higher_is_better
-                         ? (d.base - d.current) / std::abs(d.base)
-                         : (d.current - d.base) / std::abs(d.base);
+      d.rel_change = base.higher_is_better ? (d.base - d.current) / denom
+                                           : (d.current - d.base) / denom;
     } else {
       d.rel_change = d.current == 0.0 ? 0.0 : 1.0;
     }

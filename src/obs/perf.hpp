@@ -24,6 +24,13 @@ struct PerfMetric {
   bool higher_is_better = false;
   /// Relative noise band: changes within best*(1 +/- band*slack) pass.
   double rel_threshold = 0.10;
+  /// Absolute noise floor in the metric's unit. Differences within
+  /// +/- abs_floor are noise regardless of the relative band, and the
+  /// floor also clamps the denominator of the relative change — so a
+  /// zero or near-zero baseline (a counter that is usually 0) can't
+  /// blow up into an inf/NaN or a spurious +-100% verdict. 0 keeps the
+  /// pure-relative behavior.
+  double abs_floor = 0.0;
   std::vector<double> values;    ///< one per repeat
 
   double best() const;  ///< min (lower-is-better) / max (higher)

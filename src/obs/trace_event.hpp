@@ -39,9 +39,11 @@ enum class EventKind : std::uint8_t {
   kPlanSkip,          ///< arg = 1 identical / 2 churn-suppressed; cls = epoch
   kHistoryReset,      ///< arg = total resets so far; cls = decayed class
   kTaskDispatch,      ///< arg = ready-to-dispatch queue delay in ticks
+  kPlanRepair,        ///< arg = classes moved by the repaired candidate;
+                      ///< cls = epoch of the attempt's current plan
 };
 
-inline constexpr std::size_t kEventKindCount = 16;
+inline constexpr std::size_t kEventKindCount = 17;
 
 inline const char* to_string(EventKind kind) {
   switch (kind) {
@@ -77,6 +79,8 @@ inline const char* to_string(EventKind kind) {
       return "history_reset";
     case EventKind::kTaskDispatch:
       return "task_dispatch";
+    case EventKind::kPlanRepair:
+      return "plan_repair";
   }
   return "?";
 }

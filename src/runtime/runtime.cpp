@@ -151,6 +151,7 @@ TaskRuntime::TaskRuntime(RuntimeConfig config)
   opts.dnc_threshold = config_.dnc_threshold;
   opts.dnc_min_spawns = config_.dnc_min_spawns;
   opts.plan_gate = config_.plan_gate;
+  opts.plan_repair = config_.plan_repair;
   kernel_->bind(config_.topology, opts);
 
   const std::size_t n = config_.topology.total_cores();
@@ -172,6 +173,9 @@ TaskRuntime::TaskRuntime(RuntimeConfig config)
   plans_published_ = &metrics_.counter("plans_published");
   plans_skipped_counter_ = &metrics_.counter("plans_skipped");
   partition_latency_ns_ = &metrics_.histogram("partition_latency_ns");
+  plan_repairs_ = &metrics_.counter("plan_repairs");
+  repair_fallbacks_ = &metrics_.counter("repair_fallbacks");
+  repair_latency_ns_ = &metrics_.histogram("repair_latency_ns");
 
   if constexpr (obs::kTraceCompiledIn) {
     if (config_.trace.enabled) {
@@ -746,10 +750,25 @@ void TaskRuntime::helper_loop() {
     const auto t0 = std::chrono::steady_clock::now();
     const core::policy::ReclusterOutcome outcome = kernel_->maybe_recluster();
     if (!outcome.attempted) return;
-    partition_latency_ns_->record(static_cast<std::uint64_t>(
+    const auto attempt_ns = static_cast<std::uint64_t>(
         std::chrono::duration_cast<std::chrono::nanoseconds>(
             std::chrono::steady_clock::now() - t0)
-            .count()));
+            .count());
+    partition_latency_ns_->record(attempt_ns);
+    if (outcome.repaired) {
+      plan_repairs_->add(1);
+      repair_latency_ns_->record(attempt_ns);
+      if constexpr (obs::kTraceCompiledIn) {
+        if (helper_ring_) {
+          helper_ring_->emit(
+              obs::EventKind::kPlanRepair,
+              static_cast<std::uint16_t>(workers_.size()), 0,
+              static_cast<std::uint32_t>(outcome.epoch),
+              outcome.classes_moved);
+        }
+      }
+    }
+    if (outcome.repair_fallback) repair_fallbacks_->add(1);
     if (outcome.published) {
       const auto total = reclusters_.fetch_add(1, std::memory_order_relaxed);
       plans_published_->add(1);

@@ -39,6 +39,7 @@
 
 #include "core/partition_plan.hpp"
 #include "core/policy/policy.hpp"
+#include "core/repair.hpp"
 #include "core/task_class.hpp"
 #include "core/topology.hpp"
 #include "obs/clock.hpp"
@@ -102,6 +103,10 @@ struct RuntimeConfig {
   /// max_classes_moved / min_rel_improvement to add churn hysteresis
   /// under live history drift.
   core::PlanGate plan_gate;
+  /// Incremental PartitionPlan repair for the helper thread's recluster
+  /// ticks (see core/repair.hpp). Bit-exact with a full rebuild, so it
+  /// defaults on; disable to measure full-rebuild latency baselines.
+  core::PlanRepairConfig plan_repair;
   /// Automatic fallback to plain stealing for divide-and-conquer programs
   /// (§IV-E): enabled when the observed self-recursive spawn fraction
   /// exceeds dnc_threshold after dnc_min_spawns spawns.
@@ -420,6 +425,12 @@ class TaskRuntime {
   obs::Counter* plans_published_ = nullptr;
   obs::Counter* plans_skipped_counter_ = nullptr;
   obs::Histogram* partition_latency_ns_ = nullptr;
+  // Incremental repair accounting (see core/repair.hpp): candidates built
+  // by the repair path, the full rebuilds its drift bound forced, and the
+  // wall latency of repair-path attempts alone.
+  obs::Counter* plan_repairs_ = nullptr;
+  obs::Counter* repair_fallbacks_ = nullptr;
+  obs::Histogram* repair_latency_ns_ = nullptr;
 
   // wait_all / wait_all_for completion signal.
   std::mutex done_mu_;

@@ -291,6 +291,10 @@ void Parser::handle(const std::string& key, const std::string& value) {
     } else {
       error("cluster_algorithm wants algorithm1 or dual");
     }
+  } else if (key == "plan_repair") {
+    want_bool(&s.sim.plan_repair.enabled);
+  } else if (key == "repair_drift_threshold") {
+    if (want_double(0.0)) s.sim.plan_repair.drift_threshold = d;
   } else if (key == "steal_victim") {
     if (value == "random") {
       s.sim.steal_victim = sim::SimConfig::StealVictim::kRandom;
@@ -358,6 +362,11 @@ ScenarioParse parse_scenario(const std::string& text) {
   std::string raw;
   while (std::getline(in, raw)) {
     ++p.line_no;
+    // CRLF files: getline keeps the '\r'; drop it before any substring
+    // lands in a value (trim() catches leading/trailing ones, but being
+    // explicit here keeps comment stripping and key/value splits from
+    // ever seeing it).
+    if (!raw.empty() && raw.back() == '\r') raw.pop_back();
     const std::size_t hash = raw.find('#');
     if (hash != std::string::npos) raw.resize(hash);
     const std::string line = trim(raw);
@@ -442,6 +451,12 @@ std::string serialize_scenario(const ScenarioSpec& spec) {
   if (spec.sim.cluster_algorithm == core::ClusterAlgorithm::kDualApprox) {
     out << "cluster_algorithm = dual\n";
   }
+  if (spec.sim.plan_repair.enabled != defaults.plan_repair.enabled) {
+    out << "plan_repair = " << (spec.sim.plan_repair.enabled ? "on" : "off")
+        << "\n";
+  }
+  sim_knob("repair_drift_threshold", spec.sim.plan_repair.drift_threshold,
+           defaults.plan_repair.drift_threshold);
   if (spec.sim.steal_victim == sim::SimConfig::StealVictim::kRichest) {
     out << "steal_victim = richest\n";
   }

@@ -270,6 +270,25 @@ ScenarioSpec ablation_steal_victim() {
   return s;
 }
 
+ScenarioSpec at_scale() {
+  ScenarioSpec s;
+  s.name = "at-scale";
+  s.description =
+      "Plan-repair scale probe: 10k task classes on 256/512/1024-core "
+      "four-speed machines under WATS, incremental repair vs full rebuild";
+  s.machines = {"64x3.0+64x2.2+64x1.5+64x0.8",
+                "128x3.0+128x2.2+128x1.5+128x0.8",
+                "256x3.0+256x2.2+256x1.5+256x0.8"};
+  s.inline_workloads = {at_scale_workload(10000)};
+  s.schedulers = {K::kWats};
+  s.repeats = 1;
+  s.variants = {
+      {"repair", {{"plan_repair", "on"}}},
+      {"rebuild", {{"plan_repair", "off"}}},
+  };
+  return s;
+}
+
 ScenarioSpec step_drift() {
   ScenarioSpec s;
   s.name = "step-drift";
@@ -311,6 +330,24 @@ workloads::BenchmarkSpec step_drift_workload() {
   return s;
 }
 
+workloads::BenchmarkSpec at_scale_workload(std::size_t classes) {
+  workloads::BenchmarkSpec s;
+  s.name = "AtScale" + std::to_string(classes);
+  s.kind = workloads::BenchKind::kBatch;
+  s.classes.reserve(classes);
+  for (std::size_t i = 0; i < classes; ++i) {
+    // Deterministic heterogeneous means: two interleaved residue patterns
+    // spread the classes over ~two decades of workload, so Algorithm 1
+    // faces real placement decisions at every class count (an all-equal
+    // weight vector would make the partition trivial).
+    const double mean = 1.0 + static_cast<double>(i % 97) +
+                        7.5 * static_cast<double>(i % 13);
+    s.classes.push_back({"c" + std::to_string(i), mean, 0.1, 1, 1.0});
+  }
+  s.batches = 1;
+  return s;
+}
+
 const std::vector<ScenarioSpec>& builtin_scenarios() {
   static const std::vector<ScenarioSpec> all{
       fig6(),
@@ -331,6 +368,7 @@ const std::vector<ScenarioSpec>& builtin_scenarios() {
       ablation_allocator(),
       ablation_steal_victim(),
       step_drift(),
+      at_scale(),
   };
   return all;
 }

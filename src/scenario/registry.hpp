@@ -25,4 +25,9 @@ const ScenarioSpec* find_scenario(const std::string& name);
 /// "step-drift" registry entry and the change-point tests.
 workloads::BenchmarkSpec step_drift_workload();
 
+/// The plan-repair scale workload: `classes` single-task classes with
+/// deterministic heterogeneous means (one batch). Used by the "at-scale"
+/// registry entry and wats_perf's at-scale sim throughput probe.
+workloads::BenchmarkSpec at_scale_workload(std::size_t classes);
+
 }  // namespace wats::scenario

@@ -142,6 +142,12 @@ bool apply_knob(const KnobAssignment& knob, sim::ExperimentConfig& config,
     } else {
       return bad_value();
     }
+  } else if (knob.key == "plan_repair") {
+    if (!parse_bool(knob.value, &b)) return bad_value();
+    config.sim.plan_repair.enabled = b;
+  } else if (knob.key == "repair_drift_threshold") {
+    if (!parse_double(knob.value, &d) || d < 0.0) return bad_value();
+    config.sim.plan_repair.drift_threshold = d;
   } else if (knob.key == "steal_victim") {
     if (knob.value == "random") {
       config.sim.steal_victim = sim::SimConfig::StealVictim::kRandom;

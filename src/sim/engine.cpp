@@ -37,6 +37,18 @@ Engine::Engine(const core::AmcTopology& topo, const SimConfig& config,
   cores_.resize(topo_.total_cores());
   stats_.busy_time.assign(topo_.total_cores(), 0.0);
   stats_.overhead_time.assign(topo_.total_cores(), 0.0);
+  idle_.reserve(topo_.total_cores());
+  for (core::CoreIndex c = 0; c < topo_.total_cores(); ++c) {
+    idle_.push_back(c);
+  }
+}
+
+void Engine::mark_idle(core::CoreIndex core) {
+  idle_.insert(std::lower_bound(idle_.begin(), idle_.end(), core), core);
+}
+
+void Engine::mark_busy(core::CoreIndex core) {
+  idle_.erase(std::lower_bound(idle_.begin(), idle_.end(), core));
 }
 
 double Engine::core_speed(core::CoreIndex core) const {
@@ -78,6 +90,7 @@ void Engine::spawn(SimTask task, core::CoreIndex spawner) {
   // (Dispatch happens in the main loop right after the triggering event,
   // via dispatch_idle_cores(); spawning from hooks is safe because every
   // event handler ends with a dispatch pass.)
+  dispatch_dirty_ = true;
 }
 
 void Engine::spawn_at(SimTask task, core::CoreIndex spawner, double when) {
@@ -126,6 +139,7 @@ bool Engine::dispatch(core::CoreIndex core) {
     stats_.overhead_time[core] += acquired->latency;
   }
   s.busy = true;
+  mark_busy(core);
   s.task = std::move(acquired->task);
   s.dispatched_at = now_;
   s.task_started = now_ + acquired->latency;
@@ -170,6 +184,7 @@ bool Engine::snatch(core::CoreIndex thief, core::CoreIndex victim) {
                     /*preempted=*/true, v.dispatched_at});
   }
   v.busy = false;
+  mark_idle(victim);
   ++v.version;  // invalidates the victim's scheduled finish event
 
   ++stats_.snatches;
@@ -179,6 +194,7 @@ bool Engine::snatch(core::CoreIndex thief, core::CoreIndex victim) {
   WATS_CHECK(!t.busy);
   stats_.overhead_time[thief] += config_.snatch_cost;
   t.busy = true;
+  mark_busy(thief);
   t.task = std::move(task);
   t.dispatched_at = now_;
   t.task_started = now_ + config_.snatch_cost;
@@ -195,15 +211,37 @@ bool Engine::snatch(core::CoreIndex thief, core::CoreIndex victim) {
 }
 
 void Engine::dispatch_idle_cores() {
+  // Skippable pass: nothing changed since the last sweep settled, and
+  // that sweep provably consumed no randomness — re-running it would
+  // repeat the identical failed offers. Runs of such events (stale
+  // finishes after snatches, ticks over a drained machine) batch into
+  // bare heap pops.
+  if (!dispatch_dirty_ && quiescent_) return;
+  dispatch_dirty_ = false;
   // Keep offering work to idle cores until a full pass makes no progress.
   // Fast cores first: deterministic and mirrors the paper's bias of giving
   // the fastest cores first crack at new work (main task on the fastest).
+  // Walking the sorted idle list visits exactly the cores the historical
+  // all-core scan would have offered to, in the same order: a successful
+  // dispatch resumes at the first idle core after `c` (a snatch victim
+  // above `c` is seen this pass, one below on the next pass — both just
+  // like the full scan).
   bool progress = true;
   while (progress) {
     progress = false;
-    for (core::CoreIndex c = 0; c < cores_.size(); ++c) {
-      if (!cores_[c].busy && dispatch(c)) progress = true;
+    const util::Xoshiro256 rng_before = rng_;
+    std::size_t i = 0;
+    while (i < idle_.size()) {
+      const core::CoreIndex c = idle_[i];
+      if (dispatch(c)) {
+        progress = true;
+        i = static_cast<std::size_t>(
+            std::lower_bound(idle_.begin(), idle_.end(), c) - idle_.begin());
+      } else {
+        ++i;
+      }
     }
+    if (!progress) quiescent_ = rng_ == rng_before;
   }
 }
 
@@ -218,6 +256,8 @@ void Engine::handle_finish(const Event& e) {
   }
   const SimTask finished = s.task;
   s.busy = false;
+  mark_idle(e.core);
+  dispatch_dirty_ = true;
   ++s.version;
   s.last_finished = finished.id;
   s.last_finish_time = now_;
@@ -240,6 +280,7 @@ RunStats Engine::run() {
     e.kind = EventKind::kRecluster;
     push_event(std::move(e));
   }
+  dispatch_dirty_ = true;
   dispatch_idle_cores();
 
   while (!events_.empty()) {
@@ -257,6 +298,7 @@ RunStats Engine::run() {
         break;
       case EventKind::kRecluster: {
         scheduler_.on_recluster_tick(*this);
+        dispatch_dirty_ = true;
         // Keep ticking while there is still activity.
         bool any_busy = false;
         for (const auto& c : cores_) any_busy |= c.busy;
@@ -280,6 +322,8 @@ RunStats Engine::run() {
     const core::policy::PlanStats plan = kernel->plan_stats();
     stats_.plans_published = plan.published;
     stats_.plans_skipped = plan.skipped();
+    stats_.plan_repairs = plan.repairs;
+    stats_.repair_fallbacks = plan.repair_fallbacks;
     if (const core::PartitionPlan* current = kernel->current_plan()) {
       stats_.plan_epoch = current->epoch;
     }

@@ -61,6 +61,10 @@ struct SimConfig {
   /// candidates only — placement-neutral, so fig6-10 stay bit-identical;
   /// always_republish restores the pre-gate behavior for A/B runs.
   core::PlanGate plan_gate;
+  /// Incremental plan repair for the WATS family's recluster ticks
+  /// (core/repair.hpp). Bit-exact — fig6-10 stay bit-identical — so it
+  /// defaults on; disable for full-rebuild latency baselines.
+  core::PlanRepairConfig plan_repair;
   /// Steal-victim selection for the deque-based schedulers (PFT, WATS
   /// family): uniformly random victim (the paper's policy) or the victim
   /// with the most queued work ("steal from the richest" variant).
@@ -87,6 +91,10 @@ struct RunStats {
   std::uint64_t plans_published = 0;
   std::uint64_t plans_skipped = 0;
   std::uint64_t plan_epoch = 0;
+  /// Candidates built by the incremental repair path, and full rebuilds
+  /// its drift bound forced (see core/repair.hpp).
+  std::uint64_t plan_repairs = 0;
+  std::uint64_t repair_fallbacks = 0;
   std::uint64_t failed_acquires = 0;  ///< idle offers that found nothing
   /// History decays performed by the change-point detector (zero unless
   /// ExperimentConfig::change_point is enabled).
@@ -212,9 +220,26 @@ class Engine {
   Workload& workload_;
   util::Xoshiro256 rng_;
 
+  /// Maintain idle_ (ascending core indices of non-busy cores) on every
+  /// busy-flag flip; dispatch passes walk it instead of scanning all
+  /// cores.
+  void mark_idle(core::CoreIndex core);
+  void mark_busy(core::CoreIndex core);
+
   std::priority_queue<Event, std::vector<Event>, std::greater<>> events_;
   std::uint64_t next_seq_ = 0;
   std::vector<CoreState> cores_;
+  std::vector<core::CoreIndex> idle_;  ///< sorted indices of idle cores
+  /// Set when an event changed work availability or idleness (spawn,
+  /// non-stale finish, recluster tick); cleared by dispatch_idle_cores().
+  /// Runs of events that change nothing (stale finishes) drain without
+  /// paying a dispatch pass.
+  bool dispatch_dirty_ = false;
+  /// True when the last dispatch sweep made no progress AND drew no
+  /// randomness: re-running it against unchanged state would repeat the
+  /// exact same failed offers (and consume no RNG), so it is skippable
+  /// without perturbing the deterministic event/RNG streams.
+  bool quiescent_ = false;
   double now_ = 0.0;
   TaskId next_task_id_ = 1;
   RunStats stats_;

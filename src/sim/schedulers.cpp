@@ -102,6 +102,7 @@ class KernelScheduler final : public Scheduler {
             : policy::StealVictimRule::kRichest;
     opts.cluster_algorithm = engine.config().cluster_algorithm;
     opts.plan_gate = engine.config().plan_gate;
+    opts.plan_repair = engine.config().plan_repair;
     opts.dnc_fallback = engine.config().dnc_fallback;
     opts.dnc_threshold = engine.config().dnc_threshold;
     opts.dnc_min_spawns = engine.config().dnc_min_spawns;

@@ -130,6 +130,10 @@ class Xoshiro256 {
     return static_cast<std::size_t>(bounded(c.size()));
   }
 
+  /// State equality: lets callers prove a code region drew nothing (the
+  /// simulator's dispatch batching hinges on this).
+  friend bool operator==(const Xoshiro256&, const Xoshiro256&) = default;
+
  private:
   static constexpr std::uint64_t rotl(std::uint64_t x, int k) {
     return (x << k) | (x >> (64 - k));

@@ -17,9 +17,9 @@ PerfReport sample_report() {
   r.probe = "test probe";
   r.repeats = 3;
   r.metrics = {
-      {"steal_latency_ns_p99", "ns", false, 0.75, {900.0, 850.0, 910.0}},
-      {"ns_per_completion", "ns", false, 0.35, {120.0, 118.0, 125.0}},
-      {"sim_events_per_sec", "1/s", true, 0.35, {2.0e6, 2.2e6, 2.1e6}},
+      {"steal_latency_ns_p99", "ns", false, 0.75, 0.0, {900.0, 850.0, 910.0}},
+      {"ns_per_completion", "ns", false, 0.35, 0.0, {120.0, 118.0, 125.0}},
+      {"sim_events_per_sec", "1/s", true, 0.35, 0.0, {2.0e6, 2.2e6, 2.1e6}},
   };
   return r;
 }
@@ -110,9 +110,9 @@ TEST(Perf, TwoXSlowdownFlags) {
 // matches the baseline passes even when its other repeats are terrible.
 TEST(Perf, BestOfRepeatsRejectsSpikes) {
   PerfReport base;
-  base.metrics = {{"lat", "ns", false, 0.10, {100.0, 102.0}}};
+  base.metrics = {{"lat", "ns", false, 0.10, 0.0, {100.0, 102.0}}};
   PerfReport current;
-  current.metrics = {{"lat", "ns", false, 0.10, {350.0, 104.0}}};
+  current.metrics = {{"lat", "ns", false, 0.10, 0.0, {350.0, 104.0}}};
   const auto diff = diff_perf(base, current, 1.0);
   EXPECT_FALSE(diff.regression);
   EXPECT_NEAR(diff.deltas[0].rel_change, 0.04, 1e-9);
@@ -120,18 +120,68 @@ TEST(Perf, BestOfRepeatsRejectsSpikes) {
 
 TEST(Perf, SlackWidensBands) {
   PerfReport base;
-  base.metrics = {{"lat", "ns", false, 0.50, {100.0}}};
+  base.metrics = {{"lat", "ns", false, 0.50, 0.0, {100.0}}};
   PerfReport current;
-  current.metrics = {{"lat", "ns", false, 0.50, {160.0}}};  // +60%
+  current.metrics = {{"lat", "ns", false, 0.50, 0.0, {160.0}}};  // +60%
   EXPECT_TRUE(diff_perf(base, current, 1.0).regression);
   EXPECT_FALSE(diff_perf(base, current, 2.0).regression);
+}
+
+// Zero / near-zero baselines: without an absolute floor a 0 -> 2 counter
+// move divides by zero (inf/NaN rel_change); the floor clamps the
+// denominator and absorbs sub-floor jitter outright.
+TEST(Perf, ZeroBaselineAbsFloorClamps) {
+  PerfReport base;
+  base.metrics = {{"history_resets", "count", false, 0.5, 4.0, {0.0}}};
+  PerfReport current;
+  current.metrics = {{"history_resets", "count", false, 0.5, 4.0, {2.0}}};
+
+  // Within the floor: exactly zero change, finite, no regression.
+  auto diff = diff_perf(base, current, 1.0);
+  ASSERT_EQ(diff.deltas.size(), 1u);
+  EXPECT_TRUE(std::isfinite(diff.deltas[0].rel_change));
+  EXPECT_DOUBLE_EQ(diff.deltas[0].rel_change, 0.0);
+  EXPECT_FALSE(diff.regression);
+
+  // Beyond the floor: denominator is clamped to the floor, so 0 -> 12 is
+  // +300% (12/4), finite, and regresses against the 50% band.
+  current.metrics[0].values = {12.0};
+  diff = diff_perf(base, current, 1.0);
+  EXPECT_TRUE(std::isfinite(diff.deltas[0].rel_change));
+  EXPECT_NEAR(diff.deltas[0].rel_change, 3.0, 1e-9);
+  EXPECT_TRUE(diff.regression);
+
+  // Floor of 0 keeps the legacy behavior for a zero baseline: any nonzero
+  // current reads as +100%, still finite.
+  base.metrics[0].abs_floor = 0.0;
+  diff = diff_perf(base, current, 1.0);
+  EXPECT_TRUE(std::isfinite(diff.deltas[0].rel_change));
+  EXPECT_DOUBLE_EQ(diff.deltas[0].rel_change, 1.0);
+}
+
+// abs_floor survives the JSON round-trip (and is omitted when 0).
+TEST(Perf, AbsFloorJsonRoundTrip) {
+  PerfReport r;
+  r.probe = "floor";
+  r.repeats = 1;
+  r.metrics = {{"resets", "count", false, 0.5, 4.0, {0.0}},
+               {"lat", "ns", false, 0.5, 0.0, {100.0}}};
+  const std::string json = render_perf_json(r);
+  EXPECT_NE(json.find("\"abs_floor\": 4"), std::string::npos);
+
+  PerfReport parsed;
+  std::string error;
+  ASSERT_TRUE(parse_perf_json(json, &parsed, &error)) << error;
+  ASSERT_EQ(parsed.metrics.size(), 2u);
+  EXPECT_DOUBLE_EQ(parsed.metrics[0].abs_floor, 4.0);
+  EXPECT_DOUBLE_EQ(parsed.metrics[1].abs_floor, 0.0);
 }
 
 TEST(Perf, MissingMetricsNeverRegress) {
   auto base = sample_report();
   auto current = sample_report();
   current.metrics.erase(current.metrics.begin());  // dropped in current
-  current.metrics.push_back({"new_metric", "ns", false, 0.1, {5.0}});
+  current.metrics.push_back({"new_metric", "ns", false, 0.1, 0.0, {5.0}});
   const auto diff = diff_perf(base, current, 1.0);
   EXPECT_FALSE(diff.regression);
   std::size_t missing = 0;

@@ -1,0 +1,341 @@
+// Incremental PartitionPlan repair (core/repair.hpp).
+//
+// The load-bearing property: a repaired plan is BIT-IDENTICAL to the full
+// rebuild from the same registry state — assignment, group finish times,
+// lower bound, makespan, ratio_to_tl, the whole diff, and the epoch. The
+// drift threshold only decides when the repairer re-anchors on a genuine
+// full rebuild (a fallback), never what the plan contains.
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <atomic>
+#include <cmath>
+#include <limits>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include "core/partition_plan.hpp"
+#include "core/partitioner.hpp"
+#include "core/repair.hpp"
+#include "core/task_class.hpp"
+#include "core/topology.hpp"
+#include "util/rng.hpp"
+
+namespace wats::core {
+namespace {
+
+AmcTopology two_groups() { return AmcTopology("2g", {{2.0, 1}, {1.0, 2}}); }
+
+/// A k-group machine with strictly descending frequencies (construction
+/// sorts and the tests below need a known group order).
+AmcTopology many_groups(std::size_t k) {
+  std::vector<CGroupSpec> groups;
+  for (std::size_t g = 0; g < k; ++g) {
+    groups.push_back({4.0 - 0.03 * static_cast<double>(g), 1 + (g % 2)});
+  }
+  return AmcTopology("k" + std::to_string(k), std::move(groups));
+}
+
+/// Exact equality on every observable field of a PartitionPlan. The
+/// repair contract is bit-exactness, so no tolerances anywhere.
+void expect_plans_bit_identical(const PartitionPlan& got,
+                                const PartitionPlan& want) {
+  EXPECT_EQ(got.epoch, want.epoch);
+  EXPECT_EQ(got.algorithm, want.algorithm);
+  ASSERT_EQ(got.map.assignment().size(), want.map.assignment().size());
+  EXPECT_EQ(got.map.assignment(), want.map.assignment());
+  ASSERT_EQ(got.group_finish.size(), want.group_finish.size());
+  for (std::size_t g = 0; g < got.group_finish.size(); ++g) {
+    EXPECT_EQ(got.group_finish[g], want.group_finish[g]) << "group " << g;
+  }
+  EXPECT_EQ(got.lower_bound, want.lower_bound);
+  EXPECT_EQ(got.makespan, want.makespan);
+  EXPECT_EQ(got.ratio_to_tl, want.ratio_to_tl);
+  EXPECT_EQ(got.diff.classes_moved, want.diff.classes_moved);
+  EXPECT_EQ(got.diff.weight_moved, want.diff.weight_moved);
+  EXPECT_EQ(got.diff.assignment_identical, want.diff.assignment_identical);
+  EXPECT_EQ(got.diff.stale_makespan, want.diff.stale_makespan);
+}
+
+/// One random mutation against the registry: the full surface the mirror
+/// must track (serial folds, sharded folds, warm-start merges, restores,
+/// interns, and the occasional full reset).
+void mutate_registry(TaskClassRegistry& registry, util::Xoshiro256& rng) {
+  const std::size_t n = registry.size();
+  const auto id = static_cast<TaskClassId>(rng.bounded(n));
+  switch (rng.bounded(16)) {
+    case 0:
+      registry.intern("extra" + std::to_string(n) + "_" +
+                      std::to_string(rng.bounded(1u << 20)));
+      break;
+    case 1: {
+      FixedSum dw;
+      dw.add(quantize_history(3.5));
+      FixedSum ds;
+      ds.add(quantize_history(1.0));
+      registry.apply_history_delta(id, 1, dw, ds, 3.5, 3.5);
+      break;
+    }
+    case 2:
+      registry.merge_history(id, 1 + rng.bounded(8),
+                             rng.uniform(0.5, 20.0));
+      break;
+    case 3:
+      registry.restore(id, rng.bounded(6), rng.uniform(0.5, 20.0));
+      break;
+    case 4:
+      registry.reset_history();
+      break;
+    default:
+      registry.record_completion(id, rng.uniform(0.1, 30.0));
+      break;
+  }
+}
+
+// ---- The property suite ----
+
+// >= 100 seeded cases: after every mutation batch, repair == rebuild bit
+// for bit, on every field, against the same `previous` plan.
+TEST(PlanRepair, RepairedPlanBitIdenticalToRebuildProperty) {
+  for (std::uint64_t seed = 1; seed <= 100; ++seed) {
+    SCOPED_TRACE("seed " + std::to_string(seed));
+    util::Xoshiro256 rng(seed);
+    TaskClassRegistry registry;
+    const std::size_t initial = 2 + rng.bounded(24);
+    for (std::size_t i = 0; i < initial; ++i) {
+      registry.intern("cls" + std::to_string(i));
+    }
+    const AmcTopology topo =
+        seed % 3 == 0 ? many_groups(4 + rng.bounded(8)) : two_groups();
+
+    // A huge drift threshold: after the first (sync) tick every build
+    // must take the incremental path, and none may fall back.
+    IncrementalRepairPartitioner repairer({true, 1e18});
+    PartitionPlan previous;  // epoch-0 empty plan, like a cold policy
+    const int ticks = 6 + static_cast<int>(rng.bounded(6));
+    for (int tick = 0; tick < ticks; ++tick) {
+      const std::size_t batch = 1 + rng.bounded(12);
+      for (std::size_t b = 0; b < batch; ++b) mutate_registry(registry, rng);
+
+      const auto outcome = repairer.build(
+          registry, topo, ClusterAlgorithm::kAlgorithm1, &previous);
+      const PartitionPlan want = build_partition_plan(
+          registry.snapshot(), topo, ClusterAlgorithm::kAlgorithm1,
+          &previous);
+      expect_plans_bit_identical(outcome.plan, want);
+      EXPECT_FALSE(outcome.drift_fallback);
+      if (tick > 0) EXPECT_TRUE(outcome.repaired);
+
+      // ratio_to_tl stays a genuine ratio: >= 1 up to rounding, and tied
+      // to the plan's own fields on both paths.
+      EXPECT_GE(outcome.plan.ratio_to_tl, 1.0 - 1e-12);
+      previous = outcome.plan;
+    }
+  }
+}
+
+// A tiny threshold forces the drift fallback on (nearly) every tick; the
+// fallback path must be just as bit-exact, and must report itself.
+TEST(PlanRepair, DriftFallbackTriggersAndStaysBitExact) {
+  util::Xoshiro256 rng(77);
+  TaskClassRegistry registry;
+  for (int i = 0; i < 12; ++i) registry.intern("cls" + std::to_string(i));
+  const AmcTopology topo = two_groups();
+  IncrementalRepairPartitioner repairer({true, 0.0});
+  PartitionPlan previous;
+  bool saw_fallback = false;
+  for (int tick = 0; tick < 24; ++tick) {
+    registry.record_completion(static_cast<TaskClassId>(rng.bounded(12)),
+                               rng.uniform(0.5, 10.0));
+    const auto outcome = repairer.build(
+        registry, topo, ClusterAlgorithm::kAlgorithm1, &previous);
+    const PartitionPlan want = build_partition_plan(
+        registry.snapshot(), topo, ClusterAlgorithm::kAlgorithm1, &previous);
+    expect_plans_bit_identical(outcome.plan, want);
+    EXPECT_FALSE(outcome.repaired);  // every tick re-anchors
+    saw_fallback |= outcome.drift_fallback;
+    previous = outcome.plan;
+  }
+  EXPECT_TRUE(saw_fallback);
+  EXPECT_DOUBLE_EQ(repairer.accumulated_drift(), 0.0);  // re-anchored
+}
+
+// The gate's hysteresis decision depends only on the candidate's diff and
+// makespans — bit-identical plans must produce the identical publish
+// verdict under any gate, including churn-suppressing ones.
+TEST(PlanRepair, GateVerdictIdenticalUnderRepair) {
+  util::Xoshiro256 rng(5);
+  TaskClassRegistry registry;
+  for (int i = 0; i < 16; ++i) registry.intern("cls" + std::to_string(i));
+  const AmcTopology topo = two_groups();
+  IncrementalRepairPartitioner repairer({true, 1e18});
+  PartitionPlan previous;
+  PlanGate churny;
+  churny.max_classes_moved = 1;
+  churny.min_rel_improvement = 0.10;
+  for (int tick = 0; tick < 16; ++tick) {
+    for (int b = 0; b < 4; ++b) mutate_registry(registry, rng);
+    const auto outcome = repairer.build(
+        registry, topo, ClusterAlgorithm::kAlgorithm1, &previous);
+    const PartitionPlan want = build_partition_plan(
+        registry.snapshot(), topo, ClusterAlgorithm::kAlgorithm1, &previous);
+    EXPECT_EQ(plan_gate_allows(PlanGate{}, outcome.plan),
+              plan_gate_allows(PlanGate{}, want));
+    EXPECT_EQ(plan_gate_allows(churny, outcome.plan),
+              plan_gate_allows(churny, want));
+    previous = outcome.plan;
+  }
+}
+
+// Disabled repair and non-greedy algorithms take the plain rebuild path
+// (and say so), still bit-identical to build_partition_plan.
+TEST(PlanRepair, DisabledAndUnsupportedAlgorithmsFallThrough) {
+  TaskClassRegistry registry;
+  for (int i = 0; i < 6; ++i) registry.intern("cls" + std::to_string(i));
+  for (int i = 0; i < 6; ++i) {
+    registry.record_completion(static_cast<TaskClassId>(i), 1.0 + i);
+  }
+  const AmcTopology topo = two_groups();
+
+  IncrementalRepairPartitioner disabled({false, 0.5});
+  const auto off = disabled.build(registry, topo,
+                                  ClusterAlgorithm::kAlgorithm1, nullptr);
+  EXPECT_FALSE(off.repaired);
+  expect_plans_bit_identical(
+      off.plan, build_partition_plan(registry.snapshot(), topo,
+                                     ClusterAlgorithm::kAlgorithm1, nullptr));
+
+  IncrementalRepairPartitioner enabled({true, 0.5});
+  const auto dual = enabled.build(registry, topo,
+                                  ClusterAlgorithm::kDualApprox, nullptr);
+  EXPECT_FALSE(dual.repaired);
+  expect_plans_bit_identical(
+      dual.plan, build_partition_plan(registry.snapshot(), topo,
+                                      ClusterAlgorithm::kDualApprox,
+                                      nullptr));
+}
+
+// ---- Degenerate weight vectors at wide machines ----
+
+// All-zero and denormal weights on k >= 64 groups: every partitioner must
+// return a VALID (every index < k) and DETERMINISTIC assignment — no NaN
+// poisoning, no division blow-ups, no run-to-run wobble.
+TEST(RepairDegenerateWeights, PartitionersSurviveZeroAndDenormal) {
+  const AmcTopology topo = many_groups(64);
+  const GreedyPartitioner greedy;
+  const DualApproxPartitioner dual;
+  const std::vector<std::vector<double>> degenerate = {
+      std::vector<double>(128, 0.0),
+      std::vector<double>(128, std::numeric_limits<double>::denorm_min()),
+      [] {
+        // Mixed: mostly zero with a few denormals sprinkled in.
+        std::vector<double> w(128, 0.0);
+        for (std::size_t i = 0; i < w.size(); i += 7) {
+          w[i] = std::numeric_limits<double>::denorm_min();
+        }
+        return w;
+      }(),
+  };
+  for (std::size_t d = 0; d < degenerate.size(); ++d) {
+    SCOPED_TRACE("vector " + std::to_string(d));
+    const auto& w = degenerate[d];
+    for (const auto* p :
+         std::initializer_list<const Partitioner*>{&greedy, &dual}) {
+      const auto first = p->partition(w, topo);
+      ASSERT_EQ(first.size(), w.size()) << p->name();
+      for (const GroupIndex g : first) {
+        EXPECT_LT(g, topo.group_count()) << p->name();
+      }
+      EXPECT_EQ(p->partition(w, topo), first) << p->name();  // deterministic
+      const double ms = assignment_makespan(w, first, topo);
+      EXPECT_TRUE(std::isfinite(ms)) << p->name();
+    }
+  }
+}
+
+// The repair path on a registry whose history is all-zero / denormal
+// workloads: valid deterministic plans, bit-identical to the rebuild.
+TEST(RepairDegenerateWeights, RepairHandlesZeroWeightHistory) {
+  const AmcTopology topo = many_groups(64);
+  for (const double workload :
+       {0.0, std::numeric_limits<double>::denorm_min()}) {
+    SCOPED_TRACE("workload " + std::to_string(workload));
+    TaskClassRegistry registry;
+    for (int i = 0; i < 96; ++i) {
+      registry.intern("deg" + std::to_string(i));
+    }
+    IncrementalRepairPartitioner repairer({true, 1e18});
+    PartitionPlan previous;
+    for (int tick = 0; tick < 4; ++tick) {
+      for (int i = tick; i < 96; i += 3) {
+        registry.record_completion(static_cast<TaskClassId>(i), workload);
+      }
+      const auto outcome = repairer.build(
+          registry, topo, ClusterAlgorithm::kAlgorithm1, &previous);
+      const PartitionPlan want = build_partition_plan(
+          registry.snapshot(), topo, ClusterAlgorithm::kAlgorithm1,
+          &previous);
+      expect_plans_bit_identical(outcome.plan, want);
+      for (const GroupIndex g : outcome.plan.map.assignment()) {
+        EXPECT_LT(g, topo.group_count());
+      }
+      EXPECT_TRUE(std::isfinite(outcome.plan.makespan));
+      EXPECT_TRUE(std::isfinite(outcome.plan.ratio_to_tl));
+      previous = outcome.plan;
+    }
+  }
+}
+
+// ---- Concurrency (exercised under TSan via the Repair ctest regex) ----
+
+// Workers hammer the registry's locked mutators while the repairer (a
+// single helper thread, as in the runtime) ticks concurrently: the
+// visit_class_stats scan must be properly synchronized against every
+// fold path. Bit-exactness is re-checked once the writers quiesce.
+TEST(RepairConcurrency, VisitRacesAgainstFoldPaths) {
+  TaskClassRegistry registry;
+  constexpr std::size_t kClasses = 64;
+  for (std::size_t i = 0; i < kClasses; ++i) {
+    registry.intern("cc" + std::to_string(i));
+  }
+  const AmcTopology topo = two_groups();
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> writers;
+  for (int t = 0; t < 3; ++t) {
+    writers.emplace_back([&registry, &stop, t] {
+      util::Xoshiro256 rng(1000 + static_cast<std::uint64_t>(t));
+      while (!stop.load(std::memory_order_relaxed)) {
+        const auto id = static_cast<TaskClassId>(rng.bounded(kClasses));
+        if (t == 0) {
+          FixedSum dw;
+          dw.add(quantize_history(2.0));
+          FixedSum ds;
+          ds.add(quantize_history(1.0));
+          registry.apply_history_delta(id, 1, dw, ds, 2.0, 2.0);
+        } else {
+          registry.record_completion(id, rng.uniform(0.1, 10.0));
+        }
+      }
+    });
+  }
+  IncrementalRepairPartitioner repairer({true, 1e18});
+  PartitionPlan previous;
+  for (int tick = 0; tick < 50; ++tick) {
+    const auto outcome = repairer.build(
+        registry, topo, ClusterAlgorithm::kAlgorithm1, &previous);
+    EXPECT_TRUE(std::isfinite(outcome.plan.makespan));
+    previous = outcome.plan;
+  }
+  stop.store(true);
+  for (auto& w : writers) w.join();
+
+  const auto outcome = repairer.build(
+      registry, topo, ClusterAlgorithm::kAlgorithm1, &previous);
+  const PartitionPlan want = build_partition_plan(
+      registry.snapshot(), topo, ClusterAlgorithm::kAlgorithm1, &previous);
+  expect_plans_bit_identical(outcome.plan, want);
+}
+
+}  // namespace
+}  // namespace wats::core

@@ -204,6 +204,59 @@ TEST(Scenario, SerializeParseRoundTrip) {
   EXPECT_EQ(parsed.spec.variants[1].knobs.size(), 2u);
 }
 
+// A scenario file that passed through a Windows editor (CRLF line
+// endings) must parse to the same spec — the '\r' may not leak into any
+// name, knob value, or machine string.
+TEST(Scenario, CrlfFileRoundTrips) {
+  ScenarioSpec s;
+  s.name = "crlf";
+  s.description = "saved with CRLF endings";
+  s.machines = {"AMC5", "4x2.0+4x1.0"};
+  s.workloads = {"GA"};
+  s.schedulers = {sim::SchedulerKind::kWats};
+  s.sim.plan_repair.enabled = false;
+  s.sim.plan_repair.drift_threshold = 0.25;
+  s.variants = {{"fast", {{"steal_cost", "0.2"}}}};
+  const std::string text = serialize_scenario(s);
+
+  std::string crlf;
+  for (const char c : text) {
+    if (c == '\n') crlf += '\r';
+    crlf += c;
+  }
+  const ScenarioParse parsed = parse_scenario(crlf);
+  ASSERT_TRUE(parsed.ok()) << parsed.errors[0];
+  // Fixed point against the LF original: every field survived unchanged.
+  EXPECT_EQ(serialize_scenario(parsed.spec), text);
+  EXPECT_EQ(parsed.spec.description, "saved with CRLF endings");
+  EXPECT_FALSE(parsed.spec.sim.plan_repair.enabled);
+  EXPECT_EQ(parsed.spec.sim.plan_repair.drift_threshold, 0.25);
+  ASSERT_EQ(parsed.spec.variants.size(), 1u);
+  EXPECT_EQ(parsed.spec.variants[0].knobs[0].value, "0.2");
+}
+
+// Trailing spaces/tabs on lines and trailing blank lines (with or without
+// stray whitespace) are presentation noise, not content.
+TEST(Scenario, TrailingWhitespaceAndBlankLinesRoundTrip) {
+  ScenarioSpec s;
+  s.name = "trailing";
+  s.machines = {"AMC5"};
+  s.workloads = {"GA"};
+  s.schedulers = {sim::SchedulerKind::kCilk};
+  const std::string text = serialize_scenario(s);
+
+  std::string noisy;
+  for (const char c : text) {
+    if (c == '\n') noisy += " \t";  // trailing whitespace on every line
+    noisy += c;
+  }
+  noisy += "\n   \n\t\r\n\n";  // trailing blank-ish lines, mixed endings
+  const ScenarioParse parsed = parse_scenario(noisy);
+  ASSERT_TRUE(parsed.ok()) << parsed.errors[0];
+  EXPECT_EQ(serialize_scenario(parsed.spec), text);
+  EXPECT_EQ(parsed.spec.name, "trailing");
+}
+
 TEST(Scenario, ParseReportsMalformedLinesWithNumbers) {
   const ScenarioParse p = parse_scenario(
       "name = broken\n"

@@ -14,6 +14,7 @@
 // `run --repeats=1` + `diff` against the committed baseline with a wide
 // slack (cross-machine CI boxes are noisy; same-machine comparisons use
 // slack 1).
+#include <chrono>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
@@ -22,6 +23,9 @@
 #include <string>
 #include <vector>
 
+#include "core/partition_plan.hpp"
+#include "core/repair.hpp"
+#include "core/task_class.hpp"
 #include "core/topology.hpp"
 #include "obs/metrics.hpp"
 #include "obs/perf.hpp"
@@ -40,6 +44,7 @@ struct RuntimeProbeSample {
   double steal_latency_ns_p99 = 0.0;
   double queue_delay_ns_p99 = 0.0;
   double ns_per_completion = 0.0;
+  double history_resets = 0.0;
 };
 
 /// One repeat of the real-thread probe: the same MD5-batch WATS run
@@ -60,12 +65,18 @@ RuntimeProbeSample run_runtime_probe() {
   sample.ns_per_completion =
       r.tasks_run > 0 ? r.wall_seconds * 1e9 / static_cast<double>(r.tasks_run)
                       : 0.0;
-  for (const auto& [name, h] : rt.metrics().snapshot().histograms) {
+  const auto snapshot = rt.metrics().snapshot();
+  for (const auto& [name, h] : snapshot.histograms) {
     if (name == "partition_latency_ns") {
       sample.partition_latency_ns_mean = h.mean();
     } else if (name == "queue_delay_ns") {
       sample.queue_delay_ns_p99 =
           static_cast<double>(h.quantile_bound(0.99));
+    }
+  }
+  for (const auto& [name, v] : snapshot.counters) {
+    if (name == "history_resets") {
+      sample.history_resets = static_cast<double>(v);
     }
   }
 
@@ -86,6 +97,94 @@ RuntimeProbeSample run_runtime_probe() {
     }
   }
   return sample;
+}
+
+struct ScaleProbeSample {
+  double rebuild_ns_mean = 0.0;  ///< full greedy rebuild per tick
+  double repair_ns_mean = 0.0;   ///< incremental repair per tick
+};
+
+/// The at-scale partition probe: a synthetic 10k-class registry on the
+/// 1024-core four-speed machine, no sim. Each "tick" folds one new
+/// completion and then builds a candidate plan — once via the historical
+/// full path (snapshot + sort + greedy walk), once via the incremental
+/// repairer seeded from the previous plan. The two emit bit-identical
+/// plans (asserted in tests/plan_repair_test.cpp); this probe measures
+/// only the latency gap the repair path buys at scale.
+ScaleProbeSample run_scale_probe() {
+  constexpr std::size_t kClasses = 10000;
+  constexpr std::size_t kTicks = 64;
+  const core::AmcTopology topo =
+      core::amc_from_string("256x3.0+256x2.2+256x1.5+256x0.8");
+  core::TaskClassRegistry registry(core::WorkloadEstimator::kRunningMean);
+  std::vector<core::TaskClassId> ids;
+  ids.reserve(kClasses);
+  for (std::size_t i = 0; i < kClasses; ++i) {
+    const auto id = registry.intern("scale_c" + std::to_string(i));
+    // Same deterministic heterogeneous spread as at_scale_workload().
+    registry.record_completion(
+        id, 1.0 + static_cast<double>(i % 97) +
+                7.5 * static_cast<double>(i % 13));
+    ids.push_back(id);
+  }
+
+  ScaleProbeSample sample;
+  const auto now = [] { return std::chrono::steady_clock::now(); };
+  const auto ns_since = [&](std::chrono::steady_clock::time_point t0) {
+    return static_cast<double>(
+        std::chrono::duration_cast<std::chrono::nanoseconds>(now() - t0)
+            .count());
+  };
+
+  core::PartitionPlan plan =
+      core::build_partition_plan(registry.snapshot(), topo,
+                                 core::ClusterAlgorithm::kAlgorithm1, nullptr);
+  double rebuild_total = 0.0;
+  for (std::size_t t = 0; t < kTicks; ++t) {
+    registry.record_completion(ids[(t * 131) % kClasses], 50.0);
+    const auto t0 = now();
+    plan = core::build_partition_plan(registry.snapshot(), topo,
+                                      core::ClusterAlgorithm::kAlgorithm1,
+                                      &plan);
+    rebuild_total += ns_since(t0);
+  }
+  sample.rebuild_ns_mean = rebuild_total / static_cast<double>(kTicks);
+
+  core::IncrementalRepairPartitioner repairer{core::PlanRepairConfig{}};
+  // First call resyncs the mirror (a full rebuild); time steady-state
+  // ticks only, like the helper thread sees after warm-up.
+  auto built = repairer.build(registry, topo,
+                              core::ClusterAlgorithm::kAlgorithm1, &plan);
+  double repair_total = 0.0;
+  for (std::size_t t = 0; t < kTicks; ++t) {
+    registry.record_completion(ids[(t * 137) % kClasses], 50.0);
+    const auto t0 = now();
+    built = repairer.build(registry, topo,
+                           core::ClusterAlgorithm::kAlgorithm1,
+                           &built.plan);
+    repair_total += ns_since(t0);
+  }
+  sample.repair_ns_mean = repair_total / static_cast<double>(kTicks);
+  return sample;
+}
+
+/// At-scale sim throughput: the 10k-class single-batch workload on the
+/// 256-core machine under WATS with repair on (the registry "at-scale"
+/// entry covers 512/1024 cores and the rebuild A/B; this probe keeps the
+/// perf gate's wall time bounded).
+double run_at_scale_sim_probe() {
+  scenario::ScenarioSpec s;
+  s.name = "at-scale-probe";
+  s.machines = {"64x3.0+64x2.2+64x1.5+64x0.8"};
+  s.inline_workloads = {scenario::at_scale_workload(10000)};
+  s.schedulers = {sim::SchedulerKind::kWats};
+  s.repeats = 1;
+  const auto result = scenario::run_scenario(s);
+  std::uint64_t events = 0;
+  for (const auto& c : result.cells) events += c.sim_events;
+  return result.wall_seconds > 0.0
+             ? static_cast<double>(events) / result.wall_seconds
+             : 0.0;
 }
 
 /// One repeat of the sim probe: every requested registry scenario at
@@ -166,7 +265,9 @@ int cmd_run(int argc, char** argv) {
 
   obs::PerfReport report;
   report.probe = "runtime: MD5 x4 batches, WATS (+Cilk for steal p99), "
-                 "emulated 2x2.5+2x0.8, tracing on; sim: " +
+                 "emulated 2x2.5+2x0.8, tracing on; scale: 10k classes, "
+                 "1024-core partition rebuild vs repair + 256-core sim; "
+                 "sim: " +
                  scenarios_csv + " @ repeats=1";
   report.repeats = repeats;
   // Noise bands: sub-ms latency probes on shared machines jitter hard, so
@@ -176,11 +277,25 @@ int cmd_run(int argc, char** argv) {
   // baseline produced on different hardware and runs with a much wider
   // slack — there the diff is a plumbing smoke plus a catastrophic-only
   // gate, not a precise regression detector.
-  obs::PerfMetric partition{"partition_latency_ns_mean", "ns", false, 0.5, {}};
-  obs::PerfMetric steal{"steal_latency_ns_p99", "ns", false, 0.75, {}};
-  obs::PerfMetric queue{"queue_delay_ns_p99", "ns", false, 0.75, {}};
-  obs::PerfMetric nspc{"ns_per_completion", "ns", false, 0.35, {}};
-  obs::PerfMetric evps{"sim_events_per_sec", "1/s", true, 0.35, {}};
+  obs::PerfMetric partition{"partition_latency_ns_mean", "ns", false, 0.5,
+                            0.0, {}};
+  obs::PerfMetric steal{"steal_latency_ns_p99", "ns", false, 0.75, 0.0, {}};
+  obs::PerfMetric queue{"queue_delay_ns_p99", "ns", false, 0.75, 0.0, {}};
+  obs::PerfMetric nspc{"ns_per_completion", "ns", false, 0.35, 0.0, {}};
+  obs::PerfMetric evps{"sim_events_per_sec", "1/s", true, 0.35, 0.0, {}};
+  // At-scale probes (10k classes). The two partition latencies share one
+  // setup, so their ratio is the repair speedup the plan pipeline banks
+  // at 1024 cores.
+  obs::PerfMetric rebuild{"partition_rebuild_ns_10k", "ns", false, 0.5,
+                          0.0, {}};
+  obs::PerfMetric repair{"partition_repair_ns_10k", "ns", false, 0.5,
+                         0.0, {}};
+  obs::PerfMetric scale_evps{"at_scale_sim_events_per_sec", "1/s", true,
+                             0.5, 0.0, {}};
+  // history_resets is 0 in this probe (change-point detection is off);
+  // the absolute floor keeps a future small nonzero count from reading
+  // as an infinite regression against the zero baseline.
+  obs::PerfMetric resets{"history_resets", "count", false, 0.5, 4.0, {}};
 
   for (std::size_t rep = 0; rep < repeats; ++rep) {
     std::fprintf(stderr, "repeat %zu/%zu: runtime probe...\n", rep + 1,
@@ -190,11 +305,19 @@ int cmd_run(int argc, char** argv) {
     steal.values.push_back(rt.steal_latency_ns_p99);
     queue.values.push_back(rt.queue_delay_ns_p99);
     nspc.values.push_back(rt.ns_per_completion);
+    resets.values.push_back(rt.history_resets);
+    std::fprintf(stderr, "repeat %zu/%zu: scale probe (10k classes)...\n",
+                 rep + 1, repeats);
+    const auto scale = run_scale_probe();
+    rebuild.values.push_back(scale.rebuild_ns_mean);
+    repair.values.push_back(scale.repair_ns_mean);
+    scale_evps.values.push_back(run_at_scale_sim_probe());
     std::fprintf(stderr, "repeat %zu/%zu: sim probe (%s)...\n", rep + 1,
                  repeats, scenarios_csv.c_str());
     evps.values.push_back(run_sim_probe(specs));
   }
-  report.metrics = {partition, steal, queue, nspc, evps};
+  report.metrics = {partition, steal,      queue,  nspc, evps,
+                    rebuild,   repair, scale_evps, resets};
 
   const std::string json = obs::render_perf_json(report);
   if (out_path.empty() || out_path == "-") {
