@@ -4,13 +4,81 @@
 // Reports each application's own finish time and the global makespan.
 // Thin renderer over the "multiprogram" scenario-registry entry (the
 // "A+B" workload names resolve to sim::run_multiprogram co-runs).
+//
+// The co-run path is migrating onto the serving layer (src/serve): a
+// closed-loop, single-tenant, admission-free serving run under the shared
+// task scheduler IS the multiprogram co-run. The parity section at the
+// bottom re-runs every grid cell both ways and exits non-zero on any
+// divergence — the executable guard behind tests/serving_test.cpp's
+// cross-check.
 #include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
 
 #include "bench_common.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
+#include "serve/serving.hpp"
+#include "sim/multiprogram.hpp"
 
 using namespace wats;
+
+namespace {
+
+std::vector<workloads::BenchmarkSpec> split_corun(const std::string& name) {
+  std::vector<workloads::BenchmarkSpec> specs;
+  std::size_t start = 0;
+  for (;;) {
+    const std::size_t plus = name.find('+', start);
+    const std::string part = name.substr(
+        start, plus == std::string::npos ? std::string::npos : plus - start);
+    specs.push_back(workloads::benchmark_by_name(part));
+    if (plus == std::string::npos) break;
+    start = plus + 1;
+  }
+  return specs;
+}
+
+/// One cell of the parity check: the closed-loop shared-scheduler serving
+/// run must reproduce run_multiprogram bit-for-bit.
+bool parity_cell(const std::string& workload, const std::string& machine,
+                 sim::SchedulerKind kind, std::uint64_t seed) {
+  const auto specs = split_corun(workload);
+  const core::AmcTopology topo = core::amc_by_name_or_spec(machine);
+  sim::SimConfig sim;
+  sim.seed = seed;
+  const auto direct = sim::run_multiprogram(specs, topo, kind, sim);
+
+  serve::ServingConfig config;
+  config.machine = machine;
+  config.job_specs = specs;
+  config.arrivals.kind = serve::ArrivalKind::kClosed;
+  config.jobs = specs.size();
+  config.tenants = 1;
+  config.policy = serve::LeasePolicy::kShared;
+  config.shared_kind = kind;
+  config.sim = sim;
+  const auto served = serve::run_serving(config);
+
+  bool ok = served.makespan == direct.makespan &&
+            served.admitted == specs.size() && served.rejected == 0;
+  for (std::size_t i = 0; ok && i < specs.size(); ++i) {
+    ok = served.jobs[i].finish == direct.per_app_finish[i];
+  }
+  if (!ok) {
+    std::fprintf(stderr,
+                 "PARITY FAILURE: %s on %s under %s (seed %llu): serving "
+                 "makespan %.6f vs multiprogram %.6f\n",
+                 workload.c_str(), machine.c_str(),
+                 sim::to_string(kind).c_str(),
+                 static_cast<unsigned long long>(seed), served.makespan,
+                 direct.makespan);
+  }
+  return ok;
+}
+
+}  // namespace
 
 int main() {
   std::printf("WATS reproduction — multiprogrammed co-scheduling "
@@ -32,5 +100,21 @@ int main() {
     }
     bench::print_table(std::string("Co-scheduling on ") + machine, t);
   }
+
+  // Serving-layer migration parity: every grid cell, one seed each.
+  std::size_t checked = 0;
+  for (const auto& machine : scenario.machines) {
+    for (const auto& workload : scenario.workloads) {
+      for (const auto kind : scenario.schedulers) {
+        if (!parity_cell(workload, machine, kind, 1 + checked)) {
+          return 1;
+        }
+        ++checked;
+      }
+    }
+  }
+  std::printf("serving-layer parity: %zu co-run cells reproduced exactly "
+              "by serve::run_serving (closed, shared scheduler)\n",
+              checked);
   return 0;
 }

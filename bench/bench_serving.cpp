@@ -1,0 +1,69 @@
+// Serving-layer load sweep: job-level scheduling with malleable c-group
+// leases on one AMC machine. For each (arrival process x load factor x
+// lease policy) grid cell of a serving scenario this reports tail job
+// latency (p50/p99/p999), mean slowdown, goodput, admission counts and
+// lease churn — the serving analogue of the paper's makespan tables.
+//
+// The committed "serving-sweep" scenario is the acceptance grid: at the
+// highest load the speedup-curve-greedy policy must beat EQUI on p99
+// latency (tests/serving_test.cpp asserts it; this binary shows it).
+#include <cstdio>
+#include <cstring>
+#include <string>
+
+#include "serve/scenarios.hpp"
+
+using namespace wats;
+
+int main(int argc, char** argv) {
+  std::string name = "serving-sweep";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strncmp(argv[i], "--scenario=", 11) == 0) {
+      name = argv[i] + 11;
+    } else {
+      std::fprintf(stderr,
+                   "usage: %s [--scenario=<serving scenario name>]\n",
+                   argv[0]);
+      return 2;
+    }
+  }
+
+  const serve::ServingScenario* scenario =
+      serve::find_serving_scenario(name);
+  if (scenario == nullptr) {
+    std::fprintf(stderr, "unknown serving scenario '%s'; known:\n",
+                 name.c_str());
+    for (const auto& s : serve::serving_scenarios()) {
+      std::fprintf(stderr, "  %s — %s\n", s.name.c_str(),
+                   s.summary.c_str());
+    }
+    return 2;
+  }
+
+  std::printf("WATS serving layer — multi-tenant load sweep\n");
+  std::printf("machine %s, %zu jobs over %zu tenants (seed %llu)\n\n",
+              scenario->base.machine.c_str(), scenario->base.jobs,
+              scenario->base.tenants,
+              static_cast<unsigned long long>(scenario->base.sim.seed));
+
+  const auto cells = serve::run_serving_scenario(*scenario);
+  std::printf("%s\n",
+              serve::render_serving_table(*scenario, cells).c_str());
+
+  // Per-tenant dominant shares for the highest-load cell of each policy
+  // under the first arrival process — the DRF view of the sweep.
+  const double top_load = scenario->load_factors.back();
+  const serve::ArrivalKind arrival = scenario->arrival_kinds.front();
+  std::printf("dominant shares at load %.2f (%s arrivals):\n", top_load,
+              serve::to_string(arrival));
+  for (const auto& cell : cells) {
+    if (cell.load != top_load || cell.arrival != arrival) continue;
+    std::printf("  %-9s", serve::to_string(cell.policy));
+    for (std::size_t t = 0; t < cell.result.tenants.size(); ++t) {
+      std::printf(" tenant%zu=%.3f", t,
+                  cell.result.tenants[t].dominant_share);
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

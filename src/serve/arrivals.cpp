@@ -1,0 +1,121 @@
+#include "serve/arrivals.hpp"
+
+#include <cmath>
+
+#include "util/check.hpp"
+#include "util/rng.hpp"
+
+namespace wats::serve {
+
+namespace {
+
+constexpr double kTau = 6.283185307179586476925287;  // 2*pi
+
+double exponential(util::Xoshiro256& rng, double rate) {
+  WATS_CHECK(rate > 0.0);
+  // uniform() is in [0, 1), so 1 - u is in (0, 1] and the log is finite.
+  return -std::log(1.0 - rng.uniform()) / rate;
+}
+
+}  // namespace
+
+std::vector<JobArrival> generate_arrivals(const ArrivalConfig& config,
+                                          std::size_t jobs,
+                                          std::size_t tenants,
+                                          std::size_t spec_count,
+                                          std::uint64_t seed) {
+  WATS_CHECK(tenants > 0);
+  WATS_CHECK(spec_count > 0);
+  std::vector<JobArrival> out;
+  out.reserve(jobs);
+  util::Xoshiro256 rng(seed);
+
+  double now = 0.0;
+  // kMmpp state: start calm, with a full exponential dwell ahead.
+  bool burst = false;
+  double state_ends = 0.0;
+  if (config.kind == ArrivalKind::kMmpp) {
+    WATS_CHECK(config.burst_factor >= 1.0);
+    state_ends = exponential(rng, 1.0 / config.calm_dwell);
+  }
+  // kDiurnal thinning bound: the intensity never exceeds
+  // rate * (1 + amplitude).
+  const double peak_rate = config.rate * (1.0 + config.diurnal_amplitude);
+
+  for (std::size_t i = 0; i < jobs; ++i) {
+    switch (config.kind) {
+      case ArrivalKind::kClosed:
+        break;  // every job at t = 0
+      case ArrivalKind::kPoisson:
+        now += exponential(rng, config.rate);
+        break;
+      case ArrivalKind::kMmpp: {
+        // Walk state changes until the next arrival lands inside the
+        // current state's dwell window.
+        for (;;) {
+          const double rate =
+              burst ? config.rate * config.burst_factor : config.rate;
+          const double gap = exponential(rng, rate);
+          if (now + gap <= state_ends) {
+            now += gap;
+            break;
+          }
+          now = state_ends;
+          burst = !burst;
+          const double dwell =
+              burst ? config.burst_dwell : config.calm_dwell;
+          state_ends = now + exponential(rng, 1.0 / dwell);
+        }
+        break;
+      }
+      case ArrivalKind::kDiurnal: {
+        WATS_CHECK(config.diurnal_amplitude >= 0.0 &&
+                   config.diurnal_amplitude < 1.0);
+        // Lewis-Shedler thinning against the constant peak rate.
+        for (;;) {
+          now += exponential(rng, peak_rate);
+          const double intensity =
+              config.rate *
+              (1.0 + config.diurnal_amplitude *
+                         std::sin(kTau * now / config.diurnal_period));
+          if (rng.uniform() * peak_rate < intensity) break;
+        }
+        break;
+      }
+    }
+    JobArrival a;
+    a.time = now;
+    a.tenant = i % tenants;
+    // Stripe specs per tenant round (not per arrival): with k tenants,
+    // every tenant sees the identical spec sequence — the "k identical
+    // tenants" premise of the EQUI fairness bound.
+    a.spec_index = (i / tenants) % spec_count;
+    out.push_back(a);
+  }
+  return out;
+}
+
+const char* to_string(ArrivalKind kind) {
+  switch (kind) {
+    case ArrivalKind::kClosed:
+      return "closed";
+    case ArrivalKind::kPoisson:
+      return "poisson";
+    case ArrivalKind::kMmpp:
+      return "mmpp";
+    case ArrivalKind::kDiurnal:
+      return "diurnal";
+  }
+  return "?";
+}
+
+ArrivalKind arrival_kind_from_string(const std::string& name) {
+  if (name == "closed") return ArrivalKind::kClosed;
+  if (name == "poisson") return ArrivalKind::kPoisson;
+  if (name == "mmpp") return ArrivalKind::kMmpp;
+  if (name == "diurnal") return ArrivalKind::kDiurnal;
+  WATS_CHECK_MSG(false, "unknown arrival kind");
+  __builtin_unreachable();
+}
+
+}  // namespace wats::serve

@@ -1,0 +1,69 @@
+// Open-loop job arrival processes for the serving layer.
+//
+// A LoadGenerator turns an ArrivalConfig into a concrete, fully
+// materialized arrival stream before the simulation starts: job i arrives
+// at a virtual time drawn from the configured process, belongs to tenant
+// (i mod tenants), and instantiates job spec (i mod spec_count). The
+// stream is a pure function of (config, jobs, tenants, spec_count, seed),
+// which is what the serving determinism tests pin down: same seed means a
+// bit-identical stream, and therefore bit-identical admission decisions
+// and per-job latencies downstream.
+//
+// Three processes (plus the closed-loop degenerate case):
+//  * kPoisson — exponential interarrivals at `rate` (the classic open-loop
+//    M/G/* arrival side).
+//  * kMmpp — a 2-state Markov-modulated Poisson process: a calm state at
+//    `rate` and a burst state at `rate * burst_factor`, with exponential
+//    dwell times. Models flash crowds / bursty tenants.
+//  * kDiurnal — an inhomogeneous Poisson process with sinusoidal intensity
+//    rate * (1 + amplitude * sin(2*pi*t / period)), sampled by thinning.
+//    Models the day/night cycle of a serving fleet.
+//  * kClosed — every job arrives at t = 0 (the multiprogram co-run case;
+//    used by the cross-check against run_multiprogram).
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace wats::serve {
+
+enum class ArrivalKind { kClosed, kPoisson, kMmpp, kDiurnal };
+
+struct ArrivalConfig {
+  ArrivalKind kind = ArrivalKind::kPoisson;
+  /// Mean arrival rate (jobs per unit virtual time). For kMmpp this is the
+  /// calm-state rate; for kDiurnal the mean of the sinusoid.
+  double rate = 1e-3;
+  /// kMmpp: burst-state rate multiplier (>= 1) and mean dwell times in
+  /// each state.
+  double burst_factor = 8.0;
+  double calm_dwell = 20000.0;
+  double burst_dwell = 2500.0;
+  /// kDiurnal: relative amplitude in [0, 1) and period of the cycle.
+  double diurnal_amplitude = 0.8;
+  double diurnal_period = 50000.0;
+};
+
+/// One generated job arrival.
+struct JobArrival {
+  double time = 0.0;
+  std::size_t tenant = 0;      ///< round-robin over the tenant count
+  /// Striped per tenant round ((i / tenants) mod spec_count): every
+  /// tenant sees the identical spec sequence.
+  std::size_t spec_index = 0;
+};
+
+/// Materialize the arrival stream: `jobs` arrivals in nondecreasing time
+/// order. Deterministic: the stream is a pure function of the arguments.
+std::vector<JobArrival> generate_arrivals(const ArrivalConfig& config,
+                                          std::size_t jobs,
+                                          std::size_t tenants,
+                                          std::size_t spec_count,
+                                          std::uint64_t seed);
+
+const char* to_string(ArrivalKind kind);
+/// Inverse of to_string; aborts on unknown names (CLI/scenario wiring).
+ArrivalKind arrival_kind_from_string(const std::string& name);
+
+}  // namespace wats::serve

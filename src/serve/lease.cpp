@@ -1,0 +1,364 @@
+#include "serve/lease.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+
+#include "util/check.hpp"
+
+namespace wats::serve {
+
+namespace {
+
+/// Group indices in dealing order: largest capacity first (index breaks
+/// ties), so the policies hand out the most valuable leases first.
+std::vector<std::size_t> capacity_order(const core::AmcTopology& topo) {
+  std::vector<std::size_t> order(topo.group_count());
+  std::iota(order.begin(), order.end(), std::size_t{0});
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return topo.group_capacity(a) > topo.group_capacity(b);
+                   });
+  return order;
+}
+
+/// Fill jobs in `positions` order: each takes groups (dealing order) until
+/// its parallelism cap is covered. Shared by kFcfs and kDeadline.
+std::vector<std::size_t> fill_in_order(
+    const core::AmcTopology& topo, const std::vector<JobView>& jobs,
+    const std::vector<std::size_t>& positions) {
+  std::vector<std::size_t> owners(topo.group_count(), kUnleased);
+  const std::vector<std::size_t> order = capacity_order(topo);
+  std::size_t next_group = 0;
+  for (const std::size_t p : positions) {
+    std::size_t cores = 0;
+    while (next_group < order.size() && cores < jobs[p].max_cores) {
+      const std::size_t g = order[next_group++];
+      owners[g] = jobs[p].job;
+      cores += topo.group(g).core_count;
+    }
+    if (next_group == order.size()) break;
+  }
+  return owners;
+}
+
+}  // namespace
+
+std::vector<std::size_t> assign_leases(
+    LeasePolicy policy, const core::AmcTopology& topo,
+    const std::vector<JobView>& jobs, double now,
+    const std::vector<std::size_t>* incumbents) {
+  std::vector<std::size_t> owners(topo.group_count(), kUnleased);
+  if (jobs.empty()) return owners;
+
+  // Arrival-order positions (arrival, then stable job id) — the base
+  // ordering every policy starts from.
+  std::vector<std::size_t> by_arrival(jobs.size());
+  std::iota(by_arrival.begin(), by_arrival.end(), std::size_t{0});
+  std::sort(by_arrival.begin(), by_arrival.end(),
+            [&](std::size_t a, std::size_t b) {
+              if (jobs[a].arrival != jobs[b].arrival) {
+                return jobs[a].arrival < jobs[b].arrival;
+              }
+              return jobs[a].job < jobs[b].job;
+            });
+
+  switch (policy) {
+    case LeasePolicy::kShared:
+      WATS_CHECK_MSG(false, "kShared has no lease assignment");
+      __builtin_unreachable();
+
+    case LeasePolicy::kFcfs:
+      return fill_in_order(topo, jobs, by_arrival);
+
+    case LeasePolicy::kDeadline: {
+      std::vector<std::size_t> by_deadline = by_arrival;
+      std::stable_sort(by_deadline.begin(), by_deadline.end(),
+                       [&](std::size_t a, std::size_t b) {
+                         return jobs[a].deadline < jobs[b].deadline;
+                       });
+      return fill_in_order(topo, jobs, by_deadline);
+    }
+
+    case LeasePolicy::kEqui: {
+      // Hierarchical equipartition: deal groups cyclically across tenants
+      // with an uncapped job; within a tenant, the uncapped job holding
+      // the fewest cores (oldest breaks ties) takes the group. While
+      // every tenant stays eligible, one full deal round gives each
+      // tenant exactly one group — so per-tenant group counts never
+      // differ by more than one (the fairness bound).
+      std::vector<std::size_t> tenants;
+      for (const JobView& j : jobs) tenants.push_back(j.tenant);
+      std::sort(tenants.begin(), tenants.end());
+      tenants.erase(std::unique(tenants.begin(), tenants.end()),
+                    tenants.end());
+
+      std::vector<std::size_t> cores_of(jobs.size(), 0);
+      const std::vector<std::size_t> order = capacity_order(topo);
+      std::size_t cursor = 0;
+      for (const std::size_t g : order) {
+        bool dealt = false;
+        for (std::size_t probe = 0; probe < tenants.size() && !dealt;
+             ++probe) {
+          const std::size_t tenant =
+              tenants[(cursor + probe) % tenants.size()];
+          std::size_t pick = jobs.size();
+          for (const std::size_t p : by_arrival) {
+            if (jobs[p].tenant != tenant) continue;
+            if (cores_of[p] >= jobs[p].max_cores) continue;
+            if (pick == jobs.size() || cores_of[p] < cores_of[pick]) {
+              pick = p;  // by_arrival order breaks core-count ties
+            }
+          }
+          if (pick != jobs.size()) {
+            owners[g] = jobs[pick].job;
+            cores_of[pick] += topo.group(g).core_count;
+            cursor = (cursor + probe + 1) % tenants.size();
+            dealt = true;
+          }
+        }
+        if (!dealt) break;  // every job capped: remaining groups unleased
+      }
+      return owners;
+    }
+
+    case LeasePolicy::kSpeedupGreedy: {
+      // Speedup-curve greedy (malleable-jobs model): a job's effective
+      // parallelism saturates geometrically toward its cap (barriers and
+      // pipeline windows keep extra cores idle), so the marginal service
+      // rate of a group shrinks as a job accumulates cores. Each group
+      // goes to the job with the highest marginal rate weighted by its
+      // response ratio (wait + remaining) / remaining — HRRN aging on
+      // top of water-filling. The ratio makes short jobs win early (the
+      // SRPT flavor) while a waiting job's priority grows without bound,
+      // so persistent overload cannot starve slow-draining jobs the way
+      // pure SRPT does. Ties go to less remaining, then earlier arrival,
+      // then job id.
+      const auto speedup = [](double cap, double c) {
+        if (cap <= 1.0) return std::min(c, cap);
+        return cap * (1.0 - std::pow(1.0 - 1.0 / cap, c));
+      };
+      std::vector<std::size_t> cores_of(jobs.size(), 0);
+      const std::vector<std::size_t> order = capacity_order(topo);
+      for (const std::size_t g : order) {
+        const double freq = topo.group(g).frequency_ghz;
+        const std::size_t cores = topo.group(g).core_count;
+        std::size_t best = jobs.size();
+        double best_gain = 0.0;
+        for (std::size_t p = 0; p < jobs.size(); ++p) {
+          const std::size_t slack =
+              jobs[p].max_cores > cores_of[p]
+                  ? jobs[p].max_cores - cores_of[p]
+                  : 0;
+          if (slack == 0) continue;
+          // Clip the curve at instantaneous demand (but never below one
+          // core): a job mid-barrier or mid-flush gets only what it can
+          // run right now, not its structural cap.
+          const double cap = static_cast<double>(std::min(
+              jobs[p].max_cores, std::max<std::size_t>(1, jobs[p].demand)));
+          const double have = static_cast<double>(cores_of[p]);
+          if (have >= cap) continue;
+          const double used =
+              static_cast<double>(std::min(cores, slack));
+          const double rate =
+              freq * (speedup(cap, have + used) - speedup(cap, have));
+          const double remaining = std::max(jobs[p].remaining, 1e-9);
+          const double wait = std::max(0.0, now - jobs[p].arrival);
+          // Response ratio with a floored denominator: a job's priority
+          // grows without bound as it WAITS (so overload cannot starve
+          // it), but depletion (remaining -> 0) can only boost it 4x —
+          // otherwise nearly-done jobs snowball and hoard the machine.
+          const double floor_rem =
+              std::max(remaining, 0.25 * jobs[p].total_work);
+          double gain =
+              rate * (wait + remaining) / std::max(floor_rem, 1e-9);
+          // Lease stickiness: the group's current owner keeps it unless
+          // a challenger's gain is >10% better — recomputes fire on
+          // every task finish, and unpriced re-leases would shuffle
+          // groups (and idle their cores) on marginal-gain noise.
+          if (incumbents != nullptr && (*incumbents)[g] == jobs[p].job) {
+            gain *= 1.10;
+          }
+          if (gain <= 0.0) continue;
+          const bool better =
+              best == jobs.size() || gain > best_gain ||
+              (gain == best_gain &&
+               (jobs[p].remaining < jobs[best].remaining ||
+                (jobs[p].remaining == jobs[best].remaining &&
+                 (jobs[p].arrival < jobs[best].arrival ||
+                  (jobs[p].arrival == jobs[best].arrival &&
+                   jobs[p].job < jobs[best].job)))));
+          if (better) {
+            best = p;
+            best_gain = gain;
+          }
+        }
+        if (best == jobs.size()) break;  // all jobs capped
+        owners[g] = jobs[best].job;
+        cores_of[best] += cores;
+      }
+      return owners;
+    }
+  }
+  WATS_CHECK_MSG(false, "unknown lease policy");
+  __builtin_unreachable();
+}
+
+double usable_capacity(const core::AmcTopology& topo,
+                       const std::vector<std::size_t>& groups,
+                       std::size_t max_cores) {
+  // Fastest groups first: the job saturates its cap with its best cores.
+  std::vector<std::size_t> order = groups;
+  std::stable_sort(order.begin(), order.end(),
+                   [&](std::size_t a, std::size_t b) {
+                     return topo.group(a).frequency_ghz >
+                            topo.group(b).frequency_ghz;
+                   });
+  double capacity = 0.0;
+  std::size_t budget = max_cores;
+  for (const std::size_t g : order) {
+    if (budget == 0) break;
+    const std::size_t used = std::min(budget, topo.group(g).core_count);
+    capacity += static_cast<double>(used) * topo.group(g).frequency_ghz;
+    budget -= used;
+  }
+  return capacity;
+}
+
+namespace {
+
+/// Predicted completion horizon of an assignment: max over runnable jobs
+/// of remaining / usable capacity. A runnable job with NO capacity would
+/// never finish under this assignment; it contributes ten times the rest
+/// of the horizon so the churn gate's improvement rule prices fixing the
+/// starvation as a large win (the default gate never reads this).
+double predicted_horizon(const core::AmcTopology& topo,
+                         const std::vector<std::size_t>& owners,
+                         const std::vector<JobView>& jobs) {
+  double horizon = 0.0;
+  bool starved = false;
+  for (const JobView& j : jobs) {
+    std::vector<std::size_t> groups;
+    for (std::size_t g = 0; g < owners.size(); ++g) {
+      if (owners[g] == j.job) groups.push_back(g);
+    }
+    const double usable = usable_capacity(topo, groups, j.max_cores);
+    if (usable > 0.0) {
+      horizon = std::max(horizon, j.remaining / usable);
+    } else if (j.remaining > 0.0) {
+      starved = true;
+    }
+  }
+  return starved ? std::max(horizon, 1.0) * 10.0 : horizon;
+}
+
+}  // namespace
+
+core::PartitionPlan build_lease_plan(const std::vector<std::size_t>& owners,
+                                     std::size_t slots,
+                                     const core::AmcTopology& topo,
+                                     const std::vector<JobView>& jobs,
+                                     const core::PartitionPlan* previous) {
+  WATS_CHECK(owners.size() == topo.group_count());
+  WATS_CHECK(slots > 0);
+
+  std::vector<core::GroupIndex> assignment(owners.size(), 0);
+  for (std::size_t g = 0; g < owners.size(); ++g) {
+    if (owners[g] == kUnleased) continue;
+    WATS_CHECK_MSG(owners[g] + 1 < slots, "job slot out of range");
+    assignment[g] = owners[g] + 1;
+  }
+
+  core::PartitionPlan plan;
+  plan.epoch = previous != nullptr ? previous->epoch + 1 : 1;
+  plan.map = core::ClusterMap(std::move(assignment), slots);
+
+  // Per-slot predicted finish (slot j+1 = job j); slot 0 stays 0.
+  plan.group_finish.assign(slots, 0.0);
+  double total_remaining = 0.0;
+  for (const JobView& j : jobs) {
+    std::vector<std::size_t> groups;
+    for (std::size_t g = 0; g < owners.size(); ++g) {
+      if (owners[g] == j.job) groups.push_back(g);
+    }
+    const double usable = usable_capacity(topo, groups, j.max_cores);
+    if (usable > 0.0 && j.job + 1 < slots) {
+      plan.group_finish[j.job + 1] = j.remaining / usable;
+    }
+    total_remaining += j.remaining;
+  }
+  plan.makespan = predicted_horizon(topo, owners, jobs);
+  plan.lower_bound = total_remaining / topo.total_capacity();
+  plan.ratio_to_tl =
+      plan.lower_bound > 0.0 ? plan.makespan / plan.lower_bound : 1.0;
+
+  // Diff vs the previous lease map: a group whose owning slot changed is a
+  // "moved class"; the weight that moved is its capacity. Readers of a
+  // missing previous map see everything unleased (slot 0) — the same
+  // fall-back-to-group-0 semantics as partition-plan readers.
+  core::PlanDiff diff;
+  for (std::size_t g = 0; g < owners.size(); ++g) {
+    const core::GroupIndex before =
+        previous != nullptr && g < previous->map.class_count()
+            ? previous->map.cluster_of(static_cast<core::TaskClassId>(g))
+            : 0;
+    if (before != plan.map.cluster_of(static_cast<core::TaskClassId>(g))) {
+      ++diff.classes_moved;
+      diff.weight_moved += topo.group_capacity(g);
+    }
+  }
+  diff.assignment_identical = diff.classes_moved == 0;
+  if (previous != nullptr) {
+    // Horizon of keeping the old leases for the current job set: groups
+    // owned by departed jobs count as unleased.
+    std::vector<std::size_t> stale(owners.size(), kUnleased);
+    for (std::size_t g = 0; g < owners.size(); ++g) {
+      const core::GroupIndex slot =
+          g < previous->map.class_count()
+              ? previous->map.cluster_of(static_cast<core::TaskClassId>(g))
+              : 0;
+      if (slot == 0) continue;
+      const std::size_t job = slot - 1;
+      for (const JobView& j : jobs) {
+        if (j.job == job) {
+          stale[g] = job;
+          break;
+        }
+      }
+    }
+    diff.stale_makespan = predicted_horizon(topo, stale, jobs);
+  } else {
+    diff.stale_makespan = predicted_horizon(
+        topo, std::vector<std::size_t>(owners.size(), kUnleased), jobs);
+  }
+  plan.diff = diff;
+  return plan;
+}
+
+const char* to_string(LeasePolicy policy) {
+  switch (policy) {
+    case LeasePolicy::kShared:
+      return "shared";
+    case LeasePolicy::kFcfs:
+      return "fcfs";
+    case LeasePolicy::kEqui:
+      return "equi";
+    case LeasePolicy::kSpeedupGreedy:
+      return "greedy";
+    case LeasePolicy::kDeadline:
+      return "deadline";
+  }
+  return "?";
+}
+
+LeasePolicy lease_policy_from_string(const std::string& name) {
+  if (name == "shared") return LeasePolicy::kShared;
+  if (name == "fcfs") return LeasePolicy::kFcfs;
+  if (name == "equi") return LeasePolicy::kEqui;
+  if (name == "greedy") return LeasePolicy::kSpeedupGreedy;
+  if (name == "deadline") return LeasePolicy::kDeadline;
+  WATS_CHECK_MSG(false, "unknown lease policy");
+  __builtin_unreachable();
+}
+
+}  // namespace wats::serve

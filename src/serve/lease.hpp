@@ -1,0 +1,115 @@
+// Malleable c-group leases: which job owns which c-group, and when a new
+// lease map is worth publishing.
+//
+// The serving layer allocates whole c-groups to jobs ("leases") and
+// recomputes the allocation on arrival / finish / deadline events. The
+// allocation itself is a pure function of the job set — assign_leases()
+// below — so every policy is deterministic and unit-testable without a
+// simulator. The resulting lease map is packaged as a core::PartitionPlan
+// (items = machine c-groups, groups = job slots, slot 0 = unleased) so
+// lease publication reuses the plan machinery wholesale: PlanDiff counts
+// the groups whose owner changed (lease churn), plan_gate_allows decides
+// whether the new map is worth swinging to (identical maps are skipped by
+// default), and epochs count published lease maps exactly like published
+// partition plans.
+//
+// Policies (see docs/SERVING.md):
+//  * kFcfs          — jobs in arrival order take the fastest groups up to
+//                     their parallelism cap.
+//  * kEqui          — hierarchical equipartition: groups (capacity-sorted)
+//                     are dealt cyclically across tenants with eligible
+//                     jobs, then within a tenant to its oldest uncapped
+//                     job. At every instant the per-tenant group counts
+//                     differ by at most one — the DRF-ish fairness bound
+//                     the property tests pin down.
+//  * kSpeedupGreedy — each group goes to the job with the best marginal
+//                     gain on a concave speedup curve (geometric
+//                     saturation toward the parallelism cap, clipped at
+//                     the job's instantaneous demand), weighted by a
+//                     response ratio (wait + remaining) / remaining with
+//                     a floored denominator — demand-aware water-filling
+//                     with HRRN aging, the malleable-jobs model. Beats
+//                     EQUI's processor-sharing on p99 latency at
+//                     saturation load (the acceptance cell the serving
+//                     tests assert).
+//  * kDeadline      — earliest-deadline-first: like kFcfs but in deadline
+//                     order.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "core/partition_plan.hpp"
+#include "core/topology.hpp"
+
+namespace wats::serve {
+
+enum class LeasePolicy {
+  kShared,  ///< no leases: all jobs share one task-level scheduler
+  kFcfs,
+  kEqui,
+  kSpeedupGreedy,
+  kDeadline,
+};
+
+/// What a lease policy needs to know about one runnable job.
+struct JobView {
+  std::size_t job = 0;     ///< stable job index (arrival order)
+  std::size_t tenant = 0;
+  double arrival = 0.0;
+  double deadline = 0.0;
+  double remaining = 0.0;  ///< estimated remaining F1-normalized work
+  double total_work = 0.0;  ///< expected work at admission (aging floor)
+  std::size_t max_cores = 1;  ///< parallelism cap (speedup saturates here)
+  /// Instantaneous runnable parallelism (queued tasks + cores currently
+  /// serving the job). kSpeedupGreedy clips its speedup curve here so a
+  /// draining job (barrier tail, pipeline flush) cannot hoard cores it
+  /// has no tasks for; the default leaves the curve uncapped.
+  std::size_t demand = static_cast<std::size_t>(-1);
+};
+
+/// Sentinel owner for groups no job can use (all jobs capped).
+inline constexpr std::size_t kUnleased = static_cast<std::size_t>(-1);
+
+/// Allocate every c-group of `topo` to at most one job: result[g] is the
+/// owning JobView::job, or kUnleased. Pure and deterministic: the output
+/// depends only on the arguments. Every job with max_cores > 0 is
+/// guaranteed a group whenever fewer jobs than groups are runnable, so no
+/// runnable job starves once earlier jobs finish. `incumbents` (optional,
+/// same shape as the result) names each group's current owner;
+/// kSpeedupGreedy gives the incumbent a 10% gain edge for that specific
+/// group, so marginal-gain oscillation has to clear a real bar before a
+/// lease changes hands. Other policies have stable orderings and ignore
+/// it.
+std::vector<std::size_t> assign_leases(
+    LeasePolicy policy, const core::AmcTopology& topo,
+    const std::vector<JobView>& jobs, double now,
+    const std::vector<std::size_t>* incumbents = nullptr);
+
+/// Usable capacity of a job that owns `groups` (indices into topo): sums
+/// group capacity counting at most max_cores cores, fastest groups first —
+/// the piecewise-linear speedup curve of the malleable-jobs model.
+double usable_capacity(const core::AmcTopology& topo,
+                       const std::vector<std::size_t>& groups,
+                       std::size_t max_cores);
+
+/// Package a lease assignment (per-group owner, kUnleased allowed) as a
+/// PartitionPlan: map items are machine c-groups, map groups are job slots
+/// (slot 0 = unleased, slot j+1 = job j), and the diff vs `previous`
+/// counts groups whose owner changed — weight_moved is the capacity that
+/// changed hands. `makespan` carries the predicted completion horizon of
+/// the assignment (max remaining/usable over leased jobs) so the churn
+/// gate's improvement rule can price a re-lease; `slots` fixes the slot
+/// count so maps stay comparable across recomputes.
+core::PartitionPlan build_lease_plan(const std::vector<std::size_t>& owners,
+                                     std::size_t slots,
+                                     const core::AmcTopology& topo,
+                                     const std::vector<JobView>& jobs,
+                                     const core::PartitionPlan* previous);
+
+const char* to_string(LeasePolicy policy);
+/// Inverse of to_string; aborts on unknown names (CLI/scenario wiring).
+LeasePolicy lease_policy_from_string(const std::string& name);
+
+}  // namespace wats::serve

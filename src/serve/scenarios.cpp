@@ -1,0 +1,191 @@
+#include "serve/scenarios.hpp"
+
+#include <algorithm>
+#include <cstdio>
+
+#include "core/topology.hpp"
+#include "util/check.hpp"
+
+namespace wats::serve {
+
+workloads::BenchmarkSpec serving_batch_job(const std::string& bench,
+                                           std::size_t batches,
+                                           std::size_t task_div) {
+  workloads::BenchmarkSpec spec = workloads::benchmark_by_name(bench);
+  WATS_CHECK(spec.kind == workloads::BenchKind::kBatch);
+  WATS_CHECK(batches > 0 && task_div > 0);
+  spec.batches = batches;
+  for (auto& cls : spec.classes) {
+    cls.tasks_per_batch = std::max<std::size_t>(1, cls.tasks_per_batch / task_div);
+  }
+  return spec;
+}
+
+workloads::BenchmarkSpec serving_pipeline_job(const std::string& bench,
+                                              std::size_t items,
+                                              std::size_t window) {
+  workloads::BenchmarkSpec spec = workloads::benchmark_by_name(bench);
+  WATS_CHECK(spec.kind == workloads::BenchKind::kPipeline);
+  WATS_CHECK(items > 0 && window > 0);
+  spec.pipeline_items = items;
+  spec.pipeline_window = window;
+  return spec;
+}
+
+namespace {
+
+std::vector<ServingScenario> build_scenarios() {
+  std::vector<ServingScenario> scenarios;
+
+  // The serving machine: 16 cores in 8 DISTINCT-frequency c-groups (the
+  // topology constructor merges equal-frequency groups, and group-
+  // granular leases want granularity).
+  const std::string machine =
+      "2x2.6+2x2.4+2x2.2+2x2.0+2x1.4+2x1.2+2x1.0+2x0.8";
+
+  {
+    ServingScenario s;
+    s.name = "serving-sweep";
+    s.summary =
+        "Acceptance sweep: 4 lease policies x {poisson,mmpp} x 3 loads, "
+        "120 jobs over 3 tenants, no admission control";
+    s.base.machine = machine;
+    // Near-homogeneous job sizes (expected works ~5.3k/5.3k/5.8k): the
+    // sweep measures POLICY differences, not job-size luck — and the
+    // shortest-remaining-first flavor of the greedy policy has no heavy
+    // tail of giant jobs to starve.
+    s.base.job_specs = {serving_batch_job("LZW", 2, 4),
+                        serving_batch_job("GA", 1, 5),
+                        serving_pipeline_job("Dedup", 32, 8)};
+    s.base.jobs = 120;
+    s.base.tenants = 3;
+    s.base.deadline_scale = 6.0;
+    s.base.sim.seed = 97;
+    s.policies = {LeasePolicy::kFcfs, LeasePolicy::kEqui,
+                  LeasePolicy::kSpeedupGreedy, LeasePolicy::kDeadline};
+    s.arrival_kinds = {ArrivalKind::kPoisson, ArrivalKind::kMmpp};
+    s.load_factors = {0.6, 1.0, 1.4};
+    scenarios.push_back(std::move(s));
+  }
+
+  {
+    ServingScenario s;
+    s.name = "serving-smoke";
+    s.summary =
+        "CI smoke: {equi,greedy,shared} x {poisson,diurnal} x 2 loads, "
+        "48 jobs over 2 tenants, admission control on";
+    s.base.machine = machine;
+    s.base.job_specs = {serving_batch_job("MD5", 1, 8),
+                        serving_batch_job("GA", 2, 4)};
+    s.base.jobs = 48;
+    s.base.tenants = 2;
+    s.base.deadline_scale = 6.0;
+    s.base.sim.seed = 1009;
+    s.base.admission.enabled = true;
+    s.base.admission.token_burst = 6.0;
+    s.base.admission.queue_cap = 16;
+    s.policies = {LeasePolicy::kEqui, LeasePolicy::kSpeedupGreedy,
+                  LeasePolicy::kShared};
+    s.arrival_kinds = {ArrivalKind::kPoisson, ArrivalKind::kDiurnal};
+    s.load_factors = {0.8, 1.3};
+    scenarios.push_back(std::move(s));
+  }
+
+  return scenarios;
+}
+
+}  // namespace
+
+const std::vector<ServingScenario>& serving_scenarios() {
+  static const std::vector<ServingScenario> scenarios = build_scenarios();
+  return scenarios;
+}
+
+const ServingScenario* find_serving_scenario(const std::string& name) {
+  for (const ServingScenario& s : serving_scenarios()) {
+    if (s.name == name) return &s;
+  }
+  return nullptr;
+}
+
+ServingConfig cell_config(const ServingScenario& scenario,
+                          LeasePolicy policy, ArrivalKind arrival,
+                          double load) {
+  ServingConfig config = scenario.base;
+  config.policy = policy;
+  config.arrivals.kind = arrival;
+
+  // Self-calibrating load: rate = load * capacity / mean job work, so
+  // load 1.0 offers exactly the machine's aggregate service capacity.
+  const core::AmcTopology topo = core::amc_by_name_or_spec(config.machine);
+  double mean_work = 0.0;
+  for (const auto& spec : config.job_specs) {
+    mean_work += expected_total_work(spec);
+  }
+  mean_work /= static_cast<double>(config.job_specs.size());
+  WATS_CHECK(mean_work > 0.0);
+  const double rate = load * topo.total_capacity() / mean_work;
+  config.arrivals.rate = rate;
+  // Keep burstiness shape-invariant across loads: dwells and the diurnal
+  // period scale with the mean interarrival time 1 / rate.
+  config.arrivals.calm_dwell = 20.0 / rate;
+  config.arrivals.burst_dwell = 2.5 / rate;
+  config.arrivals.diurnal_period = 30.0 / rate;
+  if (config.admission.enabled) {
+    // Admit at most ~90% of the saturation rate: overload sheds load
+    // through rejections instead of unbounded queueing.
+    config.admission.token_rate =
+        0.9 * topo.total_capacity() / mean_work;
+  }
+  return config;
+}
+
+std::vector<ServingCell> run_serving_scenario(
+    const ServingScenario& scenario) {
+  std::vector<ServingCell> cells;
+  for (const ArrivalKind arrival : scenario.arrival_kinds) {
+    for (const double load : scenario.load_factors) {
+      for (const LeasePolicy policy : scenario.policies) {
+        ServingCell cell;
+        cell.policy = policy;
+        cell.arrival = arrival;
+        cell.load = load;
+        cell.result =
+            run_serving(cell_config(scenario, policy, arrival, load));
+        cells.push_back(std::move(cell));
+      }
+    }
+  }
+  return cells;
+}
+
+std::string render_serving_table(const ServingScenario& scenario,
+                                 const std::vector<ServingCell>& cells) {
+  std::string out;
+  char line[256];
+  std::snprintf(line, sizeof(line), "serving scenario %s: %s\n",
+                scenario.name.c_str(), scenario.summary.c_str());
+  out += line;
+  std::snprintf(line, sizeof(line),
+                "%-8s %-5s %-9s %10s %10s %10s %8s %8s %6s %6s %6s\n",
+                "arrival", "load", "policy", "p50_lat", "p99_lat",
+                "p999_lat", "slowdown", "goodput", "admit", "reject",
+                "churn");
+  out += line;
+  for (const ServingCell& cell : cells) {
+    const ServingResult& r = cell.result;
+    std::snprintf(line, sizeof(line),
+                  "%-8s %-5.2f %-9s %10.1f %10.1f %10.1f %8.2f %8.3f "
+                  "%6llu %6llu %6llu\n",
+                  to_string(cell.arrival), cell.load,
+                  to_string(cell.policy), r.p50_latency, r.p99_latency,
+                  r.p999_latency, r.mean_slowdown, r.goodput,
+                  static_cast<unsigned long long>(r.admitted),
+                  static_cast<unsigned long long>(r.rejected),
+                  static_cast<unsigned long long>(r.lease_churn));
+    out += line;
+  }
+  return out;
+}
+
+}  // namespace wats::serve

@@ -1,0 +1,83 @@
+// Declarative serving scenarios: named load sweeps over (policy x arrival
+// process x load factor) grids, runnable from bench_serving, wats_run and
+// the tests from one registry.
+//
+// A ServingScenario fixes the machine, the job templates and the sweep
+// axes; cell_config() materializes one grid cell into a concrete
+// ServingConfig. The arrival rate is self-calibrating: a load factor L
+// sets the rate to L * machine_capacity / mean_job_work, i.e. L = 1 is
+// the machine's saturation point, L > 1 is overload. The MMPP dwells and
+// the diurnal period scale with the mean interarrival so burstiness is
+// shape-invariant across loads.
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "serve/serving.hpp"
+
+namespace wats::serve {
+
+struct ServingScenario {
+  std::string name;
+  std::string summary;
+  ServingConfig base;  ///< machine, specs, jobs, tenants, admission, sim
+  std::vector<LeasePolicy> policies;
+  std::vector<ArrivalKind> arrival_kinds;
+  std::vector<double> load_factors;
+};
+
+/// One evaluated grid cell.
+struct ServingCell {
+  LeasePolicy policy = LeasePolicy::kFcfs;
+  ArrivalKind arrival = ArrivalKind::kPoisson;
+  double load = 1.0;
+  ServingResult result;
+};
+
+/// The built-in serving scenarios:
+///  * "serving-sweep" — the committed acceptance sweep: 4 lease policies
+///    x {poisson, mmpp} x 3 loads on a 16-core 8-group machine; the tests
+///    assert speedup-curve-greedy beats EQUI on p99 latency at the
+///    highest load.
+///  * "serving-smoke" — the CI smoke: smaller grid with admission control
+///    enabled (rejections exercised) and the shared-scheduler baseline.
+const std::vector<ServingScenario>& serving_scenarios();
+
+/// Lookup by name; nullptr when unknown.
+const ServingScenario* find_serving_scenario(const std::string& name);
+
+/// Materialize one grid cell: sets policy and the arrival process, and
+/// calibrates rate / dwells / period (and the admission token rate) to
+/// the load factor.
+ServingConfig cell_config(const ServingScenario& scenario,
+                          LeasePolicy policy, ArrivalKind arrival,
+                          double load);
+
+/// Run the full grid of a scenario, cells ordered arrival-major, then
+/// load, then policy.
+std::vector<ServingCell> run_serving_scenario(
+    const ServingScenario& scenario);
+
+/// Render the grid as the human-readable sweep table (one row per cell:
+/// p50/p99/p999 latency, slowdown, goodput, admitted/rejected, lease
+/// churn). Shared by bench_serving and wats_run.
+std::string render_serving_table(const ServingScenario& scenario,
+                                 const std::vector<ServingCell>& cells);
+
+/// Shrunken batch benchmark for serving jobs: `bench` with the batch
+/// count replaced and each class's per-batch task count divided by
+/// `task_div` (floor 1). Exported so the tests build the same jobs the
+/// committed scenarios run.
+workloads::BenchmarkSpec serving_batch_job(const std::string& bench,
+                                           std::size_t batches,
+                                           std::size_t task_div);
+
+/// Shrunken pipeline benchmark: `bench` with the item count and window
+/// replaced.
+workloads::BenchmarkSpec serving_pipeline_job(const std::string& bench,
+                                              std::size_t items,
+                                              std::size_t window);
+
+}  // namespace wats::serve

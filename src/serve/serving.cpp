@@ -1,0 +1,560 @@
+#include "serve/serving.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <deque>
+#include <memory>
+#include <utility>
+
+#include "sim/workload_adapter.hpp"
+#include "util/check.hpp"
+
+namespace wats::serve {
+
+namespace {
+
+constexpr std::size_t kNoJob = static_cast<std::size_t>(-1);
+
+/// One admitted job instance.
+struct Job {
+  std::size_t arrival_index = 0;  ///< index into the arrival stream
+  std::size_t tenant = 0;
+  std::size_t spec_index = 0;
+  double arrival = 0.0;
+  double deadline = 0.0;
+  double ideal = 0.0;
+  // unique_ptr: the driver holds a reference to the spec, so the spec's
+  // address must survive vector reallocation (same as CompositeWorkload).
+  std::unique_ptr<workloads::BenchmarkSpec> spec;
+  std::unique_ptr<sim::Workload> driver;
+  std::uint64_t outstanding = 0;
+  double remaining = 0.0;  ///< estimated remaining F1-normalized work
+  double total_work = 0.0;  ///< expected work at admission
+  std::size_t max_cores = 1;
+  double finish = 0.0;
+  bool done = false;
+};
+
+/// State shared between the workload driver and the lease scheduler.
+struct ServingShared {
+  const core::AmcTopology* topo = nullptr;
+  std::vector<std::size_t> job_of_class;  ///< class id -> job index
+  std::vector<std::size_t> group_owner;   ///< group -> job index/kUnleased
+  std::vector<std::deque<sim::SimTask>> queues;  ///< per-job FIFO
+  std::vector<std::size_t> running;  ///< per-job tasks currently on cores
+};
+
+/// Task-level scheduler for leased serving: each job has one FIFO queue;
+/// a core only takes work from the job that currently leases its c-group.
+/// No stealing, no snatching, no randomness — serving determinism does
+/// not depend on engine RNG state, and lease semantics stay strict.
+class LeaseScheduler : public sim::Scheduler {
+ public:
+  explicit LeaseScheduler(ServingShared& shared) : shared_(shared) {}
+
+  void bind(sim::Engine& engine) override { (void)engine; }
+
+  void on_spawn(sim::Engine& engine, sim::SimTask task,
+                core::CoreIndex spawner) override {
+    (void)engine;
+    (void)spawner;
+    WATS_CHECK_MSG(task.cls < shared_.job_of_class.size() &&
+                       shared_.job_of_class[task.cls] != kNoJob,
+                   "spawned task belongs to no serving job");
+    shared_.queues[shared_.job_of_class[task.cls]].push_back(
+        std::move(task));
+  }
+
+  std::optional<sim::Acquired> acquire(sim::Engine& engine,
+                                       core::CoreIndex core) override {
+    (void)engine;
+    const core::GroupIndex g = shared_.topo->group_of_core(core);
+    const std::size_t owner = shared_.group_owner[g];
+    if (owner == kUnleased) return std::nullopt;
+    auto& queue = shared_.queues[owner];
+    if (queue.empty()) return std::nullopt;
+    sim::Acquired acquired{std::move(queue.front()), 0.0};
+    queue.pop_front();
+    ++shared_.running[owner];
+    return acquired;
+  }
+
+  bool has_pending() const override {
+    for (const auto& q : shared_.queues) {
+      if (!q.empty()) return true;
+    }
+    return false;
+  }
+
+ private:
+  ServingShared& shared_;
+};
+
+/// The workload driver: materializes the arrival stream, admits jobs,
+/// runs each admitted job's BenchmarkSpec driver, and (in lease mode)
+/// recomputes leases on arrival / finish / deadline events.
+class ServingWorkload : public sim::Workload {
+ public:
+  ServingWorkload(const ServingConfig& config,
+                  const core::AmcTopology& topo,
+                  core::TaskClassRegistry& registry,
+                  std::vector<JobArrival> arrivals, ServingShared& shared)
+      : config_(config),
+        topo_(topo),
+        registry_(registry),
+        arrivals_(std::move(arrivals)),
+        shared_(shared),
+        lease_mode_(config.policy != LeasePolicy::kShared),
+        tokens_(config.admission.token_burst),
+        outcomes_(arrivals_.size()) {
+    shared_.topo = &topo_;
+    shared_.group_owner.assign(topo_.group_count(), kUnleased);
+    usage_.resize(config_.tenants);
+    for (std::size_t i = 0; i < arrivals_.size(); ++i) {
+      outcomes_[i].tenant = arrivals_[i].tenant;
+      outcomes_[i].spec_index = arrivals_[i].spec_index;
+      outcomes_[i].arrival = arrivals_[i].time;
+    }
+  }
+
+  void start(sim::Engine& engine) override {
+    // t = 0 arrivals run inline, in stream order — in closed mode this
+    // reproduces CompositeWorkload::start's member loop exactly (same
+    // interning order, same driver seeds), which is what the
+    // run_multiprogram cross-check rests on.
+    std::size_t i = 0;
+    for (; i < arrivals_.size() && arrivals_[i].time <= 0.0; ++i) {
+      arrive(engine, i);
+    }
+    for (; i < arrivals_.size(); ++i) {
+      const std::size_t index = i;
+      engine.call_at(arrivals_[i].time, [this, index](sim::Engine& e) {
+        arrive(e, index);
+      });
+    }
+    if (lease_mode_) recompute_leases(engine);
+  }
+
+  void on_complete(sim::Engine& engine, const sim::SimTask& task,
+                   core::CoreIndex core) override {
+    WATS_CHECK_MSG(task.cls < shared_.job_of_class.size() &&
+                       shared_.job_of_class[task.cls] != kNoJob,
+                   "completed task belongs to no serving job");
+    const std::size_t job_index = shared_.job_of_class[task.cls];
+    Job& job = jobs_[job_index];
+    if (lease_mode_) {
+      WATS_CHECK(shared_.running[job_index] > 0);
+      --shared_.running[job_index];
+    }
+    job.driver->on_complete(engine, task, core);
+    job.remaining = std::max(0.0, job.remaining - task.work);
+    WATS_CHECK(job.outstanding > 0);
+    if (--job.outstanding == 0) {
+      WATS_CHECK(job.driver->done());
+      job.done = true;
+      job.finish = engine.now();
+      ++finished_;
+      JobOutcome& out = outcomes_[job.arrival_index];
+      out.finish = job.finish;
+      out.latency = job.finish - job.arrival;
+      out.slowdown = job.ideal > 0.0 ? out.latency / job.ideal : 0.0;
+      out.met_deadline = job.finish <= job.deadline;
+    }
+    // Recompute on EVERY finish, not just job completions: queue depths
+    // (and so demand) shift task by task, and a lease map sized to stale
+    // demand strands cores on a draining job. The plan gate skips
+    // publication when the recomputed map is identical, so steady states
+    // cost a skip counter bump, not churn.
+    if (lease_mode_) recompute_leases(engine);
+  }
+
+  bool done() const override {
+    return arrivals_started_ == arrivals_.size() && finished_ == admitted_;
+  }
+
+  // ---- result assembly (after Engine::run) ----
+
+  void finalize(ServingResult& result, double makespan) {
+    result.jobs = outcomes_;
+    result.arrived = arrivals_started_;
+    result.admitted = admitted_;
+    result.rejected = rejected_;
+    result.finished = finished_;
+    result.lease_publishes = lease_publishes_;
+    result.lease_skips = lease_skips_;
+    result.lease_epoch = plan_ != nullptr ? plan_->epoch : 0;
+    result.lease_churn = lease_churn_;
+    result.peak_leased_groups = peak_leased_groups_;
+    result.peak_leased_cores = peak_leased_cores_;
+    result.peak_active_jobs = peak_active_jobs_;
+
+    std::vector<double> latencies;
+    double slowdown_sum = 0.0;
+    std::uint64_t met = 0;
+    for (const JobOutcome& out : outcomes_) {
+      if (!out.admitted || out.finish <= 0.0) continue;
+      latencies.push_back(out.latency);
+      slowdown_sum += out.slowdown;
+      if (out.met_deadline) ++met;
+    }
+    result.p50_latency = exact_percentile(latencies, 0.50);
+    result.p99_latency = exact_percentile(latencies, 0.99);
+    result.p999_latency = exact_percentile(latencies, 0.999);
+    result.mean_slowdown =
+        latencies.empty() ? 0.0
+                          : slowdown_sum /
+                                static_cast<double>(latencies.size());
+    result.goodput = makespan > 0.0
+                         ? static_cast<double>(met) * 1000.0 / makespan
+                         : 0.0;
+
+    // Dominant shares vs the capacity-seconds the run offered.
+    double fast_capacity = 0.0;
+    double slow_capacity = 0.0;
+    const double midpoint = fast_midpoint();
+    for (core::GroupIndex g = 0; g < topo_.group_count(); ++g) {
+      (topo_.group(g).frequency_ghz >= midpoint ? fast_capacity
+                                                : slow_capacity) +=
+          topo_.group_capacity(g);
+    }
+    result.tenants = usage_;
+    for (TenantUsage& u : result.tenants) {
+      const double fast_share =
+          fast_capacity > 0.0 && makespan > 0.0
+              ? u.fast_capacity_seconds / (fast_capacity * makespan)
+              : 0.0;
+      const double slow_share =
+          slow_capacity > 0.0 && makespan > 0.0
+              ? u.slow_capacity_seconds / (slow_capacity * makespan)
+              : 0.0;
+      u.dominant_share = std::max(fast_share, slow_share);
+    }
+  }
+
+ private:
+  double fast_midpoint() const {
+    return (topo_.fastest_frequency() +
+            topo_.group(topo_.group_count() - 1).frequency_ghz) /
+           2.0;
+  }
+
+  bool admit(double now) {
+    if (!config_.admission.enabled) return true;
+    // Token bucket in virtual time, then the queue-length cap.
+    tokens_ = std::min(config_.admission.token_burst,
+                       tokens_ + (now - tokens_updated_) *
+                                     config_.admission.token_rate);
+    tokens_updated_ = now;
+    if (tokens_ < 1.0) return false;
+    if (admitted_ - finished_ >= config_.admission.queue_cap) return false;
+    tokens_ -= 1.0;
+    return true;
+  }
+
+  void arrive(sim::Engine& engine, std::size_t index) {
+    WATS_CHECK(index == arrivals_started_);
+    ++arrivals_started_;
+    const JobArrival& a = arrivals_[index];
+    if (!admit(engine.now())) {
+      ++rejected_;  // rejections change no leases; no recompute
+      return;
+    }
+    ++admitted_;
+
+    Job job;
+    job.arrival_index = index;
+    job.tenant = a.tenant;
+    job.spec_index = a.spec_index;
+    job.arrival = engine.now();
+    const std::size_t job_index = jobs_.size();
+    // Same per-member naming and seeding scheme as CompositeWorkload, so
+    // closed-mode kShared runs are bit-identical to run_multiprogram.
+    job.spec = std::make_unique<workloads::BenchmarkSpec>(
+        config_.job_specs[a.spec_index]);
+    for (auto& cls : job.spec->classes) {
+      cls.name = "app" + std::to_string(job_index) + "/" + job.spec->name +
+                 "/" + cls.name;
+    }
+    job.driver = sim::make_workload(
+        *job.spec, registry_,
+        (config_.sim.seed ^ 0xC0FFEEu) + job_index);
+    job.outstanding = job.spec->total_tasks();
+    job.remaining = expected_total_work(*job.spec);
+    job.total_work = job.remaining;
+    job.max_cores = parallelism_cap(*job.spec);
+    job.ideal = ideal_duration(*job.spec, topo_);
+    job.deadline = job.arrival + config_.deadline_scale * job.ideal;
+
+    JobOutcome& out = outcomes_[index];
+    out.admitted = true;
+    out.ideal = job.ideal;
+    out.deadline = job.deadline;
+
+    jobs_.push_back(std::move(job));
+    shared_.queues.resize(jobs_.size());
+    shared_.running.resize(jobs_.size(), 0);
+    peak_active_jobs_ =
+        std::max(peak_active_jobs_,
+                 static_cast<std::size_t>(admitted_ - finished_));
+
+    // Map this job's class ids BEFORE starting its driver: start() spawns
+    // tasks synchronously and the lease scheduler routes each spawn
+    // through job_of_class. Pre-interning is id-identical to letting the
+    // driver intern (all drivers intern spec.classes in order, and
+    // intern() is idempotent), so closed-mode kShared parity with
+    // CompositeWorkload is preserved. An explicit id->job map, not a
+    // range — jobs intern at staggered times, so ranges would interleave.
+    const std::size_t before = registry_.size();
+    for (const auto& cls : jobs_.back().spec->classes) {
+      const core::TaskClassId id = registry_.intern(cls.name);
+      if (id >= shared_.job_of_class.size()) {
+        shared_.job_of_class.resize(id + 1, kNoJob);
+      }
+      WATS_CHECK_MSG(shared_.job_of_class[id] == kNoJob,
+                     "task class claimed by two jobs");
+      shared_.job_of_class[id] = job_index;
+    }
+    WATS_CHECK_MSG(registry_.size() > before,
+                   "job interned no task classes");
+    jobs_.back().driver->start(engine);
+
+    if (lease_mode_) {
+      recompute_leases(engine);
+      if (config_.policy == LeasePolicy::kDeadline &&
+          jobs_[job_index].deadline > engine.now()) {
+        engine.call_at(jobs_[job_index].deadline,
+                       [this](sim::Engine& e) { recompute_leases(e); });
+      }
+    }
+  }
+
+  std::size_t parallelism_cap(const workloads::BenchmarkSpec& spec) const {
+    switch (spec.kind) {
+      case workloads::BenchKind::kBatch:
+        return std::max<std::size_t>(1, spec.tasks_per_batch());
+      case workloads::BenchKind::kPipeline:
+        return std::max<std::size_t>(
+            1, spec.pipeline_window > 0 ? spec.pipeline_window
+                                        : spec.pipeline_items);
+      case workloads::BenchKind::kReplay:
+        return topo_.total_cores();
+    }
+    return 1;
+  }
+
+  void accrue_usage(double now) {
+    const double dt = now - last_accrual_;
+    last_accrual_ = now;
+    if (dt <= 0.0) return;
+    const double midpoint = fast_midpoint();
+    for (core::GroupIndex g = 0; g < topo_.group_count(); ++g) {
+      const std::size_t owner = shared_.group_owner[g];
+      if (owner == kUnleased) continue;
+      TenantUsage& u = usage_[jobs_[owner].tenant];
+      (topo_.group(g).frequency_ghz >= midpoint
+           ? u.fast_capacity_seconds
+           : u.slow_capacity_seconds) += topo_.group_capacity(g) * dt;
+    }
+  }
+
+  void recompute_leases(sim::Engine& engine) {
+    // Settle the accounting for the interval the outgoing leases covered
+    // before the map changes hands.
+    accrue_usage(engine.now());
+
+    std::vector<JobView> views;
+    for (std::size_t j = 0; j < jobs_.size(); ++j) {
+      const Job& job = jobs_[j];
+      if (job.done) continue;
+      JobView v;
+      v.job = j;
+      v.tenant = job.tenant;
+      v.arrival = job.arrival;
+      v.deadline = job.deadline;
+      v.remaining = job.remaining;
+      v.total_work = job.total_work;
+      v.max_cores = job.max_cores;
+      // Instantaneous demand: queued tasks plus tasks on cores right
+      // now. A job whose demand is momentarily zero still floors to one
+      // core inside the policy, and every task finish recomputes — so
+      // clipping can delay a job by at most one event gap, never
+      // deadlock it.
+      v.demand = shared_.queues[j].size() + shared_.running[j];
+      views.push_back(v);
+    }
+    const std::vector<std::size_t> owners = assign_leases(
+        config_.policy, topo_, views, engine.now(), &shared_.group_owner);
+    if (config_.lease_observer) {
+      config_.lease_observer(engine.now(), owners, views);
+    }
+
+    core::PartitionPlan candidate = build_lease_plan(
+        owners, arrivals_.size() + 1, topo_, views, plan_.get());
+    if (!core::plan_gate_allows(config_.lease_gate, candidate)) {
+      ++lease_skips_;
+      return;
+    }
+    lease_churn_ += candidate.diff.classes_moved;
+    ++lease_publishes_;
+    plan_ = std::make_unique<core::PartitionPlan>(std::move(candidate));
+    shared_.group_owner = owners;
+
+    std::size_t leased_groups = 0;
+    std::size_t leased_cores = 0;
+    for (core::GroupIndex g = 0; g < owners.size(); ++g) {
+      if (owners[g] == kUnleased) continue;
+      ++leased_groups;
+      leased_cores += topo_.group(g).core_count;
+    }
+    peak_leased_groups_ = std::max(peak_leased_groups_, leased_groups);
+    peak_leased_cores_ = std::max(peak_leased_cores_, leased_cores);
+  }
+
+  const ServingConfig& config_;
+  const core::AmcTopology& topo_;
+  core::TaskClassRegistry& registry_;
+  const std::vector<JobArrival> arrivals_;
+  ServingShared& shared_;
+  const bool lease_mode_;
+
+  std::vector<Job> jobs_;  ///< admitted jobs, in admission order
+  std::size_t arrivals_started_ = 0;
+  std::uint64_t admitted_ = 0;
+  std::uint64_t rejected_ = 0;
+  std::uint64_t finished_ = 0;
+  double tokens_ = 0.0;
+  double tokens_updated_ = 0.0;
+
+  std::unique_ptr<core::PartitionPlan> plan_;  ///< current lease map
+  std::uint64_t lease_publishes_ = 0;
+  std::uint64_t lease_skips_ = 0;
+  std::uint64_t lease_churn_ = 0;
+  std::size_t peak_leased_groups_ = 0;
+  std::size_t peak_leased_cores_ = 0;
+  std::size_t peak_active_jobs_ = 0;
+  double last_accrual_ = 0.0;
+  std::vector<TenantUsage> usage_;
+  std::vector<JobOutcome> outcomes_;
+};
+
+}  // namespace
+
+double expected_total_work(const workloads::BenchmarkSpec& spec) {
+  using workloads::BenchKind;
+  double work = 0.0;
+  switch (spec.kind) {
+    case BenchKind::kBatch:
+      for (std::size_t b = 1; b <= spec.batches; ++b) {
+        for (std::size_t c = 0; c < spec.classes.size(); ++c) {
+          work += spec.classes[c].mean_work * spec.phase_multiplier(b, c) *
+                  static_cast<double>(spec.classes[c].tasks_per_batch);
+        }
+      }
+      break;
+    case BenchKind::kPipeline: {
+      double per_item = 0.0;
+      if (!spec.pipeline_stages.empty()) {
+        for (const auto& stage : spec.pipeline_stages) {
+          double mean = 0.0;
+          for (std::size_t o = 0; o < stage.class_options.size(); ++o) {
+            mean += spec.classes[stage.class_options[o]].mean_work *
+                    stage.probabilities[o];
+          }
+          per_item += mean;
+        }
+      } else {
+        for (const auto& cls : spec.classes) per_item += cls.mean_work;
+      }
+      work = per_item * static_cast<double>(spec.pipeline_items);
+      break;
+    }
+    case BenchKind::kReplay:
+      for (const auto& t : spec.replay_tasks) work += t.work;
+      break;
+  }
+  return work;
+}
+
+double ideal_duration(const workloads::BenchmarkSpec& spec,
+                      const core::AmcTopology& topo) {
+  const double work_bound =
+      expected_total_work(spec) / topo.total_capacity();
+  double critical = 0.0;
+  if (spec.kind == workloads::BenchKind::kBatch) {
+    // Each batch's barrier waits for its slowest class at F1.
+    double max_mean = 0.0;
+    for (const auto& cls : spec.classes) {
+      max_mean = std::max(max_mean, cls.mean_work);
+    }
+    critical = static_cast<double>(spec.batches) * max_mean /
+               topo.fastest_frequency();
+  } else if (spec.kind == workloads::BenchKind::kPipeline) {
+    // One item's stage chain at F1.
+    double per_item = 0.0;
+    for (const auto& cls : spec.classes) per_item += cls.mean_work;
+    critical = per_item / topo.fastest_frequency();
+  }
+  return std::max(work_bound, critical);
+}
+
+double exact_percentile(std::vector<double> values, double p) {
+  if (values.empty()) return 0.0;
+  WATS_CHECK(p >= 0.0 && p <= 1.0);
+  std::sort(values.begin(), values.end());
+  const double n = static_cast<double>(values.size());
+  std::size_t rank = static_cast<std::size_t>(std::ceil(p * n));
+  if (rank == 0) rank = 1;
+  return values[std::min(values.size(), rank) - 1];
+}
+
+ServingResult run_serving(const ServingConfig& config) {
+  WATS_CHECK_MSG(!config.job_specs.empty(),
+                 "serving config needs at least one job spec");
+  const core::AmcTopology topo = core::amc_by_name_or_spec(config.machine);
+  std::vector<JobArrival> arrivals = generate_arrivals(
+      config.arrivals, config.jobs, config.tenants,
+      config.job_specs.size(), config.sim.seed ^ 0x5EEDA11Bu);
+
+  core::TaskClassRegistry registry;
+  ServingShared shared;
+  ServingWorkload workload(config, topo, registry, std::move(arrivals),
+                           shared);
+  std::unique_ptr<sim::Scheduler> scheduler;
+  if (config.policy == LeasePolicy::kShared) {
+    scheduler = sim::make_scheduler(config.shared_kind, registry);
+  } else {
+    scheduler = std::make_unique<LeaseScheduler>(shared);
+  }
+  sim::Engine engine(topo, config.sim, *scheduler, workload);
+  scheduler->bind(engine);
+
+  ServingResult result;
+  result.stats = engine.run();
+  result.makespan = result.stats.makespan;
+  workload.finalize(result, result.makespan);
+  return result;
+}
+
+void export_metrics(const ServingResult& result,
+                    obs::MetricsRegistry& registry) {
+  registry.counter("jobs_arrived").add(result.arrived);
+  registry.counter("jobs_admitted").add(result.admitted);
+  registry.counter("jobs_rejected").add(result.rejected);
+  registry.counter("jobs_finished").add(result.finished);
+  registry.counter("lease_publishes").add(result.lease_publishes);
+  registry.counter("lease_skips").add(result.lease_skips);
+  registry.counter("lease_churn").add(result.lease_churn);
+  registry.set_gauge("active_leases",
+                     static_cast<double>(result.peak_leased_groups));
+  registry.set_gauge("serving_goodput", result.goodput);
+  registry.set_gauge("serving_p99_latency", result.p99_latency);
+  obs::Histogram& latency = registry.histogram("job_latency_ns");
+  for (const JobOutcome& out : result.jobs) {
+    if (!out.admitted || out.finish <= 0.0) continue;
+    // Virtual time units are arbitrary; exported at 1 unit = 1 us.
+    latency.record(static_cast<std::uint64_t>(
+        std::llround(std::max(0.0, out.latency) * 1000.0)));
+  }
+}
+
+}  // namespace wats::serve

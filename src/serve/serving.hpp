@@ -1,0 +1,156 @@
+// The multi-tenant serving layer: an open-loop stream of jobs sharing one
+// AMC machine under admission control, malleable c-group leases, and
+// per-tenant accounting.
+//
+// This is the layer above WATS: the paper schedules TASKS within one
+// application; run_serving() schedules JOBS (each one a whole
+// BenchmarkSpec instance) across the machine. Jobs arrive from a seeded
+// LoadGenerator (serve/arrivals.hpp), pass admission control (token
+// bucket + queue cap), and are granted c-group leases by a pluggable
+// policy (serve/lease.hpp). Lease maps are epoch-versioned
+// core::PartitionPlans published through the standard PlanGate, so lease
+// churn is observable with the same machinery as partition-plan churn.
+//
+// Everything is deterministic: the arrival stream, admission decisions,
+// lease assignments and per-job latencies are a pure function of the
+// ServingConfig (the property harness in tests/serving_test.cpp pins this
+// down). LeasePolicy::kShared degenerates to the multiprogram co-run —
+// one task-level scheduler, no leases — which is the bit-parity bridge to
+// run_multiprogram that guards bench_multiprogram's migration onto this
+// layer.
+#pragma once
+
+#include <cstdint>
+#include <functional>
+#include <string>
+#include <vector>
+
+#include "core/partition_plan.hpp"
+#include "obs/metrics.hpp"
+#include "serve/arrivals.hpp"
+#include "serve/lease.hpp"
+#include "sim/engine.hpp"
+#include "sim/scheduler.hpp"
+#include "workloads/workload_model.hpp"
+
+namespace wats::serve {
+
+/// Admission control at job arrival: a token bucket (refilled in virtual
+/// time) plus a cap on admitted-but-unfinished jobs. Disabled by default —
+/// every job is admitted — so closed co-run parity holds out of the box.
+struct AdmissionConfig {
+  bool enabled = false;
+  double token_rate = 1e-3;  ///< tokens per unit virtual time
+  double token_burst = 4.0;  ///< bucket capacity (initial fill)
+  std::size_t queue_cap = 64;  ///< max admitted-but-unfinished jobs
+};
+
+struct ServingConfig {
+  /// Machine spec (Table II name or "NxF+NxF+..."). Serving machines want
+  /// several distinct-frequency c-groups: leases are group-granular, and
+  /// AmcTopology merges equal-frequency groups.
+  std::string machine = "2x2.6+2x2.4+2x2.2+2x2.0+2x1.4+2x1.2+2x1.0+2x0.8";
+  /// Job templates; arrival i instantiates job_specs[i % size].
+  std::vector<workloads::BenchmarkSpec> job_specs;
+  ArrivalConfig arrivals;
+  std::size_t jobs = 32;     ///< total arrivals to generate
+  std::size_t tenants = 1;   ///< arrivals round-robin over tenants
+  LeasePolicy policy = LeasePolicy::kSpeedupGreedy;
+  /// Task-level scheduler for LeasePolicy::kShared (the no-lease co-run
+  /// baseline; ignored otherwise).
+  sim::SchedulerKind shared_kind = sim::SchedulerKind::kWats;
+  AdmissionConfig admission;
+  /// Deadline = arrival + deadline_scale * ideal solo duration.
+  double deadline_scale = 4.0;
+  /// Publication gate for lease maps (default: skip identical maps).
+  core::PlanGate lease_gate;
+  sim::SimConfig sim;
+  /// Test/diagnostic hook: called at every lease recomputation with the
+  /// fresh per-group owners (JobView::job values, kUnleased for free
+  /// groups) and the runnable-job views the policy saw. Null = unused.
+  std::function<void(double now, const std::vector<std::size_t>& owners,
+                     const std::vector<JobView>& views)>
+      lease_observer;
+};
+
+/// Outcome of one generated arrival.
+struct JobOutcome {
+  std::size_t tenant = 0;
+  std::size_t spec_index = 0;
+  double arrival = 0.0;
+  bool admitted = false;
+  double finish = 0.0;    ///< virtual finish time (admitted jobs)
+  double latency = 0.0;   ///< finish - arrival
+  double ideal = 0.0;     ///< estimated solo duration on the idle machine
+  double slowdown = 0.0;  ///< latency / ideal
+  double deadline = 0.0;  ///< absolute deadline
+  bool met_deadline = false;
+};
+
+/// Per-tenant DRF accounting over fast/slow capacity-seconds. "Fast"
+/// groups are those at or above the midpoint frequency (F1 + Fk) / 2; the
+/// dominant share is the larger of the tenant's fast and slow shares of
+/// the machine-seconds the run offered.
+struct TenantUsage {
+  double fast_capacity_seconds = 0.0;
+  double slow_capacity_seconds = 0.0;
+  double dominant_share = 0.0;
+};
+
+struct ServingResult {
+  std::vector<JobOutcome> jobs;  ///< one per generated arrival, in order
+  std::uint64_t arrived = 0;
+  std::uint64_t admitted = 0;
+  std::uint64_t rejected = 0;
+  std::uint64_t finished = 0;
+  double makespan = 0.0;
+  /// Exact nearest-rank percentiles over finished-job latencies.
+  double p50_latency = 0.0;
+  double p99_latency = 0.0;
+  double p999_latency = 0.0;
+  double mean_slowdown = 0.0;
+  /// Finished jobs that met their deadline, per 1000 units of makespan.
+  double goodput = 0.0;
+  /// Lease-plan pipeline counters (zero under LeasePolicy::kShared).
+  std::uint64_t lease_publishes = 0;
+  std::uint64_t lease_skips = 0;
+  std::uint64_t lease_epoch = 0;
+  std::uint64_t lease_churn = 0;  ///< total groups that changed owner
+  std::size_t peak_leased_groups = 0;
+  std::size_t peak_leased_cores = 0;
+  std::size_t peak_active_jobs = 0;
+  std::vector<TenantUsage> tenants;
+  sim::RunStats stats;
+};
+
+/// Run one serving experiment to completion. Deterministic: the result is
+/// a pure function of `config`.
+ServingResult run_serving(const ServingConfig& config);
+
+/// Exact nearest-rank percentile (p in [0, 1]) of `values`: the smallest
+/// element with at least ceil(p * n) elements <= it. Returns 0 on an
+/// empty input; the single-element stream returns that element for every
+/// p. This is the exact companion to obs::Histogram::quantile_bound
+/// (which only returns a log2-bucket upper bound).
+double exact_percentile(std::vector<double> values, double p);
+
+/// Estimated solo duration of one job spec on an idle `topo`: the larger
+/// of the work bound (total expected work / machine capacity) and the
+/// barrier bound (per-batch critical path at F1). The denominator of a
+/// job's slowdown and the base of its deadline.
+double ideal_duration(const workloads::BenchmarkSpec& spec,
+                      const core::AmcTopology& topo);
+
+/// Expected total F1-normalized work of one job spec (phase multipliers
+/// included).
+double expected_total_work(const workloads::BenchmarkSpec& spec);
+
+/// Export a result into an obs registry: counters (jobs_arrived,
+/// jobs_admitted, jobs_rejected, jobs_finished, lease_publishes,
+/// lease_skips, lease_churn), gauges (active_leases = peak leased groups,
+/// serving_goodput, serving_p99_latency) and the job_latency_ns histogram
+/// (virtual latency at 1 unit = 1 us, recorded in ns).
+void export_metrics(const ServingResult& result,
+                    obs::MetricsRegistry& registry);
+
+}  // namespace wats::serve

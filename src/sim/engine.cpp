@@ -103,6 +103,16 @@ void Engine::spawn_at(SimTask task, core::CoreIndex spawner, double when) {
   push_event(std::move(e));
 }
 
+void Engine::call_at(double when, std::function<void(Engine&)> fn) {
+  WATS_CHECK(when >= now_);
+  WATS_CHECK(fn != nullptr);
+  Event e;
+  e.time = when;
+  e.kind = EventKind::kTimer;
+  e.timer = std::move(fn);
+  push_event(std::move(e));
+}
+
 bool Engine::core_busy(core::CoreIndex core) const {
   return cores_.at(core).busy;
 }
@@ -310,6 +320,11 @@ RunStats Engine::run() {
         }
         break;
       }
+      case EventKind::kTimer:
+        e.timer(*this);
+        // Callbacks may retire leases or spawn work; let idle cores react.
+        dispatch_dirty_ = true;
+        break;
     }
     dispatch_idle_cores();
   }

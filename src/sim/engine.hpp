@@ -10,6 +10,7 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
 #include <queue>
 #include <vector>
 
@@ -156,6 +157,13 @@ class Engine {
   /// Spawn at a future virtual time (used for spawn_cost staggering).
   void spawn_at(SimTask task, core::CoreIndex spawner, double when);
 
+  /// Invoke `fn` at virtual time `when` (>= now). Timer callbacks run in
+  /// event order (FIFO among same-time events) and may spawn tasks or
+  /// schedule further timers; an idle-core dispatch pass follows each one.
+  /// Used by the serving layer for open-loop job arrivals and deadline
+  /// checks — runs that never call this behave exactly as before.
+  void call_at(double when, std::function<void(Engine&)> fn);
+
   /// Fresh task id.
   TaskId next_task_id() { return next_task_id_++; }
 
@@ -174,7 +182,7 @@ class Engine {
   void count_steal() { ++stats_.steals; }
 
  private:
-  enum class EventKind { kSpawn, kFinish, kRecluster };
+  enum class EventKind { kSpawn, kFinish, kRecluster, kTimer };
 
   struct Event {
     double time = 0.0;
@@ -184,6 +192,7 @@ class Engine {
     std::uint64_t version = 0;      // kFinish: guards stale completions
     SimTask task;                   // kSpawn
     core::CoreIndex spawner = 0;    // kSpawn
+    std::function<void(Engine&)> timer;  // kTimer
 
     bool operator>(const Event& other) const {
       if (time != other.time) return time > other.time;

@@ -27,33 +27,38 @@ CompositeWorkload::CompositeWorkload(
 }
 
 void CompositeWorkload::start(Engine& engine) {
-  // Start members one at a time, recording the contiguous class-id range
-  // each one interns — that range routes completions back to the member.
-  for (auto& m : members_) {
-    const auto before = static_cast<core::TaskClassId>(registry_.size());
+  // Start members one at a time, mapping every class id each one interned
+  // to that member — an explicit map rather than a [first, last] range, so
+  // interleaved interning into the shared registry (another driver, a
+  // change-point reset, a serving job admitted later) cannot shift a
+  // member's ids out of its recorded range and mis-route completions.
+  for (std::size_t i = 0; i < members_.size(); ++i) {
+    Member& m = members_[i];
+    const std::size_t before = registry_.size();
     m.driver->start(engine);
-    const auto after = static_cast<core::TaskClassId>(registry_.size());
+    const std::size_t after = registry_.size();
     WATS_CHECK_MSG(after > before,
                    "member workload interned no task classes");
-    m.first_class = before;
-    m.last_class = after - 1;
+    member_by_class_.resize(after, kNoMember);
+    for (std::size_t cls = before; cls < after; ++cls) {
+      WATS_CHECK_MSG(member_by_class_[cls] == kNoMember,
+                     "task class claimed by two applications");
+      member_by_class_[cls] = i;
+    }
     m.outstanding_tasks = m.spec->total_tasks();
   }
 }
 
-std::size_t CompositeWorkload::member_of(core::TaskClassId cls) const {
-  for (std::size_t i = 0; i < members_.size(); ++i) {
-    if (cls >= members_[i].first_class && cls <= members_[i].last_class) {
-      return i;
-    }
-  }
-  WATS_CHECK_MSG(false, "task class belongs to no application");
-  __builtin_unreachable();
+std::size_t CompositeWorkload::application_of(core::TaskClassId cls) const {
+  WATS_CHECK_MSG(cls < member_by_class_.size() &&
+                     member_by_class_[cls] != kNoMember,
+                 "task class belongs to no application");
+  return member_by_class_[cls];
 }
 
 void CompositeWorkload::on_complete(Engine& engine, const SimTask& task,
                                     core::CoreIndex core) {
-  Member& m = members_[member_of(task.cls)];
+  Member& m = members_[application_of(task.cls)];
   m.driver->on_complete(engine, task, core);
   WATS_CHECK(m.outstanding_tasks > 0);
   if (--m.outstanding_tasks == 0) {

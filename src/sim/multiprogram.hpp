@@ -37,6 +37,12 @@ class CompositeWorkload : public Workload {
   std::size_t application_count() const { return members_.size(); }
   const std::string& application_name(std::size_t i) const;
 
+  /// Member index owning task class `cls`. Lookup goes through an explicit
+  /// id→member map rather than assuming each member interns a contiguous
+  /// id range, so later interns into the shared registry (change-point
+  /// resets, serving jobs admitted mid-run) cannot mis-route completions.
+  std::size_t application_of(core::TaskClassId cls) const;
+
  private:
   struct Member {
     // unique_ptr: the drivers hold references to their specs, so the
@@ -45,14 +51,14 @@ class CompositeWorkload : public Workload {
     std::unique_ptr<Workload> driver;
     std::uint64_t outstanding_tasks = 0;
     double finish_time = 0.0;
-    core::TaskClassId first_class = 0;
-    core::TaskClassId last_class = 0;  // inclusive class-id range
   };
-
-  std::size_t member_of(core::TaskClassId cls) const;
 
   core::TaskClassRegistry& registry_;
   std::vector<Member> members_;
+  /// member_by_class_[cls] = owning member, kNoMember for classes interned
+  /// by someone else (e.g. a scheduler) into the shared registry.
+  static constexpr std::size_t kNoMember = static_cast<std::size_t>(-1);
+  std::vector<std::size_t> member_by_class_;
 };
 
 /// Result row for one co-run experiment.

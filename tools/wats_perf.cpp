@@ -8,7 +8,9 @@
 // (obs/perf.hpp): a real-thread runtime probe (MD5 batches on an emulated
 // 2-fast + 2-slow machine, tracing on so the latency histograms fill)
 // yielding partition latency, steal latency p99, queue-delay p99 and
-// ns/completion; and a sim probe running registry scenarios for
+// ns/completion; a deterministic virtual-time serving probe (one
+// serving-smoke overload cell: p99 latency, goodput, lease churn); and a
+// sim probe running registry scenarios for
 // events/sec. `diff` compares best-of-repeats within per-metric noise
 // bands and exits 1 on regression — the CI perf-smoke leg is exactly
 // `run --repeats=1` + `diff` against the committed baseline with a wide
@@ -32,6 +34,7 @@
 #include "runtime/runtime.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
+#include "serve/scenarios.hpp"
 #include "workloads/drivers.hpp"
 #include "workloads/workload_model.hpp"
 
@@ -187,6 +190,32 @@ double run_at_scale_sim_probe() {
              : 0.0;
 }
 
+struct ServingProbeSample {
+  double p99_latency = 0.0;   ///< virtual-time units
+  double goodput = 0.0;       ///< deadline-met jobs per 1000 vt units
+  double lease_churn = 0.0;   ///< groups that changed owner over the run
+};
+
+/// Deterministic serving-layer probe: the committed serving-smoke
+/// scenario's speedup-greedy / poisson / load-1.3 cell (overload, with
+/// admission control shedding load). Everything here is virtual time, so
+/// the sample is bit-identical across machines and repeats — a drift in
+/// the diff is a real behavior change in the serving layer (policy, lease
+/// plumbing, arrival stream), not measurement noise. The bands below only
+/// leave room for intentional tuning between baselines.
+ServingProbeSample run_serving_probe() {
+  const auto* scenario = serve::find_serving_scenario("serving-smoke");
+  const auto config =
+      serve::cell_config(*scenario, serve::LeasePolicy::kSpeedupGreedy,
+                         serve::ArrivalKind::kPoisson, /*load=*/1.3);
+  const auto result = serve::run_serving(config);
+  ServingProbeSample sample;
+  sample.p99_latency = result.p99_latency;
+  sample.goodput = result.goodput;
+  sample.lease_churn = static_cast<double>(result.lease_churn);
+  return sample;
+}
+
 /// One repeat of the sim probe: every requested registry scenario at
 /// repeats=1, aggregated into one events/sec figure.
 double run_sim_probe(const std::vector<scenario::ScenarioSpec>& specs) {
@@ -267,6 +296,7 @@ int cmd_run(int argc, char** argv) {
   report.probe = "runtime: MD5 x4 batches, WATS (+Cilk for steal p99), "
                  "emulated 2x2.5+2x0.8, tracing on; scale: 10k classes, "
                  "1024-core partition rebuild vs repair + 256-core sim; "
+                 "serving: serving-smoke greedy/poisson @ load 1.3; "
                  "sim: " +
                  scenarios_csv + " @ repeats=1";
   report.repeats = repeats;
@@ -296,6 +326,14 @@ int cmd_run(int argc, char** argv) {
   // the absolute floor keeps a future small nonzero count from reading
   // as an infinite regression against the zero baseline.
   obs::PerfMetric resets{"history_resets", "count", false, 0.5, 4.0, {}};
+  // Serving-layer probes are deterministic virtual-time figures; the
+  // bands budget intentional policy tuning between baselines, not noise.
+  obs::PerfMetric serving_p99{"serving_p99_latency", "vt", false, 0.25,
+                              0.0, {}};
+  obs::PerfMetric serving_goodput{"serving_goodput", "jobs/kvt", true,
+                                  0.25, 0.0, {}};
+  obs::PerfMetric serving_churn{"serving_lease_churn", "count", false,
+                                0.5, 64.0, {}};
 
   for (std::size_t rep = 0; rep < repeats; ++rep) {
     std::fprintf(stderr, "repeat %zu/%zu: runtime probe...\n", rep + 1,
@@ -312,12 +350,20 @@ int cmd_run(int argc, char** argv) {
     rebuild.values.push_back(scale.rebuild_ns_mean);
     repair.values.push_back(scale.repair_ns_mean);
     scale_evps.values.push_back(run_at_scale_sim_probe());
+    std::fprintf(stderr, "repeat %zu/%zu: serving probe...\n", rep + 1,
+                 repeats);
+    const auto serving = run_serving_probe();
+    serving_p99.values.push_back(serving.p99_latency);
+    serving_goodput.values.push_back(serving.goodput);
+    serving_churn.values.push_back(serving.lease_churn);
     std::fprintf(stderr, "repeat %zu/%zu: sim probe (%s)...\n", rep + 1,
                  repeats, scenarios_csv.c_str());
     evps.values.push_back(run_sim_probe(specs));
   }
-  report.metrics = {partition, steal,      queue,  nspc, evps,
-                    rebuild,   repair, scale_evps, resets};
+  report.metrics = {partition,   steal,  queue,      nspc,
+                    evps,        rebuild, repair,    scale_evps,
+                    resets,      serving_p99, serving_goodput,
+                    serving_churn};
 
   const std::string json = obs::render_perf_json(report);
   if (out_path.empty() || out_path == "-") {

@@ -7,6 +7,7 @@
 //
 //   wats_run --list                      # registry entries
 //   wats_run fig6 step-drift             # run entries by name
+//   wats_run serving-smoke               # serving scenarios too (src/serve)
 //   wats_run --all --repeats=1           # whole registry, short reps
 //   wats_run --file=examples/step_drift.scenario
 //   wats_run --validate --all            # validation only, no cells run
@@ -21,12 +22,15 @@
 #include <string>
 #include <vector>
 
+#include <chrono>
+
 #include "core/topology.hpp"
 #include "obs/metrics.hpp"
 #include "runtime/runtime.hpp"
 #include "scenario/parse.hpp"
 #include "scenario/registry.hpp"
 #include "scenario/runner.hpp"
+#include "serve/scenarios.hpp"
 #include "util/table.hpp"
 #include "workloads/drivers.hpp"
 #include "workloads/workload_model.hpp"
@@ -66,6 +70,35 @@ PerfProbe run_perf_probe() {
     if (name == "steal_latency_ns") probe.steal_latency = h;
   }
   return probe;
+}
+
+/// One executed serving scenario (src/serve): the sweep cells plus the
+/// wall time the grid took. Serving scenarios live in their own registry
+/// (serve::serving_scenarios()) but run through the same CLI: names that
+/// miss the scenario registry fall back here, and the JSON artifact gets
+/// a parallel "serving" section.
+struct ServingRun {
+  const serve::ServingScenario* scenario = nullptr;
+  std::vector<serve::ServingCell> cells;
+  double wall_seconds = 0.0;
+};
+
+ServingRun run_serving_entry(const serve::ServingScenario& scenario) {
+  ServingRun run;
+  run.scenario = &scenario;
+  const auto t0 = std::chrono::steady_clock::now();
+  run.cells = serve::run_serving_scenario(scenario);
+  run.wall_seconds =
+      std::chrono::duration<double>(std::chrono::steady_clock::now() - t0)
+          .count();
+  return run;
+}
+
+void print_serving(const ServingRun& run) {
+  std::printf("\n== %s ==\n%s[%zu cells, %.2fs wall]\n",
+              run.scenario->name.c_str(),
+              render_serving_table(*run.scenario, run.cells).c_str(),
+              run.cells.size(), run.wall_seconds);
 }
 
 std::string json_str(const std::string& s) {
@@ -110,8 +143,48 @@ void print_scenario(const scenario::ScenarioSpec& spec,
                   : 0.0);
 }
 
+void write_serving_json(std::FILE* out,
+                        const std::vector<ServingRun>& runs) {
+  std::fprintf(out, ",\n  \"serving\": [\n");
+  for (std::size_t i = 0; i < runs.size(); ++i) {
+    const ServingRun& run = runs[i];
+    std::fprintf(out,
+                 "    {\"name\": %s, \"wall_seconds\": %.3f, \"cells\": [\n",
+                 json_str(run.scenario->name).c_str(), run.wall_seconds);
+    for (std::size_t j = 0; j < run.cells.size(); ++j) {
+      const auto& cell = run.cells[j];
+      const auto& r = cell.result;
+      std::fprintf(
+          out,
+          "      {\"policy\": %s, \"arrival\": %s, \"load\": %.2f, "
+          "\"arrived\": %llu, \"admitted\": %llu, \"rejected\": %llu, "
+          "\"finished\": %llu, \"makespan\": %.6f, "
+          "\"p50_latency\": %.6f, \"p99_latency\": %.6f, "
+          "\"p999_latency\": %.6f, \"mean_slowdown\": %.6f, "
+          "\"goodput\": %.6f, \"lease_publishes\": %llu, "
+          "\"lease_skips\": %llu, \"lease_churn\": %llu, "
+          "\"peak_leased_cores\": %llu}%s\n",
+          json_str(serve::to_string(cell.policy)).c_str(),
+          json_str(serve::to_string(cell.arrival)).c_str(), cell.load,
+          static_cast<unsigned long long>(r.arrived),
+          static_cast<unsigned long long>(r.admitted),
+          static_cast<unsigned long long>(r.rejected),
+          static_cast<unsigned long long>(r.finished), r.makespan,
+          r.p50_latency, r.p99_latency, r.p999_latency, r.mean_slowdown,
+          r.goodput, static_cast<unsigned long long>(r.lease_publishes),
+          static_cast<unsigned long long>(r.lease_skips),
+          static_cast<unsigned long long>(r.lease_churn),
+          static_cast<unsigned long long>(r.peak_leased_cores),
+          j + 1 < run.cells.size() ? "," : "");
+    }
+    std::fprintf(out, "    ]}%s\n", i + 1 < runs.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]");
+}
+
 void write_json(std::FILE* out,
                 const std::vector<scenario::ScenarioResult>& results,
+                const std::vector<ServingRun>& serving,
                 const PerfProbe* perf) {
   std::fprintf(out, "{\n  \"schema\": \"wats_run/1\",\n  \"scenarios\": [\n");
   for (std::size_t i = 0; i < results.size(); ++i) {
@@ -152,6 +225,7 @@ void write_json(std::FILE* out,
     std::fprintf(out, "    ]}%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ]");
+  if (!serving.empty()) write_serving_json(out, serving);
   if (perf != nullptr) {
     std::fprintf(
         out,
@@ -228,22 +302,35 @@ int main(int argc, char** argv) {
     for (const auto& s : scenario::builtin_scenarios()) {
       std::printf("%-24s %s\n", s.name.c_str(), s.description.c_str());
     }
+    for (const auto& s : serve::serving_scenarios()) {
+      std::printf("%-24s [serving] %s\n", s.name.c_str(), s.summary.c_str());
+    }
     return 0;
   }
 
-  // Collect the specs to run.
+  // Collect the specs to run. Names resolve against the scenario registry
+  // first, then the serving registry (serve/scenarios.hpp).
   std::vector<scenario::ScenarioSpec> specs;
+  std::vector<const serve::ServingScenario*> serving_specs;
   if (all) {
     specs = scenario::builtin_scenarios();
+    for (const auto& s : serve::serving_scenarios()) {
+      serving_specs.push_back(&s);
+    }
   }
   for (const auto& name : names) {
     const auto* s = scenario::find_scenario(name);
-    if (s == nullptr) {
+    if (s != nullptr) {
+      specs.push_back(*s);
+      continue;
+    }
+    const auto* serving = serve::find_serving_scenario(name);
+    if (serving == nullptr) {
       std::fprintf(stderr, "unknown scenario '%s' (try --list)\n",
                    name.c_str());
       return 1;
     }
-    specs.push_back(*s);
+    serving_specs.push_back(serving);
   }
   for (const auto& path : files) {
     auto parsed = scenario::parse_scenario_file(path);
@@ -256,7 +343,7 @@ int main(int argc, char** argv) {
     }
     specs.push_back(std::move(parsed.spec));
   }
-  if (specs.empty()) return usage(argv[0]);
+  if (specs.empty() && serving_specs.empty()) return usage(argv[0]);
 
   if (repeats_override > 0) {
     for (auto& s : specs) s.repeats = repeats_override;
@@ -275,8 +362,10 @@ int main(int argc, char** argv) {
   }
   if (!valid) return 1;
   if (validate) {
-    std::printf("%zu scenario%s valid\n", specs.size(),
-                specs.size() == 1 ? "" : "s");
+    // Serving scenarios are registry-built (their constructors WATS_CHECK
+    // the specs), so reaching this point is their validation.
+    const std::size_t total = specs.size() + serving_specs.size();
+    std::printf("%zu scenario%s valid\n", total, total == 1 ? "" : "s");
     return 0;
   }
 
@@ -284,6 +373,11 @@ int main(int argc, char** argv) {
   for (const auto& s : specs) {
     results.push_back(scenario::run_scenario(s));
     print_scenario(s, results.back());
+  }
+  std::vector<ServingRun> serving_runs;
+  for (const auto* s : serving_specs) {
+    serving_runs.push_back(run_serving_entry(*s));
+    print_serving(serving_runs.back());
   }
 
   if (!json_path.empty()) {
@@ -295,7 +389,7 @@ int main(int argc, char** argv) {
       std::fprintf(stderr, "cannot open %s\n", json_path.c_str());
       return 1;
     }
-    write_json(f, results, no_perf ? nullptr : &probe);
+    write_json(f, results, serving_runs, no_perf ? nullptr : &probe);
     if (f != stdout) {
       std::fclose(f);
       std::printf("\nJSON written to %s\n", json_path.c_str());
