@@ -6,7 +6,10 @@
 // cores") and that the CMPI signal can also drive DVFS energy savings.
 // This bench runs the synthetic MEMMIX application (half the classes
 // frequency-scalable, half stall-dominated) across machines and reports
-// makespan + energy for Cilk, WATS and WATS-M.
+// makespan + the engine's first-class energy/EDP statistics for Cilk,
+// WATS and WATS-M — then closes the loop: the same workload under the
+// CMPI-aware DVFS governor, which clocks memory-bound c-groups down and
+// banks the energy the placement argument predicts.
 #include <cstdio>
 
 #include "bench_common.hpp"
@@ -18,25 +21,72 @@ int main() {
   std::printf("WATS reproduction — §IV-E memory-bound extension (WATS-M)\n");
   const auto spec = workloads::membound_mix();
   const auto cfg = bench::default_config(15);
-  const core::EnergyModel model;  // power ~ C f^3 + P_static
   const std::vector<sim::SchedulerKind> kinds{
       sim::SchedulerKind::kCilk, sim::SchedulerKind::kWats,
       sim::SchedulerKind::kWatsM};
 
   for (const char* machine : {"AMC1", "AMC2", "AMC5"}) {
     const auto topo = core::amc_by_name(machine);
-    util::TextTable t({"scheduler", "makespan", "energy", "energy/work"});
+    util::TextTable t({"scheduler", "makespan", "energy", "EDP",
+                       "energy/work"});
     for (auto kind : kinds) {
       const auto r = sim::run_experiment(spec, topo, kind, cfg);
       double energy = 0.0;
-      for (const auto& run : r.runs) energy += run.energy(topo, model);
+      double edp = 0.0;
+      for (const auto& run : r.runs) {
+        energy += run.energy_joules;
+        edp += run.edp;
+      }
       energy /= static_cast<double>(r.runs.size());
+      edp /= static_cast<double>(r.runs.size());
       t.add_row({sim::to_string(kind),
                  util::TextTable::num(r.mean_makespan, 0),
                  util::TextTable::num(energy, 0),
+                 util::TextTable::num(edp, 0),
                  util::TextTable::num(energy / r.runs[0].total_work, 2)});
     }
     bench::print_table(std::string("MEMMIX on ") + machine, t);
   }
+
+  // Closed DVFS loop: WATS-M placement plus the CMPI-aware governor. The
+  // governor reads the per-group work-weighted scalable fraction the
+  // engine observes and clocks stall-dominated groups down to the
+  // energy-optimal ladder step under the slowdown cap.
+  util::TextTable gov({"machine", "governor", "makespan", "energy", "EDP",
+                      "speed swaps", "energy saved"});
+  for (const char* machine : {"AMC2", "AMC5"}) {
+    const auto topo = core::amc_by_name(machine);
+    double base_energy = 0.0;
+    for (const bool governed : {false, true}) {
+      auto gcfg = cfg;
+      if (governed) {
+        gcfg.sim.governor.policy = core::GovernorPolicy::kCmpiAware;
+        gcfg.sim.governor.dvfs_levels = 8;
+      }
+      const auto r = sim::run_experiment(spec, topo,
+                                         sim::SchedulerKind::kWatsM, gcfg);
+      double energy = 0.0;
+      double edp = 0.0;
+      std::uint64_t swaps = 0;
+      for (const auto& run : r.runs) {
+        energy += run.energy_joules;
+        edp += run.edp;
+        swaps += run.speed_swaps;
+      }
+      energy /= static_cast<double>(r.runs.size());
+      edp /= static_cast<double>(r.runs.size());
+      if (!governed) base_energy = energy;
+      gov.add_row(
+          {machine, governed ? "cmpi-aware" : "static",
+           util::TextTable::num(r.mean_makespan, 0),
+           util::TextTable::num(energy, 0), util::TextTable::num(edp, 0),
+           std::to_string(swaps),
+           governed && base_energy > 0.0
+               ? util::TextTable::num(
+                     (1.0 - energy / base_energy) * 100.0, 1) + "%"
+               : "-"});
+    }
+  }
+  bench::print_table("WATS-M under the CMPI-aware DVFS governor", gov);
   return 0;
 }

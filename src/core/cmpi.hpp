@@ -51,6 +51,11 @@ double frequency_scalable_fraction(double cmpi_value, double cmpi_saturation);
 struct EnergyModel {
   double capacitance = 1.0;     ///< scales dynamic power.
   double static_power = 0.5;    ///< watts burned regardless of f.
+  /// Fraction of dynamic power an IDLE core burns at its current
+  /// frequency (clock tree + leakage that tracks voltage). 0 keeps the
+  /// historical busy-only accounting; raising it is what makes
+  /// race-to-idle governors measurably cheaper.
+  double idle_factor = 0.0;
 
   /// Execution time of a task with base time `t_f1` (measured at f1) when
   /// run at frequency f, given the frequency-scalable fraction `s`:

@@ -1,0 +1,190 @@
+#include "core/governor.hpp"
+
+#include <algorithm>
+
+#include "core/partition_plan.hpp"
+#include "util/check.hpp"
+
+namespace wats::core {
+
+std::string to_string(GovernorPolicy policy) {
+  switch (policy) {
+    case GovernorPolicy::kStatic:
+      return "static";
+    case GovernorPolicy::kRaceToIdle:
+      return "race-to-idle";
+    case GovernorPolicy::kPaceToDeadline:
+      return "pace-to-deadline";
+    case GovernorPolicy::kCmpiAware:
+      return "cmpi-aware";
+  }
+  return "?";
+}
+
+bool governor_policy_from_string(const std::string& name,
+                                 GovernorPolicy* out) {
+  WATS_CHECK(out != nullptr);
+  if (name == "static") {
+    *out = GovernorPolicy::kStatic;
+  } else if (name == "race-to-idle") {
+    *out = GovernorPolicy::kRaceToIdle;
+  } else if (name == "pace-to-deadline") {
+    *out = GovernorPolicy::kPaceToDeadline;
+  } else if (name == "cmpi-aware") {
+    *out = GovernorPolicy::kCmpiAware;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+SpeedLevels SpeedLevels::from_topology(const AmcTopology& topo,
+                                       std::size_t dvfs_levels) {
+  SpeedLevels levels;
+  levels.per_group.resize(topo.group_count());
+  const double machine_min =
+      topo.group(topo.group_count() - 1).frequency_ghz;
+  for (GroupIndex g = 0; g < topo.group_count(); ++g) {
+    const double base = topo.group(g).frequency_ghz;
+    std::vector<double>& ladder = levels.per_group[g];
+    if (dvfs_levels == 0) {
+      // Native set: every slower group's base frequency, ascending, then
+      // this group's own base (the identical topology double on top).
+      for (GroupIndex h = topo.group_count(); h-- > g + 1;) {
+        const double f = topo.group(h).frequency_ghz;
+        if (ladder.empty() || ladder.back() != f) ladder.push_back(f);
+      }
+      ladder.push_back(base);
+    } else if (dvfs_levels == 1) {
+      ladder.push_back(base);
+    } else {
+      // Evenly spaced from the machine's slowest base up to this group's
+      // base; the slowest group has no slower base, so span [base/2, base].
+      const double lo = machine_min < base ? machine_min : base / 2.0;
+      for (std::size_t i = 0; i + 1 < dvfs_levels; ++i) {
+        ladder.push_back(lo + (base - lo) * static_cast<double>(i) /
+                                  static_cast<double>(dvfs_levels - 1));
+      }
+      ladder.push_back(base);  // exact, not lo + (n-1)/(n-1) * span
+    }
+  }
+  return levels;
+}
+
+std::vector<double> governor_frequencies(const GovernorConfig& config,
+                                         const AmcTopology& topo,
+                                         const SpeedLevels& levels,
+                                         const GovernorInputs& inputs) {
+  const std::size_t k = topo.group_count();
+  std::vector<double> freqs(k);
+  for (GroupIndex g = 0; g < k; ++g) {
+    freqs[g] = topo.group(g).frequency_ghz;
+  }
+  switch (config.policy) {
+    case GovernorPolicy::kStatic:
+      break;
+    case GovernorPolicy::kRaceToIdle:
+      for (GroupIndex g = 0; g < k; ++g) {
+        const bool busy =
+            g < inputs.group_busy.size() && inputs.group_busy[g] != 0;
+        if (!busy) freqs[g] = levels.per_group[g].front();
+      }
+      break;
+    case GovernorPolicy::kPaceToDeadline: {
+      // Prefer the caller's live backlog drain times (self-consistent:
+      // independent of how fast history happened to accrue) over the
+      // published plan's cumulative-history predictions, which go stale
+      // behind the publication gate and are self-referential under
+      // pacing — a slowed group accrues history slower and would look
+      // ever lighter, chasing itself down the ladder.
+      const std::vector<double>* finish_times = nullptr;
+      if (inputs.group_finish.size() >= k) {
+        finish_times = &inputs.group_finish;
+      } else if (inputs.plan != nullptr &&
+                 inputs.plan->group_finish.size() >= k) {
+        finish_times = &inputs.plan->group_finish;
+      }
+      if (finish_times == nullptr) break;  // no signal: stay at base
+      double makespan = 0.0;
+      for (GroupIndex g = 0; g < k; ++g) {
+        makespan = std::max(makespan, (*finish_times)[g]);
+      }
+      if (makespan <= 0.0) break;
+      const double target = makespan * (1.0 + config.pace_epsilon);
+      for (GroupIndex g = 0; g < k; ++g) {
+        const double finish = (*finish_times)[g];
+        if (finish <= 0.0) {
+          // No pending work: there is no deadline to pace. If nothing is
+          // running either, drop to the floor — race-to-idle composes
+          // with pacing for empty groups (the next tick re-raises).
+          const bool busy =
+              g < inputs.group_busy.size() && inputs.group_busy[g] != 0;
+          if (!busy) freqs[g] = levels.per_group[g].front();
+          continue;
+        }
+        const double base = topo.group(g).frequency_ghz;
+        // Lowest level that still makes the deadline, assuming the
+        // pessimistic fully-scalable slowdown base/f (memory-stall time
+        // does not stretch, so the real finish is never later).
+        for (double f : levels.per_group[g]) {
+          if (finish * (base / f) <= target) {
+            freqs[g] = f;
+            break;
+          }
+        }
+      }
+      break;
+    }
+    case GovernorPolicy::kCmpiAware:
+      for (GroupIndex g = 0; g < k; ++g) {
+        const double scalable =
+            g < inputs.group_scalable.size() ? inputs.group_scalable[g] : -1.0;
+        if (scalable < 0.0) continue;  // no CMPI signal yet
+        freqs[g] = config.energy.best_frequency(
+            1.0, topo.group(g).frequency_ghz, levels.per_group[g], scalable,
+            config.cmpi_slowdown_cap);
+      }
+      break;
+  }
+  return freqs;
+}
+
+Governor::Governor(const GovernorConfig& config, const AmcTopology& topo)
+    : config_(config),
+      topo_(topo),
+      levels_(SpeedLevels::from_topology(topo, config.dvfs_levels)) {
+  auto initial = std::make_unique<SpeedPlan>();
+  initial->epoch = 0;
+  initial->group_frequency_ghz.reserve(topo.group_count());
+  for (GroupIndex g = 0; g < topo.group_count(); ++g) {
+    initial->group_frequency_ghz.push_back(topo.group(g).frequency_ghz);
+  }
+  current_.store(initial.get(), std::memory_order_release);
+  retired_.push_back(std::move(initial));
+}
+
+Governor::~Governor() = default;
+
+bool Governor::tick(const GovernorInputs& inputs) {
+  ++ticks_;
+  if (config_.policy == GovernorPolicy::kStatic) return false;
+  const std::vector<double> freqs =
+      governor_frequencies(config_, topo_, levels_, inputs);
+  const SpeedPlan* cur = current();
+  // Publication gate: an identical speed map is unobservable to readers,
+  // so skip it without burning an epoch.
+  if (freqs == cur->group_frequency_ghz) return false;
+  auto fresh = std::make_unique<SpeedPlan>();
+  fresh->epoch = cur->epoch + 1;
+  fresh->group_frequency_ghz = freqs;
+  const SpeedPlan* raw = fresh.get();
+  {
+    std::lock_guard<std::mutex> lock(retired_mu_);
+    retired_.push_back(std::move(fresh));
+  }
+  current_.store(raw, std::memory_order_release);
+  ++swaps_;
+  return true;
+}
+
+}  // namespace wats::core

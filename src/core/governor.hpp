@@ -1,0 +1,226 @@
+// DVFS governor: per-c-group frequency as a dynamic, governed quantity.
+//
+// The paper's §IV-E sketch — the CMPI signal that drives placement can
+// also drive DVFS — needs the speed model to stop being a topology
+// constant. This header defines the SpeedPlan (an epoch-versioned
+// per-c-group frequency vector published RCU-style, exactly like the
+// PartitionPlan), the discrete per-group frequency ladders (SpeedLevels),
+// the pluggable governor policies, and the SpeedView indirection every
+// frequency consumer (sim engine, runtime throttle, serving capacity
+// math) reads through.
+//
+// kStatic is the default and is BIT-INVISIBLE: it never publishes a
+// plan beyond the initial one (which copies the topology's base
+// frequencies, the exact same doubles), schedules no events and draws no
+// randomness, so fig6-10 goldens and the serving/perf probes are
+// unchanged. See DESIGN.md "DVFS governor & SpeedPlan".
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <vector>
+
+#include "core/cmpi.hpp"
+#include "core/topology.hpp"
+
+namespace wats::core {
+
+struct PartitionPlan;
+
+/// Pluggable frequency policies.
+enum class GovernorPolicy {
+  /// Base frequencies forever. Publishes nothing, bit-identical to the
+  /// pre-governor code. The default.
+  kStatic,
+  /// Busy groups at their base frequency, idle groups at their lowest
+  /// level (saves idle draw when EnergyModel::idle_factor > 0).
+  kRaceToIdle,
+  /// Slow a c-group whose projected finish time (the PartitionPlan's
+  /// per-group finish) is under the plan's predicted makespan: pick the
+  /// lowest level that still finishes by makespan * (1 + pace_epsilon).
+  /// The critical group never slows, so the makespan is preserved up to
+  /// prediction error.
+  kPaceToDeadline,
+  /// Memory-bound groups clocked down via the CMPI-derived
+  /// frequency-scalable fraction: EnergyModel::best_frequency under a
+  /// per-task slowdown cap. Groups with no signal stay at base.
+  kCmpiAware,
+};
+
+std::string to_string(GovernorPolicy policy);
+/// Parses "static" / "race-to-idle" / "pace-to-deadline" / "cmpi-aware".
+/// Returns false on unknown names.
+bool governor_policy_from_string(const std::string& name,
+                                 GovernorPolicy* out);
+
+/// The published speed map: one frequency per c-group, versioned like a
+/// PartitionPlan. Immutable after publication.
+struct SpeedPlan {
+  std::uint64_t epoch = 0;
+  std::vector<double> group_frequency_ghz;  ///< indexed by GroupIndex
+};
+
+/// Discrete DVFS steps per c-group, ascending; the last entry is always
+/// the group's base frequency (the identical double from the topology).
+struct SpeedLevels {
+  std::vector<std::vector<double>> per_group;
+
+  /// dvfs_levels == 0: the machine's native frequency set truncated at
+  /// each group's base (a group can clock down to any slower group's
+  /// base frequency). dvfs_levels == N >= 1: N evenly spaced steps from
+  /// the machine's slowest base frequency up to the group's base; for
+  /// the slowest group (no slower base exists) the ladder spans
+  /// [base / 2, base].
+  static SpeedLevels from_topology(const AmcTopology& topo,
+                                   std::size_t dvfs_levels);
+};
+
+struct GovernorConfig {
+  GovernorPolicy policy = GovernorPolicy::kStatic;
+  /// 0 = native frequency set; N = evenly spaced ladder (see SpeedLevels).
+  std::size_t dvfs_levels = 0;
+  /// kPaceToDeadline slack tolerance: groups may finish up to
+  /// makespan * (1 + pace_epsilon).
+  double pace_epsilon = 0.02;
+  /// kCmpiAware per-task slowdown cap fed to EnergyModel::best_frequency.
+  double cmpi_slowdown_cap = 1.2;
+  /// Governor cadence in the virtual-time sim (the runtime ticks with
+  /// its helper thread instead). Ignored when the policy is kStatic.
+  double tick_period = 25.0;
+  /// Model used for kCmpiAware decisions and the first-class
+  /// energy_joules / edp run statistics.
+  EnergyModel energy;
+
+  bool active() const { return policy != GovernorPolicy::kStatic; }
+};
+
+/// Everything a governor decision reads. All fields are optional: a
+/// missing plan or signal degrades the policy to base frequencies for
+/// the affected groups (never to an invalid speed).
+struct GovernorInputs {
+  /// Current partition plan (kPaceToDeadline fallback); may be null.
+  const PartitionPlan* plan = nullptr;
+  /// Live per-group predicted finish times — e.g. backlog drained at base
+  /// capacity (kPaceToDeadline). When it carries >= group_count() entries
+  /// it takes precedence over `plan`'s cumulative-history predictions,
+  /// which go stale behind the publication gate and are self-referential
+  /// under pacing (a slowed group accrues history slower).
+  std::vector<double> group_finish;
+  /// Per-group: does the group currently have a task executing?
+  std::vector<std::uint8_t> group_busy;
+  /// Per-group work-weighted mean frequency-scalable fraction observed
+  /// so far (< 0 = no signal yet). Feeds kCmpiAware.
+  std::vector<double> group_scalable;
+};
+
+/// Pure policy evaluation: the per-group frequencies the config picks
+/// for these inputs. Always returns group_count() entries, each drawn
+/// from the group's ladder (base frequency when the policy abstains).
+std::vector<double> governor_frequencies(const GovernorConfig& config,
+                                         const AmcTopology& topo,
+                                         const SpeedLevels& levels,
+                                         const GovernorInputs& inputs);
+
+/// Stateful governor: owns the current SpeedPlan and publishes updates
+/// RCU-style (raw atomic pointer + retired list, freed at destruction —
+/// the same pattern as the policy kernel's cluster-map publication, and
+/// for the same reason: atomic<shared_ptr> trips TSan in this codebase).
+/// Single writer (the sim event loop / the runtime helper thread),
+/// many concurrent readers through current() or a SpeedView.
+class Governor {
+ public:
+  Governor(const GovernorConfig& config, const AmcTopology& topo);
+  ~Governor();
+  Governor(const Governor&) = delete;
+  Governor& operator=(const Governor&) = delete;
+
+  /// The plan readers should use. Never null; epoch 0 holds the base
+  /// frequencies.
+  const SpeedPlan* current() const {
+    return current_.load(std::memory_order_acquire);
+  }
+
+  /// Re-evaluate the policy. Publishes epoch + 1 and returns true when
+  /// the frequency map changed; identical maps are skipped WITHOUT
+  /// burning an epoch (the publication gate — readers cannot observe an
+  /// identical republish). kStatic never publishes.
+  bool tick(const GovernorInputs& inputs);
+
+  const GovernorConfig& config() const { return config_; }
+  const SpeedLevels& levels() const { return levels_; }
+  std::uint64_t ticks() const { return ticks_; }
+  /// Published plans (excluding the initial base plan).
+  std::uint64_t swaps() const { return swaps_; }
+
+ private:
+  GovernorConfig config_;
+  const AmcTopology& topo_;
+  SpeedLevels levels_;
+  std::atomic<const SpeedPlan*> current_{nullptr};
+  std::mutex retired_mu_;
+  std::vector<std::unique_ptr<const SpeedPlan>> retired_;
+  std::uint64_t ticks_ = 0;
+  std::uint64_t swaps_ = 0;
+};
+
+/// The indirection every frequency consumer reads through. Wraps the
+/// topology's base frequencies plus an optional governor; with no
+/// governor (or a kStatic one) every accessor returns the topology's
+/// own doubles, so static-speed code paths are bit-identical.
+class SpeedView {
+ public:
+  SpeedView() = default;
+  explicit SpeedView(const AmcTopology* topo, const Governor* governor = nullptr)
+      : topo_(topo), governor_(governor) {}
+
+  bool valid() const { return topo_ != nullptr; }
+
+  /// Current operating frequency of group g.
+  double frequency(GroupIndex g) const {
+    if (governor_ != nullptr) {
+      return governor_->current()->group_frequency_ghz[g];
+    }
+    return topo_->group(g).frequency_ghz;
+  }
+
+  double base_frequency(GroupIndex g) const {
+    return topo_->group(g).frequency_ghz;
+  }
+
+  /// F1 of the BASE topology: workloads stay normalized to it even when
+  /// the fastest group is clocked down (stall time is pinned to it).
+  double fastest_base() const { return topo_->fastest_frequency(); }
+
+  /// Current speed of group g relative to the base F1.
+  double relative_speed(GroupIndex g) const {
+    return frequency(g) / topo_->fastest_frequency();
+  }
+
+  /// Current capacity Ng * f_g of group g.
+  double group_capacity(GroupIndex g) const {
+    return static_cast<double>(topo_->group(g).core_count) * frequency(g);
+  }
+
+  /// Sum of current group capacities.
+  double total_capacity() const {
+    double c = 0.0;
+    for (GroupIndex g = 0; g < topo_->group_count(); ++g) {
+      c += group_capacity(g);
+    }
+    return c;
+  }
+
+  /// The governed plan, or null when speeds are static.
+  const SpeedPlan* plan() const {
+    return governor_ != nullptr ? governor_->current() : nullptr;
+  }
+
+ private:
+  const AmcTopology* topo_ = nullptr;
+  const Governor* governor_ = nullptr;
+};
+
+}  // namespace wats::core

@@ -196,6 +196,13 @@ std::string perfetto_from_events(
         args << "{\"epoch\":" << e.cls << ",\"moved\":" << e.arg << "}";
         w.instant(kPid, tid, to_string(e.kind), "sched", ts, args.str());
         break;
+      case EventKind::kSpeedSwap:
+        // Governor DVFS step: cls carries the SpeedPlan epoch, arg the new
+        // group frequency in MHz, lane the c-group swung.
+        args << "{\"epoch\":" << e.cls << ",\"mhz\":" << e.arg
+             << ",\"group\":" << +e.lane << "}";
+        w.instant(kPid, tid, to_string(e.kind), "sched", ts, args.str());
+        break;
       case EventKind::kHistoryReset:
         // Change-point decay: cls is the decayed class, arg the running
         // reset total at emission.

@@ -41,9 +41,11 @@ enum class EventKind : std::uint8_t {
   kTaskDispatch,      ///< arg = ready-to-dispatch queue delay in ticks
   kPlanRepair,        ///< arg = classes moved by the repaired candidate;
                       ///< cls = epoch of the attempt's current plan
+  kSpeedSwap,         ///< arg = new group frequency in MHz; lane = c-group;
+                      ///< cls = SpeedPlan epoch (governor-driven DVFS step)
 };
 
-inline constexpr std::size_t kEventKindCount = 17;
+inline constexpr std::size_t kEventKindCount = 18;
 
 inline const char* to_string(EventKind kind) {
   switch (kind) {
@@ -81,6 +83,8 @@ inline const char* to_string(EventKind kind) {
       return "task_dispatch";
     case EventKind::kPlanRepair:
       return "plan_repair";
+    case EventKind::kSpeedSwap:
+      return "speed_swap";
   }
   return "?";
 }

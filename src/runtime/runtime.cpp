@@ -176,6 +176,16 @@ TaskRuntime::TaskRuntime(RuntimeConfig config)
   plan_repairs_ = &metrics_.counter("plan_repairs");
   repair_fallbacks_ = &metrics_.counter("repair_fallbacks");
   repair_latency_ns_ = &metrics_.histogram("repair_latency_ns");
+  governor_ticks_counter_ = &metrics_.counter("governor_ticks");
+
+  if (config_.governor.active()) {
+    governor_ =
+        std::make_unique<core::Governor>(config_.governor, config_.topology);
+    for (core::GroupIndex g = 0; g < config_.topology.group_count(); ++g) {
+      metrics_.set_gauge("group_frequency_ghz_g" + std::to_string(g),
+                         config_.topology.group(g).frequency_ghz);
+    }
+  }
 
   if constexpr (obs::kTraceCompiledIn) {
     if (config_.trace.enabled) {
@@ -450,8 +460,11 @@ void TaskRuntime::execute(std::size_t index, TaskNode* node) {
   // (try_speed_swap on another thread), so the duty-cycle throttle must
   // be priced per constant-speed segment. Open the first segment before
   // publishing `executing` — the release store orders it for the swapper.
+  // An active governor can also change speed_scale mid-task (the helper
+  // thread's governor_tick), so it forces piecewise pricing too.
   const bool piecewise_throttle =
-      config_.emulate_speeds && kernel_->may_snatch();
+      config_.emulate_speeds &&
+      (kernel_->may_snatch() || governor_ != nullptr);
   if (piecewise_throttle) {
     std::lock_guard lock(swap_mu_);
     me.throttle_debt_us = 0.0;
@@ -615,6 +628,68 @@ bool TaskRuntime::try_speed_swap(std::size_t thief) {
     }
   }
   return true;
+}
+
+void TaskRuntime::governor_tick() {
+  if (governor_ == nullptr) return;
+  const std::size_t k = config_.topology.group_count();
+  core::GovernorInputs in;
+  in.group_busy.assign(k, 0);
+  for (const auto& w : workers_) {
+    if (w->executing.load(std::memory_order_acquire)) {
+      in.group_busy[w->group] = 1;
+    }
+  }
+  // The real-thread runtime collects no CMPI signal (no simulated cache
+  // counters), so kCmpiAware sees "unknown" and holds base frequencies.
+  in.group_scalable.assign(k, -1.0);
+  // Real tasks' remaining work is unknown, so the runtime cannot price a
+  // live backlog the way the sim's governor tick does; pace falls back to
+  // the published plan's predictions (coarse, but the same target check).
+  in.plan = kernel_->current_plan();
+  governor_ticks_counter_->add(1);
+  const std::vector<double> before =
+      governor_->current()->group_frequency_ghz;
+  if (!governor_->tick(in)) return;
+  const std::vector<double>& after =
+      governor_->current()->group_frequency_ghz;
+  const double f1 = config_.topology.fastest_frequency();
+  {
+    // Map the SpeedPlan onto the duty-cycle throttle: fold each running
+    // worker's open segment at the speed it actually ran, then swing its
+    // scale — the same piecewise pricing as try_speed_swap. This also
+    // resets any RTS/WATS-TS swapped scales to the governed group speed.
+    std::lock_guard lock(swap_mu_);
+    const std::int64_t swap_at_us = now_us();
+    for (auto& w : workers_) {
+      const core::GroupIndex g = w->group;
+      if (after[g] == before[g]) continue;
+      if (w->executing.load(std::memory_order_acquire)) {
+        const double scale = w->speed_scale.load(std::memory_order_relaxed);
+        w->throttle_debt_us += throttle_penalty_us(
+            static_cast<double>(swap_at_us - w->segment_start_us), scale);
+        w->segment_start_us = swap_at_us;
+      }
+      w->speed_scale.store(after[g] / f1, std::memory_order_relaxed);
+    }
+  }
+  for (core::GroupIndex g = 0; g < k; ++g) {
+    if (after[g] == before[g]) continue;
+    speed_swaps_.fetch_add(1, std::memory_order_relaxed);
+    metrics_.set_gauge("group_frequency_ghz_g" + std::to_string(g),
+                       after[g]);
+    if constexpr (obs::kTraceCompiledIn) {
+      if (helper_ring_) {
+        // cls = SpeedPlan epoch, arg = new frequency in MHz.
+        helper_ring_->emit(
+            obs::EventKind::kSpeedSwap,
+            static_cast<std::uint16_t>(workers_.size()),
+            static_cast<std::uint8_t>(g),
+            static_cast<std::uint32_t>(governor_->current()->epoch),
+            static_cast<std::uint64_t>(after[g] * 1000.0));
+      }
+    }
+  }
 }
 
 void TaskRuntime::worker_loop(std::size_t index) {
@@ -812,6 +887,9 @@ void TaskRuntime::helper_loop() {
   })) {
     lock.unlock();
     recluster_tick();
+    // Governor ticks ride the same cadence, AFTER the recluster so
+    // kPaceToDeadline prices against the freshest PartitionPlan.
+    governor_tick();
     lock.lock();
   }
   lock.unlock();
@@ -865,6 +943,10 @@ RuntimeStats TaskRuntime::stats() const {
     s.plan_epoch = plan->epoch;
   }
   s.speed_swaps = speed_swaps_.load(std::memory_order_relaxed);
+  if (governor_ != nullptr) {
+    s.governor_ticks = governor_->ticks();
+    s.speed_plan_epoch = governor_->current()->epoch;
+  }
   s.failed_acquire_rounds = failed_rounds_.load(std::memory_order_relaxed);
   s.dnc_fallback_active = kernel_->dnc_active();
   return s;

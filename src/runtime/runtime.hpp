@@ -37,6 +37,7 @@
 #include <thread>
 #include <vector>
 
+#include "core/governor.hpp"
 #include "core/partition_plan.hpp"
 #include "core/policy/policy.hpp"
 #include "core/repair.hpp"
@@ -135,6 +136,13 @@ struct RuntimeConfig {
   /// decays a class's history when its workload drifts. Resets surface as
   /// the `history_resets` metric and kHistoryReset helper-ring events.
   core::ChangePointConfig change_point;
+  /// DVFS governor (core/governor.hpp): the helper thread re-evaluates
+  /// the policy each tick and maps published SpeedPlans onto the
+  /// duty-cycle throttle (a worker's speed_scale becomes f_g / F1). The
+  /// kStatic default constructs no governor at all — the pre-governor
+  /// runtime, bit for bit. Note kCmpiAware degrades to base frequencies
+  /// here: the real-thread runtime collects no CMPI signal.
+  core::GovernorConfig governor;
   TraceOptions trace;
 };
 
@@ -150,7 +158,13 @@ struct RuntimeStats {
   /// Epoch of the currently published PartitionPlan (0 = the initial
   /// all-unknown plan; +1 per publish).
   std::uint64_t plan_epoch = 0;
-  std::uint64_t speed_swaps = 0;  ///< kRtsSwap / kWatsTs only
+  /// kRtsSwap / kWatsTs thread swaps plus per-group frequency changes
+  /// applied by an active DVFS governor.
+  std::uint64_t speed_swaps = 0;
+  /// Governor policy evaluations and the epoch of the current SpeedPlan
+  /// (both zero when RuntimeConfig::governor is kStatic).
+  std::uint64_t governor_ticks = 0;
+  std::uint64_t speed_plan_epoch = 0;
   std::uint64_t failed_acquire_rounds = 0;  ///< idle loops finding nothing
   bool dnc_fallback_active = false;
   std::vector<std::uint64_t> per_worker_tasks;
@@ -346,6 +360,12 @@ class TaskRuntime {
   void worker_loop(std::size_t index);
   void helper_loop();
   bool try_speed_swap(std::size_t thief);
+  /// One governor evaluation (helper thread only): tick the policy and,
+  /// on publish, map the new per-group frequencies onto worker
+  /// speed_scales under swap_mu_, folding each running worker's open
+  /// throttle segment at the speed it actually ran (the try_speed_swap
+  /// idiom — never re-price past execution). No-op without a governor.
+  void governor_tick();
   /// One full kernel-driven acquire scan. When `saw_work` is non-null it
   /// is set to true iff the kernel proposed at least one source this scan
   /// (so a nullptr return with *saw_work == true means every proposal was
@@ -378,6 +398,9 @@ class TaskRuntime {
   mutable std::mutex fold_mu_;
   mutable std::vector<core::HistoryShard::FoldCursor> fold_cursors_;
   std::unique_ptr<core::policy::PolicyKernel> kernel_;
+  /// DVFS governor (null when RuntimeConfig::governor is kStatic — the
+  /// hot paths then carry zero governor overhead).
+  std::unique_ptr<core::Governor> governor_;
 
   std::atomic<std::uint64_t> outstanding_{0};
   std::atomic<bool> stopping_{false};
@@ -431,6 +454,8 @@ class TaskRuntime {
   obs::Counter* plan_repairs_ = nullptr;
   obs::Counter* repair_fallbacks_ = nullptr;
   obs::Histogram* repair_latency_ns_ = nullptr;
+  // Governor accounting (helper-thread writes only).
+  obs::Counter* governor_ticks_counter_ = nullptr;
 
   // wait_all / wait_all_for completion signal.
   std::mutex done_mu_;

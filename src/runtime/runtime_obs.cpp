@@ -99,6 +99,7 @@ void TaskRuntime::mirror_metrics(double wall_seconds) const {
     }
   }
   metrics_.counter("speed_swaps").set(s.speed_swaps);
+  metrics_.counter("governor_ticks").set(s.governor_ticks);
   metrics_.counter("failed_acquire_rounds").set(s.failed_acquire_rounds);
   if (tracing_enabled()) {
     std::uint64_t emitted = 0;

@@ -289,6 +289,56 @@ ScenarioSpec at_scale() {
   return s;
 }
 
+ScenarioSpec dvfs_sweep() {
+  ScenarioSpec s;
+  s.name = "dvfs-sweep";
+  s.description =
+      "DVFS governor sweep: static vs race-to-idle / pace-to-deadline / "
+      "cmpi-aware on a 2-fast+6-slow machine whose slow c-group has real "
+      "slack (plus MemboundMix for the CMPI-aware cells)";
+  s.machines = {"2x2.5+6x2.0"};
+  s.inline_workloads = {dvfs_workload()};
+  s.workloads = {"MemboundMix"};
+  // WATS-NP keeps groups partitioned (no cross-group stealing), so the
+  // slack the pace governor prices away is real; WATS shows how stealing
+  // interacts with down-clocked groups.
+  s.schedulers = {K::kWatsNp, K::kWats};
+  s.repeats = 3;
+  // Idle cores burn a quarter of dynamic power across ALL variants, so
+  // the energy columns are comparable and race-to-idle has a signal.
+  s.sim.governor.energy.idle_factor = 0.25;
+  s.variants = {
+      {"static", {}},
+      {"race-to-idle",
+       {{"governor", "race-to-idle"}, {"dvfs_levels", "8"}}},
+      {"pace-to-deadline",
+       {{"governor", "pace-to-deadline"}, {"dvfs_levels", "8"}}},
+      {"cmpi-aware",
+       {{"governor", "cmpi-aware"}, {"dvfs_levels", "8"}}},
+  };
+  return s;
+}
+
+ScenarioSpec dvfs_smoke() {
+  ScenarioSpec s;
+  s.name = "dvfs-smoke";
+  s.description =
+      "DVFS smoke cell: static vs pace-to-deadline on the dvfs workload, "
+      "one repeat — the deterministic cell wats_perf's dvfs probe and the "
+      "CI artifact step run";
+  s.machines = {"2x2.5+6x2.0"};
+  s.inline_workloads = {dvfs_workload()};
+  s.schedulers = {K::kWatsNp};
+  s.repeats = 1;
+  s.sim.governor.energy.idle_factor = 0.25;
+  s.variants = {
+      {"static", {}},
+      {"pace-to-deadline",
+       {{"governor", "pace-to-deadline"}, {"dvfs_levels", "8"}}},
+  };
+  return s;
+}
+
 ScenarioSpec step_drift() {
   ScenarioSpec s;
   s.name = "step-drift";
@@ -327,6 +377,24 @@ workloads::BenchmarkSpec step_drift_workload() {
   };
   s.batches = 40;
   s.phases = {{10, {16.0, 1.0}}};
+  return s;
+}
+
+workloads::BenchmarkSpec dvfs_workload() {
+  workloads::BenchmarkSpec s;
+  s.name = "DvfsSlack";
+  s.kind = workloads::BenchKind::kBatch;
+  // Six equal classes on "2x2.5+6x2.0" (capacities 5 and 12, TL ~= 21176
+  // per batch): Algorithm 1's TL-walk puts two classes on the fast group
+  // (finish 24000 — the batch makespan) and four on the slow one (finish
+  // 20000), leaving the slow group ~17% of slack under the critical
+  // group. Zero variance makes the learned means exact after one batch,
+  // so the plan — and the slack the governor prices — is stable.
+  s.classes.reserve(6);
+  for (int i = 0; i < 6; ++i) {
+    s.classes.push_back({"dvfs_c" + std::to_string(i), 2400.0, 0.0, 25, 1.0});
+  }
+  s.batches = 4;
   return s;
 }
 
@@ -369,6 +437,8 @@ const std::vector<ScenarioSpec>& builtin_scenarios() {
       ablation_steal_victim(),
       step_drift(),
       at_scale(),
+      dvfs_sweep(),
+      dvfs_smoke(),
   };
   return all;
 }

@@ -30,4 +30,12 @@ workloads::BenchmarkSpec step_drift_workload();
 /// registry entry and wats_perf's at-scale sim throughput probe.
 workloads::BenchmarkSpec at_scale_workload(std::size_t classes);
 
+/// The DVFS acceptance workload: six equal zero-variance classes sized so
+/// Algorithm 1 leaves the slow c-group of a "2x2.5+6x2.0" machine with
+/// real slack under the fast group's finish — the headroom the
+/// pace-to-deadline governor converts into energy savings at (nearly) no
+/// makespan cost. Used by the "dvfs-sweep"/"dvfs-smoke" registry entries,
+/// wats_perf's dvfs probe and the governor tests.
+workloads::BenchmarkSpec dvfs_workload();
+
 }  // namespace wats::scenario

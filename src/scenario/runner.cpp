@@ -28,6 +28,15 @@ CellResult run_single(const workloads::BenchmarkSpec& spec,
   for (const auto& run : cell.result.runs) {
     cell.sim_events += run.sim_events;
     cell.tasks_completed += run.tasks_completed;
+    cell.mean_energy += run.energy_joules;
+    cell.mean_edp += run.edp;
+    cell.governor_ticks += run.governor_ticks;
+    cell.speed_swaps += run.speed_swaps;
+  }
+  if (!cell.result.runs.empty()) {
+    const auto n = static_cast<double>(cell.result.runs.size());
+    cell.mean_energy /= n;
+    cell.mean_edp /= n;
   }
   return cell;
 }
@@ -51,9 +60,15 @@ CellResult run_multi(const std::vector<workloads::BenchmarkSpec>& specs,
     }
     cell.sim_events += result.stats.sim_events;
     cell.tasks_completed += result.stats.tasks_completed;
+    cell.mean_energy += result.stats.energy_joules;
+    cell.mean_edp += result.stats.edp;
+    cell.governor_ticks += result.stats.governor_ticks;
+    cell.speed_swaps += result.stats.speed_swaps;
   }
   const auto n = static_cast<double>(config.repeats);
   cell.mean_makespan /= n;
+  cell.mean_energy /= n;
+  cell.mean_edp /= n;
   for (auto& f : cell.per_app_finish) f /= n;
   cell.result.mean_makespan = cell.mean_makespan;
   cell.wall_seconds = seconds_since(start);

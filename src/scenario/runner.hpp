@@ -32,6 +32,14 @@ struct CellResult {
   std::uint64_t sim_events = 0;     ///< engine events across all repeats
   std::uint64_t tasks_completed = 0;
   std::uint64_t history_resets = 0;
+
+  /// Energy section (first-class RunStats, averaged over repeats). Under
+  /// the default static governor these carry the base-frequency energy
+  /// bill; active governors change them (and bump the counters below).
+  double mean_energy = 0.0;          ///< joules (EnergyModel units)
+  double mean_edp = 0.0;             ///< energy * makespan
+  std::uint64_t governor_ticks = 0;  ///< across all repeats
+  std::uint64_t speed_swaps = 0;     ///< per-group changes, all repeats
 };
 
 struct ScenarioResult {

@@ -184,6 +184,29 @@ bool apply_knob(const KnobAssignment& knob, sim::ExperimentConfig& config,
   } else if (knob.key == "cp_decay_to") {
     if (!parse_uint(knob.value, &u)) return bad_value();
     config.change_point.decay_to = u;
+  } else if (knob.key == "governor") {
+    core::GovernorPolicy policy = core::GovernorPolicy::kStatic;
+    if (!core::governor_policy_from_string(knob.value, &policy)) {
+      return bad_value();
+    }
+    config.sim.governor.policy = policy;
+  } else if (knob.key == "dvfs_levels") {
+    if (!parse_uint(knob.value, &u)) return bad_value();
+    config.sim.governor.dvfs_levels = static_cast<std::size_t>(u);
+  } else if (knob.key == "pace_epsilon") {
+    if (!parse_double(knob.value, &d) || d < 0.0) return bad_value();
+    config.sim.governor.pace_epsilon = d;
+  } else if (knob.key == "cmpi_slowdown_cap") {
+    if (!parse_double(knob.value, &d) || d < 1.0) return bad_value();
+    config.sim.governor.cmpi_slowdown_cap = d;
+  } else if (knob.key == "governor_tick") {
+    if (!parse_double(knob.value, &d) || d <= 0.0) return bad_value();
+    config.sim.governor.tick_period = d;
+  } else if (knob.key == "idle_factor") {
+    if (!parse_double(knob.value, &d) || d < 0.0 || d > 1.0) {
+      return bad_value();
+    }
+    config.sim.governor.energy.idle_factor = d;
   } else if (knob.key == "batches") {
     if (!parse_uint(knob.value, &u) || u == 0) return bad_value();
     for (auto& s : specs) s.batches = static_cast<std::size_t>(u);

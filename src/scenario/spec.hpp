@@ -25,12 +25,17 @@ namespace wats::scenario {
 /// configuration. Keys (value syntax in parens):
 ///   steal_cost, snatch_cost, snatch_redo_fraction, spawn_cost,
 ///   recluster_period, ewma_alpha, cp_slack, cp_threshold   (double)
+///   pace_epsilon, cmpi_slowdown_cap, governor_tick,
+///   idle_factor                                            (double)
 ///   main_on_fastest                                        (bool)
 ///   cluster_algorithm       (algorithm1 | dual)
 ///   steal_victim            (random | richest)
 ///   estimator               (running_mean | ewma)
 ///   change_point            (on | off)
-///   cp_min_samples, cp_decay_to, batches, repeats, seed    (integer)
+///   governor                (static | race-to-idle | pace-to-deadline |
+///                            cmpi-aware)
+///   cp_min_samples, cp_decay_to, batches, repeats, seed,
+///   dvfs_levels                                            (integer)
 /// `batches` rewrites the workload spec itself (history warm-up
 /// ablations); everything else lands on the ExperimentConfig.
 struct KnobAssignment {

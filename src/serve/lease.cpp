@@ -10,14 +10,35 @@ namespace wats::serve {
 
 namespace {
 
+/// Live operating frequency of a group: the governed speed when a valid
+/// SpeedView is supplied, the topology's base frequency otherwise. A
+/// static view returns the identical base doubles, so all the lease math
+/// below is bit-identical with or without one.
+double live_frequency(const core::AmcTopology& topo,
+                      const core::SpeedView* speeds, std::size_t g) {
+  if (speeds != nullptr && speeds->valid()) {
+    return speeds->frequency(static_cast<core::GroupIndex>(g));
+  }
+  return topo.group(g).frequency_ghz;
+}
+
+double live_capacity(const core::AmcTopology& topo,
+                     const core::SpeedView* speeds, std::size_t g) {
+  return static_cast<double>(topo.group(g).core_count) *
+         live_frequency(topo, speeds, g);
+}
+
 /// Group indices in dealing order: largest capacity first (index breaks
-/// ties), so the policies hand out the most valuable leases first.
-std::vector<std::size_t> capacity_order(const core::AmcTopology& topo) {
+/// ties), so the policies hand out the most valuable leases first. A
+/// down-clocked group is worth exactly what it currently delivers.
+std::vector<std::size_t> capacity_order(const core::AmcTopology& topo,
+                                        const core::SpeedView* speeds) {
   std::vector<std::size_t> order(topo.group_count());
   std::iota(order.begin(), order.end(), std::size_t{0});
   std::stable_sort(order.begin(), order.end(),
                    [&](std::size_t a, std::size_t b) {
-                     return topo.group_capacity(a) > topo.group_capacity(b);
+                     return live_capacity(topo, speeds, a) >
+                            live_capacity(topo, speeds, b);
                    });
   return order;
 }
@@ -26,9 +47,10 @@ std::vector<std::size_t> capacity_order(const core::AmcTopology& topo) {
 /// its parallelism cap is covered. Shared by kFcfs and kDeadline.
 std::vector<std::size_t> fill_in_order(
     const core::AmcTopology& topo, const std::vector<JobView>& jobs,
-    const std::vector<std::size_t>& positions) {
+    const std::vector<std::size_t>& positions,
+    const core::SpeedView* speeds) {
   std::vector<std::size_t> owners(topo.group_count(), kUnleased);
-  const std::vector<std::size_t> order = capacity_order(topo);
+  const std::vector<std::size_t> order = capacity_order(topo, speeds);
   std::size_t next_group = 0;
   for (const std::size_t p : positions) {
     std::size_t cores = 0;
@@ -47,7 +69,8 @@ std::vector<std::size_t> fill_in_order(
 std::vector<std::size_t> assign_leases(
     LeasePolicy policy, const core::AmcTopology& topo,
     const std::vector<JobView>& jobs, double now,
-    const std::vector<std::size_t>* incumbents) {
+    const std::vector<std::size_t>* incumbents,
+    const core::SpeedView* speeds) {
   std::vector<std::size_t> owners(topo.group_count(), kUnleased);
   if (jobs.empty()) return owners;
 
@@ -69,7 +92,7 @@ std::vector<std::size_t> assign_leases(
       __builtin_unreachable();
 
     case LeasePolicy::kFcfs:
-      return fill_in_order(topo, jobs, by_arrival);
+      return fill_in_order(topo, jobs, by_arrival, speeds);
 
     case LeasePolicy::kDeadline: {
       std::vector<std::size_t> by_deadline = by_arrival;
@@ -77,7 +100,7 @@ std::vector<std::size_t> assign_leases(
                        [&](std::size_t a, std::size_t b) {
                          return jobs[a].deadline < jobs[b].deadline;
                        });
-      return fill_in_order(topo, jobs, by_deadline);
+      return fill_in_order(topo, jobs, by_deadline, speeds);
     }
 
     case LeasePolicy::kEqui: {
@@ -94,7 +117,7 @@ std::vector<std::size_t> assign_leases(
                     tenants.end());
 
       std::vector<std::size_t> cores_of(jobs.size(), 0);
-      const std::vector<std::size_t> order = capacity_order(topo);
+      const std::vector<std::size_t> order = capacity_order(topo, speeds);
       std::size_t cursor = 0;
       for (const std::size_t g : order) {
         bool dealt = false;
@@ -139,9 +162,9 @@ std::vector<std::size_t> assign_leases(
         return cap * (1.0 - std::pow(1.0 - 1.0 / cap, c));
       };
       std::vector<std::size_t> cores_of(jobs.size(), 0);
-      const std::vector<std::size_t> order = capacity_order(topo);
+      const std::vector<std::size_t> order = capacity_order(topo, speeds);
       for (const std::size_t g : order) {
-        const double freq = topo.group(g).frequency_ghz;
+        const double freq = live_frequency(topo, speeds, g);
         const std::size_t cores = topo.group(g).core_count;
         std::size_t best = jobs.size();
         double best_gain = 0.0;
@@ -206,20 +229,23 @@ std::vector<std::size_t> assign_leases(
 
 double usable_capacity(const core::AmcTopology& topo,
                        const std::vector<std::size_t>& groups,
-                       std::size_t max_cores) {
+                       std::size_t max_cores,
+                       const core::SpeedView* speeds) {
   // Fastest groups first: the job saturates its cap with its best cores.
+  // "Fastest" is the live governed frequency — a down-clocked big group
+  // can rank below an untouched little one.
   std::vector<std::size_t> order = groups;
   std::stable_sort(order.begin(), order.end(),
                    [&](std::size_t a, std::size_t b) {
-                     return topo.group(a).frequency_ghz >
-                            topo.group(b).frequency_ghz;
+                     return live_frequency(topo, speeds, a) >
+                            live_frequency(topo, speeds, b);
                    });
   double capacity = 0.0;
   std::size_t budget = max_cores;
   for (const std::size_t g : order) {
     if (budget == 0) break;
     const std::size_t used = std::min(budget, topo.group(g).core_count);
-    capacity += static_cast<double>(used) * topo.group(g).frequency_ghz;
+    capacity += static_cast<double>(used) * live_frequency(topo, speeds, g);
     budget -= used;
   }
   return capacity;
@@ -234,7 +260,8 @@ namespace {
 /// starvation as a large win (the default gate never reads this).
 double predicted_horizon(const core::AmcTopology& topo,
                          const std::vector<std::size_t>& owners,
-                         const std::vector<JobView>& jobs) {
+                         const std::vector<JobView>& jobs,
+                         const core::SpeedView* speeds) {
   double horizon = 0.0;
   bool starved = false;
   for (const JobView& j : jobs) {
@@ -242,7 +269,8 @@ double predicted_horizon(const core::AmcTopology& topo,
     for (std::size_t g = 0; g < owners.size(); ++g) {
       if (owners[g] == j.job) groups.push_back(g);
     }
-    const double usable = usable_capacity(topo, groups, j.max_cores);
+    const double usable =
+        usable_capacity(topo, groups, j.max_cores, speeds);
     if (usable > 0.0) {
       horizon = std::max(horizon, j.remaining / usable);
     } else if (j.remaining > 0.0) {
@@ -258,7 +286,8 @@ core::PartitionPlan build_lease_plan(const std::vector<std::size_t>& owners,
                                      std::size_t slots,
                                      const core::AmcTopology& topo,
                                      const std::vector<JobView>& jobs,
-                                     const core::PartitionPlan* previous) {
+                                     const core::PartitionPlan* previous,
+                                     const core::SpeedView* speeds) {
   WATS_CHECK(owners.size() == topo.group_count());
   WATS_CHECK(slots > 0);
 
@@ -281,14 +310,18 @@ core::PartitionPlan build_lease_plan(const std::vector<std::size_t>& owners,
     for (std::size_t g = 0; g < owners.size(); ++g) {
       if (owners[g] == j.job) groups.push_back(g);
     }
-    const double usable = usable_capacity(topo, groups, j.max_cores);
+    const double usable =
+        usable_capacity(topo, groups, j.max_cores, speeds);
     if (usable > 0.0 && j.job + 1 < slots) {
       plan.group_finish[j.job + 1] = j.remaining / usable;
     }
     total_remaining += j.remaining;
   }
-  plan.makespan = predicted_horizon(topo, owners, jobs);
-  plan.lower_bound = total_remaining / topo.total_capacity();
+  plan.makespan = predicted_horizon(topo, owners, jobs, speeds);
+  plan.lower_bound =
+      total_remaining / (speeds != nullptr && speeds->valid()
+                             ? speeds->total_capacity()
+                             : topo.total_capacity());
   plan.ratio_to_tl =
       plan.lower_bound > 0.0 ? plan.makespan / plan.lower_bound : 1.0;
 
@@ -326,10 +359,11 @@ core::PartitionPlan build_lease_plan(const std::vector<std::size_t>& owners,
         }
       }
     }
-    diff.stale_makespan = predicted_horizon(topo, stale, jobs);
+    diff.stale_makespan = predicted_horizon(topo, stale, jobs, speeds);
   } else {
     diff.stale_makespan = predicted_horizon(
-        topo, std::vector<std::size_t>(owners.size(), kUnleased), jobs);
+        topo, std::vector<std::size_t>(owners.size(), kUnleased), jobs,
+        speeds);
   }
   plan.diff = diff;
   return plan;

@@ -40,6 +40,7 @@
 #include <string>
 #include <vector>
 
+#include "core/governor.hpp"
 #include "core/partition_plan.hpp"
 #include "core/topology.hpp"
 
@@ -81,18 +82,25 @@ inline constexpr std::size_t kUnleased = static_cast<std::size_t>(-1);
 /// kSpeedupGreedy gives the incumbent a 10% gain edge for that specific
 /// group, so marginal-gain oscillation has to clear a real bar before a
 /// lease changes hands. Other policies have stable orderings and ignore
-/// it.
+/// it. `speeds` (optional) is the live DVFS view: when present, dealing
+/// order, marginal rates and capacities price groups at their CURRENT
+/// governed frequency instead of the topology's base; null (or a static
+/// view) reproduces the base-frequency math bit for bit.
 std::vector<std::size_t> assign_leases(
     LeasePolicy policy, const core::AmcTopology& topo,
     const std::vector<JobView>& jobs, double now,
-    const std::vector<std::size_t>* incumbents = nullptr);
+    const std::vector<std::size_t>* incumbents = nullptr,
+    const core::SpeedView* speeds = nullptr);
 
 /// Usable capacity of a job that owns `groups` (indices into topo): sums
 /// group capacity counting at most max_cores cores, fastest groups first —
 /// the piecewise-linear speedup curve of the malleable-jobs model.
+/// With `speeds`, both the ordering and the per-core rate use the live
+/// governed frequency.
 double usable_capacity(const core::AmcTopology& topo,
                        const std::vector<std::size_t>& groups,
-                       std::size_t max_cores);
+                       std::size_t max_cores,
+                       const core::SpeedView* speeds = nullptr);
 
 /// Package a lease assignment (per-group owner, kUnleased allowed) as a
 /// PartitionPlan: map items are machine c-groups, map groups are job slots
@@ -106,7 +114,8 @@ core::PartitionPlan build_lease_plan(const std::vector<std::size_t>& owners,
                                      std::size_t slots,
                                      const core::AmcTopology& topo,
                                      const std::vector<JobView>& jobs,
-                                     const core::PartitionPlan* previous);
+                                     const core::PartitionPlan* previous,
+                                     const core::SpeedView* speeds = nullptr);
 
 const char* to_string(LeasePolicy policy);
 /// Inverse of to_string; aborts on unknown names (CLI/scenario wiring).

@@ -174,6 +174,13 @@ class ServingWorkload : public sim::Workload {
 
   // ---- result assembly (after Engine::run) ----
 
+  /// Bind the engine's live speed view. Called after the engine is
+  /// constructed (the workload is built first); every capacity figure
+  /// below — midpoint classification, usage accrual, lease pricing —
+  /// reads through it so a governed run prices groups at their actual
+  /// frequency. A static view returns the topology's own doubles.
+  void bind_speeds(core::SpeedView speeds) { speeds_ = speeds; }
+
   void finalize(ServingResult& result, double makespan) {
     result.jobs = outcomes_;
     result.arrived = arrivals_started_;
@@ -208,14 +215,14 @@ class ServingWorkload : public sim::Workload {
                          ? static_cast<double>(met) * 1000.0 / makespan
                          : 0.0;
 
-    // Dominant shares vs the capacity-seconds the run offered.
+    // Dominant shares vs the capacity-seconds the run offered, priced at
+    // the frequencies the groups ended the run on.
     double fast_capacity = 0.0;
     double slow_capacity = 0.0;
     const double midpoint = fast_midpoint();
     for (core::GroupIndex g = 0; g < topo_.group_count(); ++g) {
-      (topo_.group(g).frequency_ghz >= midpoint ? fast_capacity
-                                                : slow_capacity) +=
-          topo_.group_capacity(g);
+      (live_frequency(g) >= midpoint ? fast_capacity : slow_capacity) +=
+          live_capacity(g);
     }
     result.tenants = usage_;
     for (TenantUsage& u : result.tenants) {
@@ -232,10 +239,29 @@ class ServingWorkload : public sim::Workload {
   }
 
  private:
+  double live_frequency(core::GroupIndex g) const {
+    return speeds_.valid() ? speeds_.frequency(g)
+                           : topo_.group(g).frequency_ghz;
+  }
+
+  double live_capacity(core::GroupIndex g) const {
+    return static_cast<double>(topo_.group(g).core_count) *
+           live_frequency(g);
+  }
+
+  /// Midpoint of the LIVE frequency range. Base frequencies are sorted
+  /// descending, so without a governor this is exactly the old
+  /// (fastest + slowest) / 2; under DVFS a down-clocked big group can
+  /// fall below the midpoint and its capacity-seconds bill as slow.
   double fast_midpoint() const {
-    return (topo_.fastest_frequency() +
-            topo_.group(topo_.group_count() - 1).frequency_ghz) /
-           2.0;
+    double hi = live_frequency(0);
+    double lo = hi;
+    for (core::GroupIndex g = 1; g < topo_.group_count(); ++g) {
+      const double f = live_frequency(g);
+      hi = std::max(hi, f);
+      lo = std::min(lo, f);
+    }
+    return (hi + lo) / 2.0;
   }
 
   bool admit(double now) {
@@ -351,9 +377,12 @@ class ServingWorkload : public sim::Workload {
       const std::size_t owner = shared_.group_owner[g];
       if (owner == kUnleased) continue;
       TenantUsage& u = usage_[jobs_[owner].tenant];
-      (topo_.group(g).frequency_ghz >= midpoint
+      // Bill the interval at the frequency in force when it closes — the
+      // accrual points are lease recomputes, which the governor's swaps
+      // are strictly coarser than in serving runs.
+      (live_frequency(g) >= midpoint
            ? u.fast_capacity_seconds
-           : u.slow_capacity_seconds) += topo_.group_capacity(g) * dt;
+           : u.slow_capacity_seconds) += live_capacity(g) * dt;
     }
   }
 
@@ -382,14 +411,16 @@ class ServingWorkload : public sim::Workload {
       v.demand = shared_.queues[j].size() + shared_.running[j];
       views.push_back(v);
     }
-    const std::vector<std::size_t> owners = assign_leases(
-        config_.policy, topo_, views, engine.now(), &shared_.group_owner);
+    const core::SpeedView* speeds = speeds_.valid() ? &speeds_ : nullptr;
+    const std::vector<std::size_t> owners =
+        assign_leases(config_.policy, topo_, views, engine.now(),
+                      &shared_.group_owner, speeds);
     if (config_.lease_observer) {
       config_.lease_observer(engine.now(), owners, views);
     }
 
     core::PartitionPlan candidate = build_lease_plan(
-        owners, arrivals_.size() + 1, topo_, views, plan_.get());
+        owners, arrivals_.size() + 1, topo_, views, plan_.get(), speeds);
     if (!core::plan_gate_allows(config_.lease_gate, candidate)) {
       ++lease_skips_;
       return;
@@ -435,6 +466,7 @@ class ServingWorkload : public sim::Workload {
   double last_accrual_ = 0.0;
   std::vector<TenantUsage> usage_;
   std::vector<JobOutcome> outcomes_;
+  core::SpeedView speeds_;  ///< engine's live DVFS view (invalid until bound)
 };
 
 }  // namespace
@@ -527,6 +559,7 @@ ServingResult run_serving(const ServingConfig& config) {
   }
   sim::Engine engine(topo, config.sim, *scheduler, workload);
   scheduler->bind(engine);
+  workload.bind_speeds(engine.speed_view());
 
   ServingResult result;
   result.stats = engine.run();

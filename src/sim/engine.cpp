@@ -33,10 +33,16 @@ Engine::Engine(const core::AmcTopology& topo, const SimConfig& config,
       config_(config),
       scheduler_(scheduler),
       workload_(workload),
-      rng_(config.seed) {
+      rng_(config.seed),
+      governor_(config.governor, topo_) {
   cores_.resize(topo_.total_cores());
   stats_.busy_time.assign(topo_.total_cores(), 0.0);
   stats_.overhead_time.assign(topo_.total_cores(), 0.0);
+  busy_f3_.assign(topo_.total_cores(), 0.0);
+  group_f3_int_.assign(topo_.group_count(), 0.0);
+  group_f3_since_.assign(topo_.group_count(), 0.0);
+  group_scalable_work_.assign(topo_.group_count(), 0.0);
+  group_work_.assign(topo_.group_count(), 0.0);
   idle_.reserve(topo_.total_cores());
   for (core::CoreIndex c = 0; c < topo_.total_cores(); ++c) {
     idle_.push_back(c);
@@ -52,16 +58,35 @@ void Engine::mark_busy(core::CoreIndex core) {
 }
 
 double Engine::core_speed(core::CoreIndex core) const {
-  return topo_.group(topo_.group_of_core(core)).frequency_ghz;
+  // Read through the governed SpeedPlan. kStatic's initial plan copies
+  // the topology's base frequencies (the identical doubles), so static
+  // runs are bit-identical to the pre-governor direct read.
+  return governor_.current()->group_frequency_ghz[topo_.group_of_core(core)];
 }
 
 double Engine::effective_speed(const SimTask& task,
                                core::CoreIndex core) const {
   const double f = core_speed(core);
+  // f1 is the BASE fastest frequency even when group 0 is clocked down:
+  // work is F1-normalized and memory-stall time is frequency-invariant,
+  // so the stall term stays pinned to the base F1.
   const double f1 = topo_.fastest_frequency();
   const double s = task.scalable;
   // time = s*w/f + (1-s)*w/f1  =>  eff = w/time.
   return 1.0 / (s / f + (1.0 - s) / f1);
+}
+
+void Engine::charge_busy_segment(core::CoreIndex core) {
+  const CoreState& s = cores_[core];
+  const double dt = std::max(0.0, now_ - s.task_started);
+  stats_.busy_time[core] += dt;
+  const double f = core_speed(core);
+  busy_f3_[core] += dt * f * f * f;
+}
+
+void Engine::fold_group_f3(core::GroupIndex g, double f) {
+  group_f3_int_[g] += (now_ - group_f3_since_[g]) * f * f * f;
+  group_f3_since_[g] = now_;
 }
 
 void Engine::push_event(Event e) {
@@ -188,7 +213,7 @@ bool Engine::snatch(core::CoreIndex thief, core::CoreIndex victim) {
   const double redone =
       std::min(executed, task.remaining) * config_.snatch_redo_fraction;
   task.remaining = std::max(0.0, task.remaining - executed) + redone;
-  stats_.busy_time[victim] += std::max(0.0, now_ - v.task_started);
+  charge_busy_segment(victim);
   if (trace_ != nullptr && now_ > v.task_started) {
     trace_->record({v.task_started, now_, victim, v.task.id, v.task.cls,
                     /*preempted=*/true, v.dispatched_at});
@@ -259,7 +284,7 @@ void Engine::handle_finish(const Event& e) {
   CoreState& s = cores_[e.core];
   if (!s.busy || s.version != e.version) return;  // stale (preempted)
 
-  stats_.busy_time[e.core] += std::max(0.0, now_ - s.task_started);
+  charge_busy_segment(e.core);
   if (trace_ != nullptr && now_ > s.task_started) {
     trace_->record({s.task_started, now_, e.core, s.task.id, s.task.cls,
                     /*preempted=*/false, s.dispatched_at});
@@ -274,9 +299,96 @@ void Engine::handle_finish(const Event& e) {
 
   ++stats_.tasks_completed;
   stats_.total_work += finished.work;
+  if (config_.governor.active()) {
+    // kCmpiAware signal: work-weighted scalable fraction per group.
+    const core::GroupIndex g = topo_.group_of_core(e.core);
+    group_scalable_work_[g] += finished.work * finished.scalable;
+    group_work_[g] += finished.work;
+  }
 
   scheduler_.on_complete(*this, finished, e.core);
   workload_.on_complete(*this, finished, e.core);
+}
+
+void Engine::governor_tick() {
+  core::GovernorInputs in;
+  in.group_busy.assign(topo_.group_count(), 0);
+  for (core::CoreIndex c = 0; c < cores_.size(); ++c) {
+    if (cores_[c].busy) in.group_busy[topo_.group_of_core(c)] = 1;
+  }
+  in.group_scalable.assign(topo_.group_count(), -1.0);
+  for (core::GroupIndex g = 0; g < topo_.group_count(); ++g) {
+    if (group_work_[g] > 0.0) {
+      in.group_scalable[g] = group_scalable_work_[g] / group_work_[g];
+    }
+  }
+  if (const core::policy::PolicyKernel* kernel = scheduler_.kernel()) {
+    in.plan = kernel->current_plan();
+  }
+  // kPaceToDeadline prices the LIVE backlog: queued work per lane plus
+  // the remaining work of in-flight tasks, drained at each group's base
+  // capacity. (The published plan's group_finish is a cumulative-history
+  // prediction: it goes stale behind the publication gate and is
+  // self-referential under pacing — a slowed group accrues history
+  // slower and would look ever lighter.)
+  std::vector<double> backlog = scheduler_.queued_group_work(topo_);
+  if (!backlog.empty()) {
+    backlog.resize(topo_.group_count(), 0.0);
+    for (core::CoreIndex c = 0; c < cores_.size(); ++c) {
+      const CoreState& s = cores_[c];
+      if (!s.busy) continue;
+      double rem = s.task.remaining;
+      if (now_ > s.task_started) rem -= (now_ - s.task_started) * s.eff_speed;
+      backlog[topo_.group_of_core(c)] += std::max(0.0, rem);
+    }
+    in.group_finish.resize(topo_.group_count());
+    for (core::GroupIndex g = 0; g < topo_.group_count(); ++g) {
+      in.group_finish[g] =
+          backlog[g] / (static_cast<double>(topo_.group(g).core_count) *
+                        topo_.relative_speed(g));
+    }
+  }
+  const std::vector<double> before = governor_.current()->group_frequency_ghz;
+  if (!governor_.tick(in)) return;
+  const std::vector<double>& after = governor_.current()->group_frequency_ghz;
+  for (core::GroupIndex g = 0; g < topo_.group_count(); ++g) {
+    if (after[g] == before[g]) continue;
+    fold_group_f3(g, before[g]);
+    ++stats_.speed_swaps;
+    // Re-price in-flight work: the snatch() idiom minus the migration
+    // costs — close the open segment at the old speed, restart the
+    // remainder at the new one, invalidate the stale finish event.
+    const core::CoreIndex first = topo_.first_core_of_group(g);
+    const core::CoreIndex limit = first + topo_.group(g).core_count;
+    for (core::CoreIndex c = first; c < limit; ++c) {
+      CoreState& s = cores_[c];
+      if (!s.busy) continue;
+      if (now_ > s.task_started) {
+        const double dt = now_ - s.task_started;
+        const double executed = dt * s.eff_speed;
+        stats_.busy_time[c] += dt;
+        busy_f3_[c] += dt * before[g] * before[g] * before[g];
+        if (trace_ != nullptr) {
+          trace_->record({s.task_started, now_, c, s.task.id, s.task.cls,
+                          /*preempted=*/true, s.dispatched_at});
+        }
+        s.task.remaining = std::max(0.0, s.task.remaining - executed);
+        s.task_started = now_;
+        s.dispatched_at = now_;
+      }
+      // else: still inside acquisition latency — nothing executed yet,
+      // so keep the pending start and just re-price the remainder.
+      s.eff_speed = effective_speed(s.task, c);
+      ++s.version;
+      Event e;
+      e.time = std::max(now_, s.task_started) + s.task.remaining / s.eff_speed;
+      e.kind = EventKind::kFinish;
+      e.core = c;
+      e.version = s.version;
+      push_event(std::move(e));
+    }
+  }
+  dispatch_dirty_ = true;
 }
 
 RunStats Engine::run() {
@@ -288,6 +400,14 @@ RunStats Engine::run() {
     Event e;
     e.time = config_.recluster_period;
     e.kind = EventKind::kRecluster;
+    push_event(std::move(e));
+  }
+  if (config_.governor.active()) {
+    WATS_CHECK_MSG(config_.governor.tick_period > 0.0,
+                   "active governor needs a positive tick_period");
+    Event e;
+    e.time = config_.governor.tick_period;
+    e.kind = EventKind::kGovernor;
     push_event(std::move(e));
   }
   dispatch_dirty_ = true;
@@ -325,6 +445,19 @@ RunStats Engine::run() {
         // Callbacks may retire leases or spawn work; let idle cores react.
         dispatch_dirty_ = true;
         break;
+      case EventKind::kGovernor: {
+        governor_tick();
+        // Keep ticking while there is still activity (like kRecluster).
+        bool any_busy = false;
+        for (const auto& c : cores_) any_busy |= c.busy;
+        if (any_busy || !events_.empty()) {
+          Event next;
+          next.time = now_ + config_.governor.tick_period;
+          next.kind = EventKind::kGovernor;
+          push_event(std::move(next));
+        }
+        break;
+      }
     }
     dispatch_idle_cores();
   }
@@ -333,6 +466,28 @@ RunStats Engine::run() {
   WATS_CHECK_MSG(!scheduler_.has_pending(),
                  "simulation drained with tasks still queued");
   stats_.makespan = now_;
+  // First-class energy: fold the open per-group f^3 integrals to the
+  // makespan, then integrate the configured model over the piecewise
+  // accumulators.
+  for (core::GroupIndex g = 0; g < topo_.group_count(); ++g) {
+    fold_group_f3(g, governor_.current()->group_frequency_ghz[g]);
+  }
+  const core::EnergyModel& model = config_.governor.energy;
+  double busy_f3_total = 0.0;
+  for (double v : busy_f3_) busy_f3_total += v;
+  double all_f3 = 0.0;
+  for (core::GroupIndex g = 0; g < topo_.group_count(); ++g) {
+    all_f3 +=
+        static_cast<double>(topo_.group(g).core_count) * group_f3_int_[g];
+  }
+  const double idle_f3 = std::max(0.0, all_f3 - busy_f3_total);
+  stats_.energy_joules =
+      model.capacitance * (busy_f3_total + model.idle_factor * idle_f3) +
+      model.static_power * static_cast<double>(topo_.total_cores()) *
+          stats_.makespan;
+  stats_.edp = stats_.energy_joules * stats_.makespan;
+  stats_.governor_ticks = governor_.ticks();
+  stats_.speed_plan_epoch = governor_.current()->epoch;
   if (const core::policy::PolicyKernel* kernel = scheduler_.kernel()) {
     const core::policy::PlanStats plan = kernel->plan_stats();
     stats_.plans_published = plan.published;

@@ -16,6 +16,7 @@
 
 #include "core/cluster.hpp"
 #include "core/cmpi.hpp"
+#include "core/governor.hpp"
 #include "core/topology.hpp"
 #include "sim/scheduler.hpp"
 #include "sim/trace.hpp"
@@ -79,6 +80,12 @@ struct SimConfig {
   bool dnc_fallback = true;
   double dnc_threshold = 0.5;
   std::uint64_t dnc_min_spawns = 64;
+  /// DVFS governor (core/governor.hpp). The kStatic default publishes
+  /// no SpeedPlans, schedules no events and draws no randomness, so it
+  /// is bit-identical to the pre-governor engine; active policies tick
+  /// every governor.tick_period of virtual time and re-price in-flight
+  /// work at each published swap.
+  core::GovernorConfig governor;
 };
 
 struct RunStats {
@@ -115,6 +122,22 @@ struct RunStats {
   /// run never executed have empty stats).
   std::vector<util::RunningStat> wait_time_by_class;
 
+  /// First-class energy accounting (SimConfig::governor.energy model):
+  /// dynamic power integrated piecewise over every busy segment at the
+  /// frequency in effect during that segment, plus idle draw (see
+  /// EnergyModel::idle_factor) and the static floor across the makespan.
+  /// With a kStatic governor this agrees with the legacy energy() method
+  /// below (up to floating-point association).
+  double energy_joules = 0.0;
+  /// Energy-delay product: energy_joules * makespan.
+  double edp = 0.0;
+  /// Governor activity (all zero under kStatic): policy evaluations,
+  /// per-group frequency changes applied, and the epoch of the final
+  /// published SpeedPlan.
+  std::uint64_t governor_ticks = 0;
+  std::uint64_t speed_swaps = 0;
+  std::uint64_t speed_plan_epoch = 0;
+
   /// Machine utilization: busy time weighted by capacity vs elapsed time.
   double utilization(const core::AmcTopology& topo) const;
 
@@ -140,7 +163,15 @@ class Engine {
   util::Xoshiro256& rng() { return rng_; }
   double now() const { return now_; }
 
-  /// Speed (GHz) of a core.
+  /// Live per-group speed reader (base frequencies under kStatic). The
+  /// view borrows the engine's governor; it is valid for the engine's
+  /// lifetime and is what the serving layer prices capacity through.
+  core::SpeedView speed_view() const {
+    return core::SpeedView(&topo_, &governor_);
+  }
+
+  /// CURRENT speed (GHz) of a core — the governed group frequency, not
+  /// the topology constant.
   double core_speed(core::CoreIndex core) const;
 
   /// Effective execution speed of a task on a core, accounting for the
@@ -182,7 +213,7 @@ class Engine {
   void count_steal() { ++stats_.steals; }
 
  private:
-  enum class EventKind { kSpawn, kFinish, kRecluster, kTimer };
+  enum class EventKind { kSpawn, kFinish, kRecluster, kTimer, kGovernor };
 
   struct Event {
     double time = 0.0;
@@ -223,11 +254,38 @@ class Engine {
   /// meanwhile.
   bool snatch(core::CoreIndex thief, core::CoreIndex victim);
 
+  /// Charge the busy segment [cores_[core].task_started, now_] to the
+  /// busy-time and dynamic-energy (dt * f^3) accumulators. The segment's
+  /// frequency is the CURRENT group frequency: every frequency change
+  /// re-prices in-flight work, so no open segment ever spans a swap.
+  void charge_busy_segment(core::CoreIndex core);
+  /// One governor evaluation: tick, and on publish fold the per-group
+  /// f^3 time-integrals and re-price every in-flight task on a changed
+  /// group (the snatch() idiom: charge the executed part at the old
+  /// speed, restart the remainder at the new one, invalidate the old
+  /// finish event).
+  void governor_tick();
+  /// Fold group g's f^3 time-integral up to now_ at frequency f.
+  void fold_group_f3(core::GroupIndex g, double f);
+
   const core::AmcTopology& topo_;
   SimConfig config_;
   Scheduler& scheduler_;
   Workload& workload_;
   util::Xoshiro256 rng_;
+  core::Governor governor_;
+
+  // ---- Energy accounting (piecewise per constant-frequency segment) ----
+  /// Per-core integral of f^3 over busy time.
+  std::vector<double> busy_f3_;
+  /// Per-group integral of f^3 over ALL time (for idle draw) and the
+  /// time each group's integral was last folded.
+  std::vector<double> group_f3_int_;
+  std::vector<double> group_f3_since_;
+  /// Per-group work-weighted scalable-fraction sums from completed
+  /// tasks — the kCmpiAware governor's input signal.
+  std::vector<double> group_scalable_work_;
+  std::vector<double> group_work_;
 
   /// Maintain idle_ (ascending core indices of non-busy cores) on every
   /// busy-flag flip; dispatch passes walk it instead of scanning all

@@ -71,6 +71,18 @@ class Scheduler {
   /// Any tasks queued in pools (used by the engine's deadlock check).
   virtual bool has_pending() const = 0;
 
+  /// Queued work per c-group lane (F1-normalized remaining units), used
+  /// by the pace-to-deadline governor to price the live backlog. Lane g's
+  /// queued tasks are attributed to group g (exact under WATS-NP, the
+  /// steal-free ablation; a close approximation under cross-group
+  /// stealing); single-lane schedulers attribute everything to group 0.
+  /// Default: no visibility (empty), which disables backlog pacing.
+  virtual std::vector<double> queued_group_work(
+      const core::AmcTopology& topo) const {
+    (void)topo;
+    return {};
+  }
+
   /// The decision kernel this scheduler executes (diagnostics/tests).
   virtual const core::policy::PolicyKernel* kernel() const { return nullptr; }
 

@@ -175,6 +175,19 @@ class KernelScheduler final : public Scheduler {
     return false;
   }
 
+  std::vector<double> queued_group_work(
+      const core::AmcTopology& topo) const override {
+    std::vector<double> work(topo.group_count(), 0.0);
+    for (const auto& p : pools_) {
+      for (std::size_t lane = 0; lane < p.cluster_count(); ++lane) {
+        work[lane < work.size() ? lane : 0] += p.queued_work(lane);
+      }
+    }
+    // Central spawns resolve to the fastest group (§III-A unknown rule).
+    for (const auto& e : central_) work[0] += e.task.remaining;
+    return work;
+  }
+
   const core::policy::PolicyKernel* kernel() const override {
     return kernel_.get();
   }

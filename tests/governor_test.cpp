@@ -1,0 +1,364 @@
+// DVFS governor & SpeedPlan tests: ladder construction, the pure policy
+// function, epoch/publication-gate semantics, kStatic bit-invisibility,
+// the engine's energy accounting, the pace-to-deadline acceptance cell
+// (>= 10% energy saved at <= 2% makespan loss) and a TSan-targeted
+// concurrent tick-vs-reader stress. All test suite names match the CI
+// TSan leg's `Governor|Speed` regex.
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "core/governor.hpp"
+#include "core/partition_plan.hpp"
+#include "core/topology.hpp"
+#include "scenario/registry.hpp"
+#include "scenario/runner.hpp"
+#include "sim/experiment.hpp"
+
+namespace wats {
+namespace {
+
+workloads::BenchmarkSpec tiny_batch() {
+  workloads::BenchmarkSpec spec;
+  spec.name = "tiny";
+  spec.kind = workloads::BenchKind::kBatch;
+  spec.classes = {
+      {"heavy", 16.0, 0.1, 2, 1.0},
+      {"light", 4.0, 0.1, 6, 1.0},
+  };
+  spec.batches = 4;
+  return spec;
+}
+
+// ---- SpeedLevels ladders.
+
+TEST(GovernorLevels, NativeSetTruncatesAtGroupBase) {
+  const auto topo = core::amc_from_string("2x2.5+4x1.8+2x0.8");
+  const auto levels = core::SpeedLevels::from_topology(topo, 0);
+  ASSERT_EQ(levels.per_group.size(), 3u);
+  EXPECT_EQ(levels.per_group[0], (std::vector<double>{0.8, 1.8, 2.5}));
+  EXPECT_EQ(levels.per_group[1], (std::vector<double>{0.8, 1.8}));
+  // The slowest group has no slower native step: only its own base.
+  EXPECT_EQ(levels.per_group[2], (std::vector<double>{0.8}));
+}
+
+TEST(GovernorLevels, EvenLadderEndsOnExactBase) {
+  const auto topo = core::amc_from_string("2x2.5+6x2.0");
+  const auto levels = core::SpeedLevels::from_topology(topo, 8);
+  ASSERT_EQ(levels.per_group.size(), 2u);
+  for (core::GroupIndex g = 0; g < 2; ++g) {
+    const auto& ladder = levels.per_group[g];
+    ASSERT_EQ(ladder.size(), 8u);
+    // Ascending, topped by the identical base double.
+    for (std::size_t i = 1; i < ladder.size(); ++i) {
+      EXPECT_LT(ladder[i - 1], ladder[i]);
+    }
+    EXPECT_EQ(ladder.back(), topo.group(g).frequency_ghz);
+  }
+  // Fast group spans [machine_min, base]; slowest spans [base/2, base].
+  EXPECT_DOUBLE_EQ(levels.per_group[0].front(), 2.0);
+  EXPECT_DOUBLE_EQ(levels.per_group[1].front(), 1.0);
+}
+
+// ---- Pure policy evaluation.
+
+TEST(GovernorFrequencies, StaticAlwaysBase) {
+  const auto topo = core::amc_from_string("2x2.5+6x2.0");
+  core::GovernorConfig config;  // kStatic
+  const auto levels = core::SpeedLevels::from_topology(topo, 8);
+  core::GovernorInputs in;
+  in.group_busy = {0, 0};
+  const auto freqs = core::governor_frequencies(config, topo, levels, in);
+  EXPECT_EQ(freqs, (std::vector<double>{2.5, 2.0}));
+}
+
+TEST(GovernorFrequencies, RaceToIdleDropsIdleGroupsOnly) {
+  const auto topo = core::amc_from_string("2x2.5+6x2.0");
+  core::GovernorConfig config;
+  config.policy = core::GovernorPolicy::kRaceToIdle;
+  config.dvfs_levels = 8;
+  const auto levels = core::SpeedLevels::from_topology(topo, 8);
+  core::GovernorInputs in;
+  in.group_busy = {1, 0};
+  const auto freqs = core::governor_frequencies(config, topo, levels, in);
+  EXPECT_DOUBLE_EQ(freqs[0], 2.5);                          // busy: base
+  EXPECT_DOUBLE_EQ(freqs[1], levels.per_group[1].front());  // idle: floor
+}
+
+TEST(GovernorFrequencies, PaceToDeadlineSlowsSlackGroups) {
+  // The dvfs-smoke geometry: fast group finish 24000 (critical), slow
+  // group 20000 with epsilon 0.02 -> target 24480. The slow ladder is
+  // linspace(1.0, 2.0, 8); the lowest step meeting
+  // 20000 * (2.0 / f) <= 24480 is 1 + 5/7.
+  const auto topo = core::amc_from_string("2x2.5+6x2.0");
+  core::GovernorConfig config;
+  config.policy = core::GovernorPolicy::kPaceToDeadline;
+  config.dvfs_levels = 8;
+  config.pace_epsilon = 0.02;
+  const auto levels = core::SpeedLevels::from_topology(topo, 8);
+  core::PartitionPlan plan;
+  plan.group_finish = {24000.0, 20000.0};
+  plan.makespan = 24000.0;
+  core::GovernorInputs in;
+  in.plan = &plan;
+  const auto freqs = core::governor_frequencies(config, topo, levels, in);
+  EXPECT_DOUBLE_EQ(freqs[0], 2.5);  // critical group never slows
+  EXPECT_DOUBLE_EQ(freqs[1], 1.0 + 5.0 / 7.0);
+}
+
+TEST(GovernorFrequencies, PacePrefersLiveBacklogOverPlan) {
+  // A live group_finish signal overrides the plan's stale predictions:
+  // the plan claims no slack at all, the backlog says group 1 has 20%.
+  const auto topo = core::amc_from_string("2x2.5+6x2.0");
+  core::GovernorConfig config;
+  config.policy = core::GovernorPolicy::kPaceToDeadline;
+  config.dvfs_levels = 8;
+  config.pace_epsilon = 0.02;
+  const auto levels = core::SpeedLevels::from_topology(topo, 8);
+  core::PartitionPlan plan;
+  plan.group_finish = {24000.0, 24000.0};  // stale: no slack
+  plan.makespan = 24000.0;
+  core::GovernorInputs in;
+  in.plan = &plan;
+  in.group_finish = {24000.0, 20000.0};
+  const auto freqs = core::governor_frequencies(config, topo, levels, in);
+  EXPECT_DOUBLE_EQ(freqs[0], 2.5);
+  EXPECT_DOUBLE_EQ(freqs[1], 1.0 + 5.0 / 7.0);
+  // A group whose own backlog IS the critical path gets no slack: the
+  // lowest qualifying step is its base frequency.
+  in.group_finish = {10000.0, 20000.0};
+  const auto tail = core::governor_frequencies(config, topo, levels, in);
+  EXPECT_DOUBLE_EQ(tail[1], 2.0);
+  // A group with no backlog and nothing running has no deadline at all:
+  // pace composes with race-to-idle and drops it to the ladder floor.
+  in.group_finish = {10000.0, 0.0};
+  in.group_busy = {1, 0};
+  const auto idle = core::governor_frequencies(config, topo, levels, in);
+  EXPECT_DOUBLE_EQ(idle[0], 2.5);
+  EXPECT_DOUBLE_EQ(idle[1], 1.0);
+  // ...but an empty group still draining an in-flight task stays at base.
+  in.group_busy = {1, 1};
+  const auto busy = core::governor_frequencies(config, topo, levels, in);
+  EXPECT_DOUBLE_EQ(busy[1], 2.0);
+}
+
+TEST(GovernorFrequencies, PaceWithoutPlanStaysAtBase) {
+  const auto topo = core::amc_from_string("2x2.5+6x2.0");
+  core::GovernorConfig config;
+  config.policy = core::GovernorPolicy::kPaceToDeadline;
+  config.dvfs_levels = 8;
+  const auto levels = core::SpeedLevels::from_topology(topo, 8);
+  core::GovernorInputs in;  // no plan
+  const auto freqs = core::governor_frequencies(config, topo, levels, in);
+  EXPECT_EQ(freqs, (std::vector<double>{2.5, 2.0}));
+}
+
+TEST(GovernorFrequencies, CmpiAwareNeedsSignal) {
+  const auto topo = core::amc_from_string("2x2.5+6x2.0");
+  core::GovernorConfig config;
+  config.policy = core::GovernorPolicy::kCmpiAware;
+  config.dvfs_levels = 8;
+  const auto levels = core::SpeedLevels::from_topology(topo, 8);
+  core::GovernorInputs in;
+  in.group_scalable = {-1.0, 0.05};  // no signal on g0, stall-bound g1
+  const auto freqs = core::governor_frequencies(config, topo, levels, in);
+  EXPECT_DOUBLE_EQ(freqs[0], 2.5);  // unknown: base
+  // Nearly stall-bound work barely stretches at lower f, so the optimal
+  // step under the slowdown cap is below base.
+  EXPECT_LT(freqs[1], 2.0);
+}
+
+// ---- EnergyModel units.
+
+TEST(GovernorEnergyModel, CubicScalingAndStaticFloor) {
+  core::EnergyModel model;
+  model.capacitance = 1.0;
+  model.static_power = 0.5;
+  // At base: (C f^3 + P_s) * t.
+  EXPECT_DOUBLE_EQ(model.energy_at(2.0, 2.0, 2.0, 1.0),
+                   (8.0 + 0.5) * 2.0);
+  // Fully scalable at half frequency: time doubles, dynamic power drops
+  // 8x -> dynamic energy drops 4x; static energy doubles with time.
+  EXPECT_DOUBLE_EQ(model.energy_at(2.0, 2.0, 1.0, 1.0),
+                   (1.0 + 0.5) * 4.0);
+  // Fully stall-bound: time is frequency-invariant.
+  EXPECT_DOUBLE_EQ(model.time_at(3.0, 2.0, 1.0, 0.0), 3.0);
+}
+
+TEST(GovernorEnergyModel, BestFrequencyRespectsSlowdownCap) {
+  core::EnergyModel model;
+  const std::vector<double> ladder{0.8, 1.3, 1.8, 2.5};
+  // Fully scalable with a 1.0 cap: any slowdown violates it -> base.
+  EXPECT_DOUBLE_EQ(model.best_frequency(1.0, 2.5, ladder, 1.0, 1.0), 2.5);
+  // Stall-bound: every step meets the cap; the floor wins on energy.
+  EXPECT_DOUBLE_EQ(model.best_frequency(1.0, 2.5, ladder, 0.0, 1.2), 0.8);
+}
+
+TEST(GovernorEnergy, EngineAccountingMatchesHandFormula) {
+  // One core at 2.0 GHz, kStatic: energy = C * busy * f^3 (no idle term
+  // on a machine that is busy whenever work exists, idle_factor 0) +
+  // P_s * ncores * makespan.
+  const core::AmcTopology topo("1core", {{2.0, 1}});
+  sim::ExperimentConfig cfg;
+  cfg.repeats = 1;
+  const auto r =
+      sim::run_experiment(tiny_batch(), topo, sim::SchedulerKind::kCilk, cfg);
+  const auto& run = r.runs[0];
+  double busy = 0.0;
+  for (double b : run.busy_time) busy += b;
+  const core::EnergyModel model;  // the config default
+  const double idle_f3 =
+      8.0 * run.makespan - 8.0 * busy;  // one core, constant f
+  EXPECT_NEAR(run.energy_joules,
+              model.capacitance * (8.0 * busy + model.idle_factor * idle_f3) +
+                  model.static_power * run.makespan,
+              1e-6 * run.energy_joules);
+  EXPECT_GT(run.edp, 0.0);
+  EXPECT_DOUBLE_EQ(run.edp, run.energy_joules * run.makespan);
+}
+
+// ---- kStatic bit-invisibility.
+
+TEST(GovernorStatic, ConfigKnobsAreInvisibleUnderStaticPolicy) {
+  // kStatic constructs a base-frequency plan and never ticks: every other
+  // governor knob (levels, cadence, energy model) must not perturb the
+  // schedule in any observable way.
+  const auto topo = core::amc_by_name("AMC2");
+  const auto spec = tiny_batch();
+  for (auto kind : {sim::SchedulerKind::kCilk, sim::SchedulerKind::kWats,
+                    sim::SchedulerKind::kWatsTs}) {
+    sim::ExperimentConfig plain;
+    plain.repeats = 2;
+    sim::ExperimentConfig knobs = plain;
+    knobs.sim.governor.policy = core::GovernorPolicy::kStatic;
+    knobs.sim.governor.dvfs_levels = 8;
+    knobs.sim.governor.tick_period = 1.0;
+    knobs.sim.governor.pace_epsilon = 0.5;
+    const auto a = sim::run_experiment(spec, topo, kind, plain);
+    const auto b = sim::run_experiment(spec, topo, kind, knobs);
+    ASSERT_EQ(a.runs.size(), b.runs.size());
+    for (std::size_t i = 0; i < a.runs.size(); ++i) {
+      EXPECT_DOUBLE_EQ(a.runs[i].makespan, b.runs[i].makespan);
+      EXPECT_EQ(a.runs[i].sim_events, b.runs[i].sim_events);
+      EXPECT_EQ(a.runs[i].tasks_completed, b.runs[i].tasks_completed);
+      EXPECT_EQ(a.runs[i].steals, b.runs[i].steals);
+      EXPECT_EQ(a.runs[i].speed_swaps, 0u);
+      EXPECT_EQ(a.runs[i].governor_ticks, 0u);
+      EXPECT_EQ(a.runs[i].speed_plan_epoch, 0u);
+    }
+  }
+}
+
+// ---- SpeedPlan epoch semantics.
+
+TEST(SpeedPlanEpoch, MonotonicWithIdenticalSkip) {
+  const auto topo = core::amc_from_string("1x2.0+1x1.0");
+  core::GovernorConfig config;
+  config.policy = core::GovernorPolicy::kRaceToIdle;
+  config.dvfs_levels = 2;
+  core::Governor gov(config, topo);
+  EXPECT_EQ(gov.current()->epoch, 0u);
+  EXPECT_EQ(gov.current()->group_frequency_ghz,
+            (std::vector<double>{2.0, 1.0}));
+
+  core::GovernorInputs busy;
+  busy.group_busy = {1, 1};
+  // All busy -> all base -> identical to the initial plan: gated, no
+  // epoch burned.
+  EXPECT_FALSE(gov.tick(busy));
+  EXPECT_EQ(gov.current()->epoch, 0u);
+  EXPECT_EQ(gov.swaps(), 0u);
+
+  core::GovernorInputs idle1;
+  idle1.group_busy = {1, 0};
+  EXPECT_TRUE(gov.tick(idle1));
+  EXPECT_EQ(gov.current()->epoch, 1u);
+  EXPECT_DOUBLE_EQ(gov.current()->group_frequency_ghz[1], 0.5);
+
+  // Same inputs again: identical map, epoch must not move.
+  EXPECT_FALSE(gov.tick(idle1));
+  EXPECT_EQ(gov.current()->epoch, 1u);
+  EXPECT_EQ(gov.swaps(), 1u);
+
+  // Back to busy: a real change, epoch strictly increases.
+  EXPECT_TRUE(gov.tick(busy));
+  EXPECT_EQ(gov.current()->epoch, 2u);
+  EXPECT_EQ(gov.swaps(), 2u);
+  EXPECT_EQ(gov.ticks(), 4u);
+}
+
+// ---- Acceptance: pace-to-deadline on the dvfs cell.
+
+TEST(GovernorPace, EnergyDropsWithinMakespanBound) {
+  // The committed dvfs-smoke cell: WATS-NP on DvfsSlack, static vs
+  // pace-to-deadline. The ISSUE's acceptance figures: >= 10% energy
+  // saved at <= 2% makespan loss.
+  const auto* spec = scenario::find_scenario("dvfs-smoke");
+  ASSERT_NE(spec, nullptr);
+  const auto result = scenario::run_scenario(*spec);
+  const auto& fixed = result.cell("DvfsSlack", "2x2.5+6x2.0",
+                                  sim::SchedulerKind::kWatsNp, "static");
+  const auto& pace =
+      result.cell("DvfsSlack", "2x2.5+6x2.0", sim::SchedulerKind::kWatsNp,
+                  "pace-to-deadline");
+  ASSERT_GT(fixed.mean_energy, 0.0);
+  EXPECT_EQ(fixed.speed_swaps, 0u);
+  EXPECT_GT(pace.speed_swaps, 0u);
+  EXPECT_LE(pace.mean_energy, fixed.mean_energy * 0.90)
+      << "pace energy " << pace.mean_energy << " vs static "
+      << fixed.mean_energy;
+  EXPECT_LE(pace.mean_makespan, fixed.mean_makespan * 1.02)
+      << "pace makespan " << pace.mean_makespan << " vs static "
+      << fixed.mean_makespan;
+  EXPECT_LT(pace.mean_edp, fixed.mean_edp);
+}
+
+// ---- Concurrent publication (TSan target).
+
+TEST(SpeedStress, ConcurrentTicksVsReaders) {
+  const auto topo = core::amc_from_string("2x2.5+6x2.0");
+  core::GovernorConfig config;
+  config.policy = core::GovernorPolicy::kRaceToIdle;
+  config.dvfs_levels = 4;
+  core::Governor gov(config, topo);
+  const core::SpeedView view(&topo, &gov);
+
+  std::atomic<bool> stop{false};
+  std::vector<std::thread> readers;
+  std::atomic<std::uint64_t> reads{0};
+  for (int t = 0; t < 4; ++t) {
+    readers.emplace_back([&] {
+      while (!stop.load(std::memory_order_acquire)) {
+        const core::SpeedPlan* plan = gov.current();
+        ASSERT_NE(plan, nullptr);
+        double sum = 0.0;
+        for (core::GroupIndex g = 0; g < topo.group_count(); ++g) {
+          sum += view.frequency(g) + view.relative_speed(g);
+        }
+        ASSERT_GT(sum, 0.0);
+        reads.fetch_add(1, std::memory_order_relaxed);
+      }
+    });
+  }
+  core::GovernorInputs in;
+  // Keep publishing until the readers have observed at least a few plans:
+  // on a single-CPU box the whole writer loop can run before any reader
+  // thread is ever scheduled. 20000 ticks is the floor for TSan coverage.
+  int i = 0;
+  while (i < 20000 || reads.load(std::memory_order_relaxed) < 4) {
+    in.group_busy = {static_cast<std::uint8_t>(i & 1),
+                     static_cast<std::uint8_t>((i >> 1) & 1)};
+    gov.tick(in);
+    ++i;
+    if ((i & 1023) == 0) std::this_thread::yield();
+  }
+  stop.store(true, std::memory_order_release);
+  for (auto& r : readers) r.join();
+  EXPECT_GT(gov.swaps(), 0u);
+  EXPECT_GT(reads.load(), 0u);
+}
+
+}  // namespace
+}  // namespace wats

@@ -216,6 +216,41 @@ ServingProbeSample run_serving_probe() {
   return sample;
 }
 
+struct DvfsProbeSample {
+  double energy_savings_pct = 0.0;  ///< static vs pace-to-deadline
+  double makespan_ratio = 0.0;      ///< pace / static (1.0 = no loss)
+  double pace_energy = 0.0;         ///< joules, pace-to-deadline cell
+  double pace_edp = 0.0;            ///< energy * makespan, pace cell
+};
+
+/// Deterministic DVFS probe: the committed dvfs-smoke cell (WATS-NP on
+/// the DvfsSlack workload, static vs pace-to-deadline governor). All
+/// virtual time, so like the serving probe it is bit-identical across
+/// machines — a drifting diff is a real governor/engine behavior change.
+/// The savings percentage is the ISSUE's acceptance figure: the pace
+/// governor converts the slow group's slack into >= 10% less energy at
+/// <= 2% makespan loss.
+DvfsProbeSample run_dvfs_probe() {
+  const auto* s = scenario::find_scenario("dvfs-smoke");
+  const auto result = scenario::run_scenario(*s);
+  const auto& fixed = result.cell("DvfsSlack", "2x2.5+6x2.0",
+                                  sim::SchedulerKind::kWatsNp, "static");
+  const auto& pace =
+      result.cell("DvfsSlack", "2x2.5+6x2.0", sim::SchedulerKind::kWatsNp,
+                  "pace-to-deadline");
+  DvfsProbeSample sample;
+  sample.energy_savings_pct =
+      fixed.mean_energy > 0.0
+          ? (fixed.mean_energy - pace.mean_energy) / fixed.mean_energy * 100.0
+          : 0.0;
+  sample.makespan_ratio = fixed.mean_makespan > 0.0
+                              ? pace.mean_makespan / fixed.mean_makespan
+                              : 0.0;
+  sample.pace_energy = pace.mean_energy;
+  sample.pace_edp = pace.mean_edp;
+  return sample;
+}
+
 /// One repeat of the sim probe: every requested registry scenario at
 /// repeats=1, aggregated into one events/sec figure.
 double run_sim_probe(const std::vector<scenario::ScenarioSpec>& specs) {
@@ -297,6 +332,7 @@ int cmd_run(int argc, char** argv) {
                  "emulated 2x2.5+2x0.8, tracing on; scale: 10k classes, "
                  "1024-core partition rebuild vs repair + 256-core sim; "
                  "serving: serving-smoke greedy/poisson @ load 1.3; "
+                 "dvfs: dvfs-smoke WATS-NP static vs pace-to-deadline; "
                  "sim: " +
                  scenarios_csv + " @ repeats=1";
   report.repeats = repeats;
@@ -334,6 +370,17 @@ int cmd_run(int argc, char** argv) {
                                   0.25, 0.0, {}};
   obs::PerfMetric serving_churn{"serving_lease_churn", "count", false,
                                 0.5, 64.0, {}};
+  // DVFS probes are deterministic virtual-time figures like the serving
+  // ones. The savings band leaves room for retuning the smoke cell; the
+  // makespan-ratio band is tight because pacing losing more than a few
+  // percent of makespan defeats its purpose.
+  obs::PerfMetric dvfs_savings{"dvfs_energy_savings_pct", "%", true, 0.25,
+                               2.0, {}};
+  obs::PerfMetric dvfs_ratio{"dvfs_makespan_ratio", "x", false, 0.05,
+                             0.0, {}};
+  obs::PerfMetric dvfs_energy{"dvfs_pace_energy_joules", "J", false, 0.25,
+                              0.0, {}};
+  obs::PerfMetric dvfs_edp{"dvfs_pace_edp", "J*vt", false, 0.25, 0.0, {}};
 
   for (std::size_t rep = 0; rep < repeats; ++rep) {
     std::fprintf(stderr, "repeat %zu/%zu: runtime probe...\n", rep + 1,
@@ -356,6 +403,13 @@ int cmd_run(int argc, char** argv) {
     serving_p99.values.push_back(serving.p99_latency);
     serving_goodput.values.push_back(serving.goodput);
     serving_churn.values.push_back(serving.lease_churn);
+    std::fprintf(stderr, "repeat %zu/%zu: dvfs probe...\n", rep + 1,
+                 repeats);
+    const auto dvfs = run_dvfs_probe();
+    dvfs_savings.values.push_back(dvfs.energy_savings_pct);
+    dvfs_ratio.values.push_back(dvfs.makespan_ratio);
+    dvfs_energy.values.push_back(dvfs.pace_energy);
+    dvfs_edp.values.push_back(dvfs.pace_edp);
     std::fprintf(stderr, "repeat %zu/%zu: sim probe (%s)...\n", rep + 1,
                  repeats, scenarios_csv.c_str());
     evps.values.push_back(run_sim_probe(specs));
@@ -363,7 +417,8 @@ int cmd_run(int argc, char** argv) {
   report.metrics = {partition,   steal,  queue,      nspc,
                     evps,        rebuild, repair,    scale_evps,
                     resets,      serving_p99, serving_goodput,
-                    serving_churn};
+                    serving_churn, dvfs_savings, dvfs_ratio,
+                    dvfs_energy, dvfs_edp};
 
   const std::string json = obs::render_perf_json(report);
   if (out_path.empty() || out_path == "-") {

@@ -20,6 +20,7 @@
 #include <cstdio>
 #include <cstring>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include <chrono>
@@ -119,9 +120,22 @@ void print_scenario(const scenario::ScenarioSpec& spec,
     }
     return false;
   }();
+  // Energy columns only when a governor actually ran somewhere in the
+  // scenario — the static-only tables stay exactly as before.
+  const bool any_governor = [&] {
+    for (const auto& c : result.cells) {
+      if (c.governor_ticks > 0) return true;
+    }
+    return false;
+  }();
   std::vector<std::string> header = {"workload", "machine", "variant",
                                      "scheduler", "makespan"};
   if (any_resets) header.push_back("history resets");
+  if (any_governor) {
+    header.push_back("energy");
+    header.push_back("edp");
+    header.push_back("swaps");
+  }
   util::TextTable t(header);
   for (const auto& c : result.cells) {
     std::vector<std::string> row = {
@@ -129,6 +143,11 @@ void print_scenario(const scenario::ScenarioSpec& spec,
         std::string(sim::to_string(c.scheduler)),
         util::TextTable::num(c.mean_makespan, 1)};
     if (any_resets) row.push_back(std::to_string(c.history_resets));
+    if (any_governor) {
+      row.push_back(util::TextTable::num(c.mean_energy, 0));
+      row.push_back(util::TextTable::num(c.mean_edp, 0));
+      row.push_back(std::to_string(c.speed_swaps));
+    }
     t.add_row(std::move(row));
   }
   std::uint64_t events = 0;
@@ -182,6 +201,42 @@ void write_serving_json(std::FILE* out,
   std::fprintf(out, "  ]");
 }
 
+/// The "energy" section: one flat row per cell of every scenario in which
+/// a governor ticked (static baseline cells of those scenarios included,
+/// so savings are computable from the artifact alone). Scenarios that
+/// never ran a governor contribute nothing — the artifact is unchanged
+/// for pre-DVFS runs.
+void write_energy_json(std::FILE* out,
+                       const std::vector<scenario::ScenarioResult>& results) {
+  std::vector<std::pair<const scenario::ScenarioResult*,
+                        const scenario::CellResult*>> rows;
+  for (const auto& r : results) {
+    bool any_governor = false;
+    for (const auto& c : r.cells) any_governor |= c.governor_ticks > 0;
+    if (!any_governor) continue;
+    for (const auto& c : r.cells) rows.push_back({&r, &c});
+  }
+  if (rows.empty()) return;
+  std::fprintf(out, ",\n  \"energy\": [\n");
+  for (std::size_t i = 0; i < rows.size(); ++i) {
+    const auto& [r, c] = rows[i];
+    std::fprintf(
+        out,
+        "    {\"scenario\": %s, \"workload\": %s, \"machine\": %s, "
+        "\"variant\": %s, \"scheduler\": %s, \"makespan\": %.6f, "
+        "\"energy_joules\": %.6f, \"edp\": %.6f, "
+        "\"governor_ticks\": %llu, \"speed_swaps\": %llu}%s\n",
+        json_str(r->name).c_str(), json_str(c->workload).c_str(),
+        json_str(c->machine).c_str(), json_str(c->variant).c_str(),
+        json_str(std::string(sim::to_string(c->scheduler))).c_str(),
+        c->mean_makespan, c->mean_energy, c->mean_edp,
+        static_cast<unsigned long long>(c->governor_ticks),
+        static_cast<unsigned long long>(c->speed_swaps),
+        i + 1 < rows.size() ? "," : "");
+  }
+  std::fprintf(out, "  ]");
+}
+
 void write_json(std::FILE* out,
                 const std::vector<scenario::ScenarioResult>& results,
                 const std::vector<ServingRun>& serving,
@@ -225,6 +280,7 @@ void write_json(std::FILE* out,
     std::fprintf(out, "    ]}%s\n", i + 1 < results.size() ? "," : "");
   }
   std::fprintf(out, "  ]");
+  write_energy_json(out, results);
   if (!serving.empty()) write_serving_json(out, serving);
   if (perf != nullptr) {
     std::fprintf(
